@@ -1,0 +1,101 @@
+//===- bench_compile.cpp - E6: compilation L->M (Figure 7) ----------------===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+//
+// Throughput of the type-directed ANF compiler on generated well-typed
+// terms, plus the end-to-end compile+run and the joinability oracle that
+// backs the Simulation theorem's property tests.
+//
+//===----------------------------------------------------------------------===//
+
+#include "anf/Compile.h"
+#include "anf/Joinability.h"
+#include "lcalc/Eval.h"
+#include "lcalc/Gen.h"
+#include "mcalc/Machine.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+using namespace levity;
+
+namespace {
+
+struct Fixture {
+  lcalc::LContext L;
+  mcalc::MContext MC;
+  anf::Compiler Comp{L, MC};
+  std::vector<lcalc::TermGen::Generated> Terms;
+
+  Fixture() {
+    lcalc::TermGen Gen(L, 77);
+    for (int I = 0; I != 256; ++I)
+      Terms.push_back(Gen.generate());
+  }
+};
+
+Fixture &fixture() {
+  static Fixture F;
+  return F;
+}
+
+void BM_CompileToANF(benchmark::State &State) {
+  Fixture &F = fixture();
+  size_t I = 0;
+  for (auto _ : State) {
+    Result<const mcalc::Term *> T =
+        F.Comp.compileClosed(F.Terms[I++ % F.Terms.size()].E);
+    benchmark::DoNotOptimize(&T);
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+
+void BM_CompileAndRun(benchmark::State &State) {
+  Fixture &F = fixture();
+  mcalc::Machine M(F.MC);
+  size_t I = 0;
+  for (auto _ : State) {
+    Result<const mcalc::Term *> T =
+        F.Comp.compileClosed(F.Terms[I++ % F.Terms.size()].E);
+    if (T) {
+      mcalc::MachineResult R = M.run(*T, 100000);
+      benchmark::DoNotOptimize(R.Value);
+    }
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+
+void BM_JoinabilityOracle(benchmark::State &State) {
+  Fixture &F = fixture();
+  anf::JoinOracle Oracle(F.L, F.MC);
+  size_t I = 0;
+  for (auto _ : State) {
+    const auto &G = F.Terms[I++ % F.Terms.size()];
+    Result<const mcalc::Term *> T = F.Comp.compileClosed(G.E);
+    if (T) {
+      anf::JoinResult J = Oracle.joinable(G.Ty, *T, *T);
+      benchmark::DoNotOptimize(&J);
+    }
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+
+BENCHMARK(BM_CompileToANF);
+BENCHMARK(BM_CompileAndRun);
+BENCHMARK(BM_JoinabilityOracle);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::printf("E6 (Figure 7): ANF compilation throughput; the "
+              "Compilation/Simulation theorems are property-tested in "
+              "ctest.\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,101 @@
+//===- bench_lcalc.cpp - E4: the L calculus (Figures 2-4) -----------------===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+//
+// Throughput of the executable formal system: generating well-typed
+// terms, checking them (Figure 3), and reducing them (Figure 4). The
+// metatheory (Preservation/Progress) is tested in ctest; this measures
+// the cost of the judgments themselves.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lcalc/Eval.h"
+#include "lcalc/Gen.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+using namespace levity;
+using namespace levity::lcalc;
+
+namespace {
+
+void BM_GenerateTerms(benchmark::State &State) {
+  LContext C;
+  TermGen Gen(C, 42);
+  for (auto _ : State) {
+    TermGen::Generated G = Gen.generate();
+    benchmark::DoNotOptimize(G.E);
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+
+void BM_TypeCheck(benchmark::State &State) {
+  LContext C;
+  TypeChecker TC(C);
+  TermGen Gen(C, 43);
+  std::vector<const Expr *> Terms;
+  for (int I = 0; I != 256; ++I)
+    Terms.push_back(Gen.generate().E);
+  size_t I = 0;
+  for (auto _ : State) {
+    Result<const Type *> T = TC.typeOfClosed(Terms[I++ % Terms.size()]);
+    benchmark::DoNotOptimize(&T);
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+
+void BM_Evaluate(benchmark::State &State) {
+  LContext C;
+  Evaluator Ev(C);
+  TermGen Gen(C, 44);
+  std::vector<const Expr *> Terms;
+  for (int I = 0; I != 256; ++I)
+    Terms.push_back(Gen.generate().E);
+  size_t I = 0;
+  uint64_t Steps = 0;
+  for (auto _ : State) {
+    RunResult R = Ev.runClosed(Terms[I++ % Terms.size()], 10000);
+    Steps += R.Steps;
+    benchmark::DoNotOptimize(R.Last);
+  }
+  State.counters["L-steps/s"] = benchmark::Counter(
+      double(Steps), benchmark::Counter::kIsRate);
+  State.SetItemsProcessed(State.iterations());
+}
+
+// The type-directed application rules need the argument's kind at every
+// step; this isolates that kind query.
+void BM_KindQuery(benchmark::State &State) {
+  LContext C;
+  TypeChecker TC(C);
+  const Type *T = C.forAllRepTy(
+      C.sym("r"),
+      C.forAllTy(C.sym("a"), LKind::typeVar(C.sym("r")),
+                 C.arrowTy(C.intTy(), C.varTy(C.sym("a")))));
+  TypeEnv Env;
+  for (auto _ : State) {
+    Result<LKind> K = TC.kindOf(Env, T);
+    benchmark::DoNotOptimize(&K);
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+
+BENCHMARK(BM_GenerateTerms);
+BENCHMARK(BM_TypeCheck);
+BENCHMARK(BM_Evaluate);
+BENCHMARK(BM_KindQuery);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::printf("E4 (Figures 2-4): L judgment throughput.\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,106 @@
+//===- bench_quadrant.cpp - E2: Figure 1's boxity/levity quadrant ---------===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+//
+// Regenerates Figure 1 from the Rep algebra (the classification is
+// computed, not drawn), and benchmarks kind-to-convention derivation —
+// the operation a code generator performs at every binder.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rep/CallingConv.h"
+#include "rep/Rep.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+using namespace levity;
+
+namespace {
+
+void printFigure1() {
+  RepContext RC;
+  struct Entry {
+    const char *Name;
+    const Rep *R;
+  };
+  const Entry Catalog[] = {
+      {"Int", RC.lifted()},          {"Bool", RC.lifted()},
+      {"ByteArray#", RC.unlifted()}, {"Int#", RC.intRep()},
+      {"Char#", RC.wordRep()},       {"Double#", RC.doubleRep()},
+      {"(# Int, Int #)", RC.tuple({RC.lifted(), RC.lifted()})},
+      {"(# #)", RC.unitTuple()},
+  };
+
+  std::printf("E2 (Figure 1): boxity and levity, computed from Rep:\n\n");
+  std::printf("%-18s %-8s %-10s %s\n", "type", "boxed?", "lifted?",
+              "registers");
+  for (const Entry &E : Catalog) {
+    std::vector<RegClass> Regs = E.R->registers();
+    std::string RegStr = "[";
+    for (size_t I = 0; I != Regs.size(); ++I) {
+      if (I)
+        RegStr += ",";
+      RegStr += regClassName(Regs[I]);
+    }
+    RegStr += "]";
+    std::printf("%-18s %-8s %-10s %s\n", E.Name,
+                E.R->isBoxed() ? "yes" : "no",
+                E.R->isLifted() ? "yes" : "no", RegStr.c_str());
+  }
+  std::printf("\nlifted+unboxed corner: uninhabited by construction "
+              "(every Rep constructor is boxed or unlifted).\n\n");
+}
+
+void BM_FlattenRegisters(benchmark::State &State) {
+  RepContext RC;
+  const Rep *Nested = RC.tuple(
+      {RC.lifted(), RC.tuple({RC.intRep(), RC.doubleRep()}), RC.wordRep()});
+  std::vector<RegClass> Out;
+  for (auto _ : State) {
+    Out.clear();
+    Nested->flattenRegisters(Out);
+    benchmark::DoNotOptimize(Out.data());
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+
+void BM_ComputeCallingConv(benchmark::State &State) {
+  RepContext RC;
+  const Rep *Args[] = {RC.lifted(), RC.intRep(),
+                       RC.tuple({RC.lifted(), RC.doubleRep()})};
+  for (auto _ : State) {
+    CallingConv CC = CallingConv::compute(Args, RC.intRep());
+    benchmark::DoNotOptimize(&CC);
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+
+void BM_SameConventionCheck(benchmark::State &State) {
+  RepContext RC;
+  const Rep *Nested =
+      RC.tuple({RC.lifted(), RC.tuple({RC.lifted(), RC.lifted()})});
+  const Rep *Flat = RC.tuple({RC.lifted(), RC.lifted(), RC.lifted()});
+  for (auto _ : State) {
+    bool Same = Nested->sameConvention(Flat);
+    benchmark::DoNotOptimize(Same);
+  }
+}
+
+BENCHMARK(BM_FlattenRegisters);
+BENCHMARK(BM_ComputeCallingConv);
+BENCHMARK(BM_SameConventionCheck);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printFigure1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,149 @@
+//===- bench_sumto.cpp - E1: Section 2.1's boxed vs unboxed loop ----------===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+//
+// Regenerates the paper's Section 2.1 claim: "10,000,000 iterations
+// executes in less than 0.01s when using unboxed Ints, but takes more
+// [than] 2s when using boxed integers."
+//
+// Two levels:
+//   * Interp/...   — the instrumented abstract machine running the
+//     elaborated sumTo/sumTo#; counters show the per-iteration heap
+//     traffic that explains the gap (2 thunks + 2 boxes vs 0).
+//   * Native/...   — natively-lowered equivalents of what the code
+//     generator would emit: a register loop vs a heap-box-and-thunk
+//     loop, at the paper's 10M iterations.
+//
+// Expected shape: unboxed beats boxed by 1–2 orders of magnitude at both
+// levels; the machine counters are deterministic.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Interp.h"
+#include "runtime/Samples.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+using namespace levity;
+using namespace levity::runtime;
+
+namespace {
+
+struct Fixture {
+  core::CoreContext C;
+  Interp I{C};
+  Fixture() { I.loadProgram(buildSampleProgram(C)); }
+};
+
+Fixture &fixture() {
+  static Fixture F;
+  return F;
+}
+
+void BM_InterpBoxed(benchmark::State &State) {
+  Fixture &F = fixture();
+  int64_t N = State.range(0);
+  uint64_t Heap = 0, Iters = 0;
+  for (auto _ : State) {
+    InterpResult R = F.I.eval(callSumToBoxed(F.C, N));
+    benchmark::DoNotOptimize(R.V);
+    Heap = R.Stats.heapAllocations();
+    ++Iters;
+  }
+  State.SetItemsProcessed(int64_t(Iters) * N);
+  State.counters["heap-allocs/loop"] = double(Heap);
+  State.counters["heap-allocs/iter"] = double(Heap) / double(N);
+}
+
+void BM_InterpUnboxed(benchmark::State &State) {
+  Fixture &F = fixture();
+  int64_t N = State.range(0);
+  uint64_t Heap = 0, Iters = 0;
+  for (auto _ : State) {
+    InterpResult R = F.I.eval(callSumToUnboxed(F.C, N));
+    benchmark::DoNotOptimize(R.V);
+    Heap = R.Stats.ThunkAllocs + R.Stats.BoxAllocs;
+    ++Iters;
+  }
+  State.SetItemsProcessed(int64_t(Iters) * N);
+  State.counters["heap-allocs/loop"] = double(Heap);
+}
+
+void BM_InterpUnboxedDouble(benchmark::State &State) {
+  Fixture &F = fixture();
+  int64_t N = State.range(0);
+  for (auto _ : State) {
+    InterpResult R = F.I.eval(callSumToDouble(F.C, double(N)));
+    benchmark::DoNotOptimize(R.V);
+  }
+  State.SetItemsProcessed(State.iterations() * N);
+}
+
+//===--------------------------------------------------------------------===//
+// Natively-lowered equivalents (what compiled code does).
+//===--------------------------------------------------------------------===//
+
+// The unboxed loop: accumulator and counter live in registers. This is
+// the "essentially the same code as if we had written it in C".
+void BM_NativeUnboxed(benchmark::State &State) {
+  int64_t N = State.range(0);
+  for (auto _ : State) {
+    int64_t Acc = 0;
+    for (int64_t I = N; I != 0; --I)
+      Acc += I;
+    benchmark::DoNotOptimize(Acc);
+  }
+  State.SetItemsProcessed(State.iterations() * N);
+}
+
+// The boxed loop: every intermediate is a fresh heap cell behind a
+// pointer, and the loop forces a thunk per iteration (simulated with an
+// indirect call through a stored closure state).
+struct BoxedInt {
+  int64_t Tag; // descriptor word
+  int64_t Value;
+};
+
+void BM_NativeBoxed(benchmark::State &State) {
+  int64_t N = State.range(0);
+  for (auto _ : State) {
+    std::unique_ptr<BoxedInt> Acc(new BoxedInt{1, 0});
+    std::unique_ptr<BoxedInt> Cnt(new BoxedInt{1, N});
+    while (true) {
+      // Force the counter thunk: pointer chase + tag test.
+      benchmark::DoNotOptimize(Cnt->Tag);
+      if (Cnt->Value == 0)
+        break;
+      // Allocate result boxes for acc+n and n-1 (two heap cells), as
+      // the thunk-per-argument compilation does.
+      Acc.reset(new BoxedInt{1, Acc->Value + Cnt->Value});
+      Cnt.reset(new BoxedInt{1, Cnt->Value - 1});
+    }
+    benchmark::DoNotOptimize(Acc->Value);
+  }
+  State.SetItemsProcessed(State.iterations() * N);
+}
+
+BENCHMARK(BM_InterpBoxed)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_InterpUnboxed)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_InterpUnboxedDouble)->Arg(10000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_NativeUnboxed)->Arg(10000000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_NativeBoxed)->Arg(10000000)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::printf("E1 (Section 2.1): sumTo boxed vs unboxed.\n"
+              "Expected shape: unboxed >> boxed at both the abstract-"
+              "machine and native levels;\nboxed allocates ~4 heap "
+              "objects per iteration, unboxed allocates none.\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,17 @@
+//===- class_catalog.cpp - Print the Section 8.1 analysis table -----------===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "classlib/Analysis.h"
+
+#include <cstdio>
+
+int main() {
+  levity::classlib::AnalysisReport R =
+      levity::classlib::runClassAnalysis();
+  std::printf("%s", levity::classlib::formatReport(R).c_str());
+  return R.NumClasses == 0 ? 1 : 0;
+}

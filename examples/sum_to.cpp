@@ -1,0 +1,81 @@
+//===- sum_to.cpp - Section 2.1's boxed vs unboxed loop, end to end -------===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+//
+// Runs the paper's sumTo at both representations through the full
+// pipeline and prints the machine-cost ledger: the boxed loop's thunks
+// and boxes versus the unboxed loop's zero heap traffic.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Interp.h"
+#include "surface/Elaborate.h"
+#include "surface/Parser.h"
+
+#include <chrono>
+#include <cstdio>
+
+using namespace levity;
+
+int main() {
+  const char *Source =
+      "sumTo :: Int -> Int -> Int ;"
+      "sumTo acc n = case n of {"
+      "  0 -> acc ;"
+      "  _ -> sumTo (acc + n) (n - 1)"
+      "} ;"
+      "sumToH :: Int# -> Int# -> Int# ;"
+      "sumToH acc n = case n of {"
+      "  0# -> acc ;"
+      "  _  -> sumToH (acc +# n) (n -# 1#)"
+      "} ;"
+      "boxed = sumTo 0 20000 ;"
+      "unboxed = sumToH 0# 20000#";
+
+  core::CoreContext C;
+  DiagnosticEngine Diags;
+  surface::Elaborator Elab(C, Diags);
+  surface::Lexer L(Source, Diags);
+  surface::Parser P(L.lexAll(), Diags);
+  std::optional<surface::ElabOutput> Out = Elab.run(P.parseModule());
+  if (!Out) {
+    std::printf("compilation failed:\n%s", Diags.str().c_str());
+    return 1;
+  }
+  runtime::Interp I(C);
+  I.loadProgram(Out->Program);
+
+  auto Run = [&](const char *Name) {
+    auto Start = std::chrono::steady_clock::now();
+    runtime::InterpResult R = I.eval(C.var(C.sym(Name)));
+    auto End = std::chrono::steady_clock::now();
+    double Ms =
+        std::chrono::duration<double, std::milli>(End - Start).count();
+    std::printf("%-8s = %-12s  %8.2f ms  thunks=%-8llu boxes=%-8llu "
+                "forces=%-8llu heap-total=%llu\n",
+                Name, I.show(R.V).c_str(), Ms,
+                (unsigned long long)R.Stats.ThunkAllocs,
+                (unsigned long long)R.Stats.BoxAllocs,
+                (unsigned long long)R.Stats.ThunkForces,
+                (unsigned long long)R.Stats.heapAllocations());
+    return R.Stats;
+  };
+
+  std::printf("== sumTo over 20000 iterations (Section 2.1) ==\n\n");
+  runtime::InterpStats Boxed = Run("boxed");
+  runtime::InterpStats Unboxed = Run("unboxed");
+
+  std::printf("\nThe boxed loop allocates %llu heap objects; the unboxed "
+              "loop allocates %llu.\n",
+              (unsigned long long)(Boxed.ThunkAllocs + Boxed.BoxAllocs),
+              (unsigned long long)(Unboxed.ThunkAllocs +
+                                   Unboxed.BoxAllocs));
+  std::printf("That gap is the paper's \"enormous\" performance "
+              "difference — see bench/bench_sumto for the\n"
+              "native-lowered comparison reproducing the 10M-iteration "
+              "numbers.\n");
+  return 0;
+}

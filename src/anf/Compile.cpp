@@ -1,0 +1,157 @@
+//===- Compile.cpp - Compilation of L into M (Figure 7) -------------------===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "anf/Compile.h"
+
+using namespace levity;
+using namespace levity::anf;
+using lcalc::Expr;
+using lcalc::LKind;
+using lcalc::TypeEnv;
+using mcalc::MVar;
+using mcalc::Term;
+
+Result<const Term *> Compiler::compile(TypeEnv &Env, const Expr *E) {
+  switch (E->kind()) {
+  case Expr::ExprKind::Var: {
+    // C_VAR: x ↦ y ∈ V.
+    const auto *V = lcalc::cast<lcalc::VarExpr>(E);
+    auto It = VarMap.find(V->name());
+    if (It == VarMap.end())
+      return err("unbound variable in compilation: " +
+                 std::string(V->name().str()));
+    return MC.var(It->second);
+  }
+
+  case Expr::ExprKind::IntLit:
+    // C_INTLIT.
+    return MC.lit(lcalc::cast<lcalc::IntLitExpr>(E)->value());
+
+  case Expr::ExprKind::Error:
+    // C_ERROR.
+    return MC.error();
+
+  case Expr::ExprKind::App: {
+    // C_APPLAZY / C_APPINT: the argument's *kind* selects let vs let!.
+    const auto *A = lcalc::cast<lcalc::AppExpr>(E);
+    Result<const lcalc::Type *> ArgTy = TC.typeOf(Env, A->arg());
+    if (!ArgTy)
+      return err("untypeable argument: " + ArgTy.error());
+    Result<LKind> K = TC.kindOf(Env, *ArgTy);
+    if (!K)
+      return err(K.error());
+    if (!K->isConcrete())
+      return err("cannot compile levity-polymorphic argument of type " +
+                 (*ArgTy)->str() + " :: " + K->str());
+
+    Result<const Term *> Fn = compile(Env, A->fn());
+    if (!Fn)
+      return Fn;
+    Result<const Term *> Arg = compile(Env, A->arg());
+    if (!Arg)
+      return Arg;
+
+    if (K->rep().rep() == lcalc::ConcreteRep::P) {
+      // C_APPLAZY: ⟦e1 e2⟧ = let p = t2 in t1 p.
+      MVar P = MC.freshPtr();
+      return MC.let(P, *Arg, MC.appVar(*Fn, P));
+    }
+    // C_APPINT: ⟦e1 e2⟧ = let! i = t2 in t1 i.
+    MVar I = MC.freshInt();
+    return MC.letBang(I, *Arg, MC.appVar(*Fn, I));
+  }
+
+  case Expr::ExprKind::Lam: {
+    // C_LAMPTR / C_LAMINT: the binder's kind selects the register sort.
+    const auto *L = lcalc::cast<lcalc::LamExpr>(E);
+    Result<LKind> K = TC.kindOf(Env, L->varType());
+    if (!K)
+      return err(K.error());
+    if (!K->isConcrete())
+      return err("cannot compile levity-polymorphic binder " +
+                 std::string(L->var().str()) + " : " +
+                 L->varType()->str() + " :: " + K->str());
+
+    MVar Y = K->rep().rep() == lcalc::ConcreteRep::P ? MC.freshPtr()
+                                                     : MC.freshInt();
+    auto Saved = VarMap.find(L->var());
+    std::optional<MVar> Shadowed;
+    if (Saved != VarMap.end())
+      Shadowed = Saved->second;
+    VarMap[L->var()] = Y;
+    Env.pushTerm(L->var(), L->varType());
+    Result<const Term *> Body = compile(Env, L->body());
+    Env.popTerm();
+    if (Shadowed)
+      VarMap[L->var()] = *Shadowed;
+    else
+      VarMap.erase(L->var());
+    if (!Body)
+      return Body;
+    return MC.lam(Y, *Body);
+  }
+
+  case Expr::ExprKind::Con: {
+    // C_CON: ⟦I#[e]⟧ = let! i = t in I#[i] — constructors are strict.
+    const auto *C = lcalc::cast<lcalc::ConExpr>(E);
+    Result<const Term *> Payload = compile(Env, C->payload());
+    if (!Payload)
+      return Payload;
+    MVar I = MC.freshInt();
+    return MC.letBang(I, *Payload, MC.conVar(I));
+  }
+
+  case Expr::ExprKind::Case: {
+    // C_CASE.
+    const auto *C = lcalc::cast<lcalc::CaseExpr>(E);
+    Result<const Term *> Scrut = compile(Env, C->scrut());
+    if (!Scrut)
+      return Scrut;
+    MVar I = MC.freshInt();
+    auto Saved = VarMap.find(C->binder());
+    std::optional<MVar> Shadowed;
+    if (Saved != VarMap.end())
+      Shadowed = Saved->second;
+    VarMap[C->binder()] = I;
+    Env.pushTerm(C->binder(), LC.intHashTy());
+    Result<const Term *> Body = compile(Env, C->body());
+    Env.popTerm();
+    if (Shadowed)
+      VarMap[C->binder()] = *Shadowed;
+    else
+      VarMap.erase(C->binder());
+    if (!Body)
+      return Body;
+    return MC.caseOf(*Scrut, I, *Body);
+  }
+
+  case Expr::ExprKind::TyLam: {
+    // C_TLAM: erased; the context still needs the binding for kinding.
+    const auto *L = lcalc::cast<lcalc::TyLamExpr>(E);
+    Env.pushTypeVar(L->var(), L->varKind());
+    Result<const Term *> Body = compile(Env, L->body());
+    Env.popTypeVar();
+    return Body;
+  }
+  case Expr::ExprKind::TyApp:
+    // C_TAPP: erased.
+    return compile(Env, lcalc::cast<lcalc::TyAppExpr>(E)->fn());
+  case Expr::ExprKind::RepLam: {
+    // C_RLAM: erased.
+    const auto *L = lcalc::cast<lcalc::RepLamExpr>(E);
+    Env.pushRepVar(L->repVar());
+    Result<const Term *> Body = compile(Env, L->body());
+    Env.popRepVar();
+    return Body;
+  }
+  case Expr::ExprKind::RepApp:
+    // C_RAPP: erased.
+    return compile(Env, lcalc::cast<lcalc::RepAppExpr>(E)->fn());
+  }
+  assert(false && "unknown expr kind");
+  return err("unknown expr kind");
+}

@@ -1,0 +1,156 @@
+//===- Joinability.cpp - Observational equivalence of M terms -------------===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "anf/Joinability.h"
+#include "lcalc/Subst.h"
+
+using namespace levity;
+using namespace levity::anf;
+using lcalc::LKind;
+using lcalc::Type;
+using mcalc::MachineOutcome;
+using mcalc::MachineResult;
+using mcalc::MVar;
+using mcalc::Term;
+
+const Type *JoinOracle::instantiate(const Type *Ty) {
+  for (;;) {
+    if (const auto *F = lcalc::dyn_cast<lcalc::ForAllType>(Ty)) {
+      // Canonical instantiation: Int at TYPE P, Int# at TYPE I. A
+      // rep-variable kind can only appear under an uninstantiated ∀r,
+      // which instantiate() rewrites first (P), so this is exhaustive.
+      const Type *Arg = nullptr;
+      if (F->varKind() == LKind::typePtr())
+        Arg = LC.intTy();
+      else if (F->varKind() == LKind::typeInt())
+        Arg = LC.intHashTy();
+      else
+        return Ty; // ∀α:TYPE r with r free — caller gives up.
+      Ty = lcalc::substTypeInType(LC, F->body(), F->var(), Arg);
+      continue;
+    }
+    if (const auto *F = lcalc::dyn_cast<lcalc::ForAllRepType>(Ty)) {
+      Ty = lcalc::substRepInType(LC, F->body(), F->repVar(),
+                                 lcalc::RuntimeRep::pointer());
+      continue;
+    }
+    return Ty;
+  }
+}
+
+const Term *JoinOracle::canonicalValue(const Type *Ty) {
+  Ty = instantiate(Ty);
+  switch (Ty->kind()) {
+  case Type::TypeKind::Int:
+    return MC.conLit(17);
+  case Type::TypeKind::IntHash:
+    return MC.lit(17);
+  case Type::TypeKind::Arrow: {
+    const auto *A = lcalc::cast<lcalc::ArrowType>(Ty);
+    const Term *Result = canonicalValue(A->result());
+    if (!Result)
+      return nullptr;
+    // Parameter sort from the parameter type's top-level shape.
+    const Type *Param = instantiate(A->param());
+    MVar Y = lcalc::isa<lcalc::IntHashType>(Param) ? MC.freshInt()
+                                                   : MC.freshPtr();
+    return MC.lam(Y, Result);
+  }
+  default:
+    return nullptr;
+  }
+}
+
+JoinResult JoinOracle::joinable(const Type *Ty, const Term *T1,
+                                const Term *T2, unsigned Depth) {
+  return joinableIn(Ty, T1, {}, T2, {}, Depth);
+}
+
+JoinResult JoinOracle::joinableIn(const Type *Ty, const Term *T1,
+                                  mcalc::HeapMap H1, const Term *T2,
+                                  mcalc::HeapMap H2, unsigned Depth) {
+  MachineResult R1 = M.runWithHeap(T1, std::move(H1));
+  MachineResult R2 = M.runWithHeap(T2, std::move(H2));
+
+  if (R1.Status == MachineOutcome::Stuck)
+    return {JoinVerdict::NotJoinable, "left term stuck: " + R1.StuckReason};
+  if (R2.Status == MachineOutcome::Stuck)
+    return {JoinVerdict::NotJoinable,
+            "right term stuck: " + R2.StuckReason};
+  if (R1.Status == MachineOutcome::OutOfFuel ||
+      R2.Status == MachineOutcome::OutOfFuel)
+    return {JoinVerdict::Unknown, "fuel exhausted"};
+
+  if (R1.Status == MachineOutcome::Bottom ||
+      R2.Status == MachineOutcome::Bottom) {
+    if (R1.Status == R2.Status)
+      return {JoinVerdict::Joinable, "both diverge"};
+    return {JoinVerdict::NotJoinable, "one side diverges, the other not"};
+  }
+
+  const Term *V1 = R1.Value;
+  const Term *V2 = R2.Value;
+  const Type *Inst = instantiate(Ty);
+
+  switch (Inst->kind()) {
+  case Type::TypeKind::IntHash: {
+    const auto *L1 = mcalc::dyn_cast<mcalc::LitTerm>(V1);
+    const auto *L2 = mcalc::dyn_cast<mcalc::LitTerm>(V2);
+    if (!L1 || !L2)
+      return {JoinVerdict::NotJoinable, "expected literals at Int#"};
+    if (L1->value() != L2->value())
+      return {JoinVerdict::NotJoinable,
+              "literals differ: " + std::to_string(L1->value()) + " vs " +
+                  std::to_string(L2->value())};
+    return {JoinVerdict::Joinable, ""};
+  }
+  case Type::TypeKind::Int: {
+    const auto *C1 = mcalc::dyn_cast<mcalc::ConLitTerm>(V1);
+    const auto *C2 = mcalc::dyn_cast<mcalc::ConLitTerm>(V2);
+    if (!C1 || !C2)
+      return {JoinVerdict::NotJoinable, "expected I#[n] at Int"};
+    if (C1->value() != C2->value())
+      return {JoinVerdict::NotJoinable,
+              "boxed values differ: " + std::to_string(C1->value()) +
+                  " vs " + std::to_string(C2->value())};
+    return {JoinVerdict::Joinable, ""};
+  }
+  case Type::TypeKind::Arrow: {
+    if (Depth == 0)
+      return {JoinVerdict::Unknown, "probe depth exhausted"};
+    const auto *A = lcalc::cast<lcalc::ArrowType>(Inst);
+    const auto *L1 = mcalc::dyn_cast<mcalc::LamTerm>(V1);
+    const auto *L2 = mcalc::dyn_cast<mcalc::LamTerm>(V2);
+    if (!L1 || !L2)
+      return {JoinVerdict::NotJoinable, "expected lambdas at arrow type"};
+
+    const Type *Param = instantiate(A->param());
+    if (lcalc::isa<lcalc::IntHashType>(Param)) {
+      // Probe with a literal in an integer register, resuming from the
+      // heaps the two values were computed in.
+      const Term *P1 = MC.appLit(V1, 23);
+      const Term *P2 = MC.appLit(V2, 23);
+      return joinableIn(A->result(), P1, std::move(R1.FinalHeap), P2,
+                        std::move(R2.FinalHeap), Depth - 1);
+    }
+    // Pointer argument: bind a canonical heap object and apply.
+    const Term *ArgVal = canonicalValue(Param);
+    if (!ArgVal)
+      return {JoinVerdict::Unknown, "no canonical probe argument for " +
+                                        Param->str()};
+    // Wrap as: let p = <canonical> in <value> p, in the original heaps.
+    MVar P = MC.freshPtr();
+    const Term *P1 = MC.let(P, ArgVal, MC.appVar(V1, P));
+    const Term *P2 = MC.let(P, ArgVal, MC.appVar(V2, P));
+    return joinableIn(A->result(), P1, std::move(R1.FinalHeap), P2,
+                      std::move(R2.FinalHeap), Depth - 1);
+  }
+  default:
+    return {JoinVerdict::Unknown,
+            "cannot observe at type " + Inst->str()};
+  }
+}

@@ -1,0 +1,83 @@
+//===- Joinability.h - Observational equivalence of M terms -----*- C++ -*-===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An executable approximation of the paper's joinability relation
+/// t₁ ⇔ t₂ (Section 6.3): two M terms are joinable when they have a common
+/// reduct for any stack and heap. Deciding that is undecidable in general;
+/// this oracle compares *observations* instead, directed by the L type of
+/// the original expression:
+///
+///   * at Int#, both must evaluate to the same literal;
+///   * at Int, both must evaluate to I#[n] with the same n;
+///   * at τ₁ → τ₂, both must evaluate to lambdas, which are probed with a
+///     canonical argument of τ₁ and compared recursively at τ₂;
+///   * at ∀-types, the quantifier is instantiated canonically (erasure
+///     means the compiled term does not change);
+///   * ⊥ agrees only with ⊥.
+///
+/// Probing depth is bounded; when the oracle cannot decide it reports
+/// Unknown rather than guessing. The Simulation property test (Section
+/// 6.3's theorem) drives this oracle over compiled reduction sequences.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LEVITY_ANF_JOINABILITY_H
+#define LEVITY_ANF_JOINABILITY_H
+
+#include "lcalc/Syntax.h"
+#include "mcalc/Machine.h"
+
+#include <string>
+
+namespace levity {
+namespace anf {
+
+enum class JoinVerdict : uint8_t {
+  Joinable,    ///< All observations agreed.
+  NotJoinable, ///< Some observation differed (simulation failure).
+  Unknown      ///< Ran out of probe depth/fuel before deciding.
+};
+
+struct JoinResult {
+  JoinVerdict Verdict;
+  std::string Detail;
+};
+
+/// Observation-based joinability oracle.
+class JoinOracle {
+public:
+  JoinOracle(lcalc::LContext &LC, mcalc::MContext &MC)
+      : LC(LC), MC(MC), M(MC) {}
+
+  /// Compares \p T1 and \p T2 at L type \p Ty, probing functions at most
+  /// \p Depth levels deep.
+  JoinResult joinable(const lcalc::Type *Ty, const mcalc::Term *T1,
+                      const mcalc::Term *T2, unsigned Depth = 3);
+
+private:
+  /// As joinable(), with explicit heaps (function probes resume from the
+  /// heaps their values were computed in).
+  JoinResult joinableIn(const lcalc::Type *Ty, const mcalc::Term *T1,
+                        mcalc::HeapMap H1, const mcalc::Term *T2,
+                        mcalc::HeapMap H2, unsigned Depth);
+  /// Builds a canonical closed M value inhabiting \p Ty (for probing
+  /// function arguments); null when no canonical value is known.
+  const mcalc::Term *canonicalValue(const lcalc::Type *Ty);
+
+  /// Strips quantifiers by canonical instantiation.
+  const lcalc::Type *instantiate(const lcalc::Type *Ty);
+
+  lcalc::LContext &LC;
+  mcalc::MContext &MC;
+  mcalc::Machine M;
+};
+
+} // namespace anf
+} // namespace levity
+
+#endif // LEVITY_ANF_JOINABILITY_H

@@ -1,0 +1,113 @@
+//===- Analysis.cpp - Recomputing Section 8.1's 34-of-76 ------------------===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "classlib/Analysis.h"
+#include "classlib/Catalog.h"
+
+#include "surface/Elaborate.h"
+#include "surface/Parser.h"
+
+#include <sstream>
+
+using namespace levity;
+using namespace levity::classlib;
+using namespace levity::surface;
+
+AnalysisReport classlib::runClassAnalysis() {
+  AnalysisReport Report;
+
+  core::CoreContext C;
+  DiagnosticEngine Diags;
+  Elaborator Elab(C, Diags);
+
+  // Load the supporting data types and the class declarations.
+  std::string Source =
+      std::string(preludeSource()) + std::string(catalogSource());
+  Lexer L(Source, Diags);
+  Parser P(L.lexAll(), Diags);
+  SModule M = P.parseModule();
+  std::optional<ElabOutput> Out = Elab.run(M);
+  if (!Out) {
+    Report.Log = "catalog failed to elaborate:\n" + Diags.str();
+    return Report;
+  }
+
+  // Analyze each class declaration against the catalog metadata.
+  const std::vector<CatalogEntry> &Entries = catalogEntries();
+  for (const SDecl &D : M.Decls) {
+    if (D.T != SDecl::Tag::Class)
+      continue;
+    ClassVerdict V;
+    V.Name = D.Class.Name;
+    for (const CatalogEntry &E : Entries)
+      if (E.Name == D.Class.Name) {
+        V.Module = std::string(E.Module);
+        V.FromBootLibrary = E.FromBootLibrary;
+      }
+    size_t DiagMark = Diags.size();
+    Elaborator::GeneralizabilityResult R = Elab.analyzeClass(D.Class);
+    Diags.truncate(DiagMark); // analysis probes are not user errors
+    V.ValueKinded = R.ValueKinded;
+    V.Generalizable = R.Generalizable;
+    V.Reason = R.Reason;
+    if (!V.ValueKinded)
+      ++Report.NumConstructorClasses;
+    if (V.Generalizable)
+      ++Report.NumGeneralizable;
+    Report.Verdicts.push_back(std::move(V));
+  }
+  Report.NumClasses = Report.Verdicts.size();
+
+  // The six generalized functions: elaborate and record their types.
+  {
+    core::CoreContext C2;
+    DiagnosticEngine D2;
+    Elaborator E2(C2, D2);
+    Lexer L2(generalizedFunctionsSource(), D2);
+    Parser P2(L2.lexAll(), D2);
+    SModule M2 = P2.parseModule();
+    std::optional<ElabOutput> Out2 = E2.run(M2);
+    if (!Out2) {
+      Report.Log += "generalized functions failed:\n" + D2.str();
+    } else {
+      const char *Names[] = {"errorWithoutStackTrace", "undefined",
+                             "oneShot", "runRW", "dollarAgain",
+                             "errorAgain"};
+      for (const char *N : Names)
+        if (const core::Type *T = E2.globalType(N))
+          Report.GeneralizedFunctions.push_back({N, T->str()});
+    }
+  }
+
+  return Report;
+}
+
+std::string classlib::formatReport(const AnalysisReport &R) {
+  std::ostringstream OS;
+  OS << "=== Section 8.1: levity-generalizable classes ===\n";
+  OS << "class                     verdict      reason\n";
+  OS << "------------------------- ------------ ------------------------\n";
+  for (const ClassVerdict &V : R.Verdicts) {
+    std::string Verdict = !V.ValueKinded ? "ctor-class"
+                          : V.Generalizable ? "GENERALIZE"
+                                            : "keep Type";
+    OS << V.Name;
+    for (size_t I = V.Name.size(); I < 26; ++I)
+      OS << ' ';
+    OS << Verdict;
+    for (size_t I = Verdict.size(); I < 13; ++I)
+      OS << ' ';
+    OS << (V.Generalizable ? std::string(V.Module) : V.Reason) << "\n";
+  }
+  OS << "\nTotals: " << R.NumGeneralizable << " of " << R.NumClasses
+     << " classes levity-generalizable (paper reports 34 of 76); "
+     << R.NumConstructorClasses << " constructor classes.\n";
+  OS << "\n=== Section 8.1: already-generalized functions ===\n";
+  for (const auto &[Name, Ty] : R.GeneralizedFunctions)
+    OS << "  " << Name << " :: " << Ty << "\n";
+  return OS.str();
+}

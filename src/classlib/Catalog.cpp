@@ -1,0 +1,333 @@
+//===- Catalog.cpp - The base/ghc-prim class catalog (Section 8.1) --------===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "classlib/Catalog.h"
+
+using namespace levity;
+using namespace levity::classlib;
+
+std::string_view classlib::preludeSource() {
+  return R"(
+-- Opaque/supporting types for the catalog signatures. `data T a` with no
+-- constructors declares an abstract lifted type.
+data Integer ;
+data Word ;
+data Char ;
+data Float ;
+data Ordering = LT | EQ | GT ;
+data Rational ;
+data IO a ;
+data Ptr a ;
+data FunPtr a ;
+data Maybe a = Nothing | Just a ;
+data Either a b = Left a | Right b ;
+data NonEmpty a ;
+data Proxy a ;
+data SomeException ;
+data TypeRep ;
+data Constr ;
+data DataType ;
+data ShowS ;
+data ReadS a ;
+data ReadPrec a ;
+data FieldFormatter ;
+data ModifierParser ;
+data Handle ;
+data IOBuffer ;
+data BufferState ;
+data DeviceType ;
+data SeekMode ;
+data Put ;
+data Get a ;
+data Q a ;
+data Exp ;
+data Doc ;
+data GRep a ;
+)";
+}
+
+std::string_view classlib::catalogSource() {
+  // One declaration per class; minimal-complete-definition method sets.
+  // Constructor classes carry explicit arrow kinds.
+  return R"(
+-- ghc-prim / GHC.Classes ------------------------------------------------
+class Eq a where { (==) :: a -> a -> Bool } ;
+class Eq a => Ord a where { compare :: a -> a -> Ordering } ;
+class Coercible a where { coerce :: a -> b } ;
+class IP a where { ip :: a } ;
+
+-- Prelude numeric tower --------------------------------------------------
+class Num a where {
+  (+) :: a -> a -> a ; (-) :: a -> a -> a ; (*) :: a -> a -> a ;
+  negate :: a -> a ; abs :: a -> a ; signum :: a -> a ;
+  fromInteger :: Integer -> a } ;
+class Real a where { toRational :: a -> Rational } ;
+class Integral a where {
+  quotRem :: a -> a -> (a, a) ; toInteger :: a -> Integer } ;
+class Fractional a where {
+  fromRational :: Rational -> a ; recip :: a -> a } ;
+class Floating a where {
+  pi :: a ; exp :: a -> a ; log :: a -> a ; sin :: a -> a ;
+  cos :: a -> a ; asin :: a -> a ; acos :: a -> a ; atan :: a -> a ;
+  sinh :: a -> a ; cosh :: a -> a ; asinh :: a -> a ; acosh :: a -> a ;
+  atanh :: a -> a } ;
+class RealFrac a where { properFraction :: a -> (b, a) } ;
+class RealFloat a where {
+  floatRadix :: a -> Integer ; floatDigits :: a -> Int ;
+  floatRange :: a -> (Int, Int) ; decodeFloat :: a -> (Integer, Int) ;
+  encodeFloat :: Integer -> Int -> a ; isNaN :: a -> Bool ;
+  isInfinite :: a -> Bool ; isDenormalized :: a -> Bool ;
+  isNegativeZero :: a -> Bool ; isIEEE :: a -> Bool } ;
+
+-- Enum / Bounded ---------------------------------------------------------
+class Enum a where { toEnum :: Int -> a ; fromEnum :: a -> Int } ;
+class Bounded a where { minBound :: a ; maxBound :: a } ;
+
+-- Semigroup / Monoid (base 4.9) -------------------------------------------
+class Semigroup a where { (<>) :: a -> a -> a } ;
+class Monoid a where { mempty :: a ; mappend :: a -> a -> a } ;
+
+-- Show / Read --------------------------------------------------------------
+class Show a where { showsPrec :: Int -> a -> ShowS } ;
+class Read a where { readsPrec :: Int -> ReadS a } ;
+
+-- Constructor classes ------------------------------------------------------
+class Functor (f :: Type -> Type) where {
+  fmap :: (a -> b) -> f a -> f b } ;
+class Applicative (f :: Type -> Type) where {
+  pure :: a -> f a ; (<*>) :: f (a -> b) -> f a -> f b } ;
+class Monad (m :: Type -> Type) where {
+  return :: a -> m a ; (>>=) :: m a -> (a -> m b) -> m b } ;
+class MonadFail (m :: Type -> Type) where { fail :: String -> m a } ;
+class MonadFix (m :: Type -> Type) where { mfix :: (a -> m a) -> m a } ;
+class MonadZip (m :: Type -> Type) where {
+  mzip :: m a -> m b -> m (Pair a b) } ;
+class MonadIO (m :: Type -> Type) where { liftIO :: IO a -> m a } ;
+class Alternative (f :: Type -> Type) where {
+  empty :: f a ; (<|>) :: f a -> f a -> f a } ;
+class MonadPlus (m :: Type -> Type) where {
+  mzero :: m a ; mplus :: m a -> m a -> m a } ;
+class Foldable (t :: Type -> Type) where {
+  foldr :: (a -> b -> b) -> b -> t a -> b } ;
+class Traversable (t :: Type -> Type) where {
+  traverse :: (a -> IO b) -> t a -> IO (t b) } ;
+
+-- Data.Functor.Classes (base 4.9) ------------------------------------------
+class Eq1 (f :: Type -> Type) where {
+  liftEq :: (a -> b -> Bool) -> f a -> f b -> Bool } ;
+class Ord1 (f :: Type -> Type) where {
+  liftCompare :: (a -> b -> Ordering) -> f a -> f b -> Ordering } ;
+class Show1 (f :: Type -> Type) where {
+  liftShowsPrec :: (Int -> a -> ShowS) -> Int -> f a -> ShowS } ;
+class Read1 (f :: Type -> Type) where {
+  liftReadsPrec :: (Int -> ReadS a) -> Int -> ReadS (f a) } ;
+class Eq2 (f :: Type -> Type -> Type) where {
+  liftEq2 :: (a -> b -> Bool) -> (c -> d -> Bool) -> f a c -> f b d -> Bool } ;
+class Ord2 (f :: Type -> Type -> Type) where {
+  liftCompare2 :: (a -> b -> Ordering) -> (c -> d -> Ordering) -> f a c -> f b d -> Ordering } ;
+class Show2 (f :: Type -> Type -> Type) where {
+  liftShowsPrec2 :: (Int -> a -> ShowS) -> (Int -> b -> ShowS) -> Int -> f a b -> ShowS } ;
+class Read2 (f :: Type -> Type -> Type) where {
+  liftReadsPrec2 :: (Int -> ReadS a) -> (Int -> ReadS b) -> Int -> ReadS (f a b) } ;
+
+-- Arrows and categories ------------------------------------------------------
+class Category (cat :: Type -> Type -> Type) where {
+  id :: cat a a ; (.) :: cat b c -> cat a b -> cat a c } ;
+class Arrow (a :: Type -> Type -> Type) where {
+  arr :: (b -> c) -> a b c ; first :: a b c -> a (Pair b d) (Pair c d) } ;
+class ArrowZero (a :: Type -> Type -> Type) where { zeroArrow :: a b c } ;
+class ArrowPlus (a :: Type -> Type -> Type) where {
+  (<+>) :: a b c -> a b c -> a b c } ;
+class ArrowChoice (a :: Type -> Type -> Type) where {
+  left :: a b c -> a (Either b d) (Either c d) } ;
+class ArrowApply (a :: Type -> Type -> Type) where {
+  app :: a (Pair (a b c) b) c } ;
+class ArrowLoop (a :: Type -> Type -> Type) where {
+  loop :: a (Pair b d) (Pair c d) -> a b c } ;
+class Bifunctor (p :: Type -> Type -> Type) where {
+  bimap :: (a -> b) -> (c -> d) -> p a c -> p b d } ;
+
+-- Indexing, bits, storage ------------------------------------------------------
+class Ix a where {
+  range :: (a, a) -> [a] ; index :: (a, a) -> a -> Int ;
+  inRange :: (a, a) -> a -> Bool } ;
+class Bits a where {
+  (.&.) :: a -> a -> a ; (.|.) :: a -> a -> a ; xor :: a -> a -> a ;
+  complement :: a -> a ; shift :: a -> Int -> a ; rotate :: a -> Int -> a ;
+  bitSize :: a -> Int ; isSigned :: a -> Bool ; testBit :: a -> Int -> Bool ;
+  bit :: Int -> a ; popCount :: a -> Int } ;
+class FiniteBits a where { finiteBitSize :: a -> Int } ;
+class Storable a where {
+  sizeOf :: a -> Int ; alignment :: a -> Int ;
+  peek :: Ptr a -> IO a ; poke :: Ptr a -> a -> IO Unit } ;
+
+-- Strings, lists, labels ---------------------------------------------------------
+class IsString a where { fromString :: String -> a } ;
+class IsList a where { fromList :: [b] -> a ; toList :: a -> [b] } ;
+class IsLabel a where { fromLabel :: a } ;
+
+-- Exceptions ----------------------------------------------------------------------
+class Exception a where {
+  toException :: a -> SomeException ;
+  fromException :: SomeException -> Maybe a } ;
+
+-- Reflection / generics ---------------------------------------------------------------
+class Typeable a where { typeRep :: Proxy a -> TypeRep } ;
+class Data a where {
+  toConstr :: a -> Constr ; dataTypeOf :: a -> DataType ;
+  gunfold :: Constr -> Maybe a } ;
+class Generic a where { from :: a -> GRep a ; to :: GRep a -> a } ;
+class Generic1 (f :: Type -> Type) where {
+  from1 :: f a -> GRep (f a) } ;
+class Datatype a where { datatypeName :: Proxy a -> String } ;
+class Constructor a where { conName :: Proxy a -> String } ;
+class Selector a where { selName :: Proxy a -> String } ;
+class KnownNat a where { natVal :: Proxy a -> Integer } ;
+class KnownSymbol a where { symbolVal :: Proxy a -> String } ;
+class TestEquality (f :: Type -> Type) where {
+  testEquality :: f a -> f b -> Maybe Bool } ;
+class TestCoercion (f :: Type -> Type) where {
+  testCoercion :: f a -> f b -> Maybe Bool } ;
+
+-- Printf -----------------------------------------------------------------------------
+class PrintfType a where { spr :: String -> a } ;
+class HPrintfType a where { hspr :: Handle -> String -> a } ;
+class PrintfArg a where { formatArg :: a -> FieldFormatter ;
+                          parseFormat :: a -> ModifierParser } ;
+class IsChar a where { toChar :: a -> Char ; fromChar :: Char -> a } ;
+
+-- Fixed-point resolution ----------------------------------------------------------------
+class HasResolution a where { resolution :: Proxy a -> Integer } ;
+
+-- GHC.IO.Device / BufferedIO (base-internal, exported) -------------------------------------
+class IODevice a where {
+  ready :: a -> Bool -> Int -> IO Bool ; close :: a -> IO Unit ;
+  devType :: a -> IO DeviceType } ;
+class RawIO a where {
+  read :: a -> Int -> IO Int ; write :: a -> Int -> IO Unit } ;
+class BufferedIO a where {
+  newBuffer :: a -> BufferState -> IO IOBuffer ;
+  fillReadBuffer :: a -> IOBuffer -> IO IOBuffer } ;
+
+-- Boot-library stand-ins (see Catalog.h: exact base/ghc-prim roster of the
+-- paper's 76 was not recoverable; these ship with GHC) ---------------------------------------
+class NFData a where { rnf :: a -> Unit } ;
+class MonadTrans (t :: (Type -> Type) -> Type -> Type) where {
+  lift :: IO a -> t IO a } ;
+class Binary a where { put :: a -> Put ; get :: Get a } ;
+class Lift a where { liftQ :: a -> Q Exp } ;
+class Ppr a where { ppr :: a -> Doc } ;
+)";
+}
+
+const std::vector<CatalogEntry> &classlib::catalogEntries() {
+  static const std::vector<CatalogEntry> Entries = {
+      {"Eq", "GHC.Classes", false},
+      {"Ord", "GHC.Classes", false},
+      {"Coercible", "GHC.Types (magic)", false},
+      {"IP", "GHC.Classes", false},
+      {"Num", "GHC.Num", false},
+      {"Real", "GHC.Real", false},
+      {"Integral", "GHC.Real", false},
+      {"Fractional", "GHC.Real", false},
+      {"Floating", "GHC.Float", false},
+      {"RealFrac", "GHC.Real", false},
+      {"RealFloat", "GHC.Float", false},
+      {"Enum", "GHC.Enum", false},
+      {"Bounded", "GHC.Enum", false},
+      {"Semigroup", "Data.Semigroup", false},
+      {"Monoid", "GHC.Base", false},
+      {"Show", "GHC.Show", false},
+      {"Read", "GHC.Read", false},
+      {"Functor", "GHC.Base", false},
+      {"Applicative", "GHC.Base", false},
+      {"Monad", "GHC.Base", false},
+      {"MonadFail", "Control.Monad.Fail", false},
+      {"MonadFix", "Control.Monad.Fix", false},
+      {"MonadZip", "Control.Monad.Zip", false},
+      {"MonadIO", "Control.Monad.IO.Class", false},
+      {"Alternative", "GHC.Base", false},
+      {"MonadPlus", "GHC.Base", false},
+      {"Foldable", "Data.Foldable", false},
+      {"Traversable", "Data.Traversable", false},
+      {"Eq1", "Data.Functor.Classes", false},
+      {"Ord1", "Data.Functor.Classes", false},
+      {"Show1", "Data.Functor.Classes", false},
+      {"Read1", "Data.Functor.Classes", false},
+      {"Eq2", "Data.Functor.Classes", false},
+      {"Ord2", "Data.Functor.Classes", false},
+      {"Show2", "Data.Functor.Classes", false},
+      {"Read2", "Data.Functor.Classes", false},
+      {"Category", "Control.Category", false},
+      {"Arrow", "Control.Arrow", false},
+      {"ArrowZero", "Control.Arrow", false},
+      {"ArrowPlus", "Control.Arrow", false},
+      {"ArrowChoice", "Control.Arrow", false},
+      {"ArrowApply", "Control.Arrow", false},
+      {"ArrowLoop", "Control.Arrow", false},
+      {"Bifunctor", "Data.Bifunctor", false},
+      {"Ix", "GHC.Arr", false},
+      {"Bits", "Data.Bits", false},
+      {"FiniteBits", "Data.Bits", false},
+      {"Storable", "Foreign.Storable", false},
+      {"IsString", "Data.String", false},
+      {"IsList", "GHC.Exts", false},
+      {"IsLabel", "GHC.OverloadedLabels", false},
+      {"Exception", "Control.Exception", false},
+      {"Typeable", "Data.Typeable", false},
+      {"Data", "Data.Data", false},
+      {"Generic", "GHC.Generics", false},
+      {"Generic1", "GHC.Generics", false},
+      {"Datatype", "GHC.Generics", false},
+      {"Constructor", "GHC.Generics", false},
+      {"Selector", "GHC.Generics", false},
+      {"KnownNat", "GHC.TypeLits", false},
+      {"KnownSymbol", "GHC.TypeLits", false},
+      {"TestEquality", "Data.Type.Equality", false},
+      {"TestCoercion", "Data.Type.Coercion", false},
+      {"PrintfType", "Text.Printf", false},
+      {"HPrintfType", "Text.Printf", false},
+      {"PrintfArg", "Text.Printf", false},
+      {"IsChar", "Text.Printf", false},
+      {"HasResolution", "Data.Fixed", false},
+      {"IODevice", "GHC.IO.Device", false},
+      {"RawIO", "GHC.IO.Device", false},
+      {"BufferedIO", "GHC.IO.BufferedIO", false},
+      {"NFData", "Control.DeepSeq (boot)", true},
+      {"MonadTrans", "Control.Monad.Trans.Class (boot)", true},
+      {"Binary", "Data.Binary (boot)", true},
+      {"Lift", "Language.Haskell.TH.Syntax (boot)", true},
+      {"Ppr", "Language.Haskell.TH.Ppr (boot)", true},
+  };
+  return Entries;
+}
+
+std::string_view classlib::generalizedFunctionsSource() {
+  // Section 8.1's six functions, with their levity-polymorphic
+  // signatures declared (checked, not inferred — Section 5.2). `error`
+  // and ($) are builtins; the wrappers re-state their generalized types.
+  // runRW uses Unit in place of State# RealWorld.
+  return R"(
+errorWithoutStackTrace :: forall r (a :: TYPE r). String -> a ;
+errorWithoutStackTrace s = error s ;
+
+undefined :: forall r (a :: TYPE r). a ;
+undefined = error "Prelude.undefined" ;
+
+oneShot :: forall r1 r2 (a :: TYPE r1) (b :: TYPE r2). (a -> b) -> a -> b ;
+oneShot f = f ;
+
+runRW :: forall r (o :: TYPE r). (Unit -> o) -> o ;
+runRW f = f Unit ;
+
+dollarAgain :: forall r (a :: Type) (b :: TYPE r). (a -> b) -> a -> b ;
+dollarAgain f x = f $ x ;
+
+errorAgain :: forall r (a :: TYPE r). String -> a ;
+errorAgain s = error s ;
+)";
+}

@@ -1,0 +1,57 @@
+//===- Catalog.h - The base/ghc-prim class catalog (Section 8.1) -*- C++ -*-===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A machine-readable reconstruction of the 76 type classes of GHC 8.0's
+/// `base` and `ghc-prim` (plus boot libraries where the exact roster of
+/// the paper's count was not recoverable — marked in the entries), in the
+/// surface language. Section 8.1 reports that 34 of the 76 can be
+/// levity-generalized; classlib recomputes that split with the Section
+/// 5.2 kind-inference machinery instead of transcribing it.
+///
+/// Method sets are *minimal complete definitions*: methods with default
+/// implementations in base are omitted, following the generalization
+/// methodology of GHC ticket #12708 (defaulted methods would move out of
+/// the class or be re-implemented; they do not gate generalizability).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LEVITY_CLASSLIB_CATALOG_H
+#define LEVITY_CLASSLIB_CATALOG_H
+
+#include <string_view>
+#include <vector>
+
+namespace levity {
+namespace classlib {
+
+/// Supporting (mostly opaque) data types the signatures mention.
+std::string_view preludeSource();
+
+/// The class catalog, as one surface-language module.
+std::string_view catalogSource();
+
+/// Per-class metadata.
+struct CatalogEntry {
+  std::string_view Name;
+  std::string_view Module;  ///< Where it lives in base/ghc-prim/boot.
+  bool FromBootLibrary;     ///< true = boot-library stand-in (see file
+                            ///< comment), not base/ghc-prim proper.
+};
+
+const std::vector<CatalogEntry> &catalogEntries();
+
+/// The six already-generalized functions of Section 8.1, as a surface
+/// module whose signatures declare levity polymorphism: error,
+/// errorWithoutStackTrace, undefined (⊥), oneShot, runRW (our State#-free
+/// analogue), and ($) (builtin; re-exported wrapper here).
+std::string_view generalizedFunctionsSource();
+
+} // namespace classlib
+} // namespace levity
+
+#endif // LEVITY_CLASSLIB_CATALOG_H

@@ -1,0 +1,131 @@
+//===- Kind.h - Kinds with runtime-representation payloads ------*- C++ -*-===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The kind language of Section 4, generalizing L's two-point kind system
+/// to the full design GHC 8 shipped:
+///
+/// \code
+///   ρ (RepTy) ::= r | ν | LiftedRep | UnliftedRep | IntRep | ...
+///               | TupleRep [ρ...] | SumRep [ρ...]
+///   κ (Kind)  ::= TYPE ρ | Rep | κ₁ → κ₂
+/// \endcode
+///
+/// `TYPE :: Rep -> Type` is the only primitive; `Type` is the synonym
+/// `TYPE LiftedRep` (CoreContext::typeKind()). Rep variables are ordinary
+/// type variables of kind `Rep` (the promoted data type), and rep
+/// *metavariables* (ν) are the unification variables that Section 5.2's
+/// inference story introduces — they are defaulted to LiftedRep, never
+/// generalized.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LEVITY_CORE_KIND_H
+#define LEVITY_CORE_KIND_H
+
+#include "rep/Rep.h"
+#include "support/Arena.h"
+#include "support/Symbol.h"
+
+#include <cassert>
+#include <string>
+
+namespace levity {
+namespace core {
+
+/// ρ — a (possibly open) runtime-representation type. Concrete reps
+/// correspond 1:1 to rep::Rep values; variables and metavariables make the
+/// algebra open for levity polymorphism and inference.
+class RepTy {
+public:
+  enum class Tag : uint8_t {
+    Var,  ///< A rep variable r (bound by a ∀ of kind Rep).
+    Meta, ///< A unification variable ν (Section 5.2).
+    Atom, ///< LiftedRep, UnliftedRep, IntRep, ... (non-compound).
+    Tuple,///< TupleRep '[ρ...].
+    Sum   ///< SumRep '[ρ...].
+  };
+
+  Tag tag() const { return T; }
+
+  Symbol varName() const {
+    assert(T == Tag::Var);
+    return Name;
+  }
+  uint32_t metaId() const {
+    assert(T == Tag::Meta);
+    return Id;
+  }
+  RepCtor atom() const {
+    assert(T == Tag::Atom);
+    return Ctor;
+  }
+  std::span<const RepTy *const> elems() const {
+    assert(T == Tag::Tuple || T == Tag::Sum);
+    return Elems;
+  }
+
+  std::string str() const;
+
+private:
+  friend class CoreContext;
+  RepTy(Tag T, Symbol Name, uint32_t Id, RepCtor Ctor,
+        std::span<const RepTy *const> Elems)
+      : T(T), Name(Name), Id(Id), Ctor(Ctor), Elems(Elems) {}
+
+  Tag T;
+  Symbol Name;
+  uint32_t Id = 0;
+  RepCtor Ctor = RepCtor::Lifted;
+  std::span<const RepTy *const> Elems;
+};
+
+/// κ — a kind.
+class Kind {
+public:
+  enum class Tag : uint8_t {
+    TypeOf, ///< TYPE ρ — the kind of types that classify values.
+    Rep,    ///< The kind of runtime representations (r :: Rep).
+    Arrow   ///< κ₁ → κ₂ — type constructors.
+  };
+
+  Tag tag() const { return T; }
+
+  const RepTy *rep() const {
+    assert(T == Tag::TypeOf);
+    return R;
+  }
+  const Kind *param() const {
+    assert(T == Tag::Arrow);
+    return Param;
+  }
+  const Kind *result() const {
+    assert(T == Tag::Arrow);
+    return Result;
+  }
+
+  bool isTypeOf() const { return T == Tag::TypeOf; }
+  bool isRep() const { return T == Tag::Rep; }
+  bool isArrow() const { return T == Tag::Arrow; }
+
+  std::string str() const;
+
+private:
+  friend class CoreContext;
+  Kind(Tag T, const RepTy *R, const Kind *Param, const Kind *Result)
+      : T(T), R(R), Param(Param), Result(Result) {}
+
+  Tag T;
+  const RepTy *R;
+  const Kind *Param;
+  const Kind *Result;
+};
+
+} // namespace core
+} // namespace levity
+
+#endif // LEVITY_CORE_KIND_H

@@ -1,0 +1,181 @@
+//===- LevityCheck.cpp - The Section 5.1 restrictions as a pass -----------===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/LevityCheck.h"
+
+using namespace levity;
+using namespace levity::core;
+
+bool LevityChecker::check(CoreEnv &Env, const Expr *E) {
+  size_t Before = Diags.numErrors();
+  walk(Env, E);
+  return Diags.numErrors() == Before;
+}
+
+void LevityChecker::checkBinder(CoreEnv &Env, Symbol Var,
+                                const Type *VarTy) {
+  Result<const Kind *> K = Checker.kindOf(Env, VarTy);
+  if (!K) {
+    Diags.error(DiagCode::Internal,
+                "cannot kind binder type: " + K.error());
+    return;
+  }
+  if (!Checker.isConcreteValueKind(*K))
+    Diags.error(DiagCode::LevityPolymorphicBinder,
+                "levity-polymorphic binder: " + std::string(Var.str()) +
+                    " :: " + C.zonkType(VarTy)->str() + " has kind " +
+                    C.zonkKind(*K)->str() +
+                    ", which does not determine a representation");
+}
+
+void LevityChecker::checkArgument(CoreEnv &Env, const Expr *Arg) {
+  Result<const Type *> T = Checker.typeOf(Env, Arg);
+  if (!T) {
+    Diags.error(DiagCode::Internal,
+                "cannot type application argument: " + T.error());
+    return;
+  }
+  Result<const Kind *> K = Checker.kindOf(Env, *T);
+  if (!K) {
+    Diags.error(DiagCode::Internal,
+                "cannot kind argument type: " + K.error());
+    return;
+  }
+  if (!Checker.isConcreteValueKind(*K))
+    Diags.error(DiagCode::LevityPolymorphicArgument,
+                "levity-polymorphic function argument: " + Arg->str() +
+                    " :: " + C.zonkType(*T)->str() + " has kind " +
+                    C.zonkKind(*K)->str() +
+                    ", which does not determine a calling convention");
+}
+
+void LevityChecker::walk(CoreEnv &Env, const Expr *E) {
+  switch (E->tag()) {
+  case Expr::Tag::Var:
+  case Expr::Tag::Lit:
+    return;
+  case Expr::Tag::App: {
+    const auto *A = cast<AppExpr>(E);
+    walk(Env, A->fn());
+    checkArgument(Env, A->arg());
+    walk(Env, A->arg());
+    return;
+  }
+  case Expr::Tag::TyApp:
+    walk(Env, cast<TyAppExpr>(E)->fn());
+    return;
+  case Expr::Tag::Lam: {
+    const auto *L = cast<LamExpr>(E);
+    checkBinder(Env, L->var(), L->varType());
+    Env.pushTerm(L->var(), L->varType());
+    walk(Env, L->body());
+    Env.popTerm();
+    return;
+  }
+  case Expr::Tag::TyLam: {
+    const auto *L = cast<TyLamExpr>(E);
+    Env.pushTypeVar(L->var(), L->varKind());
+    walk(Env, L->body());
+    Env.popTypeVar();
+    return;
+  }
+  case Expr::Tag::Let: {
+    const auto *L = cast<LetExpr>(E);
+    checkBinder(Env, L->var(), L->varType());
+    walk(Env, L->rhs());
+    Env.pushTerm(L->var(), L->varType());
+    walk(Env, L->body());
+    Env.popTerm();
+    return;
+  }
+  case Expr::Tag::LetRec: {
+    const auto *L = cast<LetRecExpr>(E);
+    for (const RecBinding &B : L->bindings()) {
+      checkBinder(Env, B.Var, B.VarTy);
+      Env.pushTerm(B.Var, B.VarTy);
+    }
+    for (const RecBinding &B : L->bindings())
+      walk(Env, B.Rhs);
+    walk(Env, L->body());
+    Env.popTerms(L->bindings().size());
+    return;
+  }
+  case Expr::Tag::Case: {
+    const auto *Cs = cast<CaseExpr>(E);
+    walk(Env, Cs->scrut());
+    Result<const Type *> ScrutTy = Checker.typeOf(Env, Cs->scrut());
+    for (const Alt &A : Cs->alts()) {
+      size_t Pushed = 0;
+      if (A.Kind == Alt::AltKind::ConPat && ScrutTy) {
+        const Type *Head = C.zonkType(*ScrutTy);
+        std::vector<const Type *> TyArgs;
+        while (const auto *App = dyn_cast<AppType>(Head)) {
+          TyArgs.insert(TyArgs.begin(), App->arg());
+          Head = App->fn();
+        }
+        for (size_t I = 0; I != A.Binders.size(); ++I) {
+          const Type *FieldTy = A.Con->fields()[I];
+          for (size_t U = 0; U != A.Con->univs().size() &&
+                             U != TyArgs.size();
+               ++U)
+            FieldTy = substType(C, FieldTy, A.Con->univs()[U], TyArgs[U]);
+          checkBinder(Env, A.Binders[I], FieldTy);
+          Env.pushTerm(A.Binders[I], FieldTy);
+          ++Pushed;
+        }
+      } else if (A.Kind == Alt::AltKind::TuplePat && ScrutTy) {
+        if (const auto *UT =
+                dyn_cast<UnboxedTupleType>(C.zonkType(*ScrutTy))) {
+          for (size_t I = 0; I != A.Binders.size() &&
+                             I != UT->elems().size();
+               ++I) {
+            checkBinder(Env, A.Binders[I], UT->elems()[I]);
+            Env.pushTerm(A.Binders[I], UT->elems()[I]);
+            ++Pushed;
+          }
+        }
+      }
+      walk(Env, A.Rhs);
+      Env.popTerms(Pushed);
+    }
+    return;
+  }
+  case Expr::Tag::Con: {
+    // Constructor arguments are stored in the constructed value: they are
+    // "moves" too, and their fields' kinds are concrete by construction
+    // of the datatype; still check the argument expressions recursively.
+    const auto *Con = cast<ConExpr>(E);
+    for (const Expr *A : Con->args()) {
+      checkArgument(Env, A);
+      walk(Env, A);
+    }
+    return;
+  }
+  case Expr::Tag::Prim: {
+    const auto *P = cast<PrimOpExpr>(E);
+    for (const Expr *A : P->args()) {
+      checkArgument(Env, A);
+      walk(Env, A);
+    }
+    return;
+  }
+  case Expr::Tag::UnboxedTuple: {
+    const auto *U = cast<UnboxedTupleExpr>(E);
+    for (const Expr *El : U->elems()) {
+      checkArgument(Env, El);
+      walk(Env, El);
+    }
+    return;
+  }
+  case Expr::Tag::Error:
+    // error's *result* may be levity-polymorphic — that is the whole
+    // point (Section 3.3); only its message argument is a value move,
+    // and String is concrete.
+    walk(Env, cast<ErrorExpr>(E)->message());
+    return;
+  }
+}

@@ -1,0 +1,59 @@
+//===- LevityCheck.h - The Section 5.1 restrictions as a pass ---*- C++ -*-===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two levity-polymorphism restrictions of Section 5.1, as a
+/// standalone pass over core:
+///
+///   1. *No levity-polymorphic binders.* Every bound term variable must
+///      have a type whose kind is TYPE ρ with ρ fully concrete.
+///   2. *No levity-polymorphic function arguments.* Every application
+///      argument likewise.
+///
+/// GHC runs this check in the desugarer, after type inference has solved
+/// all unification variables (Section 8.2 explains why: the checks need
+/// zonked types, and the type checker cannot run them early). This pass
+/// plays that role: it zonks as it walks and reports failures through a
+/// DiagnosticEngine with dedicated codes so callers can distinguish the
+/// two restrictions (e.g. the abs1/abs2 pair of Section 7.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LEVITY_CORE_LEVITYCHECK_H
+#define LEVITY_CORE_LEVITYCHECK_H
+
+#include "core/TypeCheck.h"
+#include "support/Diagnostics.h"
+
+namespace levity {
+namespace core {
+
+/// Checks the Section 5.1 restrictions over a core expression. Reports
+/// all violations (not just the first).
+class LevityChecker {
+public:
+  LevityChecker(CoreContext &C, DiagnosticEngine &Diags)
+      : C(C), Checker(C), Diags(Diags) {}
+
+  /// Walks \p E, emitting LevityPolymorphicBinder /
+  /// LevityPolymorphicArgument diagnostics. \returns true if clean.
+  bool check(CoreEnv &Env, const Expr *E);
+
+private:
+  void checkBinder(CoreEnv &Env, Symbol Var, const Type *VarTy);
+  void checkArgument(CoreEnv &Env, const Expr *Arg);
+  void walk(CoreEnv &Env, const Expr *E);
+
+  CoreContext &C;
+  CoreChecker Checker;
+  DiagnosticEngine &Diags;
+};
+
+} // namespace core
+} // namespace levity
+
+#endif // LEVITY_CORE_LEVITYCHECK_H

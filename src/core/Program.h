@@ -1,0 +1,45 @@
+//===- Program.h - Top-level core programs ----------------------*- C++ -*-===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A core program: an ordered set of mutually recursive top-level
+/// bindings (the output of surface elaboration, the input of the levity
+/// checker and the interpreter).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LEVITY_CORE_PROGRAM_H
+#define LEVITY_CORE_PROGRAM_H
+
+#include "core/Expr.h"
+
+#include <vector>
+
+namespace levity {
+namespace core {
+
+struct TopBinding {
+  Symbol Name;
+  const Type *Ty;
+  const Expr *Rhs;
+};
+
+struct CoreProgram {
+  std::vector<TopBinding> Bindings;
+
+  const TopBinding *find(Symbol Name) const {
+    for (const TopBinding &B : Bindings)
+      if (B.Name == Name)
+        return &B;
+    return nullptr;
+  }
+};
+
+} // namespace core
+} // namespace levity
+
+#endif // LEVITY_CORE_PROGRAM_H

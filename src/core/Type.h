@@ -1,0 +1,252 @@
+//===- Type.h - Core types with rep-polymorphic kinds -----------*- C++ -*-===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The type language of the generalized core IR (the pipeline's analogue
+/// of GHC Core restricted to what the paper's claims need):
+///
+/// \code
+///   τ ::= T | τ₁ τ₂ | τ₁ → τ₂ | a | μ | ∀a:κ. τ | (# τ, ..., τ #) | 'ρ
+/// \endcode
+///
+/// `'ρ` embeds a RepTy as a *type of kind Rep* (the DataKinds promotion of
+/// Section 4.1); ∀ binds type variables of any kind, so `∀(r::Rep). …` is
+/// levity polymorphism with no new quantifier form. Unboxed tuples are a
+/// dedicated constructor whose kind computes a TupleRep from the field
+/// kinds (Section 4.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LEVITY_CORE_TYPE_H
+#define LEVITY_CORE_TYPE_H
+
+#include "core/Kind.h"
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace levity {
+namespace core {
+
+class TyCon;
+class DataCon;
+
+/// τ — a core type.
+class Type {
+public:
+  enum class Tag : uint8_t {
+    Con,          ///< A type constructor reference T (unapplied).
+    App,          ///< τ₁ τ₂ (constructor or variable application).
+    Fun,          ///< τ₁ → τ₂; kind TYPE LiftedRep regardless of sides.
+    Var,          ///< A type variable a (its kind is carried inline).
+    Meta,         ///< A type unification variable μ.
+    ForAll,       ///< ∀a:κ. τ.
+    UnboxedTuple, ///< (# τ, ..., τ #).
+    RepLift       ///< 'ρ — a RepTy used as a type of kind Rep.
+  };
+
+  Tag tag() const { return T; }
+  std::string str() const;
+
+protected:
+  explicit Type(Tag T) : T(T) {}
+
+private:
+  Tag T;
+};
+
+class ConType : public Type {
+public:
+  explicit ConType(const TyCon *Con) : Type(Tag::Con), Con(Con) {}
+
+  const TyCon *tycon() const { return Con; }
+
+  static bool classof(const Type *T) { return T->tag() == Tag::Con; }
+
+private:
+  const TyCon *Con;
+};
+
+class AppType : public Type {
+public:
+  AppType(const Type *Fn, const Type *Arg)
+      : Type(Tag::App), Fn(Fn), Arg(Arg) {}
+
+  const Type *fn() const { return Fn; }
+  const Type *arg() const { return Arg; }
+
+  static bool classof(const Type *T) { return T->tag() == Tag::App; }
+
+private:
+  const Type *Fn;
+  const Type *Arg;
+};
+
+class FunType : public Type {
+public:
+  FunType(const Type *Param, const Type *Result)
+      : Type(Tag::Fun), Param(Param), Result(Result) {}
+
+  const Type *param() const { return Param; }
+  const Type *result() const { return Result; }
+
+  static bool classof(const Type *T) { return T->tag() == Tag::Fun; }
+
+private:
+  const Type *Param;
+  const Type *Result;
+};
+
+class VarType : public Type {
+public:
+  VarType(Symbol Name, const Kind *K) : Type(Tag::Var), Name(Name), K(K) {}
+
+  Symbol name() const { return Name; }
+  const Kind *kind() const { return K; }
+
+  static bool classof(const Type *T) { return T->tag() == Tag::Var; }
+
+private:
+  Symbol Name;
+  const Kind *K;
+};
+
+/// A type metavariable; its solution/kind live in the inference engine's
+/// meta store (infer/Unify.h).
+class MetaType : public Type {
+public:
+  explicit MetaType(uint32_t Id) : Type(Tag::Meta), Id(Id) {}
+
+  uint32_t id() const { return Id; }
+
+  static bool classof(const Type *T) { return T->tag() == Tag::Meta; }
+
+private:
+  uint32_t Id;
+};
+
+class ForAllType : public Type {
+public:
+  ForAllType(Symbol Var, const Kind *VarKind, const Type *Body)
+      : Type(Tag::ForAll), Var(Var), VarKind(VarKind), Body(Body) {}
+
+  Symbol var() const { return Var; }
+  const Kind *varKind() const { return VarKind; }
+  const Type *body() const { return Body; }
+
+  static bool classof(const Type *T) { return T->tag() == Tag::ForAll; }
+
+private:
+  Symbol Var;
+  const Kind *VarKind;
+  const Type *Body;
+};
+
+class UnboxedTupleType : public Type {
+public:
+  explicit UnboxedTupleType(std::span<const Type *const> Elems)
+      : Type(Tag::UnboxedTuple), Elems(Elems) {}
+
+  std::span<const Type *const> elems() const { return Elems; }
+
+  static bool classof(const Type *T) {
+    return T->tag() == Tag::UnboxedTuple;
+  }
+
+private:
+  std::span<const Type *const> Elems;
+};
+
+/// 'ρ — a rep promoted to the type level (kind Rep).
+class RepLiftType : public Type {
+public:
+  explicit RepLiftType(const RepTy *R) : Type(Tag::RepLift), R(R) {}
+
+  const RepTy *rep() const { return R; }
+
+  static bool classof(const Type *T) { return T->tag() == Tag::RepLift; }
+
+private:
+  const RepTy *R;
+};
+
+template <typename To, typename From> bool isa(const From *Node) {
+  return To::classof(Node);
+}
+
+template <typename To, typename From> const To *cast(const From *Node) {
+  assert(isa<To>(Node) && "cast to incompatible node kind");
+  return static_cast<const To *>(Node);
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Node) {
+  return isa<To>(Node) ? static_cast<const To *>(Node) : nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Type constructors and data constructors
+//===----------------------------------------------------------------------===//
+
+/// A type constructor: name, kind, and (for algebraic types) data
+/// constructors. The *representation* of a saturated application is
+/// ResultRep: LiftedRep for ordinary data, a primitive rep for builtin
+/// unboxed types (Int# :: TYPE IntRep).
+class TyCon {
+public:
+  TyCon(Symbol Name, const Kind *K, const RepTy *ResultRep)
+      : Name(Name), K(K), ResultRep(ResultRep) {}
+
+  Symbol name() const { return Name; }
+  const Kind *kind() const { return K; }
+  const RepTy *resultRep() const { return ResultRep; }
+
+  const std::vector<const DataCon *> &dataCons() const { return DataCons; }
+  void addDataCon(const DataCon *DC) { DataCons.push_back(DC); }
+
+  /// \returns true if this tycon has value constructors (algebraic).
+  bool isAlgebraic() const { return !DataCons.empty(); }
+
+private:
+  Symbol Name;
+  const Kind *K;
+  const RepTy *ResultRep;
+  std::vector<const DataCon *> DataCons;
+};
+
+/// A data constructor, e.g. I# :: Int# -> Int. Universals are the parent
+/// tycon's parameters; field types may mention them.
+class DataCon {
+public:
+  DataCon(Symbol Name, const TyCon *Parent, std::vector<Symbol> Univs,
+          std::vector<const Kind *> UnivKinds,
+          std::vector<const Type *> Fields, unsigned Tag)
+      : Name(Name), Parent(Parent), Univs(std::move(Univs)),
+        UnivKinds(std::move(UnivKinds)), Fields(std::move(Fields)),
+        ConTag(Tag) {}
+
+  Symbol name() const { return Name; }
+  const TyCon *parent() const { return Parent; }
+  const std::vector<Symbol> &univs() const { return Univs; }
+  const std::vector<const Kind *> &univKinds() const { return UnivKinds; }
+  const std::vector<const Type *> &fields() const { return Fields; }
+  unsigned tag() const { return ConTag; }
+  size_t arity() const { return Fields.size(); }
+
+private:
+  Symbol Name;
+  const TyCon *Parent;
+  std::vector<Symbol> Univs;
+  std::vector<const Kind *> UnivKinds;
+  std::vector<const Type *> Fields;
+  unsigned ConTag;
+};
+
+} // namespace core
+} // namespace levity
+
+#endif // LEVITY_CORE_TYPE_H

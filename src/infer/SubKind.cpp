@@ -1,0 +1,177 @@
+//===- SubKind.cpp - The legacy OpenKind baseline (Section 3.2) -----------===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "infer/SubKind.h"
+
+using namespace levity;
+using namespace levity::infer;
+using namespace levity::core;
+
+std::string_view infer::legacyKindName(LegacyKind K) {
+  switch (K) {
+  case LegacyKind::Star:
+    return "Type";
+  case LegacyKind::Hash:
+    return "#";
+  case LegacyKind::Open:
+    return "OpenKind";
+  }
+  return "?";
+}
+
+bool infer::legacySubKind(LegacyKind Sub, LegacyKind Sup) {
+  if (Sub == Sup)
+    return true;
+  return Sup == LegacyKind::Open;
+}
+
+LegacyKind infer::legacyLub(LegacyKind A, LegacyKind B) {
+  if (A == B)
+    return A;
+  return LegacyKind::Open;
+}
+
+Result<LegacyKind> LegacyChecker::kindOf(const Type *T) {
+  T = C.zonkType(T);
+  switch (T->tag()) {
+  case Type::Tag::Con: {
+    const TyCon *TC = cast<ConType>(T)->tycon();
+    // Everything unlifted collapses into the single kind # — precisely
+    // the imprecision that blocked type families returning unlifted
+    // types (Section 7.1).
+    const RepTy *R = TC->resultRep();
+    bool Lifted = R->tag() == RepTy::Tag::Atom &&
+                  R->atom() == RepCtor::Lifted;
+    return Lifted ? LegacyKind::Star : LegacyKind::Hash;
+  }
+  case Type::Tag::Var: {
+    const auto *V = cast<VarType>(T);
+    auto It = VarKinds.find(V->name());
+    if (It != VarKinds.end())
+      return It->second;
+    // Unannotated variables default to Type, as legacy inference did.
+    return LegacyKind::Star;
+  }
+  case Type::Tag::Fun: {
+    // The saturated-arrow special case: operands may be OpenKind.
+    const auto *F = cast<FunType>(T);
+    Result<LegacyKind> PK = kindOf(F->param());
+    if (!PK)
+      return PK;
+    Result<LegacyKind> RK = kindOf(F->result());
+    if (!RK)
+      return RK;
+    if (!legacySubKind(*PK, LegacyKind::Open) ||
+        !legacySubKind(*RK, LegacyKind::Open))
+      return err("ill-kinded arrow (operands must fit OpenKind)");
+    return LegacyKind::Star;
+  }
+  case Type::Tag::App:
+    // Partial applications of (->) and friends keep the sane kind; data
+    // applications are Star. (The legacy system had no rep-indexed
+    // compound kinds at all.)
+    return LegacyKind::Star;
+  case Type::Tag::ForAll:
+    return kindOf(cast<ForAllType>(T)->body());
+  case Type::Tag::UnboxedTuple:
+    // All unboxed tuples share the one kind # — "making matters
+    // potentially even worse" (Section 7.1).
+    return LegacyKind::Hash;
+  case Type::Tag::Meta:
+    return LegacyKind::Star;
+  case Type::Tag::RepLift:
+    return err("representation types do not exist pre-levity-polymorphism");
+  }
+  return err("unknown type");
+}
+
+bool LegacyChecker::checkInstantiation(LegacyKind VarKind, const Type *Arg) {
+  Result<LegacyKind> AK = kindOf(Arg);
+  if (!AK) {
+    Diags.error(DiagCode::SubKindError, AK.error());
+    return false;
+  }
+  if (!legacySubKind(*AK, VarKind)) {
+    // The embarrassing message (OpenKind leaks to users, Section 3.2).
+    Diags.error(DiagCode::InstantiationError,
+                "cannot instantiate type variable of kind " +
+                    std::string(legacyKindName(VarKind)) + " at " +
+                    Arg->str() + " :: " +
+                    std::string(legacyKindName(*AK)) +
+                    " (expected a sub-kind; note: OpenKind admits both "
+                    "Type and #)");
+    return false;
+  }
+  return true;
+}
+
+uint32_t LegacyChecker::freshMeta(LegacyKind Bound) {
+  Metas.push_back({Bound, false, LegacyKind::Star});
+  LowerBounds.push_back(LegacyKind::Star);
+  return static_cast<uint32_t>(Metas.size() - 1);
+}
+
+bool LegacyChecker::constrainUpper(uint32_t Id, LegacyKind K) {
+  ++NumConstraints;
+  LegacyKindMeta &M = Metas[Id];
+  if (M.Solved) {
+    if (!legacySubKind(M.Solution, K)) {
+      Diags.error(DiagCode::SubKindError,
+                  "kind metavariable already solved to " +
+                      std::string(legacyKindName(M.Solution)) +
+                      ", conflicting with bound " +
+                      std::string(legacyKindName(K)));
+      return false;
+    }
+    return true;
+  }
+  // Tighten: the new bound must be compatible with the old.
+  if (M.Bound == LegacyKind::Open) {
+    M.Bound = K;
+    return true;
+  }
+  if (K == LegacyKind::Open || K == M.Bound)
+    return true;
+  Diags.error(DiagCode::SubKindError,
+              "conflicting kind bounds " +
+                  std::string(legacyKindName(M.Bound)) + " and " +
+                  std::string(legacyKindName(K)));
+  return false;
+}
+
+bool LegacyChecker::constrainLower(uint32_t Id, LegacyKind K) {
+  ++NumConstraints;
+  LegacyKindMeta &M = Metas[Id];
+  LowerBounds[Id] = legacyLub(LowerBounds[Id], K);
+  if (M.Bound != LegacyKind::Open && K != LegacyKind::Open &&
+      K != M.Bound) {
+    Diags.error(DiagCode::SubKindError,
+                "lower bound " + std::string(legacyKindName(K)) +
+                    " conflicts with upper bound " +
+                    std::string(legacyKindName(M.Bound)));
+    return false;
+  }
+  return true;
+}
+
+void LegacyChecker::defaultMetas() {
+  for (LegacyKindMeta &M : Metas) {
+    if (M.Solved)
+      continue;
+    M.Solved = true;
+    // Unconstrained (still Open) metas default to Type — exactly how
+    // myError loses error's magic (Section 3.3).
+    M.Solution = M.Bound == LegacyKind::Open ? LegacyKind::Star : M.Bound;
+  }
+}
+
+LegacyKind LegacyChecker::metaValue(uint32_t Id) const {
+  const LegacyKindMeta &M = Metas[Id];
+  return M.Solved ? M.Solution
+                  : (M.Bound == LegacyKind::Open ? LegacyKind::Star
+                                                 : M.Bound);
+}

@@ -1,0 +1,125 @@
+//===- SubKind.h - The legacy OpenKind baseline (Section 3.2) ---*- C++ -*-===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pre-levity-polymorphism design that the paper replaces: a
+/// three-point sub-kind lattice
+///
+/// \code
+///          OpenKind
+///          /      \
+///        Type      #
+/// \endcode
+///
+/// with its historical warts, implemented faithfully so the paper's
+/// complaints are demonstrable and benchmarkable (experiment E7):
+///
+///   * only *saturated* uses of (->) get the bizarre OpenKind operand
+///     kind; partial applications are Type -> Type -> Type;
+///   * `error` is special-cased at ∀(a::OpenKind). String → a, and the
+///     magic is *lost* by any wrapper (myError infers a::Type);
+///   * all unboxed types collapse into the single kind #, so nothing can
+///     distinguish Int#'s calling convention from Double#'s — the reason
+///     Section 7.1's restrictions (no unlifted type families, no
+///     unsaturated unlifted tycons) were needed;
+///   * OpenKind leaks into error messages.
+///
+/// Sub-kind inference uses bounded metavariables (a bound in the lattice
+/// that unification can only tighten), which is precisely the "awkward
+/// and unprincipled special cases" machinery the paper retired.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LEVITY_INFER_SUBKIND_H
+#define LEVITY_INFER_SUBKIND_H
+
+#include "core/CoreContext.h"
+#include "support/Diagnostics.h"
+#include "support/Result.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace levity {
+namespace infer {
+
+/// The legacy kind lattice.
+enum class LegacyKind : uint8_t {
+  Star, ///< Type: lifted, boxed types.
+  Hash, ///< #: all unlifted types, regardless of representation(!).
+  Open  ///< OpenKind: super-kind of both.
+};
+
+std::string_view legacyKindName(LegacyKind K);
+
+/// \returns true iff Sub <: Sup in the lattice.
+bool legacySubKind(LegacyKind Sub, LegacyKind Sup);
+
+/// Least upper bound (always exists: Open is top).
+LegacyKind legacyLub(LegacyKind A, LegacyKind B);
+
+/// A kind metavariable with a *bound*: unification can tighten Open to
+/// Star or Hash but never widen. This is the special-case machinery that
+/// rep metavariables replace.
+struct LegacyKindMeta {
+  LegacyKind Bound = LegacyKind::Open;
+  bool Solved = false;
+  LegacyKind Solution = LegacyKind::Star;
+};
+
+/// Legacy kind checking over core types (Int, Int#, arrows, foralls read
+/// through the legacy lattice).
+class LegacyChecker {
+public:
+  LegacyChecker(core::CoreContext &C, DiagnosticEngine &Diags)
+      : C(C), Diags(Diags) {}
+
+  /// The legacy kind of a (core) type. Type variables consult \p VarKinds.
+  Result<LegacyKind> kindOf(const core::Type *T);
+
+  /// Binds a type variable's legacy kind for subsequent kindOf queries.
+  void bindVar(Symbol Name, LegacyKind K) { VarKinds[Name] = K; }
+
+  /// The Instantiation Principle, legacy style: may a type variable of
+  /// legacy kind \p VarKind be instantiated at \p Arg? Failure produces
+  /// the infamous OpenKind-mentioning diagnostics.
+  bool checkInstantiation(LegacyKind VarKind, const core::Type *Arg);
+
+  //===------------------------------------------------------------------===//
+  // Bounded-meta solver (what sub-kind inference had to do)
+  //===------------------------------------------------------------------===//
+
+  /// Allocates a kind metavariable bounded by \p Bound.
+  uint32_t freshMeta(LegacyKind Bound = LegacyKind::Open);
+
+  /// Requires meta \p Id to be a sub-kind of \p K (tightens the bound).
+  bool constrainUpper(uint32_t Id, LegacyKind K);
+
+  /// Requires kind \p K to be a sub-kind of meta \p Id's eventual value.
+  bool constrainLower(uint32_t Id, LegacyKind K);
+
+  /// Defaults every unsolved meta: Open bounds collapse to Star (the
+  /// legacy defaulting that loses error's magic in wrappers).
+  void defaultMetas();
+
+  LegacyKind metaValue(uint32_t Id) const;
+
+  size_t numConstraints() const { return NumConstraints; }
+
+private:
+  core::CoreContext &C;
+  DiagnosticEngine &Diags;
+  std::unordered_map<Symbol, LegacyKind, SymbolHash> VarKinds;
+  std::vector<LegacyKindMeta> Metas;
+  std::vector<LegacyKind> LowerBounds;
+  size_t NumConstraints = 0;
+};
+
+} // namespace infer
+} // namespace levity
+
+#endif // LEVITY_INFER_SUBKIND_H

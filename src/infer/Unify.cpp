@@ -1,0 +1,292 @@
+//===- Unify.cpp - Unification with rep metavariables ---------------------===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "infer/Unify.h"
+
+using namespace levity;
+using namespace levity::infer;
+using namespace levity::core;
+
+bool Unifier::fail(std::string Msg, DiagCode Code) {
+  Diags.error(Code, std::move(Msg));
+  return false;
+}
+
+bool Unifier::occursInRep(uint32_t Id, const RepTy *R) {
+  R = C.zonkRep(R);
+  switch (R->tag()) {
+  case RepTy::Tag::Meta:
+    return R->metaId() == Id;
+  case RepTy::Tag::Var:
+  case RepTy::Tag::Atom:
+    return false;
+  case RepTy::Tag::Tuple:
+  case RepTy::Tag::Sum:
+    for (const RepTy *E : R->elems())
+      if (occursInRep(Id, E))
+        return true;
+    return false;
+  }
+  return false;
+}
+
+bool Unifier::occursInType(uint32_t Id, const Type *T) {
+  T = C.zonkType(T);
+  switch (T->tag()) {
+  case Type::Tag::Meta:
+    return cast<MetaType>(T)->id() == Id;
+  case Type::Tag::Con:
+  case Type::Tag::Var:
+  case Type::Tag::RepLift:
+    return false;
+  case Type::Tag::App: {
+    const auto *A = cast<AppType>(T);
+    return occursInType(Id, A->fn()) || occursInType(Id, A->arg());
+  }
+  case Type::Tag::Fun: {
+    const auto *F = cast<FunType>(T);
+    return occursInType(Id, F->param()) || occursInType(Id, F->result());
+  }
+  case Type::Tag::ForAll:
+    return occursInType(Id, cast<ForAllType>(T)->body());
+  case Type::Tag::UnboxedTuple:
+    for (const Type *E : cast<UnboxedTupleType>(T)->elems())
+      if (occursInType(Id, E))
+        return true;
+    return false;
+  }
+  return false;
+}
+
+bool Unifier::solveRepMeta(uint32_t Id, const RepTy *Solution) {
+  Solution = C.zonkRep(Solution);
+  if (Solution->tag() == RepTy::Tag::Meta && Solution->metaId() == Id)
+    return true; // ν ~ ν
+  if (occursInRep(Id, Solution))
+    return fail("occurs check: rep metavariable ν" + std::to_string(Id) +
+                    " in " + Solution->str(),
+                DiagCode::OccursCheck);
+  C.repMetaCell(Id).Solution = Solution;
+  return true;
+}
+
+bool Unifier::solveTypeMeta(uint32_t Id, const Type *Solution) {
+  Solution = C.zonkType(Solution);
+  if (const auto *M = dyn_cast<MetaType>(Solution))
+    if (M->id() == Id)
+      return true;
+  if (occursInType(Id, Solution))
+    return fail("occurs check: type metavariable μ" + std::to_string(Id) +
+                    " in " + Solution->str(),
+                DiagCode::OccursCheck);
+  // Kind preservation: the meta's kind must unify with the solution's
+  // kind. This is where α :: TYPE ν forces ν ~ the solution's rep: the
+  // Section 5.2 story where "ρ is unified with LiftedRep" when a lifted
+  // context is encountered.
+  CoreEnv Env;
+  Result<const Kind *> SK = Checker.kindOf(Env, Solution);
+  if (!SK)
+    return fail("cannot kind solution: " + SK.error(), DiagCode::KindError);
+  if (!unifyKind(C.typeMetaCell(Id).MetaKind, *SK))
+    return false;
+  C.typeMetaCell(Id).Solution = Solution;
+  return true;
+}
+
+bool Unifier::unifyRep(const RepTy *A, const RepTy *B) {
+  ++NumUnifications;
+  A = C.zonkRep(A);
+  B = C.zonkRep(B);
+  if (A->tag() == RepTy::Tag::Meta)
+    return solveRepMeta(A->metaId(), B);
+  if (B->tag() == RepTy::Tag::Meta)
+    return solveRepMeta(B->metaId(), A);
+  if (A->tag() != B->tag())
+    return fail("representation mismatch: " + A->str() + " vs " + B->str(),
+                DiagCode::KindError);
+  switch (A->tag()) {
+  case RepTy::Tag::Var:
+    if (A->varName() != B->varName())
+      return fail("rep variable mismatch: " + A->str() + " vs " + B->str(),
+                  DiagCode::KindError);
+    return true;
+  case RepTy::Tag::Atom:
+    if (A->atom() != B->atom())
+      return fail("representation mismatch: " + A->str() + " vs " +
+                      B->str(),
+                  DiagCode::KindError);
+    return true;
+  case RepTy::Tag::Tuple:
+  case RepTy::Tag::Sum: {
+    if (A->elems().size() != B->elems().size())
+      return fail("tuple representation arity mismatch: " + A->str() +
+                      " vs " + B->str(),
+                  DiagCode::KindError);
+    for (size_t I = 0; I != A->elems().size(); ++I)
+      if (!unifyRep(A->elems()[I], B->elems()[I]))
+        return false;
+    return true;
+  }
+  case RepTy::Tag::Meta:
+    break;
+  }
+  return false;
+}
+
+bool Unifier::unifyKind(const Kind *A, const Kind *B) {
+  A = C.zonkKind(A);
+  B = C.zonkKind(B);
+  if (A->tag() != B->tag())
+    return fail("kind mismatch: " + A->str() + " vs " + B->str(),
+                DiagCode::KindError);
+  switch (A->tag()) {
+  case Kind::Tag::Rep:
+    return true;
+  case Kind::Tag::TypeOf:
+    return unifyRep(A->rep(), B->rep());
+  case Kind::Tag::Arrow:
+    return unifyKind(A->param(), B->param()) &&
+           unifyKind(A->result(), B->result());
+  }
+  return false;
+}
+
+bool Unifier::unify(const Type *A, const Type *B) {
+  ++NumUnifications;
+  A = C.zonkType(A);
+  B = C.zonkType(B);
+  if (A == B)
+    return true;
+  if (const auto *M = dyn_cast<MetaType>(A))
+    return solveTypeMeta(M->id(), B);
+  if (const auto *M = dyn_cast<MetaType>(B))
+    return solveTypeMeta(M->id(), A);
+  if (A->tag() != B->tag())
+    return fail("type mismatch: " + A->str() + " vs " + B->str());
+  switch (A->tag()) {
+  case Type::Tag::Con:
+    if (cast<ConType>(A)->tycon() != cast<ConType>(B)->tycon())
+      return fail("type constructor mismatch: " + A->str() + " vs " +
+                  B->str());
+    return true;
+  case Type::Tag::Var:
+    if (cast<VarType>(A)->name() != cast<VarType>(B)->name())
+      return fail("type variable mismatch: " + A->str() + " vs " +
+                  B->str());
+    return true;
+  case Type::Tag::RepLift:
+    return unifyRep(cast<RepLiftType>(A)->rep(),
+                    cast<RepLiftType>(B)->rep());
+  case Type::Tag::App: {
+    const auto *AA = cast<AppType>(A);
+    const auto *BA = cast<AppType>(B);
+    return unify(AA->fn(), BA->fn()) && unify(AA->arg(), BA->arg());
+  }
+  case Type::Tag::Fun: {
+    const auto *AF = cast<FunType>(A);
+    const auto *BF = cast<FunType>(B);
+    return unify(AF->param(), BF->param()) &&
+           unify(AF->result(), BF->result());
+  }
+  case Type::Tag::ForAll: {
+    const auto *AF = cast<ForAllType>(A);
+    const auto *BF = cast<ForAllType>(B);
+    if (!unifyKind(AF->varKind(), BF->varKind()))
+      return false;
+    // Alpha-rename B's binder to A's and compare bodies.
+    const Type *BBody =
+        substType(C, BF->body(), BF->var(),
+                  C.varTy(AF->var(), AF->varKind()));
+    return unify(AF->body(), BBody);
+  }
+  case Type::Tag::UnboxedTuple: {
+    const auto *AU = cast<UnboxedTupleType>(A);
+    const auto *BU = cast<UnboxedTupleType>(B);
+    if (AU->elems().size() != BU->elems().size())
+      return fail("unboxed tuple arity mismatch: " + A->str() + " vs " +
+                  B->str());
+    for (size_t I = 0; I != AU->elems().size(); ++I)
+      if (!unify(AU->elems()[I], BU->elems()[I]))
+        return false;
+    return true;
+  }
+  case Type::Tag::Meta:
+    break;
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Defaulting and generalization
+//===----------------------------------------------------------------------===//
+
+const Type *infer::defaultRepMetas(CoreContext &C, const Type *T) {
+  MetaSet Metas;
+  collectMetas(C, T, Metas);
+  for (uint32_t Id : Metas.RepMetaIds)
+    if (!C.repMetaCell(Id).Solution)
+      C.repMetaCell(Id).Solution = C.liftedRep();
+  return C.zonkType(T);
+}
+
+const Type *infer::generalize(CoreContext &C, const Type *T) {
+  // Never generalize over rep metas: default them first (Section 5.2).
+  T = defaultRepMetas(C, T);
+
+  MetaSet Metas;
+  collectMetas(C, T, Metas);
+  // Deduplicate preserving first-occurrence order.
+  std::vector<uint32_t> Order;
+  for (uint32_t Id : Metas.TypeMetaIds) {
+    if (C.typeMetaCell(Id).Solution)
+      continue;
+    bool Seen = false;
+    for (uint32_t Prev : Order)
+      Seen |= (Prev == Id);
+    if (!Seen)
+      Order.push_back(Id);
+  }
+
+  // Solve each meta with a quantified variable. Candidate names only
+  // need to avoid the *free variables of T* (binding is scoped; global
+  // interning is irrelevant), so generalized types read naturally:
+  // a, b, c, ...
+  std::vector<std::pair<Symbol, const Kind *>> FreeVars;
+  freeTypeVars(T, FreeVars);
+  auto IsTaken = [&](Symbol S,
+                     const std::vector<std::pair<Symbol, const Kind *>>
+                         &Quants) {
+    for (const auto &[Name, K] : FreeVars)
+      if (Name == S)
+        return true;
+    for (const auto &[Name, K] : Quants)
+      if (Name == S)
+        return true;
+    return false;
+  };
+  static const char *Names[] = {"a", "b", "c", "d", "e", "f", "g", "h"};
+  std::vector<std::pair<Symbol, const Kind *>> Quantified;
+  unsigned NameIdx = 0;
+  for (uint32_t Id : Order) {
+    const Kind *K = C.zonkKind(C.typeMetaCell(Id).MetaKind);
+    Symbol Name;
+    do {
+      Name = NameIdx < 8
+                 ? C.sym(Names[NameIdx])
+                 : C.sym("t" + std::to_string(NameIdx - 8));
+      ++NameIdx;
+    } while (IsTaken(Name, Quantified));
+    C.typeMetaCell(Id).Solution = C.varTy(Name, K);
+    Quantified.push_back({Name, K});
+  }
+
+  const Type *Result = C.zonkType(T);
+  for (size_t I = Quantified.size(); I != 0; --I)
+    Result = C.forAllTy(Quantified[I - 1].first, Quantified[I - 1].second,
+                        Result);
+  return Result;
+}

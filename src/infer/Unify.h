@@ -1,0 +1,83 @@
+//===- Unify.h - Unification with rep metavariables (Section 5.2) -*- C++ -*-===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The inference machinery of Section 5.2. The key move of the paper:
+/// when the checker needs a type for a λ-binder it invents α :: TYPE ν
+/// (a type metavariable whose *kind* carries a rep metavariable), and rep
+/// metavariables unify with "GHC's existing unification machinery" — no
+/// sub-kinding, no special cases. That simplification over the old
+/// OpenKind story (infer/SubKind.h is the baseline) is one of the paper's
+/// selling points; bench_inference quantifies it.
+///
+/// Generalization never quantifies a rep metavariable: unconstrained νs
+/// are *defaulted to LiftedRep* (footnote 11 discusses the resulting loss
+/// of principal types). Declared levity polymorphism — a user signature
+/// with ∀(r::Rep) — is checked, not inferred.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LEVITY_INFER_UNIFY_H
+#define LEVITY_INFER_UNIFY_H
+
+#include "core/CoreContext.h"
+#include "core/TypeCheck.h"
+#include "support/Diagnostics.h"
+
+namespace levity {
+namespace infer {
+
+/// Unifies core types, kinds, and reps, writing solutions into the
+/// CoreContext's meta cells. Errors are both returned (false) and
+/// reported to the DiagnosticEngine with precise codes.
+class Unifier {
+public:
+  Unifier(core::CoreContext &C, DiagnosticEngine &Diags)
+      : C(C), Checker(C), Diags(Diags) {}
+
+  bool unify(const core::Type *A, const core::Type *B);
+  bool unifyKind(const core::Kind *A, const core::Kind *B);
+  bool unifyRep(const core::RepTy *A, const core::RepTy *B);
+
+  /// Section 5.2's recipe: a fresh type meta α :: TYPE ν with ν a fresh
+  /// rep meta.
+  const core::Type *freshOpenMeta() {
+    return C.freshTypeMeta(C.kindTYPE(C.freshRepMeta()));
+  }
+
+  size_t numUnifications() const { return NumUnifications; }
+
+private:
+  bool solveTypeMeta(uint32_t Id, const core::Type *Solution);
+  bool solveRepMeta(uint32_t Id, const core::RepTy *Solution);
+  bool occursInType(uint32_t Id, const core::Type *T);
+  bool occursInRep(uint32_t Id, const core::RepTy *R);
+  bool fail(std::string Msg, DiagCode Code = DiagCode::TypeError);
+
+  core::CoreContext &C;
+  core::CoreChecker Checker;
+  DiagnosticEngine &Diags;
+  size_t NumUnifications = 0;
+};
+
+/// Generalizes a zonked inferred type for a top-level binding:
+///   * unsolved *rep* metas are defaulted to LiftedRep (never
+///     generalized, Section 5.2);
+///   * unsolved *type* metas of value kind are quantified with fresh
+///     type variables (∀a:κ with κ now rep-concrete).
+/// \returns the closed, generalized type.
+const core::Type *generalize(core::CoreContext &C, const core::Type *T);
+
+/// Defaults every unsolved rep meta reachable from \p T to LiftedRep and
+/// returns the zonked result (generalize() calls this first).
+const core::Type *defaultRepMetas(core::CoreContext &C,
+                                  const core::Type *T);
+
+} // namespace infer
+} // namespace levity
+
+#endif // LEVITY_INFER_UNIFY_H

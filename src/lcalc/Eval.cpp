@@ -1,0 +1,204 @@
+//===- Eval.cpp - Small-step operational semantics for L (Fig 4) ----------===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lcalc/Eval.h"
+#include "lcalc/Subst.h"
+
+using namespace levity;
+using namespace levity::lcalc;
+
+StepResult Evaluator::step(TypeEnv &Env, const Expr *E) {
+  switch (E->kind()) {
+  case Expr::ExprKind::Var:
+    return {StepStatus::Stuck, nullptr, "free variable"};
+  case Expr::ExprKind::IntLit:
+  case Expr::ExprKind::Lam:
+    return {StepStatus::Value};
+  case Expr::ExprKind::Error:
+    // S_ERROR: error → ⊥.
+    return {StepStatus::Bottom, nullptr, "S_ERROR"};
+
+  case Expr::ExprKind::App: {
+    const auto *A = cast<AppExpr>(E);
+    // The application rules are type-directed: fetch the kind of the
+    // argument's type (premises Γ ⊢ e2 : τ, Γ ⊢ τ : TYPE υ).
+    Result<const Type *> ArgTy = TC.typeOf(Env, A->arg());
+    if (!ArgTy)
+      return {StepStatus::Stuck, nullptr, "ill-typed argument"};
+    Result<LKind> ArgKind = TC.kindOf(Env, *ArgTy);
+    if (!ArgKind || !ArgKind->isConcrete())
+      return {StepStatus::Stuck, nullptr, "levity-polymorphic argument"};
+
+    if (ArgKind->rep().rep() == ConcreteRep::P) {
+      // Lazy application: S_BETAPTR fires as soon as the function is a
+      // lambda; the argument is substituted unevaluated (call-by-name —
+      // M recovers sharing with its heap).
+      if (const auto *L = dyn_cast<LamExpr>(A->fn())) {
+        const Expr *Next =
+            substExprInExpr(Ctx, L->body(), L->var(), A->arg());
+        return {StepStatus::Stepped, Next, "S_BETAPTR"};
+      }
+      StepResult Fn = step(Env, A->fn());
+      if (Fn.Status == StepStatus::Stepped)
+        return {StepStatus::Stepped, Ctx.app(Fn.Next, A->arg()),
+                "S_APPLAZY"};
+      if (Fn.Status == StepStatus::Bottom)
+        return {StepStatus::Bottom, nullptr, "S_APPLAZY/⊥"};
+      return {StepStatus::Stuck, nullptr, "non-function in application"};
+    }
+
+    // Strict application (TYPE I): evaluate the argument first
+    // (S_APPSTRICT), then the function (S_APPSTRICT2), then β-reduce
+    // (S_BETAUNBOXED).
+    if (!isValue(A->arg())) {
+      StepResult Arg = step(Env, A->arg());
+      if (Arg.Status == StepStatus::Stepped)
+        return {StepStatus::Stepped, Ctx.app(A->fn(), Arg.Next),
+                "S_APPSTRICT"};
+      if (Arg.Status == StepStatus::Bottom)
+        return {StepStatus::Bottom, nullptr, "S_APPSTRICT/⊥"};
+      return {StepStatus::Stuck, nullptr, "stuck strict argument"};
+    }
+    if (const auto *L = dyn_cast<LamExpr>(A->fn())) {
+      const Expr *Next = substExprInExpr(Ctx, L->body(), L->var(), A->arg());
+      return {StepStatus::Stepped, Next, "S_BETAUNBOXED"};
+    }
+    StepResult Fn = step(Env, A->fn());
+    if (Fn.Status == StepStatus::Stepped)
+      return {StepStatus::Stepped, Ctx.app(Fn.Next, A->arg()),
+              "S_APPSTRICT2"};
+    if (Fn.Status == StepStatus::Bottom)
+      return {StepStatus::Bottom, nullptr, "S_APPSTRICT2/⊥"};
+    return {StepStatus::Stuck, nullptr, "non-function in application"};
+  }
+
+  case Expr::ExprKind::TyLam: {
+    // S_TLAM: evaluate under Λ (values are recursive under Λ).
+    const auto *L = cast<TyLamExpr>(E);
+    if (isValue(L->body()))
+      return {StepStatus::Value};
+    Env.pushTypeVar(L->var(), L->varKind());
+    StepResult Body = step(Env, L->body());
+    Env.popTypeVar();
+    if (Body.Status == StepStatus::Stepped)
+      return {StepStatus::Stepped,
+              Ctx.tyLam(L->var(), L->varKind(), Body.Next), "S_TLAM"};
+    if (Body.Status == StepStatus::Bottom)
+      return {StepStatus::Bottom, nullptr, "S_TLAM/⊥"};
+    return {StepStatus::Stuck, nullptr, "stuck under type lambda"};
+  }
+
+  case Expr::ExprKind::TyApp: {
+    const auto *A = cast<TyAppExpr>(E);
+    // S_TBETA requires the abstraction body to be a value.
+    if (const auto *L = dyn_cast<TyLamExpr>(A->fn())) {
+      if (isValue(L->body())) {
+        const Expr *Next =
+            substTypeInExpr(Ctx, L->body(), L->var(), A->tyArg());
+        return {StepStatus::Stepped, Next, "S_TBETA"};
+      }
+    }
+    StepResult Fn = step(Env, A->fn());
+    if (Fn.Status == StepStatus::Stepped)
+      return {StepStatus::Stepped, Ctx.tyApp(Fn.Next, A->tyArg()),
+              "S_TAPP"};
+    if (Fn.Status == StepStatus::Bottom)
+      return {StepStatus::Bottom, nullptr, "S_TAPP/⊥"};
+    return {StepStatus::Stuck, nullptr, "type-applying a non-Λ"};
+  }
+
+  case Expr::ExprKind::RepLam: {
+    // S_RLAM.
+    const auto *L = cast<RepLamExpr>(E);
+    if (isValue(L->body()))
+      return {StepStatus::Value};
+    Env.pushRepVar(L->repVar());
+    StepResult Body = step(Env, L->body());
+    Env.popRepVar();
+    if (Body.Status == StepStatus::Stepped)
+      return {StepStatus::Stepped, Ctx.repLam(L->repVar(), Body.Next),
+              "S_RLAM"};
+    if (Body.Status == StepStatus::Bottom)
+      return {StepStatus::Bottom, nullptr, "S_RLAM/⊥"};
+    return {StepStatus::Stuck, nullptr, "stuck under rep lambda"};
+  }
+
+  case Expr::ExprKind::RepApp: {
+    const auto *A = cast<RepAppExpr>(E);
+    // S_RBETA.
+    if (const auto *L = dyn_cast<RepLamExpr>(A->fn())) {
+      if (isValue(L->body())) {
+        const Expr *Next =
+            substRepInExpr(Ctx, L->body(), L->repVar(), A->repArg());
+        return {StepStatus::Stepped, Next, "S_RBETA"};
+      }
+    }
+    StepResult Fn = step(Env, A->fn());
+    if (Fn.Status == StepStatus::Stepped)
+      return {StepStatus::Stepped, Ctx.repApp(Fn.Next, A->repArg()),
+              "S_RAPP"};
+    if (Fn.Status == StepStatus::Bottom)
+      return {StepStatus::Bottom, nullptr, "S_RAPP/⊥"};
+    return {StepStatus::Stuck, nullptr, "rep-applying a non-Λ"};
+  }
+
+  case Expr::ExprKind::Con: {
+    // S_CON: I#[e] is strict in its payload.
+    const auto *C = cast<ConExpr>(E);
+    if (isValue(C->payload()))
+      return {StepStatus::Value};
+    StepResult P = step(Env, C->payload());
+    if (P.Status == StepStatus::Stepped)
+      return {StepStatus::Stepped, Ctx.con(P.Next), "S_CON"};
+    if (P.Status == StepStatus::Bottom)
+      return {StepStatus::Bottom, nullptr, "S_CON/⊥"};
+    return {StepStatus::Stuck, nullptr, "stuck constructor payload"};
+  }
+
+  case Expr::ExprKind::Case: {
+    const auto *C = cast<CaseExpr>(E);
+    // S_MATCH: case I#[n] of I#[x] → e2  →  e2[n/x].
+    if (const auto *Con = dyn_cast<ConExpr>(C->scrut())) {
+      if (const auto *Lit = dyn_cast<IntLitExpr>(Con->payload())) {
+        const Expr *Next =
+            substExprInExpr(Ctx, C->body(), C->binder(),
+                            Ctx.intLit(Lit->value()));
+        return {StepStatus::Stepped, Next, "S_MATCH"};
+      }
+    }
+    // S_CASE: reduce the scrutinee.
+    StepResult S = step(Env, C->scrut());
+    if (S.Status == StepStatus::Stepped)
+      return {StepStatus::Stepped,
+              Ctx.caseOf(S.Next, C->binder(), C->body()), "S_CASE"};
+    if (S.Status == StepStatus::Bottom)
+      return {StepStatus::Bottom, nullptr, "S_CASE/⊥"};
+    return {StepStatus::Stuck, nullptr, "stuck case scrutinee"};
+  }
+  }
+  assert(false && "unknown expr kind");
+  return {StepStatus::Stuck, nullptr, "unknown expr kind"};
+}
+
+RunResult Evaluator::run(TypeEnv &Env, const Expr *E, size_t MaxSteps) {
+  const Expr *Cur = E;
+  for (size_t I = 0; I != MaxSteps; ++I) {
+    StepResult R = step(Env, Cur);
+    switch (R.Status) {
+    case StepStatus::Stepped:
+      Cur = R.Next;
+      continue;
+    case StepStatus::Value:
+      return {StepStatus::Value, Cur, I};
+    case StepStatus::Bottom:
+      return {StepStatus::Bottom, Cur, I};
+    case StepStatus::Stuck:
+      return {StepStatus::Stuck, Cur, I};
+    }
+  }
+  return {StepStatus::Stepped, Cur, MaxSteps}; // out of fuel
+}

@@ -1,0 +1,77 @@
+//===- Eval.h - Small-step operational semantics for L (Fig 4) --*- C++ -*-===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 4: the type-directed small-step semantics of L. The choice
+/// between lazy (call-by-name) and strict (call-by-value) application is
+/// made by the *kind* of the argument type — S_APPLAZY/S_BETAPTR for
+/// TYPE P versus S_APPSTRICT/S_APPSTRICT2/S_BETAUNBOXED for TYPE I —
+/// which is exactly the paper's point that kinds are calling conventions.
+/// Evaluation proceeds under Λ (S_TLAM, S_RLAM) to support type erasure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LEVITY_LCALC_EVAL_H
+#define LEVITY_LCALC_EVAL_H
+
+#include "lcalc/Syntax.h"
+#include "lcalc/TypeCheck.h"
+
+#include <string_view>
+
+namespace levity {
+namespace lcalc {
+
+/// Outcome of a single step attempt.
+enum class StepStatus : uint8_t {
+  Stepped, ///< Γ ⊢ e → e'.
+  Value,   ///< e is a value; no rule applies.
+  Bottom,  ///< S_ERROR fired: the machine aborts.
+  Stuck    ///< No rule applies and e is not a value (ill-typed input).
+};
+
+struct StepResult {
+  StepStatus Status;
+  const Expr *Next = nullptr;    ///< e' when Status == Stepped.
+  std::string_view Rule = "";    ///< Name of the rule that fired.
+};
+
+/// Outcome of running to completion.
+struct RunResult {
+  StepStatus Final;  ///< Value, Bottom, or Stuck (never Stepped unless
+                     ///< fuel ran out, in which case Stepped means
+                     ///< "still reducible").
+  const Expr *Last;  ///< The last expression reached.
+  size_t Steps;      ///< Number of steps taken.
+};
+
+/// Implements Γ ⊢ e → e' (Figure 4).
+class Evaluator {
+public:
+  explicit Evaluator(LContext &Ctx) : Ctx(Ctx), TC(Ctx) {}
+
+  /// Performs one step. \p Env supplies kinds for the type-directed
+  /// application rules and is extended under Λ.
+  StepResult step(TypeEnv &Env, const Expr *E);
+
+  /// Steps repeatedly (at most \p MaxSteps) until a value, ⊥, or stuckness.
+  RunResult run(TypeEnv &Env, const Expr *E, size_t MaxSteps = 100000);
+
+  RunResult runClosed(const Expr *E, size_t MaxSteps = 100000) {
+    TypeEnv Env;
+    return run(Env, E, MaxSteps);
+  }
+
+private:
+  LContext &Ctx;
+  TypeChecker TC;
+};
+
+} // namespace lcalc
+} // namespace levity
+
+#endif // LEVITY_LCALC_EVAL_H

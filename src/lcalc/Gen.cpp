@@ -1,0 +1,235 @@
+//===- Gen.cpp - Random well-typed L terms --------------------------------===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lcalc/Gen.h"
+#include "lcalc/Subst.h"
+
+using namespace levity;
+using namespace levity::lcalc;
+
+TermGen::Generated TermGen::generate() {
+  const Type *Ty = genType(Opts.MaxDepth);
+  const Expr *E = genExpr(Ty, Opts.MaxDepth);
+  return {E, Ty};
+}
+
+const Type *TermGen::genMonoType(unsigned Depth) {
+  // Prefer base types; occasionally an arrow (arrows have kind TYPE P).
+  unsigned Choice = pick(Depth == 0 ? 2 : 4);
+  switch (Choice) {
+  case 0:
+    return Ctx.intTy();
+  case 1:
+    return Ctx.intHashTy();
+  default:
+    return Ctx.arrowTy(genMonoType(Depth - 1), genMonoType(Depth - 1));
+  }
+}
+
+const Type *TermGen::genType(unsigned Depth) {
+  if (Depth == 0)
+    return genMonoType(0);
+  unsigned Choice = pick(6);
+  if (Choice == 4) {
+    // ∀α:κ. τ over a concrete kind (so instantiation sites stay easy).
+    Symbol A = Ctx.symbols().fresh("a");
+    LKind K = coin() ? LKind::typePtr() : LKind::typeInt();
+    Env.pushTypeVar(A, K);
+    const Type *Body = genType(Depth - 1);
+    Env.popTypeVar();
+    return Ctx.forAllTy(A, K, Body);
+  }
+  if (Choice == 5 && Opts.AllowRepPoly) {
+    // ∀r. τ — τ must not have kind TYPE r (T_ALLREP); generating a body
+    // that doesn't *use* r in its own kind is easiest: a mono type or an
+    // arrow whose pieces may use r under further binders. We keep it
+    // simple: ∀r. ∀α:TYPE r. ... → α is generated via error-style shapes
+    // below; here we produce ∀r. τ with τ of kind TYPE P.
+    Symbol R = Ctx.symbols().fresh("r");
+    Env.pushRepVar(R);
+    Symbol A = Ctx.symbols().fresh("a");
+    Env.pushTypeVar(A, LKind::typeVar(R));
+    // Body is an arrow mentioning α (kind TYPE P overall).
+    const Type *Body = Ctx.arrowTy(Ctx.varTy(A), Ctx.varTy(A));
+    Env.popTypeVar();
+    Env.popRepVar();
+    return Ctx.forAllRepTy(R, Ctx.forAllTy(A, LKind::typeVar(R), Body));
+  }
+  return genMonoType(Depth);
+}
+
+const Expr *TermGen::genErrorAt(const Type *Target, unsigned Depth) {
+  // error @@ρ @τ n   where Γ ⊢ τ : TYPE ρ.
+  Result<LKind> K = TC.kindOf(Env, Target);
+  assert(K && "generated target type must be well-kinded");
+  const Expr *E = Ctx.repApp(Ctx.error(), K->rep());
+  E = Ctx.tyApp(E, Target);
+  return Ctx.app(E, genExpr(Ctx.intTy(), Depth > 0 ? Depth - 1 : 0));
+}
+
+const Expr *TermGen::genExpr(const Type *Target, unsigned Depth) {
+  // Collect variables usable at this exact type.
+  std::vector<const TermBinding *> Usable;
+  for (const TermBinding &B : Scope)
+    if (typeEqual(B.Ty, Target))
+      Usable.push_back(&B);
+
+  // Base cases when out of budget.
+  if (Depth == 0) {
+    if (!Usable.empty() && coin(0.7))
+      return Ctx.var(Usable[pick(Usable.size())]->Name);
+    switch (Target->kind()) {
+    case Type::TypeKind::IntHash:
+      return Ctx.intLit(int64_t(pick(100)));
+    case Type::TypeKind::Int:
+      return Ctx.con(Ctx.intLit(int64_t(pick(100))));
+    case Type::TypeKind::Arrow: {
+      const auto *A = cast<ArrowType>(Target);
+      // E_LAM needs a concrete binder kind; when the parameter is
+      // levity-polymorphic only `error` can inhabit the arrow.
+      Result<LKind> PK = TC.kindOf(Env, A->param());
+      if (!PK || !PK->isConcrete())
+        return genErrorAt(Target, 0);
+      Symbol X = Ctx.symbols().fresh("x");
+      Env.pushTerm(X, A->param());
+      Scope.push_back({X, A->param()});
+      const Expr *Body = genExpr(A->result(), 0);
+      Scope.pop_back();
+      Env.popTerm();
+      return Ctx.lam(X, A->param(), Body);
+    }
+    case Type::TypeKind::ForAll: {
+      const auto *F = cast<ForAllType>(Target);
+      Env.pushTypeVar(F->var(), F->varKind());
+      const Expr *Body = genExpr(F->body(), 0);
+      Env.popTypeVar();
+      return Ctx.tyLam(F->var(), F->varKind(), Body);
+    }
+    case Type::TypeKind::ForAllRep: {
+      const auto *F = cast<ForAllRepType>(Target);
+      Env.pushRepVar(F->repVar());
+      const Expr *Body = genExpr(F->body(), 0);
+      Env.popRepVar();
+      return Ctx.repLam(F->repVar(), Body);
+    }
+    case Type::TypeKind::Var:
+      // Only `error` can produce a variable type out of thin air.
+      return genErrorAt(Target, 0);
+    }
+  }
+
+  // Structure-directed introductions.
+  switch (Target->kind()) {
+  case Type::TypeKind::Arrow: {
+    const auto *A = cast<ArrowType>(Target);
+    // An arrow can also come from an application or a redex, but lambda
+    // introduction is the common case.
+    Result<LKind> PK = TC.kindOf(Env, A->param());
+    if (PK && PK->isConcrete() && coin(0.75)) {
+      Symbol X = Ctx.symbols().fresh("x");
+      Env.pushTerm(X, A->param());
+      Scope.push_back({X, A->param()});
+      const Expr *Body = genExpr(A->result(), Depth - 1);
+      Scope.pop_back();
+      Env.popTerm();
+      return Ctx.lam(X, A->param(), Body);
+    }
+    break;
+  }
+  case Type::TypeKind::ForAll: {
+    const auto *F = cast<ForAllType>(Target);
+    Env.pushTypeVar(F->var(), F->varKind());
+    const Expr *Body = genExpr(F->body(), Depth - 1);
+    Env.popTypeVar();
+    return Ctx.tyLam(F->var(), F->varKind(), Body);
+  }
+  case Type::TypeKind::ForAllRep: {
+    const auto *F = cast<ForAllRepType>(Target);
+    Env.pushRepVar(F->repVar());
+    const Expr *Body = genExpr(F->body(), Depth - 1);
+    Env.popRepVar();
+    return Ctx.repLam(F->repVar(), Body);
+  }
+  default:
+    break;
+  }
+
+  // Elimination/wrapper forms for any target type.
+  enum {
+    UseVar,
+    UseLit,
+    UseApp,
+    UseCase,
+    UseTyRedex,
+    UseRepRedex,
+    UseError,
+    NumForms
+  };
+  for (unsigned Attempt = 0; Attempt != 4; ++Attempt) {
+    switch (pick(NumForms)) {
+    case UseVar:
+      if (!Usable.empty())
+        return Ctx.var(Usable[pick(Usable.size())]->Name);
+      break;
+    case UseLit:
+      if (isa<IntHashType>(Target))
+        return Ctx.intLit(int64_t(pick(100)));
+      if (isa<IntType>(Target))
+        return Ctx.con(genExpr(Ctx.intHashTy(), Depth - 1));
+      break;
+    case UseApp: {
+      // f a at Target, with a : σ of concrete kind (E_APP premise).
+      const Type *Sigma = genMonoType(Depth > 2 ? 1 : 0);
+      const Expr *Fn =
+          genExpr(Ctx.arrowTy(Sigma, Target), Depth - 1);
+      const Expr *Arg = genExpr(Sigma, Depth - 1);
+      return Ctx.app(Fn, Arg);
+    }
+    case UseCase: {
+      // case e1 of I#[x] → e2, scrutinee : Int, body : Target.
+      const Expr *Scrut = genExpr(Ctx.intTy(), Depth - 1);
+      Symbol X = Ctx.symbols().fresh("x");
+      Env.pushTerm(X, Ctx.intHashTy());
+      Scope.push_back({X, Ctx.intHashTy()});
+      const Expr *Body = genExpr(Target, Depth - 1);
+      Scope.pop_back();
+      Env.popTerm();
+      return Ctx.caseOf(Scrut, X, Body);
+    }
+    case UseTyRedex: {
+      // (Λα:κ. e) σ with α unused in Target, exercising S_TBETA.
+      Symbol A = Ctx.symbols().fresh("a");
+      LKind K = coin() ? LKind::typePtr() : LKind::typeInt();
+      Env.pushTypeVar(A, K);
+      const Expr *Body = genExpr(Target, Depth - 1);
+      Env.popTypeVar();
+      const Type *Sigma =
+          K == LKind::typePtr() ? Ctx.intTy() : Ctx.intHashTy();
+      return Ctx.tyApp(Ctx.tyLam(A, K, Body), Sigma);
+    }
+    case UseRepRedex: {
+      if (!Opts.AllowRepPoly)
+        break;
+      // (Λr. e) ρ with r unused in Target, exercising S_RBETA.
+      Symbol R = Ctx.symbols().fresh("r");
+      Env.pushRepVar(R);
+      const Expr *Body = genExpr(Target, Depth - 1);
+      Env.popRepVar();
+      RuntimeRep Rho =
+          coin() ? RuntimeRep::pointer() : RuntimeRep::integer();
+      return Ctx.repApp(Ctx.repLam(R, Body), Rho);
+    }
+    case UseError:
+      if (Opts.AllowError && coin(0.3))
+        return genErrorAt(Target, Depth - 1);
+      break;
+    }
+  }
+
+  // Fall back to the depth-0 base case.
+  return genExpr(Target, 0);
+}

@@ -1,0 +1,646 @@
+//===- Subst.cpp - Capture-avoiding substitution for L --------------------===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lcalc/Subst.h"
+
+using namespace levity;
+using namespace levity::lcalc;
+
+//===----------------------------------------------------------------------===//
+// Free variables
+//===----------------------------------------------------------------------===//
+
+void lcalc::freeTermVars(const Expr *E, SymbolSet &Out) {
+  switch (E->kind()) {
+  case Expr::ExprKind::Var:
+    Out.insert(cast<VarExpr>(E)->name());
+    return;
+  case Expr::ExprKind::App: {
+    const auto *A = cast<AppExpr>(E);
+    freeTermVars(A->fn(), Out);
+    freeTermVars(A->arg(), Out);
+    return;
+  }
+  case Expr::ExprKind::Lam: {
+    const auto *L = cast<LamExpr>(E);
+    SymbolSet Body;
+    freeTermVars(L->body(), Body);
+    Body.erase(L->var());
+    Out.insert(Body.begin(), Body.end());
+    return;
+  }
+  case Expr::ExprKind::TyLam:
+    freeTermVars(cast<TyLamExpr>(E)->body(), Out);
+    return;
+  case Expr::ExprKind::TyApp:
+    freeTermVars(cast<TyAppExpr>(E)->fn(), Out);
+    return;
+  case Expr::ExprKind::RepLam:
+    freeTermVars(cast<RepLamExpr>(E)->body(), Out);
+    return;
+  case Expr::ExprKind::RepApp:
+    freeTermVars(cast<RepAppExpr>(E)->fn(), Out);
+    return;
+  case Expr::ExprKind::Con:
+    freeTermVars(cast<ConExpr>(E)->payload(), Out);
+    return;
+  case Expr::ExprKind::Case: {
+    const auto *C = cast<CaseExpr>(E);
+    freeTermVars(C->scrut(), Out);
+    SymbolSet Body;
+    freeTermVars(C->body(), Body);
+    Body.erase(C->binder());
+    Out.insert(Body.begin(), Body.end());
+    return;
+  }
+  case Expr::ExprKind::IntLit:
+  case Expr::ExprKind::Error:
+    return;
+  }
+}
+
+void lcalc::freeTypeVars(const Type *T, SymbolSet &Out) {
+  switch (T->kind()) {
+  case Type::TypeKind::Int:
+  case Type::TypeKind::IntHash:
+    return;
+  case Type::TypeKind::Var:
+    Out.insert(cast<VarType>(T)->name());
+    return;
+  case Type::TypeKind::Arrow: {
+    const auto *A = cast<ArrowType>(T);
+    freeTypeVars(A->param(), Out);
+    freeTypeVars(A->result(), Out);
+    return;
+  }
+  case Type::TypeKind::ForAll: {
+    const auto *F = cast<ForAllType>(T);
+    SymbolSet Body;
+    freeTypeVars(F->body(), Body);
+    Body.erase(F->var());
+    Out.insert(Body.begin(), Body.end());
+    return;
+  }
+  case Type::TypeKind::ForAllRep:
+    freeTypeVars(cast<ForAllRepType>(T)->body(), Out);
+    return;
+  }
+}
+
+void lcalc::freeTypeVars(const Expr *E, SymbolSet &Out) {
+  switch (E->kind()) {
+  case Expr::ExprKind::Var:
+  case Expr::ExprKind::IntLit:
+  case Expr::ExprKind::Error:
+    return;
+  case Expr::ExprKind::App: {
+    const auto *A = cast<AppExpr>(E);
+    freeTypeVars(A->fn(), Out);
+    freeTypeVars(A->arg(), Out);
+    return;
+  }
+  case Expr::ExprKind::Lam: {
+    const auto *L = cast<LamExpr>(E);
+    freeTypeVars(L->varType(), Out);
+    freeTypeVars(L->body(), Out);
+    return;
+  }
+  case Expr::ExprKind::TyLam: {
+    const auto *L = cast<TyLamExpr>(E);
+    SymbolSet Body;
+    freeTypeVars(L->body(), Body);
+    Body.erase(L->var());
+    Out.insert(Body.begin(), Body.end());
+    return;
+  }
+  case Expr::ExprKind::TyApp: {
+    const auto *A = cast<TyAppExpr>(E);
+    freeTypeVars(A->fn(), Out);
+    freeTypeVars(A->tyArg(), Out);
+    return;
+  }
+  case Expr::ExprKind::RepLam:
+    freeTypeVars(cast<RepLamExpr>(E)->body(), Out);
+    return;
+  case Expr::ExprKind::RepApp:
+    freeTypeVars(cast<RepAppExpr>(E)->fn(), Out);
+    return;
+  case Expr::ExprKind::Con:
+    freeTypeVars(cast<ConExpr>(E)->payload(), Out);
+    return;
+  case Expr::ExprKind::Case: {
+    const auto *C = cast<CaseExpr>(E);
+    freeTypeVars(C->scrut(), Out);
+    freeTypeVars(C->body(), Out);
+    return;
+  }
+  }
+}
+
+namespace {
+
+void freeRepVarsOfRep(RuntimeRep R, SymbolSet &Out) {
+  if (R.isVar())
+    Out.insert(R.varName());
+}
+
+} // namespace
+
+void lcalc::freeRepVars(const Type *T, SymbolSet &Out) {
+  switch (T->kind()) {
+  case Type::TypeKind::Int:
+  case Type::TypeKind::IntHash:
+  case Type::TypeKind::Var:
+    return;
+  case Type::TypeKind::Arrow: {
+    const auto *A = cast<ArrowType>(T);
+    freeRepVars(A->param(), Out);
+    freeRepVars(A->result(), Out);
+    return;
+  }
+  case Type::TypeKind::ForAll: {
+    const auto *F = cast<ForAllType>(T);
+    freeRepVarsOfRep(F->varKind().rep(), Out);
+    freeRepVars(F->body(), Out);
+    return;
+  }
+  case Type::TypeKind::ForAllRep: {
+    const auto *F = cast<ForAllRepType>(T);
+    SymbolSet Body;
+    freeRepVars(F->body(), Body);
+    Body.erase(F->repVar());
+    Out.insert(Body.begin(), Body.end());
+    return;
+  }
+  }
+}
+
+void lcalc::freeRepVars(const Expr *E, SymbolSet &Out) {
+  switch (E->kind()) {
+  case Expr::ExprKind::Var:
+  case Expr::ExprKind::IntLit:
+  case Expr::ExprKind::Error:
+    return;
+  case Expr::ExprKind::App: {
+    const auto *A = cast<AppExpr>(E);
+    freeRepVars(A->fn(), Out);
+    freeRepVars(A->arg(), Out);
+    return;
+  }
+  case Expr::ExprKind::Lam: {
+    const auto *L = cast<LamExpr>(E);
+    freeRepVars(L->varType(), Out);
+    freeRepVars(L->body(), Out);
+    return;
+  }
+  case Expr::ExprKind::TyLam: {
+    const auto *L = cast<TyLamExpr>(E);
+    freeRepVarsOfRep(L->varKind().rep(), Out);
+    freeRepVars(L->body(), Out);
+    return;
+  }
+  case Expr::ExprKind::TyApp: {
+    const auto *A = cast<TyAppExpr>(E);
+    freeRepVars(A->fn(), Out);
+    freeRepVars(A->tyArg(), Out);
+    return;
+  }
+  case Expr::ExprKind::RepLam: {
+    const auto *L = cast<RepLamExpr>(E);
+    SymbolSet Body;
+    freeRepVars(L->body(), Body);
+    Body.erase(L->repVar());
+    Out.insert(Body.begin(), Body.end());
+    return;
+  }
+  case Expr::ExprKind::RepApp: {
+    const auto *A = cast<RepAppExpr>(E);
+    freeRepVars(A->fn(), Out);
+    freeRepVarsOfRep(A->repArg(), Out);
+    return;
+  }
+  case Expr::ExprKind::Con:
+    freeRepVars(cast<ConExpr>(E)->payload(), Out);
+    return;
+  case Expr::ExprKind::Case: {
+    const auto *C = cast<CaseExpr>(E);
+    freeRepVars(C->scrut(), Out);
+    freeRepVars(C->body(), Out);
+    return;
+  }
+  }
+}
+
+bool lcalc::isClosed(const Expr *E) {
+  SymbolSet S;
+  freeTermVars(E, S);
+  if (!S.empty())
+    return false;
+  freeTypeVars(E, S);
+  if (!S.empty())
+    return false;
+  freeRepVars(E, S);
+  return S.empty();
+}
+
+//===----------------------------------------------------------------------===//
+// Substitution into reps/kinds
+//===----------------------------------------------------------------------===//
+
+RuntimeRep lcalc::substRep(RuntimeRep R, Symbol RepVar, RuntimeRep Rep) {
+  if (R.isVar() && R.varName() == RepVar)
+    return Rep;
+  return R;
+}
+
+LKind lcalc::substRep(LKind K, Symbol RepVar, RuntimeRep Rep) {
+  return LKind(substRep(K.rep(), RepVar, Rep));
+}
+
+//===----------------------------------------------------------------------===//
+// Substitution into types
+//===----------------------------------------------------------------------===//
+
+const Type *lcalc::substTypeInType(LContext &Ctx, const Type *T, Symbol Var,
+                                   const Type *Replacement) {
+  switch (T->kind()) {
+  case Type::TypeKind::Int:
+  case Type::TypeKind::IntHash:
+    return T;
+  case Type::TypeKind::Var:
+    return cast<VarType>(T)->name() == Var ? Replacement : T;
+  case Type::TypeKind::Arrow: {
+    const auto *A = cast<ArrowType>(T);
+    const Type *P = substTypeInType(Ctx, A->param(), Var, Replacement);
+    const Type *R = substTypeInType(Ctx, A->result(), Var, Replacement);
+    if (P == A->param() && R == A->result())
+      return T;
+    return Ctx.arrowTy(P, R);
+  }
+  case Type::TypeKind::ForAll: {
+    const auto *F = cast<ForAllType>(T);
+    if (F->var() == Var)
+      return T; // shadowed
+    SymbolSet FV;
+    freeTypeVars(Replacement, FV);
+    Symbol Bound = F->var();
+    const Type *Body = F->body();
+    if (FV.count(Bound)) {
+      // Freshen the binder to avoid capture.
+      Symbol Fresh = Ctx.symbols().fresh(Bound.str());
+      Body = substTypeInType(Ctx, Body, Bound, Ctx.varTy(Fresh));
+      Bound = Fresh;
+    }
+    const Type *NewBody = substTypeInType(Ctx, Body, Var, Replacement);
+    if (Bound == F->var() && NewBody == F->body())
+      return T;
+    return Ctx.forAllTy(Bound, F->varKind(), NewBody);
+  }
+  case Type::TypeKind::ForAllRep: {
+    const auto *F = cast<ForAllRepType>(T);
+    const Type *NewBody =
+        substTypeInType(Ctx, F->body(), Var, Replacement);
+    // Rep binders cannot capture type variables; but the replacement may
+    // mention the bound rep var free — freshen to keep scoping honest.
+    SymbolSet FRV;
+    freeRepVars(Replacement, FRV);
+    if (FRV.count(F->repVar())) {
+      Symbol Fresh = Ctx.symbols().fresh(F->repVar().str());
+      const Type *Renamed =
+          substRepInType(Ctx, F->body(), F->repVar(), RuntimeRep::var(Fresh));
+      NewBody = substTypeInType(Ctx, Renamed, Var, Replacement);
+      return Ctx.forAllRepTy(Fresh, NewBody);
+    }
+    if (NewBody == F->body())
+      return T;
+    return Ctx.forAllRepTy(F->repVar(), NewBody);
+  }
+  }
+  assert(false && "unknown type kind");
+  return T;
+}
+
+const Type *lcalc::substRepInType(LContext &Ctx, const Type *T, Symbol RepVar,
+                                  RuntimeRep Rep) {
+  switch (T->kind()) {
+  case Type::TypeKind::Int:
+  case Type::TypeKind::IntHash:
+  case Type::TypeKind::Var:
+    return T;
+  case Type::TypeKind::Arrow: {
+    const auto *A = cast<ArrowType>(T);
+    const Type *P = substRepInType(Ctx, A->param(), RepVar, Rep);
+    const Type *R = substRepInType(Ctx, A->result(), RepVar, Rep);
+    if (P == A->param() && R == A->result())
+      return T;
+    return Ctx.arrowTy(P, R);
+  }
+  case Type::TypeKind::ForAll: {
+    const auto *F = cast<ForAllType>(T);
+    LKind K = substRep(F->varKind(), RepVar, Rep);
+    const Type *Body = substRepInType(Ctx, F->body(), RepVar, Rep);
+    if (K == F->varKind() && Body == F->body())
+      return T;
+    return Ctx.forAllTy(F->var(), K, Body);
+  }
+  case Type::TypeKind::ForAllRep: {
+    const auto *F = cast<ForAllRepType>(T);
+    if (F->repVar() == RepVar)
+      return T; // shadowed
+    if (Rep.isVar() && Rep.varName() == F->repVar()) {
+      // Capture: freshen the binder.
+      Symbol Fresh = Ctx.symbols().fresh(F->repVar().str());
+      const Type *Renamed =
+          substRepInType(Ctx, F->body(), F->repVar(), RuntimeRep::var(Fresh));
+      return Ctx.forAllRepTy(Fresh,
+                             substRepInType(Ctx, Renamed, RepVar, Rep));
+    }
+    const Type *Body = substRepInType(Ctx, F->body(), RepVar, Rep);
+    if (Body == F->body())
+      return T;
+    return Ctx.forAllRepTy(F->repVar(), Body);
+  }
+  }
+  assert(false && "unknown type kind");
+  return T;
+}
+
+//===----------------------------------------------------------------------===//
+// Substitution into expressions
+//===----------------------------------------------------------------------===//
+
+const Expr *lcalc::substExprInExpr(LContext &Ctx, const Expr *E, Symbol Var,
+                                   const Expr *Replacement) {
+  switch (E->kind()) {
+  case Expr::ExprKind::Var:
+    return cast<VarExpr>(E)->name() == Var ? Replacement : E;
+  case Expr::ExprKind::IntLit:
+  case Expr::ExprKind::Error:
+    return E;
+  case Expr::ExprKind::App: {
+    const auto *A = cast<AppExpr>(E);
+    const Expr *Fn = substExprInExpr(Ctx, A->fn(), Var, Replacement);
+    const Expr *Arg = substExprInExpr(Ctx, A->arg(), Var, Replacement);
+    if (Fn == A->fn() && Arg == A->arg())
+      return E;
+    return Ctx.app(Fn, Arg);
+  }
+  case Expr::ExprKind::Lam: {
+    const auto *L = cast<LamExpr>(E);
+    if (L->var() == Var)
+      return E; // shadowed
+    SymbolSet FV;
+    freeTermVars(Replacement, FV);
+    Symbol Bound = L->var();
+    const Expr *Body = L->body();
+    if (FV.count(Bound)) {
+      Symbol Fresh = Ctx.symbols().fresh(Bound.str());
+      Body = substExprInExpr(Ctx, Body, Bound, Ctx.var(Fresh));
+      Bound = Fresh;
+    }
+    const Expr *NewBody = substExprInExpr(Ctx, Body, Var, Replacement);
+    if (Bound == L->var() && NewBody == L->body())
+      return E;
+    return Ctx.lam(Bound, L->varType(), NewBody);
+  }
+  case Expr::ExprKind::TyLam: {
+    const auto *L = cast<TyLamExpr>(E);
+    const Expr *Body = substExprInExpr(Ctx, L->body(), Var, Replacement);
+    if (Body == L->body())
+      return E;
+    return Ctx.tyLam(L->var(), L->varKind(), Body);
+  }
+  case Expr::ExprKind::TyApp: {
+    const auto *A = cast<TyAppExpr>(E);
+    const Expr *Fn = substExprInExpr(Ctx, A->fn(), Var, Replacement);
+    if (Fn == A->fn())
+      return E;
+    return Ctx.tyApp(Fn, A->tyArg());
+  }
+  case Expr::ExprKind::RepLam: {
+    const auto *L = cast<RepLamExpr>(E);
+    const Expr *Body = substExprInExpr(Ctx, L->body(), Var, Replacement);
+    if (Body == L->body())
+      return E;
+    return Ctx.repLam(L->repVar(), Body);
+  }
+  case Expr::ExprKind::RepApp: {
+    const auto *A = cast<RepAppExpr>(E);
+    const Expr *Fn = substExprInExpr(Ctx, A->fn(), Var, Replacement);
+    if (Fn == A->fn())
+      return E;
+    return Ctx.repApp(Fn, A->repArg());
+  }
+  case Expr::ExprKind::Con: {
+    const auto *C = cast<ConExpr>(E);
+    const Expr *P = substExprInExpr(Ctx, C->payload(), Var, Replacement);
+    if (P == C->payload())
+      return E;
+    return Ctx.con(P);
+  }
+  case Expr::ExprKind::Case: {
+    const auto *C = cast<CaseExpr>(E);
+    const Expr *Scrut = substExprInExpr(Ctx, C->scrut(), Var, Replacement);
+    if (C->binder() == Var) {
+      if (Scrut == C->scrut())
+        return E;
+      return Ctx.caseOf(Scrut, C->binder(), C->body());
+    }
+    SymbolSet FV;
+    freeTermVars(Replacement, FV);
+    Symbol Bound = C->binder();
+    const Expr *Body = C->body();
+    if (FV.count(Bound)) {
+      Symbol Fresh = Ctx.symbols().fresh(Bound.str());
+      Body = substExprInExpr(Ctx, Body, Bound, Ctx.var(Fresh));
+      Bound = Fresh;
+    }
+    const Expr *NewBody = substExprInExpr(Ctx, Body, Var, Replacement);
+    if (Scrut == C->scrut() && Bound == C->binder() && NewBody == C->body())
+      return E;
+    return Ctx.caseOf(Scrut, Bound, NewBody);
+  }
+  }
+  assert(false && "unknown expr kind");
+  return E;
+}
+
+const Expr *lcalc::substTypeInExpr(LContext &Ctx, const Expr *E, Symbol Var,
+                                   const Type *Replacement) {
+  switch (E->kind()) {
+  case Expr::ExprKind::Var:
+  case Expr::ExprKind::IntLit:
+  case Expr::ExprKind::Error:
+    return E;
+  case Expr::ExprKind::App: {
+    const auto *A = cast<AppExpr>(E);
+    const Expr *Fn = substTypeInExpr(Ctx, A->fn(), Var, Replacement);
+    const Expr *Arg = substTypeInExpr(Ctx, A->arg(), Var, Replacement);
+    if (Fn == A->fn() && Arg == A->arg())
+      return E;
+    return Ctx.app(Fn, Arg);
+  }
+  case Expr::ExprKind::Lam: {
+    const auto *L = cast<LamExpr>(E);
+    const Type *Ann = substTypeInType(Ctx, L->varType(), Var, Replacement);
+    const Expr *Body = substTypeInExpr(Ctx, L->body(), Var, Replacement);
+    if (Ann == L->varType() && Body == L->body())
+      return E;
+    return Ctx.lam(L->var(), Ann, Body);
+  }
+  case Expr::ExprKind::TyLam: {
+    const auto *L = cast<TyLamExpr>(E);
+    if (L->var() == Var)
+      return E; // shadowed
+    SymbolSet FV;
+    freeTypeVars(Replacement, FV);
+    Symbol Bound = L->var();
+    const Expr *Body = L->body();
+    if (FV.count(Bound)) {
+      Symbol Fresh = Ctx.symbols().fresh(Bound.str());
+      Body = substTypeInExpr(Ctx, Body, Bound, Ctx.varTy(Fresh));
+      Bound = Fresh;
+    }
+    const Expr *NewBody = substTypeInExpr(Ctx, Body, Var, Replacement);
+    if (Bound == L->var() && NewBody == L->body())
+      return E;
+    return Ctx.tyLam(Bound, L->varKind(), NewBody);
+  }
+  case Expr::ExprKind::TyApp: {
+    const auto *A = cast<TyAppExpr>(E);
+    const Expr *Fn = substTypeInExpr(Ctx, A->fn(), Var, Replacement);
+    const Type *Ty = substTypeInType(Ctx, A->tyArg(), Var, Replacement);
+    if (Fn == A->fn() && Ty == A->tyArg())
+      return E;
+    return Ctx.tyApp(Fn, Ty);
+  }
+  case Expr::ExprKind::RepLam: {
+    const auto *L = cast<RepLamExpr>(E);
+    // The replacement type may mention this rep binder's name free;
+    // freshen in that unlikely capture case.
+    SymbolSet FRV;
+    freeRepVars(Replacement, FRV);
+    if (FRV.count(L->repVar())) {
+      Symbol Fresh = Ctx.symbols().fresh(L->repVar().str());
+      const Expr *Renamed =
+          substRepInExpr(Ctx, L->body(), L->repVar(), RuntimeRep::var(Fresh));
+      return Ctx.repLam(Fresh,
+                        substTypeInExpr(Ctx, Renamed, Var, Replacement));
+    }
+    const Expr *Body = substTypeInExpr(Ctx, L->body(), Var, Replacement);
+    if (Body == L->body())
+      return E;
+    return Ctx.repLam(L->repVar(), Body);
+  }
+  case Expr::ExprKind::RepApp: {
+    const auto *A = cast<RepAppExpr>(E);
+    const Expr *Fn = substTypeInExpr(Ctx, A->fn(), Var, Replacement);
+    if (Fn == A->fn())
+      return E;
+    return Ctx.repApp(Fn, A->repArg());
+  }
+  case Expr::ExprKind::Con: {
+    const auto *C = cast<ConExpr>(E);
+    const Expr *P = substTypeInExpr(Ctx, C->payload(), Var, Replacement);
+    if (P == C->payload())
+      return E;
+    return Ctx.con(P);
+  }
+  case Expr::ExprKind::Case: {
+    const auto *C = cast<CaseExpr>(E);
+    const Expr *Scrut = substTypeInExpr(Ctx, C->scrut(), Var, Replacement);
+    const Expr *Body = substTypeInExpr(Ctx, C->body(), Var, Replacement);
+    if (Scrut == C->scrut() && Body == C->body())
+      return E;
+    return Ctx.caseOf(Scrut, C->binder(), Body);
+  }
+  }
+  assert(false && "unknown expr kind");
+  return E;
+}
+
+const Expr *lcalc::substRepInExpr(LContext &Ctx, const Expr *E, Symbol RepVar,
+                                  RuntimeRep Rep) {
+  switch (E->kind()) {
+  case Expr::ExprKind::Var:
+  case Expr::ExprKind::IntLit:
+  case Expr::ExprKind::Error:
+    return E;
+  case Expr::ExprKind::App: {
+    const auto *A = cast<AppExpr>(E);
+    const Expr *Fn = substRepInExpr(Ctx, A->fn(), RepVar, Rep);
+    const Expr *Arg = substRepInExpr(Ctx, A->arg(), RepVar, Rep);
+    if (Fn == A->fn() && Arg == A->arg())
+      return E;
+    return Ctx.app(Fn, Arg);
+  }
+  case Expr::ExprKind::Lam: {
+    const auto *L = cast<LamExpr>(E);
+    const Type *Ann = substRepInType(Ctx, L->varType(), RepVar, Rep);
+    const Expr *Body = substRepInExpr(Ctx, L->body(), RepVar, Rep);
+    if (Ann == L->varType() && Body == L->body())
+      return E;
+    return Ctx.lam(L->var(), Ann, Body);
+  }
+  case Expr::ExprKind::TyLam: {
+    const auto *L = cast<TyLamExpr>(E);
+    LKind K = substRep(L->varKind(), RepVar, Rep);
+    const Expr *Body = substRepInExpr(Ctx, L->body(), RepVar, Rep);
+    if (K == L->varKind() && Body == L->body())
+      return E;
+    return Ctx.tyLam(L->var(), K, Body);
+  }
+  case Expr::ExprKind::TyApp: {
+    const auto *A = cast<TyAppExpr>(E);
+    const Expr *Fn = substRepInExpr(Ctx, A->fn(), RepVar, Rep);
+    const Type *Ty = substRepInType(Ctx, A->tyArg(), RepVar, Rep);
+    if (Fn == A->fn() && Ty == A->tyArg())
+      return E;
+    return Ctx.tyApp(Fn, Ty);
+  }
+  case Expr::ExprKind::RepLam: {
+    const auto *L = cast<RepLamExpr>(E);
+    if (L->repVar() == RepVar)
+      return E; // shadowed
+    if (Rep.isVar() && Rep.varName() == L->repVar()) {
+      Symbol Fresh = Ctx.symbols().fresh(L->repVar().str());
+      const Expr *Renamed =
+          substRepInExpr(Ctx, L->body(), L->repVar(), RuntimeRep::var(Fresh));
+      return Ctx.repLam(Fresh, substRepInExpr(Ctx, Renamed, RepVar, Rep));
+    }
+    const Expr *Body = substRepInExpr(Ctx, L->body(), RepVar, Rep);
+    if (Body == L->body())
+      return E;
+    return Ctx.repLam(L->repVar(), Body);
+  }
+  case Expr::ExprKind::RepApp: {
+    const auto *A = cast<RepAppExpr>(E);
+    const Expr *Fn = substRepInExpr(Ctx, A->fn(), RepVar, Rep);
+    RuntimeRep R = substRep(A->repArg(), RepVar, Rep);
+    if (Fn == A->fn() && R == A->repArg())
+      return E;
+    return Ctx.repApp(Fn, R);
+  }
+  case Expr::ExprKind::Con: {
+    const auto *C = cast<ConExpr>(E);
+    const Expr *P = substRepInExpr(Ctx, C->payload(), RepVar, Rep);
+    if (P == C->payload())
+      return E;
+    return Ctx.con(P);
+  }
+  case Expr::ExprKind::Case: {
+    const auto *C = cast<CaseExpr>(E);
+    const Expr *Scrut = substRepInExpr(Ctx, C->scrut(), RepVar, Rep);
+    const Expr *Body = substRepInExpr(Ctx, C->body(), RepVar, Rep);
+    if (Scrut == C->scrut() && Body == C->body())
+      return E;
+    return Ctx.caseOf(Scrut, C->binder(), Body);
+  }
+  }
+  assert(false && "unknown expr kind");
+  return E;
+}

@@ -1,0 +1,69 @@
+//===- Subst.h - Capture-avoiding substitution for L ------------*- C++ -*-===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Capture-avoiding substitution over L types and expressions, in all three
+/// variable categories (term, type, rep), plus free-variable queries. The
+/// small-step rules S_BETAPTR, S_BETAUNBOXED, S_TBETA, S_RBETA and S_MATCH
+/// are implemented with these. Substitution shares unchanged subtrees.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LEVITY_LCALC_SUBST_H
+#define LEVITY_LCALC_SUBST_H
+
+#include "lcalc/Syntax.h"
+
+#include <unordered_set>
+
+namespace levity {
+namespace lcalc {
+
+using SymbolSet = std::unordered_set<Symbol, SymbolHash>;
+
+/// Free term variables of \p E.
+void freeTermVars(const Expr *E, SymbolSet &Out);
+
+/// Free type variables of \p T / \p E.
+void freeTypeVars(const Type *T, SymbolSet &Out);
+void freeTypeVars(const Expr *E, SymbolSet &Out);
+
+/// Free rep variables of \p T / \p E (kinds included).
+void freeRepVars(const Type *T, SymbolSet &Out);
+void freeRepVars(const Expr *E, SymbolSet &Out);
+
+/// \returns true iff \p E has no free variables of any category.
+bool isClosed(const Expr *E);
+
+/// ρ[Rep/RepVar] and κ[Rep/RepVar].
+RuntimeRep substRep(RuntimeRep R, Symbol RepVar, RuntimeRep Rep);
+LKind substRep(LKind K, Symbol RepVar, RuntimeRep Rep);
+
+/// τ[Replacement/Var] — substitutes a type for a type variable.
+const Type *substTypeInType(LContext &Ctx, const Type *T, Symbol Var,
+                            const Type *Replacement);
+
+/// τ[Rep/RepVar] — substitutes a rep for a rep variable in a type.
+const Type *substRepInType(LContext &Ctx, const Type *T, Symbol RepVar,
+                           RuntimeRep Rep);
+
+/// e[Replacement/Var] — substitutes an expression for a term variable.
+const Expr *substExprInExpr(LContext &Ctx, const Expr *E, Symbol Var,
+                            const Expr *Replacement);
+
+/// e[Replacement/Var] — substitutes a type for a type variable.
+const Expr *substTypeInExpr(LContext &Ctx, const Expr *E, Symbol Var,
+                            const Type *Replacement);
+
+/// e[Rep/RepVar] — substitutes a rep for a rep variable.
+const Expr *substRepInExpr(LContext &Ctx, const Expr *E, Symbol RepVar,
+                           RuntimeRep Rep);
+
+} // namespace lcalc
+} // namespace levity
+
+#endif // LEVITY_LCALC_SUBST_H

@@ -1,0 +1,294 @@
+//===- Syntax.cpp - The L language of Section 6 ---------------------------===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lcalc/Syntax.h"
+
+#include <sstream>
+#include <unordered_map>
+
+using namespace levity;
+using namespace levity::lcalc;
+
+std::string RuntimeRep::str() const {
+  if (isVar())
+    return std::string(Var.str());
+  return Concrete == ConcreteRep::P ? "P" : "I";
+}
+
+std::string LKind::str() const { return "TYPE " + Rep.str(); }
+
+//===----------------------------------------------------------------------===//
+// Pretty printing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Precedence levels for parenthesization.
+enum Prec { PrecTop = 0, PrecArrow = 1, PrecApp = 2, PrecAtom = 3 };
+
+void printType(std::ostringstream &OS, const Type *T, int Prec) {
+  switch (T->kind()) {
+  case Type::TypeKind::Int:
+    OS << "Int";
+    return;
+  case Type::TypeKind::IntHash:
+    OS << "Int#";
+    return;
+  case Type::TypeKind::Var:
+    OS << cast<VarType>(T)->name().str();
+    return;
+  case Type::TypeKind::Arrow: {
+    const auto *A = cast<ArrowType>(T);
+    if (Prec > PrecArrow)
+      OS << "(";
+    printType(OS, A->param(), PrecArrow + 1);
+    OS << " -> ";
+    printType(OS, A->result(), PrecArrow);
+    if (Prec > PrecArrow)
+      OS << ")";
+    return;
+  }
+  case Type::TypeKind::ForAll: {
+    const auto *F = cast<ForAllType>(T);
+    if (Prec > PrecTop)
+      OS << "(";
+    OS << "forall " << F->var().str() << ":" << F->varKind().str() << ". ";
+    printType(OS, F->body(), PrecTop);
+    if (Prec > PrecTop)
+      OS << ")";
+    return;
+  }
+  case Type::TypeKind::ForAllRep: {
+    const auto *F = cast<ForAllRepType>(T);
+    if (Prec > PrecTop)
+      OS << "(";
+    OS << "forall " << F->repVar().str() << ". ";
+    printType(OS, F->body(), PrecTop);
+    if (Prec > PrecTop)
+      OS << ")";
+    return;
+  }
+  }
+}
+
+void printExpr(std::ostringstream &OS, const Expr *E, int Prec) {
+  switch (E->kind()) {
+  case Expr::ExprKind::Var:
+    OS << cast<VarExpr>(E)->name().str();
+    return;
+  case Expr::ExprKind::IntLit:
+    OS << cast<IntLitExpr>(E)->value();
+    return;
+  case Expr::ExprKind::Error:
+    OS << "error";
+    return;
+  case Expr::ExprKind::App: {
+    const auto *A = cast<AppExpr>(E);
+    if (Prec > PrecApp)
+      OS << "(";
+    printExpr(OS, A->fn(), PrecApp);
+    OS << " ";
+    printExpr(OS, A->arg(), PrecApp + 1);
+    if (Prec > PrecApp)
+      OS << ")";
+    return;
+  }
+  case Expr::ExprKind::TyApp: {
+    const auto *A = cast<TyAppExpr>(E);
+    if (Prec > PrecApp)
+      OS << "(";
+    printExpr(OS, A->fn(), PrecApp);
+    OS << " @";
+    printType(OS, A->tyArg(), PrecAtom);
+    if (Prec > PrecApp)
+      OS << ")";
+    return;
+  }
+  case Expr::ExprKind::RepApp: {
+    const auto *A = cast<RepAppExpr>(E);
+    if (Prec > PrecApp)
+      OS << "(";
+    printExpr(OS, A->fn(), PrecApp);
+    OS << " @@" << A->repArg().str();
+    if (Prec > PrecApp)
+      OS << ")";
+    return;
+  }
+  case Expr::ExprKind::Lam: {
+    const auto *L = cast<LamExpr>(E);
+    if (Prec > PrecTop)
+      OS << "(";
+    OS << "\\" << L->var().str() << ":";
+    printType(OS, L->varType(), PrecAtom);
+    OS << ". ";
+    printExpr(OS, L->body(), PrecTop);
+    if (Prec > PrecTop)
+      OS << ")";
+    return;
+  }
+  case Expr::ExprKind::TyLam: {
+    const auto *L = cast<TyLamExpr>(E);
+    if (Prec > PrecTop)
+      OS << "(";
+    OS << "/\\" << L->var().str() << ":" << L->varKind().str() << ". ";
+    printExpr(OS, L->body(), PrecTop);
+    if (Prec > PrecTop)
+      OS << ")";
+    return;
+  }
+  case Expr::ExprKind::RepLam: {
+    const auto *L = cast<RepLamExpr>(E);
+    if (Prec > PrecTop)
+      OS << "(";
+    OS << "/\\" << L->repVar().str() << ". ";
+    printExpr(OS, L->body(), PrecTop);
+    if (Prec > PrecTop)
+      OS << ")";
+    return;
+  }
+  case Expr::ExprKind::Con: {
+    const auto *C = cast<ConExpr>(E);
+    OS << "I#[";
+    printExpr(OS, C->payload(), PrecTop);
+    OS << "]";
+    return;
+  }
+  case Expr::ExprKind::Case: {
+    const auto *C = cast<CaseExpr>(E);
+    if (Prec > PrecTop)
+      OS << "(";
+    OS << "case ";
+    printExpr(OS, C->scrut(), PrecTop);
+    OS << " of I#[" << C->binder().str() << "] -> ";
+    printExpr(OS, C->body(), PrecTop);
+    if (Prec > PrecTop)
+      OS << ")";
+    return;
+  }
+  }
+}
+
+} // namespace
+
+std::string Type::str() const {
+  std::ostringstream OS;
+  printType(OS, this, PrecTop);
+  return OS.str();
+}
+
+std::string Expr::str() const {
+  std::ostringstream OS;
+  printExpr(OS, this, PrecTop);
+  return OS.str();
+}
+
+const Type *LContext::errorType() {
+  if (ErrorTypeCache)
+    return ErrorTypeCache;
+  Symbol R = sym("r");
+  Symbol A = sym("a");
+  ErrorTypeCache = forAllRepTy(
+      R, forAllTy(A, LKind::typeVar(R), arrowTy(intTy(), varTy(A))));
+  return ErrorTypeCache;
+}
+
+//===----------------------------------------------------------------------===//
+// Alpha-equivalence of types
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Maps bound variables of A to those of B (and vice versa implicitly by
+/// checking both directions through one map keyed on A's names).
+struct AlphaEnv {
+  std::unordered_map<Symbol, Symbol, SymbolHash> AtoB;
+  std::unordered_map<Symbol, Symbol, SymbolHash> BtoA;
+
+  void bind(Symbol A, Symbol B) {
+    AtoB[A] = B;
+    BtoA[B] = A;
+  }
+
+  bool varsEqual(Symbol A, Symbol B) const {
+    auto ItA = AtoB.find(A);
+    auto ItB = BtoA.find(B);
+    // Both free: names must match. Both bound: must map to each other.
+    if (ItA == AtoB.end() && ItB == BtoA.end())
+      return A == B;
+    if (ItA == AtoB.end() || ItB == BtoA.end())
+      return false;
+    return ItA->second == B && ItB->second == A;
+  }
+};
+
+bool repsAlphaEqual(RuntimeRep A, RuntimeRep B, const AlphaEnv &Env) {
+  if (A.isConcrete() != B.isConcrete())
+    return false;
+  if (A.isConcrete())
+    return A.rep() == B.rep();
+  return Env.varsEqual(A.varName(), B.varName());
+}
+
+bool typesAlphaEqual(const Type *A, const Type *B, AlphaEnv &Env) {
+  if (A->kind() != B->kind())
+    return false;
+  switch (A->kind()) {
+  case Type::TypeKind::Int:
+  case Type::TypeKind::IntHash:
+    return true;
+  case Type::TypeKind::Var:
+    return Env.varsEqual(cast<VarType>(A)->name(), cast<VarType>(B)->name());
+  case Type::TypeKind::Arrow: {
+    const auto *AA = cast<ArrowType>(A);
+    const auto *BA = cast<ArrowType>(B);
+    return typesAlphaEqual(AA->param(), BA->param(), Env) &&
+           typesAlphaEqual(AA->result(), BA->result(), Env);
+  }
+  case Type::TypeKind::ForAll: {
+    const auto *AF = cast<ForAllType>(A);
+    const auto *BF = cast<ForAllType>(B);
+    if (!repsAlphaEqual(AF->varKind().rep(), BF->varKind().rep(), Env))
+      return false;
+    AlphaEnv Inner = Env;
+    Inner.bind(AF->var(), BF->var());
+    return typesAlphaEqual(AF->body(), BF->body(), Inner);
+  }
+  case Type::TypeKind::ForAllRep: {
+    const auto *AF = cast<ForAllRepType>(A);
+    const auto *BF = cast<ForAllRepType>(B);
+    AlphaEnv Inner = Env;
+    Inner.bind(AF->repVar(), BF->repVar());
+    return typesAlphaEqual(AF->body(), BF->body(), Inner);
+  }
+  }
+  return false;
+}
+
+} // namespace
+
+bool lcalc::typeEqual(const Type *A, const Type *B) {
+  if (A == B)
+    return true;
+  AlphaEnv Env;
+  return typesAlphaEqual(A, B, Env);
+}
+
+bool lcalc::isValue(const Expr *E) {
+  switch (E->kind()) {
+  case Expr::ExprKind::Lam:
+  case Expr::ExprKind::IntLit:
+    return true;
+  case Expr::ExprKind::TyLam:
+    return isValue(cast<TyLamExpr>(E)->body());
+  case Expr::ExprKind::RepLam:
+    return isValue(cast<RepLamExpr>(E)->body());
+  case Expr::ExprKind::Con:
+    return isValue(cast<ConExpr>(E)->payload());
+  default:
+    return false;
+  }
+}

@@ -1,0 +1,513 @@
+//===- Syntax.h - The L language of Section 6 (Figure 2) --------*- C++ -*-===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract syntax for L, the paper's System F variant with levity
+/// polymorphism (Figure 2):
+///
+/// \code
+///   υ ::= P | I                      concrete reps
+///   ρ ::= r | υ                      runtime reps
+///   κ ::= TYPE ρ                     kinds
+///   B ::= Int | Int#                 base types
+///   τ ::= B | τ1 → τ2 | α | ∀α:κ. τ | ∀r. τ
+///   e ::= x | e1 e2 | λx:τ. e | Λα:κ. e | e τ | Λr. e | e ρ
+///       | I#[e] | case e1 of I#[x] → e2 | n | error
+///   v ::= λx:τ. e | Λα:κ. v | Λr. v | I#[v] | n
+/// \endcode
+///
+/// Nodes are immutable and arena-allocated by an LContext. Variables are
+/// named Symbols (as in the paper's presentation); substitution is
+/// capture-avoiding (see Subst.h). Note that values are recursive under Λ:
+/// L evaluates under type/rep abstractions to support type erasure
+/// (Section 6.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LEVITY_LCALC_SYNTAX_H
+#define LEVITY_LCALC_SYNTAX_H
+
+#include "support/Arena.h"
+#include "support/Symbol.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace levity {
+namespace lcalc {
+
+//===----------------------------------------------------------------------===//
+// Runtime reps and kinds
+//===----------------------------------------------------------------------===//
+
+/// υ — a fully concrete representation: pointer or integer register.
+enum class ConcreteRep : uint8_t {
+  P, ///< Boxed and lifted; passed in a pointer register, call-by-need.
+  I  ///< Unboxed integer; passed in an integer register, call-by-value.
+};
+
+/// ρ — a runtime rep: either concrete (υ) or a rep variable (r).
+class RuntimeRep {
+public:
+  static RuntimeRep concrete(ConcreteRep R) { return RuntimeRep(R); }
+  static RuntimeRep pointer() { return RuntimeRep(ConcreteRep::P); }
+  static RuntimeRep integer() { return RuntimeRep(ConcreteRep::I); }
+  static RuntimeRep var(Symbol Name) { return RuntimeRep(Name); }
+
+  bool isVar() const { return IsVar; }
+  bool isConcrete() const { return !IsVar; }
+
+  ConcreteRep rep() const {
+    assert(isConcrete() && "rep() on a rep variable");
+    return Concrete;
+  }
+
+  Symbol varName() const {
+    assert(isVar() && "varName() on a concrete rep");
+    return Var;
+  }
+
+  friend bool operator==(RuntimeRep A, RuntimeRep B) {
+    if (A.IsVar != B.IsVar)
+      return false;
+    return A.IsVar ? A.Var == B.Var : A.Concrete == B.Concrete;
+  }
+  friend bool operator!=(RuntimeRep A, RuntimeRep B) { return !(A == B); }
+
+  std::string str() const;
+
+private:
+  explicit RuntimeRep(ConcreteRep R) : IsVar(false), Concrete(R) {}
+  explicit RuntimeRep(Symbol V) : IsVar(true), Var(V) {}
+
+  bool IsVar;
+  ConcreteRep Concrete = ConcreteRep::P;
+  Symbol Var;
+};
+
+/// κ — a kind, always of the form TYPE ρ in L.
+class LKind {
+public:
+  LKind() : Rep(RuntimeRep::pointer()) {}
+  explicit LKind(RuntimeRep Rep) : Rep(Rep) {}
+
+  static LKind typePtr() { return LKind(RuntimeRep::pointer()); }
+  static LKind typeInt() { return LKind(RuntimeRep::integer()); }
+  static LKind typeVar(Symbol R) { return LKind(RuntimeRep::var(R)); }
+
+  RuntimeRep rep() const { return Rep; }
+  bool isConcrete() const { return Rep.isConcrete(); }
+
+  friend bool operator==(LKind A, LKind B) { return A.Rep == B.Rep; }
+  friend bool operator!=(LKind A, LKind B) { return !(A == B); }
+
+  std::string str() const;
+
+private:
+  RuntimeRep Rep;
+};
+
+//===----------------------------------------------------------------------===//
+// Types
+//===----------------------------------------------------------------------===//
+
+/// τ — a type of L. Subclasses carry the payloads; discrimination is via
+/// the kind() tag and classof, LLVM-style.
+class Type {
+public:
+  enum class TypeKind : uint8_t {
+    Int,      ///< Boxed integers, kind TYPE P.
+    IntHash,  ///< Unboxed integers Int#, kind TYPE I.
+    Arrow,    ///< τ1 → τ2, kind TYPE P.
+    Var,      ///< A type variable α.
+    ForAll,   ///< ∀α:κ. τ.
+    ForAllRep ///< ∀r. τ.
+  };
+
+  TypeKind kind() const { return Kind; }
+
+  std::string str() const;
+
+protected:
+  explicit Type(TypeKind Kind) : Kind(Kind) {}
+
+private:
+  TypeKind Kind;
+};
+
+class IntType : public Type {
+public:
+  IntType() : Type(TypeKind::Int) {}
+  static bool classof(const Type *T) { return T->kind() == TypeKind::Int; }
+};
+
+class IntHashType : public Type {
+public:
+  IntHashType() : Type(TypeKind::IntHash) {}
+  static bool classof(const Type *T) {
+    return T->kind() == TypeKind::IntHash;
+  }
+};
+
+class ArrowType : public Type {
+public:
+  ArrowType(const Type *Param, const Type *Result)
+      : Type(TypeKind::Arrow), Param(Param), Result(Result) {}
+
+  const Type *param() const { return Param; }
+  const Type *result() const { return Result; }
+
+  static bool classof(const Type *T) { return T->kind() == TypeKind::Arrow; }
+
+private:
+  const Type *Param;
+  const Type *Result;
+};
+
+class VarType : public Type {
+public:
+  explicit VarType(Symbol Name) : Type(TypeKind::Var), Name(Name) {}
+
+  Symbol name() const { return Name; }
+
+  static bool classof(const Type *T) { return T->kind() == TypeKind::Var; }
+
+private:
+  Symbol Name;
+};
+
+/// ∀α:κ. τ
+class ForAllType : public Type {
+public:
+  ForAllType(Symbol Var, LKind VarKind, const Type *Body)
+      : Type(TypeKind::ForAll), Var(Var), VarKind(VarKind), Body(Body) {}
+
+  Symbol var() const { return Var; }
+  LKind varKind() const { return VarKind; }
+  const Type *body() const { return Body; }
+
+  static bool classof(const Type *T) { return T->kind() == TypeKind::ForAll; }
+
+private:
+  Symbol Var;
+  LKind VarKind;
+  const Type *Body;
+};
+
+/// ∀r. τ
+class ForAllRepType : public Type {
+public:
+  ForAllRepType(Symbol RepVar, const Type *Body)
+      : Type(TypeKind::ForAllRep), RepVar(RepVar), Body(Body) {}
+
+  Symbol repVar() const { return RepVar; }
+  const Type *body() const { return Body; }
+
+  static bool classof(const Type *T) {
+    return T->kind() == TypeKind::ForAllRep;
+  }
+
+private:
+  Symbol RepVar;
+  const Type *Body;
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+/// e — an expression of L.
+class Expr {
+public:
+  enum class ExprKind : uint8_t {
+    Var,    ///< x
+    App,    ///< e1 e2
+    Lam,    ///< λx:τ. e
+    TyLam,  ///< Λα:κ. e
+    TyApp,  ///< e τ
+    RepLam, ///< Λr. e
+    RepApp, ///< e ρ
+    Con,    ///< I#[e]
+    Case,   ///< case e1 of I#[x] → e2
+    IntLit, ///< n
+    Error   ///< error
+  };
+
+  ExprKind kind() const { return Kind; }
+
+  std::string str() const;
+
+protected:
+  explicit Expr(ExprKind Kind) : Kind(Kind) {}
+
+private:
+  ExprKind Kind;
+};
+
+class VarExpr : public Expr {
+public:
+  explicit VarExpr(Symbol Name) : Expr(ExprKind::Var), Name(Name) {}
+
+  Symbol name() const { return Name; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Var; }
+
+private:
+  Symbol Name;
+};
+
+class AppExpr : public Expr {
+public:
+  AppExpr(const Expr *Fn, const Expr *Arg)
+      : Expr(ExprKind::App), Fn(Fn), Arg(Arg) {}
+
+  const Expr *fn() const { return Fn; }
+  const Expr *arg() const { return Arg; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::App; }
+
+private:
+  const Expr *Fn;
+  const Expr *Arg;
+};
+
+class LamExpr : public Expr {
+public:
+  LamExpr(Symbol Var, const Type *VarType, const Expr *Body)
+      : Expr(ExprKind::Lam), Var(Var), VarTy(VarType), Body(Body) {}
+
+  Symbol var() const { return Var; }
+  const Type *varType() const { return VarTy; }
+  const Expr *body() const { return Body; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Lam; }
+
+private:
+  Symbol Var;
+  const Type *VarTy;
+  const Expr *Body;
+};
+
+class TyLamExpr : public Expr {
+public:
+  TyLamExpr(Symbol Var, LKind VarKind, const Expr *Body)
+      : Expr(ExprKind::TyLam), Var(Var), VarKind(VarKind), Body(Body) {}
+
+  Symbol var() const { return Var; }
+  LKind varKind() const { return VarKind; }
+  const Expr *body() const { return Body; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::TyLam; }
+
+private:
+  Symbol Var;
+  LKind VarKind;
+  const Expr *Body;
+};
+
+class TyAppExpr : public Expr {
+public:
+  TyAppExpr(const Expr *Fn, const Type *TyArg)
+      : Expr(ExprKind::TyApp), Fn(Fn), TyArg(TyArg) {}
+
+  const Expr *fn() const { return Fn; }
+  const Type *tyArg() const { return TyArg; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::TyApp; }
+
+private:
+  const Expr *Fn;
+  const Type *TyArg;
+};
+
+class RepLamExpr : public Expr {
+public:
+  RepLamExpr(Symbol RepVar, const Expr *Body)
+      : Expr(ExprKind::RepLam), RepVar(RepVar), Body(Body) {}
+
+  Symbol repVar() const { return RepVar; }
+  const Expr *body() const { return Body; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::RepLam; }
+
+private:
+  Symbol RepVar;
+  const Expr *Body;
+};
+
+class RepAppExpr : public Expr {
+public:
+  RepAppExpr(const Expr *Fn, RuntimeRep RepArg)
+      : Expr(ExprKind::RepApp), Fn(Fn), RepArg(RepArg) {}
+
+  const Expr *fn() const { return Fn; }
+  RuntimeRep repArg() const { return RepArg; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::RepApp; }
+
+private:
+  const Expr *Fn;
+  RuntimeRep RepArg;
+};
+
+/// I#[e] — the data constructor of Int, boxing an Int#.
+class ConExpr : public Expr {
+public:
+  explicit ConExpr(const Expr *Payload)
+      : Expr(ExprKind::Con), Payload(Payload) {}
+
+  const Expr *payload() const { return Payload; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Con; }
+
+private:
+  const Expr *Payload;
+};
+
+/// case e1 of I#[x] → e2 — forces e1 and unboxes it.
+class CaseExpr : public Expr {
+public:
+  CaseExpr(const Expr *Scrut, Symbol Binder, const Expr *Body)
+      : Expr(ExprKind::Case), Scrut(Scrut), Binder(Binder), Body(Body) {}
+
+  const Expr *scrut() const { return Scrut; }
+  Symbol binder() const { return Binder; }
+  const Expr *body() const { return Body; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Case; }
+
+private:
+  const Expr *Scrut;
+  Symbol Binder;
+  const Expr *Body;
+};
+
+class IntLitExpr : public Expr {
+public:
+  explicit IntLitExpr(int64_t Value) : Expr(ExprKind::IntLit), Value(Value) {}
+
+  int64_t value() const { return Value; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::IntLit; }
+
+private:
+  int64_t Value;
+};
+
+/// error — halts the machine; has the levity-polymorphic type
+/// ∀r. ∀α:TYPE r. Int → α (E_ERROR).
+class ErrorExpr : public Expr {
+public:
+  ErrorExpr() : Expr(ExprKind::Error) {}
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Error; }
+};
+
+//===----------------------------------------------------------------------===//
+// LLVM-style dispatch helpers
+//===----------------------------------------------------------------------===//
+
+template <typename To, typename From> bool isa(const From *Node) {
+  return To::classof(Node);
+}
+
+template <typename To, typename From> const To *cast(const From *Node) {
+  assert(isa<To>(Node) && "cast to incompatible node kind");
+  return static_cast<const To *>(Node);
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Node) {
+  return isa<To>(Node) ? static_cast<const To *>(Node) : nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// LContext — arena + singletons + factories
+//===----------------------------------------------------------------------===//
+
+/// Owns all L types and expressions plus the symbol table used for
+/// freshening. Factory methods are the only way to make nodes.
+class LContext {
+public:
+  LContext() : IntSingleton(), IntHashSingleton() {}
+  LContext(const LContext &) = delete;
+  LContext &operator=(const LContext &) = delete;
+
+  SymbolTable &symbols() { return Symbols; }
+
+  Symbol sym(std::string_view Name) { return Symbols.intern(Name); }
+
+  // Types.
+  const Type *intTy() const { return &IntSingleton; }
+  const Type *intHashTy() const { return &IntHashSingleton; }
+  const Type *arrowTy(const Type *Param, const Type *Result) {
+    return Mem.create<ArrowType>(Param, Result);
+  }
+  const Type *varTy(Symbol Name) { return Mem.create<VarType>(Name); }
+  const Type *forAllTy(Symbol Var, LKind K, const Type *Body) {
+    return Mem.create<ForAllType>(Var, K, Body);
+  }
+  const Type *forAllRepTy(Symbol RepVar, const Type *Body) {
+    return Mem.create<ForAllRepType>(RepVar, Body);
+  }
+
+  /// The type of error: ∀r. ∀α:TYPE r. Int → α.
+  const Type *errorType();
+
+  // Expressions.
+  const Expr *var(Symbol Name) { return Mem.create<VarExpr>(Name); }
+  const Expr *app(const Expr *Fn, const Expr *Arg) {
+    return Mem.create<AppExpr>(Fn, Arg);
+  }
+  const Expr *lam(Symbol Var, const Type *VarTy, const Expr *Body) {
+    return Mem.create<LamExpr>(Var, VarTy, Body);
+  }
+  const Expr *tyLam(Symbol Var, LKind K, const Expr *Body) {
+    return Mem.create<TyLamExpr>(Var, K, Body);
+  }
+  const Expr *tyApp(const Expr *Fn, const Type *TyArg) {
+    return Mem.create<TyAppExpr>(Fn, TyArg);
+  }
+  const Expr *repLam(Symbol RepVar, const Expr *Body) {
+    return Mem.create<RepLamExpr>(RepVar, Body);
+  }
+  const Expr *repApp(const Expr *Fn, RuntimeRep RepArg) {
+    return Mem.create<RepAppExpr>(Fn, RepArg);
+  }
+  const Expr *con(const Expr *Payload) {
+    return Mem.create<ConExpr>(Payload);
+  }
+  const Expr *caseOf(const Expr *Scrut, Symbol Binder, const Expr *Body) {
+    return Mem.create<CaseExpr>(Scrut, Binder, Body);
+  }
+  const Expr *intLit(int64_t Value) {
+    return Mem.create<IntLitExpr>(Value);
+  }
+  const Expr *error() { return Mem.create<ErrorExpr>(); }
+
+  Arena &arena() { return Mem; }
+
+private:
+  Arena Mem;
+  SymbolTable Symbols;
+  IntType IntSingleton;
+  IntHashType IntHashSingleton;
+  const Type *ErrorTypeCache = nullptr;
+};
+
+/// Structural equality of types up to alpha-renaming of bound type and rep
+/// variables. This is the type-equality used by E_APP and E_TAPP.
+bool typeEqual(const Type *A, const Type *B);
+
+/// \returns true if \p E is a value per Figure 2 (note the recursion under
+/// type and rep abstractions).
+bool isValue(const Expr *E);
+
+} // namespace lcalc
+} // namespace levity
+
+#endif // LEVITY_LCALC_SYNTAX_H

@@ -1,0 +1,219 @@
+//===- TypeCheck.cpp - Typing judgments for L (Figure 3) ------------------===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lcalc/TypeCheck.h"
+#include "lcalc/Subst.h"
+
+using namespace levity;
+using namespace levity::lcalc;
+
+bool TypeChecker::kindValid(const TypeEnv &Env, LKind K) const {
+  // K_CONST: TYPE υ is always a kind.
+  if (K.isConcrete())
+    return true;
+  // K_VAR: TYPE r needs r ∈ Γ.
+  return Env.hasRepVar(K.rep().varName());
+}
+
+Result<LKind> TypeChecker::kindOf(const TypeEnv &Env, const Type *T) const {
+  switch (T->kind()) {
+  case Type::TypeKind::Int:
+    // T_INT: Γ ⊢ Int : TYPE P.
+    return LKind::typePtr();
+  case Type::TypeKind::IntHash:
+    // T_INTH: Γ ⊢ Int# : TYPE I.
+    return LKind::typeInt();
+  case Type::TypeKind::Arrow: {
+    // T_ARROW: both sides must be well-kinded (at *any* kind — this is how
+    // Int# → Int# is fine, Section 4.3); the arrow itself is TYPE P.
+    const auto *A = cast<ArrowType>(T);
+    Result<LKind> K1 = kindOf(Env, A->param());
+    if (!K1)
+      return err(K1.error());
+    Result<LKind> K2 = kindOf(Env, A->result());
+    if (!K2)
+      return err(K2.error());
+    return LKind::typePtr();
+  }
+  case Type::TypeKind::Var: {
+    // T_VAR: α:κ ∈ Γ.
+    const auto *V = cast<VarType>(T);
+    if (std::optional<LKind> K = Env.lookupTypeVar(V->name()))
+      return *K;
+    return err("type variable not in scope: " + std::string(V->name().str()));
+  }
+  case Type::TypeKind::ForAll: {
+    // T_ALLTY: the forall's kind is its *body's* kind κ2 (type erasure),
+    // provided the annotation kind is valid.
+    const auto *F = cast<ForAllType>(T);
+    if (!kindValid(Env, F->varKind()))
+      return err("invalid kind annotation " + F->varKind().str() +
+                 " (rep variable not in scope)");
+    TypeEnv Inner = Env;
+    Inner.pushTypeVar(F->var(), F->varKind());
+    return kindOf(Inner, F->body());
+  }
+  case Type::TypeKind::ForAllRep: {
+    // T_ALLREP: Γ, r ⊢ τ : κ with κ ≠ TYPE r — the rep variable must not
+    // escape into the forall's own kind, or erasure would be impossible.
+    const auto *F = cast<ForAllRepType>(T);
+    TypeEnv Inner = Env;
+    Inner.pushRepVar(F->repVar());
+    Result<LKind> K = kindOf(Inner, F->body());
+    if (!K)
+      return K;
+    if (K->rep().isVar() && K->rep().varName() == F->repVar())
+      return err("body of forall " + std::string(F->repVar().str()) +
+                 ". has kind TYPE " + std::string(F->repVar().str()) +
+                 ", which mentions the bound rep variable (T_ALLREP)");
+    return *K;
+  }
+  }
+  assert(false && "unknown type kind");
+  return err("unknown type kind");
+}
+
+Result<const Type *> TypeChecker::typeOf(TypeEnv &Env, const Expr *E) const {
+  switch (E->kind()) {
+  case Expr::ExprKind::Var: {
+    // E_VAR.
+    const auto *V = cast<VarExpr>(E);
+    if (const Type *T = Env.lookupTerm(V->name()))
+      return T;
+    return err("variable not in scope: " + std::string(V->name().str()));
+  }
+  case Expr::ExprKind::IntLit:
+    // E_INTLIT: n : Int#.
+    return Ctx.intHashTy();
+  case Expr::ExprKind::Error:
+    // E_ERROR: error : ∀r. ∀α:TYPE r. Int → α.
+    return Ctx.errorType();
+  case Expr::ExprKind::Con: {
+    // E_CON: I#[e] : Int when e : Int#.
+    const auto *C = cast<ConExpr>(E);
+    Result<const Type *> PayloadTy = typeOf(Env, C->payload());
+    if (!PayloadTy)
+      return PayloadTy;
+    if (!typeEqual(*PayloadTy, Ctx.intHashTy()))
+      return err("I# expects Int#, got " + (*PayloadTy)->str());
+    return Ctx.intTy();
+  }
+  case Expr::ExprKind::App: {
+    // E_APP, including the highlighted premise Γ ⊢ τ1 : TYPE υ.
+    const auto *A = cast<AppExpr>(E);
+    Result<const Type *> FnTy = typeOf(Env, A->fn());
+    if (!FnTy)
+      return FnTy;
+    const auto *Arrow = dyn_cast<ArrowType>(*FnTy);
+    if (!Arrow)
+      return err("applying a non-function of type " + (*FnTy)->str());
+    Result<const Type *> ArgTy = typeOf(Env, A->arg());
+    if (!ArgTy)
+      return ArgTy;
+    if (!typeEqual(*ArgTy, Arrow->param()))
+      return err("argument type mismatch: expected " +
+                 Arrow->param()->str() + ", got " + (*ArgTy)->str());
+    Result<LKind> ArgKind = kindOf(Env, Arrow->param());
+    if (!ArgKind)
+      return err(ArgKind.error());
+    if (!ArgKind->isConcrete())
+      return err("levity-polymorphic argument: " + Arrow->param()->str() +
+                 " has kind " + ArgKind->str() +
+                 " which is not concrete (E_APP)");
+    return Arrow->result();
+  }
+  case Expr::ExprKind::Lam: {
+    // E_LAM, including the highlighted premise Γ ⊢ τ1 : TYPE υ.
+    const auto *L = cast<LamExpr>(E);
+    Result<LKind> BinderKind = kindOf(Env, L->varType());
+    if (!BinderKind)
+      return err(BinderKind.error());
+    if (!BinderKind->isConcrete())
+      return err("levity-polymorphic binder: " +
+                 std::string(L->var().str()) + " : " + L->varType()->str() +
+                 " has kind " + BinderKind->str() +
+                 " which is not concrete (E_LAM)");
+    Env.pushTerm(L->var(), L->varType());
+    Result<const Type *> BodyTy = typeOf(Env, L->body());
+    Env.popTerm();
+    if (!BodyTy)
+      return BodyTy;
+    return Ctx.arrowTy(L->varType(), *BodyTy);
+  }
+  case Expr::ExprKind::TyLam: {
+    // E_TLAM.
+    const auto *L = cast<TyLamExpr>(E);
+    if (!kindValid(Env, L->varKind()))
+      return err("invalid kind " + L->varKind().str() + " in type lambda");
+    Env.pushTypeVar(L->var(), L->varKind());
+    Result<const Type *> BodyTy = typeOf(Env, L->body());
+    Env.popTypeVar();
+    if (!BodyTy)
+      return BodyTy;
+    return Ctx.forAllTy(L->var(), L->varKind(), *BodyTy);
+  }
+  case Expr::ExprKind::TyApp: {
+    // E_TAPP.
+    const auto *A = cast<TyAppExpr>(E);
+    Result<const Type *> FnTy = typeOf(Env, A->fn());
+    if (!FnTy)
+      return FnTy;
+    const auto *Forall = dyn_cast<ForAllType>(*FnTy);
+    if (!Forall)
+      return err("type-applying a non-polymorphic expression of type " +
+                 (*FnTy)->str());
+    Result<LKind> ArgKind = kindOf(Env, A->tyArg());
+    if (!ArgKind)
+      return err(ArgKind.error());
+    if (*ArgKind != Forall->varKind())
+      return err("kind mismatch in type application: expected " +
+                 Forall->varKind().str() + ", got " + ArgKind->str());
+    return substTypeInType(Ctx, Forall->body(), Forall->var(), A->tyArg());
+  }
+  case Expr::ExprKind::RepLam: {
+    // E_RLAM.
+    const auto *L = cast<RepLamExpr>(E);
+    Env.pushRepVar(L->repVar());
+    Result<const Type *> BodyTy = typeOf(Env, L->body());
+    Env.popRepVar();
+    if (!BodyTy)
+      return BodyTy;
+    return Ctx.forAllRepTy(L->repVar(), *BodyTy);
+  }
+  case Expr::ExprKind::RepApp: {
+    // E_RAPP (with the sanity premise that ρ is well-scoped).
+    const auto *A = cast<RepAppExpr>(E);
+    Result<const Type *> FnTy = typeOf(Env, A->fn());
+    if (!FnTy)
+      return FnTy;
+    const auto *Forall = dyn_cast<ForAllRepType>(*FnTy);
+    if (!Forall)
+      return err("rep-applying an expression of type " + (*FnTy)->str());
+    if (A->repArg().isVar() && !Env.hasRepVar(A->repArg().varName()))
+      return err("rep variable not in scope: " +
+                 std::string(A->repArg().varName().str()));
+    return substRepInType(Ctx, Forall->body(), Forall->repVar(),
+                          A->repArg());
+  }
+  case Expr::ExprKind::Case: {
+    // E_CASE.
+    const auto *C = cast<CaseExpr>(E);
+    Result<const Type *> ScrutTy = typeOf(Env, C->scrut());
+    if (!ScrutTy)
+      return ScrutTy;
+    if (!typeEqual(*ScrutTy, Ctx.intTy()))
+      return err("case scrutinee must have type Int, got " +
+                 (*ScrutTy)->str());
+    Env.pushTerm(C->binder(), Ctx.intHashTy());
+    Result<const Type *> BodyTy = typeOf(Env, C->body());
+    Env.popTerm();
+    return BodyTy;
+  }
+  }
+  assert(false && "unknown expr kind");
+  return err("unknown expr kind");
+}

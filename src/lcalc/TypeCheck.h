@@ -1,0 +1,115 @@
+//===- TypeCheck.h - Typing judgments for L (Figure 3) ----------*- C++ -*-===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The three judgments of Figure 3:
+///
+///   Γ ⊢ κ kind     kind validity (K_CONST, K_VAR)
+///   Γ ⊢ τ : κ      type validity (T_INT, T_INTH, T_ARROW, T_VAR,
+///                                  T_ALLTY, T_ALLREP)
+///   Γ ⊢ e : τ      term validity (E_VAR .. E_INTLIT)
+///
+/// The levity-polymorphism restrictions of Section 5.1 are the highlighted
+/// premises of E_APP and E_LAM: the argument/binder type must have a kind
+/// `TYPE υ` with υ *concrete* — never a rep variable. These premises are
+/// what make compilation (Figure 7) total on well-typed terms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LEVITY_LCALC_TYPECHECK_H
+#define LEVITY_LCALC_TYPECHECK_H
+
+#include "lcalc/Syntax.h"
+#include "support/Result.h"
+
+#include <optional>
+#include <vector>
+
+namespace levity {
+namespace lcalc {
+
+/// Γ — an ordered context of term, type, and rep variable bindings with
+/// shadowing (lookups scan back to front). Scopes are pushed/popped by the
+/// checker; RAII is deliberately avoided so the structure stays POD-simple.
+class TypeEnv {
+public:
+  void pushTerm(Symbol Name, const Type *Ty) {
+    Terms.push_back({Name, Ty});
+  }
+  void popTerm() { Terms.pop_back(); }
+
+  void pushTypeVar(Symbol Name, LKind K) { TypeVars.push_back({Name, K}); }
+  void popTypeVar() { TypeVars.pop_back(); }
+
+  void pushRepVar(Symbol Name) { RepVars.push_back(Name); }
+  void popRepVar() { RepVars.pop_back(); }
+
+  const Type *lookupTerm(Symbol Name) const {
+    for (auto It = Terms.rbegin(), E = Terms.rend(); It != E; ++It)
+      if (It->Name == Name)
+        return It->Ty;
+    return nullptr;
+  }
+
+  std::optional<LKind> lookupTypeVar(Symbol Name) const {
+    for (auto It = TypeVars.rbegin(), E = TypeVars.rend(); It != E; ++It)
+      if (It->first == Name)
+        return It->second;
+    return std::nullopt;
+  }
+
+  bool hasRepVar(Symbol Name) const {
+    for (auto It = RepVars.rbegin(), E = RepVars.rend(); It != E; ++It)
+      if (*It == Name)
+        return true;
+    return false;
+  }
+
+  /// Progress and Simulation require Γ to have no *term* bindings.
+  bool hasTermBindings() const { return !Terms.empty(); }
+
+  size_t numTermBindings() const { return Terms.size(); }
+
+private:
+  struct TermBinding {
+    Symbol Name;
+    const Type *Ty;
+  };
+  std::vector<TermBinding> Terms;
+  std::vector<std::pair<Symbol, LKind>> TypeVars;
+  std::vector<Symbol> RepVars;
+};
+
+/// Implements the judgments of Figure 3.
+class TypeChecker {
+public:
+  explicit TypeChecker(LContext &Ctx) : Ctx(Ctx) {}
+
+  /// Γ ⊢ κ kind — true for TYPE υ (K_CONST) and TYPE r with r ∈ Γ (K_VAR).
+  bool kindValid(const TypeEnv &Env, LKind K) const;
+
+  /// Γ ⊢ τ : κ — computes the (unique) kind of a type, or fails.
+  Result<LKind> kindOf(const TypeEnv &Env, const Type *T) const;
+
+  /// Γ ⊢ e : τ — computes the type of an expression, or fails with the
+  /// first violated premise. \p Env is restored on exit.
+  Result<const Type *> typeOf(TypeEnv &Env, const Expr *E) const;
+
+  /// Convenience: typechecks a closed expression.
+  Result<const Type *> typeOfClosed(const Expr *E) const {
+    TypeEnv Env;
+    return typeOf(Env, E);
+  }
+
+private:
+  LContext &Ctx;
+};
+
+} // namespace lcalc
+} // namespace levity
+
+#endif // LEVITY_LCALC_TYPECHECK_H

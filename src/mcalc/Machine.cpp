@@ -1,0 +1,184 @@
+//===- Machine.cpp - The M abstract machine (Figure 6) --------------------===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "mcalc/Machine.h"
+
+using namespace levity;
+using namespace levity::mcalc;
+
+MachineResult Machine::run(const Term *T, uint64_t MaxSteps) {
+  return runWithHeap(T, {}, MaxSteps);
+}
+
+MachineResult Machine::runWithHeap(const Term *T, HeapMap InitialHeap,
+                                   uint64_t MaxSteps) {
+  MachineResult R;
+  MachineStats &S = R.Stats;
+
+  const Term *Cur = T;
+  std::vector<Frame> Stack;
+  HeapMap H = std::move(InitialHeap);
+
+  auto Stuck = [&](std::string Reason) {
+    R.Status = MachineOutcome::Stuck;
+    R.StuckReason = std::move(Reason);
+    R.Value = Cur;
+    R.FinalHeap = std::move(H);
+    return R;
+  };
+
+  for (; S.Steps != MaxSteps; ++S.Steps) {
+    S.MaxStackDepth = std::max(S.MaxStackDepth, Stack.size());
+    S.MaxHeapSize = std::max(S.MaxHeapSize, H.size());
+
+    if (isValue(Cur)) {
+      // Lower group of Figure 6: dispatch on the top of the stack.
+      if (Stack.empty()) {
+        R.Status = MachineOutcome::Value;
+        R.Value = Cur;
+        R.FinalHeap = std::move(H);
+        return R;
+      }
+      Frame F = Stack.back();
+      Stack.pop_back();
+      switch (F.Kind) {
+      case Frame::FrameKind::AppPtr: {
+        // PPOP: ⟨λp1.t1; App(p2),S; H⟩ → ⟨t1[p2/p1]; S; H⟩.
+        const auto *L = dyn_cast<LamTerm>(Cur);
+        if (!L)
+          return Stuck("App(p) against a non-lambda value");
+        if (!L->param().isPtr())
+          return Stuck("calling-convention mismatch: pointer argument "
+                       "for an integer-register parameter");
+        ++S.BetaPtr;
+        Cur = substVar(Ctx, L->body(), L->param(), F.Var);
+        continue;
+      }
+      case Frame::FrameKind::AppLit: {
+        // IPOP: ⟨λi.t1; App(n),S; H⟩ → ⟨t1[n/i]; S; H⟩.
+        const auto *L = dyn_cast<LamTerm>(Cur);
+        if (!L)
+          return Stuck("App(n) against a non-lambda value");
+        if (!L->param().isInt())
+          return Stuck("calling-convention mismatch: integer argument "
+                       "for a pointer-register parameter");
+        ++S.BetaInt;
+        Cur = substLit(Ctx, L->body(), L->param(), F.Lit);
+        continue;
+      }
+      case Frame::FrameKind::Force:
+        // FCE: ⟨w; Force(p),S; H⟩ → ⟨w; S; p↦w,H⟩ — thunk update.
+        ++S.ThunkUpdates;
+        H[F.Var.Name] = Cur;
+        continue;
+      case Frame::FrameKind::Let: {
+        // ILET: ⟨n; Let(i,t),S; H⟩ → ⟨t[n/i]; S; H⟩.
+        const auto *Lit = dyn_cast<LitTerm>(Cur);
+        if (!Lit || !F.Var.isInt())
+          return Stuck("let! continuation expects an integer literal");
+        Cur = substLit(Ctx, F.Body, F.Var, Lit->value());
+        continue;
+      }
+      case Frame::FrameKind::Case: {
+        // IMAT: ⟨I#[n]; Case(i,t),S; H⟩ → ⟨t[n/i]; S; H⟩.
+        const auto *Con = dyn_cast<ConLitTerm>(Cur);
+        if (!Con || !F.Var.isInt())
+          return Stuck("case continuation expects I#[n]");
+        Cur = substLit(Ctx, F.Body, F.Var, Con->value());
+        continue;
+      }
+      }
+      return Stuck("unknown frame");
+    }
+
+    // Upper group of Figure 6: dispatch on the expression.
+    switch (Cur->kind()) {
+    case Term::TermKind::AppVar: {
+      const auto *A = cast<AppVarTerm>(Cur);
+      // PAPP: push the (pointer) argument; lazy — it is not evaluated.
+      if (!A->arg().isPtr())
+        return Stuck("application to an unresolved integer variable");
+      Stack.push_back({Frame::FrameKind::AppPtr, A->arg(), 0, nullptr});
+      Cur = A->fn();
+      continue;
+    }
+    case Term::TermKind::AppLit: {
+      // IAPP: push the literal argument (already a value).
+      const auto *A = cast<AppLitTerm>(Cur);
+      Stack.push_back({Frame::FrameKind::AppLit, MVar(), A->lit(), nullptr});
+      Cur = A->fn();
+      continue;
+    }
+    case Term::TermKind::Var: {
+      const auto *V = cast<VarTerm>(Cur);
+      if (!V->var().isPtr())
+        return Stuck("unresolved integer variable " + V->var().str());
+      auto It = H.find(V->var().Name);
+      if (It == H.end())
+        return Stuck("dangling heap pointer " + V->var().str());
+      if (isValue(It->second)) {
+        // VAL: simple lookup.
+        ++S.VarLookups;
+        Cur = It->second;
+        continue;
+      }
+      // EVAL: black-hole the thunk and evaluate it; FCE writes back.
+      ++S.ThunkEvals;
+      Cur = It->second;
+      H.erase(It);
+      Stack.push_back({Frame::FrameKind::Force, V->var(), 0, nullptr});
+      continue;
+    }
+    case Term::TermKind::Let: {
+      // LET: allocate a thunk. The binder is freshened into a new heap
+      // address so that re-entrant code allocates distinct cells.
+      const auto *L = cast<LetTerm>(Cur);
+      ++S.Allocations;
+      MVar Addr = Ctx.freshPtr();
+      H.emplace(Addr.Name, L->rhs());
+      Cur = substVar(Ctx, L->body(), L->binder(), Addr);
+      continue;
+    }
+    case Term::TermKind::LetBang: {
+      // SLET: evaluate the right-hand side now.
+      const auto *L = cast<LetBangTerm>(Cur);
+      ++S.StrictLets;
+      Stack.push_back(
+          {Frame::FrameKind::Let, L->binder(), 0, L->body()});
+      Cur = L->rhs();
+      continue;
+    }
+    case Term::TermKind::Case: {
+      // CASE.
+      const auto *C = cast<CaseTerm>(Cur);
+      ++S.Cases;
+      Stack.push_back(
+          {Frame::FrameKind::Case, C->binder(), 0, C->body()});
+      Cur = C->scrut();
+      continue;
+    }
+    case Term::TermKind::Error:
+      // ERR: abort the machine.
+      R.Status = MachineOutcome::Bottom;
+      R.FinalHeap = std::move(H);
+      return R;
+    case Term::TermKind::ConVar:
+      return Stuck("I#[y] with unresolved variable " +
+                   cast<ConVarTerm>(Cur)->var().str());
+    case Term::TermKind::Lam:
+    case Term::TermKind::ConLit:
+    case Term::TermKind::Lit:
+      assert(false && "values handled above");
+      return Stuck("internal: value fell through");
+    }
+  }
+
+  R.Status = MachineOutcome::OutOfFuel;
+  R.Value = Cur;
+  R.FinalHeap = std::move(H);
+  return R;
+}

@@ -1,0 +1,289 @@
+//===- Syntax.cpp - The M language of Section 6.2 -------------------------===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "mcalc/Syntax.h"
+
+#include <sstream>
+
+using namespace levity;
+using namespace levity::mcalc;
+
+namespace {
+
+enum Prec { PrecTop = 0, PrecApp = 1, PrecAtom = 2 };
+
+void printTerm(std::ostringstream &OS, const Term *T, int Prec) {
+  switch (T->kind()) {
+  case Term::TermKind::Var:
+    OS << cast<VarTerm>(T)->var().str();
+    return;
+  case Term::TermKind::Lit:
+    OS << cast<LitTerm>(T)->value();
+    return;
+  case Term::TermKind::Error:
+    OS << "error";
+    return;
+  case Term::TermKind::ConVar:
+    OS << "I#[" << cast<ConVarTerm>(T)->var().str() << "]";
+    return;
+  case Term::TermKind::ConLit:
+    OS << "I#[" << cast<ConLitTerm>(T)->value() << "]";
+    return;
+  case Term::TermKind::AppVar: {
+    const auto *A = cast<AppVarTerm>(T);
+    if (Prec > PrecApp)
+      OS << "(";
+    printTerm(OS, A->fn(), PrecApp);
+    OS << " " << A->arg().str();
+    if (Prec > PrecApp)
+      OS << ")";
+    return;
+  }
+  case Term::TermKind::AppLit: {
+    const auto *A = cast<AppLitTerm>(T);
+    if (Prec > PrecApp)
+      OS << "(";
+    printTerm(OS, A->fn(), PrecApp);
+    OS << " " << A->lit();
+    if (Prec > PrecApp)
+      OS << ")";
+    return;
+  }
+  case Term::TermKind::Lam: {
+    const auto *L = cast<LamTerm>(T);
+    if (Prec > PrecTop)
+      OS << "(";
+    OS << "\\" << L->param().str() << ". ";
+    printTerm(OS, L->body(), PrecTop);
+    if (Prec > PrecTop)
+      OS << ")";
+    return;
+  }
+  case Term::TermKind::Let: {
+    const auto *L = cast<LetTerm>(T);
+    if (Prec > PrecTop)
+      OS << "(";
+    OS << "let " << L->binder().str() << " = ";
+    printTerm(OS, L->rhs(), PrecApp);
+    OS << " in ";
+    printTerm(OS, L->body(), PrecTop);
+    if (Prec > PrecTop)
+      OS << ")";
+    return;
+  }
+  case Term::TermKind::LetBang: {
+    const auto *L = cast<LetBangTerm>(T);
+    if (Prec > PrecTop)
+      OS << "(";
+    OS << "let! " << L->binder().str() << " = ";
+    printTerm(OS, L->rhs(), PrecApp);
+    OS << " in ";
+    printTerm(OS, L->body(), PrecTop);
+    if (Prec > PrecTop)
+      OS << ")";
+    return;
+  }
+  case Term::TermKind::Case: {
+    const auto *C = cast<CaseTerm>(T);
+    if (Prec > PrecTop)
+      OS << "(";
+    OS << "case ";
+    printTerm(OS, C->scrut(), PrecTop);
+    OS << " of I#[" << C->binder().str() << "] -> ";
+    printTerm(OS, C->body(), PrecTop);
+    if (Prec > PrecTop)
+      OS << ")";
+    return;
+  }
+  }
+}
+
+} // namespace
+
+std::string Term::str() const {
+  std::ostringstream OS;
+  printTerm(OS, this, PrecTop);
+  return OS.str();
+}
+
+bool mcalc::isValue(const Term *T) {
+  switch (T->kind()) {
+  case Term::TermKind::Lam:
+  case Term::TermKind::ConLit:
+  case Term::TermKind::Lit:
+    return true;
+  default:
+    return false;
+  }
+}
+
+const Term *mcalc::substVar(MContext &Ctx, const Term *T, MVar Var,
+                            MVar Replacement) {
+  assert(Var.Sort == Replacement.Sort && "substitution changes widths");
+  switch (T->kind()) {
+  case Term::TermKind::Var:
+    return cast<VarTerm>(T)->var() == Var ? Ctx.var(Replacement) : T;
+  case Term::TermKind::Lit:
+  case Term::TermKind::ConLit:
+  case Term::TermKind::Error:
+    return T;
+  case Term::TermKind::ConVar: {
+    const auto *C = cast<ConVarTerm>(T);
+    return C->var() == Var ? Ctx.conVar(Replacement) : T;
+  }
+  case Term::TermKind::AppVar: {
+    const auto *A = cast<AppVarTerm>(T);
+    const Term *Fn = substVar(Ctx, A->fn(), Var, Replacement);
+    MVar Arg = A->arg() == Var ? Replacement : A->arg();
+    if (Fn == A->fn() && Arg == A->arg())
+      return T;
+    return Ctx.appVar(Fn, Arg);
+  }
+  case Term::TermKind::AppLit: {
+    const auto *A = cast<AppLitTerm>(T);
+    const Term *Fn = substVar(Ctx, A->fn(), Var, Replacement);
+    if (Fn == A->fn())
+      return T;
+    return Ctx.appLit(Fn, A->lit());
+  }
+  case Term::TermKind::Lam: {
+    const auto *L = cast<LamTerm>(T);
+    if (L->param() == Var)
+      return T; // shadowed
+    if (L->param() == Replacement) {
+      // Freshen to avoid capturing the replacement variable.
+      MVar Fresh = Ctx.freshLike(L->param());
+      const Term *Renamed = substVar(Ctx, L->body(), L->param(), Fresh);
+      return Ctx.lam(Fresh, substVar(Ctx, Renamed, Var, Replacement));
+    }
+    const Term *Body = substVar(Ctx, L->body(), Var, Replacement);
+    if (Body == L->body())
+      return T;
+    return Ctx.lam(L->param(), Body);
+  }
+  case Term::TermKind::Let:
+  case Term::TermKind::LetBang: {
+    bool Strict = T->kind() == Term::TermKind::LetBang;
+    MVar Binder = Strict ? cast<LetBangTerm>(T)->binder()
+                         : cast<LetTerm>(T)->binder();
+    const Term *Rhs =
+        Strict ? cast<LetBangTerm>(T)->rhs() : cast<LetTerm>(T)->rhs();
+    const Term *Body =
+        Strict ? cast<LetBangTerm>(T)->body() : cast<LetTerm>(T)->body();
+    const Term *NewRhs = substVar(Ctx, Rhs, Var, Replacement);
+    if (Binder == Var) {
+      if (NewRhs == Rhs)
+        return T;
+      return Strict ? Ctx.letBang(Binder, NewRhs, Body)
+                    : Ctx.let(Binder, NewRhs, Body);
+    }
+    if (Binder == Replacement) {
+      MVar Fresh = Ctx.freshLike(Binder);
+      const Term *Renamed = substVar(Ctx, Body, Binder, Fresh);
+      const Term *NewBody = substVar(Ctx, Renamed, Var, Replacement);
+      return Strict ? Ctx.letBang(Fresh, NewRhs, NewBody)
+                    : Ctx.let(Fresh, NewRhs, NewBody);
+    }
+    const Term *NewBody = substVar(Ctx, Body, Var, Replacement);
+    if (NewRhs == Rhs && NewBody == Body)
+      return T;
+    return Strict ? Ctx.letBang(Binder, NewRhs, NewBody)
+                  : Ctx.let(Binder, NewRhs, NewBody);
+  }
+  case Term::TermKind::Case: {
+    const auto *C = cast<CaseTerm>(T);
+    const Term *Scrut = substVar(Ctx, C->scrut(), Var, Replacement);
+    if (C->binder() == Var) {
+      if (Scrut == C->scrut())
+        return T;
+      return Ctx.caseOf(Scrut, C->binder(), C->body());
+    }
+    if (C->binder() == Replacement) {
+      MVar Fresh = Ctx.freshLike(C->binder());
+      const Term *Renamed = substVar(Ctx, C->body(), C->binder(), Fresh);
+      return Ctx.caseOf(Scrut, Fresh,
+                        substVar(Ctx, Renamed, Var, Replacement));
+    }
+    const Term *Body = substVar(Ctx, C->body(), Var, Replacement);
+    if (Scrut == C->scrut() && Body == C->body())
+      return T;
+    return Ctx.caseOf(Scrut, C->binder(), Body);
+  }
+  }
+  assert(false && "unknown term kind");
+  return T;
+}
+
+const Term *mcalc::substLit(MContext &Ctx, const Term *T, MVar Var,
+                            int64_t Lit) {
+  assert(Var.isInt() && "only integer variables carry literals");
+  switch (T->kind()) {
+  case Term::TermKind::Var:
+    return cast<VarTerm>(T)->var() == Var ? Ctx.lit(Lit) : T;
+  case Term::TermKind::Lit:
+  case Term::TermKind::ConLit:
+  case Term::TermKind::Error:
+    return T;
+  case Term::TermKind::ConVar: {
+    const auto *C = cast<ConVarTerm>(T);
+    return C->var() == Var ? Ctx.conLit(Lit) : T;
+  }
+  case Term::TermKind::AppVar: {
+    const auto *A = cast<AppVarTerm>(T);
+    const Term *Fn = substLit(Ctx, A->fn(), Var, Lit);
+    if (A->arg() == Var)
+      return Ctx.appLit(Fn, Lit); // t i becomes t n
+    if (Fn == A->fn())
+      return T;
+    return Ctx.appVar(Fn, A->arg());
+  }
+  case Term::TermKind::AppLit: {
+    const auto *A = cast<AppLitTerm>(T);
+    const Term *Fn = substLit(Ctx, A->fn(), Var, Lit);
+    if (Fn == A->fn())
+      return T;
+    return Ctx.appLit(Fn, A->lit());
+  }
+  case Term::TermKind::Lam: {
+    const auto *L = cast<LamTerm>(T);
+    if (L->param() == Var)
+      return T; // shadowed
+    const Term *Body = substLit(Ctx, L->body(), Var, Lit);
+    if (Body == L->body())
+      return T;
+    return Ctx.lam(L->param(), Body);
+  }
+  case Term::TermKind::Let:
+  case Term::TermKind::LetBang: {
+    bool Strict = T->kind() == Term::TermKind::LetBang;
+    MVar Binder = Strict ? cast<LetBangTerm>(T)->binder()
+                         : cast<LetTerm>(T)->binder();
+    const Term *Rhs =
+        Strict ? cast<LetBangTerm>(T)->rhs() : cast<LetTerm>(T)->rhs();
+    const Term *Body =
+        Strict ? cast<LetBangTerm>(T)->body() : cast<LetTerm>(T)->body();
+    const Term *NewRhs = substLit(Ctx, Rhs, Var, Lit);
+    const Term *NewBody =
+        Binder == Var ? Body : substLit(Ctx, Body, Var, Lit);
+    if (NewRhs == Rhs && NewBody == Body)
+      return T;
+    return Strict ? Ctx.letBang(Binder, NewRhs, NewBody)
+                  : Ctx.let(Binder, NewRhs, NewBody);
+  }
+  case Term::TermKind::Case: {
+    const auto *C = cast<CaseTerm>(T);
+    const Term *Scrut = substLit(Ctx, C->scrut(), Var, Lit);
+    const Term *Body =
+        C->binder() == Var ? C->body() : substLit(Ctx, C->body(), Var, Lit);
+    if (Scrut == C->scrut() && Body == C->body())
+      return T;
+    return Ctx.caseOf(Scrut, C->binder(), Body);
+  }
+  }
+  assert(false && "unknown term kind");
+  return T;
+}

@@ -1,0 +1,329 @@
+//===- Syntax.h - The M language of Section 6.2 (Figure 5) ------*- C++ -*-===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract syntax for M, the paper's A-normal-form target language
+/// (Figure 5):
+///
+/// \code
+///   y ::= p | i                       pointer / integer variables
+///   t ::= t y | t n | λy.t | y | let p = t1 in t2
+///       | let! y = t1 in t2 | case t1 of I#[y] → t2 | error
+///       | I#[y] | I#[n] | n
+///   w ::= λy.t | I#[n] | n            values
+/// \endcode
+///
+/// M is representation-monomorphic: every variable is *either* a pointer
+/// variable (register class P) or an integer variable (register class I) —
+/// the two metavariable sorts of the paper. Functions are called only on
+/// variables or literals (ANF), so every data movement has a known width.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LEVITY_MCALC_SYNTAX_H
+#define LEVITY_MCALC_SYNTAX_H
+
+#include "support/Arena.h"
+#include "support/Symbol.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace levity {
+namespace mcalc {
+
+/// The two sorts of M variables: each corresponds to a machine register
+/// class, so substitution always moves data of known width (Section 6.2).
+enum class VarSort : uint8_t {
+  Ptr, ///< p — points to a heap object (thunk or value).
+  Int  ///< i — holds an unboxed machine integer.
+};
+
+/// y — a sorted variable.
+struct MVar {
+  Symbol Name;
+  VarSort Sort = VarSort::Ptr;
+
+  bool isPtr() const { return Sort == VarSort::Ptr; }
+  bool isInt() const { return Sort == VarSort::Int; }
+
+  friend bool operator==(const MVar &A, const MVar &B) {
+    return A.Name == B.Name && A.Sort == B.Sort;
+  }
+  friend bool operator!=(const MVar &A, const MVar &B) { return !(A == B); }
+
+  std::string str() const { return std::string(Name.str()); }
+};
+
+/// t — an M term.
+class Term {
+public:
+  enum class TermKind : uint8_t {
+    AppVar, ///< t y
+    AppLit, ///< t n
+    Lam,    ///< λy.t
+    Var,    ///< y
+    Let,    ///< let p = t1 in t2   (lazy: allocates a thunk)
+    LetBang,///< let! y = t1 in t2  (strict: evaluates t1 first)
+    Case,   ///< case t1 of I#[y] → t2
+    Error,  ///< error
+    ConVar, ///< I#[y]
+    ConLit, ///< I#[n]
+    Lit     ///< n
+  };
+
+  TermKind kind() const { return Kind; }
+
+  std::string str() const;
+
+protected:
+  explicit Term(TermKind Kind) : Kind(Kind) {}
+
+private:
+  TermKind Kind;
+};
+
+class AppVarTerm : public Term {
+public:
+  AppVarTerm(const Term *Fn, MVar Arg)
+      : Term(TermKind::AppVar), Fn(Fn), Arg(Arg) {}
+
+  const Term *fn() const { return Fn; }
+  MVar arg() const { return Arg; }
+
+  static bool classof(const Term *T) { return T->kind() == TermKind::AppVar; }
+
+private:
+  const Term *Fn;
+  MVar Arg;
+};
+
+class AppLitTerm : public Term {
+public:
+  AppLitTerm(const Term *Fn, int64_t Lit)
+      : Term(TermKind::AppLit), Fn(Fn), Lit(Lit) {}
+
+  const Term *fn() const { return Fn; }
+  int64_t lit() const { return Lit; }
+
+  static bool classof(const Term *T) { return T->kind() == TermKind::AppLit; }
+
+private:
+  const Term *Fn;
+  int64_t Lit;
+};
+
+class LamTerm : public Term {
+public:
+  LamTerm(MVar Param, const Term *Body)
+      : Term(TermKind::Lam), Param(Param), Body(Body) {}
+
+  MVar param() const { return Param; }
+  const Term *body() const { return Body; }
+
+  static bool classof(const Term *T) { return T->kind() == TermKind::Lam; }
+
+private:
+  MVar Param;
+  const Term *Body;
+};
+
+class VarTerm : public Term {
+public:
+  explicit VarTerm(MVar V) : Term(TermKind::Var), V(V) {}
+
+  MVar var() const { return V; }
+
+  static bool classof(const Term *T) { return T->kind() == TermKind::Var; }
+
+private:
+  MVar V;
+};
+
+/// let p = t1 in t2 — lazy; the machine allocates a thunk for t1.
+class LetTerm : public Term {
+public:
+  LetTerm(MVar Binder, const Term *Rhs, const Term *Body)
+      : Term(TermKind::Let), Binder(Binder), Rhs(Rhs), Body(Body) {
+    assert(Binder.isPtr() && "lazy let binds a pointer variable");
+  }
+
+  MVar binder() const { return Binder; }
+  const Term *rhs() const { return Rhs; }
+  const Term *body() const { return Body; }
+
+  static bool classof(const Term *T) { return T->kind() == TermKind::Let; }
+
+private:
+  MVar Binder;
+  const Term *Rhs;
+  const Term *Body;
+};
+
+/// let! y = t1 in t2 — strict; the machine evaluates t1 before t2.
+class LetBangTerm : public Term {
+public:
+  LetBangTerm(MVar Binder, const Term *Rhs, const Term *Body)
+      : Term(TermKind::LetBang), Binder(Binder), Rhs(Rhs), Body(Body) {}
+
+  MVar binder() const { return Binder; }
+  const Term *rhs() const { return Rhs; }
+  const Term *body() const { return Body; }
+
+  static bool classof(const Term *T) {
+    return T->kind() == TermKind::LetBang;
+  }
+
+private:
+  MVar Binder;
+  const Term *Rhs;
+  const Term *Body;
+};
+
+class CaseTerm : public Term {
+public:
+  CaseTerm(const Term *Scrut, MVar Binder, const Term *Body)
+      : Term(TermKind::Case), Scrut(Scrut), Binder(Binder), Body(Body) {}
+
+  const Term *scrut() const { return Scrut; }
+  MVar binder() const { return Binder; }
+  const Term *body() const { return Body; }
+
+  static bool classof(const Term *T) { return T->kind() == TermKind::Case; }
+
+private:
+  const Term *Scrut;
+  MVar Binder;
+  const Term *Body;
+};
+
+class ErrorTerm : public Term {
+public:
+  ErrorTerm() : Term(TermKind::Error) {}
+  static bool classof(const Term *T) { return T->kind() == TermKind::Error; }
+};
+
+class ConVarTerm : public Term {
+public:
+  explicit ConVarTerm(MVar V) : Term(TermKind::ConVar), V(V) {}
+
+  MVar var() const { return V; }
+
+  static bool classof(const Term *T) { return T->kind() == TermKind::ConVar; }
+
+private:
+  MVar V;
+};
+
+class ConLitTerm : public Term {
+public:
+  explicit ConLitTerm(int64_t Value) : Term(TermKind::ConLit), Value(Value) {}
+
+  int64_t value() const { return Value; }
+
+  static bool classof(const Term *T) { return T->kind() == TermKind::ConLit; }
+
+private:
+  int64_t Value;
+};
+
+class LitTerm : public Term {
+public:
+  explicit LitTerm(int64_t Value) : Term(TermKind::Lit), Value(Value) {}
+
+  int64_t value() const { return Value; }
+
+  static bool classof(const Term *T) { return T->kind() == TermKind::Lit; }
+
+private:
+  int64_t Value;
+};
+
+template <typename To, typename From> bool isa(const From *Node) {
+  return To::classof(Node);
+}
+
+template <typename To, typename From> const To *cast(const From *Node) {
+  assert(isa<To>(Node) && "cast to incompatible node kind");
+  return static_cast<const To *>(Node);
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Node) {
+  return isa<To>(Node) ? static_cast<const To *>(Node) : nullptr;
+}
+
+/// Owns all M terms; the only way to make nodes.
+class MContext {
+public:
+  MContext() = default;
+  MContext(const MContext &) = delete;
+  MContext &operator=(const MContext &) = delete;
+
+  SymbolTable &symbols() { return Symbols; }
+
+  /// Makes a fresh pointer variable (p0, p1, ...).
+  MVar freshPtr() {
+    return {Symbols.intern("p" + std::to_string(Counter++)), VarSort::Ptr};
+  }
+  /// Makes a fresh integer variable (i0, i1, ...).
+  MVar freshInt() {
+    return {Symbols.intern("i" + std::to_string(Counter++)), VarSort::Int};
+  }
+  /// Makes a fresh variable of the same sort as \p Like.
+  MVar freshLike(MVar Like) {
+    return Like.isPtr() ? freshPtr() : freshInt();
+  }
+
+  const Term *appVar(const Term *Fn, MVar Arg) {
+    return Mem.create<AppVarTerm>(Fn, Arg);
+  }
+  const Term *appLit(const Term *Fn, int64_t Lit) {
+    return Mem.create<AppLitTerm>(Fn, Lit);
+  }
+  const Term *lam(MVar Param, const Term *Body) {
+    return Mem.create<LamTerm>(Param, Body);
+  }
+  const Term *var(MVar V) { return Mem.create<VarTerm>(V); }
+  const Term *let(MVar Binder, const Term *Rhs, const Term *Body) {
+    return Mem.create<LetTerm>(Binder, Rhs, Body);
+  }
+  const Term *letBang(MVar Binder, const Term *Rhs, const Term *Body) {
+    return Mem.create<LetBangTerm>(Binder, Rhs, Body);
+  }
+  const Term *caseOf(const Term *Scrut, MVar Binder, const Term *Body) {
+    return Mem.create<CaseTerm>(Scrut, Binder, Body);
+  }
+  const Term *error() { return Mem.create<ErrorTerm>(); }
+  const Term *conVar(MVar V) { return Mem.create<ConVarTerm>(V); }
+  const Term *conLit(int64_t Value) { return Mem.create<ConLitTerm>(Value); }
+  const Term *lit(int64_t Value) { return Mem.create<LitTerm>(Value); }
+
+  Arena &arena() { return Mem; }
+
+private:
+  Arena Mem;
+  SymbolTable Symbols;
+  uint64_t Counter = 0;
+};
+
+/// \returns true for values w ::= λy.t | I#[n] | n (Figure 5).
+bool isValue(const Term *T);
+
+/// Capture-avoiding t[Replacement/Var] where the replacement is a variable
+/// of the same sort (PPOP). Substituting into I#[y] keeps the form.
+const Term *substVar(MContext &Ctx, const Term *T, MVar Var, MVar
+                     Replacement);
+
+/// Capture-avoiding t[n/i] where i is an integer variable (IPOP, ILET,
+/// IMAT). Substituting into I#[i] yields I#[n]; into `t i` yields `t n`.
+const Term *substLit(MContext &Ctx, const Term *T, MVar Var, int64_t Lit);
+
+} // namespace mcalc
+} // namespace levity
+
+#endif // LEVITY_MCALC_SYNTAX_H

@@ -1,0 +1,87 @@
+//===- CallingConv.cpp - Kinds as calling conventions ---------------------===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "rep/CallingConv.h"
+
+#include <sstream>
+
+using namespace levity;
+
+namespace {
+
+/// Tracks the next free register per class while assigning.
+class RegAllocator {
+public:
+  RegAssignment next(RegClass RC) { return {RC, Counters[size_t(RC)]++}; }
+
+  void assign(const Rep *R, std::vector<RegAssignment> &Out) {
+    std::vector<RegClass> Classes;
+    R->flattenRegisters(Classes);
+    for (RegClass RC : Classes)
+      Out.push_back(next(RC));
+  }
+
+private:
+  unsigned Counters[4] = {0, 0, 0, 0};
+};
+
+} // namespace
+
+CallingConv CallingConv::compute(std::span<const Rep *const> Args,
+                                 const Rep *Ret) {
+  CallingConv CC;
+  RegAllocator ArgAlloc;
+  CC.ArgStarts.push_back(0);
+  for (const Rep *A : Args) {
+    ArgAlloc.assign(A, CC.ArgRegs);
+    CC.ArgStarts.push_back(CC.ArgRegs.size());
+  }
+  RegAllocator RetAlloc;
+  if (Ret)
+    RetAlloc.assign(Ret, CC.RetRegs);
+  return CC;
+}
+
+unsigned CallingConv::numArgRegisters(RegClass RC) const {
+  unsigned N = 0;
+  for (const RegAssignment &R : ArgRegs)
+    if (R.Class == RC)
+      ++N;
+  return N;
+}
+
+std::string CallingConv::str() const {
+  std::ostringstream OS;
+  auto PrintReg = [&](const RegAssignment &R) {
+    OS << regClassName(R.Class) << R.Index;
+  };
+  OS << "(";
+  for (size_t I = 0, E = numArgs(); I != E; ++I) {
+    if (I != 0)
+      OS << ", ";
+    std::span<const RegAssignment> Regs = argRegisters(I);
+    if (Regs.size() == 1) {
+      PrintReg(Regs[0]);
+      continue;
+    }
+    OS << "[";
+    for (size_t J = 0; J != Regs.size(); ++J) {
+      if (J != 0)
+        OS << ", ";
+      PrintReg(Regs[J]);
+    }
+    OS << "]";
+  }
+  OS << ") -> [";
+  for (size_t J = 0; J != RetRegs.size(); ++J) {
+    if (J != 0)
+      OS << ", ";
+    PrintReg(RetRegs[J]);
+  }
+  OS << "]";
+  return OS.str();
+}

@@ -1,0 +1,78 @@
+//===- CallingConv.h - Kinds as calling conventions -------------*- C++ -*-===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Derives concrete calling conventions from reps, realizing the paper's
+/// central slogan: *the kind determines the calling convention*. Arguments
+/// and results are mapped to numbered registers per register class, the way
+/// a code generator would assign them; unboxed tuples fan out over several
+/// registers (Section 2.3) and (# #) occupies none.
+///
+/// This module is what makes "you cannot compile a levity-polymorphic
+/// binder" operational: computing a convention *requires* a concrete Rep.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LEVITY_REP_CALLINGCONV_H
+#define LEVITY_REP_CALLINGCONV_H
+
+#include "rep/Rep.h"
+
+#include <string>
+#include <vector>
+
+namespace levity {
+
+/// One machine register, identified by class and index within the class
+/// (e.g. the second pointer register is {GcPtr, 1}).
+struct RegAssignment {
+  RegClass Class;
+  unsigned Index;
+
+  friend bool operator==(const RegAssignment &A, const RegAssignment &B) {
+    return A.Class == B.Class && A.Index == B.Index;
+  }
+};
+
+/// The registers used to pass each argument and return the result.
+class CallingConv {
+public:
+  /// Computes the convention for a function taking \p Args and returning
+  /// \p Ret. Registers are assigned left-to-right, first-free per class.
+  static CallingConv compute(std::span<const Rep *const> Args,
+                             const Rep *Ret);
+
+  /// Registers of the I-th argument (an unboxed tuple may span several).
+  std::span<const RegAssignment> argRegisters(size_t I) const {
+    return {ArgRegs.data() + ArgStarts[I],
+            ArgStarts[I + 1] - ArgStarts[I]};
+  }
+
+  size_t numArgs() const { return ArgStarts.size() - 1; }
+  std::span<const RegAssignment> allArgRegisters() const { return ArgRegs; }
+  std::span<const RegAssignment> retRegisters() const { return RetRegs; }
+
+  /// Total registers used for arguments, per class, for occupancy stats.
+  unsigned numArgRegisters(RegClass RC) const;
+
+  friend bool operator==(const CallingConv &A, const CallingConv &B) {
+    return A.ArgRegs == B.ArgRegs && A.ArgStarts == B.ArgStarts &&
+           A.RetRegs == B.RetRegs;
+  }
+
+  /// Renders e.g. "(P0, [I0, P1]) -> [I0, I1]".
+  std::string str() const;
+
+private:
+  std::vector<RegAssignment> ArgRegs;
+  std::vector<size_t> ArgStarts; // ArgStarts[i]..ArgStarts[i+1] in ArgRegs
+  std::vector<RegAssignment> RetRegs;
+};
+
+} // namespace levity
+
+#endif // LEVITY_REP_CALLINGCONV_H

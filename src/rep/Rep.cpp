@@ -1,0 +1,177 @@
+//===- Rep.cpp - Runtime representation algebra ---------------------------===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "rep/Rep.h"
+
+#include <sstream>
+
+using namespace levity;
+
+unsigned Rep::widthBytes() const {
+  switch (Ctor) {
+  case RepCtor::Lifted:
+  case RepCtor::Unlifted:
+  case RepCtor::Addr:
+  case RepCtor::Int:
+  case RepCtor::Int64:
+  case RepCtor::Word:
+    return 8;
+  case RepCtor::Int8:
+    return 1;
+  case RepCtor::Int16:
+    return 2;
+  case RepCtor::Int32:
+  case RepCtor::Float:
+    return 4;
+  case RepCtor::Double:
+    return 8;
+  case RepCtor::Tuple: {
+    unsigned Sum = 0;
+    for (const Rep *E : Elems)
+      Sum += E->widthBytes();
+    return Sum;
+  }
+  case RepCtor::Sum: {
+    // Simplified unboxed-sum layout: one tag word plus the widest variant.
+    // (GHC merges slots across variants; the width upper bound is the same
+    // and the register-class story below is what the paper's claims need.)
+    unsigned Max = 0;
+    for (const Rep *E : Elems)
+      Max = std::max(Max, E->widthBytes());
+    return 8 + Max;
+  }
+  }
+  assert(false && "unknown rep constructor");
+  return 0;
+}
+
+void Rep::flattenRegisters(std::vector<RegClass> &Out) const {
+  switch (Ctor) {
+  case RepCtor::Lifted:
+  case RepCtor::Unlifted:
+    Out.push_back(RegClass::GcPtr);
+    return;
+  case RepCtor::Int:
+  case RepCtor::Int8:
+  case RepCtor::Int16:
+  case RepCtor::Int32:
+  case RepCtor::Int64:
+  case RepCtor::Word:
+  case RepCtor::Addr:
+    Out.push_back(RegClass::IntReg);
+    return;
+  case RepCtor::Float:
+    Out.push_back(RegClass::FloatReg);
+    return;
+  case RepCtor::Double:
+    Out.push_back(RegClass::DoubleReg);
+    return;
+  case RepCtor::Tuple:
+    // Nesting is computationally irrelevant (Section 2.3): flatten.
+    for (const Rep *E : Elems)
+      E->flattenRegisters(Out);
+    return;
+  case RepCtor::Sum:
+    Out.push_back(RegClass::IntReg); // tag
+    for (const Rep *E : Elems)
+      E->flattenRegisters(Out);
+    return;
+  }
+  assert(false && "unknown rep constructor");
+}
+
+bool Rep::sameConvention(const Rep *Other) const {
+  if (this == Other)
+    return true;
+  std::vector<RegClass> A, B;
+  flattenRegisters(A);
+  Other->flattenRegisters(B);
+  return A == B;
+}
+
+std::string Rep::str() const {
+  switch (Ctor) {
+  case RepCtor::Lifted:
+    return "LiftedRep";
+  case RepCtor::Unlifted:
+    return "UnliftedRep";
+  case RepCtor::Int:
+    return "IntRep";
+  case RepCtor::Int8:
+    return "Int8Rep";
+  case RepCtor::Int16:
+    return "Int16Rep";
+  case RepCtor::Int32:
+    return "Int32Rep";
+  case RepCtor::Int64:
+    return "Int64Rep";
+  case RepCtor::Word:
+    return "WordRep";
+  case RepCtor::Float:
+    return "FloatRep";
+  case RepCtor::Double:
+    return "DoubleRep";
+  case RepCtor::Addr:
+    return "AddrRep";
+  case RepCtor::Tuple:
+  case RepCtor::Sum: {
+    std::ostringstream OS;
+    OS << (Ctor == RepCtor::Tuple ? "TupleRep" : "SumRep") << " '[";
+    bool First = true;
+    for (const Rep *E : Elems) {
+      if (!First)
+        OS << ", ";
+      First = false;
+      OS << E->str();
+    }
+    OS << "]";
+    return OS.str();
+  }
+  }
+  assert(false && "unknown rep constructor");
+  return "";
+}
+
+RepContext::RepContext() {
+  for (size_t I = 0; I != NumAtoms; ++I)
+    Atoms[I] = Mem.create<Rep>(Rep(RepCtor(I), {}));
+}
+
+const Rep *RepContext::internCompound(RepCtor Ctor,
+                                      std::span<const Rep *const> Elems) {
+  std::vector<const Rep *> Key(Elems.begin(), Elems.end());
+  auto It = Compounds.find({Ctor, Key});
+  if (It != Compounds.end())
+    return It->second;
+  std::span<const Rep *const> Stored =
+      Mem.copyArray(std::span<const Rep *const>(Elems));
+  const Rep *R = Mem.create<Rep>(Rep(Ctor, Stored));
+  Compounds.emplace(std::make_pair(Ctor, std::move(Key)), R);
+  return R;
+}
+
+const Rep *RepContext::tuple(std::span<const Rep *const> Elems) {
+  return internCompound(RepCtor::Tuple, Elems);
+}
+
+const Rep *RepContext::sum(std::span<const Rep *const> Elems) {
+  return internCompound(RepCtor::Sum, Elems);
+}
+
+std::string_view levity::regClassName(RegClass RC) {
+  switch (RC) {
+  case RegClass::GcPtr:
+    return "P";
+  case RegClass::IntReg:
+    return "I";
+  case RegClass::FloatReg:
+    return "F32";
+  case RegClass::DoubleReg:
+    return "F64";
+  }
+  return "?";
+}

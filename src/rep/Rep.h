@@ -1,0 +1,182 @@
+//===- Rep.h - Runtime representation algebra -------------------*- C++ -*-===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Rep algebra of Section 4.1:
+///
+/// \code
+///   data Rep = LiftedRep | UnliftedRep | IntRep | ... | TupleRep [Rep] | ...
+/// \endcode
+///
+/// A Rep describes the runtime representation of the values of a type, and
+/// hence the calling convention of functions over that type ("kinds are
+/// calling conventions"). Reps are interned in a RepContext: equal reps are
+/// pointer-equal, so kind equality checks are O(1) on atoms and structural
+/// only through tuple/sum spines that were interned once.
+///
+/// Boxity and levity (Figure 1): LiftedRep and UnliftedRep are boxed (a GC
+/// pointer); everything else is unboxed. Only LiftedRep is lifted (has
+/// bottom); there is deliberately no constructor for "lifted and unboxed" —
+/// that corner of Figure 1 is uninhabited *by construction*.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LEVITY_REP_REP_H
+#define LEVITY_REP_REP_H
+
+#include "support/Arena.h"
+
+#include <cassert>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace levity {
+
+/// The constructors of the promoted data type Rep.
+enum class RepCtor : uint8_t {
+  Lifted,   ///< Boxed, lifted: a pointer to a possibly-thunked heap object.
+  Unlifted, ///< Boxed, unlifted: a pointer to a definitely-evaluated object.
+  Int,      ///< Unboxed machine-word signed integer (Int#).
+  Int8,     ///< Unboxed 8-bit signed integer (Int8#).
+  Int16,    ///< Unboxed 16-bit signed integer (Int16#).
+  Int32,    ///< Unboxed 32-bit signed integer (Int32#).
+  Int64,    ///< Unboxed 64-bit signed integer (Int64#).
+  Word,     ///< Unboxed machine-word unsigned integer (Word#).
+  Float,    ///< Unboxed single-precision float (Float#).
+  Double,   ///< Unboxed double-precision float (Double#).
+  Addr,     ///< Unboxed machine address (Addr#), not traced by the GC.
+  Tuple,    ///< Unboxed tuple: the concatenation of its fields' values.
+  Sum       ///< Unboxed sum: a tag plus the fields of the active variant.
+};
+
+/// The register class a single machine value travels in. This is the
+/// "calling convention" payload of a kind: two types can share compiled
+/// code iff their reps flatten to the same register-class sequence.
+enum class RegClass : uint8_t {
+  GcPtr,  ///< Pointer register, traced by the garbage collector.
+  IntReg, ///< General-purpose (integer/address) register.
+  FloatReg,  ///< Single-precision floating-point register.
+  DoubleReg, ///< Double-precision floating-point register.
+};
+
+/// An interned runtime representation.
+class Rep {
+public:
+  RepCtor ctor() const { return Ctor; }
+
+  /// Fields of a Tuple or Sum rep; empty otherwise.
+  std::span<const Rep *const> elems() const { return Elems; }
+
+  /// \returns true if values are represented by a heap pointer.
+  bool isBoxed() const {
+    return Ctor == RepCtor::Lifted || Ctor == RepCtor::Unlifted;
+  }
+
+  /// \returns true if the type contains bottom (can be a thunk).
+  bool isLifted() const { return Ctor == RepCtor::Lifted; }
+
+  bool isUnboxed() const { return !isBoxed(); }
+  bool isUnlifted() const { return !isLifted(); }
+
+  bool isTuple() const { return Ctor == RepCtor::Tuple; }
+  bool isSum() const { return Ctor == RepCtor::Sum; }
+
+  /// Width in bytes of a single (unflattened) value of this rep as it sits
+  /// in a register or stack slot; tuple/sum widths are the flattened sums.
+  unsigned widthBytes() const;
+
+  /// Flattens this rep to the register classes its values occupy, ignoring
+  /// tuple nesting (Section 2.3: nesting is computationally irrelevant;
+  /// Section 4.2: the kinds still differ). An empty result means values of
+  /// this rep are "represented by nothing at all", like (# #).
+  void flattenRegisters(std::vector<RegClass> &Out) const;
+  std::vector<RegClass> registers() const {
+    std::vector<RegClass> Out;
+    flattenRegisters(Out);
+    return Out;
+  }
+
+  /// \returns true if \p Other has the identical calling convention, i.e.
+  /// flattens to the same register-class sequence. Distinct reps may share
+  /// a convention (nested vs flat tuples); equal reps always do.
+  bool sameConvention(const Rep *Other) const;
+
+  /// Haskell-ish rendering, e.g. "TupleRep '[IntRep, LiftedRep]".
+  std::string str() const;
+
+private:
+  friend class RepContext;
+  Rep(RepCtor Ctor, std::span<const Rep *const> Elems)
+      : Ctor(Ctor), Elems(Elems) {}
+
+  RepCtor Ctor;
+  std::span<const Rep *const> Elems;
+};
+
+/// Owns and interns Reps. Atomic reps are singletons; tuple and sum reps
+/// are hash-consed, so pointer equality coincides with structural equality.
+class RepContext {
+public:
+  RepContext();
+  RepContext(const RepContext &) = delete;
+  RepContext &operator=(const RepContext &) = delete;
+
+  const Rep *lifted() const { return Atoms[size_t(RepCtor::Lifted)]; }
+  const Rep *unlifted() const { return Atoms[size_t(RepCtor::Unlifted)]; }
+  const Rep *intRep() const { return Atoms[size_t(RepCtor::Int)]; }
+  const Rep *int8Rep() const { return Atoms[size_t(RepCtor::Int8)]; }
+  const Rep *int16Rep() const { return Atoms[size_t(RepCtor::Int16)]; }
+  const Rep *int32Rep() const { return Atoms[size_t(RepCtor::Int32)]; }
+  const Rep *int64Rep() const { return Atoms[size_t(RepCtor::Int64)]; }
+  const Rep *wordRep() const { return Atoms[size_t(RepCtor::Word)]; }
+  const Rep *floatRep() const { return Atoms[size_t(RepCtor::Float)]; }
+  const Rep *doubleRep() const { return Atoms[size_t(RepCtor::Double)]; }
+  const Rep *addrRep() const { return Atoms[size_t(RepCtor::Addr)]; }
+
+  const Rep *atom(RepCtor Ctor) const {
+    assert(Ctor != RepCtor::Tuple && Ctor != RepCtor::Sum &&
+           "tuple/sum reps carry elements");
+    return Atoms[size_t(Ctor)];
+  }
+
+  /// Interns TupleRep '[Elems...].
+  const Rep *tuple(std::span<const Rep *const> Elems);
+  const Rep *tuple(std::initializer_list<const Rep *> Elems) {
+    return tuple(std::span<const Rep *const>(Elems.begin(), Elems.size()));
+  }
+
+  /// Interns SumRep '[Elems...].
+  const Rep *sum(std::span<const Rep *const> Elems);
+  const Rep *sum(std::initializer_list<const Rep *> Elems) {
+    return sum(std::span<const Rep *const>(Elems.begin(), Elems.size()));
+  }
+
+  /// The unit unboxed-tuple rep, TupleRep '[] — zero registers.
+  const Rep *unitTuple() { return tuple({}); }
+
+private:
+  const Rep *internCompound(RepCtor Ctor,
+                            std::span<const Rep *const> Elems);
+
+  Arena Mem;
+  static constexpr size_t NumAtoms = size_t(RepCtor::Addr) + 1;
+  const Rep *Atoms[NumAtoms];
+  // Deterministic map keyed by (ctor, element pointers); element pointers
+  // are themselves interned so the key is canonical.
+  std::map<std::pair<RepCtor, std::vector<const Rep *>>, const Rep *>
+      Compounds;
+};
+
+/// Renders a register class ("P", "I", "F32", "F64").
+std::string_view regClassName(RegClass RC);
+
+} // namespace levity
+
+#endif // LEVITY_REP_REP_H

@@ -1,0 +1,481 @@
+//===- Interp.cpp - Instrumented evaluator for core programs --------------===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Interp.h"
+
+#include <sstream>
+
+using namespace levity;
+using namespace levity::runtime;
+using namespace levity::core;
+
+void Interp::loadProgram(const CoreProgram &P) {
+  // Mutually recursive top level: every binding is a lazy global thunk
+  // evaluated in the global scope (lookup falls back to Globals).
+  for (const TopBinding &B : P.Bindings) {
+    Value *V = newValue();
+    V->T = Value::Tag::Thunk;
+    V->Suspended = B.Rhs;
+    V->SuspendedEnv = nullptr;
+    Globals[B.Name] = V;
+  }
+}
+
+Value *Interp::lookup(const EnvNode *Env, Symbol Name) {
+  for (const EnvNode *N = Env; N; N = N->Next)
+    if (N->Name == Name)
+      return N->V;
+  auto It = Globals.find(Name);
+  return It == Globals.end() ? nullptr : It->second;
+}
+
+const std::vector<bool> &Interp::fieldStrictness(const DataCon *DC) {
+  auto It = StrictCache.find(DC);
+  if (It != StrictCache.end())
+    return It->second;
+  std::vector<bool> Strict;
+  CoreEnv Env;
+  for (size_t I = 0; I != DC->univs().size(); ++I)
+    Env.pushTypeVar(DC->univs()[I], DC->univKinds()[I]);
+  for (const Type *F : DC->fields()) {
+    Result<const Kind *> K = Checker.kindOf(Env, F);
+    bool Unlifted = false;
+    if (K && (*K)->isTypeOf()) {
+      const RepTy *R = C.zonkRep((*K)->rep());
+      Unlifted = !(R->tag() == RepTy::Tag::Atom &&
+                   R->atom() == RepCtor::Lifted);
+    }
+    Strict.push_back(Unlifted);
+  }
+  return StrictCache.emplace(DC, std::move(Strict)).first->second;
+}
+
+Value *Interp::force(Value *V, InterpStats &S) {
+  while (V && V->T == Value::Tag::Thunk) {
+    if (V->Forced) {
+      V = V->Forced;
+      continue;
+    }
+    if (V->BlackHole) {
+      FailStatus = InterpStatus::RuntimeError;
+      FailMessage = "<<loop>>";
+      return nullptr;
+    }
+    V->BlackHole = true;
+    ++S.ThunkForces;
+    Value *Result = evalIn(V->Suspended, V->SuspendedEnv, S);
+    if (!Result)
+      return nullptr;
+    V->Forced = Result;
+    V->BlackHole = false;
+    V = Result;
+  }
+  return V;
+}
+
+Value *Interp::apply(Value *Fn, Value *Arg, InterpStats &S) {
+  Fn = force(Fn, S);
+  if (!Fn)
+    return nullptr;
+  if (Fn->T != Value::Tag::Closure) {
+    FailStatus = InterpStatus::RuntimeError;
+    FailMessage = "applying a non-function value";
+    return nullptr;
+  }
+  const EnvNode *Env = extend(Fn->CapturedEnv, Fn->Lam->var(), Arg);
+  return evalIn(Fn->Lam->body(), Env, S);
+}
+
+InterpResult Interp::eval(const Expr *E, uint64_t MaxSteps) {
+  InterpResult R;
+  FailStatus = InterpStatus::Value;
+  FailMessage.clear();
+  FuelLeft = MaxSteps;
+  Value *V = evalIn(E, nullptr, R.Stats);
+  if (!V) {
+    R.Status = FailStatus == InterpStatus::Value ? InterpStatus::RuntimeError
+                                                 : FailStatus;
+    R.Message = FailMessage;
+    return R;
+  }
+  R.Status = InterpStatus::Value;
+  R.V = V;
+  return R;
+}
+
+Value *Interp::evalIn(const Expr *E, const EnvNode *Env, InterpStats &S) {
+  // Iterative on tail positions; recursive elsewhere.
+  for (;;) {
+    if (FuelLeft == 0) {
+      FailStatus = InterpStatus::OutOfFuel;
+      FailMessage = "step budget exhausted";
+      return nullptr;
+    }
+    --FuelLeft;
+    ++S.EvalSteps;
+
+    switch (E->tag()) {
+    case Expr::Tag::Var: {
+      Value *V = lookup(Env, cast<VarExpr>(E)->name());
+      if (!V) {
+        FailStatus = InterpStatus::RuntimeError;
+        FailMessage = "unbound variable " +
+                      std::string(cast<VarExpr>(E)->name().str());
+        return nullptr;
+      }
+      return force(V, S);
+    }
+
+    case Expr::Tag::Lit: {
+      const Literal &L = cast<LitExpr>(E)->lit();
+      Value *V = newValue();
+      switch (L.tag()) {
+      case Literal::Tag::IntHash:
+        V->T = Value::Tag::IntHash;
+        V->I = L.intValue();
+        break;
+      case Literal::Tag::DoubleHash:
+        V->T = Value::Tag::DoubleHash;
+        V->D = L.doubleValue();
+        break;
+      case Literal::Tag::String:
+        V->T = Value::Tag::Str;
+        V->S = L.stringValue();
+        break;
+      }
+      return V;
+    }
+
+    case Expr::Tag::App: {
+      const auto *A = cast<AppExpr>(E);
+      Value *Fn = evalIn(A->fn(), Env, S);
+      if (!Fn)
+        return nullptr;
+      Value *Arg;
+      if (A->strictArg()) {
+        // Unlifted argument: call-by-value (an "integer register").
+        Arg = evalIn(A->arg(), Env, S);
+      } else {
+        // Lifted argument: pass a pointer to a heap thunk.
+        Arg = makeThunk(A->arg(), Env, S);
+      }
+      if (!Arg)
+        return nullptr;
+      if (Fn->T != Value::Tag::Closure) {
+        Fn = force(Fn, S);
+        if (!Fn)
+          return nullptr;
+      }
+      if (Fn->T != Value::Tag::Closure) {
+        FailStatus = InterpStatus::RuntimeError;
+        FailMessage = "applying a non-function value";
+        return nullptr;
+      }
+      Env = extend(Fn->CapturedEnv, Fn->Lam->var(), Arg);
+      E = Fn->Lam->body();
+      continue; // tail call
+    }
+
+    case Expr::Tag::TyApp:
+      // Erased.
+      E = cast<TyAppExpr>(E)->fn();
+      continue;
+    case Expr::Tag::TyLam:
+      // Erased (evaluation proceeds under Λ, as in L).
+      E = cast<TyLamExpr>(E)->body();
+      continue;
+
+    case Expr::Tag::Lam: {
+      const auto *L = cast<LamExpr>(E);
+      ++S.ClosureAllocs;
+      Value *V = newValue();
+      V->T = Value::Tag::Closure;
+      V->Lam = L;
+      V->CapturedEnv = Env;
+      return V;
+    }
+
+    case Expr::Tag::Let: {
+      const auto *L = cast<LetExpr>(E);
+      Value *Rhs;
+      if (L->strict()) {
+        Rhs = evalIn(L->rhs(), Env, S);
+        if (!Rhs)
+          return nullptr;
+      } else {
+        Rhs = makeThunk(L->rhs(), Env, S);
+      }
+      Env = extend(Env, L->var(), Rhs);
+      E = L->body();
+      continue;
+    }
+
+    case Expr::Tag::LetRec: {
+      const auto *L = cast<LetRecExpr>(E);
+      // Tie the knot: allocate thunks, extend, then point the thunks at
+      // the extended environment.
+      std::vector<Value *> Thunks;
+      for (const RecBinding &B : L->bindings()) {
+        (void)B;
+        Thunks.push_back(makeThunk(nullptr, nullptr, S));
+      }
+      const EnvNode *NewEnv = Env;
+      for (size_t I = 0; I != Thunks.size(); ++I)
+        NewEnv = extend(NewEnv, L->bindings()[I].Var, Thunks[I]);
+      for (size_t I = 0; I != Thunks.size(); ++I) {
+        Thunks[I]->Suspended = L->bindings()[I].Rhs;
+        Thunks[I]->SuspendedEnv = NewEnv;
+      }
+      Env = NewEnv;
+      E = L->body();
+      continue;
+    }
+
+    case Expr::Tag::Case: {
+      const auto *Cs = cast<CaseExpr>(E);
+      Value *Scrut = evalIn(Cs->scrut(), Env, S);
+      if (!Scrut)
+        return nullptr;
+      const Alt *Taken = nullptr;
+      const Alt *Default = nullptr;
+      for (const Alt &A : Cs->alts()) {
+        switch (A.Kind) {
+        case Alt::AltKind::Default:
+          Default = &A;
+          break;
+        case Alt::AltKind::ConPat:
+          if (Scrut->T == Value::Tag::Con && Scrut->DC == A.Con)
+            Taken = &A;
+          break;
+        case Alt::AltKind::LitPat:
+          if (Scrut->T == Value::Tag::IntHash &&
+              A.Lit.tag() == Literal::Tag::IntHash &&
+              Scrut->I == A.Lit.intValue())
+            Taken = &A;
+          else if (Scrut->T == Value::Tag::DoubleHash &&
+                   A.Lit.tag() == Literal::Tag::DoubleHash &&
+                   Scrut->D == A.Lit.doubleValue())
+            Taken = &A;
+          break;
+        case Alt::AltKind::TuplePat:
+          if (Scrut->T == Value::Tag::Tuple)
+            Taken = &A;
+          break;
+        }
+        if (Taken)
+          break;
+      }
+      if (!Taken)
+        Taken = Default;
+      if (!Taken) {
+        FailStatus = InterpStatus::RuntimeError;
+        FailMessage = "pattern-match failure in case";
+        return nullptr;
+      }
+      if (Taken->Kind == Alt::AltKind::ConPat ||
+          Taken->Kind == Alt::AltKind::TuplePat) {
+        for (size_t I = 0; I != Taken->Binders.size(); ++I)
+          Env = extend(Env, Taken->Binders[I], Scrut->Fields[I]);
+      }
+      E = Taken->Rhs;
+      continue;
+    }
+
+    case Expr::Tag::Con: {
+      const auto *Con = cast<ConExpr>(E);
+      const std::vector<bool> &Strict = fieldStrictness(Con->dataCon());
+      Value *V = newValue();
+      V->T = Value::Tag::Con;
+      V->DC = Con->dataCon();
+      V->Fields.reserve(Con->args().size());
+      for (size_t I = 0; I != Con->args().size(); ++I) {
+        Value *F;
+        if (Strict[I]) {
+          F = evalIn(Con->args()[I], Env, S);
+          if (!F)
+            return nullptr;
+        } else {
+          F = makeThunk(Con->args()[I], Env, S);
+        }
+        V->Fields.push_back(F);
+      }
+      ++S.BoxAllocs;
+      return V;
+    }
+
+    case Expr::Tag::Prim: {
+      const auto *P = cast<PrimOpExpr>(E);
+      Value *Args[2] = {nullptr, nullptr};
+      for (size_t I = 0; I != P->args().size(); ++I) {
+        Args[I] = evalIn(P->args()[I], Env, S);
+        if (!Args[I])
+          return nullptr;
+      }
+      ++S.PrimOps;
+      Value *V = newValue();
+      auto IntResult = [&](int64_t X) {
+        V->T = Value::Tag::IntHash;
+        V->I = X;
+        return V;
+      };
+      auto DoubleResult = [&](double X) {
+        V->T = Value::Tag::DoubleHash;
+        V->D = X;
+        return V;
+      };
+      switch (P->op()) {
+      case PrimOp::AddI: return IntResult(Args[0]->I + Args[1]->I);
+      case PrimOp::SubI: return IntResult(Args[0]->I - Args[1]->I);
+      case PrimOp::MulI: return IntResult(Args[0]->I * Args[1]->I);
+      case PrimOp::QuotI:
+      case PrimOp::RemI:
+        if (Args[1]->I == 0) {
+          FailStatus = InterpStatus::RuntimeError;
+          FailMessage = "divide by zero";
+          return nullptr;
+        }
+        return IntResult(P->op() == PrimOp::QuotI
+                             ? Args[0]->I / Args[1]->I
+                             : Args[0]->I % Args[1]->I);
+      case PrimOp::NegI: return IntResult(-Args[0]->I);
+      case PrimOp::LtI: return IntResult(Args[0]->I < Args[1]->I ? 1 : 0);
+      case PrimOp::LeI: return IntResult(Args[0]->I <= Args[1]->I ? 1 : 0);
+      case PrimOp::GtI: return IntResult(Args[0]->I > Args[1]->I ? 1 : 0);
+      case PrimOp::GeI: return IntResult(Args[0]->I >= Args[1]->I ? 1 : 0);
+      case PrimOp::EqI: return IntResult(Args[0]->I == Args[1]->I ? 1 : 0);
+      case PrimOp::NeI: return IntResult(Args[0]->I != Args[1]->I ? 1 : 0);
+      case PrimOp::AddD: return DoubleResult(Args[0]->D + Args[1]->D);
+      case PrimOp::SubD: return DoubleResult(Args[0]->D - Args[1]->D);
+      case PrimOp::MulD: return DoubleResult(Args[0]->D * Args[1]->D);
+      case PrimOp::DivD: return DoubleResult(Args[0]->D / Args[1]->D);
+      case PrimOp::NegD: return DoubleResult(-Args[0]->D);
+      case PrimOp::LtD: return IntResult(Args[0]->D < Args[1]->D ? 1 : 0);
+      case PrimOp::EqD: return IntResult(Args[0]->D == Args[1]->D ? 1 : 0);
+      case PrimOp::Int2Double:
+        return DoubleResult(double(Args[0]->I));
+      case PrimOp::Double2Int:
+        return IntResult(int64_t(Args[0]->D));
+      case PrimOp::IsTrue: {
+        V->T = Value::Tag::Con;
+        V->DC = Args[0]->I != 0 ? C.trueCon() : C.falseCon();
+        ++S.BoxAllocs;
+        return V;
+      }
+      }
+      FailStatus = InterpStatus::RuntimeError;
+      FailMessage = "unknown primop";
+      return nullptr;
+    }
+
+    case Expr::Tag::UnboxedTuple: {
+      // No heap allocation: the fields travel in registers. Fields are
+      // evaluated eagerly (see DESIGN.md on this simplification).
+      const auto *U = cast<UnboxedTupleExpr>(E);
+      Value *V = newValue();
+      V->T = Value::Tag::Tuple;
+      V->Fields.reserve(U->elems().size());
+      for (const Expr *El : U->elems()) {
+        Value *F = evalIn(El, Env, S);
+        if (!F)
+          return nullptr;
+        V->Fields.push_back(F);
+      }
+      ++S.TupleMoves;
+      return V;
+    }
+
+    case Expr::Tag::Error: {
+      const auto *Err = cast<ErrorExpr>(E);
+      Value *Msg = evalIn(Err->message(), Env, S);
+      FailStatus = InterpStatus::Bottom;
+      FailMessage =
+          Msg && Msg->T == Value::Tag::Str
+              ? std::string(Msg->S.str())
+              : "error";
+      return nullptr;
+    }
+    }
+    assert(false && "unknown expr tag");
+    return nullptr;
+  }
+}
+
+std::optional<int64_t> Interp::asIntHash(const Value *V) {
+  if (V && V->T == Value::Tag::IntHash)
+    return V->I;
+  return std::nullopt;
+}
+
+std::optional<double> Interp::asDoubleHash(const Value *V) {
+  if (V && V->T == Value::Tag::DoubleHash)
+    return V->D;
+  return std::nullopt;
+}
+
+std::optional<int64_t> Interp::asBoxedInt(const Value *V) {
+  if (!V || V->T != Value::Tag::Con || V->Fields.size() != 1)
+    return std::nullopt;
+  const Value *F = V->Fields[0];
+  if (F->T == Value::Tag::IntHash)
+    return F->I;
+  return std::nullopt;
+}
+
+std::optional<bool> Interp::asBool(const Value *V) {
+  if (!V || V->T != Value::Tag::Con)
+    return std::nullopt;
+  if (V->DC == C.trueCon())
+    return true;
+  if (V->DC == C.falseCon())
+    return false;
+  return std::nullopt;
+}
+
+std::string Interp::show(const Value *V) {
+  if (!V)
+    return "<error>";
+  std::ostringstream OS;
+  switch (V->T) {
+  case Value::Tag::IntHash:
+    OS << V->I << "#";
+    break;
+  case Value::Tag::DoubleHash:
+    OS << V->D << "##";
+    break;
+  case Value::Tag::Str:
+    OS << "\"" << V->S.str() << "\"";
+    break;
+  case Value::Tag::Con: {
+    OS << V->DC->name().str();
+    for (Value *F : V->Fields) {
+      InterpStats Dummy;
+      Value *Forced = force(F, Dummy);
+      OS << " " << (Forced ? show(Forced) : "<bottom>");
+    }
+    break;
+  }
+  case Value::Tag::Closure:
+    OS << "<closure>";
+    break;
+  case Value::Tag::Tuple: {
+    OS << "(#";
+    bool First = true;
+    for (Value *F : V->Fields) {
+      if (!First)
+        OS << ",";
+      First = false;
+      OS << " " << show(F);
+    }
+    OS << " #)";
+    break;
+  }
+  case Value::Tag::Thunk:
+    OS << "<thunk>";
+    break;
+  }
+  return OS.str();
+}

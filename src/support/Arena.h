@@ -1,0 +1,118 @@
+//===- Arena.h - Bump-pointer arena allocator -------------------*- C++ -*-===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A simple bump-pointer arena. All AST nodes in the calculi live in arenas
+/// owned by their context objects; nodes are immutable after construction
+/// and never individually freed. Objects allocated here must be trivially
+/// destructible (variable-length payloads are stored as arena-copied arrays
+/// viewed through std::span).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LEVITY_SUPPORT_ARENA_H
+#define LEVITY_SUPPORT_ARENA_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace levity {
+
+/// A bump-pointer allocator with geometrically growing slabs.
+class Arena {
+public:
+  Arena() = default;
+  Arena(const Arena &) = delete;
+  Arena &operator=(const Arena &) = delete;
+  Arena(Arena &&) = default;
+  Arena &operator=(Arena &&) = default;
+
+  /// Allocates \p Size bytes aligned to \p Align.
+  void *allocate(size_t Size, size_t Align) {
+    assert((Align & (Align - 1)) == 0 && "alignment must be a power of two");
+    uintptr_t P = reinterpret_cast<uintptr_t>(Cur);
+    uintptr_t Aligned = (P + Align - 1) & ~(Align - 1);
+    if (Aligned + Size > reinterpret_cast<uintptr_t>(End)) {
+      growSlab(Size + Align);
+      P = reinterpret_cast<uintptr_t>(Cur);
+      Aligned = (P + Align - 1) & ~(Align - 1);
+    }
+    Cur = reinterpret_cast<char *>(Aligned + Size);
+    ++NumAllocations;
+    return reinterpret_cast<void *>(Aligned);
+  }
+
+  /// Constructs a \p T in the arena. T must be trivially destructible.
+  template <typename T, typename... Args> T *create(Args &&...A) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena objects are never destroyed");
+    void *Mem = allocate(sizeof(T), alignof(T));
+    return new (Mem) T(std::forward<Args>(A)...);
+  }
+
+  /// Copies \p Elems into the arena, returning a stable span view.
+  template <typename T> std::span<const T> copyArray(std::span<const T> Elems) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena arrays are never destroyed");
+    if (Elems.empty())
+      return {};
+    void *Mem = allocate(sizeof(T) * Elems.size(), alignof(T));
+    T *Out = static_cast<T *>(Mem);
+    for (size_t I = 0, E = Elems.size(); I != E; ++I)
+      new (Out + I) T(Elems[I]);
+    return {Out, Elems.size()};
+  }
+
+  template <typename T>
+  std::span<const T> copyArray(const std::vector<T> &Elems) {
+    return copyArray(std::span<const T>(Elems.data(), Elems.size()));
+  }
+
+  template <typename T>
+  std::span<const T> copyArray(std::initializer_list<T> Elems) {
+    return copyArray(std::span<const T>(Elems.begin(), Elems.size()));
+  }
+
+  /// \returns total bytes reserved across all slabs.
+  size_t bytesReserved() const { return BytesReserved; }
+
+  /// \returns the number of allocations served.
+  size_t numAllocations() const { return NumAllocations; }
+
+private:
+  void growSlab(size_t MinSize) {
+    size_t SlabSize = Slabs.empty() ? 4096 : Slabs.back().Size * 2;
+    if (SlabSize < MinSize)
+      SlabSize = MinSize * 2;
+    auto Mem = std::make_unique<char[]>(SlabSize);
+    Cur = Mem.get();
+    End = Cur + SlabSize;
+    BytesReserved += SlabSize;
+    Slabs.push_back({std::move(Mem), SlabSize});
+  }
+
+  struct Slab {
+    std::unique_ptr<char[]> Mem;
+    size_t Size;
+  };
+
+  std::vector<Slab> Slabs;
+  char *Cur = nullptr;
+  char *End = nullptr;
+  size_t BytesReserved = 0;
+  size_t NumAllocations = 0;
+};
+
+} // namespace levity
+
+#endif // LEVITY_SUPPORT_ARENA_H

@@ -1,0 +1,67 @@
+//===- Result.h - Error-or-value return type --------------------*- C++ -*-===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Result<T>: a value or an error message. The library does not use
+/// exceptions; checkers that can fail locally return Result and larger
+/// passes accumulate into DiagnosticEngine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LEVITY_SUPPORT_RESULT_H
+#define LEVITY_SUPPORT_RESULT_H
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace levity {
+
+/// Tag type for constructing a failed Result.
+struct Err {
+  std::string Message;
+};
+
+/// Makes a failed result with \p Message.
+inline Err err(std::string Message) { return Err{std::move(Message)}; }
+
+/// A value of type T or an error message.
+template <typename T> class Result {
+public:
+  Result(T Value) : Storage(std::in_place_index<0>, std::move(Value)) {}
+  Result(Err E) : Storage(std::in_place_index<1>, std::move(E.Message)) {}
+
+  bool ok() const { return Storage.index() == 0; }
+  explicit operator bool() const { return ok(); }
+
+  T &value() {
+    assert(ok() && "accessing value of failed Result");
+    return std::get<0>(Storage);
+  }
+  const T &value() const {
+    assert(ok() && "accessing value of failed Result");
+    return std::get<0>(Storage);
+  }
+
+  const std::string &error() const {
+    assert(!ok() && "accessing error of successful Result");
+    return std::get<1>(Storage);
+  }
+
+  T &operator*() { return value(); }
+  const T &operator*() const { return value(); }
+  T *operator->() { return &value(); }
+  const T *operator->() const { return &value(); }
+
+private:
+  std::variant<T, std::string> Storage;
+};
+
+} // namespace levity
+
+#endif // LEVITY_SUPPORT_RESULT_H

@@ -1,0 +1,451 @@
+//===- ElaborateDriver.cpp - Module driver, builtins, analysis ------------===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Samples.h"
+#include "surface/Elaborate.h"
+
+using namespace levity;
+using namespace levity::surface;
+using namespace levity::core;
+
+//===----------------------------------------------------------------------===//
+// Builtins
+//===----------------------------------------------------------------------===//
+
+void Elaborator::installBuiltins(CoreProgram &P) {
+  // Type-level: List and Pair for signature sugar.
+  if (!ListTC)
+    ListTC = C.makeTyCon(C.sym("List"),
+                         C.kindArrow(C.typeKind(), C.typeKind()),
+                         C.liftedRep());
+  if (!PairTC)
+    PairTC = C.makeTyCon(
+        C.sym("Pair"),
+        C.kindArrow(C.typeKind(),
+                    C.kindArrow(C.typeKind(), C.typeKind())),
+        C.liftedRep());
+
+  auto Add = [&](TopBinding B) {
+    Globals[B.Name] = {B.Ty, {}};
+    P.Bindings.push_back(B);
+  };
+
+  // Boxed Int arithmetic (Section 2.1's plusInt pattern).
+  Add(runtime::buildPlusInt(C));
+  Add(runtime::buildMinusInt(C));
+
+  const Type *IntT = C.intTy();
+  const Type *IH = C.intHashTy();
+
+  // A binary boxed-Int builder: unbox, apply Op, rebox/result.
+  auto BinInt = [&](const char *Name, PrimOp Op, bool BoolResult) {
+    Symbol A = C.symbols().fresh("a"), B = C.symbols().fresh("b"),
+           X = C.symbols().fresh("x"), Y = C.symbols().fresh("y");
+    const core::Expr *Raw = C.primOp(Op, {C.var(X), C.var(Y)});
+    const core::Expr *Res;
+    const Type *ResTy;
+    if (BoolResult) {
+      Res = C.primOp(PrimOp::IsTrue, {Raw});
+      ResTy = C.boolTy();
+    } else {
+      Res = C.conApp(C.iHashCon(), {}, {&Raw, 1});
+      ResTy = IntT;
+    }
+    Alt AltY;
+    AltY.Kind = Alt::AltKind::ConPat;
+    AltY.Con = C.iHashCon();
+    AltY.Binders = C.arena().copyArray({Y});
+    AltY.Rhs = Res;
+    const core::Expr *InnerCase = C.caseOf(C.var(B), ResTy, {&AltY, 1});
+    Alt AltX;
+    AltX.Kind = Alt::AltKind::ConPat;
+    AltX.Con = C.iHashCon();
+    AltX.Binders = C.arena().copyArray({X});
+    AltX.Rhs = InnerCase;
+    const core::Expr *OuterCase = C.caseOf(C.var(A), ResTy, {&AltX, 1});
+    const core::Expr *Fn = C.lam(A, IntT, C.lam(B, IntT, OuterCase));
+    Add({C.sym(Name), C.funTy(IntT, C.funTy(IntT, ResTy)), Fn});
+    (void)IH;
+  };
+
+  BinInt("timesInt", PrimOp::MulI, false);
+  BinInt("quotInt", PrimOp::QuotI, false);
+  BinInt("remInt", PrimOp::RemI, false);
+  BinInt("eqInt", PrimOp::EqI, true);
+  BinInt("neInt", PrimOp::NeI, true);
+  BinInt("ltInt", PrimOp::LtI, true);
+  BinInt("leInt", PrimOp::LeI, true);
+  BinInt("gtInt", PrimOp::GtI, true);
+  BinInt("geInt", PrimOp::GeI, true);
+
+  // id :: forall a. a -> a.
+  {
+    Symbol A = C.sym("a"), X = C.symbols().fresh("x");
+    const Type *AT = C.varTy(A, C.typeKind());
+    const Type *Ty = C.forAllTy(A, C.typeKind(), C.funTy(AT, AT));
+    const core::Expr *E =
+        C.tyLam(A, C.typeKind(), C.lam(X, AT, C.var(X)));
+    Add({C.sym("id"), Ty, E});
+  }
+
+  // ($) :: forall (r::Rep) a (b::TYPE r). (a -> b) -> a -> b — the
+  // Section 7.2 generalization (result levity-polymorphic; argument
+  // lifted).
+  {
+    Symbol R = C.sym("r$"), A = C.sym("a$"), B = C.sym("b$"),
+           F = C.symbols().fresh("f"), X = C.symbols().fresh("x");
+    const Kind *KB = C.kindTYPE(C.repVar(R));
+    const Type *AT = C.varTy(A, C.typeKind());
+    const Type *BT = C.varTy(B, KB);
+    const Type *Ty = C.forAllTy(
+        R, C.repKind(),
+        C.forAllTy(A, C.typeKind(),
+                   C.forAllTy(B, KB,
+                              C.funTy(C.funTy(AT, BT),
+                                      C.funTy(AT, BT)))));
+    const core::Expr *E = C.tyLam(
+        R, C.repKind(),
+        C.tyLam(A, C.typeKind(),
+                C.tyLam(B, KB,
+                        C.lam(F, C.funTy(AT, BT),
+                              C.lam(X, AT,
+                                    C.app(C.var(F), C.var(X),
+                                          /*Strict=*/false))))));
+    Add({C.sym("$"), Ty, E});
+  }
+
+  // (.) :: forall (r::Rep) a b (c::TYPE r).
+  //          (b -> c) -> (a -> b) -> a -> c (Section 7.2).
+  {
+    Symbol R = C.sym("r."), A = C.sym("a."), B = C.sym("b."),
+           Cv = C.sym("c."), F = C.symbols().fresh("f"),
+           G = C.symbols().fresh("g"), X = C.symbols().fresh("x");
+    const Kind *KC = C.kindTYPE(C.repVar(R));
+    const Type *AT = C.varTy(A, C.typeKind());
+    const Type *BT = C.varTy(B, C.typeKind());
+    const Type *CT = C.varTy(Cv, KC);
+    const Type *Ty = C.forAllTy(
+        R, C.repKind(),
+        C.forAllTy(
+            A, C.typeKind(),
+            C.forAllTy(
+                B, C.typeKind(),
+                C.forAllTy(Cv, KC,
+                           C.funTy(C.funTy(BT, CT),
+                                   C.funTy(C.funTy(AT, BT),
+                                           C.funTy(AT, CT)))))));
+    const core::Expr *Body = C.app(
+        C.var(F), C.app(C.var(G), C.var(X), false), false);
+    const core::Expr *E = C.tyLam(
+        R, C.repKind(),
+        C.tyLam(A, C.typeKind(),
+                C.tyLam(B, C.typeKind(),
+                        C.tyLam(Cv, KC,
+                                C.lam(F, C.funTy(BT, CT),
+                                      C.lam(G, C.funTy(AT, BT),
+                                            C.lam(X, AT, Body)))))));
+    Add({C.sym("."), Ty, E});
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Top-level bindings
+//===----------------------------------------------------------------------===//
+
+void Elaborator::elabBinding(const SBindDecl &B, const SType *Sig,
+                             CoreProgram &P) {
+  Symbol Name = C.sym(B.Name);
+
+  if (Sig) {
+    std::optional<SigInfo> Info = convertSignature(*Sig);
+    if (!Info)
+      return;
+    // Rigid binders in scope for the body.
+    size_t TyMark = TyVars.Vars.size();
+    for (const auto &[V, K] : Info->Binders)
+      TyVars.Vars.push_back({V, K});
+    // Givens: per-method parameters for each constraint.
+    size_t GivenMark = Givens.size();
+    std::vector<std::pair<Symbol, const Type *>> DictParams;
+    for (const auto &[Cls, At] : Info->Constraints) {
+      Given G;
+      G.Cls = Cls;
+      G.At = At;
+      for (const ClassInfo::Method &M : Cls->Methods) {
+        const Type *MT = methodTypeAt(*Cls, Cls->methodIndex(M.Name), At);
+        if (!MT) {
+          TyVars.Vars.resize(TyMark);
+          Givens.resize(GivenMark);
+          return;
+        }
+        Symbol PS = C.symbols().fresh(
+            "$d" + std::string(Cls->Name.str()) + "_" +
+            std::string(M.Name.str()));
+        G.MethodParams.push_back(PS);
+        G.MethodTys.push_back(MT);
+        DictParams.push_back({PS, MT});
+      }
+      Givens.push_back(std::move(G));
+    }
+
+    // Equation parameters against the signature's arrows.
+    size_t LocalMark = Locals.size();
+    size_t WantedMark = Wanteds.size();
+    const Type *Remaining = Info->Body;
+    std::vector<std::pair<Symbol, const Type *>> Params;
+    for (const SBinder &Binder : B.Params) {
+      const auto *F = dyn_cast<FunType>(C.zonkType(Remaining));
+      if (!F) {
+        errorAt(Binder.Loc, DiagCode::ArityError,
+                "binding '" + B.Name +
+                    "' has more parameters than its signature");
+        Locals.resize(LocalMark);
+        Givens.resize(GivenMark);
+        TyVars.Vars.resize(TyMark);
+        return;
+      }
+      Symbol CoreName =
+          C.symbols().fresh(Binder.Name == "_" ? "wild" : Binder.Name);
+      if (Binder.Name != "_")
+        Locals.push_back({C.sym(Binder.Name), CoreName, F->param()});
+      Params.push_back({CoreName, F->param()});
+      Remaining = F->result();
+    }
+
+    Typed Rhs = checkExpr(*B.Rhs, Remaining);
+    Locals.resize(LocalMark);
+    if (!Rhs) {
+      Givens.resize(GivenMark);
+      TyVars.Vars.resize(TyMark);
+      return;
+    }
+    const core::Expr *Body = solveWanteds(Rhs.E, WantedMark);
+    for (size_t I = Params.size(); I != 0; --I)
+      Body = C.lam(Params[I - 1].first, Params[I - 1].second, Body);
+    for (size_t I = DictParams.size(); I != 0; --I)
+      Body =
+          C.lam(DictParams[I - 1].first, DictParams[I - 1].second, Body);
+    for (size_t I = Info->Binders.size(); I != 0; --I)
+      Body = C.tyLam(Info->Binders[I - 1].first,
+                     Info->Binders[I - 1].second, Body);
+    Givens.resize(GivenMark);
+    TyVars.Vars.resize(TyMark);
+
+    P.Bindings.push_back({Name, Info->FullType, Body});
+    return;
+  }
+
+  // Inference mode: the global already has an assigned metavariable type
+  // (for recursion); infer, unify, default reps, generalize.
+  const Type *Assigned = Globals[Name].Ty;
+  size_t LocalMark = Locals.size();
+  size_t WantedMark = Wanteds.size();
+  std::vector<std::pair<Symbol, const Type *>> Params;
+  for (const SBinder &Binder : B.Params) {
+    const Type *PTy =
+        Binder.Ann ? convertType(*Binder.Ann) : Unify.freshOpenMeta();
+    if (!PTy) {
+      Locals.resize(LocalMark);
+      return;
+    }
+    Symbol CoreName =
+        C.symbols().fresh(Binder.Name == "_" ? "wild" : Binder.Name);
+    if (Binder.Name != "_")
+      Locals.push_back({C.sym(Binder.Name), CoreName, PTy});
+    Params.push_back({CoreName, PTy});
+  }
+  Typed Rhs = inferExpr(*B.Rhs);
+  Locals.resize(LocalMark);
+  if (!Rhs)
+    return;
+  const Type *FnTy = Rhs.Ty;
+  for (size_t I = Params.size(); I != 0; --I)
+    FnTy = C.funTy(Params[I - 1].second, FnTy);
+  if (!Unify.unify(Assigned, FnTy))
+    return;
+
+  const core::Expr *Body = solveWanteds(Rhs.E, WantedMark);
+  for (size_t I = Params.size(); I != 0; --I)
+    Body = C.lam(Params[I - 1].first, Params[I - 1].second, Body);
+
+  // Section 5.2: never generalize rep metas; default them to LiftedRep.
+  const Type *Gen = infer::generalize(C, Assigned);
+  Globals[Name] = {Gen, {}};
+  // Wrap type lambdas matching the new quantifiers.
+  std::vector<std::pair<Symbol, const Kind *>> Quants;
+  const Type *Walk = Gen;
+  while (const auto *F = dyn_cast<ForAllType>(Walk)) {
+    Quants.push_back({F->var(), F->varKind()});
+    Walk = F->body();
+  }
+  for (size_t I = Quants.size(); I != 0; --I)
+    Body = C.tyLam(Quants[I - 1].first, Quants[I - 1].second, Body);
+
+  P.Bindings.push_back({Name, Gen, Body});
+}
+
+//===----------------------------------------------------------------------===//
+// Module driver
+//===----------------------------------------------------------------------===//
+
+std::optional<ElabOutput> Elaborator::run(const SModule &M) {
+  ElabOutput Out;
+  CoreProgram &P = Out.Program;
+  size_t Before = Diags.numErrors();
+
+  installBuiltins(P);
+
+  // Pass 1: data types.
+  for (const SDecl &D : M.Decls)
+    if (D.T == SDecl::Tag::Data)
+      elabDataDecl(D.Data);
+
+  // Pass 2: classes.
+  for (const SDecl &D : M.Decls)
+    if (D.T == SDecl::Tag::Class)
+      elabClassDecl(D.Class);
+
+  // Pass 3: collect signatures; pre-assign global types (signature or
+  // fresh metavariable) so recursion and forward references work.
+  std::unordered_map<Symbol, const SType *, SymbolHash> Sigs;
+  for (const SDecl &D : M.Decls)
+    if (D.T == SDecl::Tag::Sig)
+      Sigs[C.sym(D.Sig.Name)] = D.Sig.Ty.get();
+
+  for (const SDecl &D : M.Decls) {
+    if (D.T != SDecl::Tag::Bind)
+      continue;
+    Symbol Name = C.sym(D.Bind.Name);
+    if (Globals.count(Name) && !Sigs.count(Name)) {
+      // Redefinition of a builtin is allowed only via a signature of its
+      // own; plain user rebinding of a builtin name shadows it.
+    }
+    auto It = Sigs.find(Name);
+    if (It != Sigs.end()) {
+      std::optional<SigInfo> Info = convertSignature(*It->second);
+      if (!Info)
+        return std::nullopt;
+      Globals[Name] = {Info->FullType, Info->Constraints};
+    } else {
+      Globals[Name] = {Unify.freshOpenMeta(), {}};
+    }
+    Out.UserBindings.push_back(Name);
+  }
+
+  // Pass 4: instances (may reference user bindings).
+  for (const SDecl &D : M.Decls)
+    if (D.T == SDecl::Tag::Instance)
+      elabInstanceDecl(D.Instance, P);
+
+  // Pass 5: bindings in order.
+  for (const SDecl &D : M.Decls) {
+    if (D.T != SDecl::Tag::Bind)
+      continue;
+    auto It = Sigs.find(C.sym(D.Bind.Name));
+    elabBinding(D.Bind, It == Sigs.end() ? nullptr : It->second, P);
+  }
+
+  if (Diags.numErrors() != Before)
+    return std::nullopt;
+
+  // Pass 6: post-inference validation — fix strictness bits from solved
+  // kinds, then Core Lint, then the Section 5.1 levity checks (the
+  // "desugarer" pass of Section 8.2).
+  CoreEnv Env;
+  for (const TopBinding &B : P.Bindings)
+    Env.addGlobal(B.Name, B.Ty);
+  LevityChecker LC(C, Diags);
+  for (const TopBinding &B : P.Bindings) {
+    fixStrictness(Env, B.Rhs);
+    Result<const Type *> T = Checker.typeOf(Env, B.Rhs);
+    if (!T) {
+      Diags.error(DiagCode::Internal,
+                  "core lint failed for '" + std::string(B.Name.str()) +
+                      "': " + T.error());
+      continue;
+    }
+    if (!typeEqual(C.zonkType(*T), C.zonkType(B.Ty)))
+      Diags.error(DiagCode::Internal,
+                  "core lint type mismatch for '" +
+                      std::string(B.Name.str()) + "': " +
+                      C.zonkType(*T)->str() + " vs " +
+                      C.zonkType(B.Ty)->str());
+    LC.check(Env, B.Rhs);
+  }
+
+  if (Diags.numErrors() != Before)
+    return std::nullopt;
+  return Out;
+}
+
+const Type *Elaborator::globalType(std::string_view Name) const {
+  auto It = Globals.find(const_cast<CoreContext &>(C).sym(Name));
+  return It == Globals.end()
+             ? nullptr
+             : const_cast<CoreContext &>(C).zonkType(It->second.Ty);
+}
+
+//===----------------------------------------------------------------------===//
+// Section 8.1 analysis
+//===----------------------------------------------------------------------===//
+
+Elaborator::GeneralizabilityResult
+Elaborator::analyzeClass(const SClassDecl &D) {
+  GeneralizabilityResult R;
+
+  // Constructor classes (Functor, Monad, ...) have arrow-kinded class
+  // variables: they are not candidates for *levity* generalization of
+  // the class variable itself.
+  if (D.Var.Kind && D.Var.Kind->T == SKind::Tag::Arrow) {
+    R.ValueKinded = false;
+    R.Reason = "constructor class (class variable has an arrow kind)";
+    return R;
+  }
+  R.ValueKinded = true;
+
+  size_t Mark = TyVars.Vars.size();
+  size_t ErrsBefore = Diags.numErrors();
+
+  // The experiment: give the class variable kind TYPE ν with ν fresh and
+  // re-kind every method signature. Methods that demand a lifted `a`
+  // (e.g. [a], or `a` as an argument of a Type->Type constructor) will
+  // unify ν := LiftedRep; methods that only pass `a` through arrows
+  // leave ν free.
+  const RepTy *Nu = C.freshRepMeta();
+  Symbol Var = C.sym(D.Var.Name.empty() ? "a" : D.Var.Name);
+  TyVars.Vars.push_back({Var, C.kindTYPE(Nu)});
+  IgnoreContexts = true;
+  AutoBindTypeVars = true;
+
+  for (const SSigDecl &M : D.Methods) {
+    if (!M.Ty)
+      continue;
+    const Type *T = convertType(*M.Ty);
+    if (T)
+      kindOfUnify(T);
+    if (Diags.numErrors() != ErrsBefore) {
+      TyVars.Vars.resize(Mark);
+      IgnoreContexts = false;
+      AutoBindTypeVars = false;
+      R.Generalizable = false;
+      R.Reason = "method '" + M.Name + "' is ill-kinded at TYPE r";
+      return R;
+    }
+  }
+  TyVars.Vars.resize(Mark);
+  IgnoreContexts = false;
+  AutoBindTypeVars = false;
+
+  const RepTy *Solved = C.zonkRep(Nu);
+  if (Solved->tag() == RepTy::Tag::Meta) {
+    R.Generalizable = true;
+    return R;
+  }
+  R.Generalizable = false;
+  R.Reason = "a method forces the class variable to TYPE " + Solved->str();
+  return R;
+}

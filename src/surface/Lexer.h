@@ -1,0 +1,93 @@
+//===- Lexer.h - Tokens for the surface language ----------------*- C++ -*-===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lexer for the surface language: a curly-brace, semicolon-separated
+/// Haskell subset (no layout rule) with the paper's unboxed extensions:
+/// magic-hash literals (42#, 3.14##), hash-suffixed names (Int#, sumTo#,
+/// +#), unboxed tuples ((# … #)), and kind syntax (Type, Rep, TYPE ρ).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LEVITY_SURFACE_LEXER_H
+#define LEVITY_SURFACE_LEXER_H
+
+#include "support/Diagnostics.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace levity {
+namespace surface {
+
+enum class TokKind : uint8_t {
+  Eof,
+  VarId,      ///< lowercase identifier (may end in #).
+  ConId,      ///< Uppercase identifier (may end in #).
+  Operator,   ///< symbolic operator (+, +#, ==##, $, ., ...).
+  IntLit,     ///< 42 (boxed).
+  IntHashLit, ///< 42# (unboxed).
+  DoubleLit,  ///< 3.14 (boxed).
+  DoubleHashLit, ///< 3.14## (unboxed).
+  StringLit,  ///< "...".
+  // Keywords.
+  KwData, KwClass, KwInstance, KwWhere, KwLet, KwIn, KwCase, KwOf, KwIf,
+  KwThen, KwElse, KwForall,
+  // Punctuation.
+  LParen, RParen, LHashParen, RHashParen, // ( ) (# #)
+  LBrace, RBrace, LBracket, RBracket,
+  Semi, Comma, Backslash, Arrow, DArrow, DColon, Equals, Pipe, Dot,
+  Underscore, Tick // ' (promotion quote)
+};
+
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  std::string Text;   ///< Identifier/operator spelling or literal text.
+  int64_t IntValue = 0;
+  double DoubleValue = 0;
+  SourceLoc Loc;
+};
+
+std::string_view tokKindName(TokKind K);
+
+/// Tokenizes a whole buffer. Errors are reported to the engine; lexing
+/// continues after an error so several problems surface at once.
+class Lexer {
+public:
+  Lexer(std::string_view Source, DiagnosticEngine &Diags)
+      : Src(Source), Diags(Diags) {}
+
+  /// Lexes everything, ending with an Eof token.
+  std::vector<Token> lexAll();
+
+private:
+  bool atEnd() const { return Pos >= Src.size(); }
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Src.size() ? Src[Pos + Ahead] : '\0';
+  }
+  char advance();
+  void skipWhitespaceAndComments();
+  Token lexToken();
+  Token identifierOrKeyword();
+  Token number();
+  Token stringLiteral();
+  Token operatorToken();
+  Token make(TokKind K, std::string Text = "");
+  SourceLoc here() const { return {Line, Col}; }
+
+  std::string_view Src;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1, Col = 1;
+};
+
+} // namespace surface
+} // namespace levity
+
+#endif // LEVITY_SURFACE_LEXER_H

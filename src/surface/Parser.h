@@ -1,0 +1,103 @@
+//===- Parser.h - Recursive-descent parser for the surface lang -*- C++ -*-===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A recursive-descent parser for the surface language. The grammar is a
+/// layout-free Haskell subset: declarations are ';'-separated, `where`
+/// and `case … of` blocks are brace-delimited. Operators are parsed by
+/// precedence climbing over a fixed fixity table; their *meaning* is
+/// resolved by the elaborator (primop, class method, or builtin).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LEVITY_SURFACE_PARSER_H
+#define LEVITY_SURFACE_PARSER_H
+
+#include "surface/Ast.h"
+#include "surface/Lexer.h"
+
+namespace levity {
+namespace surface {
+
+/// Parses a token stream into an SModule. On error, reports to the
+/// engine and attempts recovery at the next ';'.
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, DiagnosticEngine &Diags)
+      : Toks(std::move(Tokens)), Diags(Diags) {}
+
+  SModule parseModule();
+
+  /// Entry points used by tests and the REPL-style examples.
+  STypePtr parseTypeOnly();
+  SExprPtr parseExprOnly();
+
+private:
+  const Token &peek(unsigned Ahead = 0) const {
+    size_t I = Pos + Ahead;
+    return I < Toks.size() ? Toks[I] : Toks.back();
+  }
+  bool at(TokKind K) const { return peek().Kind == K; }
+  bool atOp(std::string_view Text) const {
+    return (peek().Kind == TokKind::Operator || peek().Kind == TokKind::Dot)
+           && peek().Text == Text;
+  }
+  const Token &advance() { return Toks[Pos < Toks.size() - 1 ? Pos++ : Pos]; }
+  bool eat(TokKind K) {
+    if (!at(K))
+      return false;
+    advance();
+    return true;
+  }
+  bool expect(TokKind K, std::string_view Context);
+  void error(std::string Msg);
+  void recoverToSemi();
+
+  // Declarations.
+  bool parseDecl(SModule &M);
+  SDataDecl parseData();
+  SClassDecl parseClass();
+  SInstanceDecl parseInstance();
+  // Signature or binding (shared prefix).
+  void parseSigOrBind(SModule &M);
+  SSigDecl parseSigTail(std::string Name, SourceLoc Loc);
+  SBindDecl parseBindTail(std::string Name, SourceLoc Loc);
+
+  // Types / kinds / reps.
+  STypePtr parseCType(); ///< forall/context type.
+  STypePtr parseType();  ///< arrows.
+  STypePtr parseBType(); ///< applications.
+  STypePtr parseAType(); ///< atoms.
+  std::vector<STyBinder> parseTyBinders();
+  std::vector<SConstraint> parseContextOpt();
+  SKindPtr parseKind();
+  SKindPtr parseKindAtom();
+  SRep parseRep();
+
+  // Expressions.
+  SExprPtr parseExpr();
+  SExprPtr parseOpExpr(int MinPrec);
+  SExprPtr parseFExpr();
+  SExprPtr parseAExpr();
+  bool startsAExpr() const;
+  SBinder parseBinder();
+  SPattern parsePattern();
+  SAlt parseAlt();
+  std::vector<SLocalBind> parseLetBinds();
+
+  std::vector<Token> Toks;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+};
+
+/// Fixity of a (surface) operator; returns false for unknown operators.
+bool operatorFixity(std::string_view Op, int &Prec, bool &RightAssoc);
+
+} // namespace surface
+} // namespace levity
+
+#endif // LEVITY_SURFACE_PARSER_H

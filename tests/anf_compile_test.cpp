@@ -1,0 +1,246 @@
+//===- anf_compile_test.cpp - Figure 7 compilation rule tests -------------===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+//
+// Each compilation rule of Figure 7 (shape of the emitted ANF), erasure of
+// type/rep abstraction, end-to-end execution of compiled programs, and the
+// *partiality* of compilation on levity-polymorphic inputs (experiment E6).
+//
+//===----------------------------------------------------------------------===//
+
+#include "anf/Compile.h"
+#include "mcalc/Machine.h"
+
+#include <gtest/gtest.h>
+
+using namespace levity;
+using lcalc::LContext;
+using lcalc::LKind;
+using lcalc::RuntimeRep;
+
+namespace {
+
+class CompileTest : public ::testing::Test {
+protected:
+  LContext L;
+  mcalc::MContext MC;
+  anf::Compiler Comp{L, MC};
+  mcalc::Machine M{MC};
+
+  Symbol s(std::string_view N) { return L.sym(N); }
+
+  const mcalc::Term *compileOk(const lcalc::Expr *E) {
+    Result<const mcalc::Term *> R = Comp.compileClosed(E);
+    EXPECT_TRUE(R.ok()) << "compilation failed: "
+                        << (R.ok() ? "" : R.error()) << "\n  on: "
+                        << E->str();
+    return R.ok() ? *R : nullptr;
+  }
+
+  int64_t runToConValue(const mcalc::Term *T) {
+    mcalc::MachineResult R = M.run(T);
+    EXPECT_EQ(R.Status, mcalc::MachineOutcome::Value) << R.StuckReason;
+    const auto *C = mcalc::dyn_cast<mcalc::ConLitTerm>(R.Value);
+    EXPECT_NE(C, nullptr);
+    return C ? C->value() : -1;
+  }
+};
+
+//===--------------------------------------------------------------------===//
+// Rule shapes
+//===--------------------------------------------------------------------===//
+
+TEST_F(CompileTest, IntLitAndError) {
+  EXPECT_EQ(compileOk(L.intLit(7))->str(), "7"); // C_INTLIT
+  EXPECT_EQ(compileOk(L.error())->str(), "error"); // C_ERROR
+}
+
+// C_CON: I#[5] ⇝ let! i = 5 in I#[i].
+TEST_F(CompileTest, ConCompilesToStrictLet) {
+  const mcalc::Term *T = compileOk(L.con(L.intLit(5)));
+  const auto *LB = mcalc::dyn_cast<mcalc::LetBangTerm>(T);
+  ASSERT_NE(LB, nullptr) << T->str();
+  EXPECT_TRUE(LB->binder().isInt());
+  EXPECT_TRUE(mcalc::isa<mcalc::LitTerm>(LB->rhs()));
+  EXPECT_TRUE(mcalc::isa<mcalc::ConVarTerm>(LB->body()));
+}
+
+// C_APPLAZY: a lifted-argument application becomes a lazy let.
+TEST_F(CompileTest, LazyApplicationCompilesToLet) {
+  const lcalc::Expr *E = L.app(L.lam(s("x"), L.intTy(), L.var(s("x"))),
+                               L.con(L.intLit(3)));
+  const mcalc::Term *T = compileOk(E);
+  const auto *Let = mcalc::dyn_cast<mcalc::LetTerm>(T);
+  ASSERT_NE(Let, nullptr) << T->str();
+  EXPECT_TRUE(Let->binder().isPtr());
+  const auto *App = mcalc::dyn_cast<mcalc::AppVarTerm>(Let->body());
+  ASSERT_NE(App, nullptr);
+  EXPECT_EQ(App->arg(), Let->binder());
+}
+
+// C_APPINT: an unboxed-argument application becomes a strict let!.
+TEST_F(CompileTest, StrictApplicationCompilesToLetBang) {
+  const lcalc::Expr *E =
+      L.app(L.lam(s("x"), L.intHashTy(), L.var(s("x"))), L.intLit(3));
+  const mcalc::Term *T = compileOk(E);
+  const auto *LB = mcalc::dyn_cast<mcalc::LetBangTerm>(T);
+  ASSERT_NE(LB, nullptr) << T->str();
+  EXPECT_TRUE(LB->binder().isInt());
+}
+
+// C_LAMPTR / C_LAMINT: binder sorts follow kinds.
+TEST_F(CompileTest, LambdaParameterSorts) {
+  const mcalc::Term *TP =
+      compileOk(L.lam(s("x"), L.intTy(), L.var(s("x"))));
+  EXPECT_TRUE(mcalc::cast<mcalc::LamTerm>(TP)->param().isPtr());
+
+  const mcalc::Term *TI =
+      compileOk(L.lam(s("x"), L.intHashTy(), L.var(s("x"))));
+  EXPECT_TRUE(mcalc::cast<mcalc::LamTerm>(TI)->param().isInt());
+}
+
+// C_TLAM/C_TAPP/C_RLAM/C_RAPP: type and rep structure erases completely.
+TEST_F(CompileTest, TypeAndRepStructureErases) {
+  const lcalc::Expr *E = L.tyApp(
+      L.tyLam(s("a"), LKind::typePtr(), L.intLit(5)), L.intTy());
+  EXPECT_EQ(compileOk(E)->str(), "5");
+
+  const lcalc::Expr *ER = L.repApp(
+      L.repLam(s("r"), L.intLit(6)), RuntimeRep::integer());
+  EXPECT_EQ(compileOk(ER)->str(), "6");
+}
+
+// C_CASE: binder is an integer variable.
+TEST_F(CompileTest, CaseCompiles) {
+  const lcalc::Expr *E =
+      L.caseOf(L.con(L.intLit(3)), s("x"), L.var(s("x")));
+  const mcalc::Term *T = compileOk(E);
+  const auto *C = mcalc::dyn_cast<mcalc::CaseTerm>(T);
+  ASSERT_NE(C, nullptr);
+  EXPECT_TRUE(C->binder().isInt());
+}
+
+//===--------------------------------------------------------------------===//
+// Partiality: levity polymorphism cannot compile
+//===--------------------------------------------------------------------===//
+
+// The compiler (not just the typechecker) rejects a levity-polymorphic
+// binder: this is the theorem's "compilation is partial" side. The term
+// below is ill-typed in L, but we drive the compiler directly to show the
+// failure is intrinsic, not a typechecker artifact.
+TEST_F(CompileTest, LevityPolymorphicBinderUncompilable) {
+  const lcalc::Expr *E = L.repLam(
+      s("r"), L.tyLam(s("a"), LKind::typeVar(s("r")),
+                      L.lam(s("x"), L.varTy(s("a")), L.var(s("x")))));
+  Result<const mcalc::Term *> R = Comp.compileClosed(E);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.error().find("levity-polymorphic binder"), std::string::npos)
+      << R.error();
+}
+
+TEST_F(CompileTest, LevityPolymorphicArgumentUncompilable) {
+  // (error @P @(a→Int) I#[0]) (error @r @a I#[0]) under Λr. Λa:TYPE r.
+  Symbol R = s("r"), A = s("a");
+  const lcalc::Type *ATy = L.varTy(A);
+  const lcalc::Expr *Fn =
+      L.app(L.tyApp(L.repApp(L.error(), RuntimeRep::pointer()),
+                    L.arrowTy(ATy, L.intTy())),
+            L.con(L.intLit(0)));
+  const lcalc::Expr *Arg =
+      L.app(L.tyApp(L.repApp(L.error(), RuntimeRep::var(R)), ATy),
+            L.con(L.intLit(0)));
+  const lcalc::Expr *E =
+      L.repLam(R, L.tyLam(A, LKind::typeVar(R), L.app(Fn, Arg)));
+  Result<const mcalc::Term *> RR = Comp.compileClosed(E);
+  ASSERT_FALSE(RR.ok());
+  EXPECT_NE(RR.error().find("levity-polymorphic argument"),
+            std::string::npos)
+      << RR.error();
+}
+
+//===--------------------------------------------------------------------===//
+// End-to-end: compiled programs compute the right answers
+//===--------------------------------------------------------------------===//
+
+TEST_F(CompileTest, CompiledIdentityChainRuns) {
+  // (λx:Int. x) I#[9] ⇝ … ⇝ I#[9].
+  const lcalc::Expr *E = L.app(L.lam(s("x"), L.intTy(), L.var(s("x"))),
+                               L.con(L.intLit(9)));
+  EXPECT_EQ(runToConValue(compileOk(E)), 9);
+}
+
+TEST_F(CompileTest, CompiledUnboxReboxRuns) {
+  // case I#[2] of I#[a] -> case I#[3] of I#[b] -> I#[b].
+  const lcalc::Expr *E = L.caseOf(
+      L.con(L.intLit(2)), s("a"),
+      L.caseOf(L.con(L.intLit(3)), s("b"), L.con(L.var(s("b")))));
+  EXPECT_EQ(runToConValue(compileOk(E)), 3);
+}
+
+TEST_F(CompileTest, CompiledLazinessDiscardsError) {
+  // (λx:Int. I#[1]) (error …) terminates: lazy let never forces the thunk.
+  const lcalc::Expr *Bottom = L.app(
+      L.tyApp(L.repApp(L.error(), RuntimeRep::pointer()), L.intTy()),
+      L.con(L.intLit(0)));
+  const lcalc::Expr *E =
+      L.app(L.lam(s("x"), L.intTy(), L.con(L.intLit(1))), Bottom);
+  mcalc::MachineResult R = M.run(compileOk(E));
+  EXPECT_EQ(R.Status, mcalc::MachineOutcome::Value);
+  EXPECT_EQ(R.Stats.ThunkEvals, 0u);
+}
+
+TEST_F(CompileTest, CompiledStrictnessForcesError) {
+  const lcalc::Expr *Bottom = L.app(
+      L.tyApp(L.repApp(L.error(), RuntimeRep::integer()), L.intHashTy()),
+      L.con(L.intLit(0)));
+  const lcalc::Expr *E =
+      L.app(L.lam(s("x"), L.intHashTy(), L.intLit(1)), Bottom);
+  mcalc::MachineResult R = M.run(compileOk(E));
+  EXPECT_EQ(R.Status, mcalc::MachineOutcome::Bottom);
+}
+
+// The paper's headline example: one levity-polymorphic source function,
+// two instantiations, both run — at *different* calling conventions.
+TEST_F(CompileTest, RepPolymorphicSourceCompilesAtBothConventions) {
+  // gen = Λr. Λa:TYPE r. λf:Int → a. f I#[7].
+  Symbol R = s("r"), A = s("a"), F = s("f");
+  const lcalc::Expr *Gen = L.repLam(
+      R, L.tyLam(A, LKind::typeVar(R),
+                 L.lam(F, L.arrowTy(L.intTy(), L.varTy(A)),
+                       L.app(L.var(F), L.con(L.intLit(7))))));
+
+  // Boxed instantiation: id at Int.
+  const lcalc::Expr *AtP =
+      L.app(L.tyApp(L.repApp(Gen, RuntimeRep::pointer()), L.intTy()),
+            L.lam(s("n"), L.intTy(), L.var(s("n"))));
+  EXPECT_EQ(runToConValue(compileOk(AtP)), 7);
+
+  // Unboxed instantiation: unbox at Int#.
+  const lcalc::Expr *AtI =
+      L.app(L.tyApp(L.repApp(Gen, RuntimeRep::integer()), L.intHashTy()),
+            L.lam(s("n"), L.intTy(),
+                  L.caseOf(L.var(s("n")), s("m"), L.var(s("m")))));
+  mcalc::MachineResult MR = M.run(compileOk(AtI));
+  ASSERT_EQ(MR.Status, mcalc::MachineOutcome::Value) << MR.StuckReason;
+  EXPECT_EQ(mcalc::cast<mcalc::LitTerm>(MR.Value)->value(), 7);
+}
+
+TEST_F(CompileTest, ShadowedVariablesCompileCorrectly) {
+  // λx:Int. (λx:Int#. x) 5 — inner x must map to the integer variable.
+  const lcalc::Expr *E =
+      L.lam(s("x"), L.intTy(),
+            L.app(L.lam(s("x"), L.intHashTy(), L.var(s("x"))),
+                  L.intLit(5)));
+  const mcalc::Term *T = compileOk(E);
+  // Apply to a dummy boxed argument and check we get 5.
+  mcalc::MVar P = MC.freshPtr();
+  mcalc::MachineResult R =
+      M.run(MC.let(P, MC.conLit(0), MC.appVar(T, P)));
+  ASSERT_EQ(R.Status, mcalc::MachineOutcome::Value) << R.StuckReason;
+  EXPECT_EQ(mcalc::cast<mcalc::LitTerm>(R.Value)->value(), 5);
+}
+
+} // namespace

@@ -1,0 +1,214 @@
+//===- anf_simulation_test.cpp - Compilation & Simulation theorems --------===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+//
+// Property tests for the two compilation theorems of Section 6.3:
+//
+//   Compilation: if Γ ⊢ e : τ (and Γ ∝ V) then ⟦e⟧ᵥΓ ⇝ t — compilation
+//     is *total* on well-typed terms.
+//   Simulation:  if Γ ⊢ e : τ and Γ ⊢ e → e', then ⟦e⟧ ⇝ t, ⟦e'⟧ ⇝ t',
+//     and t ⇔ t' — the machine agrees with the reduction semantics.
+//
+// Joinability t ⇔ t' is approximated by the observational oracle in
+// anf/Joinability.h. We additionally check full-run agreement: the L
+// evaluator's final outcome matches the M machine's on the compiled term.
+//
+//===----------------------------------------------------------------------===//
+
+#include "anf/Compile.h"
+#include "anf/Joinability.h"
+#include "lcalc/Eval.h"
+#include "lcalc/Gen.h"
+#include "mcalc/Machine.h"
+
+#include <gtest/gtest.h>
+
+using namespace levity;
+
+namespace {
+
+struct SimParams {
+  uint64_t Seed;
+  unsigned MaxDepth;
+};
+
+class SimulationTest : public ::testing::TestWithParam<SimParams> {};
+
+constexpr unsigned TermsPerCase = 200;
+
+// Compilation theorem: every well-typed closed term compiles.
+TEST_P(SimulationTest, CompilationIsTotalOnWellTypedTerms) {
+  lcalc::LContext L;
+  mcalc::MContext MC;
+  anf::Compiler Comp(L, MC);
+  lcalc::TermGen::Options Opts;
+  Opts.MaxDepth = GetParam().MaxDepth;
+  lcalc::TermGen Gen(L, GetParam().Seed, Opts);
+  for (unsigned I = 0; I != TermsPerCase; ++I) {
+    lcalc::TermGen::Generated G = Gen.generate();
+    Result<const mcalc::Term *> T = Comp.compileClosed(G.E);
+    ASSERT_TRUE(T.ok()) << "well-typed term failed to compile: "
+                        << G.E->str() << "\n  " << T.error();
+  }
+}
+
+// Simulation theorem, stepwise: compile before and after an L step; the
+// results must be joinable.
+TEST_P(SimulationTest, StepwiseSimulation) {
+  lcalc::LContext L;
+  mcalc::MContext MC;
+  anf::Compiler Comp(L, MC);
+  anf::JoinOracle Oracle(L, MC);
+  lcalc::Evaluator Ev(L);
+  lcalc::TermGen::Options Opts;
+  Opts.MaxDepth = GetParam().MaxDepth;
+  lcalc::TermGen Gen(L, GetParam().Seed ^ 0xabcdefull, Opts);
+
+  unsigned Unknown = 0, Checked = 0;
+  for (unsigned I = 0; I != TermsPerCase; ++I) {
+    lcalc::TermGen::Generated G = Gen.generate();
+    const lcalc::Expr *Cur = G.E;
+    for (unsigned Step = 0; Step != 16; ++Step) {
+      lcalc::TypeEnv Env;
+      lcalc::StepResult R = Ev.step(Env, Cur);
+      if (R.Status != lcalc::StepStatus::Stepped)
+        break;
+      Result<const mcalc::Term *> T1 = Comp.compileClosed(Cur);
+      Result<const mcalc::Term *> T2 = Comp.compileClosed(R.Next);
+      ASSERT_TRUE(T1.ok()) << T1.error();
+      ASSERT_TRUE(T2.ok()) << T2.error();
+      anf::JoinResult J = Oracle.joinable(G.Ty, *T1, *T2);
+      ASSERT_NE(J.Verdict, anf::JoinVerdict::NotJoinable)
+          << "simulation failed after rule " << R.Rule << "\n  before: "
+          << Cur->str() << "\n  after: " << R.Next->str() << "\n  detail: "
+          << J.Detail;
+      if (J.Verdict == anf::JoinVerdict::Unknown)
+        ++Unknown;
+      ++Checked;
+      Cur = R.Next;
+    }
+  }
+  // The oracle must actually decide most cases, or the test is vacuous.
+  ASSERT_GT(Checked, 0u);
+  EXPECT_LT(Unknown, Checked / 2)
+      << "oracle undecided on " << Unknown << "/" << Checked << " steps";
+}
+
+// Full-run agreement: L evaluation and M execution reach consistent
+// final outcomes (value vs ⊥), and equal observables at base types.
+TEST_P(SimulationTest, FullRunAgreement) {
+  lcalc::LContext L;
+  mcalc::MContext MC;
+  anf::Compiler Comp(L, MC);
+  anf::JoinOracle Oracle(L, MC);
+  lcalc::Evaluator Ev(L);
+  mcalc::Machine M(MC);
+  lcalc::TermGen::Options Opts;
+  Opts.MaxDepth = GetParam().MaxDepth;
+  lcalc::TermGen Gen(L, GetParam().Seed ^ 0x5eedull, Opts);
+
+  for (unsigned I = 0; I != TermsPerCase; ++I) {
+    lcalc::TermGen::Generated G = Gen.generate();
+    lcalc::RunResult LR = Ev.runClosed(G.E, 100000);
+    Result<const mcalc::Term *> T = Comp.compileClosed(G.E);
+    ASSERT_TRUE(T.ok()) << T.error();
+    mcalc::MachineResult MR = M.run(*T, 1000000);
+
+    ASSERT_NE(MR.Status, mcalc::MachineOutcome::Stuck)
+        << "compiled code stuck (" << MR.StuckReason << ") for "
+        << G.E->str();
+
+    if (LR.Final == lcalc::StepStatus::Bottom) {
+      EXPECT_EQ(MR.Status, mcalc::MachineOutcome::Bottom)
+          << "L diverged but M did not: " << G.E->str();
+      continue;
+    }
+    ASSERT_EQ(LR.Final, lcalc::StepStatus::Value);
+    ASSERT_EQ(MR.Status, mcalc::MachineOutcome::Value)
+        << "L reached a value but M did not: " << G.E->str();
+
+    // Compare observables by compiling the L value and asking the oracle.
+    Result<const mcalc::Term *> TV = Comp.compileClosed(LR.Last);
+    ASSERT_TRUE(TV.ok()) << TV.error();
+    anf::JoinResult J = Oracle.joinable(G.Ty, *T, *TV);
+    EXPECT_NE(J.Verdict, anf::JoinVerdict::NotJoinable)
+        << "final values disagree for " << G.E->str() << "\n  L value: "
+        << LR.Last->str() << "\n  detail: " << J.Detail;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, SimulationTest,
+    ::testing::Values(SimParams{11, 3}, SimParams{12, 4}, SimParams{13, 5},
+                      SimParams{14, 5}, SimParams{15, 6}, SimParams{16, 6}),
+    [](const ::testing::TestParamInfo<SimParams> &Info) {
+      return "seed" + std::to_string(Info.param.Seed) + "depth" +
+             std::to_string(Info.param.MaxDepth);
+    });
+
+//===--------------------------------------------------------------------===//
+// Joinability oracle self-tests
+//===--------------------------------------------------------------------===//
+
+TEST(JoinOracleTest, DistinguishesDifferentLiterals) {
+  lcalc::LContext L;
+  mcalc::MContext MC;
+  anf::JoinOracle Oracle(L, MC);
+  anf::JoinResult J =
+      Oracle.joinable(L.intHashTy(), MC.lit(1), MC.lit(2));
+  EXPECT_EQ(J.Verdict, anf::JoinVerdict::NotJoinable);
+}
+
+TEST(JoinOracleTest, EquatesEqualBoxes) {
+  lcalc::LContext L;
+  mcalc::MContext MC;
+  anf::JoinOracle Oracle(L, MC);
+  anf::JoinResult J =
+      Oracle.joinable(L.intTy(), MC.conLit(4), MC.conLit(4));
+  EXPECT_EQ(J.Verdict, anf::JoinVerdict::Joinable);
+}
+
+TEST(JoinOracleTest, BottomOnlyMatchesBottom) {
+  lcalc::LContext L;
+  mcalc::MContext MC;
+  anf::JoinOracle Oracle(L, MC);
+  EXPECT_EQ(Oracle.joinable(L.intTy(), MC.error(), MC.error()).Verdict,
+            anf::JoinVerdict::Joinable);
+  EXPECT_EQ(Oracle.joinable(L.intTy(), MC.error(), MC.conLit(1)).Verdict,
+            anf::JoinVerdict::NotJoinable);
+}
+
+TEST(JoinOracleTest, ProbesFunctions) {
+  lcalc::LContext L;
+  mcalc::MContext MC;
+  anf::JoinOracle Oracle(L, MC);
+  // λi. i versus λi. 0 at Int# → Int#: distinguished by probing.
+  mcalc::MVar I1 = MC.freshInt(), I2 = MC.freshInt();
+  const mcalc::Term *Id = MC.lam(I1, MC.var(I1));
+  const mcalc::Term *Zero = MC.lam(I2, MC.lit(0));
+  const lcalc::Type *Ty = L.arrowTy(L.intHashTy(), L.intHashTy());
+  EXPECT_EQ(Oracle.joinable(Ty, Id, Id).Verdict,
+            anf::JoinVerdict::Joinable);
+  EXPECT_EQ(Oracle.joinable(Ty, Id, Zero).Verdict,
+            anf::JoinVerdict::NotJoinable);
+}
+
+TEST(JoinOracleTest, ProbesBoxedFunctions) {
+  lcalc::LContext L;
+  mcalc::MContext MC;
+  anf::JoinOracle Oracle(L, MC);
+  // λp. p versus λp. I#[0]-thunk at Int → Int.
+  mcalc::MVar P1 = MC.freshPtr(), P2 = MC.freshPtr();
+  const mcalc::Term *Id = MC.lam(P1, MC.var(P1));
+  const mcalc::Term *K0 = MC.lam(P2, MC.conLit(0));
+  const lcalc::Type *Ty = L.arrowTy(L.intTy(), L.intTy());
+  EXPECT_EQ(Oracle.joinable(Ty, Id, Id).Verdict,
+            anf::JoinVerdict::Joinable);
+  EXPECT_EQ(Oracle.joinable(Ty, Id, K0).Verdict,
+            anf::JoinVerdict::NotJoinable);
+}
+
+} // namespace

@@ -1,0 +1,268 @@
+//===- infer_test.cpp - Rep unification, defaulting, legacy baseline ------===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+//
+// Section 5.2's inference story (rep metavariables unify like ordinary
+// metas; unconstrained ones default to LiftedRep; rep variables are never
+// generalized) and the Section 3.2 legacy sub-kinding baseline with its
+// pitfalls (experiment E7).
+//
+//===----------------------------------------------------------------------===//
+
+#include "infer/SubKind.h"
+#include "infer/Unify.h"
+
+#include <gtest/gtest.h>
+
+using namespace levity;
+using namespace levity::core;
+using namespace levity::infer;
+
+namespace {
+
+class UnifyTest : public ::testing::Test {
+protected:
+  CoreContext C;
+  DiagnosticEngine Diags;
+  Unifier U{C, Diags};
+};
+
+TEST_F(UnifyTest, SolvesTypeMeta) {
+  const Type *M = C.freshTypeMeta(C.typeKind());
+  EXPECT_TRUE(U.unify(M, C.intTy()));
+  EXPECT_TRUE(typeEqual(C.zonkType(M), C.intTy()));
+}
+
+// The Section 5.2 recipe: α :: TYPE ν; unifying α with a lifted type
+// solves ν := LiftedRep through the kind.
+TEST_F(UnifyTest, RepMetaSolvedThroughKind) {
+  const Type *Alpha = U.freshOpenMeta();
+  EXPECT_TRUE(U.unify(Alpha, C.intTy()));
+  const Kind *K =
+      C.zonkKind(C.typeMetaCell(cast<MetaType>(Alpha)->id()).MetaKind);
+  EXPECT_EQ(K->str(), "Type");
+}
+
+TEST_F(UnifyTest, RepMetaSolvedToUnboxed) {
+  const Type *Alpha = U.freshOpenMeta();
+  EXPECT_TRUE(U.unify(Alpha, C.intHashTy()));
+  const Kind *K =
+      C.zonkKind(C.typeMetaCell(cast<MetaType>(Alpha)->id()).MetaKind);
+  EXPECT_EQ(K->str(), "TYPE IntRep");
+}
+
+// One α cannot be both lifted and unboxed: the rep unification fails
+// (no sub-kinding escape hatch).
+TEST_F(UnifyTest, ConflictingRepsRejected) {
+  const Type *Alpha = U.freshOpenMeta();
+  // Pin only the *kind*: ν ~ IntRep.
+  const Kind *K = C.typeMetaCell(cast<MetaType>(Alpha)->id()).MetaKind;
+  EXPECT_TRUE(U.unifyRep(K->rep(), C.intRep()));
+  // α :: TYPE IntRep now refuses lifted solutions via kind unification.
+  EXPECT_FALSE(U.unify(Alpha, C.intTy()));
+  EXPECT_TRUE(Diags.hasError(DiagCode::KindError));
+
+  // And a solved meta refuses re-solution at a different type outright.
+  Diags.clear();
+  const Type *Beta = U.freshOpenMeta();
+  EXPECT_TRUE(U.unify(Beta, C.intHashTy()));
+  EXPECT_FALSE(U.unify(Beta, C.intTy()));
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST_F(UnifyTest, UnifiesFunctionTypes) {
+  const Type *M1 = U.freshOpenMeta();
+  const Type *M2 = U.freshOpenMeta();
+  const Type *Fn = C.funTy(M1, M2);
+  const Type *Target = C.funTy(C.intHashTy(), C.boolTy());
+  EXPECT_TRUE(U.unify(Fn, Target));
+  EXPECT_TRUE(typeEqual(C.zonkType(M1), C.intHashTy()));
+  EXPECT_TRUE(typeEqual(C.zonkType(M2), C.boolTy()));
+}
+
+TEST_F(UnifyTest, OccursCheckFires) {
+  const Type *M = U.freshOpenMeta();
+  const Type *Loop = C.funTy(M, C.intTy());
+  EXPECT_FALSE(U.unify(M, Loop));
+  EXPECT_TRUE(Diags.hasError(DiagCode::OccursCheck));
+}
+
+TEST_F(UnifyTest, UnifiesRepsInsideTuples) {
+  const RepTy *Nu = C.freshRepMeta();
+  const RepTy *A = C.repTuple({Nu, C.liftedRep()});
+  const RepTy *B = C.repTuple({C.intRep(), C.liftedRep()});
+  EXPECT_TRUE(U.unifyRep(A, B));
+  EXPECT_EQ(C.zonkRep(Nu)->str(), "IntRep");
+}
+
+TEST_F(UnifyTest, TupleRepArityMismatch) {
+  const RepTy *A = C.repTuple({C.intRep()});
+  const RepTy *B = C.repTuple({C.intRep(), C.intRep()});
+  EXPECT_FALSE(U.unifyRep(A, B));
+}
+
+// Nesting matters for kinds (Section 4.2): TupleRep '[TupleRep '[..]]
+// does not unify with the flattened form even though conventions match.
+TEST_F(UnifyTest, NestedTupleRepsDoNotUnify) {
+  const RepTy *Nested =
+      C.repTuple({C.liftedRep(), C.repTuple({C.liftedRep()})});
+  const RepTy *Flat = C.repTuple({C.liftedRep(), C.liftedRep()});
+  EXPECT_FALSE(U.unifyRep(Nested, Flat));
+}
+
+TEST_F(UnifyTest, ForAllAlphaUnification) {
+  Symbol A = C.sym("a"), B = C.sym("b");
+  const Type *TA = C.forAllTy(
+      A, C.typeKind(),
+      C.funTy(C.varTy(A, C.typeKind()), C.varTy(A, C.typeKind())));
+  const Type *TB = C.forAllTy(
+      B, C.typeKind(),
+      C.funTy(C.varTy(B, C.typeKind()), C.varTy(B, C.typeKind())));
+  EXPECT_TRUE(U.unify(TA, TB));
+}
+
+//===--------------------------------------------------------------------===//
+// Defaulting and generalization (Section 5.2)
+//===--------------------------------------------------------------------===//
+
+// "f x = x" infers a -> a with a :: TYPE ν; generalization must NOT
+// produce ∀(r::Rep)(a::TYPE r). a -> a — instead ν defaults to LiftedRep.
+TEST_F(UnifyTest, NeverInferLevityPolymorphism) {
+  const Type *Alpha = U.freshOpenMeta();
+  const Type *IdTy = C.funTy(Alpha, Alpha);
+  const Type *Gen = generalize(C, IdTy);
+  const auto *F = dyn_cast<ForAllType>(Gen);
+  ASSERT_NE(F, nullptr) << Gen->str();
+  // Exactly one quantifier, of kind Type — not Rep.
+  EXPECT_EQ(F->varKind()->str(), "Type");
+  EXPECT_FALSE(isa<ForAllType>(F->body())) << Gen->str();
+}
+
+TEST_F(UnifyTest, ConstrainedRepSurvivesGeneralization) {
+  const Type *Alpha = U.freshOpenMeta();
+  ASSERT_TRUE(U.unify(Alpha, C.intHashTy()));
+  const Type *Ty = C.funTy(Alpha, Alpha);
+  const Type *Gen = generalize(C, Ty);
+  // Fully solved: Int# -> Int#, no quantifiers.
+  EXPECT_EQ(Gen->str(), "Int# -> Int#");
+}
+
+TEST_F(UnifyTest, MultipleMetasGetDistinctVariables) {
+  const Type *A = U.freshOpenMeta();
+  const Type *B = U.freshOpenMeta();
+  const Type *Ty = C.funTy(A, B);
+  const Type *Gen = generalize(C, Ty);
+  const auto *F1 = dyn_cast<ForAllType>(Gen);
+  ASSERT_NE(F1, nullptr);
+  const auto *F2 = dyn_cast<ForAllType>(F1->body());
+  ASSERT_NE(F2, nullptr);
+  EXPECT_NE(F1->var(), F2->var());
+}
+
+TEST_F(UnifyTest, DefaultRepMetasOnly) {
+  const Type *Alpha = U.freshOpenMeta();
+  const Type *D = defaultRepMetas(C, Alpha);
+  // The type meta survives; its kind's rep meta became LiftedRep.
+  const auto *M = dyn_cast<MetaType>(D);
+  ASSERT_NE(M, nullptr);
+  EXPECT_EQ(C.zonkKind(C.typeMetaCell(M->id()).MetaKind)->str(), "Type");
+}
+
+//===--------------------------------------------------------------------===//
+// Legacy sub-kinding baseline (Section 3.2)
+//===--------------------------------------------------------------------===//
+
+class LegacyTest : public ::testing::Test {
+protected:
+  CoreContext C;
+  DiagnosticEngine Diags;
+  LegacyChecker L{C, Diags};
+};
+
+TEST_F(LegacyTest, Lattice) {
+  EXPECT_TRUE(legacySubKind(LegacyKind::Star, LegacyKind::Open));
+  EXPECT_TRUE(legacySubKind(LegacyKind::Hash, LegacyKind::Open));
+  EXPECT_TRUE(legacySubKind(LegacyKind::Star, LegacyKind::Star));
+  EXPECT_FALSE(legacySubKind(LegacyKind::Star, LegacyKind::Hash));
+  EXPECT_FALSE(legacySubKind(LegacyKind::Open, LegacyKind::Star));
+  EXPECT_EQ(legacyLub(LegacyKind::Star, LegacyKind::Hash),
+            LegacyKind::Open);
+}
+
+TEST_F(LegacyTest, AllUnboxedTypesCollapseToHash) {
+  // The central imprecision: Int# and Double# — different calling
+  // conventions! — get the same legacy kind.
+  EXPECT_EQ(*L.kindOf(C.intHashTy()), LegacyKind::Hash);
+  EXPECT_EQ(*L.kindOf(C.doubleHashTy()), LegacyKind::Hash);
+  EXPECT_EQ(*L.kindOf(C.unboxedTupleTy({C.intTy(), C.intTy()})),
+            LegacyKind::Hash);
+  EXPECT_EQ(*L.kindOf(C.intTy()), LegacyKind::Star);
+}
+
+TEST_F(LegacyTest, SaturatedArrowAcceptsHashOperands) {
+  // Int# -> Int# is well-kinded only via the saturated special case.
+  EXPECT_EQ(*L.kindOf(C.funTy(C.intHashTy(), C.intHashTy())),
+            LegacyKind::Star);
+}
+
+// The Instantiation Principle: a Type-kinded variable rejects Int#.
+TEST_F(LegacyTest, InstantiationPrincipleEnforced) {
+  EXPECT_TRUE(L.checkInstantiation(LegacyKind::Star, C.intTy()));
+  EXPECT_FALSE(L.checkInstantiation(LegacyKind::Star, C.intHashTy()));
+  EXPECT_TRUE(Diags.hasError(DiagCode::InstantiationError));
+}
+
+// error :: ∀(a::OpenKind). String → a accepts both.
+TEST_F(LegacyTest, MagicErrorAcceptsBoth) {
+  EXPECT_TRUE(L.checkInstantiation(LegacyKind::Open, C.intTy()));
+  EXPECT_TRUE(L.checkInstantiation(LegacyKind::Open, C.intHashTy()));
+}
+
+// The OpenKind leak: rejection messages mention OpenKind (Section 3.2's
+// third complaint).
+TEST_F(LegacyTest, OpenKindLeaksIntoMessages) {
+  L.checkInstantiation(LegacyKind::Star, C.intHashTy());
+  EXPECT_NE(Diags.str().find("OpenKind"), std::string::npos);
+}
+
+// myError loses the magic: inference defaults the unconstrained kind
+// meta to Type, so the wrapper rejects Int# even though error accepts it.
+TEST_F(LegacyTest, MyErrorLosesMagic) {
+  // Inferring myError s = error ("..." ++ s): the result kind meta has
+  // no constraints, so defaulting solves it to Type.
+  uint32_t M = L.freshMeta(LegacyKind::Open);
+  L.defaultMetas();
+  EXPECT_EQ(L.metaValue(M), LegacyKind::Star);
+  // And a Type-kinded variable cannot take Int#:
+  EXPECT_FALSE(L.checkInstantiation(L.metaValue(M), C.intHashTy()));
+}
+
+// Contrast with the new system: the same wrapper *with a signature*
+// keeps full levity polymorphism (tested in levity_check_test); and even
+// unannotated, the failure mode is deterministic defaulting rather than
+// fragile special-casing.
+
+TEST_F(LegacyTest, BoundedMetasTighten) {
+  uint32_t M = L.freshMeta(LegacyKind::Open);
+  EXPECT_TRUE(L.constrainUpper(M, LegacyKind::Hash));
+  L.defaultMetas();
+  EXPECT_EQ(L.metaValue(M), LegacyKind::Hash);
+}
+
+TEST_F(LegacyTest, ConflictingBoundsRejected) {
+  uint32_t M = L.freshMeta(LegacyKind::Open);
+  EXPECT_TRUE(L.constrainUpper(M, LegacyKind::Hash));
+  EXPECT_FALSE(L.constrainUpper(M, LegacyKind::Star));
+  EXPECT_TRUE(Diags.hasError(DiagCode::SubKindError));
+}
+
+TEST_F(LegacyTest, VarKindsRespected) {
+  Symbol A = C.sym("a");
+  L.bindVar(A, LegacyKind::Hash);
+  EXPECT_EQ(*L.kindOf(C.varTy(A, C.typeKind())), LegacyKind::Hash);
+}
+
+} // namespace

@@ -1,0 +1,276 @@
+//===- lcalc_eval_test.cpp - Figure 4 rule-by-rule tests ------------------===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+//
+// The type-directed small-step semantics: lazy application at TYPE P,
+// strict application at TYPE I, evaluation under Λ, case matching, error.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lcalc/Eval.h"
+#include "lcalc/Subst.h"
+
+#include <gtest/gtest.h>
+
+using namespace levity;
+using namespace levity::lcalc;
+
+namespace {
+
+class LEvalTest : public ::testing::Test {
+protected:
+  LContext C;
+  Evaluator Ev{C};
+
+  Symbol s(std::string_view N) { return C.sym(N); }
+
+  StepResult step1(const Expr *E) {
+    TypeEnv Env;
+    return Ev.step(Env, E);
+  }
+
+  const Expr *evalToValue(const Expr *E) {
+    RunResult R = Ev.runClosed(E);
+    EXPECT_EQ(R.Final, StepStatus::Value)
+        << "did not reach a value: " << R.Last->str();
+    return R.Last;
+  }
+};
+
+//===--------------------------------------------------------------------===//
+// β rules, lazy vs strict (S_BETAPTR / S_BETAUNBOXED)
+//===--------------------------------------------------------------------===//
+
+// S_BETAPTR: at TYPE P the argument is substituted *unevaluated*.
+TEST_F(LEvalTest, LazyBetaSubstitutesUnevaluated) {
+  // (λx:Int. I#[42]) ((λy:Int. y) I#[1]) steps by S_BETAPTR directly:
+  // the redex argument is not reduced first.
+  const Expr *Arg =
+      C.app(C.lam(s("y"), C.intTy(), C.var(s("y"))), C.con(C.intLit(1)));
+  const Expr *E = C.app(C.lam(s("x"), C.intTy(), C.con(C.intLit(42))), Arg);
+  StepResult R = step1(E);
+  ASSERT_EQ(R.Status, StepStatus::Stepped);
+  EXPECT_EQ(R.Rule, "S_BETAPTR");
+  EXPECT_EQ(R.Next->str(), "I#[42]");
+}
+
+// Laziness pays: a diverging (error) argument is discarded if unused.
+TEST_F(LEvalTest, LazyApplicationDiscardsError) {
+  const Expr *Bottom = C.app(
+      C.tyApp(C.repApp(C.error(), RuntimeRep::pointer()), C.intTy()),
+      C.con(C.intLit(0)));
+  const Expr *E =
+      C.app(C.lam(s("x"), C.intTy(), C.con(C.intLit(7))), Bottom);
+  const Expr *V = evalToValue(E);
+  EXPECT_EQ(V->str(), "I#[7]");
+}
+
+// S_APPSTRICT: at TYPE I the argument is evaluated first.
+TEST_F(LEvalTest, StrictApplicationEvaluatesArgFirst) {
+  const Expr *Arg =
+      C.app(C.lam(s("y"), C.intHashTy(), C.var(s("y"))), C.intLit(1));
+  const Expr *E = C.app(C.lam(s("x"), C.intHashTy(), C.intLit(42)), Arg);
+  StepResult R = step1(E);
+  ASSERT_EQ(R.Status, StepStatus::Stepped);
+  EXPECT_EQ(R.Rule, "S_APPSTRICT");
+}
+
+// ...and hence a strict application of a diverging argument diverges,
+// even if the function ignores it.
+TEST_F(LEvalTest, StrictApplicationForcesError) {
+  const Expr *Bottom = C.app(
+      C.tyApp(C.repApp(C.error(), RuntimeRep::integer()), C.intHashTy()),
+      C.con(C.intLit(0)));
+  const Expr *E =
+      C.app(C.lam(s("x"), C.intHashTy(), C.intLit(7)), Bottom);
+  RunResult R = Ev.runClosed(E);
+  EXPECT_EQ(R.Final, StepStatus::Bottom);
+}
+
+// S_BETAUNBOXED: once the argument is a value, β fires.
+TEST_F(LEvalTest, StrictBetaOnValue) {
+  const Expr *E =
+      C.app(C.lam(s("x"), C.intHashTy(), C.var(s("x"))), C.intLit(9));
+  StepResult R = step1(E);
+  ASSERT_EQ(R.Status, StepStatus::Stepped);
+  EXPECT_EQ(R.Rule, "S_BETAUNBOXED");
+  EXPECT_EQ(R.Next->str(), "9");
+}
+
+// S_APPSTRICT2: with the argument already a value, the *function* of a
+// strict application evaluates.
+TEST_F(LEvalTest, StrictFunctionPosition) {
+  const Expr *Fn = C.tyApp(
+      C.tyLam(s("a"), LKind::typePtr(),
+              C.lam(s("x"), C.intHashTy(), C.var(s("x")))),
+      C.intTy());
+  const Expr *E = C.app(Fn, C.intLit(3));
+  StepResult R = step1(E);
+  ASSERT_EQ(R.Status, StepStatus::Stepped);
+  EXPECT_EQ(R.Rule, "S_APPSTRICT2");
+}
+
+// S_APPLAZY: the function of a lazy application evaluates when it is not
+// yet a lambda.
+TEST_F(LEvalTest, LazyFunctionPosition) {
+  const Expr *Fn = C.tyApp(
+      C.tyLam(s("a"), LKind::typePtr(),
+              C.lam(s("x"), C.intTy(), C.var(s("x")))),
+      C.intTy());
+  const Expr *E = C.app(Fn, C.con(C.intLit(3)));
+  StepResult R = step1(E);
+  ASSERT_EQ(R.Status, StepStatus::Stepped);
+  EXPECT_EQ(R.Rule, "S_APPLAZY");
+}
+
+//===--------------------------------------------------------------------===//
+// Type/rep abstraction rules (S_TLAM, S_TBETA, S_RLAM, S_RBETA)
+//===--------------------------------------------------------------------===//
+
+// S_TLAM: evaluation happens under Λ to support erasure.
+TEST_F(LEvalTest, EvaluatesUnderTypeLambda) {
+  const Expr *Redex =
+      C.app(C.lam(s("x"), C.intHashTy(), C.var(s("x"))), C.intLit(1));
+  const Expr *E = C.tyLam(s("a"), LKind::typePtr(), Redex);
+  StepResult R = step1(E);
+  ASSERT_EQ(R.Status, StepStatus::Stepped);
+  EXPECT_EQ(R.Rule, "S_TLAM");
+  EXPECT_TRUE(isValue(R.Next));
+}
+
+TEST_F(LEvalTest, TypeBetaRequiresValueBody) {
+  // (Λa:TYPE P. 5) Int → 5 by S_TBETA.
+  const Expr *E =
+      C.tyApp(C.tyLam(s("a"), LKind::typePtr(), C.intLit(5)), C.intTy());
+  StepResult R = step1(E);
+  ASSERT_EQ(R.Status, StepStatus::Stepped);
+  EXPECT_EQ(R.Rule, "S_TBETA");
+  EXPECT_EQ(R.Next->str(), "5");
+}
+
+TEST_F(LEvalTest, TypeAppEvaluatesBodyFirst) {
+  const Expr *Redex =
+      C.app(C.lam(s("x"), C.intHashTy(), C.var(s("x"))), C.intLit(1));
+  const Expr *E =
+      C.tyApp(C.tyLam(s("a"), LKind::typePtr(), Redex), C.intTy());
+  StepResult R = step1(E);
+  ASSERT_EQ(R.Status, StepStatus::Stepped);
+  EXPECT_EQ(R.Rule, "S_TAPP"); // steps inside, not S_TBETA
+}
+
+TEST_F(LEvalTest, RepBetaSubstitutes) {
+  // (Λr. Λa:TYPE r. 5) I steps to Λa:TYPE I. 5.
+  const Expr *E = C.repApp(
+      C.repLam(s("r"), C.tyLam(s("a"), LKind::typeVar(s("r")),
+                               C.intLit(5))),
+      RuntimeRep::integer());
+  StepResult R = step1(E);
+  ASSERT_EQ(R.Status, StepStatus::Stepped);
+  EXPECT_EQ(R.Rule, "S_RBETA");
+  EXPECT_EQ(cast<TyLamExpr>(R.Next)->varKind(), LKind::typeInt());
+}
+
+//===--------------------------------------------------------------------===//
+// Constructors and case (S_CON, S_CASE, S_MATCH)
+//===--------------------------------------------------------------------===//
+
+TEST_F(LEvalTest, ConIsStrict) {
+  const Expr *Redex =
+      C.app(C.lam(s("x"), C.intHashTy(), C.var(s("x"))), C.intLit(1));
+  StepResult R = step1(C.con(Redex));
+  ASSERT_EQ(R.Status, StepStatus::Stepped);
+  EXPECT_EQ(R.Rule, "S_CON");
+}
+
+TEST_F(LEvalTest, CaseForcesScrutinee) {
+  const Expr *Scrut = C.app(C.lam(s("y"), C.intTy(), C.var(s("y"))),
+                            C.con(C.intLit(3)));
+  const Expr *E = C.caseOf(Scrut, s("x"), C.var(s("x")));
+  StepResult R = step1(E);
+  ASSERT_EQ(R.Status, StepStatus::Stepped);
+  EXPECT_EQ(R.Rule, "S_CASE");
+}
+
+TEST_F(LEvalTest, CaseMatches) {
+  const Expr *E = C.caseOf(C.con(C.intLit(3)), s("x"), C.var(s("x")));
+  StepResult R = step1(E);
+  ASSERT_EQ(R.Status, StepStatus::Stepped);
+  EXPECT_EQ(R.Rule, "S_MATCH");
+  EXPECT_EQ(R.Next->str(), "3");
+}
+
+TEST_F(LEvalTest, CaseErrorPropagates) {
+  const Expr *Bottom = C.app(
+      C.tyApp(C.repApp(C.error(), RuntimeRep::pointer()), C.intTy()),
+      C.con(C.intLit(0)));
+  RunResult R = Ev.runClosed(C.caseOf(Bottom, s("x"), C.var(s("x"))));
+  EXPECT_EQ(R.Final, StepStatus::Bottom);
+}
+
+//===--------------------------------------------------------------------===//
+// error (S_ERROR)
+//===--------------------------------------------------------------------===//
+
+TEST_F(LEvalTest, ErrorAborts) {
+  StepResult R = step1(C.error());
+  EXPECT_EQ(R.Status, StepStatus::Bottom);
+  EXPECT_EQ(R.Rule, "S_ERROR");
+}
+
+//===--------------------------------------------------------------------===//
+// End-to-end reductions
+//===--------------------------------------------------------------------===//
+
+// "plusInt"-style: unbox two Ints, rebox. case I#[2] of I#[a] ->
+// case I#[3] of I#[b] -> I#[b] (no primops in L; structure only).
+TEST_F(LEvalTest, UnboxReboxPipeline) {
+  const Expr *E = C.caseOf(
+      C.con(C.intLit(2)), s("a"),
+      C.caseOf(C.con(C.intLit(3)), s("b"), C.con(C.var(s("b")))));
+  EXPECT_EQ(evalToValue(E)->str(), "I#[3]");
+}
+
+// A rep-polymorphic identity instantiated twice, at both conventions,
+// through the same source term (code reuse at the L level).
+TEST_F(LEvalTest, MyErrorStyleInstantiation) {
+  // Λr. Λa:TYPE r. λf:Int -> a. f I#[7], applied at P/Int and I/Int#.
+  Symbol R = s("r"), A = s("a"), F = s("f");
+  const Expr *Gen = C.repLam(
+      R, C.tyLam(A, LKind::typeVar(R),
+                 C.lam(F, C.arrowTy(C.intTy(), C.varTy(A)),
+                       C.app(C.var(F), C.con(C.intLit(7))))));
+
+  const Expr *AtP = C.app(
+      C.tyApp(C.repApp(Gen, RuntimeRep::pointer()), C.intTy()),
+      C.lam(s("n"), C.intTy(), C.var(s("n"))));
+  EXPECT_EQ(evalToValue(AtP)->str(), "I#[7]");
+
+  const Expr *AtI = C.app(
+      C.tyApp(C.repApp(Gen, RuntimeRep::integer()), C.intHashTy()),
+      C.lam(s("n"), C.intTy(),
+            C.caseOf(C.var(s("n")), s("m"), C.var(s("m")))));
+  EXPECT_EQ(evalToValue(AtI)->str(), "7");
+}
+
+TEST_F(LEvalTest, RunReportsStepCounts) {
+  const Expr *E = C.caseOf(C.con(C.intLit(3)), s("x"), C.var(s("x")));
+  RunResult R = Ev.runClosed(E);
+  EXPECT_EQ(R.Final, StepStatus::Value);
+  EXPECT_EQ(R.Steps, 1u);
+}
+
+TEST_F(LEvalTest, FuelExhaustionReported) {
+  // A term needing several steps gets cut off at 1 step.
+  const Expr *E = C.caseOf(
+      C.con(C.intLit(2)), s("a"),
+      C.caseOf(C.con(C.intLit(3)), s("b"), C.con(C.var(s("b")))));
+  TypeEnv Env;
+  RunResult R = Ev.run(Env, E, 1);
+  EXPECT_EQ(R.Final, StepStatus::Stepped);
+  EXPECT_EQ(R.Steps, 1u);
+}
+
+} // namespace

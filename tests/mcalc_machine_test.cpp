@@ -1,0 +1,293 @@
+//===- mcalc_machine_test.cpp - Figure 6 rule-by-rule machine tests -------===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+//
+// Every transition of the M machine, plus thunk sharing (EVAL + FCE),
+// capture-avoiding substitution, and the calling-convention mismatches
+// that levity restrictions exist to prevent (experiment E5).
+//
+//===----------------------------------------------------------------------===//
+
+#include "mcalc/Machine.h"
+#include "mcalc/Syntax.h"
+
+#include <gtest/gtest.h>
+
+using namespace levity;
+using namespace levity::mcalc;
+
+namespace {
+
+class MachineTest : public ::testing::Test {
+protected:
+  MContext C;
+  Machine M{C};
+
+  MVar p(std::string_view N) { return {C.symbols().intern(N), VarSort::Ptr}; }
+  MVar i(std::string_view N) { return {C.symbols().intern(N), VarSort::Int}; }
+
+  int64_t runToLit(const Term *T) {
+    MachineResult R = M.run(T);
+    EXPECT_EQ(R.Status, MachineOutcome::Value) << R.StuckReason;
+    const auto *L = dyn_cast<LitTerm>(R.Value);
+    EXPECT_NE(L, nullptr) << "final value: " << R.Value->str();
+    return L ? L->value() : -1;
+  }
+
+  int64_t runToCon(const Term *T) {
+    MachineResult R = M.run(T);
+    EXPECT_EQ(R.Status, MachineOutcome::Value) << R.StuckReason;
+    const auto *L = dyn_cast<ConLitTerm>(R.Value);
+    EXPECT_NE(L, nullptr) << "final value: " << R.Value->str();
+    return L ? L->value() : -1;
+  }
+};
+
+//===--------------------------------------------------------------------===//
+// Values and trivial runs
+//===--------------------------------------------------------------------===//
+
+TEST_F(MachineTest, ValuesAreFinal) {
+  EXPECT_EQ(runToLit(C.lit(5)), 5);
+  EXPECT_EQ(runToCon(C.conLit(5)), 5);
+  MachineResult R = M.run(C.lam(p("x"), C.var(p("x"))));
+  EXPECT_EQ(R.Status, MachineOutcome::Value);
+  EXPECT_TRUE(isValue(R.Value));
+}
+
+TEST_F(MachineTest, ErrorAborts) {
+  // ERR.
+  MachineResult R = M.run(C.error());
+  EXPECT_EQ(R.Status, MachineOutcome::Bottom);
+}
+
+//===--------------------------------------------------------------------===//
+// Application (PAPP/IAPP/PPOP/IPOP)
+//===--------------------------------------------------------------------===//
+
+TEST_F(MachineTest, IntegerApplication) {
+  // (λi. i) 42 → 42 via IAPP then IPOP.
+  const Term *T = C.appLit(C.lam(i("a"), C.var(i("a"))), 42);
+  MachineResult R = M.run(T);
+  EXPECT_EQ(R.Status, MachineOutcome::Value);
+  EXPECT_EQ(cast<LitTerm>(R.Value)->value(), 42);
+  EXPECT_EQ(R.Stats.BetaInt, 1u);
+  EXPECT_EQ(R.Stats.BetaPtr, 0u);
+}
+
+TEST_F(MachineTest, PointerApplicationThroughLet) {
+  // let q = I#[7] in (λx. x) q → I#[7] (PAPP, PPOP, VAL).
+  MVar Q = p("q");
+  const Term *T =
+      C.let(Q, C.conLit(7), C.appVar(C.lam(p("x"), C.var(p("x"))), Q));
+  EXPECT_EQ(runToCon(T), 7);
+}
+
+TEST_F(MachineTest, ConventionMismatchPtrForInt) {
+  // Applying a pointer argument to λi. … must get stuck — this is the
+  // register-class mismatch that kinds-as-conventions rules out.
+  MVar Q = p("q");
+  const Term *T =
+      C.let(Q, C.conLit(7), C.appVar(C.lam(i("n"), C.var(i("n"))), Q));
+  MachineResult R = M.run(T);
+  EXPECT_EQ(R.Status, MachineOutcome::Stuck);
+  EXPECT_NE(R.StuckReason.find("calling-convention mismatch"),
+            std::string::npos);
+}
+
+TEST_F(MachineTest, ConventionMismatchIntForPtr) {
+  const Term *T = C.appLit(C.lam(p("x"), C.var(p("x"))), 3);
+  MachineResult R = M.run(T);
+  EXPECT_EQ(R.Status, MachineOutcome::Stuck);
+  EXPECT_NE(R.StuckReason.find("calling-convention mismatch"),
+            std::string::npos);
+}
+
+TEST_F(MachineTest, ApplyingNonFunctionSticks) {
+  MachineResult R = M.run(C.appLit(C.lit(1), 2));
+  EXPECT_EQ(R.Status, MachineOutcome::Stuck);
+}
+
+//===--------------------------------------------------------------------===//
+// Laziness: LET, VAL, EVAL, FCE
+//===--------------------------------------------------------------------===//
+
+TEST_F(MachineTest, LazyLetDoesNotEvaluateUnusedRhs) {
+  // let q = error in 5 → 5; the thunk is never entered.
+  const Term *T = C.let(p("q"), C.error(), C.lit(5));
+  MachineResult R = M.run(T);
+  EXPECT_EQ(R.Status, MachineOutcome::Value);
+  EXPECT_EQ(R.Stats.Allocations, 1u);
+  EXPECT_EQ(R.Stats.ThunkEvals, 0u);
+}
+
+TEST_F(MachineTest, UsedThunkIsEvaluated) {
+  // let q = (λx. x) applied-to-nothing… simpler: let q = I#[3] (a value):
+  // VAL path, no thunk machinery.
+  MVar Q = p("q");
+  const Term *T = C.let(Q, C.conLit(3), C.var(Q));
+  MachineResult R = M.run(T);
+  EXPECT_EQ(R.Status, MachineOutcome::Value);
+  EXPECT_EQ(R.Stats.VarLookups, 1u);
+  EXPECT_EQ(R.Stats.ThunkEvals, 0u);
+}
+
+TEST_F(MachineTest, ThunkEvaluatedOnDemandAndUpdated) {
+  // let q = (case I#[1] of I#[n] -> I#[n]) in q — the rhs is a non-value,
+  // so using q triggers EVAL and the result is written back by FCE.
+  MVar Q = p("q");
+  const Term *Rhs = C.caseOf(C.conLit(1), i("n"), C.conVar(i("n")));
+  const Term *T = C.let(Q, Rhs, C.var(Q));
+  MachineResult R = M.run(T);
+  EXPECT_EQ(R.Status, MachineOutcome::Value);
+  EXPECT_EQ(cast<ConLitTerm>(R.Value)->value(), 1);
+  EXPECT_EQ(R.Stats.ThunkEvals, 1u);
+  EXPECT_EQ(R.Stats.ThunkUpdates, 1u);
+}
+
+TEST_F(MachineTest, ThunkSharing) {
+  // Force the same thunk twice: the second use must be a VAL lookup, not
+  // a re-evaluation (this is what distinguishes M from L's call-by-name).
+  MVar Q = p("q");
+  const Term *Rhs = C.caseOf(C.conLit(21), i("n"), C.conVar(i("n")));
+  // case q of I#[a] -> case q of I#[b] -> I#[b]
+  const Term *Body = C.caseOf(C.var(Q), i("a"),
+                              C.caseOf(C.var(Q), i("b"), C.conVar(i("b"))));
+  MachineResult R = M.run(C.let(Q, Rhs, Body));
+  EXPECT_EQ(R.Status, MachineOutcome::Value);
+  EXPECT_EQ(cast<ConLitTerm>(R.Value)->value(), 21);
+  EXPECT_EQ(R.Stats.ThunkEvals, 1u) << "thunk evaluated more than once";
+  EXPECT_EQ(R.Stats.VarLookups, 1u);
+}
+
+TEST_F(MachineTest, DanglingPointerSticks) {
+  MachineResult R = M.run(C.var(p("nowhere")));
+  EXPECT_EQ(R.Status, MachineOutcome::Stuck);
+  EXPECT_NE(R.StuckReason.find("dangling"), std::string::npos);
+}
+
+TEST_F(MachineTest, ReentrantLetAllocatesDistinctCells) {
+  // (λx. let q = I#[1] in case q of I#[a] -> x) applied twice would clash
+  // if LET reused the same heap name. Build:
+  //   let f = λx. (let q = I#[9] in case q of I#[a] -> x)
+  //   in case (f applied to I#[5]-thunk) of I#[m] ->
+  //        case (f applied to I#[6]-thunk) of I#[n] -> I#[n]
+  MVar F = p("f"), X = p("x"), Q = p("q"), A1 = p("a1"), A2 = p("a2");
+  const Term *FBody =
+      C.lam(X, C.let(Q, C.conLit(9), C.caseOf(C.var(Q), i("a"),
+                                              C.var(X))));
+  const Term *Call1 = C.appVar(C.var(F), A1);
+  const Term *Call2 = C.appVar(C.var(F), A2);
+  const Term *T = C.let(
+      F, FBody,
+      C.let(A1, C.conLit(5),
+            C.let(A2, C.conLit(6),
+                  C.caseOf(Call1, i("m"),
+                           C.caseOf(Call2, i("n"), C.conVar(i("n")))))));
+  MachineResult R = M.run(T);
+  ASSERT_EQ(R.Status, MachineOutcome::Value) << R.StuckReason;
+  EXPECT_EQ(cast<ConLitTerm>(R.Value)->value(), 6);
+  EXPECT_EQ(R.Stats.Allocations, 5u); // f, a1, a2, q (twice)
+}
+
+//===--------------------------------------------------------------------===//
+// Strict let (SLET/ILET) and case (CASE/IMAT)
+//===--------------------------------------------------------------------===//
+
+TEST_F(MachineTest, StrictLetEvaluatesRhsFirst) {
+  // let! n = (λi. i) 4 in I#[n].
+  const Term *T = C.letBang(
+      i("n"), C.appLit(C.lam(i("k"), C.var(i("k"))), 4), C.conVar(i("n")));
+  MachineResult R = M.run(T);
+  EXPECT_EQ(R.Status, MachineOutcome::Value);
+  EXPECT_EQ(cast<ConLitTerm>(R.Value)->value(), 4);
+  EXPECT_EQ(R.Stats.StrictLets, 1u);
+}
+
+TEST_F(MachineTest, StrictLetOfErrorDiverges) {
+  const Term *T = C.letBang(i("n"), C.error(), C.lit(5));
+  EXPECT_EQ(M.run(T).Status, MachineOutcome::Bottom);
+}
+
+TEST_F(MachineTest, CaseUnpacksBox) {
+  // case I#[11] of I#[n] -> n.
+  const Term *T = C.caseOf(C.conLit(11), i("n"), C.var(i("n")));
+  EXPECT_EQ(runToLit(T), 11);
+}
+
+TEST_F(MachineTest, CaseOfNonBoxSticks) {
+  const Term *T = C.caseOf(C.lit(11), i("n"), C.var(i("n")));
+  MachineResult R = M.run(T);
+  EXPECT_EQ(R.Status, MachineOutcome::Stuck);
+}
+
+TEST_F(MachineTest, UnresolvedIntVarSticks) {
+  EXPECT_EQ(M.run(C.var(i("n"))).Status, MachineOutcome::Stuck);
+  EXPECT_EQ(M.run(C.conVar(i("n"))).Status, MachineOutcome::Stuck);
+}
+
+//===--------------------------------------------------------------------===//
+// Substitution
+//===--------------------------------------------------------------------===//
+
+TEST_F(MachineTest, SubstLitConvertsForms) {
+  // I#[n][5/n] = I#[5]; (t n)[5/n] = t 5.
+  const Term *T = C.appVar(C.conVar(i("n")), i("n"));
+  const Term *Out = substLit(C, T, i("n"), 5);
+  EXPECT_EQ(Out->str(), "I#[5] 5");
+}
+
+TEST_F(MachineTest, SubstVarRenames) {
+  const Term *T = C.appVar(C.var(p("x")), p("x"));
+  const Term *Out = substVar(C, T, p("x"), p("y"));
+  EXPECT_EQ(Out->str(), "y y");
+}
+
+TEST_F(MachineTest, SubstShadowingStops) {
+  // (λx. x)[y/x] = λx. x.
+  const Term *T = C.lam(p("x"), C.var(p("x")));
+  EXPECT_EQ(substVar(C, T, p("x"), p("y")), T);
+}
+
+TEST_F(MachineTest, SubstAvoidsCapture) {
+  // (λy. x)[y/x] must freshen the binder.
+  const Term *T = C.lam(p("y"), C.var(p("x")));
+  const Term *Out = substVar(C, T, p("x"), p("y"));
+  const auto *L = cast<LamTerm>(Out);
+  EXPECT_NE(L->param(), p("y"));
+  EXPECT_EQ(cast<VarTerm>(L->body())->var(), p("y"));
+}
+
+TEST_F(MachineTest, SubstIntoLetRhsAndBody) {
+  // (let q = x in q x)[y/x].
+  MVar Q = p("q");
+  const Term *T =
+      C.let(Q, C.var(p("x")), C.appVar(C.var(Q), p("x")));
+  const Term *Out = substVar(C, T, p("x"), p("y"));
+  EXPECT_EQ(Out->str(), "let q = y in q y");
+}
+
+TEST_F(MachineTest, StatsCountSteps) {
+  const Term *T = C.caseOf(C.conLit(1), i("n"), C.var(i("n")));
+  MachineResult R = M.run(T);
+  EXPECT_GT(R.Stats.Steps, 0u);
+  EXPECT_EQ(R.Stats.Cases, 1u);
+}
+
+TEST_F(MachineTest, FuelExhaustionReported) {
+  // An infinite loop is inexpressible without recursion, but fuel can be
+  // made smaller than the program needs.
+  const Term *T = C.caseOf(C.conLit(1), i("n"), C.conVar(i("n")));
+  MachineResult R = M.run(T, 1);
+  EXPECT_EQ(R.Status, MachineOutcome::OutOfFuel);
+}
+
+TEST_F(MachineTest, PrintsReadably) {
+  const Term *T = C.letBang(i("n"), C.lit(3), C.conVar(i("n")));
+  EXPECT_EQ(T->str(), "let! n = 3 in I#[n]");
+}
+
+} // namespace

@@ -1,0 +1,235 @@
+//===- rep_test.cpp - Unit tests for the Rep algebra (Section 4) ----------===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+//
+// Covers experiment E2 (Figure 1's boxity/levity quadrant) and Section 4.2
+// (unboxed tuple representations, nesting irrelevance at runtime).
+//
+//===----------------------------------------------------------------------===//
+
+#include "rep/CallingConv.h"
+#include "rep/Rep.h"
+
+#include <gtest/gtest.h>
+
+using namespace levity;
+
+namespace {
+
+class RepTest : public ::testing::Test {
+protected:
+  RepContext RC;
+};
+
+// Figure 1: the boxity/levity quadrant. Lifted implies boxed; the
+// lifted-unboxed corner does not exist.
+TEST_F(RepTest, Figure1Quadrant) {
+  // Boxed & lifted: Int, Bool.
+  EXPECT_TRUE(RC.lifted()->isBoxed());
+  EXPECT_TRUE(RC.lifted()->isLifted());
+  // Boxed & unlifted: ByteArray#.
+  EXPECT_TRUE(RC.unlifted()->isBoxed());
+  EXPECT_FALSE(RC.unlifted()->isLifted());
+  // Unboxed & unlifted: Int#, Char#, Double#.
+  EXPECT_FALSE(RC.intRep()->isBoxed());
+  EXPECT_FALSE(RC.intRep()->isLifted());
+  EXPECT_FALSE(RC.doubleRep()->isBoxed());
+  EXPECT_FALSE(RC.doubleRep()->isLifted());
+}
+
+// The lifted-unboxed corner is uninhabited by construction: every
+// constructor is either boxed or unlifted.
+TEST_F(RepTest, LiftedImpliesBoxed) {
+  const Rep *All[] = {RC.lifted(),  RC.unlifted(), RC.intRep(),
+                      RC.wordRep(), RC.floatRep(), RC.doubleRep(),
+                      RC.addrRep(), RC.tuple({RC.lifted(), RC.intRep()}),
+                      RC.sum({RC.lifted(), RC.intRep()})};
+  for (const Rep *R : All)
+    EXPECT_TRUE(!R->isLifted() || R->isBoxed()) << R->str();
+}
+
+TEST_F(RepTest, AtomsAreSingletons) {
+  EXPECT_EQ(RC.intRep(), RC.atom(RepCtor::Int));
+  EXPECT_NE(RC.intRep(), RC.wordRep());
+}
+
+TEST_F(RepTest, TuplesAreInterned) {
+  const Rep *A = RC.tuple({RC.intRep(), RC.lifted()});
+  const Rep *B = RC.tuple({RC.intRep(), RC.lifted()});
+  const Rep *C = RC.tuple({RC.lifted(), RC.intRep()});
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+}
+
+TEST_F(RepTest, SumAndTupleDiffer) {
+  const Rep *T = RC.tuple({RC.intRep()});
+  const Rep *S = RC.sum({RC.intRep()});
+  EXPECT_NE(T, S);
+}
+
+TEST_F(RepTest, UnitTupleHasNoRegisters) {
+  // (# #) :: TYPE (TupleRep '[]) — represented by nothing at all.
+  const Rep *Unit = RC.unitTuple();
+  EXPECT_TRUE(Unit->registers().empty());
+  EXPECT_EQ(Unit->widthBytes(), 0u);
+}
+
+// Section 4.1's examples: kinds of Int, Int#, Float#.
+TEST_F(RepTest, PrintsHaskellStyle) {
+  EXPECT_EQ(RC.lifted()->str(), "LiftedRep");
+  EXPECT_EQ(RC.intRep()->str(), "IntRep");
+  EXPECT_EQ(RC.tuple({RC.intRep(), RC.lifted()})->str(),
+            "TupleRep '[IntRep, LiftedRep]");
+}
+
+// Section 4.2: (# Int, Bool #) is two pointer registers;
+// (# Int#, Bool #) is an integer register and a pointer register.
+TEST_F(RepTest, TupleRegisterAssignment) {
+  const Rep *Both = RC.tuple({RC.lifted(), RC.lifted()});
+  std::vector<RegClass> Regs = Both->registers();
+  ASSERT_EQ(Regs.size(), 2u);
+  EXPECT_EQ(Regs[0], RegClass::GcPtr);
+  EXPECT_EQ(Regs[1], RegClass::GcPtr);
+
+  const Rep *Mixed = RC.tuple({RC.intRep(), RC.lifted()});
+  Regs = Mixed->registers();
+  ASSERT_EQ(Regs.size(), 2u);
+  EXPECT_EQ(Regs[0], RegClass::IntReg);
+  EXPECT_EQ(Regs[1], RegClass::GcPtr);
+}
+
+// Section 4.2: (# Int, (# Bool, Double #) #) and
+// (# (# Char, String #), Int #) have *different kinds* but the *same*
+// runtime representation (three GC pointers).
+TEST_F(RepTest, NestingIsComputationallyIrrelevant) {
+  const Rep *Nested1 =
+      RC.tuple({RC.lifted(), RC.tuple({RC.lifted(), RC.lifted()})});
+  const Rep *Nested2 =
+      RC.tuple({RC.tuple({RC.lifted(), RC.lifted()}), RC.lifted()});
+  const Rep *Flat = RC.tuple({RC.lifted(), RC.lifted(), RC.lifted()});
+
+  // Different kinds (no function may be polymorphic over both)...
+  EXPECT_NE(Nested1, Nested2);
+  EXPECT_NE(Nested1, Flat);
+  // ...but identical calling conventions.
+  EXPECT_TRUE(Nested1->sameConvention(Nested2));
+  EXPECT_TRUE(Nested1->sameConvention(Flat));
+}
+
+TEST_F(RepTest, DifferentClassesDifferentConvention) {
+  EXPECT_FALSE(RC.intRep()->sameConvention(RC.doubleRep()));
+  EXPECT_FALSE(RC.intRep()->sameConvention(RC.lifted()));
+  // Int# and Word# share a register class, hence a convention — but they
+  // are distinct reps (and kinds).
+  EXPECT_TRUE(RC.intRep()->sameConvention(RC.wordRep()));
+  EXPECT_NE(RC.intRep(), RC.wordRep());
+}
+
+TEST_F(RepTest, WidthsAreSane) {
+  EXPECT_EQ(RC.lifted()->widthBytes(), 8u);
+  EXPECT_EQ(RC.intRep()->widthBytes(), 8u);
+  EXPECT_EQ(RC.int8Rep()->widthBytes(), 1u);
+  EXPECT_EQ(RC.int16Rep()->widthBytes(), 2u);
+  EXPECT_EQ(RC.int32Rep()->widthBytes(), 4u);
+  EXPECT_EQ(RC.int64Rep()->widthBytes(), 8u);
+  EXPECT_EQ(RC.floatRep()->widthBytes(), 4u);
+  EXPECT_EQ(RC.doubleRep()->widthBytes(), 8u);
+  EXPECT_EQ(RC.tuple({RC.intRep(), RC.doubleRep()})->widthBytes(), 16u);
+}
+
+TEST_F(RepTest, FloatAndDoubleUseFpRegisters) {
+  EXPECT_EQ(RC.floatRep()->registers()[0], RegClass::FloatReg);
+  EXPECT_EQ(RC.doubleRep()->registers()[0], RegClass::DoubleReg);
+}
+
+TEST_F(RepTest, SumRepCarriesTag) {
+  const Rep *S = RC.sum({RC.lifted(), RC.intRep()});
+  std::vector<RegClass> Regs = S->registers();
+  ASSERT_EQ(Regs.size(), 3u);
+  EXPECT_EQ(Regs[0], RegClass::IntReg); // tag
+}
+
+//===--------------------------------------------------------------------===//
+// Calling conventions (kinds determine them)
+//===--------------------------------------------------------------------===//
+
+class CallingConvTest : public ::testing::Test {
+protected:
+  RepContext RC;
+};
+
+// sumTo# :: Int# -> Int# -> Int# passes both args in integer registers.
+TEST_F(CallingConvTest, UnboxedIntFunction) {
+  const Rep *Args[] = {RC.intRep(), RC.intRep()};
+  CallingConv CC = CallingConv::compute(Args, RC.intRep());
+  EXPECT_EQ(CC.numArgs(), 2u);
+  EXPECT_EQ(CC.argRegisters(0)[0], (RegAssignment{RegClass::IntReg, 0}));
+  EXPECT_EQ(CC.argRegisters(1)[0], (RegAssignment{RegClass::IntReg, 1}));
+  EXPECT_EQ(CC.retRegisters()[0], (RegAssignment{RegClass::IntReg, 0}));
+}
+
+// Int and Bool have the same kind, hence the same calling convention
+// (Section 4.1): a polymorphic function can share code for them.
+TEST_F(CallingConvTest, SameKindSameConvention) {
+  const Rep *IntArgs[] = {RC.lifted()};
+  const Rep *BoolArgs[] = {RC.lifted()};
+  EXPECT_EQ(CallingConv::compute(IntArgs, RC.lifted()),
+            CallingConv::compute(BoolArgs, RC.lifted()));
+}
+
+// divMod :: Int -> Int -> (# Int, Int #) returns two values in two
+// registers — no heap tuple (Section 2.3).
+TEST_F(CallingConvTest, UnboxedTupleReturn) {
+  const Rep *Args[] = {RC.lifted(), RC.lifted()};
+  const Rep *Pair = RC.tuple({RC.lifted(), RC.lifted()});
+  CallingConv CC = CallingConv::compute(Args, Pair);
+  ASSERT_EQ(CC.retRegisters().size(), 2u);
+  EXPECT_EQ(CC.retRegisters()[0], (RegAssignment{RegClass::GcPtr, 0}));
+  EXPECT_EQ(CC.retRegisters()[1], (RegAssignment{RegClass::GcPtr, 1}));
+}
+
+// (+) :: (# Int, Int #) -> Int compiles to the same convention as
+// (+) :: Int -> Int -> Int (Section 2.3).
+TEST_F(CallingConvTest, UnboxedTupleArgumentEqualsCurried) {
+  const Rep *Pair = RC.tuple({RC.lifted(), RC.lifted()});
+  const Rep *TupleArg[] = {Pair};
+  const Rep *Curried[] = {RC.lifted(), RC.lifted()};
+  CallingConv A = CallingConv::compute(TupleArg, RC.lifted());
+  CallingConv B = CallingConv::compute(Curried, RC.lifted());
+  // Same flat register usage for arguments.
+  EXPECT_TRUE(std::equal(A.allArgRegisters().begin(),
+                         A.allArgRegisters().end(),
+                         B.allArgRegisters().begin(),
+                         B.allArgRegisters().end()));
+}
+
+// Mixed-class arguments get independent numbering per class.
+TEST_F(CallingConvTest, PerClassNumbering) {
+  const Rep *Args[] = {RC.lifted(), RC.intRep(), RC.lifted(),
+                       RC.doubleRep()};
+  CallingConv CC = CallingConv::compute(Args, RC.lifted());
+  EXPECT_EQ(CC.argRegisters(0)[0], (RegAssignment{RegClass::GcPtr, 0}));
+  EXPECT_EQ(CC.argRegisters(1)[0], (RegAssignment{RegClass::IntReg, 0}));
+  EXPECT_EQ(CC.argRegisters(2)[0], (RegAssignment{RegClass::GcPtr, 1}));
+  EXPECT_EQ(CC.argRegisters(3)[0], (RegAssignment{RegClass::DoubleReg, 0}));
+  EXPECT_EQ(CC.numArgRegisters(RegClass::GcPtr), 2u);
+}
+
+// The empty unboxed tuple occupies no argument registers at all.
+TEST_F(CallingConvTest, UnitTupleArgTakesNothing) {
+  const Rep *Args[] = {RC.unitTuple(), RC.intRep()};
+  CallingConv CC = CallingConv::compute(Args, RC.intRep());
+  EXPECT_TRUE(CC.argRegisters(0).empty());
+  EXPECT_EQ(CC.argRegisters(1)[0], (RegAssignment{RegClass::IntReg, 0}));
+}
+
+TEST_F(CallingConvTest, PrintsReadably) {
+  const Rep *Args[] = {RC.intRep(), RC.tuple({RC.lifted(), RC.intRep()})};
+  CallingConv CC = CallingConv::compute(Args, RC.intRep());
+  EXPECT_EQ(CC.str(), "(I0, [P0, I1]) -> [I0]");
+}
+
+} // namespace
