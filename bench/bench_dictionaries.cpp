@@ -18,9 +18,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "runtime/Interp.h"
-#include "surface/Elaborate.h"
-#include "surface/Parser.h"
+#include "driver/Session.h"
 
 #include <benchmark/benchmark.h>
 
@@ -31,10 +29,8 @@ using namespace levity;
 namespace {
 
 struct Fixture {
-  core::CoreContext C;
-  DiagnosticEngine Diags;
-  surface::Elaborator Elab{C, Diags};
-  runtime::Interp I{C};
+  driver::Session S;
+  std::shared_ptr<driver::Compilation> Comp;
   bool Ok = false;
 
   Fixture() {
@@ -61,18 +57,18 @@ struct Fixture {
         "viaDictB :: Int -> Int -> Int ;"
         "viaDictB acc n = case n of {"
         "  0 -> acc ; _ -> viaDictB (acc + n) (n - 1) }";
-    surface::Lexer L(Source, Diags);
-    surface::Parser P(L.lexAll(), Diags);
-    std::optional<surface::ElabOutput> Out = Elab.run(P.parseModule());
-    if (!Out) {
-      std::printf("fixture failed:\n%s", Diags.str().c_str());
+    Comp = S.compile(Source);
+    if (!Comp->ok()) {
+      std::printf("fixture failed:\n%s", Comp->diagText().c_str());
       return;
     }
-    I.loadProgram(Out->Program);
     Ok = true;
   }
 
+  core::CoreContext &ctx() { return Comp->ctx(); }
+
   const core::Expr *call(const char *Fn, int64_t N, bool Boxed) {
+    core::CoreContext &C = ctx();
     const core::Expr *Zero =
         Boxed ? box(0) : static_cast<const core::Expr *>(C.litInt(0));
     const core::Expr *Arg = Boxed ? box(N) : C.litInt(N);
@@ -80,6 +76,7 @@ struct Fixture {
   }
 
   const core::Expr *box(int64_t V) {
+    core::CoreContext &C = ctx();
     const core::Expr *L = C.litInt(V);
     return C.conApp(C.iHashCon(), {}, {&L, 1});
   }
@@ -99,7 +96,7 @@ void runLoop(benchmark::State &State, const char *Fn, bool Boxed) {
   int64_t N = State.range(0);
   uint64_t Heap = 0;
   for (auto _ : State) {
-    runtime::InterpResult R = F.I.eval(F.call(Fn, N, Boxed));
+    runtime::InterpResult R = F.Comp->evalExpr(F.call(Fn, N, Boxed));
     benchmark::DoNotOptimize(R.V);
     Heap = R.Stats.heapAllocations();
   }

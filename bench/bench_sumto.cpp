@@ -22,7 +22,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "runtime/Interp.h"
+#include "driver/Session.h"
 #include "runtime/Samples.h"
 
 #include <benchmark/benchmark.h>
@@ -36,9 +36,10 @@ using namespace levity::runtime;
 namespace {
 
 struct Fixture {
-  core::CoreContext C;
-  Interp I{C};
-  Fixture() { I.loadProgram(buildSampleProgram(C)); }
+  driver::Session S;
+  std::shared_ptr<driver::Compilation> Comp =
+      S.compileProgram(buildSampleProgram);
+  core::CoreContext &C = Comp->ctx();
 };
 
 Fixture &fixture() {
@@ -51,7 +52,7 @@ void BM_InterpBoxed(benchmark::State &State) {
   int64_t N = State.range(0);
   uint64_t Heap = 0, Iters = 0;
   for (auto _ : State) {
-    InterpResult R = F.I.eval(callSumToBoxed(F.C, N));
+    InterpResult R = F.Comp->evalExpr(callSumToBoxed(F.C, N));
     benchmark::DoNotOptimize(R.V);
     Heap = R.Stats.heapAllocations();
     ++Iters;
@@ -66,7 +67,7 @@ void BM_InterpUnboxed(benchmark::State &State) {
   int64_t N = State.range(0);
   uint64_t Heap = 0, Iters = 0;
   for (auto _ : State) {
-    InterpResult R = F.I.eval(callSumToUnboxed(F.C, N));
+    InterpResult R = F.Comp->evalExpr(callSumToUnboxed(F.C, N));
     benchmark::DoNotOptimize(R.V);
     Heap = R.Stats.ThunkAllocs + R.Stats.BoxAllocs;
     ++Iters;
@@ -79,7 +80,7 @@ void BM_InterpUnboxedDouble(benchmark::State &State) {
   Fixture &F = fixture();
   int64_t N = State.range(0);
   for (auto _ : State) {
-    InterpResult R = F.I.eval(callSumToDouble(F.C, double(N)));
+    InterpResult R = F.Comp->evalExpr(callSumToDouble(F.C, double(N)));
     benchmark::DoNotOptimize(R.V);
   }
   State.SetItemsProcessed(State.iterations() * N);

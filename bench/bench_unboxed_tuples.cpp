@@ -13,7 +13,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "runtime/Interp.h"
+#include "driver/Session.h"
 #include "runtime/Samples.h"
 
 #include <benchmark/benchmark.h>
@@ -26,9 +26,10 @@ using namespace levity::runtime;
 namespace {
 
 struct Fixture {
-  core::CoreContext C;
-  Interp I{C};
-  Fixture() { I.loadProgram(buildSampleProgram(C)); }
+  driver::Session S;
+  std::shared_ptr<driver::Compilation> Comp =
+      S.compileProgram(buildSampleProgram);
+  core::CoreContext &C = Comp->ctx();
 };
 
 Fixture &fixture() {
@@ -40,7 +41,7 @@ void BM_DivModUnboxed(benchmark::State &State) {
   Fixture &F = fixture();
   uint64_t Heap = 0;
   for (auto _ : State) {
-    InterpResult R = F.I.eval(callDivModUnboxed(F.C, 1234567, 89));
+    InterpResult R = F.Comp->evalExpr(callDivModUnboxed(F.C, 1234567, 89));
     benchmark::DoNotOptimize(R.V);
     Heap = R.Stats.ThunkAllocs + R.Stats.BoxAllocs;
   }
@@ -52,7 +53,7 @@ void BM_DivModBoxed(benchmark::State &State) {
   Fixture &F = fixture();
   uint64_t Heap = 0;
   for (auto _ : State) {
-    InterpResult R = F.I.eval(callDivModBoxed(F.C, 1234567, 89));
+    InterpResult R = F.Comp->evalExpr(callDivModBoxed(F.C, 1234567, 89));
     benchmark::DoNotOptimize(R.V);
     Heap = R.Stats.ThunkAllocs + R.Stats.BoxAllocs;
   }

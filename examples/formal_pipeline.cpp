@@ -8,94 +8,114 @@
 // Builds an L term (Figure 2), typechecks it (Figure 3), steps it with
 // the type-directed semantics (Figure 4), compiles it to M (Figure 7)
 // and runs the abstract machine (Figure 6) — the paper's whole formal
-// development, on one example.
+// development, on one example, through the same driver::Session facade
+// the surface pipeline uses.
 //
 //===----------------------------------------------------------------------===//
 
-#include "anf/Compile.h"
-#include "lcalc/Eval.h"
-#include "mcalc/Machine.h"
+#include "driver/Session.h"
 
 #include <cstdio>
 
 using namespace levity;
 using namespace levity::lcalc;
 
-int main() {
-  LContext L;
-  TypeChecker TC(L);
-  Evaluator Ev(L);
+namespace {
 
-  // gen = Λr. Λa:TYPE r. λf:Int → a. f I#[7] — one levity-polymorphic
-  // source function, instantiated at both calling conventions.
+// gen = Λr. Λa:TYPE r. λf:Int → a. f I#[7] — one levity-polymorphic
+// source function, instantiated at both calling conventions.
+const Expr *buildGen(LContext &L) {
   Symbol R = L.sym("r"), A = L.sym("a"), F = L.sym("f");
-  const Expr *Gen = L.repLam(
+  return L.repLam(
       R, L.tyLam(A, LKind::typeVar(R),
                  L.lam(F, L.arrowTy(L.intTy(), L.varTy(A)),
                        L.app(L.var(F), L.con(L.intLit(7))))));
+}
 
-  std::printf("== the L term ==\n%s\n", Gen->str().c_str());
-  Result<const Type *> GenTy = TC.typeOfClosed(Gen);
+} // namespace
+
+int main() {
+  driver::Session S;
+
+  // The polymorphic function itself, typechecked through the facade.
+  auto Gen = S.compileFormal(buildGen);
+  std::printf("== the L term ==\n%s\n", Gen->formalTerm()->str().c_str());
+  Result<const Type *> GenTy = Gen->formalType();
   std::printf(" : %s\n\n", GenTy ? (*GenTy)->str().c_str() : "<ill-typed>");
 
-  // Boxed instantiation: id at Int.
-  const Expr *AtP =
-      L.app(L.tyApp(L.repApp(Gen, RuntimeRep::pointer()), L.intTy()),
-            L.lam(L.sym("n"), L.intTy(), L.var(L.sym("n"))));
-  // Unboxed instantiation: unbox at Int#.
-  const Expr *AtI =
-      L.app(L.tyApp(L.repApp(Gen, RuntimeRep::integer()), L.intHashTy()),
-            L.lam(L.sym("n"), L.intTy(),
-                  L.caseOf(L.var(L.sym("n")), L.sym("m"),
-                           L.var(L.sym("m")))));
+  struct Variant {
+    const char *Name;
+    const Expr *(*Build)(LContext &);
+  };
+  const Variant Variants[] = {
+      // Boxed instantiation: id at Int.
+      {"instantiated at P/Int",
+       [](LContext &L) {
+         return L.app(
+             L.tyApp(L.repApp(buildGen(L), RuntimeRep::pointer()),
+                     L.intTy()),
+             L.lam(L.sym("n"), L.intTy(), L.var(L.sym("n"))));
+       }},
+      // Unboxed instantiation: unbox at Int#.
+      {"instantiated at I/Int#",
+       [](LContext &L) {
+         return L.app(
+             L.tyApp(L.repApp(buildGen(L), RuntimeRep::integer()),
+                     L.intHashTy()),
+             L.lam(L.sym("n"), L.intTy(),
+                   L.caseOf(L.var(L.sym("n")), L.sym("m"),
+                            L.var(L.sym("m")))));
+       }},
+  };
 
-  for (const auto &[Name, E] : {std::pair<const char *, const Expr *>{
-                                    "instantiated at P/Int", AtP},
-                                {"instantiated at I/Int#", AtI}}) {
-    std::printf("== %s ==\n", Name);
-    Result<const Type *> Ty = TC.typeOfClosed(E);
+  for (const Variant &V : Variants) {
+    std::printf("== %s ==\n", V.Name);
+    auto Comp = S.compileFormal(V.Build);
+    Result<const Type *> Ty = Comp->formalType();
     std::printf("L type: %s\n", Ty ? (*Ty)->str().c_str() : "<error>");
 
-    // Small-step trace (first few rules).
-    const Expr *Cur = E;
+    // Small-step trace (first few rules) — Figure 4, driven directly so
+    // the rule names are visible.
+    Evaluator Ev(Comp->lctx());
+    const Expr *Cur = Comp->formalTerm();
     TypeEnv Env;
     for (int Step = 0; Step != 4; ++Step) {
-      StepResult S = Ev.step(Env, Cur);
-      if (S.Status != StepStatus::Stepped)
+      StepResult R = Ev.step(Env, Cur);
+      if (R.Status != StepStatus::Stepped)
         break;
-      std::printf("  --%s--> %s\n", std::string(S.Rule).c_str(),
-                  S.Next->str().c_str());
-      Cur = S.Next;
+      std::printf("  --%s--> %s\n", std::string(R.Rule).c_str(),
+                  R.Next->str().c_str());
+      Cur = R.Next;
     }
 
-    // Compile to M (Figure 7) and run the machine (Figure 6).
-    mcalc::MContext MC;
-    anf::Compiler Comp(L, MC);
-    Result<const mcalc::Term *> T = Comp.compileClosed(E);
-    if (!T) {
-      std::printf("compilation failed: %s\n", T.error().c_str());
+    // Compile to M (Figure 7) and run the machine (Figure 6) — one
+    // facade call.
+    driver::RunResult MR =
+        Comp->run(driver::Backend::AbstractMachine);
+    if (MR.St == driver::RunResult::Status::Unsupported) {
+      std::printf("compilation failed: %s\n", MR.Error.c_str());
       continue;
     }
-    std::printf("M code: %s\n", (*T)->str().c_str());
-    mcalc::Machine M(MC);
-    mcalc::MachineResult MR = M.run(*T);
     std::printf("machine result: %s  (steps=%llu, thunks=%llu, "
                 "ptr-calls=%llu, int-calls=%llu)\n\n",
-                MR.Value ? MR.Value->str().c_str() : "<bottom>",
-                (unsigned long long)MR.Stats.Steps,
-                (unsigned long long)MR.Stats.Allocations,
-                (unsigned long long)MR.Stats.BetaPtr,
-                (unsigned long long)MR.Stats.BetaInt);
+                MR.ok() ? MR.Display.c_str() : "<bottom>",
+                (unsigned long long)MR.Machine.Steps,
+                (unsigned long long)MR.Machine.Allocations,
+                (unsigned long long)MR.Machine.BetaPtr,
+                (unsigned long long)MR.Machine.BetaInt);
   }
 
   // The restriction in action: a levity-polymorphic binder cannot
   // typecheck (E_LAM's highlighted premise).
-  const Expr *Bad = L.repLam(
-      R, L.tyLam(A, LKind::typeVar(R),
-                 L.lam(L.sym("x"), L.varTy(A), L.var(L.sym("x")))));
-  Result<const Type *> BadTy = TC.typeOfClosed(Bad);
+  auto Bad = S.compileFormal([](LContext &L) {
+    Symbol R = L.sym("r"), A = L.sym("a");
+    return L.repLam(
+        R, L.tyLam(A, LKind::typeVar(R),
+                   L.lam(L.sym("x"), L.varTy(A), L.var(L.sym("x")))));
+  });
+  Result<const Type *> BadTy = Bad->formalType();
   std::printf("== the restriction (Section 5.1) ==\n%s\nrejected: %s\n",
-              Bad->str().c_str(),
+              Bad->formalTerm()->str().c_str(),
               BadTy ? "<unexpectedly accepted>" : BadTy.error().c_str());
   return 0;
 }

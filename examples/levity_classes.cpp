@@ -7,15 +7,15 @@
 //
 // One class, three calling conventions: Num (a :: TYPE r) with instances
 // at Int (boxed), Int# (integer registers), and Double# (float
-// registers); plus the abs1/abs2 η-expansion subtlety.
+// registers); plus the abs1/abs2 η-expansion subtlety. All through the
+// driver::Session facade.
 //
 //===----------------------------------------------------------------------===//
 
-#include "runtime/Interp.h"
-#include "surface/Elaborate.h"
-#include "surface/Parser.h"
+#include "driver/Session.h"
 
 #include <cstdio>
+#include <string>
 
 using namespace levity;
 
@@ -40,31 +40,24 @@ static const char *Prelude =
 int main() {
   std::printf("== class Num (a :: TYPE r) — Section 7.3 ==\n\n");
 
-  core::CoreContext C;
-  DiagnosticEngine Diags;
-  surface::Elaborator Elab(C, Diags);
-  std::string Source = std::string(Prelude) +
-                       "atIntHash = 3# + 4# ;"
-                       "atInt = 3 + 4 ;"
-                       "atDouble = 2.5## + 0.75## ;"
-                       "absUnboxed = abs (0# -# 42#) ;"
-                       "abs1 :: forall r (a :: TYPE r). Num a => a -> a ;"
-                       "abs1 = abs ;"
-                       "viaAbs1 = abs1 (0# -# 7#)";
-  surface::Lexer L(Source, Diags);
-  surface::Parser P(L.lexAll(), Diags);
-  std::optional<surface::ElabOutput> Out = Elab.run(P.parseModule());
-  if (!Out) {
-    std::printf("compilation failed:\n%s", Diags.str().c_str());
+  driver::Session S;
+  auto Comp = S.compile(std::string(Prelude) +
+                        "atIntHash = 3# + 4# ;"
+                        "atInt = 3 + 4 ;"
+                        "atDouble = 2.5## + 0.75## ;"
+                        "absUnboxed = abs (0# -# 42#) ;"
+                        "abs1 :: forall r (a :: TYPE r). Num a => a -> a ;"
+                        "abs1 = abs ;"
+                        "viaAbs1 = abs1 (0# -# 7#)");
+  if (!Comp->ok()) {
+    std::printf("compilation failed:\n%s", Comp->diagText().c_str());
     return 1;
   }
-  runtime::Interp I(C);
-  I.loadProgram(Out->Program);
 
   for (const char *Name : {"atIntHash", "atInt", "atDouble", "absUnboxed",
                            "viaAbs1"}) {
-    runtime::InterpResult R = I.eval(C.var(C.sym(Name)));
-    std::printf("  %-10s = %s\n", Name, I.show(R.V).c_str());
+    driver::RunResult R = Comp->run(Name);
+    std::printf("  %-10s = %s\n", Name, R.Display.c_str());
   }
 
   // The method's generalized type, as the paper displays it.
@@ -74,17 +67,12 @@ int main() {
   // abs2 — the η-expansion that cannot compile (arity 2 binds a
   // levity-polymorphic x).
   {
-    core::CoreContext C2;
-    DiagnosticEngine D2;
-    surface::Elaborator E2(C2, D2);
-    std::string Bad = std::string(Prelude) +
-                      "abs2 :: forall r (a :: TYPE r). Num a => a -> a ;"
-                      "abs2 x = abs x";
-    surface::Lexer L2(Bad, D2);
-    surface::Parser P2(L2.lexAll(), D2);
-    if (!E2.run(P2.parseModule())) {
+    auto Bad = S.compile(std::string(Prelude) +
+                         "abs2 :: forall r (a :: TYPE r). Num a => a -> a ;"
+                         "abs2 x = abs x");
+    if (!Bad->ok()) {
       std::printf("\nabs2 x = abs x is rejected (η-equivalent to abs1!):\n");
-      std::printf("%s", D2.str().c_str());
+      std::printf("%s", Bad->diagText().c_str());
     }
   }
   return 0;

@@ -5,16 +5,15 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// Compiles and runs a small program in the surface language, then shows
-// the kind machinery underneath: kinds as calling conventions, rep
-// metavariable inference, and the two levity restrictions.
+// Compiles and runs a small program through the driver::Session facade —
+// on both backends — then shows the kind machinery underneath: kinds as
+// calling conventions, rep metavariable inference, and the two levity
+// restrictions.
 //
 //===----------------------------------------------------------------------===//
 
+#include "driver/Session.h"
 #include "rep/CallingConv.h"
-#include "runtime/Interp.h"
-#include "surface/Elaborate.h"
-#include "surface/Parser.h"
 
 #include <cstdio>
 
@@ -23,30 +22,33 @@ using namespace levity;
 int main() {
   std::printf("== levity quickstart ==\n\n");
 
-  // 1. Compile a program that mixes boxed and unboxed code.
-  const char *Source =
+  // 1. Compile a program that mixes boxed and unboxed code. The Session
+  //    runs lex -> parse -> elaborate -> levity-check and hands back a
+  //    Compilation with diagnostics, timings, and selectable backends.
+  driver::Session S;
+  auto Comp = S.compile(
       "square :: Int# -> Int# ;"
       "square x = x *# x ;"
-      "answer = square 6# +# 6#";
-
-  core::CoreContext C;
-  DiagnosticEngine Diags;
-  surface::Elaborator Elab(C, Diags);
-  surface::Lexer L(Source, Diags);
-  surface::Parser P(L.lexAll(), Diags);
-  std::optional<surface::ElabOutput> Out = Elab.run(P.parseModule());
-  if (!Out) {
-    std::printf("compilation failed:\n%s", Diags.str().c_str());
+      "answer = square 6# +# 6#");
+  if (!Comp->ok()) {
+    std::printf("compilation failed:\n%s", Comp->diagText().c_str());
     return 1;
   }
 
-  runtime::Interp I(C);
-  I.loadProgram(Out->Program);
-  runtime::InterpResult R = I.eval(C.var(C.sym("answer")));
-  std::printf("answer = %s (heap allocations: %llu)\n\n",
-              I.show(R.V).c_str(),
-              static_cast<unsigned long long>(
-                  R.Stats.heapAllocations()));
+  driver::RunResult Tree = Comp->run("answer");
+  std::printf("answer = %s (tree interpreter, heap allocations: %llu)\n",
+              Tree.Display.c_str(),
+              static_cast<unsigned long long>(Tree.allocations()));
+
+  // The same compiled program, lowered through the paper's formal chain
+  // (core -> L -> ANF -> the Figure 6 abstract machine).
+  driver::RunResult Mach =
+      Comp->run("answer", driver::Backend::AbstractMachine);
+  std::printf("answer = %s (abstract machine,  heap allocations: %llu)\n\n",
+              Mach.Display.c_str(),
+              static_cast<unsigned long long>(Mach.allocations()));
+
+  std::printf("pipeline stages:\n%s\n", Comp->timingReport().c_str());
 
   // 2. Kinds are calling conventions (Section 4).
   RepContext RC;
@@ -59,31 +61,20 @@ int main() {
               Tuple->str().c_str());
 
   // 3. Inference never invents levity polymorphism (Section 5.2).
-  std::printf("inferred type of `f x = x`:  %s\n",
-              [&] {
-                core::CoreContext C2;
-                DiagnosticEngine D2;
-                surface::Elaborator E2(C2, D2);
-                surface::Lexer L2("f x = x", D2);
-                surface::Parser P2(L2.lexAll(), D2);
-                E2.run(P2.parseModule());
-                const core::Type *T = E2.globalType("f");
-                return T ? T->str() : std::string("<error>");
-              }()
-                  .c_str());
+  {
+    auto Inferred = S.compile("f x = x");
+    const core::Type *T = Inferred->globalType("f");
+    std::printf("inferred type of `f x = x`:  %s\n",
+                T ? T->str().c_str() : "<error>");
+  }
 
   // 4. Declared levity polymorphism is checked — and restricted.
   {
-    core::CoreContext C3;
-    DiagnosticEngine D3;
-    surface::Elaborator E3(C3, D3);
-    surface::Lexer L3("bad :: forall r (a :: TYPE r). a -> a ;"
-                      "bad x = x",
-                      D3);
-    surface::Parser P3(L3.lexAll(), D3);
-    if (!E3.run(P3.parseModule()))
+    auto Bad = S.compile("bad :: forall r (a :: TYPE r). a -> a ;"
+                         "bad x = x");
+    if (!Bad->ok())
       std::printf("\n`bad :: forall r (a :: TYPE r). a -> a` rejected:\n%s",
-                  D3.str().c_str());
+                  Bad->diagText().c_str());
   }
 
   std::printf("\nSee examples/sum_to and examples/levity_classes next.\n");

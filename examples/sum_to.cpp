@@ -5,23 +5,21 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// Runs the paper's sumTo at both representations through the full
-// pipeline and prints the machine-cost ledger: the boxed loop's thunks
-// and boxes versus the unboxed loop's zero heap traffic.
+// Runs the paper's sumTo at both representations through the
+// driver::Session facade and prints the machine-cost ledger: the boxed
+// loop's thunks and boxes versus the unboxed loop's zero heap traffic.
 //
 //===----------------------------------------------------------------------===//
 
-#include "runtime/Interp.h"
-#include "surface/Elaborate.h"
-#include "surface/Parser.h"
+#include "driver/Session.h"
 
-#include <chrono>
 #include <cstdio>
 
 using namespace levity;
 
 int main() {
-  const char *Source =
+  driver::Session S;
+  auto Comp = S.compile(
       "sumTo :: Int -> Int -> Int ;"
       "sumTo acc n = case n of {"
       "  0 -> acc ;"
@@ -33,35 +31,22 @@ int main() {
       "  _  -> sumToH (acc +# n) (n -# 1#)"
       "} ;"
       "boxed = sumTo 0 20000 ;"
-      "unboxed = sumToH 0# 20000#";
-
-  core::CoreContext C;
-  DiagnosticEngine Diags;
-  surface::Elaborator Elab(C, Diags);
-  surface::Lexer L(Source, Diags);
-  surface::Parser P(L.lexAll(), Diags);
-  std::optional<surface::ElabOutput> Out = Elab.run(P.parseModule());
-  if (!Out) {
-    std::printf("compilation failed:\n%s", Diags.str().c_str());
+      "unboxed = sumToH 0# 20000#");
+  if (!Comp->ok()) {
+    std::printf("compilation failed:\n%s", Comp->diagText().c_str());
     return 1;
   }
-  runtime::Interp I(C);
-  I.loadProgram(Out->Program);
 
   auto Run = [&](const char *Name) {
-    auto Start = std::chrono::steady_clock::now();
-    runtime::InterpResult R = I.eval(C.var(C.sym(Name)));
-    auto End = std::chrono::steady_clock::now();
-    double Ms =
-        std::chrono::duration<double, std::milli>(End - Start).count();
+    driver::RunResult R = Comp->run(Name);
     std::printf("%-8s = %-12s  %8.2f ms  thunks=%-8llu boxes=%-8llu "
                 "forces=%-8llu heap-total=%llu\n",
-                Name, I.show(R.V).c_str(), Ms,
-                (unsigned long long)R.Stats.ThunkAllocs,
-                (unsigned long long)R.Stats.BoxAllocs,
-                (unsigned long long)R.Stats.ThunkForces,
-                (unsigned long long)R.Stats.heapAllocations());
-    return R.Stats;
+                Name, R.Display.c_str(), R.Millis,
+                (unsigned long long)R.Interp.ThunkAllocs,
+                (unsigned long long)R.Interp.BoxAllocs,
+                (unsigned long long)R.Interp.ThunkForces,
+                (unsigned long long)R.allocations());
+    return R.Interp;
   };
 
   std::printf("== sumTo over 20000 iterations (Section 2.1) ==\n\n");

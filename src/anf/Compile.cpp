@@ -95,6 +95,38 @@ Result<const Term *> Compiler::compile(TypeEnv &Env, const Expr *E) {
     return MC.lam(Y, *Body);
   }
 
+  case Expr::ExprKind::Prim: {
+    // C_PRIM: ⟦e1 ⊕# e2⟧ = let! i1 = t1 in let! i2 = t2 in i1 ⊕# i2.
+    // Operands are Int# (kind TYPE I), so both bindings are strict and
+    // the atoms land in integer registers.
+    const auto *P = lcalc::cast<lcalc::PrimExpr>(E);
+    Result<const Term *> Lhs = compile(Env, P->lhs());
+    if (!Lhs)
+      return Lhs;
+    Result<const Term *> Rhs = compile(Env, P->rhs());
+    if (!Rhs)
+      return Rhs;
+    mcalc::MPrim Op = mcalc::MPrim::Add;
+    switch (P->op()) {
+    case lcalc::LPrim::Add:
+      Op = mcalc::MPrim::Add;
+      break;
+    case lcalc::LPrim::Sub:
+      Op = mcalc::MPrim::Sub;
+      break;
+    case lcalc::LPrim::Mul:
+      Op = mcalc::MPrim::Mul;
+      break;
+    }
+    MVar I1 = MC.freshInt();
+    MVar I2 = MC.freshInt();
+    return MC.letBang(
+        I1, *Lhs,
+        MC.letBang(I2, *Rhs,
+                   MC.prim(Op, mcalc::MAtom::var(I1),
+                           mcalc::MAtom::var(I2))));
+  }
+
   case Expr::ExprKind::Con: {
     // C_CON: ⟦I#[e]⟧ = let! i = t in I#[i] — constructors are strict.
     const auto *C = lcalc::cast<lcalc::ConExpr>(E);

@@ -66,6 +66,15 @@ const RepTy *CoreContext::repSum(std::span<const RepTy *const> Elems) {
                                  Mem.copyArray(Elems)));
 }
 
+const Type *CoreContext::unboxedTupleTy(std::span<const Type *const> Elems) {
+  // Intern the element array first: the node stores only a span, and the
+  // caller's buffer is typically a local vector that dies with its scope.
+  // The private constructor keeps this the sole construction path.
+  std::span<const Type *const> Interned = Mem.copyArray(Elems);
+  void *P = Mem.allocate(sizeof(UnboxedTupleType), alignof(UnboxedTupleType));
+  return new (P) UnboxedTupleType(Interned);
+}
+
 const RepTy *CoreContext::freshRepMeta() {
   uint32_t Id = static_cast<uint32_t>(RepMetas.size());
   RepMetas.push_back({});

@@ -118,9 +118,9 @@ public:
   const Type *forAllTy(Symbol Var, const Kind *K, const Type *Body) {
     return Mem.create<ForAllType>(Var, K, Body);
   }
-  const Type *unboxedTupleTy(std::span<const Type *const> Elems) {
-    return Mem.create<UnboxedTupleType>(Mem.copyArray(Elems));
-  }
+  /// Arena-interns \p Elems before building the node; the caller's array
+  /// may die freely (UnboxedTupleType itself never owns storage).
+  const Type *unboxedTupleTy(std::span<const Type *const> Elems);
   const Type *unboxedTupleTy(std::initializer_list<const Type *> Elems) {
     return unboxedTupleTy(
         std::span<const Type *const>(Elems.begin(), Elems.size()));

@@ -149,9 +149,6 @@ private:
 
 class UnboxedTupleType : public Type {
 public:
-  explicit UnboxedTupleType(std::span<const Type *const> Elems)
-      : Type(Tag::UnboxedTuple), Elems(Elems) {}
-
   std::span<const Type *const> elems() const { return Elems; }
 
   static bool classof(const Type *T) {
@@ -159,6 +156,16 @@ public:
   }
 
 private:
+  friend class CoreContext;
+
+  /// Only the node stores \p Elems — no copy is made here — so the span
+  /// must point into storage that outlives the type. Construction is
+  /// therefore restricted to CoreContext::unboxedTupleTy, which interns
+  /// the element array in the context's arena first; a public constructor
+  /// invited spans over stack temporaries that dangled after return.
+  explicit UnboxedTupleType(std::span<const Type *const> Elems)
+      : Type(Tag::UnboxedTuple), Elems(Elems) {}
+
   std::span<const Type *const> Elems;
 };
 

@@ -1,0 +1,425 @@
+//===- LowerToL.cpp - Lowering core IR into the L calculus ----------------===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/LowerToL.h"
+
+using namespace levity;
+using namespace levity::driver;
+
+//===----------------------------------------------------------------------===//
+// Reps, kinds, types
+//===----------------------------------------------------------------------===//
+
+Result<lcalc::RuntimeRep> CoreToL::lowerRep(const core::RepTy *R) {
+  R = C.zonkRep(R);
+  switch (R->tag()) {
+  case core::RepTy::Tag::Var:
+    return lcalc::RuntimeRep::var(reintern(R->varName()));
+  case core::RepTy::Tag::Atom:
+    switch (R->atom()) {
+    case RepCtor::Lifted:
+      return lcalc::RuntimeRep::pointer();
+    case RepCtor::Int:
+      return lcalc::RuntimeRep::integer();
+    default:
+      break;
+    }
+    return err("not expressible in L: representation " + R->str() +
+               " (L has only P and I)");
+  case core::RepTy::Tag::Meta:
+    return err("not expressible in L: unsolved rep metavariable");
+  case core::RepTy::Tag::Tuple:
+  case core::RepTy::Tag::Sum:
+    return err("not expressible in L: compound representation " + R->str());
+  }
+  return err("unknown rep");
+}
+
+Result<lcalc::LKind> CoreToL::lowerKind(const core::Kind *K) {
+  K = C.zonkKind(K);
+  if (!K->isTypeOf())
+    return err("not expressible in L: kind " + K->str());
+  Result<lcalc::RuntimeRep> R = lowerRep(K->rep());
+  if (!R)
+    return err(R.error());
+  return lcalc::LKind(*R);
+}
+
+Result<const lcalc::Type *> CoreToL::lowerType(const core::Type *T) {
+  T = C.zonkType(T);
+  switch (T->tag()) {
+  case core::Type::Tag::Con: {
+    const core::TyCon *TC = core::cast<core::ConType>(T)->tycon();
+    if (TC == C.intTyCon())
+      return L.intTy();
+    if (TC == C.intHashTyCon())
+      return L.intHashTy();
+    return err("not expressible in L: type constructor " +
+               std::string(TC->name().str()));
+  }
+  case core::Type::Tag::Fun: {
+    const auto *F = core::cast<core::FunType>(T);
+    Result<const lcalc::Type *> P = lowerType(F->param());
+    if (!P)
+      return P;
+    Result<const lcalc::Type *> R = lowerType(F->result());
+    if (!R)
+      return R;
+    return L.arrowTy(*P, *R);
+  }
+  case core::Type::Tag::Var:
+    return L.varTy(reintern(core::cast<core::VarType>(T)->name()));
+  case core::Type::Tag::ForAll: {
+    const auto *F = core::cast<core::ForAllType>(T);
+    const core::Kind *VK = C.zonkKind(F->varKind());
+    if (VK->isRep()) {
+      Result<const lcalc::Type *> Body = lowerType(F->body());
+      if (!Body)
+        return Body;
+      return L.forAllRepTy(reintern(F->var()), *Body);
+    }
+    Result<lcalc::LKind> K = lowerKind(VK);
+    if (!K)
+      return err(K.error());
+    Result<const lcalc::Type *> Body = lowerType(F->body());
+    if (!Body)
+      return Body;
+    return L.forAllTy(reintern(F->var()), *K, *Body);
+  }
+  case core::Type::Tag::App:
+    return err("not expressible in L: type application " + T->str());
+  case core::Type::Tag::Meta:
+    return err("not expressible in L: unsolved type metavariable");
+  case core::Type::Tag::UnboxedTuple:
+    return err("not expressible in L: unboxed tuple type " + T->str());
+  case core::Type::Tag::RepLift:
+    return err("not expressible in L: promoted representation " + T->str());
+  }
+  return err("unknown type");
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+Result<const lcalc::Expr *> CoreToL::lowerExpr(const core::Expr *E) {
+  switch (E->tag()) {
+  case core::Expr::Tag::Var:
+    return L.var(reintern(core::cast<core::VarExpr>(E)->name()));
+
+  case core::Expr::Tag::Lit: {
+    const core::Literal &Lit = core::cast<core::LitExpr>(E)->lit();
+    if (Lit.tag() != core::Literal::Tag::IntHash)
+      return err("not expressible in L: literal " + Lit.str());
+    return L.intLit(Lit.intValue());
+  }
+
+  case core::Expr::Tag::App: {
+    const auto *A = core::cast<core::AppExpr>(E);
+    Result<const lcalc::Expr *> Fn = lowerExpr(A->fn());
+    if (!Fn)
+      return Fn;
+    Result<const lcalc::Expr *> Arg = lowerExpr(A->arg());
+    if (!Arg)
+      return Arg;
+    // L re-derives the evaluation order from the argument type's kind;
+    // the strictness bit needs no separate translation.
+    return L.app(*Fn, *Arg);
+  }
+
+  case core::Expr::Tag::TyApp: {
+    const auto *A = core::cast<core::TyAppExpr>(E);
+    Result<const lcalc::Expr *> Fn = lowerExpr(A->fn());
+    if (!Fn)
+      return Fn;
+    const core::Type *Arg = C.zonkType(A->tyArg());
+    // Rep-kinded type arguments are L rep applications (e ρ); all other
+    // instantiations are ordinary type applications (e τ).
+    if (const core::RepTy *R = core::typeAsRep(C, Arg)) {
+      Result<lcalc::RuntimeRep> LR = lowerRep(R);
+      if (!LR)
+        return err(LR.error());
+      return L.repApp(*Fn, *LR);
+    }
+    Result<const lcalc::Type *> Ty = lowerType(Arg);
+    if (!Ty)
+      return err(Ty.error());
+    return L.tyApp(*Fn, *Ty);
+  }
+
+  case core::Expr::Tag::Lam: {
+    const auto *Lam = core::cast<core::LamExpr>(E);
+    Result<const lcalc::Type *> Ty = lowerType(Lam->varType());
+    if (!Ty)
+      return err(Ty.error());
+    Result<const lcalc::Expr *> Body = lowerExpr(Lam->body());
+    if (!Body)
+      return Body;
+    return L.lam(reintern(Lam->var()), *Ty, *Body);
+  }
+
+  case core::Expr::Tag::TyLam: {
+    const auto *Lam = core::cast<core::TyLamExpr>(E);
+    const core::Kind *VK = C.zonkKind(Lam->varKind());
+    Result<const lcalc::Expr *> Body = lowerExpr(Lam->body());
+    if (!Body)
+      return Body;
+    if (VK->isRep())
+      return L.repLam(reintern(Lam->var()), *Body);
+    Result<lcalc::LKind> K = lowerKind(VK);
+    if (!K)
+      return err(K.error());
+    return L.tyLam(reintern(Lam->var()), *K, *Body);
+  }
+
+  case core::Expr::Tag::Let: {
+    // let x:τ = rhs in body  ⟶  (λx:τ. body) rhs — E_APP's kind-directed
+    // evaluation order coincides with the core strictness bit, which was
+    // itself derived from τ's kind.
+    const auto *Let = core::cast<core::LetExpr>(E);
+    Result<const lcalc::Type *> Ty = lowerType(Let->varType());
+    if (!Ty)
+      return err(Ty.error());
+    Result<const lcalc::Expr *> Rhs = lowerExpr(Let->rhs());
+    if (!Rhs)
+      return Rhs;
+    Result<const lcalc::Expr *> Body = lowerExpr(Let->body());
+    if (!Body)
+      return Body;
+    return L.app(L.lam(reintern(Let->var()), *Ty, *Body), *Rhs);
+  }
+
+  case core::Expr::Tag::LetRec:
+    return err("not expressible in L: recursive let");
+
+  case core::Expr::Tag::Case: {
+    // Only the paper's one-armed unboxing case survives the trip:
+    //   case e of I#[x] -> body.
+    const auto *Case = core::cast<core::CaseExpr>(E);
+    if (Case->alts().size() != 1)
+      return err("not expressible in L: multi-alternative case");
+    const core::Alt &A = Case->alts()[0];
+    if (A.Kind != core::Alt::AltKind::ConPat || A.Con != C.iHashCon() ||
+        A.Binders.size() != 1)
+      return err("not expressible in L: case alternative is not I#[x]");
+    Result<const lcalc::Expr *> Scrut = lowerExpr(Case->scrut());
+    if (!Scrut)
+      return Scrut;
+    Result<const lcalc::Expr *> Body = lowerExpr(A.Rhs);
+    if (!Body)
+      return Body;
+    return L.caseOf(*Scrut, reintern(A.Binders[0]), *Body);
+  }
+
+  case core::Expr::Tag::Con: {
+    const auto *Con = core::cast<core::ConExpr>(E);
+    if (Con->dataCon() != C.iHashCon() || Con->args().size() != 1)
+      return err("not expressible in L: constructor " +
+                 std::string(Con->dataCon()->name().str()));
+    Result<const lcalc::Expr *> Payload = lowerExpr(Con->args()[0]);
+    if (!Payload)
+      return Payload;
+    return L.con(*Payload);
+  }
+
+  case core::Expr::Tag::Prim: {
+    const auto *P = core::cast<core::PrimOpExpr>(E);
+    lcalc::LPrim Op;
+    switch (P->op()) {
+    case core::PrimOp::AddI:
+      Op = lcalc::LPrim::Add;
+      break;
+    case core::PrimOp::SubI:
+      Op = lcalc::LPrim::Sub;
+      break;
+    case core::PrimOp::MulI:
+      Op = lcalc::LPrim::Mul;
+      break;
+    default:
+      return err("not expressible in L: primop " +
+                 std::string(core::primOpName(P->op())));
+    }
+    Result<const lcalc::Expr *> Lhs = lowerExpr(P->args()[0]);
+    if (!Lhs)
+      return Lhs;
+    Result<const lcalc::Expr *> Rhs = lowerExpr(P->args()[1]);
+    if (!Rhs)
+      return Rhs;
+    return L.prim(Op, *Lhs, *Rhs);
+  }
+
+  case core::Expr::Tag::UnboxedTuple:
+    return err("not expressible in L: unboxed tuple expression");
+
+  case core::Expr::Tag::Error: {
+    // error @ρ @τ msg ⟶ error ρ τ I#[0]; the message is a String, which
+    // L lacks, so it is replaced by a unit-like boxed zero.
+    const auto *Err = core::cast<core::ErrorExpr>(E);
+    Result<lcalc::RuntimeRep> R = lowerRep(Err->atRep());
+    if (!R)
+      return err(R.error());
+    Result<const lcalc::Type *> Ty = lowerType(Err->atType());
+    if (!Ty)
+      return err(Ty.error());
+    return L.app(L.tyApp(L.repApp(L.error(), *R), *Ty),
+                 L.con(L.intLit(0)));
+  }
+  }
+  return err("unknown expression");
+}
+
+//===----------------------------------------------------------------------===//
+// Globals
+//===----------------------------------------------------------------------===//
+
+void CoreToL::globalRefs(const core::CoreProgram &P, const core::Expr *E,
+                         std::vector<Symbol> &Bound,
+                         std::vector<Symbol> &Out) {
+  switch (E->tag()) {
+  case core::Expr::Tag::Var: {
+    Symbol Name = core::cast<core::VarExpr>(E)->name();
+    for (Symbol B : Bound)
+      if (B == Name)
+        return;
+    if (P.find(Name))
+      Out.push_back(Name);
+    return;
+  }
+  case core::Expr::Tag::Lit:
+    return;
+  case core::Expr::Tag::App: {
+    const auto *A = core::cast<core::AppExpr>(E);
+    globalRefs(P, A->fn(), Bound, Out);
+    globalRefs(P, A->arg(), Bound, Out);
+    return;
+  }
+  case core::Expr::Tag::TyApp:
+    globalRefs(P, core::cast<core::TyAppExpr>(E)->fn(), Bound, Out);
+    return;
+  case core::Expr::Tag::Lam: {
+    const auto *L = core::cast<core::LamExpr>(E);
+    Bound.push_back(L->var());
+    globalRefs(P, L->body(), Bound, Out);
+    Bound.pop_back();
+    return;
+  }
+  case core::Expr::Tag::TyLam:
+    globalRefs(P, core::cast<core::TyLamExpr>(E)->body(), Bound, Out);
+    return;
+  case core::Expr::Tag::Let: {
+    const auto *L = core::cast<core::LetExpr>(E);
+    globalRefs(P, L->rhs(), Bound, Out);
+    Bound.push_back(L->var());
+    globalRefs(P, L->body(), Bound, Out);
+    Bound.pop_back();
+    return;
+  }
+  case core::Expr::Tag::LetRec: {
+    const auto *L = core::cast<core::LetRecExpr>(E);
+    size_t Mark = Bound.size();
+    for (const core::RecBinding &B : L->bindings())
+      Bound.push_back(B.Var);
+    for (const core::RecBinding &B : L->bindings())
+      globalRefs(P, B.Rhs, Bound, Out);
+    globalRefs(P, L->body(), Bound, Out);
+    Bound.resize(Mark);
+    return;
+  }
+  case core::Expr::Tag::Case: {
+    const auto *Case = core::cast<core::CaseExpr>(E);
+    globalRefs(P, Case->scrut(), Bound, Out);
+    for (const core::Alt &A : Case->alts()) {
+      size_t Mark = Bound.size();
+      for (Symbol B : A.Binders)
+        Bound.push_back(B);
+      globalRefs(P, A.Rhs, Bound, Out);
+      Bound.resize(Mark);
+    }
+    return;
+  }
+  case core::Expr::Tag::Con: {
+    for (const core::Expr *Arg : core::cast<core::ConExpr>(E)->args())
+      globalRefs(P, Arg, Bound, Out);
+    return;
+  }
+  case core::Expr::Tag::Prim: {
+    for (const core::Expr *Arg : core::cast<core::PrimOpExpr>(E)->args())
+      globalRefs(P, Arg, Bound, Out);
+    return;
+  }
+  case core::Expr::Tag::UnboxedTuple: {
+    for (const core::Expr *El :
+         core::cast<core::UnboxedTupleExpr>(E)->elems())
+      globalRefs(P, El, Bound, Out);
+    return;
+  }
+  case core::Expr::Tag::Error:
+    globalRefs(P, core::cast<core::ErrorExpr>(E)->message(), Bound, Out);
+    return;
+  }
+}
+
+Result<bool> CoreToL::orderDeps(
+    const core::CoreProgram &P, Symbol Name,
+    std::unordered_set<Symbol, SymbolHash> &Visiting,
+    std::unordered_set<Symbol, SymbolHash> &Done,
+    std::vector<Symbol> &Order) {
+  if (Done.count(Name))
+    return true;
+  if (Visiting.count(Name))
+    return err("not expressible in L: '" + std::string(Name.str()) +
+               "' is recursive");
+  Visiting.insert(Name);
+
+  const core::TopBinding *B = P.find(Name);
+  assert(B && "ordering an unbound global");
+  std::vector<Symbol> Bound, Refs;
+  globalRefs(P, B->Rhs, Bound, Refs);
+  for (Symbol Ref : Refs) {
+    Result<bool> R = orderDeps(P, Ref, Visiting, Done, Order);
+    if (!R)
+      return R;
+  }
+
+  Visiting.erase(Name);
+  Done.insert(Name);
+  Order.push_back(Name);
+  return true;
+}
+
+Result<const lcalc::Expr *> CoreToL::lowerGlobal(const core::CoreProgram &P,
+                                                 Symbol Name) {
+  const core::TopBinding *Target = P.find(Name);
+  if (!Target)
+    return err("no top-level binding named '" + std::string(Name.str()) +
+               "'");
+
+  std::unordered_set<Symbol, SymbolHash> Visiting, Done;
+  std::vector<Symbol> Order;
+  Result<bool> Ordered = orderDeps(P, Name, Visiting, Done, Order);
+  if (!Ordered)
+    return err(Ordered.error());
+
+  // Order holds dependencies first and Name last. The target's own lowered
+  // right-hand side is the innermost body; every dependency wraps it in a
+  // lambda-binding whose evaluation order L derives from the kind.
+  Result<const lcalc::Expr *> Term = lowerExpr(Target->Rhs);
+  if (!Term)
+    return Term;
+  const lcalc::Expr *Body = *Term;
+  for (size_t I = Order.size() - 1; I-- > 0;) {
+    const core::TopBinding *Dep = P.find(Order[I]);
+    Result<const lcalc::Type *> Ty = lowerType(Dep->Ty);
+    if (!Ty)
+      return err(Ty.error());
+    Result<const lcalc::Expr *> Rhs = lowerExpr(Dep->Rhs);
+    if (!Rhs)
+      return Rhs;
+    Body = L.app(L.lam(reintern(Dep->Name), *Ty, Body), *Rhs);
+  }
+  return Body;
+}

@@ -1,0 +1,88 @@
+//===- LowerToL.h - Lowering core IR into the L calculus --------*- C++ -*-===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers elaborated core programs into closed L expressions (Figure 2)
+/// so that surface programs can be executed on the paper's formal
+/// backend: L → (Figure 7 ANF compilation) → M → the Figure 6 abstract
+/// machine. This is the bridge the driver's Backend::AbstractMachine
+/// rides.
+///
+/// The lowering is deliberately *partial*: L is the paper's minimal
+/// calculus (Int, Int#, arrows, ∀, I#, one-armed case, integer
+/// arithmetic), so only the core fragment with a direct L image is
+/// translated — anything else (Double#, strings, algebraic data beyond
+/// Int, unboxed tuples, recursion) fails with a descriptive message and
+/// the driver reports the program as unsupported on that backend rather
+/// than guessing.
+///
+/// Global references are resolved by binding each (transitively needed,
+/// non-recursive) top-level definition with a lambda:
+///
+///   ⟦g = rhs; … ; e⟧  =  (λg:τ_g. ⟦…; e⟧) ⟦rhs⟧
+///
+/// which L's kind-directed application rules evaluate with exactly the
+/// strictness the binding's type prescribes (TYPE P binders become
+/// M heap thunks, TYPE I binders evaluate eagerly).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LEVITY_DRIVER_LOWERTOL_H
+#define LEVITY_DRIVER_LOWERTOL_H
+
+#include "core/CoreContext.h"
+#include "core/Program.h"
+#include "lcalc/Syntax.h"
+#include "support/Result.h"
+
+#include <unordered_set>
+#include <vector>
+
+namespace levity {
+namespace driver {
+
+/// Translates one core global (and its dependency cone) per call.
+class CoreToL {
+public:
+  CoreToL(core::CoreContext &C, lcalc::LContext &L) : C(C), L(L) {}
+
+  /// Lowers `Name` from \p P into a closed L expression whose value is
+  /// the global's value. Fails (with a "not expressible in L" reason)
+  /// outside the supported fragment.
+  Result<const lcalc::Expr *> lowerGlobal(const core::CoreProgram &P,
+                                          Symbol Name);
+
+  /// Lowers a zonked core type into L (used for binder annotations).
+  Result<const lcalc::Type *> lowerType(const core::Type *T);
+
+private:
+  Result<lcalc::LKind> lowerKind(const core::Kind *K);
+  Result<lcalc::RuntimeRep> lowerRep(const core::RepTy *R);
+  Result<const lcalc::Expr *> lowerExpr(const core::Expr *E);
+
+  /// Collects the program globals referenced free in \p E (respecting
+  /// local shadowing) into \p Out.
+  void globalRefs(const core::CoreProgram &P, const core::Expr *E,
+                  std::vector<Symbol> &Bound, std::vector<Symbol> &Out);
+
+  /// Topologically orders Name's dependency cone (dependencies first,
+  /// Name last); fails on recursion, which L cannot express.
+  Result<bool> orderDeps(const core::CoreProgram &P, Symbol Name,
+                         std::unordered_set<Symbol, SymbolHash> &Visiting,
+                         std::unordered_set<Symbol, SymbolHash> &Done,
+                         std::vector<Symbol> &Order);
+
+  Symbol reintern(Symbol S) { return L.sym(S.str()); }
+
+  core::CoreContext &C;
+  lcalc::LContext &L;
+};
+
+} // namespace driver
+} // namespace levity
+
+#endif // LEVITY_DRIVER_LOWERTOL_H

@@ -1,0 +1,445 @@
+//===- Session.cpp - The compilation-session facade -----------------------===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Session.h"
+#include "driver/LowerToL.h"
+#include "surface/Parser.h"
+
+#include <chrono>
+#include <sstream>
+
+using namespace levity;
+using namespace levity::driver;
+
+std::string_view driver::backendName(Backend B) {
+  switch (B) {
+  case Backend::TreeInterp:
+    return "tree-interp";
+  case Backend::AbstractMachine:
+    return "abstract-machine";
+  }
+  return "unknown";
+}
+
+namespace {
+
+double millisSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - Start)
+      .count();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Compilation — pipeline stages
+//===----------------------------------------------------------------------===//
+
+/// The abstract-machine side of a Compilation: one L context, one M
+/// context, and the memoized per-global lowerings. Built on first use so
+/// tree-interp-only clients pay nothing.
+struct Compilation::MachinePipeline {
+  lcalc::LContext L;
+  mcalc::MContext MC;
+  /// Global name → compiled M term (or the lowering failure, kept so
+  /// repeated runs do not re-walk an unsupported program).
+  std::unordered_map<std::string, Result<const mcalc::Term *>> MTerms;
+  /// compileFormal's term, compiled to M (memoized).
+  std::optional<Result<const mcalc::Term *>> FormalM;
+};
+
+Compilation::Compilation(const CompileOptions &Opts) : Opts(Opts) {}
+
+Compilation::~Compilation() = default;
+
+void Compilation::compileSource(std::string_view Src) {
+  Source.assign(Src);
+  SrcHash = Session::hashSource(Src);
+
+  auto Timed = [&](const char *Stage, auto Fn) {
+    auto Start = std::chrono::steady_clock::now();
+    auto R = Fn();
+    Timings.push_back({Stage, millisSince(Start)});
+    return R;
+  };
+
+  std::vector<surface::Token> Tokens = Timed("lex", [&] {
+    surface::Lexer L(Source, Diags);
+    return L.lexAll();
+  });
+  if (Diags.hasErrors())
+    return;
+
+  surface::SModule Module = Timed("parse", [&] {
+    surface::Parser P(std::move(Tokens), Diags);
+    return P.parseModule();
+  });
+  if (Diags.hasErrors())
+    return;
+
+  Elaborated = Timed("elaborate+check", [&] { return Elab.run(Module); });
+  Succeeded = Elaborated.has_value();
+}
+
+void Compilation::adoptProgram(
+    const std::function<core::CoreProgram(core::CoreContext &)> &Build) {
+  auto Start = std::chrono::steady_clock::now();
+  surface::ElabOutput Out;
+  Out.Program = Build(C);
+  for (const core::TopBinding &B : Out.Program.Bindings)
+    Out.UserBindings.push_back(B.Name);
+  Elaborated = std::move(Out);
+  Timings.push_back({"build-core", millisSince(Start)});
+  Succeeded = true;
+}
+
+void Compilation::buildFormal(
+    const std::function<const lcalc::Expr *(lcalc::LContext &)> &Build) {
+  MachinePipeline &MP = machine();
+  auto Start = std::chrono::steady_clock::now();
+  FormalTerm = Build(MP.L);
+  Timings.push_back({"build-term", millisSince(Start)});
+  if (!FormalTerm) {
+    Diags.error(DiagCode::Internal, "formal term builder returned null");
+    return;
+  }
+
+  Start = std::chrono::steady_clock::now();
+  lcalc::TypeChecker TC(MP.L);
+  FormalTy = TC.typeOfClosed(FormalTerm);
+  Timings.push_back({"typecheck", millisSince(Start)});
+  if (!*FormalTy) {
+    Diags.error(DiagCode::TypeError, (*FormalTy).error());
+    return;
+  }
+  Succeeded = true;
+}
+
+Compilation::MachinePipeline &Compilation::machine() {
+  if (!Machine)
+    Machine = std::make_unique<MachinePipeline>();
+  return *Machine;
+}
+
+std::string Compilation::timingReport() const {
+  std::ostringstream OS;
+  double Total = 0;
+  for (const StageTiming &T : Timings) {
+    char Line[96];
+    std::snprintf(Line, sizeof(Line), "  %-16s %8.3f ms\n",
+                  T.Stage.c_str(), T.Millis);
+    OS << Line;
+    Total += T.Millis;
+  }
+  char Line[96];
+  std::snprintf(Line, sizeof(Line), "  %-16s %8.3f ms\n", "total", Total);
+  OS << Line;
+  return OS.str();
+}
+
+const core::Type *Compilation::globalType(std::string_view Name) {
+  if (const core::Type *T = Elab.globalType(Name))
+    return T;
+  // Programmatic compilations bypass the elaborator's table; fall back to
+  // the binding's recorded type.
+  if (Elaborated)
+    if (const core::TopBinding *B = Elaborated->Program.find(C.sym(Name)))
+      return C.zonkType(B->Ty);
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Compilation — tree-interpreter backend
+//===----------------------------------------------------------------------===//
+
+runtime::Interp &Compilation::interp() {
+  if (!TreeInterp) {
+    TreeInterp = std::make_unique<runtime::Interp>(C);
+    if (Elaborated)
+      TreeInterp->loadProgram(Elaborated->Program);
+  }
+  return *TreeInterp;
+}
+
+runtime::InterpResult Compilation::evalName(std::string_view Name) {
+  return evalExpr(C.var(C.sym(Name)));
+}
+
+runtime::InterpResult Compilation::evalExpr(const core::Expr *E) {
+  return interp().eval(E, Opts.MaxInterpSteps);
+}
+
+RunResult Compilation::runTree(std::string_view Name) {
+  RunResult R;
+  R.Used = Backend::TreeInterp;
+  auto Start = std::chrono::steady_clock::now();
+  runtime::InterpResult IR = evalName(Name);
+  R.Millis = millisSince(Start);
+  R.Interp = IR.Stats;
+
+  switch (IR.Status) {
+  case runtime::InterpStatus::Value: {
+    R.St = RunResult::Status::Ok;
+    R.Display = interp().show(IR.V);
+    if (auto I = runtime::Interp::asIntHash(IR.V))
+      R.IntValue = *I;
+    else if (auto B = interp().asBoxedInt(IR.V))
+      R.IntValue = *B;
+    if (auto D = runtime::Interp::asDoubleHash(IR.V))
+      R.DoubleValue = *D;
+    break;
+  }
+  case runtime::InterpStatus::Bottom:
+    R.St = RunResult::Status::Bottom;
+    R.Error = IR.Message;
+    break;
+  case runtime::InterpStatus::RuntimeError:
+    R.St = RunResult::Status::RuntimeError;
+    R.Error = IR.Message;
+    break;
+  case runtime::InterpStatus::OutOfFuel:
+    R.St = RunResult::Status::OutOfFuel;
+    R.Error = "out of fuel";
+    break;
+  }
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Compilation — abstract-machine backend
+//===----------------------------------------------------------------------===//
+
+Result<const mcalc::Term *> Compilation::machineTerm(std::string_view Name) {
+  MachinePipeline &MP = machine();
+  std::string Key(Name);
+  auto It = MP.MTerms.find(Key);
+  if (It != MP.MTerms.end())
+    return It->second;
+
+  Result<const mcalc::Term *> Out = [&]() -> Result<const mcalc::Term *> {
+    if (!Elaborated)
+      return err("no compiled program");
+    CoreToL Lower(C, MP.L);
+    Result<const lcalc::Expr *> LTerm =
+        Lower.lowerGlobal(Elaborated->Program, C.sym(Name));
+    if (!LTerm)
+      return err(LTerm.error());
+    anf::Compiler Comp(MP.L, MP.MC);
+    return Comp.compileClosed(*LTerm);
+  }();
+  MP.MTerms.emplace(std::move(Key), Out);
+  return Out;
+}
+
+namespace {
+
+/// Converts a finished machine run into the facade result shape.
+void fillFromMachine(RunResult &R, const mcalc::MachineResult &MR) {
+  R.Machine = MR.Stats;
+  switch (MR.Status) {
+  case mcalc::MachineOutcome::Value:
+    R.St = RunResult::Status::Ok;
+    R.Display = MR.Value->str();
+    if (const auto *Lit = mcalc::dyn_cast<mcalc::LitTerm>(MR.Value))
+      R.IntValue = Lit->value();
+    else if (const auto *Con = mcalc::dyn_cast<mcalc::ConLitTerm>(MR.Value))
+      R.IntValue = Con->value();
+    break;
+  case mcalc::MachineOutcome::Bottom:
+    R.St = RunResult::Status::Bottom;
+    R.Error = "error (ERR rule)";
+    break;
+  case mcalc::MachineOutcome::Stuck:
+    R.St = RunResult::Status::RuntimeError;
+    R.Error = "machine stuck: " + MR.StuckReason;
+    break;
+  case mcalc::MachineOutcome::OutOfFuel:
+    R.St = RunResult::Status::OutOfFuel;
+    R.Error = "out of fuel";
+    break;
+  }
+}
+
+} // namespace
+
+RunResult Compilation::runMachine(std::string_view Name) {
+  RunResult R;
+  R.Used = Backend::AbstractMachine;
+  auto Start = std::chrono::steady_clock::now();
+  Result<const mcalc::Term *> T = machineTerm(Name);
+  if (!T) {
+    R.St = RunResult::Status::Unsupported;
+    R.Error = T.error();
+    R.Millis = millisSince(Start);
+    return R;
+  }
+  mcalc::Machine M(machine().MC);
+  mcalc::MachineResult MR = M.run(*T, Opts.MaxMachineSteps);
+  R.Millis = millisSince(Start);
+  fillFromMachine(R, MR);
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Compilation — run dispatch
+//===----------------------------------------------------------------------===//
+
+RunResult Compilation::run(std::string_view Name) {
+  return run(Name, Opts.DefaultBackend);
+}
+
+RunResult Compilation::run(std::string_view Name, Backend B) {
+  RunResult R;
+  R.Used = B;
+  if (FormalTerm) {
+    R.St = RunResult::Status::Unsupported;
+    R.Error = "formal compilations run via run() / run(Backend)";
+    return R;
+  }
+  if (!ok()) {
+    R.St = RunResult::Status::RuntimeError;
+    R.Error = "compilation failed:\n" + diagText();
+    return R;
+  }
+  return B == Backend::TreeInterp ? runTree(Name) : runMachine(Name);
+}
+
+//===----------------------------------------------------------------------===//
+// Compilation — formal pipeline
+//===----------------------------------------------------------------------===//
+
+lcalc::LContext &Compilation::lctx() { return machine().L; }
+
+Result<const lcalc::Type *> Compilation::formalType() {
+  if (FormalTy)
+    return *FormalTy;
+  return err("not a formal compilation");
+}
+
+RunResult Compilation::run() { return run(Opts.DefaultBackend); }
+
+RunResult Compilation::run(Backend B) {
+  if (!FormalTerm) {
+    RunResult R;
+    R.Used = B;
+    R.St = RunResult::Status::Unsupported;
+    R.Error = "surface compilations run via run(name)";
+    return R;
+  }
+  return runFormal(B);
+}
+
+RunResult Compilation::runFormal(Backend B) {
+  RunResult R;
+  R.Used = B;
+  if (!ok()) {
+    R.St = RunResult::Status::RuntimeError;
+    R.Error = "compilation failed:\n" + diagText();
+    return R;
+  }
+  MachinePipeline &MP = machine();
+
+  if (B == Backend::TreeInterp) {
+    // Figure 4: the type-directed small-step semantics.
+    lcalc::Evaluator Ev(MP.L);
+    auto Start = std::chrono::steady_clock::now();
+    lcalc::RunResult LR = Ev.runClosed(FormalTerm, Opts.MaxFormalSteps);
+    R.Millis = millisSince(Start);
+    R.Interp.EvalSteps = LR.Steps;
+    switch (LR.Final) {
+    case lcalc::StepStatus::Value:
+      R.St = RunResult::Status::Ok;
+      R.Display = LR.Last->str();
+      if (const auto *Lit = lcalc::dyn_cast<lcalc::IntLitExpr>(LR.Last))
+        R.IntValue = Lit->value();
+      else if (const auto *Con = lcalc::dyn_cast<lcalc::ConExpr>(LR.Last))
+        if (const auto *Payload =
+                lcalc::dyn_cast<lcalc::IntLitExpr>(Con->payload()))
+          R.IntValue = Payload->value();
+      break;
+    case lcalc::StepStatus::Bottom:
+      R.St = RunResult::Status::Bottom;
+      R.Error = "error (S_ERROR rule)";
+      break;
+    case lcalc::StepStatus::Stuck:
+      R.St = RunResult::Status::RuntimeError;
+      R.Error = "L evaluation stuck at " + LR.Last->str();
+      break;
+    case lcalc::StepStatus::Stepped:
+      R.St = RunResult::Status::OutOfFuel;
+      R.Error = "out of fuel";
+      break;
+    }
+    return R;
+  }
+
+  // Figures 5-7: compile to M (memoized) and run the machine.
+  if (!MP.FormalM) {
+    anf::Compiler Comp(MP.L, MP.MC);
+    MP.FormalM = Comp.compileClosed(FormalTerm);
+  }
+  if (!*MP.FormalM) {
+    R.St = RunResult::Status::Unsupported;
+    R.Error = (*MP.FormalM).error();
+    return R;
+  }
+  mcalc::Machine M(MP.MC);
+  auto Start = std::chrono::steady_clock::now();
+  mcalc::MachineResult MR = M.run(**MP.FormalM, Opts.MaxMachineSteps);
+  R.Millis = millisSince(Start);
+  fillFromMachine(R, MR);
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Session
+//===----------------------------------------------------------------------===//
+
+uint64_t Session::hashSource(std::string_view Source) {
+  uint64_t H = 1469598103934665603ull; // FNV offset basis
+  for (char Ch : Source) {
+    H ^= static_cast<unsigned char>(Ch);
+    H *= 1099511628211ull; // FNV prime
+  }
+  return H;
+}
+
+std::shared_ptr<Compilation> Session::compile(std::string_view Source) {
+  uint64_t H = hashSource(Source);
+  if (Opts.EnableCache) {
+    auto It = Cache.find(H);
+    if (It != Cache.end())
+      for (const std::shared_ptr<Compilation> &Comp : It->second)
+        if (Comp->source() == Source) {
+          ++St.CacheHits;
+          return Comp;
+        }
+  }
+
+  auto Comp = std::shared_ptr<Compilation>(new Compilation(Opts));
+  Comp->compileSource(Source);
+  ++St.Compilations;
+  if (Opts.EnableCache)
+    Cache[H].push_back(Comp);
+  return Comp;
+}
+
+std::shared_ptr<Compilation> Session::compileProgram(
+    const std::function<core::CoreProgram(core::CoreContext &)> &Build) {
+  auto Comp = std::shared_ptr<Compilation>(new Compilation(Opts));
+  Comp->adoptProgram(Build);
+  ++St.Compilations;
+  return Comp;
+}
+
+std::shared_ptr<Compilation> Session::compileFormal(
+    const std::function<const lcalc::Expr *(lcalc::LContext &)> &Build) {
+  auto Comp = std::shared_ptr<Compilation>(new Compilation(Opts));
+  Comp->buildFormal(Build);
+  ++St.Compilations;
+  return Comp;
+}

@@ -1,0 +1,282 @@
+//===- Session.h - The compilation-session facade ---------------*- C++ -*-===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one public entry point to the levity pipeline. Mirrors how GHC
+/// hides the levity-polymorphic core pipeline behind a driver/session API
+/// instead of exposing pass objects to clients:
+///
+/// \code
+///   driver::Session S;
+///   auto Comp = S.compile("square :: Int# -> Int# ; square x = x *# x ;"
+///                         "answer = square 6# +# 6#");
+///   if (!Comp->ok()) { report(Comp->diagText()); }
+///   driver::RunResult R = Comp->run("answer");                 // tree interp
+///   driver::RunResult M = Comp->run("answer",
+///                                   driver::Backend::AbstractMachine);
+/// \endcode
+///
+/// One Session owns a compilation cache keyed by source hash, so repeated
+/// compiles of identical source return the *same* Compilation (and its
+/// already-lowered backends). One Compilation owns everything a compiled
+/// program needs — core context, diagnostics (with source locations and
+/// DiagCodes), per-stage timings, the instrumented tree interpreter, and
+/// the lazily-built abstract-machine lowering (core → L → ANF → M).
+///
+/// The same Compilation abstraction also hosts the paper's *formal*
+/// pipeline (Section 6): Session::compileFormal builds an L term,
+/// typechecks it (Figure 3), and runs it either with the type-directed
+/// small-step semantics (Figure 4) or compiled to the M machine
+/// (Figures 5-7) — one API, one diagnostics sink, one stats report for
+/// both the production and the formal chain.
+///
+/// The low-level pass headers (surface/, core/, runtime/, …) stay public
+/// for unit tests; new code should use this facade.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LEVITY_DRIVER_SESSION_H
+#define LEVITY_DRIVER_SESSION_H
+
+#include "anf/Compile.h"
+#include "lcalc/Eval.h"
+#include "mcalc/Machine.h"
+#include "runtime/Interp.h"
+#include "surface/Elaborate.h"
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace levity {
+namespace driver {
+
+/// The evaluation backends a Compilation can run on.
+enum class Backend : uint8_t {
+  TreeInterp,     ///< The instrumented big-step core evaluator.
+  AbstractMachine ///< core → L → ANF (Figure 7) → the M machine (Figure 6).
+};
+
+std::string_view backendName(Backend B);
+
+/// Knobs for a Session. One options struct covers both pipelines.
+struct CompileOptions {
+  Backend DefaultBackend = Backend::TreeInterp;
+  bool EnableCache = true; ///< Reuse Compilations for identical source.
+  uint64_t MaxInterpSteps = 200000000; ///< Tree-interpreter fuel.
+  uint64_t MaxMachineSteps = 100000000; ///< M-machine fuel.
+  size_t MaxFormalSteps = 1000000; ///< Figure 4 small-step fuel.
+};
+
+/// Wall-clock duration of one pipeline stage.
+struct StageTiming {
+  std::string Stage;
+  double Millis = 0;
+};
+
+/// The unified result of evaluating a global (or a formal term) on some
+/// backend. Exactly one backend's stats member is meaningful; the
+/// convenience accessors hide the difference.
+struct RunResult {
+  enum class Status : uint8_t {
+    Ok,
+    Bottom,       ///< error was called.
+    RuntimeError, ///< stuck machine / interpreter runtime failure.
+    OutOfFuel,
+    Unsupported   ///< Program outside the backend's fragment.
+  };
+
+  Status St = Status::RuntimeError;
+  Backend Used = Backend::TreeInterp;
+  std::string Display;  ///< Pretty-printed value (empty unless Ok).
+  std::optional<int64_t> IntValue;   ///< Int#/Int results.
+  std::optional<double> DoubleValue; ///< Double#/Double results.
+  std::string Error;    ///< Failure reason (empty when Ok).
+  double Millis = 0;
+
+  runtime::InterpStats Interp;  ///< Backend::TreeInterp counters.
+  mcalc::MachineStats Machine;  ///< Backend::AbstractMachine counters.
+
+  bool ok() const { return St == Status::Ok; }
+
+  /// Heap allocations the run performed, in the executing backend's cost
+  /// model (thunks + boxes + closures for the tree interpreter, LET
+  /// firings for the M machine).
+  uint64_t allocations() const {
+    return Used == Backend::TreeInterp ? Interp.heapAllocations()
+                                       : Machine.Allocations;
+  }
+  /// Steps the run took (eval steps / machine transitions).
+  uint64_t steps() const {
+    return Used == Backend::TreeInterp ? Interp.EvalSteps : Machine.Steps;
+  }
+};
+
+/// A compiled program: the product of one trip through the front end,
+/// plus everything needed to run it. Created by Session; shared (and
+/// cached) via shared_ptr.
+class Compilation {
+public:
+  ~Compilation();
+  Compilation(const Compilation &) = delete;
+  Compilation &operator=(const Compilation &) = delete;
+
+  //===------------------------------------------------------------------===//
+  // Outcome and diagnostics
+  //===------------------------------------------------------------------===//
+
+  /// True when every stage succeeded and the program can run.
+  bool ok() const { return Succeeded; }
+
+  const DiagnosticEngine &diags() const { return Diags; }
+  std::string diagText() const { return Diags.str(); }
+
+  /// FNV-1a hash of the source text (the Session cache key; 0 for
+  /// programmatic compilations).
+  uint64_t sourceHash() const { return SrcHash; }
+  const std::string &source() const { return Source; }
+
+  /// Per-stage wall-clock timings, in pipeline order.
+  const std::vector<StageTiming> &timings() const { return Timings; }
+  /// One-line-per-stage human-readable report.
+  std::string timingReport() const;
+
+  //===------------------------------------------------------------------===//
+  // The compiled surface program
+  //===------------------------------------------------------------------===//
+
+  core::CoreContext &ctx() { return C; }
+  const core::CoreProgram *program() const {
+    return Elaborated ? &Elaborated->Program : nullptr;
+  }
+  /// The zonked, dictionary-expanded type of a top-level name. Non-const:
+  /// the lookup interns the name and zonking resolves metavariable cells
+  /// in the context.
+  const core::Type *globalType(std::string_view Name);
+  /// Class/instance tables from elaboration (empty for programmatic
+  /// compilations).
+  const surface::Elaborator &elaborator() const { return Elab; }
+  /// The raw elaboration output (null until a successful compile).
+  const surface::ElabOutput *elabOutput() const {
+    return Elaborated ? &*Elaborated : nullptr;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Running
+  //===------------------------------------------------------------------===//
+
+  /// Evaluates top-level \p Name on the session's default backend.
+  RunResult run(std::string_view Name);
+  /// Evaluates top-level \p Name on a specific backend.
+  RunResult run(std::string_view Name, Backend B);
+
+  /// The instrumented tree-interpreter with this program loaded. Exposed
+  /// so cost-model workloads can evaluate ad-hoc expressions built
+  /// against ctx() without re-wiring a pipeline.
+  runtime::Interp &interp();
+  runtime::InterpResult evalName(std::string_view Name);
+  runtime::InterpResult evalExpr(const core::Expr *E);
+
+  //===------------------------------------------------------------------===//
+  // The formal pipeline (Section 6)
+  //===------------------------------------------------------------------===//
+
+  /// Non-null for Session::compileFormal compilations.
+  const lcalc::Expr *formalTerm() const { return FormalTerm; }
+  lcalc::LContext &lctx();
+  /// The term's L type (Figure 3); error when ill-typed.
+  Result<const lcalc::Type *> formalType();
+  /// Runs the formal term: Figure 4 small-step semantics on TreeInterp,
+  /// Figures 5-7 on AbstractMachine.
+  RunResult run();
+  RunResult run(Backend B);
+
+private:
+  friend class Session;
+  explicit Compilation(const CompileOptions &Opts);
+
+  void compileSource(std::string_view Src);
+  void adoptProgram(
+      const std::function<core::CoreProgram(core::CoreContext &)> &Build);
+  void buildFormal(
+      const std::function<const lcalc::Expr *(lcalc::LContext &)> &Build);
+
+  RunResult runTree(std::string_view Name);
+  RunResult runMachine(std::string_view Name);
+  RunResult runFormal(Backend B);
+
+  /// Lowers+compiles a global for the M machine, memoized per name.
+  Result<const mcalc::Term *> machineTerm(std::string_view Name);
+
+  /// The machine context pair, created on first AbstractMachine use.
+  struct MachinePipeline;
+  MachinePipeline &machine();
+
+  CompileOptions Opts;
+  std::string Source;
+  uint64_t SrcHash = 0;
+  bool Succeeded = false;
+
+  core::CoreContext C;
+  DiagnosticEngine Diags;
+  surface::Elaborator Elab{C, Diags};
+  std::optional<surface::ElabOutput> Elaborated;
+  std::vector<StageTiming> Timings;
+
+  std::unique_ptr<runtime::Interp> TreeInterp;
+  std::unique_ptr<MachinePipeline> Machine;
+
+  // Formal-pipeline state (compileFormal only).
+  const lcalc::Expr *FormalTerm = nullptr;
+  std::optional<Result<const lcalc::Type *>> FormalTy;
+};
+
+/// A compiler session: options + compilation cache + counters.
+class Session {
+public:
+  Session() = default;
+  explicit Session(CompileOptions Opts) : Opts(Opts) {}
+
+  /// Compiles surface source through lex → parse → elaborate →
+  /// levity-check. Identical source (by hash, verified by exact compare)
+  /// returns the cached Compilation.
+  std::shared_ptr<Compilation> compile(std::string_view Source);
+
+  /// Wraps a programmatically-built core program (e.g. the Samples
+  /// builders) in a Compilation, so core-IR workloads ride the same
+  /// facade. Not cached (the builder is opaque).
+  std::shared_ptr<Compilation> compileProgram(
+      const std::function<core::CoreProgram(core::CoreContext &)> &Build);
+
+  /// Builds and typechecks an L term (the Section 6 formal pipeline).
+  std::shared_ptr<Compilation> compileFormal(
+      const std::function<const lcalc::Expr *(lcalc::LContext &)> &Build);
+
+  struct Stats {
+    uint64_t Compilations = 0; ///< Front-end runs actually performed.
+    uint64_t CacheHits = 0;    ///< compile() calls served from cache.
+  };
+  const Stats &stats() const { return St; }
+  const CompileOptions &options() const { return Opts; }
+
+  /// FNV-1a — the cache key for compile().
+  static uint64_t hashSource(std::string_view Source);
+
+private:
+  CompileOptions Opts;
+  Stats St;
+  std::unordered_map<uint64_t, std::vector<std::shared_ptr<Compilation>>>
+      Cache;
+};
+
+} // namespace driver
+} // namespace levity
+
+#endif // LEVITY_DRIVER_SESSION_H

@@ -159,6 +159,37 @@ StepResult Evaluator::step(TypeEnv &Env, const Expr *E) {
     return {StepStatus::Stuck, nullptr, "stuck constructor payload"};
   }
 
+  case Expr::ExprKind::Prim: {
+    // Both operands are Int# (kind TYPE I), so evaluation is strict,
+    // left to right: S_PRIM1, S_PRIM2, then S_PRIMOP combines literals.
+    const auto *P = cast<PrimExpr>(E);
+    if (!isValue(P->lhs())) {
+      StepResult Lhs = step(Env, P->lhs());
+      if (Lhs.Status == StepStatus::Stepped)
+        return {StepStatus::Stepped, Ctx.prim(P->op(), Lhs.Next, P->rhs()),
+                "S_PRIM1"};
+      if (Lhs.Status == StepStatus::Bottom)
+        return {StepStatus::Bottom, nullptr, "S_PRIM1/⊥"};
+      return {StepStatus::Stuck, nullptr, "stuck primop operand"};
+    }
+    if (!isValue(P->rhs())) {
+      StepResult Rhs = step(Env, P->rhs());
+      if (Rhs.Status == StepStatus::Stepped)
+        return {StepStatus::Stepped, Ctx.prim(P->op(), P->lhs(), Rhs.Next),
+                "S_PRIM2"};
+      if (Rhs.Status == StepStatus::Bottom)
+        return {StepStatus::Bottom, nullptr, "S_PRIM2/⊥"};
+      return {StepStatus::Stuck, nullptr, "stuck primop operand"};
+    }
+    const auto *Lhs = dyn_cast<IntLitExpr>(P->lhs());
+    const auto *Rhs = dyn_cast<IntLitExpr>(P->rhs());
+    if (!Lhs || !Rhs)
+      return {StepStatus::Stuck, nullptr, "primop on non-integer values"};
+    return {StepStatus::Stepped,
+            Ctx.intLit(evalLPrim(P->op(), Lhs->value(), Rhs->value())),
+            "S_PRIMOP"};
+  }
+
   case Expr::ExprKind::Case: {
     const auto *C = cast<CaseExpr>(E);
     // S_MATCH: case I#[n] of I#[x] → e2  →  e2[n/x].

@@ -57,6 +57,12 @@ void lcalc::freeTermVars(const Expr *E, SymbolSet &Out) {
     Out.insert(Body.begin(), Body.end());
     return;
   }
+  case Expr::ExprKind::Prim: {
+    const auto *P = cast<PrimExpr>(E);
+    freeTermVars(P->lhs(), Out);
+    freeTermVars(P->rhs(), Out);
+    return;
+  }
   case Expr::ExprKind::IntLit:
   case Expr::ExprKind::Error:
     return;
@@ -136,6 +142,12 @@ void lcalc::freeTypeVars(const Expr *E, SymbolSet &Out) {
     const auto *C = cast<CaseExpr>(E);
     freeTypeVars(C->scrut(), Out);
     freeTypeVars(C->body(), Out);
+    return;
+  }
+  case Expr::ExprKind::Prim: {
+    const auto *P = cast<PrimExpr>(E);
+    freeTypeVars(P->lhs(), Out);
+    freeTypeVars(P->rhs(), Out);
     return;
   }
   }
@@ -230,6 +242,12 @@ void lcalc::freeRepVars(const Expr *E, SymbolSet &Out) {
     const auto *C = cast<CaseExpr>(E);
     freeRepVars(C->scrut(), Out);
     freeRepVars(C->body(), Out);
+    return;
+  }
+  case Expr::ExprKind::Prim: {
+    const auto *P = cast<PrimExpr>(E);
+    freeRepVars(P->lhs(), Out);
+    freeRepVars(P->rhs(), Out);
     return;
   }
   }
@@ -464,6 +482,14 @@ const Expr *lcalc::substExprInExpr(LContext &Ctx, const Expr *E, Symbol Var,
       return E;
     return Ctx.caseOf(Scrut, Bound, NewBody);
   }
+  case Expr::ExprKind::Prim: {
+    const auto *P = cast<PrimExpr>(E);
+    const Expr *Lhs = substExprInExpr(Ctx, P->lhs(), Var, Replacement);
+    const Expr *Rhs = substExprInExpr(Ctx, P->rhs(), Var, Replacement);
+    if (Lhs == P->lhs() && Rhs == P->rhs())
+      return E;
+    return Ctx.prim(P->op(), Lhs, Rhs);
+  }
   }
   assert(false && "unknown expr kind");
   return E;
@@ -558,6 +584,14 @@ const Expr *lcalc::substTypeInExpr(LContext &Ctx, const Expr *E, Symbol Var,
       return E;
     return Ctx.caseOf(Scrut, C->binder(), Body);
   }
+  case Expr::ExprKind::Prim: {
+    const auto *P = cast<PrimExpr>(E);
+    const Expr *Lhs = substTypeInExpr(Ctx, P->lhs(), Var, Replacement);
+    const Expr *Rhs = substTypeInExpr(Ctx, P->rhs(), Var, Replacement);
+    if (Lhs == P->lhs() && Rhs == P->rhs())
+      return E;
+    return Ctx.prim(P->op(), Lhs, Rhs);
+  }
   }
   assert(false && "unknown expr kind");
   return E;
@@ -639,6 +673,14 @@ const Expr *lcalc::substRepInExpr(LContext &Ctx, const Expr *E, Symbol RepVar,
     if (Scrut == C->scrut() && Body == C->body())
       return E;
     return Ctx.caseOf(Scrut, C->binder(), Body);
+  }
+  case Expr::ExprKind::Prim: {
+    const auto *P = cast<PrimExpr>(E);
+    const Expr *Lhs = substRepInExpr(Ctx, P->lhs(), RepVar, Rep);
+    const Expr *Rhs = substRepInExpr(Ctx, P->rhs(), RepVar, Rep);
+    if (Lhs == P->lhs() && Rhs == P->rhs())
+      return E;
+    return Ctx.prim(P->op(), Lhs, Rhs);
   }
   }
   assert(false && "unknown expr kind");

@@ -169,6 +169,17 @@ void printExpr(std::ostringstream &OS, const Expr *E, int Prec) {
       OS << ")";
     return;
   }
+  case Expr::ExprKind::Prim: {
+    const auto *P = cast<PrimExpr>(E);
+    if (Prec > PrecArrow)
+      OS << "(";
+    printExpr(OS, P->lhs(), PrecApp);
+    OS << " " << lPrimName(P->op()) << " ";
+    printExpr(OS, P->rhs(), PrecApp);
+    if (Prec > PrecArrow)
+      OS << ")";
+    return;
+  }
   }
 }
 
@@ -184,6 +195,32 @@ std::string Expr::str() const {
   std::ostringstream OS;
   printExpr(OS, this, PrecTop);
   return OS.str();
+}
+
+std::string_view lcalc::lPrimName(LPrim Op) {
+  switch (Op) {
+  case LPrim::Add:
+    return "+#";
+  case LPrim::Sub:
+    return "-#";
+  case LPrim::Mul:
+    return "*#";
+  }
+  assert(false && "unknown primop");
+  return "?#";
+}
+
+int64_t lcalc::evalLPrim(LPrim Op, int64_t Lhs, int64_t Rhs) {
+  switch (Op) {
+  case LPrim::Add:
+    return Lhs + Rhs;
+  case LPrim::Sub:
+    return Lhs - Rhs;
+  case LPrim::Mul:
+    return Lhs * Rhs;
+  }
+  assert(false && "unknown primop");
+  return 0;
 }
 
 const Type *LContext::errorType() {

@@ -235,7 +235,8 @@ public:
     Con,    ///< I#[e]
     Case,   ///< case e1 of I#[x] → e2
     IntLit, ///< n
-    Error   ///< error
+    Error,  ///< error
+    Prim    ///< e1 ⊕# e2 (binary Int# arithmetic)
   };
 
   ExprKind kind() const { return Kind; }
@@ -408,6 +409,33 @@ public:
   static bool classof(const Expr *E) { return E->kind() == ExprKind::Error; }
 };
 
+/// ⊕# — the binary Int# arithmetic operators. A conservative executable
+/// extension of Figure 2 used by the driver's core→L lowering: both
+/// operands and the result have kind TYPE I, so the operators interact
+/// with neither levity polymorphism nor the E_LAM/E_APP restrictions.
+enum class LPrim : uint8_t { Add, Sub, Mul };
+
+std::string_view lPrimName(LPrim Op);
+int64_t evalLPrim(LPrim Op, int64_t Lhs, int64_t Rhs);
+
+/// e1 ⊕# e2 — strict in both operands (they are Int#, kind TYPE I).
+class PrimExpr : public Expr {
+public:
+  PrimExpr(LPrim Op, const Expr *Lhs, const Expr *Rhs)
+      : Expr(ExprKind::Prim), Op(Op), Lhs(Lhs), Rhs(Rhs) {}
+
+  LPrim op() const { return Op; }
+  const Expr *lhs() const { return Lhs; }
+  const Expr *rhs() const { return Rhs; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Prim; }
+
+private:
+  LPrim Op;
+  const Expr *Lhs;
+  const Expr *Rhs;
+};
+
 //===----------------------------------------------------------------------===//
 // LLVM-style dispatch helpers
 //===----------------------------------------------------------------------===//
@@ -488,6 +516,9 @@ public:
     return Mem.create<IntLitExpr>(Value);
   }
   const Expr *error() { return Mem.create<ErrorExpr>(); }
+  const Expr *prim(LPrim Op, const Expr *Lhs, const Expr *Rhs) {
+    return Mem.create<PrimExpr>(Op, Lhs, Rhs);
+  }
 
   Arena &arena() { return Mem; }
 

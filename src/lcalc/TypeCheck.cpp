@@ -199,6 +199,24 @@ Result<const Type *> TypeChecker::typeOf(TypeEnv &Env, const Expr *E) const {
     return substRepInType(Ctx, Forall->body(), Forall->repVar(),
                           A->repArg());
   }
+  case Expr::ExprKind::Prim: {
+    // E_PRIM: e1 ⊕# e2 : Int# when e1, e2 : Int#. Both operand types have
+    // kind TYPE I, so the rule needs no concreteness premise.
+    const auto *P = cast<PrimExpr>(E);
+    Result<const Type *> LhsTy = typeOf(Env, P->lhs());
+    if (!LhsTy)
+      return LhsTy;
+    if (!typeEqual(*LhsTy, Ctx.intHashTy()))
+      return err(std::string(lPrimName(P->op())) + " expects Int#, got " +
+                 (*LhsTy)->str());
+    Result<const Type *> RhsTy = typeOf(Env, P->rhs());
+    if (!RhsTy)
+      return RhsTy;
+    if (!typeEqual(*RhsTy, Ctx.intHashTy()))
+      return err(std::string(lPrimName(P->op())) + " expects Int#, got " +
+                 (*RhsTy)->str());
+    return Ctx.intHashTy();
+  }
   case Expr::ExprKind::Case: {
     // E_CASE.
     const auto *C = cast<CaseExpr>(E);

@@ -161,6 +161,16 @@ MachineResult Machine::runWithHeap(const Term *T, HeapMap InitialHeap,
       Cur = C->scrut();
       continue;
     }
+    case Term::TermKind::Prim: {
+      // PRIM: ⟨n1 ⊕# n2; S; H⟩ → ⟨n; S; H⟩ — both operands must have
+      // been resolved to literals by ILET/IPOP substitution.
+      const auto *P = cast<PrimTerm>(Cur);
+      if (!P->lhs().IsLit || !P->rhs().IsLit)
+        return Stuck("unresolved integer variable in primop");
+      ++S.Prims;
+      Cur = Ctx.lit(evalMPrim(P->op(), P->lhs().Lit, P->rhs().Lit));
+      continue;
+    }
     case Term::TermKind::Error:
       // ERR: abort the machine.
       R.Status = MachineOutcome::Bottom;

@@ -62,6 +62,7 @@ struct MachineStats {
   uint64_t Cases = 0;        ///< CASE firings.
   uint64_t BetaPtr = 0;      ///< PPOP firings (pointer calls).
   uint64_t BetaInt = 0;      ///< IPOP firings (integer-register calls).
+  uint64_t Prims = 0;        ///< PRIM firings (integer arithmetic).
   size_t MaxStackDepth = 0;
   size_t MaxHeapSize = 0;
 };

@@ -99,6 +99,16 @@ void printTerm(std::ostringstream &OS, const Term *T, int Prec) {
       OS << ")";
     return;
   }
+  case Term::TermKind::Prim: {
+    const auto *P = cast<PrimTerm>(T);
+    if (Prec > PrecTop)
+      OS << "(";
+    OS << P->lhs().str() << " " << mPrimName(P->op()) << " "
+       << P->rhs().str();
+    if (Prec > PrecTop)
+      OS << ")";
+    return;
+  }
   }
 }
 
@@ -108,6 +118,32 @@ std::string Term::str() const {
   std::ostringstream OS;
   printTerm(OS, this, PrecTop);
   return OS.str();
+}
+
+std::string_view mcalc::mPrimName(MPrim Op) {
+  switch (Op) {
+  case MPrim::Add:
+    return "+#";
+  case MPrim::Sub:
+    return "-#";
+  case MPrim::Mul:
+    return "*#";
+  }
+  assert(false && "unknown primop");
+  return "?#";
+}
+
+int64_t mcalc::evalMPrim(MPrim Op, int64_t Lhs, int64_t Rhs) {
+  switch (Op) {
+  case MPrim::Add:
+    return Lhs + Rhs;
+  case MPrim::Sub:
+    return Lhs - Rhs;
+  case MPrim::Mul:
+    return Lhs * Rhs;
+  }
+  assert(false && "unknown primop");
+  return 0;
 }
 
 bool mcalc::isValue(const Term *T) {
@@ -193,6 +229,22 @@ const Term *mcalc::substVar(MContext &Ctx, const Term *T, MVar Var,
       return T;
     return Strict ? Ctx.letBang(Binder, NewRhs, NewBody)
                   : Ctx.let(Binder, NewRhs, NewBody);
+  }
+  case Term::TermKind::Prim: {
+    // Primop atoms are integer variables; term-variable substitution
+    // moves pointer or integer variables of the same sort.
+    const auto *P = cast<PrimTerm>(T);
+    MAtom Lhs = P->lhs(), Rhs = P->rhs();
+    bool Changed = false;
+    if (!Lhs.IsLit && Lhs.Var == Var) {
+      Lhs = MAtom::var(Replacement);
+      Changed = true;
+    }
+    if (!Rhs.IsLit && Rhs.Var == Var) {
+      Rhs = MAtom::var(Replacement);
+      Changed = true;
+    }
+    return Changed ? Ctx.prim(P->op(), Lhs, Rhs) : T;
   }
   case Term::TermKind::Case: {
     const auto *C = cast<CaseTerm>(T);
@@ -282,6 +334,21 @@ const Term *mcalc::substLit(MContext &Ctx, const Term *T, MVar Var,
     if (Scrut == C->scrut() && Body == C->body())
       return T;
     return Ctx.caseOf(Scrut, C->binder(), Body);
+  }
+  case Term::TermKind::Prim: {
+    // i ⊕# j becomes n ⊕# j (ILET/IPOP write integer registers).
+    const auto *P = cast<PrimTerm>(T);
+    MAtom Lhs = P->lhs(), Rhs = P->rhs();
+    bool Changed = false;
+    if (!Lhs.IsLit && Lhs.Var == Var) {
+      Lhs = MAtom::lit(Lit);
+      Changed = true;
+    }
+    if (!Rhs.IsLit && Rhs.Var == Var) {
+      Rhs = MAtom::lit(Lit);
+      Changed = true;
+    }
+    return Changed ? Ctx.prim(P->op(), Lhs, Rhs) : T;
   }
   }
   assert(false && "unknown term kind");

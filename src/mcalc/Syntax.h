@@ -74,7 +74,8 @@ public:
     Error,  ///< error
     ConVar, ///< I#[y]
     ConLit, ///< I#[n]
-    Lit     ///< n
+    Lit,    ///< n
+    Prim    ///< a1 ⊕# a2 over integer atoms (variables or literals)
   };
 
   TermKind kind() const { return Kind; }
@@ -244,6 +245,57 @@ private:
   int64_t Value;
 };
 
+/// ⊕# — binary Int# arithmetic, mirroring lcalc::LPrim. Operands are
+/// restricted to *atoms* (integer variables or literals) so the ANF
+/// discipline — every data movement has a known width — is preserved.
+enum class MPrim : uint8_t { Add, Sub, Mul };
+
+std::string_view mPrimName(MPrim Op);
+int64_t evalMPrim(MPrim Op, int64_t Lhs, int64_t Rhs);
+
+/// An integer-register atom: i or n. ILET/IPOP substitution turns the
+/// variable form into the literal form.
+struct MAtom {
+  bool IsLit = false;
+  MVar Var;        ///< Integer variable when !IsLit.
+  int64_t Lit = 0; ///< Literal payload when IsLit.
+
+  static MAtom var(MVar V) {
+    assert(V.isInt() && "primop atoms live in integer registers");
+    MAtom A;
+    A.Var = V;
+    return A;
+  }
+  static MAtom lit(int64_t N) {
+    MAtom A;
+    A.IsLit = true;
+    A.Lit = N;
+    return A;
+  }
+
+  std::string str() const {
+    return IsLit ? std::to_string(Lit) : Var.str();
+  }
+};
+
+/// a1 ⊕# a2 — reducible once both atoms are literals (rule PRIM).
+class PrimTerm : public Term {
+public:
+  PrimTerm(MPrim Op, MAtom Lhs, MAtom Rhs)
+      : Term(TermKind::Prim), Op(Op), Lhs(Lhs), Rhs(Rhs) {}
+
+  MPrim op() const { return Op; }
+  MAtom lhs() const { return Lhs; }
+  MAtom rhs() const { return Rhs; }
+
+  static bool classof(const Term *T) { return T->kind() == TermKind::Prim; }
+
+private:
+  MPrim Op;
+  MAtom Lhs;
+  MAtom Rhs;
+};
+
 template <typename To, typename From> bool isa(const From *Node) {
   return To::classof(Node);
 }
@@ -302,6 +354,9 @@ public:
   const Term *conVar(MVar V) { return Mem.create<ConVarTerm>(V); }
   const Term *conLit(int64_t Value) { return Mem.create<ConLitTerm>(Value); }
   const Term *lit(int64_t Value) { return Mem.create<LitTerm>(Value); }
+  const Term *prim(MPrim Op, MAtom Lhs, MAtom Rhs) {
+    return Mem.create<PrimTerm>(Op, Lhs, Rhs);
+  }
 
   Arena &arena() { return Mem; }
 

@@ -1,0 +1,45 @@
+//===- PipelineFixture.h - Shared driver-backed test fixture ----*- C++ -*-===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The end-to-end pipeline fixture shared by the integration and surface
+/// test suites: one driver::Session per test, with thin views over the
+/// Compilation so assertions read like the old hand-wired pipeline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LEVITY_TESTS_PIPELINEFIXTURE_H
+#define LEVITY_TESTS_PIPELINEFIXTURE_H
+
+#include "driver/Session.h"
+
+namespace levity {
+
+struct Pipeline {
+  driver::Session S;
+  std::shared_ptr<driver::Compilation> Comp;
+
+  bool compile(std::string_view Src) {
+    Comp = S.compile(Src);
+    return Comp->ok();
+  }
+
+  runtime::InterpResult evalName(std::string_view Name) {
+    return Comp->evalName(Name);
+  }
+
+  const DiagnosticEngine &diags() const { return Comp->diags(); }
+  runtime::Interp &interp() { return Comp->interp(); }
+  core::CoreContext &ctx() { return Comp->ctx(); }
+  const surface::Elaborator &elaborator() const {
+    return Comp->elaborator();
+  }
+};
+
+} // namespace levity
+
+#endif // LEVITY_TESTS_PIPELINEFIXTURE_H

@@ -58,6 +58,33 @@ TEST_F(CoreKindTest, UnboxedTupleKinds) {
   EXPECT_EQ(kindOk(T0)->str(), "TYPE TupleRep '[]");
 }
 
+// Regression: UnboxedTupleType stores only a span, so the construction
+// path must arena-intern the element array. Build a tuple type from a
+// temporary vector, let the vector die (and scribble over fresh stack),
+// then use the type — a non-interning implementation reads freed memory
+// here and returns garbage elements.
+TEST_F(CoreKindTest, UnboxedTupleElemsSurviveCallerStorage) {
+  const Type *T = nullptr;
+  {
+    std::vector<const Type *> Temp = {C.intHashTy(), C.doubleHashTy(),
+                                      C.intTy()};
+    T = C.unboxedTupleTy(Temp);
+  } // Temp's buffer is freed here.
+
+  // Occupy the freed allocation/stack region with different pointers so a
+  // dangling span cannot accidentally still see the old contents.
+  std::vector<const Type *> Clobber(64, C.boolTy());
+  ASSERT_EQ(Clobber.size(), 64u);
+
+  const auto *U = cast<UnboxedTupleType>(T);
+  ASSERT_EQ(U->elems().size(), 3u);
+  EXPECT_EQ(U->elems()[0]->str(), "Int#");
+  EXPECT_EQ(U->elems()[1]->str(), "Double#");
+  EXPECT_EQ(U->elems()[2]->str(), "Int");
+  EXPECT_EQ(kindOk(T)->str(),
+            "TYPE TupleRep '[IntRep, DoubleRep, LiftedRep]");
+}
+
 // Nested tuples have *different kinds* even when conventions match.
 TEST_F(CoreKindTest, NestedTupleKindsDiffer) {
   const Type *Nested = C.unboxedTupleTy(

@@ -1,0 +1,326 @@
+//===- driver_test.cpp - The compilation-session facade -------------------===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+//
+// End-to-end coverage of driver::Session / driver::Compilation:
+//
+//   * backend agreement — the tree interpreter and the abstract machine
+//     (core → L → ANF → M) compute the same values and the same
+//     deterministic allocation counts for the quickstart program;
+//   * the compilation cache — identical source returns the *same*
+//     Compilation object; distinct source does not;
+//   * diagnostics — failing programs carry SourceLoc and DiagCode
+//     through the facade;
+//   * the formal pipeline riding the same abstraction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Session.h"
+#include "runtime/Samples.h"
+
+#include <gtest/gtest.h>
+
+using namespace levity;
+using namespace levity::driver;
+
+namespace {
+
+const char *QuickstartSrc =
+    "square :: Int# -> Int# ;"
+    "square x = x *# x ;"
+    "answer = square 6# +# 6#";
+
+//===----------------------------------------------------------------------===//
+// (a) Backend agreement
+//===----------------------------------------------------------------------===//
+
+TEST(DriverTest, BackendsAgreeOnQuickstartValue) {
+  Session S;
+  auto Comp = S.compile(QuickstartSrc);
+  ASSERT_TRUE(Comp->ok()) << Comp->diagText();
+
+  RunResult Tree = Comp->run("answer", Backend::TreeInterp);
+  RunResult Mach = Comp->run("answer", Backend::AbstractMachine);
+
+  ASSERT_TRUE(Tree.ok()) << Tree.Error;
+  ASSERT_TRUE(Mach.ok()) << Mach.Error;
+  ASSERT_TRUE(Tree.IntValue.has_value());
+  ASSERT_TRUE(Mach.IntValue.has_value());
+  EXPECT_EQ(*Tree.IntValue, 42);
+  EXPECT_EQ(*Mach.IntValue, 42);
+  EXPECT_EQ(*Tree.IntValue, *Mach.IntValue);
+}
+
+TEST(DriverTest, BackendsAgreeOnQuickstartAllocations) {
+  Session S;
+  auto Comp = S.compile(QuickstartSrc);
+  ASSERT_TRUE(Comp->ok()) << Comp->diagText();
+
+  RunResult Tree = Comp->run("answer", Backend::TreeInterp);
+  RunResult Mach = Comp->run("answer", Backend::AbstractMachine);
+  ASSERT_TRUE(Tree.ok() && Mach.ok());
+
+  // The program is fully unboxed except for the `square` binding itself:
+  // each backend allocates exactly one heap object for it (a closure in
+  // the tree interpreter, a LET thunk in the M machine) and nothing per
+  // arithmetic step. Both cost models are deterministic.
+  EXPECT_EQ(Tree.allocations(), 1u);
+  EXPECT_EQ(Mach.allocations(), 1u);
+  EXPECT_EQ(Tree.allocations(), Mach.allocations());
+
+  // Re-running is deterministic too — but the cost models differ on
+  // purpose: the machine replays from an empty heap (same 1 allocation),
+  // while the tree interpreter's global thunks are memoized, so the
+  // second force allocates nothing at all.
+  RunResult Tree2 = Comp->run("answer", Backend::TreeInterp);
+  RunResult Mach2 = Comp->run("answer", Backend::AbstractMachine);
+  EXPECT_EQ(Mach2.allocations(), Mach.allocations());
+  EXPECT_EQ(Tree2.allocations(), 0u);
+  EXPECT_EQ(Tree2.IntValue.value_or(-1), 42);
+}
+
+TEST(DriverTest, BackendsAgreeOnBoxedProgram) {
+  Session S;
+  auto Comp = S.compile("inc :: Int -> Int ;"
+                        "inc n = case n of { I# x -> I# (x +# 1#) } ;"
+                        "answer = inc (inc (I# 40#))");
+  ASSERT_TRUE(Comp->ok()) << Comp->diagText();
+
+  RunResult Tree = Comp->run("answer", Backend::TreeInterp);
+  RunResult Mach = Comp->run("answer", Backend::AbstractMachine);
+  ASSERT_TRUE(Tree.ok()) << Tree.Error;
+  ASSERT_TRUE(Mach.ok()) << Mach.Error;
+  EXPECT_EQ(Tree.IntValue.value_or(-1), 42);
+  EXPECT_EQ(Mach.IntValue.value_or(-1), 42);
+}
+
+TEST(DriverTest, MachineBackendReportsUnsupportedGracefully) {
+  // Double# has no L image; the abstract machine must refuse, not crash,
+  // and the tree interpreter must still work.
+  Session S;
+  auto Comp = S.compile("half = 21.0## +## 0.0##");
+  ASSERT_TRUE(Comp->ok()) << Comp->diagText();
+
+  RunResult Mach = Comp->run("half", Backend::AbstractMachine);
+  EXPECT_EQ(Mach.St, RunResult::Status::Unsupported);
+  EXPECT_NE(Mach.Error.find("not expressible in L"), std::string::npos)
+      << Mach.Error;
+
+  RunResult Tree = Comp->run("half", Backend::TreeInterp);
+  ASSERT_TRUE(Tree.ok()) << Tree.Error;
+  EXPECT_DOUBLE_EQ(Tree.DoubleValue.value_or(-1), 21.0);
+}
+
+TEST(DriverTest, RecursionIsUnsupportedOnMachineButRunsOnTree) {
+  Session S;
+  auto Comp = S.compile("sumToH :: Int# -> Int# -> Int# ;"
+                        "sumToH acc n = case n of {"
+                        "  0# -> acc ; _ -> sumToH (acc +# n) (n -# 1#)"
+                        "} ;"
+                        "total = sumToH 0# 100#");
+  ASSERT_TRUE(Comp->ok()) << Comp->diagText();
+
+  RunResult Tree = Comp->run("total", Backend::TreeInterp);
+  ASSERT_TRUE(Tree.ok()) << Tree.Error;
+  EXPECT_EQ(Tree.IntValue.value_or(-1), 5050);
+
+  RunResult Mach = Comp->run("total", Backend::AbstractMachine);
+  EXPECT_EQ(Mach.St, RunResult::Status::Unsupported);
+}
+
+//===----------------------------------------------------------------------===//
+// (b) The compilation cache
+//===----------------------------------------------------------------------===//
+
+TEST(DriverTest, CacheReturnsSameCompilationForIdenticalSource) {
+  Session S;
+  auto First = S.compile(QuickstartSrc);
+  auto Second = S.compile(QuickstartSrc);
+  EXPECT_EQ(First.get(), Second.get());
+  EXPECT_EQ(S.stats().Compilations, 1u);
+  EXPECT_EQ(S.stats().CacheHits, 1u);
+
+  auto Different = S.compile("answer = 41# +# 1#");
+  EXPECT_NE(First.get(), Different.get());
+  EXPECT_EQ(S.stats().Compilations, 2u);
+}
+
+TEST(DriverTest, CacheCanBeDisabled) {
+  CompileOptions Opts;
+  Opts.EnableCache = false;
+  Session S(Opts);
+  auto First = S.compile(QuickstartSrc);
+  auto Second = S.compile(QuickstartSrc);
+  EXPECT_NE(First.get(), Second.get());
+  EXPECT_EQ(S.stats().Compilations, 2u);
+  EXPECT_EQ(S.stats().CacheHits, 0u);
+}
+
+TEST(DriverTest, CachedCompilationKeepsLoweredBackends) {
+  // The point of caching whole Compilations: a repeated run skips
+  // re-elaboration *and* re-lowering.
+  Session S;
+  auto First = S.compile(QuickstartSrc);
+  ASSERT_TRUE(First->run("answer", Backend::AbstractMachine).ok());
+  auto Second = S.compile(QuickstartSrc);
+  RunResult R = Second->run("answer", Backend::AbstractMachine);
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.IntValue.value_or(-1), 42);
+}
+
+TEST(DriverTest, SourceHashIsStable) {
+  EXPECT_EQ(Session::hashSource(QuickstartSrc),
+            Session::hashSource(QuickstartSrc));
+  EXPECT_NE(Session::hashSource("a = 1#"), Session::hashSource("a = 2#"));
+  Session S;
+  EXPECT_EQ(S.compile(QuickstartSrc)->sourceHash(),
+            Session::hashSource(QuickstartSrc));
+}
+
+//===----------------------------------------------------------------------===//
+// (c) Diagnostics through the facade
+//===----------------------------------------------------------------------===//
+
+TEST(DriverTest, DiagnosticsCarryLocAndCode) {
+  Session S;
+  auto Comp = S.compile("main =\n  nonexistent");
+  ASSERT_FALSE(Comp->ok());
+
+  bool Found = false;
+  for (const Diagnostic &D : Comp->diags().diagnostics()) {
+    if (D.Sev != Severity::Error)
+      continue;
+    EXPECT_NE(D.Code, DiagCode::None);
+    if (D.Loc.isValid()) {
+      Found = true;
+      EXPECT_EQ(D.Loc.Line, 2u);
+    }
+  }
+  EXPECT_TRUE(Found) << "no error carried a source location:\n"
+                     << Comp->diagText();
+  EXPECT_TRUE(Comp->diags().hasError(DiagCode::ScopeError))
+      << Comp->diagText();
+}
+
+TEST(DriverTest, LevityRestrictionSurfacesThroughFacade) {
+  Session S;
+  auto Comp = S.compile("bad :: forall r (a :: TYPE r). a -> a ;"
+                        "bad x = x");
+  ASSERT_FALSE(Comp->ok());
+  EXPECT_TRUE(Comp->diags().hasError(DiagCode::LevityPolymorphicBinder))
+      << Comp->diagText();
+
+  // Running a failed compilation reports the failure instead of crashing.
+  RunResult R = Comp->run("bad");
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("compilation failed"), std::string::npos);
+}
+
+TEST(DriverTest, ParseErrorsStopThePipeline) {
+  Session S;
+  auto Comp = S.compile("main = (1# +#");
+  ASSERT_FALSE(Comp->ok());
+  EXPECT_TRUE(Comp->diags().hasErrors());
+  EXPECT_EQ(Comp->program(), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// Stage timings
+//===----------------------------------------------------------------------===//
+
+TEST(DriverTest, TimingsCoverEveryStage) {
+  Session S;
+  auto Comp = S.compile(QuickstartSrc);
+  ASSERT_TRUE(Comp->ok());
+  ASSERT_EQ(Comp->timings().size(), 3u);
+  EXPECT_EQ(Comp->timings()[0].Stage, "lex");
+  EXPECT_EQ(Comp->timings()[1].Stage, "parse");
+  EXPECT_EQ(Comp->timings()[2].Stage, "elaborate+check");
+  for (const StageTiming &T : Comp->timings())
+    EXPECT_GE(T.Millis, 0.0);
+  EXPECT_FALSE(Comp->timingReport().empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Programmatic (core-IR) compilations
+//===----------------------------------------------------------------------===//
+
+TEST(DriverTest, ProgrammaticCompilationRidesTheFacade) {
+  Session S;
+  auto Comp = S.compileProgram(runtime::buildSampleProgram);
+  ASSERT_TRUE(Comp->ok());
+  RunResult R = Comp->run("sumTo#");
+  ASSERT_TRUE(R.ok()) << R.Error; // a function value
+  runtime::InterpResult IR =
+      Comp->evalExpr(runtime::callSumToUnboxed(Comp->ctx(), 100));
+  ASSERT_EQ(IR.Status, runtime::InterpStatus::Value);
+  EXPECT_EQ(runtime::Interp::asIntHash(IR.V).value_or(-1), 5050);
+  // The unboxed loop allocates nothing (Section 2.1's claim).
+  EXPECT_EQ(IR.Stats.ThunkAllocs + IR.Stats.BoxAllocs, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// The formal pipeline on the same abstraction
+//===----------------------------------------------------------------------===//
+
+TEST(DriverTest, FormalPipelineSharesTheCompilationAPI) {
+  Session S;
+  // (Λr. Λa:TYPE r. λf:Int→a. f I#[7]) I Int# (λn:Int. case n of I#[m]→m)
+  auto Comp = S.compileFormal([](lcalc::LContext &L) {
+    Symbol R = L.sym("r"), A = L.sym("a"), F = L.sym("f");
+    const lcalc::Expr *Gen = L.repLam(
+        R, L.tyLam(A, lcalc::LKind::typeVar(R),
+                   L.lam(F, L.arrowTy(L.intTy(), L.varTy(A)),
+                         L.app(L.var(F), L.con(L.intLit(7))))));
+    return L.app(
+        L.tyApp(L.repApp(Gen, lcalc::RuntimeRep::integer()),
+                L.intHashTy()),
+        L.lam(L.sym("n"), L.intTy(),
+              L.caseOf(L.var(L.sym("n")), L.sym("m"), L.var(L.sym("m")))));
+  });
+  ASSERT_TRUE(Comp->ok()) << Comp->diagText();
+  ASSERT_TRUE(Comp->formalType().ok());
+  EXPECT_EQ((*Comp->formalType())->str(), "Int#");
+
+  RunResult Small = Comp->run(Backend::TreeInterp);
+  RunResult Mach = Comp->run(Backend::AbstractMachine);
+  ASSERT_TRUE(Small.ok()) << Small.Error;
+  ASSERT_TRUE(Mach.ok()) << Mach.Error;
+  EXPECT_EQ(Small.IntValue.value_or(-1), 7);
+  EXPECT_EQ(Mach.IntValue.value_or(-1), 7);
+}
+
+TEST(DriverTest, IllTypedFormalTermFailsWithTypeError) {
+  Session S;
+  // λx:a. x with a levity-polymorphic — E_LAM's restriction.
+  auto Comp = S.compileFormal([](lcalc::LContext &L) {
+    Symbol R = L.sym("r"), A = L.sym("a");
+    return L.repLam(
+        R, L.tyLam(A, lcalc::LKind::typeVar(R),
+                   L.lam(L.sym("x"), L.varTy(A), L.var(L.sym("x")))));
+  });
+  EXPECT_FALSE(Comp->ok());
+  EXPECT_TRUE(Comp->diags().hasError(DiagCode::TypeError));
+}
+
+TEST(DriverTest, FormalPrimopsAgreeAcrossSemantics) {
+  // The executable L/M primop extension: 6*6+6 in both Figure 4 and the
+  // Figure 6 machine.
+  Session S;
+  auto Comp = S.compileFormal([](lcalc::LContext &L) {
+    return L.prim(lcalc::LPrim::Add,
+                  L.prim(lcalc::LPrim::Mul, L.intLit(6), L.intLit(6)),
+                  L.intLit(6));
+  });
+  ASSERT_TRUE(Comp->ok()) << Comp->diagText();
+  RunResult Small = Comp->run(Backend::TreeInterp);
+  RunResult Mach = Comp->run(Backend::AbstractMachine);
+  ASSERT_TRUE(Small.ok() && Mach.ok());
+  EXPECT_EQ(Small.IntValue.value_or(-1), 42);
+  EXPECT_EQ(Mach.IntValue.value_or(-1), 42);
+}
+
+} // namespace

@@ -11,9 +11,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "runtime/Interp.h"
-#include "surface/Elaborate.h"
-#include "surface/Parser.h"
+#include "PipelineFixture.h"
 
 #include <gtest/gtest.h>
 
@@ -21,30 +19,6 @@ using namespace levity;
 using namespace levity::surface;
 
 namespace {
-
-struct Pipeline {
-  core::CoreContext C;
-  DiagnosticEngine Diags;
-  Elaborator Elab{C, Diags};
-  std::optional<ElabOutput> Out;
-  runtime::Interp I{C};
-
-  bool compile(std::string_view Src) {
-    Lexer L(Src, Diags);
-    Parser P(L.lexAll(), Diags);
-    SModule M = P.parseModule();
-    if (Diags.hasErrors())
-      return false;
-    Out = Elab.run(M);
-    if (Out)
-      I.loadProgram(Out->Program);
-    return Out.has_value();
-  }
-
-  runtime::InterpResult evalName(std::string_view Name) {
-    return I.eval(C.var(C.sym(Name)));
-  }
-};
 
 // Fibonacci with boxed ints: deep-ish recursion + sharing.
 TEST(IntegrationTest, FibBoxed) {
@@ -56,10 +30,10 @@ TEST(IntegrationTest, FibBoxed) {
       "  False -> fib (n - 1) + fib (n - 2)"
       "} ;"
       "main = fib 15"))
-      << P.Diags.str();
+      << P.diags().str();
   runtime::InterpResult R = P.evalName("main");
   ASSERT_EQ(R.Status, runtime::InterpStatus::Value) << R.Message;
-  EXPECT_EQ(P.I.asBoxedInt(R.V).value_or(-1), 610);
+  EXPECT_EQ(P.interp().asBoxedInt(R.V).value_or(-1), 610);
 }
 
 // GCD at Int#: a non-tail recursion over unboxed values.
@@ -72,7 +46,7 @@ TEST(IntegrationTest, GcdUnboxed) {
       "  _  -> gcdH b (remInt# a b)"
       "} ;"
       "main = gcdH 1071# 462#"))
-      << P.Diags.str();
+      << P.diags().str();
   runtime::InterpResult R = P.evalName("main");
   ASSERT_EQ(R.Status, runtime::InterpStatus::Value) << R.Message;
   EXPECT_EQ(runtime::Interp::asIntHash(R.V).value_or(-1), 21);
@@ -90,7 +64,7 @@ TEST(IntegrationTest, MixedRepRoundTrip) {
       "  MkVec x y -> x *## x +## y *## y"
       "} ;"
       "main = norm2 (MkVec 3.0## 4.0##)"))
-      << P.Diags.str();
+      << P.diags().str();
   runtime::InterpResult R = P.evalName("main");
   ASSERT_EQ(R.Status, runtime::InterpStatus::Value) << R.Message;
   EXPECT_DOUBLE_EQ(runtime::Interp::asDoubleHash(R.V).value_or(-1), 25.0);
@@ -103,7 +77,7 @@ TEST(IntegrationTest, UnliftedFieldsAreStrict) {
                         "main = case MkBox (error \"strict!\") of {"
                         "  MkBox n -> 1#"
                         "}"))
-      << P.Diags.str();
+      << P.diags().str();
   runtime::InterpResult R = P.evalName("main");
   EXPECT_EQ(R.Status, runtime::InterpStatus::Bottom);
   EXPECT_EQ(R.Message, "strict!");
@@ -116,7 +90,7 @@ TEST(IntegrationTest, LiftedFieldsAreLazy) {
                         "main = case MkBox (error \"lazy\") of {"
                         "  MkBox n -> 1#"
                         "}"))
-      << P.Diags.str();
+      << P.diags().str();
   runtime::InterpResult R = P.evalName("main");
   ASSERT_EQ(R.Status, runtime::InterpStatus::Value) << R.Message;
 }
@@ -128,7 +102,7 @@ TEST(IntegrationTest, UnboxedTupleThreading) {
       "swap :: (# Int#, Int# #) -> (# Int#, Int# #) ;"
       "swap p = case p of { (# a, b #) -> (# b, a #) } ;"
       "main = case swap (# 1#, 2# #) of { (# x, y #) -> x *# 10# +# y }"))
-      << P.Diags.str();
+      << P.diags().str();
   runtime::InterpResult R = P.evalName("main");
   ASSERT_EQ(R.Status, runtime::InterpStatus::Value) << R.Message;
   EXPECT_EQ(runtime::Interp::asIntHash(R.V).value_or(-1), 21);
@@ -140,7 +114,7 @@ TEST(IntegrationTest, EmptyUnboxedTuple) {
   ASSERT_TRUE(P.compile("unit :: (# #) ;"
                         "unit = (# #) ;"
                         "main = case unit of { (# #) -> 42# }"))
-      << P.Diags.str();
+      << P.diags().str();
   runtime::InterpResult R = P.evalName("main");
   ASSERT_EQ(R.Status, runtime::InterpStatus::Value) << R.Message;
   EXPECT_EQ(runtime::Interp::asIntHash(R.V).value_or(-1), 42);
@@ -151,10 +125,10 @@ TEST(IntegrationTest, DiagnosticsCarryLocations) {
   Pipeline P;
   EXPECT_FALSE(P.compile("main =\n  nonexistent"));
   bool FoundLoc = false;
-  for (const Diagnostic &D : P.Diags.diagnostics())
+  for (const Diagnostic &D : P.diags().diagnostics())
     if (D.Loc.Line == 2)
       FoundLoc = true;
-  EXPECT_TRUE(FoundLoc) << P.Diags.str();
+  EXPECT_TRUE(FoundLoc) << P.diags().str();
 }
 
 // Shadowing: local binders shadow globals and each other.
@@ -162,10 +136,10 @@ TEST(IntegrationTest, ShadowingResolvesInnermost) {
   Pipeline P;
   ASSERT_TRUE(P.compile("x = 1 ;"
                         "main = let x = 2 in (\\x -> x + 10) x"))
-      << P.Diags.str();
+      << P.diags().str();
   runtime::InterpResult R = P.evalName("main");
   ASSERT_EQ(R.Status, runtime::InterpStatus::Value) << R.Message;
-  EXPECT_EQ(P.I.asBoxedInt(R.V).value_or(-1), 12);
+  EXPECT_EQ(P.interp().asBoxedInt(R.V).value_or(-1), 12);
 }
 
 // Higher-order functions over unboxed results through ($).
@@ -177,7 +151,7 @@ TEST(IntegrationTest, HigherOrderUnboxedResults) {
       "unbox :: Int -> Int# ;"
       "unbox n = case n of { I# h -> h } ;"
       "main = applyTo 41 unbox +# 1#"))
-      << P.Diags.str();
+      << P.diags().str();
   runtime::InterpResult R = P.evalName("main");
   ASSERT_EQ(R.Status, runtime::InterpStatus::Value) << R.Message;
   EXPECT_EQ(runtime::Interp::asIntHash(R.V).value_or(-1), 42);
@@ -190,8 +164,8 @@ TEST(IntegrationTest, RepPolyParameterSignatureRejected) {
   EXPECT_FALSE(P.compile(
       "bad :: forall r (a :: TYPE r). a -> Int ;"
       "bad x = 0"));
-  EXPECT_TRUE(P.Diags.hasError(DiagCode::LevityPolymorphicBinder))
-      << P.Diags.str();
+  EXPECT_TRUE(P.diags().hasError(DiagCode::LevityPolymorphicBinder))
+      << P.diags().str();
 }
 
 // Interpreter guards: deep boxed recursion does not overflow the C++
@@ -202,7 +176,7 @@ TEST(IntegrationTest, TailCallsRunDeep) {
       "count :: Int# -> Int# ;"
       "count n = case n of { 0# -> 0# ; _ -> count (n -# 1#) } ;"
       "main = count 500000#"))
-      << P.Diags.str();
+      << P.diags().str();
   runtime::InterpResult R = P.evalName("main");
   ASSERT_EQ(R.Status, runtime::InterpStatus::Value) << R.Message;
 }
@@ -212,9 +186,9 @@ TEST(IntegrationTest, RunawayLoopHitsFuel) {
   ASSERT_TRUE(P.compile("loop :: Int# -> Int# ;"
                         "loop n = loop n ;"
                         "main = loop 1#"))
-      << P.Diags.str();
+      << P.diags().str();
   runtime::InterpResult R =
-      P.I.eval(P.C.var(P.C.sym("main")), /*MaxSteps=*/100000);
+      P.interp().eval(P.ctx().var(P.ctx().sym("main")), /*MaxSteps=*/100000);
   EXPECT_EQ(R.Status, runtime::InterpStatus::OutOfFuel);
 }
 
@@ -226,12 +200,12 @@ TEST(IntegrationTest, AllBindingsHaveClosedTypes) {
   ASSERT_TRUE(P.compile("f x = x + 1 ;"
                         "g y = f (f y) ;"
                         "h = g 5"))
-      << P.Diags.str();
-  for (Symbol Name : P.Out->UserBindings) {
-    const core::Type *T = P.Elab.globalType(Name.str());
+      << P.diags().str();
+  for (Symbol Name : P.Comp->elabOutput()->UserBindings) {
+    const core::Type *T = P.elaborator().globalType(Name.str());
     ASSERT_NE(T, nullptr);
     core::MetaSet Metas;
-    core::collectMetas(P.C, T, Metas);
+    core::collectMetas(P.ctx(), T, Metas);
     EXPECT_TRUE(Metas.TypeMetaIds.empty() && Metas.RepMetaIds.empty())
         << std::string(Name.str()) << " : " << T->str();
   }

@@ -11,9 +11,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "runtime/Interp.h"
-#include "surface/Elaborate.h"
-#include "surface/Parser.h"
+#include "PipelineFixture.h"
 
 #include <gtest/gtest.h>
 
@@ -21,30 +19,6 @@ using namespace levity;
 using namespace levity::surface;
 
 namespace {
-
-struct Pipeline {
-  core::CoreContext C;
-  DiagnosticEngine Diags;
-  Elaborator Elab{C, Diags};
-  std::optional<ElabOutput> Out;
-  runtime::Interp I{C};
-
-  bool compile(std::string_view Src) {
-    Lexer L(Src, Diags);
-    Parser P(L.lexAll(), Diags);
-    SModule M = P.parseModule();
-    if (Diags.hasErrors())
-      return false;
-    Out = Elab.run(M);
-    if (Out)
-      I.loadProgram(Out->Program);
-    return Out.has_value();
-  }
-
-  runtime::InterpResult evalName(std::string_view Name) {
-    return I.eval(C.var(C.sym(Name)));
-  }
-};
 
 // The paper's generalized Num class (Section 7.3), verbatim modulo
 // syntax: class Num (a :: TYPE r) — one class, instances at *different
@@ -69,7 +43,7 @@ TEST(ClassTest, UnboxedInstanceAddition) {
   Pipeline P;
   ASSERT_TRUE(P.compile(std::string(NumClassPrelude) +
                         "main = 3# + 4#"))
-      << P.Diags.str();
+      << P.diags().str();
   runtime::InterpResult R = P.evalName("main");
   ASSERT_EQ(R.Status, runtime::InterpStatus::Value) << R.Message;
   EXPECT_EQ(runtime::Interp::asIntHash(R.V).value_or(-1), 7);
@@ -78,10 +52,10 @@ TEST(ClassTest, UnboxedInstanceAddition) {
 TEST(ClassTest, BoxedInstanceAddition) {
   Pipeline P;
   ASSERT_TRUE(P.compile(std::string(NumClassPrelude) + "main = 3 + 4"))
-      << P.Diags.str();
+      << P.diags().str();
   runtime::InterpResult R = P.evalName("main");
   ASSERT_EQ(R.Status, runtime::InterpStatus::Value) << R.Message;
-  EXPECT_EQ(P.I.asBoxedInt(R.V).value_or(-1), 7);
+  EXPECT_EQ(P.interp().asBoxedInt(R.V).value_or(-1), 7);
 }
 
 TEST(ClassTest, AbsAtBothReps) {
@@ -89,13 +63,13 @@ TEST(ClassTest, AbsAtBothReps) {
   ASSERT_TRUE(P.compile(std::string(NumClassPrelude) +
                         "u = abs (0# -# 5#) ;"
                         "b = abs (0 - 5)"))
-      << P.Diags.str();
+      << P.diags().str();
   runtime::InterpResult RU = P.evalName("u");
   ASSERT_EQ(RU.Status, runtime::InterpStatus::Value) << RU.Message;
   EXPECT_EQ(runtime::Interp::asIntHash(RU.V).value_or(-1), 5);
   runtime::InterpResult RB = P.evalName("b");
   ASSERT_EQ(RB.Status, runtime::InterpStatus::Value) << RB.Message;
-  EXPECT_EQ(P.I.asBoxedInt(RB.V).value_or(-1), 5);
+  EXPECT_EQ(P.interp().asBoxedInt(RB.V).value_or(-1), 5);
 }
 
 // abs1 = abs — no levity-polymorphic binder (the dictionary methods are
@@ -107,7 +81,7 @@ TEST(ClassTest, Abs1Accepted) {
       "abs1 :: forall r (a :: TYPE r). Num a => a -> a ;"
       "abs1 = abs ;"
       "main = abs1 (0# -# 3#)"))
-      << P.Diags.str();
+      << P.diags().str();
   runtime::InterpResult R = P.evalName("main");
   ASSERT_EQ(R.Status, runtime::InterpStatus::Value) << R.Message;
   EXPECT_EQ(runtime::Interp::asIntHash(R.V).value_or(-1), 3);
@@ -122,8 +96,8 @@ TEST(ClassTest, Abs2Rejected) {
       std::string(NumClassPrelude) +
       "abs2 :: forall r (a :: TYPE r). Num a => a -> a ;"
       "abs2 x = abs x"));
-  EXPECT_TRUE(P.Diags.hasError(DiagCode::LevityPolymorphicBinder))
-      << P.Diags.str();
+  EXPECT_TRUE(P.diags().hasError(DiagCode::LevityPolymorphicBinder))
+      << P.diags().str();
 }
 
 // A constrained-but-lifted function: polymorphism over Num a with
@@ -134,10 +108,10 @@ TEST(ClassTest, LiftedConstrainedFunction) {
                         "double :: Num a => a -> a ;"
                         "double x = x + x ;"
                         "main = double 21"))
-      << P.Diags.str();
+      << P.diags().str();
   runtime::InterpResult R = P.evalName("main");
   ASSERT_EQ(R.Status, runtime::InterpStatus::Value) << R.Message;
-  EXPECT_EQ(P.I.asBoxedInt(R.V).value_or(-1), 42);
+  EXPECT_EQ(P.interp().asBoxedInt(R.V).value_or(-1), 42);
 }
 
 // Missing instances are reported.
@@ -148,8 +122,8 @@ TEST(ClassTest, MissingInstanceReported) {
                          "  abs :: a -> a"
                          "} ;"
                          "main = 2.5## + 1.0##"));
-  EXPECT_TRUE(P.Diags.hasError(DiagCode::MissingInstance))
-      << P.Diags.str();
+  EXPECT_TRUE(P.diags().hasError(DiagCode::MissingInstance))
+      << P.diags().str();
 }
 
 // Incomplete instances are reported.
@@ -160,8 +134,8 @@ TEST(ClassTest, IncompleteInstanceReported) {
                          "  abs :: a -> a"
                          "} ;"
                          "instance Num Int# where { (+) x y = x +# y }"));
-  EXPECT_TRUE(P.Diags.hasError(DiagCode::MissingInstance))
-      << P.Diags.str();
+  EXPECT_TRUE(P.diags().hasError(DiagCode::MissingInstance))
+      << P.diags().str();
 }
 
 // Dictionary dispatch through a constraint goes to the right instance
@@ -174,7 +148,7 @@ TEST(ClassTest, DispatchSelectsInstance) {
                         "  I# x -> (u + u) +# x"
                         "} ;"
                         "main = addBoth 10 3#"))
-      << P.Diags.str();
+      << P.diags().str();
   runtime::InterpResult R = P.evalName("main");
   ASSERT_EQ(R.Status, runtime::InterpStatus::Value) << R.Message;
   EXPECT_EQ(runtime::Interp::asIntHash(R.V).value_or(-1), 26);
@@ -191,7 +165,7 @@ TEST(ClassTest, DoubleHashInstance) {
                         "    1# -> negateDouble# d ; _ -> d }"
                         "} ;"
                         "main = abs (2.0## + 0.5##)"))
-      << P.Diags.str();
+      << P.diags().str();
   runtime::InterpResult R = P.evalName("main");
   ASSERT_EQ(R.Status, runtime::InterpStatus::Value) << R.Message;
   EXPECT_DOUBLE_EQ(runtime::Interp::asDoubleHash(R.V).value_or(-1), 2.5);
@@ -202,9 +176,9 @@ TEST(ClassTest, DoubleHashInstance) {
 TEST(ClassTest, MethodSignatureShape) {
   Pipeline P;
   ASSERT_TRUE(P.compile(std::string(NumClassPrelude) + "main = 1 + 1"))
-      << P.Diags.str();
-  ASSERT_EQ(P.Elab.classes().size(), 1u);
-  const ClassInfo &Num = P.Elab.classes()[0];
+      << P.diags().str();
+  ASSERT_EQ(P.elaborator().classes().size(), 1u);
+  const ClassInfo &Num = P.elaborator().classes()[0];
   EXPECT_EQ(Num.RepVars.size(), 1u);
   EXPECT_EQ(Num.VarKind->str(), "TYPE r");
   ASSERT_EQ(Num.Methods.size(), 2u);

@@ -14,9 +14,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "runtime/Interp.h"
-#include "surface/Elaborate.h"
-#include "surface/Parser.h"
+#include "PipelineFixture.h"
 
 #include <gtest/gtest.h>
 
@@ -25,32 +23,8 @@ using namespace levity::surface;
 
 namespace {
 
-struct Pipeline {
-  core::CoreContext C;
-  DiagnosticEngine Diags;
-  Elaborator Elab{C, Diags};
-  std::optional<ElabOutput> Out;
-  runtime::Interp I{C};
-
-  bool compile(std::string_view Src) {
-    Lexer L(Src, Diags);
-    Parser P(L.lexAll(), Diags);
-    SModule M = P.parseModule();
-    if (Diags.hasErrors())
-      return false;
-    Out = Elab.run(M);
-    if (Out)
-      I.loadProgram(Out->Program);
-    return Out.has_value();
-  }
-
-  runtime::InterpResult evalName(std::string_view Name) {
-    return I.eval(C.var(C.sym(Name)));
-  }
-};
-
 #define COMPILE_OK(P, Src)                                                 \
-  ASSERT_TRUE((P).compile(Src)) << (P).Diags.str()
+  ASSERT_TRUE((P).compile(Src)) << (P).diags().str()
 
 TEST(PipelineTest, UnboxedArithmetic) {
   Pipeline P;
@@ -65,7 +39,7 @@ TEST(PipelineTest, BoxedArithmeticViaBuiltins) {
   COMPILE_OK(P, "main = 40 + 2");
   runtime::InterpResult R = P.evalName("main");
   ASSERT_EQ(R.Status, runtime::InterpStatus::Value) << R.Message;
-  EXPECT_EQ(P.I.asBoxedInt(R.V).value_or(-1), 42);
+  EXPECT_EQ(P.interp().asBoxedInt(R.V).value_or(-1), 42);
 }
 
 TEST(PipelineTest, InferenceDefaultsToInt) {
@@ -73,7 +47,7 @@ TEST(PipelineTest, InferenceDefaultsToInt) {
   // Section 5.2).
   Pipeline P;
   COMPILE_OK(P, "f x = x ; main = f 5");
-  const core::Type *T = P.Elab.globalType("f");
+  const core::Type *T = P.elaborator().globalType("f");
   ASSERT_NE(T, nullptr);
   EXPECT_EQ(T->str(), "forall (a :: Type). a -> a");
 }
@@ -96,7 +70,7 @@ TEST(PipelineTest, SumToBothWays) {
              "unboxed = sumToH 0# 100#");
   runtime::InterpResult RB = P.evalName("boxed");
   ASSERT_EQ(RB.Status, runtime::InterpStatus::Value) << RB.Message;
-  EXPECT_EQ(P.I.asBoxedInt(RB.V).value_or(-1), 5050);
+  EXPECT_EQ(P.interp().asBoxedInt(RB.V).value_or(-1), 5050);
 
   runtime::InterpResult RU = P.evalName("unboxed");
   ASSERT_EQ(RU.Status, runtime::InterpStatus::Value) << RU.Message;
@@ -149,7 +123,7 @@ TEST(PipelineTest, MyErrorLevityPolymorphic) {
 TEST(PipelineTest, UnannotatedWrapperDefaultsToLifted) {
   Pipeline P;
   COMPILE_OK(P, "myError s = error s");
-  const core::Type *T = P.Elab.globalType("myError");
+  const core::Type *T = P.elaborator().globalType("myError");
   ASSERT_NE(T, nullptr);
   EXPECT_EQ(T->str(), "forall (a :: Type). String -> a");
 
@@ -158,7 +132,7 @@ TEST(PipelineTest, UnannotatedWrapperDefaultsToLifted) {
   EXPECT_FALSE(P2.compile("myError s = error s ;"
                           "f :: Int# -> Int# ;"
                           "f n = myError \"no\""));
-  EXPECT_TRUE(P2.Diags.hasErrors());
+  EXPECT_TRUE(P2.diags().hasErrors());
 }
 
 // Section 5: the levity-polymorphic bTwice signature is rejected with
@@ -168,8 +142,8 @@ TEST(PipelineTest, BTwiceRepPolyRejected) {
   EXPECT_FALSE(P.compile(
       "bTwice :: forall r (a :: TYPE r). Bool -> a -> (a -> a) -> a ;"
       "bTwice b x f = case b of { True -> f (f x) ; False -> x }"));
-  EXPECT_TRUE(P.Diags.hasError(DiagCode::LevityPolymorphicBinder))
-      << P.Diags.str();
+  EXPECT_TRUE(P.diags().hasError(DiagCode::LevityPolymorphicBinder))
+      << P.diags().str();
 }
 
 // ...while the Type-kinded bTwice is accepted and runs.
@@ -181,7 +155,7 @@ TEST(PipelineTest, BTwiceLiftedAccepted) {
              "main = bTwice True 5 (\\n -> n + 1)");
   runtime::InterpResult R = P.evalName("main");
   ASSERT_EQ(R.Status, runtime::InterpStatus::Value) << R.Message;
-  EXPECT_EQ(P.I.asBoxedInt(R.V).value_or(-1), 7);
+  EXPECT_EQ(P.interp().asBoxedInt(R.V).value_or(-1), 7);
 }
 
 // Section 7.2: ($) at an unboxed *result* type — the generalized type in
@@ -205,7 +179,7 @@ TEST(PipelineTest, DollarAtUnboxedArgumentRejected) {
   EXPECT_FALSE(P.compile("f :: Int# -> Int# ;"
                          "f x = x ;"
                          "main = f $ 3#"));
-  EXPECT_TRUE(P.Diags.hasError(DiagCode::KindError)) << P.Diags.str();
+  EXPECT_TRUE(P.diags().hasError(DiagCode::KindError)) << P.diags().str();
 }
 
 // Section 7.2: (.) with an unboxed final result.
@@ -235,7 +209,7 @@ TEST(PipelineTest, UserDataTypesAndCase) {
              "main = area (Rect 6 7)");
   runtime::InterpResult R = P.evalName("main");
   ASSERT_EQ(R.Status, runtime::InterpStatus::Value) << R.Message;
-  EXPECT_EQ(P.I.asBoxedInt(R.V).value_or(-1), 42);
+  EXPECT_EQ(P.interp().asBoxedInt(R.V).value_or(-1), 42);
 }
 
 TEST(PipelineTest, PolymorphicDataTypes) {
@@ -246,8 +220,8 @@ TEST(PipelineTest, PolymorphicDataTypes) {
              "main = unbox (MkBox 42)");
   runtime::InterpResult R = P.evalName("main");
   ASSERT_EQ(R.Status, runtime::InterpStatus::Value) << R.Message;
-  EXPECT_EQ(P.I.asBoxedInt(R.V).value_or(-1), 42);
-  const core::Type *T = P.Elab.globalType("unbox");
+  EXPECT_EQ(P.interp().asBoxedInt(R.V).value_or(-1), 42);
+  const core::Type *T = P.elaborator().globalType("unbox");
   ASSERT_NE(T, nullptr);
   EXPECT_EQ(T->str(), "forall (a :: Type). Box a -> a");
 }
@@ -283,7 +257,7 @@ TEST(PipelineTest, LocalLetAndLambda) {
              "       in go 0 10");
   runtime::InterpResult R = P.evalName("main");
   ASSERT_EQ(R.Status, runtime::InterpStatus::Value) << R.Message;
-  EXPECT_EQ(P.I.asBoxedInt(R.V).value_or(-1), 55);
+  EXPECT_EQ(P.interp().asBoxedInt(R.V).value_or(-1), 55);
 }
 
 TEST(PipelineTest, IfOverComparisons) {
@@ -291,7 +265,7 @@ TEST(PipelineTest, IfOverComparisons) {
   COMPILE_OK(P, "main = if 3 < 4 then 1 else 0");
   runtime::InterpResult R = P.evalName("main");
   ASSERT_EQ(R.Status, runtime::InterpStatus::Value) << R.Message;
-  EXPECT_EQ(P.I.asBoxedInt(R.V).value_or(-1), 1);
+  EXPECT_EQ(P.interp().asBoxedInt(R.V).value_or(-1), 1);
 }
 
 TEST(PipelineTest, DoubleHashArithmetic) {
@@ -305,13 +279,13 @@ TEST(PipelineTest, DoubleHashArithmetic) {
 TEST(PipelineTest, ScopeErrorsReported) {
   Pipeline P;
   EXPECT_FALSE(P.compile("main = nonexistent"));
-  EXPECT_TRUE(P.Diags.hasError(DiagCode::ScopeError));
+  EXPECT_TRUE(P.diags().hasError(DiagCode::ScopeError));
 }
 
 TEST(PipelineTest, TypeErrorsReported) {
   Pipeline P;
   EXPECT_FALSE(P.compile("main = 1# +# 2.0##"));
-  EXPECT_TRUE(P.Diags.hasErrors());
+  EXPECT_TRUE(P.diags().hasErrors());
 }
 
 // Kind-mismatched instantiation: a lifted-only function at Int#.
@@ -321,7 +295,7 @@ TEST(PipelineTest, InstantiationPrincipleViaKinds) {
                          "apply f x = f x ;"
                          "bad :: Int# -> Int# ;"
                          "bad n = apply (\\x -> x) n"));
-  EXPECT_TRUE(P.Diags.hasError(DiagCode::KindError)) << P.Diags.str();
+  EXPECT_TRUE(P.diags().hasError(DiagCode::KindError)) << P.diags().str();
 }
 
 } // namespace
