@@ -18,11 +18,13 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "driver/Executor.h"
 #include "driver/Session.h"
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <optional>
 
 using namespace levity;
 
@@ -31,6 +33,7 @@ namespace {
 struct Fixture {
   driver::Session S;
   std::shared_ptr<driver::Compilation> Comp;
+  std::optional<driver::Executor> Exec;
   bool Ok = false;
 
   Fixture() {
@@ -62,6 +65,7 @@ struct Fixture {
       std::printf("fixture failed:\n%s", Comp->diagText().c_str());
       return;
     }
+    Exec.emplace(Comp);
     Ok = true;
   }
 
@@ -96,7 +100,7 @@ void runLoop(benchmark::State &State, const char *Fn, bool Boxed) {
   int64_t N = State.range(0);
   uint64_t Heap = 0;
   for (auto _ : State) {
-    runtime::InterpResult R = F.Comp->evalExpr(F.call(Fn, N, Boxed));
+    runtime::InterpResult R = F.Exec->evalExpr(F.call(Fn, N, Boxed));
     benchmark::DoNotOptimize(R.V);
     Heap = R.Stats.heapAllocations();
   }

@@ -1,0 +1,208 @@
+//===- bench_driver_throughput.cpp - Concurrent driver throughput ---------===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+//
+// Throughput of the redesigned driver under the workload the API was
+// built for: many workers sharing one Session and one immutable
+// Compilation.
+//
+//   * CompileCached/threads:N   — same-source compile() (pure cache-hit
+//     path through the sharded cache);
+//   * CompileDistinct/threads:N — each iteration compiles a fresh
+//     source (front-end throughput under the shard mutexes);
+//   * RunTreeWarm/threads:N     — per-thread Executors over one shared
+//     Compilation; globals are memoized, so this is the hot lookup path;
+//   * RunTreeCold/threads:N     — a fresh Executor per iteration (full
+//     re-evaluation, the cost Compilation::run pays);
+//   * RunMachine/threads:N      — the M machine replays every run;
+//     concurrent runs allocate into the shared, synchronized MContext;
+//   * RunTreeLoop/threads:N     — a 200-iteration sumToH# call evaluated
+//     per iteration through Executor::evalExpr (the loop itself is
+//     outside the machine's L fragment — see ROADMAP);
+//   * RunAllBatch               — the Session's batch entry point
+//     fanning 32 requests across its worker pool.
+//
+// Expected shape: cached compiles and tree runs scale near-linearly with
+// threads (the artifact is immutable; executors are independent); the
+// machine backend scales a bit less (shared allocation); distinct
+// compiles are bounded by the front end itself.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Executor.h"
+#include "driver/Session.h"
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace levity;
+using namespace levity::driver;
+
+namespace {
+
+const char *QuickstartSrc =
+    "square :: Int# -> Int# ;"
+    "square x = x *# x ;"
+    "answer = square 6# +# 6#";
+
+const char *LoopSrc =
+    "sumToH :: Int# -> Int# -> Int# ;"
+    "sumToH acc n = case n of {"
+    "  0# -> acc ; _ -> sumToH (acc +# n) (n -# 1#)"
+    "} ;"
+    "total = sumToH 0# 200#";
+
+struct Fixture {
+  Session S;
+  std::shared_ptr<Compilation> Quickstart = S.compile(QuickstartSrc);
+  std::shared_ptr<Compilation> Loop = S.compile(LoopSrc);
+};
+
+Fixture &fixture() {
+  static Fixture F;
+  return F;
+}
+
+//===----------------------------------------------------------------------===//
+// Compilation throughput
+//===----------------------------------------------------------------------===//
+
+void BM_CompileCached(benchmark::State &State) {
+  Fixture &F = fixture();
+  for (auto _ : State) {
+    std::shared_ptr<Compilation> Comp = F.S.compile(QuickstartSrc);
+    benchmark::DoNotOptimize(Comp.get());
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+
+void BM_CompileDistinct(benchmark::State &State) {
+  // A private session per run so the cache never hits; a bounded LRU so
+  // memory stays flat across the whole benchmark.
+  static std::atomic<int> Salt{0};
+  CompileOptions Opts;
+  Opts.MaxCachedCompilations = 64;
+  static Session S(Opts);
+  for (auto _ : State) {
+    int N = Salt.fetch_add(1, std::memory_order_relaxed);
+    std::shared_ptr<Compilation> Comp =
+        S.compile("answer = " + std::to_string(N) + "# +# 1#");
+    benchmark::DoNotOptimize(Comp->ok());
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+
+//===----------------------------------------------------------------------===//
+// Run throughput: tree interpreter vs M machine over one shared artifact
+//===----------------------------------------------------------------------===//
+
+void BM_RunTreeWarm(benchmark::State &State) {
+  // One Executor per benchmark thread: the artifact is shared, the run
+  // state is not. Global thunks memoize, so this is the hot-lookup path.
+  Executor Ex(fixture().Quickstart);
+  for (auto _ : State) {
+    RunResult R = Ex.run("answer", Backend::TreeInterp);
+    if (!R.ok())
+      State.SkipWithError(R.Error.c_str());
+    benchmark::DoNotOptimize(R.IntValue);
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+
+void BM_RunTreeCold(benchmark::State &State) {
+  // A fresh Executor per iteration: full re-evaluation, i.e. what a
+  // transient Compilation::run costs.
+  std::shared_ptr<Compilation> Comp = fixture().Quickstart;
+  for (auto _ : State) {
+    Executor Ex(Comp);
+    RunResult R = Ex.run("answer", Backend::TreeInterp);
+    if (!R.ok())
+      State.SkipWithError(R.Error.c_str());
+    benchmark::DoNotOptimize(R.IntValue);
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+
+void BM_RunMachine(benchmark::State &State) {
+  // The machine replays from an empty heap every run; concurrent runs
+  // allocate fresh terms into the shared (synchronized) MContext.
+  Executor Ex(fixture().Quickstart);
+  for (auto _ : State) {
+    RunResult R = Ex.run("answer", Backend::AbstractMachine);
+    if (!R.ok())
+      State.SkipWithError(R.Error.c_str());
+    benchmark::DoNotOptimize(R.IntValue);
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+
+void BM_RunTreeLoop(benchmark::State &State) {
+  // Re-applies sumToH# to fresh arguments each iteration: the 200-step
+  // loop really runs every time (applications are never memoized).
+  std::shared_ptr<Compilation> Comp = fixture().Loop;
+  Executor Ex(Comp);
+  core::CoreContext &C = Comp->ctx();
+  const core::Expr *Call =
+      C.app(C.app(C.var(C.sym("sumToH")), C.litInt(0), true),
+            C.litInt(200), true);
+  for (auto _ : State) {
+    runtime::InterpResult R = Ex.evalExpr(Call);
+    if (R.Status != runtime::InterpStatus::Value)
+      State.SkipWithError(R.Message.c_str());
+    benchmark::DoNotOptimize(R.V);
+  }
+  State.SetItemsProcessed(State.iterations() * 200);
+}
+
+//===----------------------------------------------------------------------===//
+// The batch entry point
+//===----------------------------------------------------------------------===//
+
+void BM_RunAllBatch(benchmark::State &State) {
+  Fixture &F = fixture();
+  std::vector<Session::RunRequest> Requests;
+  for (int I = 0; I != 32; ++I) {
+    Session::RunRequest Req;
+    Req.Source = I % 2 == 0 ? QuickstartSrc : LoopSrc;
+    Req.Name = I % 2 == 0 ? "answer" : "total";
+    Req.B = I % 4 < 2 ? Backend::TreeInterp : Backend::AbstractMachine;
+    Requests.push_back(std::move(Req));
+  }
+  for (auto _ : State) {
+    std::vector<RunResult> Results = F.S.runAll(Requests);
+    benchmark::DoNotOptimize(Results.data());
+  }
+  State.SetItemsProcessed(State.iterations() * 32);
+}
+
+BENCHMARK(BM_CompileCached)->Threads(1)->Threads(4)->Threads(8);
+BENCHMARK(BM_CompileDistinct)->Threads(1)->Threads(4)->Threads(8)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_RunTreeWarm)->Threads(1)->Threads(4)->Threads(8);
+BENCHMARK(BM_RunTreeCold)->Threads(1)->Threads(4)->Threads(8)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_RunMachine)->Threads(1)->Threads(4)->Threads(8)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_RunTreeLoop)->Threads(1)->Threads(4)->Threads(8)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_RunAllBatch)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::printf(
+      "Driver throughput: N threads x one Session / one Compilation.\n"
+      "Expected shape: cached compiles and tree runs scale with threads;\n"
+      "machine runs share one synchronized term arena; RunAll fans a\n"
+      "32-request batch across the session's worker pool.\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -22,6 +22,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "driver/Executor.h"
 #include "driver/Session.h"
 #include "runtime/Samples.h"
 
@@ -39,6 +40,7 @@ struct Fixture {
   driver::Session S;
   std::shared_ptr<driver::Compilation> Comp =
       S.compileProgram(buildSampleProgram);
+  driver::Executor Exec{Comp};
   core::CoreContext &C = Comp->ctx();
 };
 
@@ -52,7 +54,7 @@ void BM_InterpBoxed(benchmark::State &State) {
   int64_t N = State.range(0);
   uint64_t Heap = 0, Iters = 0;
   for (auto _ : State) {
-    InterpResult R = F.Comp->evalExpr(callSumToBoxed(F.C, N));
+    InterpResult R = F.Exec.evalExpr(callSumToBoxed(F.C, N));
     benchmark::DoNotOptimize(R.V);
     Heap = R.Stats.heapAllocations();
     ++Iters;
@@ -67,7 +69,7 @@ void BM_InterpUnboxed(benchmark::State &State) {
   int64_t N = State.range(0);
   uint64_t Heap = 0, Iters = 0;
   for (auto _ : State) {
-    InterpResult R = F.Comp->evalExpr(callSumToUnboxed(F.C, N));
+    InterpResult R = F.Exec.evalExpr(callSumToUnboxed(F.C, N));
     benchmark::DoNotOptimize(R.V);
     Heap = R.Stats.ThunkAllocs + R.Stats.BoxAllocs;
     ++Iters;
@@ -80,7 +82,7 @@ void BM_InterpUnboxedDouble(benchmark::State &State) {
   Fixture &F = fixture();
   int64_t N = State.range(0);
   for (auto _ : State) {
-    InterpResult R = F.Comp->evalExpr(callSumToDouble(F.C, double(N)));
+    InterpResult R = F.Exec.evalExpr(callSumToDouble(F.C, double(N)));
     benchmark::DoNotOptimize(R.V);
   }
   State.SetItemsProcessed(State.iterations() * N);

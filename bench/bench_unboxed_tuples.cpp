@@ -13,6 +13,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "driver/Executor.h"
 #include "driver/Session.h"
 #include "runtime/Samples.h"
 
@@ -29,6 +30,7 @@ struct Fixture {
   driver::Session S;
   std::shared_ptr<driver::Compilation> Comp =
       S.compileProgram(buildSampleProgram);
+  driver::Executor Exec{Comp};
   core::CoreContext &C = Comp->ctx();
 };
 
@@ -41,7 +43,7 @@ void BM_DivModUnboxed(benchmark::State &State) {
   Fixture &F = fixture();
   uint64_t Heap = 0;
   for (auto _ : State) {
-    InterpResult R = F.Comp->evalExpr(callDivModUnboxed(F.C, 1234567, 89));
+    InterpResult R = F.Exec.evalExpr(callDivModUnboxed(F.C, 1234567, 89));
     benchmark::DoNotOptimize(R.V);
     Heap = R.Stats.ThunkAllocs + R.Stats.BoxAllocs;
   }
@@ -53,7 +55,7 @@ void BM_DivModBoxed(benchmark::State &State) {
   Fixture &F = fixture();
   uint64_t Heap = 0;
   for (auto _ : State) {
-    InterpResult R = F.Comp->evalExpr(callDivModBoxed(F.C, 1234567, 89));
+    InterpResult R = F.Exec.evalExpr(callDivModBoxed(F.C, 1234567, 89));
     benchmark::DoNotOptimize(R.V);
     Heap = R.Stats.ThunkAllocs + R.Stats.BoxAllocs;
   }

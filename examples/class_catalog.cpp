@@ -4,14 +4,21 @@
 // (Eisenberg & Peyton Jones, PLDI 2017).
 //
 //===----------------------------------------------------------------------===//
+//
+// Runs the Section 8.1 class-generalizability analysis through the
+// driver::Session facade, so it rides the same stage-timing report as
+// every other pipeline trip.
+//
+//===----------------------------------------------------------------------===//
 
-#include "classlib/Analysis.h"
+#include "driver/Session.h"
 
 #include <cstdio>
 
 int main() {
-  levity::classlib::AnalysisReport R =
-      levity::classlib::runClassAnalysis();
-  std::printf("%s", levity::classlib::formatReport(R).c_str());
-  return R.NumClasses == 0 ? 1 : 0;
+  levity::driver::Session S;
+  levity::driver::CatalogAnalysis A = S.analyzeCatalog();
+  std::printf("%s", A.table().c_str());
+  std::printf("\nanalysis stages:\n%s", A.timingReport().c_str());
+  return A.ok() ? 0 : 1;
 }

@@ -11,11 +11,37 @@
 #include "surface/Elaborate.h"
 #include "surface/Parser.h"
 
+#include <chrono>
 #include <sstream>
+#include <type_traits>
 
 using namespace levity;
 using namespace levity::classlib;
 using namespace levity::surface;
+
+namespace {
+
+/// Appends a timing stage covering the execution of \p Fn.
+template <typename FnT>
+auto timed(AnalysisReport &Report, const char *Name, FnT Fn) {
+  auto Start = std::chrono::steady_clock::now();
+  auto Finish = [&] {
+    Report.Stages.push_back(
+        {Name, std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - Start)
+                   .count()});
+  };
+  if constexpr (std::is_void_v<decltype(Fn())>) {
+    Fn();
+    Finish();
+  } else {
+    auto R = Fn();
+    Finish();
+    return R;
+  }
+}
+
+} // namespace
 
 AnalysisReport classlib::runClassAnalysis() {
   AnalysisReport Report;
@@ -30,40 +56,43 @@ AnalysisReport classlib::runClassAnalysis() {
   Lexer L(Source, Diags);
   Parser P(L.lexAll(), Diags);
   SModule M = P.parseModule();
-  std::optional<ElabOutput> Out = Elab.run(M);
+  std::optional<ElabOutput> Out =
+      timed(Report, "elaborate-catalog", [&] { return Elab.run(M); });
   if (!Out) {
     Report.Log = "catalog failed to elaborate:\n" + Diags.str();
     return Report;
   }
 
   // Analyze each class declaration against the catalog metadata.
-  const std::vector<CatalogEntry> &Entries = catalogEntries();
-  for (const SDecl &D : M.Decls) {
-    if (D.T != SDecl::Tag::Class)
-      continue;
-    ClassVerdict V;
-    V.Name = D.Class.Name;
-    for (const CatalogEntry &E : Entries)
-      if (E.Name == D.Class.Name) {
-        V.Module = std::string(E.Module);
-        V.FromBootLibrary = E.FromBootLibrary;
-      }
-    size_t DiagMark = Diags.size();
-    Elaborator::GeneralizabilityResult R = Elab.analyzeClass(D.Class);
-    Diags.truncate(DiagMark); // analysis probes are not user errors
-    V.ValueKinded = R.ValueKinded;
-    V.Generalizable = R.Generalizable;
-    V.Reason = R.Reason;
-    if (!V.ValueKinded)
-      ++Report.NumConstructorClasses;
-    if (V.Generalizable)
-      ++Report.NumGeneralizable;
-    Report.Verdicts.push_back(std::move(V));
-  }
-  Report.NumClasses = Report.Verdicts.size();
+  timed(Report, "analyze-classes", [&] {
+    const std::vector<CatalogEntry> &Entries = catalogEntries();
+    for (const SDecl &D : M.Decls) {
+      if (D.T != SDecl::Tag::Class)
+        continue;
+      ClassVerdict V;
+      V.Name = D.Class.Name;
+      for (const CatalogEntry &E : Entries)
+        if (E.Name == D.Class.Name) {
+          V.Module = std::string(E.Module);
+          V.FromBootLibrary = E.FromBootLibrary;
+        }
+      size_t DiagMark = Diags.size();
+      Elaborator::GeneralizabilityResult R = Elab.analyzeClass(D.Class);
+      Diags.truncate(DiagMark); // analysis probes are not user errors
+      V.ValueKinded = R.ValueKinded;
+      V.Generalizable = R.Generalizable;
+      V.Reason = R.Reason;
+      if (!V.ValueKinded)
+        ++Report.NumConstructorClasses;
+      if (V.Generalizable)
+        ++Report.NumGeneralizable;
+      Report.Verdicts.push_back(std::move(V));
+    }
+    Report.NumClasses = Report.Verdicts.size();
+  });
 
   // The six generalized functions: elaborate and record their types.
-  {
+  timed(Report, "generalized-fns", [&] {
     core::CoreContext C2;
     DiagnosticEngine D2;
     Elaborator E2(C2, D2);
@@ -81,7 +110,7 @@ AnalysisReport classlib::runClassAnalysis() {
         if (const core::Type *T = E2.globalType(N))
           Report.GeneralizedFunctions.push_back({N, T->str()});
     }
-  }
+  });
 
   return Report;
 }

@@ -41,6 +41,14 @@ struct AnalysisReport {
   /// Six generalized functions (name, elaborated type) — empty on error.
   std::vector<std::pair<std::string, std::string>> GeneralizedFunctions;
 
+  /// Wall-clock per analysis stage, in run order (the driver renders
+  /// these through its standard timing report — Session::analyzeCatalog).
+  struct Stage {
+    std::string Name;
+    double Millis = 0;
+  };
+  std::vector<Stage> Stages;
+
   /// Diagnostics from the run, for debugging.
   std::string Log;
 };

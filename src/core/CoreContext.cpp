@@ -36,6 +36,15 @@ CoreContext::CoreContext() {
   // data Unit = Unit.
   UnitTC = makeTyCon(sym("Unit"), typeKind(), liftedRep());
   UnitDC = makeDataCon(sym("Unit"), UnitTC, {}, {}, {});
+
+  // Materialize every lazily-cached singleton now, while the context is
+  // still private to one thread. After compilation a context may be read
+  // (and allocated into) by many Executors concurrently; these caches
+  // must never be first-written then.
+  for (size_t I = 0; I <= size_t(RepCtor::Addr); ++I)
+    (void)repAtom(RepCtor(I));
+  (void)repKind();
+  (void)errorType();
 }
 
 //===----------------------------------------------------------------------===//

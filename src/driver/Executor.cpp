@@ -1,0 +1,240 @@
+//===- Executor.cpp - Per-thread execution state for a Compilation --------===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Executor.h"
+
+#include <chrono>
+
+using namespace levity;
+using namespace levity::driver;
+
+namespace {
+
+double millisSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - Start)
+      .count();
+}
+
+/// Converts a finished machine run into the facade result shape.
+void fillFromMachine(RunResult &R, const mcalc::MachineResult &MR) {
+  R.Machine = MR.Stats;
+  switch (MR.Status) {
+  case mcalc::MachineOutcome::Value:
+    R.St = RunResult::Status::Ok;
+    R.Display = MR.Value->str();
+    if (const auto *Lit = mcalc::dyn_cast<mcalc::LitTerm>(MR.Value))
+      R.IntValue = Lit->value();
+    else if (const auto *Con = mcalc::dyn_cast<mcalc::ConLitTerm>(MR.Value))
+      R.IntValue = Con->value();
+    break;
+  case mcalc::MachineOutcome::Bottom:
+    R.St = RunResult::Status::Bottom;
+    R.Error = "error (ERR rule)";
+    break;
+  case mcalc::MachineOutcome::Stuck:
+    R.St = RunResult::Status::RuntimeError;
+    R.Error = "machine stuck: " + MR.StuckReason;
+    break;
+  case mcalc::MachineOutcome::OutOfFuel:
+    R.St = RunResult::Status::OutOfFuel;
+    R.Error = "out of fuel";
+    break;
+  }
+}
+
+} // namespace
+
+Executor::Executor(std::shared_ptr<const Compilation> Comp)
+    : Comp(std::move(Comp)), Opts(this->Comp->options()) {}
+
+Executor::Executor(Executor &&) noexcept = default;
+Executor &Executor::operator=(Executor &&) noexcept = default;
+Executor::~Executor() = default;
+
+//===----------------------------------------------------------------------===//
+// The tree-interpreter backend
+//===----------------------------------------------------------------------===//
+
+runtime::Interp &Executor::interp() {
+  if (!TreeInterp) {
+    TreeInterp = std::make_unique<runtime::Interp>(Comp->ctx());
+    if (const surface::ElabOutput *Out = Comp->elabOutput())
+      TreeInterp->loadProgram(Out->Program);
+  }
+  return *TreeInterp;
+}
+
+runtime::InterpResult Executor::evalName(std::string_view Name) {
+  core::CoreContext &C = Comp->ctx();
+  return evalExpr(C.var(C.sym(Name)));
+}
+
+runtime::InterpResult Executor::evalExpr(const core::Expr *E) {
+  return interp().eval(E, Opts.MaxInterpSteps);
+}
+
+RunResult Executor::runTree(std::string_view Name) {
+  RunResult R;
+  R.Used = Backend::TreeInterp;
+  auto Start = std::chrono::steady_clock::now();
+  runtime::InterpResult IR = evalName(Name);
+  R.Millis = millisSince(Start);
+  R.Interp = IR.Stats;
+
+  switch (IR.Status) {
+  case runtime::InterpStatus::Value: {
+    R.St = RunResult::Status::Ok;
+    R.Display = interp().show(IR.V);
+    if (auto I = runtime::Interp::asIntHash(IR.V))
+      R.IntValue = *I;
+    else if (auto B = interp().asBoxedInt(IR.V))
+      R.IntValue = *B;
+    if (auto D = runtime::Interp::asDoubleHash(IR.V))
+      R.DoubleValue = *D;
+    break;
+  }
+  case runtime::InterpStatus::Bottom:
+    R.St = RunResult::Status::Bottom;
+    R.Error = IR.Message;
+    break;
+  case runtime::InterpStatus::RuntimeError:
+    R.St = RunResult::Status::RuntimeError;
+    R.Error = IR.Message;
+    break;
+  case runtime::InterpStatus::OutOfFuel:
+    R.St = RunResult::Status::OutOfFuel;
+    R.Error = "out of fuel";
+    break;
+  }
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// The abstract-machine backend
+//===----------------------------------------------------------------------===//
+
+RunResult Executor::runMachine(std::string_view Name) {
+  RunResult R;
+  R.Used = Backend::AbstractMachine;
+  auto Start = std::chrono::steady_clock::now();
+  Result<const mcalc::Term *> T = Comp->machineTerm(Name);
+  if (!T) {
+    R.St = RunResult::Status::Unsupported;
+    R.Error = T.error();
+    R.Millis = millisSince(Start);
+    return R;
+  }
+  // The machine itself is per-run state; the shared MContext only serves
+  // internally-synchronized allocation and fresh names.
+  mcalc::Machine M(Comp->machine().MC);
+  mcalc::MachineResult MR = M.run(*T, Opts.MaxMachineSteps);
+  R.Millis = millisSince(Start);
+  fillFromMachine(R, MR);
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Run dispatch
+//===----------------------------------------------------------------------===//
+
+RunResult Executor::run(std::string_view Name) {
+  return run(Name, Opts.DefaultBackend);
+}
+
+RunResult Executor::run(std::string_view Name, Backend B) {
+  RunResult R;
+  R.Used = B;
+  if (Comp->formalTerm()) {
+    R.St = RunResult::Status::Unsupported;
+    R.Error = "formal compilations run via run() / run(Backend)";
+    return R;
+  }
+  if (!Comp->ok()) {
+    R.St = RunResult::Status::RuntimeError;
+    R.Error = "compilation failed:\n" + Comp->diagText();
+    return R;
+  }
+  return B == Backend::TreeInterp ? runTree(Name) : runMachine(Name);
+}
+
+RunResult Executor::run() { return run(Opts.DefaultBackend); }
+
+RunResult Executor::run(Backend B) {
+  if (!Comp->formalTerm()) {
+    RunResult R;
+    R.Used = B;
+    R.St = RunResult::Status::Unsupported;
+    R.Error = "surface compilations run via run(name)";
+    return R;
+  }
+  return runFormal(B);
+}
+
+//===----------------------------------------------------------------------===//
+// The formal pipeline
+//===----------------------------------------------------------------------===//
+
+RunResult Executor::runFormal(Backend B) {
+  RunResult R;
+  R.Used = B;
+  if (!Comp->ok()) {
+    R.St = RunResult::Status::RuntimeError;
+    R.Error = "compilation failed:\n" + Comp->diagText();
+    return R;
+  }
+  Compilation::MachinePipeline &MP = Comp->machine();
+  const lcalc::Expr *Term = Comp->formalTerm();
+
+  if (B == Backend::TreeInterp) {
+    // Figure 4: the type-directed small-step semantics.
+    lcalc::Evaluator Ev(Comp->lctx());
+    auto Start = std::chrono::steady_clock::now();
+    lcalc::RunResult LR = Ev.runClosed(Term, Opts.MaxFormalSteps);
+    R.Millis = millisSince(Start);
+    R.Interp.EvalSteps = LR.Steps;
+    switch (LR.Final) {
+    case lcalc::StepStatus::Value:
+      R.St = RunResult::Status::Ok;
+      R.Display = LR.Last->str();
+      if (const auto *Lit = lcalc::dyn_cast<lcalc::IntLitExpr>(LR.Last))
+        R.IntValue = Lit->value();
+      else if (const auto *Con = lcalc::dyn_cast<lcalc::ConExpr>(LR.Last))
+        if (const auto *Payload =
+                lcalc::dyn_cast<lcalc::IntLitExpr>(Con->payload()))
+          R.IntValue = Payload->value();
+      break;
+    case lcalc::StepStatus::Bottom:
+      R.St = RunResult::Status::Bottom;
+      R.Error = "error (S_ERROR rule)";
+      break;
+    case lcalc::StepStatus::Stuck:
+      R.St = RunResult::Status::RuntimeError;
+      R.Error = "L evaluation stuck at " + LR.Last->str();
+      break;
+    case lcalc::StepStatus::Stepped:
+      R.St = RunResult::Status::OutOfFuel;
+      R.Error = "out of fuel";
+      break;
+    }
+    return R;
+  }
+
+  // Figures 5-7: compile to M (memoized in the artifact) and run.
+  Result<const mcalc::Term *> MTerm = Comp->formalMachineTerm();
+  if (!MTerm) {
+    R.St = RunResult::Status::Unsupported;
+    R.Error = MTerm.error();
+    return R;
+  }
+  mcalc::Machine M(MP.MC);
+  auto Start = std::chrono::steady_clock::now();
+  mcalc::MachineResult MR = M.run(*MTerm, Opts.MaxMachineSteps);
+  R.Millis = millisSince(Start);
+  fillFromMachine(R, MR);
+  return R;
+}

@@ -1,0 +1,104 @@
+//===- Executor.h - Per-thread execution state for a Compilation -*- C++ -*-===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The mutable half of the driver's artifact/executor split. A
+/// Compilation (Session.h) is an immutable, shareable artifact; an
+/// Executor owns everything one *thread of execution* needs to run it:
+///
+///   * the instrumented tree-interpreter instance (value pool, persistent
+///     environments, memoized global thunks);
+///   * per-executor fuel knobs (options() is a private copy of the
+///     session's CompileOptions);
+///   * ad-hoc expression evaluation against the compilation's context
+///     (the cost-model workloads' evalExpr).
+///
+/// Executors are cheap (the interpreter is built on first tree run) and
+/// single-threaded by design: create one per thread over a shared
+/// Compilation.
+///
+/// \code
+///   auto Comp = S.compile(Src);            // shared, immutable
+///   std::thread Worker([Comp] {
+///     driver::Executor Ex(Comp);           // this thread's run state
+///     driver::RunResult R = Ex.run("answer");
+///     driver::RunResult M = Ex.run("answer",
+///                                  driver::Backend::AbstractMachine);
+///   });
+///   Worker.join();
+/// \endcode
+///
+/// Because one Executor keeps its interpreter alive, repeated tree runs
+/// share memoized global thunks — the second `Ex.run("answer")` performs
+/// zero heap allocation. `Compilation::run` (which builds a transient
+/// Executor per call) re-evaluates globals each time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LEVITY_DRIVER_EXECUTOR_H
+#define LEVITY_DRIVER_EXECUTOR_H
+
+#include "driver/Session.h"
+
+namespace levity {
+namespace driver {
+
+/// Mutable per-thread run state over an immutable Compilation.
+class Executor {
+public:
+  explicit Executor(std::shared_ptr<const Compilation> Comp);
+  Executor(Executor &&) noexcept;
+  Executor &operator=(Executor &&) noexcept;
+  ~Executor();
+
+  const Compilation &compilation() const { return *Comp; }
+
+  /// This executor's private option copy: tweak fuel (MaxInterpSteps,
+  /// MaxMachineSteps, MaxFormalSteps) or the default backend per thread.
+  CompileOptions &options() { return Opts; }
+  const CompileOptions &options() const { return Opts; }
+
+  //===------------------------------------------------------------------===//
+  // Running surface/programmatic compilations
+  //===------------------------------------------------------------------===//
+
+  /// Evaluates top-level \p Name on the executor's default backend.
+  RunResult run(std::string_view Name);
+  RunResult run(std::string_view Name, Backend B);
+
+  //===------------------------------------------------------------------===//
+  // Running formal compilations (Section 6)
+  //===------------------------------------------------------------------===//
+
+  RunResult run();
+  RunResult run(Backend B);
+
+  //===------------------------------------------------------------------===//
+  // The raw interpreter (cost-model workloads)
+  //===------------------------------------------------------------------===//
+
+  /// The instrumented tree-interpreter with this program loaded. Exposed
+  /// so cost-model workloads can evaluate ad-hoc expressions built
+  /// against the compilation's ctx() without re-wiring a pipeline.
+  runtime::Interp &interp();
+  runtime::InterpResult evalName(std::string_view Name);
+  runtime::InterpResult evalExpr(const core::Expr *E);
+
+private:
+  RunResult runTree(std::string_view Name);
+  RunResult runMachine(std::string_view Name);
+  RunResult runFormal(Backend B);
+
+  std::shared_ptr<const Compilation> Comp;
+  CompileOptions Opts;
+  std::unique_ptr<runtime::Interp> TreeInterp;
+};
+
+} // namespace driver
+} // namespace levity
+
+#endif // LEVITY_DRIVER_EXECUTOR_H

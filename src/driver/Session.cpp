@@ -6,11 +6,17 @@
 //===----------------------------------------------------------------------===//
 
 #include "driver/Session.h"
+#include "driver/Executor.h"
 #include "driver/LowerToL.h"
 #include "surface/Parser.h"
 
+#include <algorithm>
 #include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <list>
 #include <sstream>
+#include <thread>
 
 using namespace levity;
 using namespace levity::driver;
@@ -35,22 +41,25 @@ double millisSince(std::chrono::steady_clock::time_point Start) {
 
 } // namespace
 
-//===----------------------------------------------------------------------===//
-// Compilation — pipeline stages
-//===----------------------------------------------------------------------===//
+std::string driver::formatStageTimings(std::span<const StageTiming> Timings) {
+  std::ostringstream OS;
+  double Total = 0;
+  for (const StageTiming &T : Timings) {
+    char Line[96];
+    std::snprintf(Line, sizeof(Line), "  %-18s %8.3f ms\n",
+                  T.Stage.c_str(), T.Millis);
+    OS << Line;
+    Total += T.Millis;
+  }
+  char Line[96];
+  std::snprintf(Line, sizeof(Line), "  %-18s %8.3f ms\n", "total", Total);
+  OS << Line;
+  return OS.str();
+}
 
-/// The abstract-machine side of a Compilation: one L context, one M
-/// context, and the memoized per-global lowerings. Built on first use so
-/// tree-interp-only clients pay nothing.
-struct Compilation::MachinePipeline {
-  lcalc::LContext L;
-  mcalc::MContext MC;
-  /// Global name → compiled M term (or the lowering failure, kept so
-  /// repeated runs do not re-walk an unsupported program).
-  std::unordered_map<std::string, Result<const mcalc::Term *>> MTerms;
-  /// compileFormal's term, compiled to M (memoized).
-  std::optional<Result<const mcalc::Term *>> FormalM;
-};
+//===----------------------------------------------------------------------===//
+// Compilation — pipeline stages (build time, single-threaded)
+//===----------------------------------------------------------------------===//
 
 Compilation::Compilation(const CompileOptions &Opts) : Opts(Opts) {}
 
@@ -119,29 +128,17 @@ void Compilation::buildFormal(
   Succeeded = true;
 }
 
-Compilation::MachinePipeline &Compilation::machine() {
-  if (!Machine)
-    Machine = std::make_unique<MachinePipeline>();
+Compilation::MachinePipeline &Compilation::machine() const {
+  std::call_once(MachineOnce,
+                 [this] { Machine = std::make_unique<MachinePipeline>(); });
   return *Machine;
 }
 
 std::string Compilation::timingReport() const {
-  std::ostringstream OS;
-  double Total = 0;
-  for (const StageTiming &T : Timings) {
-    char Line[96];
-    std::snprintf(Line, sizeof(Line), "  %-16s %8.3f ms\n",
-                  T.Stage.c_str(), T.Millis);
-    OS << Line;
-    Total += T.Millis;
-  }
-  char Line[96];
-  std::snprintf(Line, sizeof(Line), "  %-16s %8.3f ms\n", "total", Total);
-  OS << Line;
-  return OS.str();
+  return formatStageTimings(Timings);
 }
 
-const core::Type *Compilation::globalType(std::string_view Name) {
+const core::Type *Compilation::globalType(std::string_view Name) const {
   if (const core::Type *T = Elab.globalType(Name))
     return T;
   // Programmatic compilations bypass the elaborator's table; fall back to
@@ -153,70 +150,22 @@ const core::Type *Compilation::globalType(std::string_view Name) {
 }
 
 //===----------------------------------------------------------------------===//
-// Compilation — tree-interpreter backend
+// Compilation — the memoized machine lowering (thread-safe)
 //===----------------------------------------------------------------------===//
 
-runtime::Interp &Compilation::interp() {
-  if (!TreeInterp) {
-    TreeInterp = std::make_unique<runtime::Interp>(C);
-    if (Elaborated)
-      TreeInterp->loadProgram(Elaborated->Program);
-  }
-  return *TreeInterp;
-}
-
-runtime::InterpResult Compilation::evalName(std::string_view Name) {
-  return evalExpr(C.var(C.sym(Name)));
-}
-
-runtime::InterpResult Compilation::evalExpr(const core::Expr *E) {
-  return interp().eval(E, Opts.MaxInterpSteps);
-}
-
-RunResult Compilation::runTree(std::string_view Name) {
-  RunResult R;
-  R.Used = Backend::TreeInterp;
-  auto Start = std::chrono::steady_clock::now();
-  runtime::InterpResult IR = evalName(Name);
-  R.Millis = millisSince(Start);
-  R.Interp = IR.Stats;
-
-  switch (IR.Status) {
-  case runtime::InterpStatus::Value: {
-    R.St = RunResult::Status::Ok;
-    R.Display = interp().show(IR.V);
-    if (auto I = runtime::Interp::asIntHash(IR.V))
-      R.IntValue = *I;
-    else if (auto B = interp().asBoxedInt(IR.V))
-      R.IntValue = *B;
-    if (auto D = runtime::Interp::asDoubleHash(IR.V))
-      R.DoubleValue = *D;
-    break;
-  }
-  case runtime::InterpStatus::Bottom:
-    R.St = RunResult::Status::Bottom;
-    R.Error = IR.Message;
-    break;
-  case runtime::InterpStatus::RuntimeError:
-    R.St = RunResult::Status::RuntimeError;
-    R.Error = IR.Message;
-    break;
-  case runtime::InterpStatus::OutOfFuel:
-    R.St = RunResult::Status::OutOfFuel;
-    R.Error = "out of fuel";
-    break;
-  }
-  return R;
-}
-
-//===----------------------------------------------------------------------===//
-// Compilation — abstract-machine backend
-//===----------------------------------------------------------------------===//
-
-Result<const mcalc::Term *> Compilation::machineTerm(std::string_view Name) {
+Result<const mcalc::Term *>
+Compilation::machineTerm(std::string_view Name) const {
   MachinePipeline &MP = machine();
-  std::string Key(Name);
-  auto It = MP.MTerms.find(Key);
+  {
+    // Hot path: already lowered. Shared lock, no key allocation.
+    std::shared_lock<std::shared_mutex> Lock(MP.LowerMutex);
+    auto It = MP.MTerms.find(Name);
+    if (It != MP.MTerms.end())
+      return It->second;
+  }
+
+  std::unique_lock<std::shared_mutex> Lock(MP.LowerMutex);
+  auto It = MP.MTerms.find(Name); // Re-check: we may have raced.
   if (It != MP.MTerms.end())
     return It->second;
 
@@ -231,173 +180,131 @@ Result<const mcalc::Term *> Compilation::machineTerm(std::string_view Name) {
     anf::Compiler Comp(MP.L, MP.MC);
     return Comp.compileClosed(*LTerm);
   }();
-  MP.MTerms.emplace(std::move(Key), Out);
+  MP.MTerms.emplace(std::string(Name), Out);
   return Out;
 }
 
-namespace {
-
-/// Converts a finished machine run into the facade result shape.
-void fillFromMachine(RunResult &R, const mcalc::MachineResult &MR) {
-  R.Machine = MR.Stats;
-  switch (MR.Status) {
-  case mcalc::MachineOutcome::Value:
-    R.St = RunResult::Status::Ok;
-    R.Display = MR.Value->str();
-    if (const auto *Lit = mcalc::dyn_cast<mcalc::LitTerm>(MR.Value))
-      R.IntValue = Lit->value();
-    else if (const auto *Con = mcalc::dyn_cast<mcalc::ConLitTerm>(MR.Value))
-      R.IntValue = Con->value();
-    break;
-  case mcalc::MachineOutcome::Bottom:
-    R.St = RunResult::Status::Bottom;
-    R.Error = "error (ERR rule)";
-    break;
-  case mcalc::MachineOutcome::Stuck:
-    R.St = RunResult::Status::RuntimeError;
-    R.Error = "machine stuck: " + MR.StuckReason;
-    break;
-  case mcalc::MachineOutcome::OutOfFuel:
-    R.St = RunResult::Status::OutOfFuel;
-    R.Error = "out of fuel";
-    break;
+Result<const mcalc::Term *> Compilation::formalMachineTerm() const {
+  MachinePipeline &MP = machine();
+  {
+    std::shared_lock<std::shared_mutex> Lock(MP.LowerMutex);
+    if (MP.FormalM)
+      return *MP.FormalM;
   }
-}
-
-} // namespace
-
-RunResult Compilation::runMachine(std::string_view Name) {
-  RunResult R;
-  R.Used = Backend::AbstractMachine;
-  auto Start = std::chrono::steady_clock::now();
-  Result<const mcalc::Term *> T = machineTerm(Name);
-  if (!T) {
-    R.St = RunResult::Status::Unsupported;
-    R.Error = T.error();
-    R.Millis = millisSince(Start);
-    return R;
+  std::unique_lock<std::shared_mutex> Lock(MP.LowerMutex);
+  if (!MP.FormalM) {
+    anf::Compiler Comp(MP.L, MP.MC);
+    MP.FormalM = Comp.compileClosed(FormalTerm);
   }
-  mcalc::Machine M(machine().MC);
-  mcalc::MachineResult MR = M.run(*T, Opts.MaxMachineSteps);
-  R.Millis = millisSince(Start);
-  fillFromMachine(R, MR);
-  return R;
+  return *MP.FormalM;
 }
 
 //===----------------------------------------------------------------------===//
-// Compilation — run dispatch
+// Compilation — const run dispatch (transient Executor per call)
 //===----------------------------------------------------------------------===//
 
-RunResult Compilation::run(std::string_view Name) {
+RunResult Compilation::run(std::string_view Name) const {
   return run(Name, Opts.DefaultBackend);
 }
 
-RunResult Compilation::run(std::string_view Name, Backend B) {
-  RunResult R;
-  R.Used = B;
-  if (FormalTerm) {
-    R.St = RunResult::Status::Unsupported;
-    R.Error = "formal compilations run via run() / run(Backend)";
-    return R;
-  }
-  if (!ok()) {
-    R.St = RunResult::Status::RuntimeError;
-    R.Error = "compilation failed:\n" + diagText();
-    return R;
-  }
-  return B == Backend::TreeInterp ? runTree(Name) : runMachine(Name);
+RunResult Compilation::run(std::string_view Name, Backend B) const {
+  Executor Ex(shared_from_this());
+  return Ex.run(Name, B);
 }
 
-//===----------------------------------------------------------------------===//
-// Compilation — formal pipeline
-//===----------------------------------------------------------------------===//
+RunResult Compilation::run() const { return run(Opts.DefaultBackend); }
 
-lcalc::LContext &Compilation::lctx() { return machine().L; }
+RunResult Compilation::run(Backend B) const {
+  Executor Ex(shared_from_this());
+  return Ex.run(B);
+}
 
-Result<const lcalc::Type *> Compilation::formalType() {
+lcalc::LContext &Compilation::lctx() const { return machine().L; }
+
+Result<const lcalc::Type *> Compilation::formalType() const {
   if (FormalTy)
     return *FormalTy;
   return err("not a formal compilation");
 }
 
-RunResult Compilation::run() { return run(Opts.DefaultBackend); }
+//===----------------------------------------------------------------------===//
+// Session — the sharded, LRU-bounded compilation cache
+//===----------------------------------------------------------------------===//
 
-RunResult Compilation::run(Backend B) {
-  if (!FormalTerm) {
-    RunResult R;
-    R.Used = B;
-    R.St = RunResult::Status::Unsupported;
-    R.Error = "surface compilations run via run(name)";
-    return R;
+/// One cache shard: a mutex, the hash → entries map (entries hold the
+/// exact source for collision checks), and the shard's LRU order. An
+/// entry's future is shared so losers of a compile race (and evicted
+/// in-flight entries) stay valid.
+struct Session::Shard {
+  struct Entry {
+    uint64_t Hash;
+    std::string Source;
+    /// Identifies the insertion, so a failed owner removes only its own
+    /// entry (never a successor's re-insert for the same source).
+    uint64_t Gen;
+    std::shared_future<std::shared_ptr<Compilation>> Fut;
+  };
+
+  std::mutex M;
+  uint64_t NextGen = 0;
+  std::list<Entry> LRU; ///< Front = most recently used.
+  std::unordered_map<uint64_t, std::vector<std::list<Entry>::iterator>> Map;
+};
+
+/// A lazily-spawned fixed pool draining a FIFO of tasks; backs
+/// compileAsync and runAll.
+struct Session::WorkerPool {
+  explicit WorkerPool(unsigned N) {
+    for (unsigned I = 0; I != N; ++I)
+      Threads.emplace_back([this] { workerLoop(); });
   }
-  return runFormal(B);
-}
 
-RunResult Compilation::runFormal(Backend B) {
-  RunResult R;
-  R.Used = B;
-  if (!ok()) {
-    R.St = RunResult::Status::RuntimeError;
-    R.Error = "compilation failed:\n" + diagText();
-    return R;
-  }
-  MachinePipeline &MP = machine();
-
-  if (B == Backend::TreeInterp) {
-    // Figure 4: the type-directed small-step semantics.
-    lcalc::Evaluator Ev(MP.L);
-    auto Start = std::chrono::steady_clock::now();
-    lcalc::RunResult LR = Ev.runClosed(FormalTerm, Opts.MaxFormalSteps);
-    R.Millis = millisSince(Start);
-    R.Interp.EvalSteps = LR.Steps;
-    switch (LR.Final) {
-    case lcalc::StepStatus::Value:
-      R.St = RunResult::Status::Ok;
-      R.Display = LR.Last->str();
-      if (const auto *Lit = lcalc::dyn_cast<lcalc::IntLitExpr>(LR.Last))
-        R.IntValue = Lit->value();
-      else if (const auto *Con = lcalc::dyn_cast<lcalc::ConExpr>(LR.Last))
-        if (const auto *Payload =
-                lcalc::dyn_cast<lcalc::IntLitExpr>(Con->payload()))
-          R.IntValue = Payload->value();
-      break;
-    case lcalc::StepStatus::Bottom:
-      R.St = RunResult::Status::Bottom;
-      R.Error = "error (S_ERROR rule)";
-      break;
-    case lcalc::StepStatus::Stuck:
-      R.St = RunResult::Status::RuntimeError;
-      R.Error = "L evaluation stuck at " + LR.Last->str();
-      break;
-    case lcalc::StepStatus::Stepped:
-      R.St = RunResult::Status::OutOfFuel;
-      R.Error = "out of fuel";
-      break;
+  ~WorkerPool() {
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      Stop = true;
     }
-    return R;
+    CV.notify_all();
+    for (std::thread &T : Threads)
+      T.join();
   }
 
-  // Figures 5-7: compile to M (memoized) and run the machine.
-  if (!MP.FormalM) {
-    anf::Compiler Comp(MP.L, MP.MC);
-    MP.FormalM = Comp.compileClosed(FormalTerm);
+  void submit(std::function<void()> Task) {
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      Queue.push_back(std::move(Task));
+    }
+    CV.notify_one();
   }
-  if (!*MP.FormalM) {
-    R.St = RunResult::Status::Unsupported;
-    R.Error = (*MP.FormalM).error();
-    return R;
-  }
-  mcalc::Machine M(MP.MC);
-  auto Start = std::chrono::steady_clock::now();
-  mcalc::MachineResult MR = M.run(**MP.FormalM, Opts.MaxMachineSteps);
-  R.Millis = millisSince(Start);
-  fillFromMachine(R, MR);
-  return R;
-}
 
-//===----------------------------------------------------------------------===//
-// Session
-//===----------------------------------------------------------------------===//
+  void workerLoop() {
+    for (;;) {
+      std::function<void()> Task;
+      {
+        std::unique_lock<std::mutex> Lock(M);
+        CV.wait(Lock, [&] { return Stop || !Queue.empty(); });
+        if (Stop && Queue.empty())
+          return;
+        Task = std::move(Queue.front());
+        Queue.pop_front();
+      }
+      Task();
+    }
+  }
+
+  std::mutex M;
+  std::condition_variable CV;
+  std::deque<std::function<void()>> Queue;
+  std::vector<std::thread> Threads;
+  bool Stop = false;
+};
+
+Session::Session() : Session(CompileOptions()) {}
+
+Session::Session(CompileOptions Opts)
+    : Opts(Opts), Shards(std::make_unique<Shard[]>(NumShards)) {}
+
+Session::~Session() = default;
 
 uint64_t Session::hashSource(std::string_view Source) {
   uint64_t H = 1469598103934665603ull; // FNV offset basis
@@ -408,23 +315,105 @@ uint64_t Session::hashSource(std::string_view Source) {
   return H;
 }
 
-std::shared_ptr<Compilation> Session::compile(std::string_view Source) {
-  uint64_t H = hashSource(Source);
-  if (Opts.EnableCache) {
-    auto It = Cache.find(H);
-    if (It != Cache.end())
-      for (const std::shared_ptr<Compilation> &Comp : It->second)
-        if (Comp->source() == Source) {
-          ++St.CacheHits;
-          return Comp;
-        }
-  }
+size_t Session::perShardCap() const {
+  if (Opts.MaxCachedCompilations == 0)
+    return 0; // unbounded
+  return std::max<size_t>(
+      1, (Opts.MaxCachedCompilations + NumShards - 1) / NumShards);
+}
 
+std::shared_ptr<Compilation> Session::buildSource(std::string_view Source) {
   auto Comp = std::shared_ptr<Compilation>(new Compilation(Opts));
   Comp->compileSource(Source);
-  ++St.Compilations;
-  if (Opts.EnableCache)
-    Cache[H].push_back(Comp);
+  NumCompilations.fetch_add(1, std::memory_order_relaxed);
+  return Comp;
+}
+
+std::shared_ptr<Compilation> Session::compile(std::string_view Source) {
+  if (!Opts.EnableCache)
+    return buildSource(Source);
+
+  uint64_t H = hashSource(Source);
+  Shard &Sh = Shards[H % NumShards];
+
+  std::promise<std::shared_ptr<Compilation>> Prom;
+  std::shared_future<std::shared_ptr<Compilation>> Fut;
+  bool Owner = false;
+  uint64_t OwnGen = 0;
+  {
+    std::lock_guard<std::mutex> Lock(Sh.M);
+    auto MapIt = Sh.Map.find(H);
+    if (MapIt != Sh.Map.end()) {
+      for (auto EntryIt : MapIt->second)
+        if (EntryIt->Source == Source) {
+          NumCacheHits.fetch_add(1, std::memory_order_relaxed);
+          Sh.LRU.splice(Sh.LRU.begin(), Sh.LRU, EntryIt); // touch
+          Fut = EntryIt->Fut;
+          break;
+        }
+    }
+    if (!Fut.valid()) {
+      // First compile of this source: publish an in-flight entry so
+      // concurrent identical compiles wait instead of duplicating work.
+      Owner = true;
+      OwnGen = ++Sh.NextGen;
+      Fut = Prom.get_future().share();
+      Sh.LRU.push_front({H, std::string(Source), OwnGen, Fut});
+      Sh.Map[H].push_back(Sh.LRU.begin());
+
+      if (size_t Cap = perShardCap()) {
+        // Evict least-recently-used *finished* entries. In-flight builds
+        // are never evicted — that would re-admit a second owner for the
+        // same source and break compile-once dedup — so the cap may be
+        // transiently exceeded while builds are outstanding.
+        for (auto It = std::prev(Sh.LRU.end());
+             Sh.LRU.size() > Cap && It != Sh.LRU.begin();) {
+          auto Victim = It--;
+          if (Victim->Fut.wait_for(std::chrono::seconds(0)) !=
+              std::future_status::ready)
+            continue;
+          auto &Bucket = Sh.Map[Victim->Hash];
+          Bucket.erase(std::remove(Bucket.begin(), Bucket.end(), Victim),
+                       Bucket.end());
+          if (Bucket.empty())
+            Sh.Map.erase(Victim->Hash);
+          Sh.LRU.erase(Victim);
+          NumEvictions.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  }
+
+  if (!Owner)
+    return Fut.get(); // Blocks only while the winner is still building.
+
+  std::shared_ptr<Compilation> Comp;
+  try {
+    Comp = buildSource(Source);
+  } catch (...) {
+    // Wake current waiters with the failure, but drop the entry so the
+    // source retries fresh instead of rethrowing a stale exception on
+    // every future compile. The generation check ensures we only remove
+    // our own entry, never a successor's re-insert for this source.
+    Prom.set_exception(std::current_exception());
+    {
+      std::lock_guard<std::mutex> Lock(Sh.M);
+      auto MapIt = Sh.Map.find(H);
+      if (MapIt != Sh.Map.end()) {
+        auto &Bucket = MapIt->second;
+        for (auto It = Bucket.begin(); It != Bucket.end(); ++It)
+          if ((*It)->Gen == OwnGen) {
+            Sh.LRU.erase(*It);
+            Bucket.erase(It);
+            break;
+          }
+        if (Bucket.empty())
+          Sh.Map.erase(MapIt);
+      }
+    }
+    throw;
+  }
+  Prom.set_value(Comp);
   return Comp;
 }
 
@@ -432,7 +421,7 @@ std::shared_ptr<Compilation> Session::compileProgram(
     const std::function<core::CoreProgram(core::CoreContext &)> &Build) {
   auto Comp = std::shared_ptr<Compilation>(new Compilation(Opts));
   Comp->adoptProgram(Build);
-  ++St.Compilations;
+  NumCompilations.fetch_add(1, std::memory_order_relaxed);
   return Comp;
 }
 
@@ -440,6 +429,87 @@ std::shared_ptr<Compilation> Session::compileFormal(
     const std::function<const lcalc::Expr *(lcalc::LContext &)> &Build) {
   auto Comp = std::shared_ptr<Compilation>(new Compilation(Opts));
   Comp->buildFormal(Build);
-  ++St.Compilations;
+  NumCompilations.fetch_add(1, std::memory_order_relaxed);
   return Comp;
+}
+
+Session::Stats Session::stats() const {
+  Stats St;
+  St.Compilations = NumCompilations.load(std::memory_order_relaxed);
+  St.CacheHits = NumCacheHits.load(std::memory_order_relaxed);
+  St.Evictions = NumEvictions.load(std::memory_order_relaxed);
+  St.Analyses = NumAnalyses.load(std::memory_order_relaxed);
+  return St;
+}
+
+size_t Session::cacheSize() const {
+  size_t N = 0;
+  for (size_t I = 0; I != NumShards; ++I) {
+    std::lock_guard<std::mutex> Lock(Shards[I].M);
+    N += Shards[I].LRU.size();
+  }
+  return N;
+}
+
+//===----------------------------------------------------------------------===//
+// Session — async compilation and batch running
+//===----------------------------------------------------------------------===//
+
+Session::WorkerPool &Session::pool() {
+  std::call_once(PoolOnce, [this] {
+    unsigned N = Opts.AsyncWorkers;
+    if (N == 0) {
+      N = std::thread::hardware_concurrency();
+      N = std::clamp(N, 2u, 8u);
+    }
+    Pool = std::make_unique<WorkerPool>(N);
+  });
+  return *Pool;
+}
+
+std::future<std::shared_ptr<Compilation>>
+Session::compileAsync(std::string_view Source) {
+  auto Task =
+      std::make_shared<std::packaged_task<std::shared_ptr<Compilation>()>>(
+          [this, Src = std::string(Source)] { return compile(Src); });
+  std::future<std::shared_ptr<Compilation>> Fut = Task->get_future();
+  pool().submit([Task] { (*Task)(); });
+  return Fut;
+}
+
+std::vector<RunResult>
+Session::runAll(std::span<const RunRequest> Requests) {
+  std::vector<std::future<RunResult>> Futures;
+  Futures.reserve(Requests.size());
+  for (const RunRequest &Req : Requests) {
+    // Tasks copy their request: if an early future rethrows below, the
+    // caller's span may die while later tasks are still queued.
+    auto Task = std::make_shared<std::packaged_task<RunResult()>>(
+        [this, Req] {
+          std::shared_ptr<Compilation> Comp = compile(Req.Source);
+          Executor Ex(Comp);
+          return Ex.run(Req.Name, Req.B.value_or(Opts.DefaultBackend));
+        });
+    Futures.push_back(Task->get_future());
+    pool().submit([Task] { (*Task)(); });
+  }
+
+  std::vector<RunResult> Out;
+  Out.reserve(Futures.size());
+  for (std::future<RunResult> &F : Futures)
+    Out.push_back(F.get());
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Session — the Section 8.1 catalog analysis
+//===----------------------------------------------------------------------===//
+
+CatalogAnalysis Session::analyzeCatalog() {
+  CatalogAnalysis A;
+  A.Report = classlib::runClassAnalysis();
+  for (const classlib::AnalysisReport::Stage &St : A.Report.Stages)
+    A.Timings.push_back({St.Name, St.Millis});
+  NumAnalyses.fetch_add(1, std::memory_order_relaxed);
+  return A;
 }

@@ -20,19 +20,35 @@
 ///                                   driver::Backend::AbstractMachine);
 /// \endcode
 ///
+/// The API is built for concurrency, following the same artifact/executor
+/// split GHC keeps between interface files and the runtime:
+///
+///  * A **Compilation is an immutable artifact**: source, core program,
+///    diagnostics, timings, and a lazily-but-once-built machine lowering
+///    (std::call_once). `run` and `globalType` are const and
+///    data-race-free, so any number of threads may share one Compilation.
+///  * An **Executor** (Executor.h) owns the mutable per-thread run state:
+///    the tree-interpreter instance (value pool, memoized global thunks),
+///    fuel knobs, and ad-hoc expression evaluation. One Executor per
+///    thread; `Compilation::run` spins up a transient one per call.
+///  * A **Session is thread-safe**: the compilation cache is sharded with
+///    a mutex per shard (and an optional LRU bound), `compileAsync`
+///    dispatches compiles onto a small worker pool, and `runAll` is a
+///    batch compile-and-run entry point for throughput workloads.
+///
 /// One Session owns a compilation cache keyed by source hash, so repeated
 /// compiles of identical source return the *same* Compilation (and its
-/// already-lowered backends). One Compilation owns everything a compiled
-/// program needs — core context, diagnostics (with source locations and
-/// DiagCodes), per-stage timings, the instrumented tree interpreter, and
-/// the lazily-built abstract-machine lowering (core → L → ANF → M).
+/// already-lowered backends). Concurrent compiles of the same new source
+/// build it exactly once; the other threads block on the winner's result.
 ///
 /// The same Compilation abstraction also hosts the paper's *formal*
 /// pipeline (Section 6): Session::compileFormal builds an L term,
 /// typechecks it (Figure 3), and runs it either with the type-directed
 /// small-step semantics (Figure 4) or compiled to the M machine
 /// (Figures 5-7) — one API, one diagnostics sink, one stats report for
-/// both the production and the formal chain.
+/// both the production and the formal chain. Session::analyzeCatalog
+/// routes the Section 8.1 class-generalizability analysis through the
+/// same stage-timing report.
 ///
 /// The low-level pass headers (surface/, core/, runtime/, …) stay public
 /// for unit tests; new code should use this facade.
@@ -43,20 +59,28 @@
 #define LEVITY_DRIVER_SESSION_H
 
 #include "anf/Compile.h"
+#include "classlib/Analysis.h"
 #include "lcalc/Eval.h"
 #include "mcalc/Machine.h"
 #include "runtime/Interp.h"
 #include "surface/Elaborate.h"
 
+#include <atomic>
 #include <functional>
+#include <future>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 namespace levity {
 namespace driver {
+
+class Executor;
 
 /// The evaluation backends a Compilation can run on.
 enum class Backend : uint8_t {
@@ -73,6 +97,13 @@ struct CompileOptions {
   uint64_t MaxInterpSteps = 200000000; ///< Tree-interpreter fuel.
   uint64_t MaxMachineSteps = 100000000; ///< M-machine fuel.
   size_t MaxFormalSteps = 1000000; ///< Figure 4 small-step fuel.
+  /// LRU bound on the Session's compilation cache; 0 = unbounded. The
+  /// bound is approximate (enforced per cache shard), evictions are
+  /// counted in Session::Stats::Evictions.
+  size_t MaxCachedCompilations = 0;
+  /// Worker threads behind compileAsync/runAll; 0 = pick from hardware
+  /// concurrency. The pool is spawned lazily on first async use.
+  unsigned AsyncWorkers = 0;
 };
 
 /// Wall-clock duration of one pipeline stage.
@@ -80,6 +111,10 @@ struct StageTiming {
   std::string Stage;
   double Millis = 0;
 };
+
+/// Renders stage timings as the driver's standard one-line-per-stage
+/// report (shared by Compilation::timingReport and CatalogAnalysis).
+std::string formatStageTimings(std::span<const StageTiming> Timings);
 
 /// The unified result of evaluating a global (or a formal term) on some
 /// backend. Exactly one backend's stats member is meaningful; the
@@ -122,7 +157,16 @@ struct RunResult {
 /// A compiled program: the product of one trip through the front end,
 /// plus everything needed to run it. Created by Session; shared (and
 /// cached) via shared_ptr.
-class Compilation {
+///
+/// A Compilation is **immutable after build** and safe to share across
+/// threads: `run` and `globalType` are const and data-race-free. The
+/// abstract-machine lowering is built lazily but exactly once
+/// (std::call_once + a lowering mutex); its contexts are internally
+/// synchronized so concurrent machine runs may allocate fresh terms.
+/// Mutable per-run state (the tree interpreter, fuel) lives in Executor —
+/// the const run() overloads here create a transient Executor per call,
+/// so cross-run thunk memoization needs a long-lived Executor.
+class Compilation : public std::enable_shared_from_this<Compilation> {
 public:
   ~Compilation();
   Compilation(const Compilation &) = delete;
@@ -152,14 +196,20 @@ public:
   // The compiled surface program
   //===------------------------------------------------------------------===//
 
-  core::CoreContext &ctx() { return C; }
+  /// The core context owning the compiled program's IR. Mutable through a
+  /// const Compilation because post-build consumers allocate *scratch*
+  /// nodes in it (zonked types, lookup vars) — the context's arena and
+  /// symbol table are internally synchronized, and the compiled program
+  /// itself is never modified.
+  core::CoreContext &ctx() const { return C; }
   const core::CoreProgram *program() const {
     return Elaborated ? &Elaborated->Program : nullptr;
   }
-  /// The zonked, dictionary-expanded type of a top-level name. Non-const:
-  /// the lookup interns the name and zonking resolves metavariable cells
-  /// in the context.
-  const core::Type *globalType(std::string_view Name);
+  /// The zonked, dictionary-expanded type of a top-level name. Const and
+  /// thread-safe: zonking only reads metavariable solutions (all writes
+  /// happened at build time) and allocates result nodes in the
+  /// synchronized arena.
+  const core::Type *globalType(std::string_view Name) const;
   /// Class/instance tables from elaboration (empty for programmatic
   /// compilations).
   const surface::Elaborator &elaborator() const { return Elab; }
@@ -168,21 +218,17 @@ public:
     return Elaborated ? &*Elaborated : nullptr;
   }
 
+  const CompileOptions &options() const { return Opts; }
+
   //===------------------------------------------------------------------===//
-  // Running
+  // Running (const: each call uses a transient Executor; hold your own
+  // Executor to keep interpreter state — memoized globals — across runs)
   //===------------------------------------------------------------------===//
 
   /// Evaluates top-level \p Name on the session's default backend.
-  RunResult run(std::string_view Name);
+  RunResult run(std::string_view Name) const;
   /// Evaluates top-level \p Name on a specific backend.
-  RunResult run(std::string_view Name, Backend B);
-
-  /// The instrumented tree-interpreter with this program loaded. Exposed
-  /// so cost-model workloads can evaluate ad-hoc expressions built
-  /// against ctx() without re-wiring a pipeline.
-  runtime::Interp &interp();
-  runtime::InterpResult evalName(std::string_view Name);
-  runtime::InterpResult evalExpr(const core::Expr *E);
+  RunResult run(std::string_view Name, Backend B) const;
 
   //===------------------------------------------------------------------===//
   // The formal pipeline (Section 6)
@@ -190,16 +236,18 @@ public:
 
   /// Non-null for Session::compileFormal compilations.
   const lcalc::Expr *formalTerm() const { return FormalTerm; }
-  lcalc::LContext &lctx();
+  /// The L context (internally synchronized; shared by concurrent runs).
+  lcalc::LContext &lctx() const;
   /// The term's L type (Figure 3); error when ill-typed.
-  Result<const lcalc::Type *> formalType();
+  Result<const lcalc::Type *> formalType() const;
   /// Runs the formal term: Figure 4 small-step semantics on TreeInterp,
   /// Figures 5-7 on AbstractMachine.
-  RunResult run();
-  RunResult run(Backend B);
+  RunResult run() const;
+  RunResult run(Backend B) const;
 
 private:
   friend class Session;
+  friend class Executor;
   explicit Compilation(const CompileOptions &Opts);
 
   void compileSource(std::string_view Src);
@@ -208,46 +256,103 @@ private:
   void buildFormal(
       const std::function<const lcalc::Expr *(lcalc::LContext &)> &Build);
 
-  RunResult runTree(std::string_view Name);
-  RunResult runMachine(std::string_view Name);
-  RunResult runFormal(Backend B);
-
   /// Lowers+compiles a global for the M machine, memoized per name.
-  Result<const mcalc::Term *> machineTerm(std::string_view Name);
+  /// Thread-safe: lowering is serialized behind the pipeline's mutex.
+  Result<const mcalc::Term *> machineTerm(std::string_view Name) const;
+  /// compileFormal's term, compiled to M (memoized, thread-safe).
+  Result<const mcalc::Term *> formalMachineTerm() const;
 
-  /// The machine context pair, created on first AbstractMachine use.
-  struct MachinePipeline;
-  MachinePipeline &machine();
+  /// The abstract-machine side of a Compilation: one L context, one M
+  /// context, and the memoized per-global lowerings. Created on first
+  /// AbstractMachine use (exactly once, via std::call_once) so
+  /// tree-interp-only clients pay nothing. The contexts are internally
+  /// synchronized; the memo tables are guarded by LowerMutex.
+  struct MachinePipeline {
+    lcalc::LContext L;
+    mcalc::MContext MC;
+    /// Reader/writer lock over the memo tables: memo hits (the per-run
+    /// hot path) take it shared; lowering (which allocates across
+    /// L/MC/core contexts) takes it exclusive. Machine *runs* never
+    /// hold it.
+    std::shared_mutex LowerMutex;
+    /// Transparent hashing so memo hits look up by string_view without
+    /// allocating a key.
+    struct NameHash {
+      using is_transparent = void;
+      size_t operator()(std::string_view S) const {
+        return std::hash<std::string_view>()(S);
+      }
+    };
+    /// Global name → compiled M term (or the lowering failure, kept so
+    /// repeated runs do not re-walk an unsupported program).
+    std::unordered_map<std::string, Result<const mcalc::Term *>, NameHash,
+                       std::equal_to<>>
+        MTerms;
+    /// compileFormal's term, compiled to M (memoized).
+    std::optional<Result<const mcalc::Term *>> FormalM;
+  };
+  MachinePipeline &machine() const;
 
   CompileOptions Opts;
   std::string Source;
   uint64_t SrcHash = 0;
   bool Succeeded = false;
 
-  core::CoreContext C;
+  /// Internally synchronized (see ctx()); mutable so const runs can
+  /// allocate scratch nodes.
+  mutable core::CoreContext C;
   DiagnosticEngine Diags;
   surface::Elaborator Elab{C, Diags};
   std::optional<surface::ElabOutput> Elaborated;
   std::vector<StageTiming> Timings;
 
-  std::unique_ptr<runtime::Interp> TreeInterp;
-  std::unique_ptr<MachinePipeline> Machine;
+  mutable std::once_flag MachineOnce;
+  mutable std::unique_ptr<MachinePipeline> Machine;
 
-  // Formal-pipeline state (compileFormal only).
+  // Formal-pipeline state (compileFormal only; written at build time).
   const lcalc::Expr *FormalTerm = nullptr;
   std::optional<Result<const lcalc::Type *>> FormalTy;
 };
 
+/// The Section 8.1 catalog analysis riding the driver's diagnostics and
+/// timing report (Session::analyzeCatalog).
+struct CatalogAnalysis {
+  classlib::AnalysisReport Report;
+  std::vector<StageTiming> Timings;
+
+  bool ok() const { return Report.NumClasses > 0; }
+  /// The paper-style verdict table.
+  std::string table() const { return classlib::formatReport(Report); }
+  /// One-line-per-stage timing report (same shape as Compilation's).
+  std::string timingReport() const { return formatStageTimings(Timings); }
+};
+
 /// A compiler session: options + compilation cache + counters.
+///
+/// Thread-safe: any number of threads may compile (and run the results)
+/// through one Session concurrently. The cache is sharded with one mutex
+/// per shard; identical source compiles exactly once even under
+/// contention (losers block on the winner's in-flight result). An LRU
+/// bound (CompileOptions::MaxCachedCompilations) caps memory; evictions
+/// are counted in Stats.
 class Session {
 public:
-  Session() = default;
-  explicit Session(CompileOptions Opts) : Opts(Opts) {}
+  Session();
+  explicit Session(CompileOptions Opts);
+  ~Session();
+  Session(const Session &) = delete;
+  Session &operator=(const Session &) = delete;
 
   /// Compiles surface source through lex → parse → elaborate →
   /// levity-check. Identical source (by hash, verified by exact compare)
   /// returns the cached Compilation.
   std::shared_ptr<Compilation> compile(std::string_view Source);
+
+  /// Like compile(), but dispatched onto the session's worker pool;
+  /// returns immediately. The future yields the same cached Compilation
+  /// a synchronous compile would.
+  std::future<std::shared_ptr<Compilation>>
+  compileAsync(std::string_view Source);
 
   /// Wraps a programmatically-built core program (e.g. the Samples
   /// builders) in a Compilation, so core-IR workloads ride the same
@@ -259,21 +364,58 @@ public:
   std::shared_ptr<Compilation> compileFormal(
       const std::function<const lcalc::Expr *(lcalc::LContext &)> &Build);
 
+  /// Runs the Section 8.1 class-generalizability analysis through the
+  /// driver, with per-stage timings in the standard report shape.
+  CatalogAnalysis analyzeCatalog();
+
+  /// One compile-and-run unit of a batch workload.
+  struct RunRequest {
+    std::string Source;            ///< Program text (cached as usual).
+    std::string Name;              ///< Top-level binding to evaluate.
+    std::optional<Backend> B;      ///< Defaults to the session backend.
+  };
+  /// Batch entry point: compiles and runs every request on the worker
+  /// pool (sharing the cache, so duplicate sources compile once) and
+  /// returns results in request order.
+  std::vector<RunResult> runAll(std::span<const RunRequest> Requests);
+
   struct Stats {
     uint64_t Compilations = 0; ///< Front-end runs actually performed.
     uint64_t CacheHits = 0;    ///< compile() calls served from cache.
+    uint64_t Evictions = 0;    ///< Compilations dropped by the LRU bound.
+    uint64_t Analyses = 0;     ///< analyzeCatalog() runs.
   };
-  const Stats &stats() const { return St; }
+  /// A consistent snapshot of the counters.
+  Stats stats() const;
+  /// Number of Compilations currently held in the cache (across shards).
+  size_t cacheSize() const;
   const CompileOptions &options() const { return Opts; }
 
   /// FNV-1a — the cache key for compile().
   static uint64_t hashSource(std::string_view Source);
 
 private:
+  struct Shard;
+  struct WorkerPool;
+
+  std::shared_ptr<Compilation> buildSource(std::string_view Source);
+  WorkerPool &pool();
+  size_t perShardCap() const;
+
   CompileOptions Opts;
-  Stats St;
-  std::unordered_map<uint64_t, std::vector<std::shared_ptr<Compilation>>>
-      Cache;
+
+  static constexpr size_t NumShards = 8;
+  std::unique_ptr<Shard[]> Shards;
+
+  std::atomic<uint64_t> NumCompilations{0};
+  std::atomic<uint64_t> NumCacheHits{0};
+  std::atomic<uint64_t> NumEvictions{0};
+  std::atomic<uint64_t> NumAnalyses{0};
+
+  // Declared last: ~WorkerPool drains and joins worker threads, which
+  // touch the shards and counters above — those must still be alive.
+  std::once_flag PoolOnce;
+  std::unique_ptr<WorkerPool> Pool;
 };
 
 } // namespace driver

@@ -461,7 +461,10 @@ template <typename To, typename From> const To *dyn_cast(const From *Node) {
 /// freshening. Factory methods are the only way to make nodes.
 class LContext {
 public:
-  LContext() : IntSingleton(), IntHashSingleton() {}
+  // errorType() is materialized eagerly: after a Compilation is built its
+  // LContext may serve many concurrent formal runs, and a lazily-written
+  // cache would race.
+  LContext() : IntSingleton(), IntHashSingleton() { (void)errorType(); }
   LContext(const LContext &) = delete;
   LContext &operator=(const LContext &) = delete;
 

@@ -30,6 +30,7 @@
 #include "support/Arena.h"
 #include "support/Symbol.h"
 
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <string>
@@ -363,7 +364,8 @@ public:
 private:
   Arena Mem;
   SymbolTable Symbols;
-  uint64_t Counter = 0;
+  /// Atomic: concurrent Machine runs share this name supply.
+  std::atomic<uint64_t> Counter{0};
 };
 
 /// \returns true for values w ::= λy.t | I#[n] | n (Figure 5).

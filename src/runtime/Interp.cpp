@@ -55,6 +55,9 @@ const std::vector<bool> &Interp::fieldStrictness(const DataCon *DC) {
 }
 
 Value *Interp::force(Value *V, InterpStats &S) {
+  // Nested thunk chains are forced one link at a time; each link's body
+  // runs on the iterative engine, so chain depth never consumes C++
+  // stack. Used by display/inspection paths (show, asBoxedInt callers).
   while (V && V->T == Value::Tag::Thunk) {
     if (V->Forced) {
       V = V->Forced;
@@ -68,26 +71,15 @@ Value *Interp::force(Value *V, InterpStats &S) {
     V->BlackHole = true;
     ++S.ThunkForces;
     Value *Result = evalIn(V->Suspended, V->SuspendedEnv, S);
-    if (!Result)
+    if (!Result) {
+      V->BlackHole = false; // Leave the thunk retryable (see evalIn).
       return nullptr;
+    }
     V->Forced = Result;
     V->BlackHole = false;
     V = Result;
   }
   return V;
-}
-
-Value *Interp::apply(Value *Fn, Value *Arg, InterpStats &S) {
-  Fn = force(Fn, S);
-  if (!Fn)
-    return nullptr;
-  if (Fn->T != Value::Tag::Closure) {
-    FailStatus = InterpStatus::RuntimeError;
-    FailMessage = "applying a non-function value";
-    return nullptr;
-  }
-  const EnvNode *Env = extend(Fn->CapturedEnv, Fn->Lam->var(), Arg);
-  return evalIn(Fn->Lam->body(), Env, S);
 }
 
 InterpResult Interp::eval(const Expr *E, uint64_t MaxSteps) {
@@ -107,27 +99,294 @@ InterpResult Interp::eval(const Expr *E, uint64_t MaxSteps) {
   return R;
 }
 
+/// One suspended continuation of the iterative engine — what a recursive
+/// evaluator would keep in a C++ stack frame. The engine alternates
+/// between Eval mode (walk an expression) and Return mode (feed the
+/// produced value to the innermost frame), so evaluation depth lives in a
+/// heap-allocated vector instead of the C++ stack.
+struct Interp::Frame {
+  enum class K : uint8_t {
+    Update,    ///< Write the produced value back into a forced thunk (V).
+    AppFn,     ///< Have the function value; evaluate or thunk E's arg.
+    AppArg,    ///< Have the strict argument; enter the saved function (V).
+    AppEnter,  ///< Have the forced function; enter it on the saved arg (V).
+    LetStrict, ///< Have the strict let's rhs; bind it and run E's body.
+    CaseScrut, ///< Have the scrutinee; select one of E's alternatives.
+    ConField,  ///< Have strict field Idx; keep building the box (V).
+    PrimArg,   ///< Have primop argument Idx (arg 0 saved in V).
+    TupleElem, ///< Have tuple element Idx; keep building the tuple (V).
+    ErrorMsg   ///< Have the error message; abort with Bottom.
+  };
+
+  K Kind;
+  const core::Expr *E = nullptr; ///< The node being continued.
+  const EnvNode *Env = nullptr;  ///< Its environment.
+  Value *V = nullptr;            ///< Frame-specific value slot.
+  uint32_t Idx = 0;              ///< Next field/argument index.
+};
+
 Value *Interp::evalIn(const Expr *E, const EnvNode *Env, InterpStats &S) {
-  // Iterative on tail positions; recursive elsewhere.
+  std::vector<Frame> Stack;
+  enum class Mode : uint8_t { Eval, Return };
+  Mode M = Mode::Eval;
+  Value *Ret = nullptr;
+
+  // Failure unwinding. An error's message is evaluated under an ErrorMsg
+  // frame; any failure (or inner bottom) propagating through one is
+  // rewritten to the enclosing error's own bottom, exactly as the
+  // recursive evaluator's unwinding did. Thunks that were black-holed by
+  // abandoned Update frames are reset to unforced, so a long-lived
+  // Executor can retry (e.g. with more fuel) without a spurious
+  // "<<loop>>"; genuine loops still trip the black hole while their
+  // frames are live.
+  auto failed = [&]() -> Value * {
+    bool UnderError = false;
+    for (const Frame &F : Stack) {
+      if (F.Kind == Frame::K::ErrorMsg)
+        UnderError = true;
+      else if (F.Kind == Frame::K::Update)
+        F.V->BlackHole = false;
+    }
+    if (UnderError) {
+      FailStatus = InterpStatus::Bottom;
+      FailMessage = "error";
+    }
+    return nullptr;
+  };
+  auto fail = [&](InterpStatus St, std::string Msg) -> Value * {
+    FailStatus = St;
+    FailMessage = std::move(Msg);
+    return failed();
+  };
+
+  // Enters a function value: forces it if it is a thunk (resuming the
+  // application afterwards via AppEnter), then binds the argument and
+  // tail-jumps into the body. Returns false on a non-function.
+  auto enter = [&](Value *Fn, Value *Arg) -> bool {
+    while (Fn->T == Value::Tag::Thunk && Fn->Forced)
+      Fn = Fn->Forced;
+    if (Fn->T == Value::Tag::Thunk) {
+      if (Fn->BlackHole) {
+        FailStatus = InterpStatus::RuntimeError;
+        FailMessage = "<<loop>>";
+        return false;
+      }
+      Fn->BlackHole = true;
+      ++S.ThunkForces;
+      Stack.push_back({Frame::K::AppEnter, nullptr, nullptr, Arg, 0});
+      Stack.push_back({Frame::K::Update, nullptr, nullptr, Fn, 0});
+      E = Fn->Suspended;
+      Env = Fn->SuspendedEnv;
+      M = Mode::Eval;
+      return true;
+    }
+    if (Fn->T != Value::Tag::Closure) {
+      FailStatus = InterpStatus::RuntimeError;
+      FailMessage = "applying a non-function value";
+      return false;
+    }
+    Env = extend(Fn->CapturedEnv, Fn->Lam->var(), Arg);
+    E = Fn->Lam->body();
+    M = Mode::Eval;
+    return true;
+  };
+
+  // Builds a constructor box from field Idx on: thunks lazy fields
+  // in-place, descends (via a ConField frame) into the next strict one,
+  // and completes the box once every field is filled.
+  auto buildCon = [&](const ConExpr *Con, const EnvNode *CEnv, Value *Box,
+                      size_t I) {
+    const std::vector<bool> &Strict = fieldStrictness(Con->dataCon());
+    for (; I != Con->args().size(); ++I) {
+      if (Strict[I]) {
+        Stack.push_back({Frame::K::ConField, Con, CEnv, Box,
+                         static_cast<uint32_t>(I)});
+        E = Con->args()[I];
+        Env = CEnv;
+        M = Mode::Eval;
+        return;
+      }
+      Box->Fields.push_back(makeThunk(Con->args()[I], CEnv, S));
+    }
+    ++S.BoxAllocs;
+    Ret = Box;
+    M = Mode::Return;
+  };
+
+  auto buildTuple = [&](const UnboxedTupleExpr *U, const EnvNode *UEnv,
+                        Value *Tup, size_t I) {
+    if (I != U->elems().size()) {
+      Stack.push_back({Frame::K::TupleElem, U, UEnv, Tup,
+                       static_cast<uint32_t>(I)});
+      E = U->elems()[I];
+      Env = UEnv;
+      M = Mode::Eval;
+      return;
+    }
+    ++S.TupleMoves;
+    Ret = Tup;
+    M = Mode::Return;
+  };
+
   for (;;) {
-    if (FuelLeft == 0) {
-      FailStatus = InterpStatus::OutOfFuel;
-      FailMessage = "step budget exhausted";
+    if (M == Mode::Return) {
+      if (Stack.empty())
+        return Ret;
+      Frame F = Stack.back();
+      Stack.pop_back();
+      switch (F.Kind) {
+      case Frame::K::Update:
+        F.V->Forced = Ret;
+        F.V->BlackHole = false;
+        continue; // Keep returning the same value.
+
+      case Frame::K::AppFn: {
+        const auto *A = cast<AppExpr>(F.E);
+        if (A->strictArg()) {
+          // Unlifted argument: call-by-value (an "integer register").
+          Stack.push_back({Frame::K::AppArg, nullptr, nullptr, Ret, 0});
+          E = A->arg();
+          Env = F.Env;
+          M = Mode::Eval;
+          continue;
+        }
+        // Lifted argument: pass a pointer to a heap thunk.
+        Value *Arg = makeThunk(A->arg(), F.Env, S);
+        if (!enter(Ret, Arg))
+          return failed();
+        continue;
+      }
+      case Frame::K::AppArg:
+        if (!enter(F.V, Ret))
+          return failed();
+        continue;
+      case Frame::K::AppEnter:
+        if (!enter(Ret, F.V))
+          return failed();
+        continue;
+
+      case Frame::K::LetStrict: {
+        const auto *L = cast<LetExpr>(F.E);
+        Env = extend(F.Env, L->var(), Ret);
+        E = L->body();
+        M = Mode::Eval;
+        continue;
+      }
+
+      case Frame::K::CaseScrut: {
+        const auto *Cs = cast<CaseExpr>(F.E);
+        Value *Scrut = Ret;
+        const Alt *Taken = nullptr;
+        const Alt *Default = nullptr;
+        for (const Alt &A : Cs->alts()) {
+          switch (A.Kind) {
+          case Alt::AltKind::Default:
+            Default = &A;
+            break;
+          case Alt::AltKind::ConPat:
+            if (Scrut->T == Value::Tag::Con && Scrut->DC == A.Con)
+              Taken = &A;
+            break;
+          case Alt::AltKind::LitPat:
+            if (Scrut->T == Value::Tag::IntHash &&
+                A.Lit.tag() == Literal::Tag::IntHash &&
+                Scrut->I == A.Lit.intValue())
+              Taken = &A;
+            else if (Scrut->T == Value::Tag::DoubleHash &&
+                     A.Lit.tag() == Literal::Tag::DoubleHash &&
+                     Scrut->D == A.Lit.doubleValue())
+              Taken = &A;
+            break;
+          case Alt::AltKind::TuplePat:
+            if (Scrut->T == Value::Tag::Tuple)
+              Taken = &A;
+            break;
+          }
+          if (Taken)
+            break;
+        }
+        if (!Taken)
+          Taken = Default;
+        if (!Taken)
+          return fail(InterpStatus::RuntimeError,
+                      "pattern-match failure in case");
+        Env = F.Env;
+        if (Taken->Kind == Alt::AltKind::ConPat ||
+            Taken->Kind == Alt::AltKind::TuplePat) {
+          for (size_t I = 0; I != Taken->Binders.size(); ++I)
+            Env = extend(Env, Taken->Binders[I], Scrut->Fields[I]);
+        }
+        E = Taken->Rhs;
+        M = Mode::Eval;
+        continue;
+      }
+
+      case Frame::K::ConField:
+        F.V->Fields.push_back(Ret);
+        buildCon(cast<ConExpr>(F.E), F.Env, F.V, F.Idx + 1);
+        continue;
+
+      case Frame::K::PrimArg: {
+        const auto *P = cast<PrimOpExpr>(F.E);
+        if (F.Idx + 1 < P->args().size()) {
+          Stack.push_back({Frame::K::PrimArg, P, F.Env, Ret, F.Idx + 1});
+          E = P->args()[F.Idx + 1];
+          Env = F.Env;
+          M = Mode::Eval;
+          continue;
+        }
+        Value *A0 = F.Idx == 0 ? Ret : F.V;
+        Value *A1 = F.Idx == 0 ? nullptr : Ret;
+        Ret = execPrim(P, A0, A1, S);
+        if (!Ret)
+          return failed();
+        M = Mode::Return;
+        continue;
+      }
+
+      case Frame::K::TupleElem:
+        F.V->Fields.push_back(Ret);
+        buildTuple(cast<UnboxedTupleExpr>(F.E), F.Env, F.V, F.Idx + 1);
+        continue;
+
+      case Frame::K::ErrorMsg:
+        FailStatus = InterpStatus::Bottom;
+        FailMessage = Ret->T == Value::Tag::Str
+                          ? std::string(Ret->S.str())
+                          : "error";
+        return failed();
+      }
+      assert(false && "unknown frame kind");
       return nullptr;
     }
+
+    if (FuelLeft == 0)
+      return fail(InterpStatus::OutOfFuel, "step budget exhausted");
     --FuelLeft;
     ++S.EvalSteps;
 
     switch (E->tag()) {
     case Expr::Tag::Var: {
       Value *V = lookup(Env, cast<VarExpr>(E)->name());
-      if (!V) {
-        FailStatus = InterpStatus::RuntimeError;
-        FailMessage = "unbound variable " +
-                      std::string(cast<VarExpr>(E)->name().str());
-        return nullptr;
+      if (!V)
+        return fail(InterpStatus::RuntimeError,
+                    "unbound variable " +
+                        std::string(cast<VarExpr>(E)->name().str()));
+      while (V->T == Value::Tag::Thunk && V->Forced)
+        V = V->Forced;
+      if (V->T == Value::Tag::Thunk) {
+        if (V->BlackHole)
+          return fail(InterpStatus::RuntimeError, "<<loop>>");
+        V->BlackHole = true;
+        ++S.ThunkForces;
+        Stack.push_back({Frame::K::Update, nullptr, nullptr, V, 0});
+        E = V->Suspended;
+        Env = V->SuspendedEnv;
+        continue;
       }
-      return force(V, S);
+      Ret = V;
+      M = Mode::Return;
+      continue;
     }
 
     case Expr::Tag::Lit: {
@@ -147,38 +406,15 @@ Value *Interp::evalIn(const Expr *E, const EnvNode *Env, InterpStats &S) {
         V->S = L.stringValue();
         break;
       }
-      return V;
+      Ret = V;
+      M = Mode::Return;
+      continue;
     }
 
-    case Expr::Tag::App: {
-      const auto *A = cast<AppExpr>(E);
-      Value *Fn = evalIn(A->fn(), Env, S);
-      if (!Fn)
-        return nullptr;
-      Value *Arg;
-      if (A->strictArg()) {
-        // Unlifted argument: call-by-value (an "integer register").
-        Arg = evalIn(A->arg(), Env, S);
-      } else {
-        // Lifted argument: pass a pointer to a heap thunk.
-        Arg = makeThunk(A->arg(), Env, S);
-      }
-      if (!Arg)
-        return nullptr;
-      if (Fn->T != Value::Tag::Closure) {
-        Fn = force(Fn, S);
-        if (!Fn)
-          return nullptr;
-      }
-      if (Fn->T != Value::Tag::Closure) {
-        FailStatus = InterpStatus::RuntimeError;
-        FailMessage = "applying a non-function value";
-        return nullptr;
-      }
-      Env = extend(Fn->CapturedEnv, Fn->Lam->var(), Arg);
-      E = Fn->Lam->body();
-      continue; // tail call
-    }
+    case Expr::Tag::App:
+      Stack.push_back({Frame::K::AppFn, E, Env, nullptr, 0});
+      E = cast<AppExpr>(E)->fn();
+      continue;
 
     case Expr::Tag::TyApp:
       // Erased.
@@ -196,20 +432,19 @@ Value *Interp::evalIn(const Expr *E, const EnvNode *Env, InterpStats &S) {
       V->T = Value::Tag::Closure;
       V->Lam = L;
       V->CapturedEnv = Env;
-      return V;
+      Ret = V;
+      M = Mode::Return;
+      continue;
     }
 
     case Expr::Tag::Let: {
       const auto *L = cast<LetExpr>(E);
-      Value *Rhs;
       if (L->strict()) {
-        Rhs = evalIn(L->rhs(), Env, S);
-        if (!Rhs)
-          return nullptr;
-      } else {
-        Rhs = makeThunk(L->rhs(), Env, S);
+        Stack.push_back({Frame::K::LetStrict, E, Env, nullptr, 0});
+        E = L->rhs();
+        continue;
       }
-      Env = extend(Env, L->var(), Rhs);
+      Env = extend(Env, L->var(), makeThunk(L->rhs(), Env, S));
       E = L->body();
       continue;
     }
@@ -235,140 +470,33 @@ Value *Interp::evalIn(const Expr *E, const EnvNode *Env, InterpStats &S) {
       continue;
     }
 
-    case Expr::Tag::Case: {
-      const auto *Cs = cast<CaseExpr>(E);
-      Value *Scrut = evalIn(Cs->scrut(), Env, S);
-      if (!Scrut)
-        return nullptr;
-      const Alt *Taken = nullptr;
-      const Alt *Default = nullptr;
-      for (const Alt &A : Cs->alts()) {
-        switch (A.Kind) {
-        case Alt::AltKind::Default:
-          Default = &A;
-          break;
-        case Alt::AltKind::ConPat:
-          if (Scrut->T == Value::Tag::Con && Scrut->DC == A.Con)
-            Taken = &A;
-          break;
-        case Alt::AltKind::LitPat:
-          if (Scrut->T == Value::Tag::IntHash &&
-              A.Lit.tag() == Literal::Tag::IntHash &&
-              Scrut->I == A.Lit.intValue())
-            Taken = &A;
-          else if (Scrut->T == Value::Tag::DoubleHash &&
-                   A.Lit.tag() == Literal::Tag::DoubleHash &&
-                   Scrut->D == A.Lit.doubleValue())
-            Taken = &A;
-          break;
-        case Alt::AltKind::TuplePat:
-          if (Scrut->T == Value::Tag::Tuple)
-            Taken = &A;
-          break;
-        }
-        if (Taken)
-          break;
-      }
-      if (!Taken)
-        Taken = Default;
-      if (!Taken) {
-        FailStatus = InterpStatus::RuntimeError;
-        FailMessage = "pattern-match failure in case";
-        return nullptr;
-      }
-      if (Taken->Kind == Alt::AltKind::ConPat ||
-          Taken->Kind == Alt::AltKind::TuplePat) {
-        for (size_t I = 0; I != Taken->Binders.size(); ++I)
-          Env = extend(Env, Taken->Binders[I], Scrut->Fields[I]);
-      }
-      E = Taken->Rhs;
+    case Expr::Tag::Case:
+      Stack.push_back({Frame::K::CaseScrut, E, Env, nullptr, 0});
+      E = cast<CaseExpr>(E)->scrut();
       continue;
-    }
 
     case Expr::Tag::Con: {
       const auto *Con = cast<ConExpr>(E);
-      const std::vector<bool> &Strict = fieldStrictness(Con->dataCon());
       Value *V = newValue();
       V->T = Value::Tag::Con;
       V->DC = Con->dataCon();
       V->Fields.reserve(Con->args().size());
-      for (size_t I = 0; I != Con->args().size(); ++I) {
-        Value *F;
-        if (Strict[I]) {
-          F = evalIn(Con->args()[I], Env, S);
-          if (!F)
-            return nullptr;
-        } else {
-          F = makeThunk(Con->args()[I], Env, S);
-        }
-        V->Fields.push_back(F);
-      }
-      ++S.BoxAllocs;
-      return V;
+      buildCon(Con, Env, V, 0);
+      continue;
     }
 
     case Expr::Tag::Prim: {
       const auto *P = cast<PrimOpExpr>(E);
-      Value *Args[2] = {nullptr, nullptr};
-      for (size_t I = 0; I != P->args().size(); ++I) {
-        Args[I] = evalIn(P->args()[I], Env, S);
-        if (!Args[I])
-          return nullptr;
+      if (P->args().empty()) {
+        Ret = execPrim(P, nullptr, nullptr, S);
+        if (!Ret)
+          return failed();
+        M = Mode::Return;
+        continue;
       }
-      ++S.PrimOps;
-      Value *V = newValue();
-      auto IntResult = [&](int64_t X) {
-        V->T = Value::Tag::IntHash;
-        V->I = X;
-        return V;
-      };
-      auto DoubleResult = [&](double X) {
-        V->T = Value::Tag::DoubleHash;
-        V->D = X;
-        return V;
-      };
-      switch (P->op()) {
-      case PrimOp::AddI: return IntResult(Args[0]->I + Args[1]->I);
-      case PrimOp::SubI: return IntResult(Args[0]->I - Args[1]->I);
-      case PrimOp::MulI: return IntResult(Args[0]->I * Args[1]->I);
-      case PrimOp::QuotI:
-      case PrimOp::RemI:
-        if (Args[1]->I == 0) {
-          FailStatus = InterpStatus::RuntimeError;
-          FailMessage = "divide by zero";
-          return nullptr;
-        }
-        return IntResult(P->op() == PrimOp::QuotI
-                             ? Args[0]->I / Args[1]->I
-                             : Args[0]->I % Args[1]->I);
-      case PrimOp::NegI: return IntResult(-Args[0]->I);
-      case PrimOp::LtI: return IntResult(Args[0]->I < Args[1]->I ? 1 : 0);
-      case PrimOp::LeI: return IntResult(Args[0]->I <= Args[1]->I ? 1 : 0);
-      case PrimOp::GtI: return IntResult(Args[0]->I > Args[1]->I ? 1 : 0);
-      case PrimOp::GeI: return IntResult(Args[0]->I >= Args[1]->I ? 1 : 0);
-      case PrimOp::EqI: return IntResult(Args[0]->I == Args[1]->I ? 1 : 0);
-      case PrimOp::NeI: return IntResult(Args[0]->I != Args[1]->I ? 1 : 0);
-      case PrimOp::AddD: return DoubleResult(Args[0]->D + Args[1]->D);
-      case PrimOp::SubD: return DoubleResult(Args[0]->D - Args[1]->D);
-      case PrimOp::MulD: return DoubleResult(Args[0]->D * Args[1]->D);
-      case PrimOp::DivD: return DoubleResult(Args[0]->D / Args[1]->D);
-      case PrimOp::NegD: return DoubleResult(-Args[0]->D);
-      case PrimOp::LtD: return IntResult(Args[0]->D < Args[1]->D ? 1 : 0);
-      case PrimOp::EqD: return IntResult(Args[0]->D == Args[1]->D ? 1 : 0);
-      case PrimOp::Int2Double:
-        return DoubleResult(double(Args[0]->I));
-      case PrimOp::Double2Int:
-        return IntResult(int64_t(Args[0]->D));
-      case PrimOp::IsTrue: {
-        V->T = Value::Tag::Con;
-        V->DC = Args[0]->I != 0 ? C.trueCon() : C.falseCon();
-        ++S.BoxAllocs;
-        return V;
-      }
-      }
-      FailStatus = InterpStatus::RuntimeError;
-      FailMessage = "unknown primop";
-      return nullptr;
+      Stack.push_back({Frame::K::PrimArg, E, Env, nullptr, 0});
+      E = P->args()[0];
+      continue;
     }
 
     case Expr::Tag::UnboxedTuple: {
@@ -378,30 +506,75 @@ Value *Interp::evalIn(const Expr *E, const EnvNode *Env, InterpStats &S) {
       Value *V = newValue();
       V->T = Value::Tag::Tuple;
       V->Fields.reserve(U->elems().size());
-      for (const Expr *El : U->elems()) {
-        Value *F = evalIn(El, Env, S);
-        if (!F)
-          return nullptr;
-        V->Fields.push_back(F);
-      }
-      ++S.TupleMoves;
-      return V;
+      buildTuple(U, Env, V, 0);
+      continue;
     }
 
-    case Expr::Tag::Error: {
-      const auto *Err = cast<ErrorExpr>(E);
-      Value *Msg = evalIn(Err->message(), Env, S);
-      FailStatus = InterpStatus::Bottom;
-      FailMessage =
-          Msg && Msg->T == Value::Tag::Str
-              ? std::string(Msg->S.str())
-              : "error";
-      return nullptr;
-    }
+    case Expr::Tag::Error:
+      Stack.push_back({Frame::K::ErrorMsg, E, Env, nullptr, 0});
+      E = cast<ErrorExpr>(E)->message();
+      continue;
     }
     assert(false && "unknown expr tag");
     return nullptr;
   }
+}
+
+Value *Interp::execPrim(const core::PrimOpExpr *P, Value *A0, Value *A1,
+                        InterpStats &S) {
+  ++S.PrimOps;
+  Value *V = newValue();
+  auto IntResult = [&](int64_t X) {
+    V->T = Value::Tag::IntHash;
+    V->I = X;
+    return V;
+  };
+  auto DoubleResult = [&](double X) {
+    V->T = Value::Tag::DoubleHash;
+    V->D = X;
+    return V;
+  };
+  switch (P->op()) {
+  case PrimOp::AddI: return IntResult(A0->I + A1->I);
+  case PrimOp::SubI: return IntResult(A0->I - A1->I);
+  case PrimOp::MulI: return IntResult(A0->I * A1->I);
+  case PrimOp::QuotI:
+  case PrimOp::RemI:
+    if (A1->I == 0) {
+      FailStatus = InterpStatus::RuntimeError;
+      FailMessage = "divide by zero";
+      return nullptr;
+    }
+    return IntResult(P->op() == PrimOp::QuotI ? A0->I / A1->I
+                                              : A0->I % A1->I);
+  case PrimOp::NegI: return IntResult(-A0->I);
+  case PrimOp::LtI: return IntResult(A0->I < A1->I ? 1 : 0);
+  case PrimOp::LeI: return IntResult(A0->I <= A1->I ? 1 : 0);
+  case PrimOp::GtI: return IntResult(A0->I > A1->I ? 1 : 0);
+  case PrimOp::GeI: return IntResult(A0->I >= A1->I ? 1 : 0);
+  case PrimOp::EqI: return IntResult(A0->I == A1->I ? 1 : 0);
+  case PrimOp::NeI: return IntResult(A0->I != A1->I ? 1 : 0);
+  case PrimOp::AddD: return DoubleResult(A0->D + A1->D);
+  case PrimOp::SubD: return DoubleResult(A0->D - A1->D);
+  case PrimOp::MulD: return DoubleResult(A0->D * A1->D);
+  case PrimOp::DivD: return DoubleResult(A0->D / A1->D);
+  case PrimOp::NegD: return DoubleResult(-A0->D);
+  case PrimOp::LtD: return IntResult(A0->D < A1->D ? 1 : 0);
+  case PrimOp::EqD: return IntResult(A0->D == A1->D ? 1 : 0);
+  case PrimOp::Int2Double:
+    return DoubleResult(double(A0->I));
+  case PrimOp::Double2Int:
+    return IntResult(int64_t(A0->D));
+  case PrimOp::IsTrue: {
+    V->T = Value::Tag::Con;
+    V->DC = A0->I != 0 ? C.trueCon() : C.falseCon();
+    ++S.BoxAllocs;
+    return V;
+  }
+  }
+  FailStatus = InterpStatus::RuntimeError;
+  FailMessage = "unknown primop";
+  return nullptr;
 }
 
 std::optional<int64_t> Interp::asIntHash(const Value *V) {

@@ -19,9 +19,15 @@
 /// levity polymorphism requires (Section 4.3: "the compiled code remains
 /// the same as it always was").
 ///
-/// Tail positions (application bodies, let bodies, case alternatives) are
-/// executed iteratively, so tail-recursive core programs (sumTo!) run in
-/// constant C++ stack.
+/// The evaluator is fully iterative: an explicit frame stack replaces C++
+/// recursion, so not only tail-recursive loops (sumTo#) but also deeply
+/// nested thunk chains — the boxed sumTo's 20000-deep accumulator — run
+/// in constant C++ stack. Deep programs end in OutOfFuel, never a stack
+/// overflow.
+///
+/// One Interp is single-threaded mutable state (value pool, environments,
+/// memoized global thunks, fuel); concurrent execution uses one Interp per
+/// thread over a shared immutable program (see driver::Executor).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -158,11 +164,18 @@ private:
   /// Whether a data-constructor field is unlifted (strict).
   const std::vector<bool> &fieldStrictness(const core::DataCon *DC);
 
-  /// The recursive evaluator; returns nullptr on Bottom/RuntimeError with
-  /// Fail* set.
+  /// One suspended continuation of the iterative engine (what a recursive
+  /// evaluator would keep in a C++ stack frame).
+  struct Frame;
+
+  /// The iterative evaluator; returns nullptr on Bottom/RuntimeError with
+  /// Fail* set. Constant C++ stack depth regardless of program shape.
   Value *evalIn(const core::Expr *E, const EnvNode *Env, InterpStats &S);
+  /// Forces \p V to WHNF (iteratively). Used by show()/display paths.
   Value *force(Value *V, InterpStats &S);
-  Value *apply(Value *Fn, Value *Arg, InterpStats &S);
+  /// Executes one primop on already-evaluated arguments.
+  Value *execPrim(const core::PrimOpExpr *P, Value *A0, Value *A1,
+                  InterpStats &S);
 
   core::CoreContext &C;
   core::CoreChecker Checker;

@@ -12,6 +12,15 @@
 /// destructible (variable-length payloads are stored as arena-copied arrays
 /// viewed through std::span).
 ///
+/// Allocation is internally synchronized (one mutex around the shared
+/// bump pointer), so many threads may allocate from one arena
+/// concurrently — each allocate() call returns a block that is private to
+/// its caller until published. That is what lets several
+/// driver::Executors share one immutable Compilation while the abstract
+/// machine allocates fresh terms during runs; concurrent allocations do
+/// serialize on the lock. Published nodes are never moved or freed, so
+/// readers need no locking.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LEVITY_SUPPORT_ARENA_H
@@ -21,6 +30,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <type_traits>
 #include <utility>
@@ -34,12 +44,12 @@ public:
   Arena() = default;
   Arena(const Arena &) = delete;
   Arena &operator=(const Arena &) = delete;
-  Arena(Arena &&) = default;
-  Arena &operator=(Arena &&) = default;
 
-  /// Allocates \p Size bytes aligned to \p Align.
+  /// Allocates \p Size bytes aligned to \p Align. Thread-safe; the
+  /// returned block is private to the caller until it publishes it.
   void *allocate(size_t Size, size_t Align) {
     assert((Align & (Align - 1)) == 0 && "alignment must be a power of two");
+    std::lock_guard<std::mutex> Lock(Mutex);
     uintptr_t P = reinterpret_cast<uintptr_t>(Cur);
     uintptr_t Aligned = (P + Align - 1) & ~(Align - 1);
     if (Aligned + Size > reinterpret_cast<uintptr_t>(End)) {
@@ -84,10 +94,16 @@ public:
   }
 
   /// \returns total bytes reserved across all slabs.
-  size_t bytesReserved() const { return BytesReserved; }
+  size_t bytesReserved() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return BytesReserved;
+  }
 
   /// \returns the number of allocations served.
-  size_t numAllocations() const { return NumAllocations; }
+  size_t numAllocations() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return NumAllocations;
+  }
 
 private:
   void growSlab(size_t MinSize) {
@@ -106,6 +122,7 @@ private:
     size_t Size;
   };
 
+  mutable std::mutex Mutex;
   std::vector<Slab> Slabs;
   char *Cur = nullptr;
   char *End = nullptr;

@@ -21,6 +21,7 @@
 #include <cassert>
 #include <cstring>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -63,7 +64,10 @@ struct SymbolHash {
   size_t operator()(Symbol S) const { return S.hash(); }
 };
 
-/// Owns interned identifier strings and hands out Symbols.
+/// Owns interned identifier strings and hands out Symbols. Internally
+/// synchronized: interning and freshening may be called from many threads
+/// (e.g. concurrent abstract-machine runs sharing one context's name
+/// supply). Symbols themselves are immutable values and need no locking.
 class SymbolTable {
 public:
   SymbolTable() = default;
@@ -72,6 +76,28 @@ public:
 
   /// Interns \p Name, returning the unique Symbol for it.
   Symbol intern(std::string_view Name) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return internLocked(Name);
+  }
+
+  /// Interns a name guaranteed distinct from every symbol interned so far,
+  /// derived from \p Base (e.g. "x" -> "x'3"). Used by capture-avoiding
+  /// substitution and the ANF compiler's fresh-variable supply.
+  Symbol fresh(std::string_view Base) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    std::string Candidate(Base);
+    while (Map.count(Candidate))
+      Candidate = std::string(Base) + "'" + std::to_string(FreshCounter++);
+    return internLocked(Candidate);
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Map.size();
+  }
+
+private:
+  Symbol internLocked(std::string_view Name) {
     auto It = Map.find(Name);
     if (It != Map.end())
       return It->second;
@@ -84,19 +110,7 @@ public:
     return S;
   }
 
-  /// Interns a name guaranteed distinct from every symbol interned so far,
-  /// derived from \p Base (e.g. "x" -> "x'3"). Used by capture-avoiding
-  /// substitution and the ANF compiler's fresh-variable supply.
-  Symbol fresh(std::string_view Base) {
-    std::string Candidate(Base);
-    while (Map.count(Candidate))
-      Candidate = std::string(Base) + "'" + std::to_string(FreshCounter++);
-    return intern(Candidate);
-  }
-
-  size_t size() const { return Map.size(); }
-
-private:
+  mutable std::mutex Mutex;
   Arena Strings;
   std::unordered_map<std::string_view, Symbol> Map;
   uint64_t FreshCounter = 0;

@@ -8,32 +8,38 @@
 /// \file
 /// The end-to-end pipeline fixture shared by the integration and surface
 /// test suites: one driver::Session per test, with thin views over the
-/// Compilation so assertions read like the old hand-wired pipeline.
+/// Compilation (immutable artifact) and its Executor (this test's run
+/// state) so assertions read like the old hand-wired pipeline.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef LEVITY_TESTS_PIPELINEFIXTURE_H
 #define LEVITY_TESTS_PIPELINEFIXTURE_H
 
+#include "driver/Executor.h"
 #include "driver/Session.h"
+
+#include <optional>
 
 namespace levity {
 
 struct Pipeline {
   driver::Session S;
   std::shared_ptr<driver::Compilation> Comp;
+  std::optional<driver::Executor> Exec;
 
   bool compile(std::string_view Src) {
     Comp = S.compile(Src);
+    Exec.emplace(Comp);
     return Comp->ok();
   }
 
   runtime::InterpResult evalName(std::string_view Name) {
-    return Comp->evalName(Name);
+    return Exec->evalName(Name);
   }
 
   const DiagnosticEngine &diags() const { return Comp->diags(); }
-  runtime::Interp &interp() { return Comp->interp(); }
+  runtime::Interp &interp() { return Exec->interp(); }
   core::CoreContext &ctx() { return Comp->ctx(); }
   const surface::Elaborator &elaborator() const {
     return Comp->elaborator();

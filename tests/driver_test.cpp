@@ -18,10 +18,13 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "driver/Executor.h"
 #include "driver/Session.h"
 #include "runtime/Samples.h"
 
 #include <gtest/gtest.h>
+
+#include <type_traits>
 
 using namespace levity;
 using namespace levity::driver;
@@ -71,15 +74,81 @@ TEST(DriverTest, BackendsAgreeOnQuickstartAllocations) {
   EXPECT_EQ(Mach.allocations(), 1u);
   EXPECT_EQ(Tree.allocations(), Mach.allocations());
 
-  // Re-running is deterministic too — but the cost models differ on
-  // purpose: the machine replays from an empty heap (same 1 allocation),
-  // while the tree interpreter's global thunks are memoized, so the
-  // second force allocates nothing at all.
+  // Re-running through the *Compilation* uses a fresh transient Executor
+  // per call: both backends replay from scratch, deterministically.
   RunResult Tree2 = Comp->run("answer", Backend::TreeInterp);
   RunResult Mach2 = Comp->run("answer", Backend::AbstractMachine);
+  EXPECT_EQ(Tree2.allocations(), Tree.allocations());
   EXPECT_EQ(Mach2.allocations(), Mach.allocations());
-  EXPECT_EQ(Tree2.allocations(), 0u);
   EXPECT_EQ(Tree2.IntValue.value_or(-1), 42);
+}
+
+TEST(DriverTest, ExecutorMemoizesGlobalThunksAcrossRuns) {
+  // A long-lived Executor keeps its interpreter: global thunks are
+  // memoized, so the second tree run allocates nothing at all. (The
+  // machine backend replays from an empty heap on purpose.)
+  Session S;
+  auto Comp = S.compile(QuickstartSrc);
+  ASSERT_TRUE(Comp->ok()) << Comp->diagText();
+
+  Executor Ex(Comp);
+  RunResult First = Ex.run("answer", Backend::TreeInterp);
+  ASSERT_TRUE(First.ok()) << First.Error;
+  EXPECT_EQ(First.allocations(), 1u);
+
+  RunResult Second = Ex.run("answer", Backend::TreeInterp);
+  ASSERT_TRUE(Second.ok()) << Second.Error;
+  EXPECT_EQ(Second.allocations(), 0u);
+  EXPECT_EQ(Second.IntValue.value_or(-1), 42);
+
+  RunResult Mach = Ex.run("answer", Backend::AbstractMachine);
+  ASSERT_TRUE(Mach.ok()) << Mach.Error;
+  EXPECT_EQ(Mach.allocations(), 1u);
+}
+
+TEST(DriverTest, ExecutorRecoversAfterOutOfFuel) {
+  // A failed run must not leave global thunks black-holed: raising the
+  // fuel on the same Executor and retrying succeeds (no bogus <<loop>>).
+  Session S;
+  auto Comp = S.compile("sumToH :: Int# -> Int# -> Int# ;"
+                        "sumToH acc n = case n of {"
+                        "  0# -> acc ; _ -> sumToH (acc +# n) (n -# 1#)"
+                        "} ;"
+                        "total = sumToH 0# 1000#");
+  ASSERT_TRUE(Comp->ok()) << Comp->diagText();
+
+  Executor Ex(Comp);
+  Ex.options().MaxInterpSteps = 10; // Starve the first run.
+  RunResult Starved = Ex.run("total", Backend::TreeInterp);
+  EXPECT_EQ(Starved.St, RunResult::Status::OutOfFuel);
+
+  Ex.options().MaxInterpSteps = 200000000;
+  RunResult Retry = Ex.run("total", Backend::TreeInterp);
+  ASSERT_TRUE(Retry.ok()) << Retry.Error;
+  EXPECT_EQ(Retry.IntValue.value_or(-1), 500500);
+}
+
+TEST(DriverTest, RunAndGlobalTypeAreConstOnTheArtifact) {
+  // The artifact/executor split's contract: a Compilation is immutable
+  // after build, so running and type lookup work through a const ref.
+  Session S;
+  auto Comp = S.compile(QuickstartSrc);
+  ASSERT_TRUE(Comp->ok()) << Comp->diagText();
+
+  const Compilation &Artifact = *Comp;
+  RunResult R = Artifact.run("answer", Backend::TreeInterp);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.IntValue.value_or(-1), 42);
+
+  const core::Type *T = Artifact.globalType("square");
+  ASSERT_NE(T, nullptr);
+  EXPECT_NE(T->str().find("Int#"), std::string::npos) << T->str();
+
+  static_assert(
+      std::is_same_v<decltype(&Compilation::globalType),
+                     const core::Type *(Compilation::*)(std::string_view)
+                         const>,
+      "globalType must be const-qualified");
 }
 
 TEST(DriverTest, BackendsAgreeOnBoxedProgram) {
@@ -254,12 +323,28 @@ TEST(DriverTest, ProgrammaticCompilationRidesTheFacade) {
   ASSERT_TRUE(Comp->ok());
   RunResult R = Comp->run("sumTo#");
   ASSERT_TRUE(R.ok()) << R.Error; // a function value
+  Executor Ex(Comp);
   runtime::InterpResult IR =
-      Comp->evalExpr(runtime::callSumToUnboxed(Comp->ctx(), 100));
+      Ex.evalExpr(runtime::callSumToUnboxed(Comp->ctx(), 100));
   ASSERT_EQ(IR.Status, runtime::InterpStatus::Value);
   EXPECT_EQ(runtime::Interp::asIntHash(IR.V).value_or(-1), 5050);
   // The unboxed loop allocates nothing (Section 2.1's claim).
   EXPECT_EQ(IR.Stats.ThunkAllocs + IR.Stats.BoxAllocs, 0u);
+}
+
+TEST(DriverTest, CatalogAnalysisRidesTheDriver) {
+  Session S;
+  CatalogAnalysis A = S.analyzeCatalog();
+  ASSERT_TRUE(A.ok());
+  EXPECT_EQ(A.Report.NumClasses, 76u);
+  EXPECT_GE(A.Report.NumGeneralizable, 25u);
+  EXPECT_LE(A.Report.NumGeneralizable, 40u);
+  // Stage timings ride the same report shape as Compilation's.
+  ASSERT_GE(A.Timings.size(), 3u);
+  EXPECT_EQ(A.Timings[0].Stage, "elaborate-catalog");
+  EXPECT_NE(A.timingReport().find("total"), std::string::npos);
+  EXPECT_NE(A.table().find("GENERALIZE"), std::string::npos);
+  EXPECT_EQ(S.stats().Analyses, 1u);
 }
 
 //===----------------------------------------------------------------------===//
