@@ -9,10 +9,13 @@
 // executes in less than 0.01s when using unboxed Ints, but takes more
 // [than] 2s when using boxed integers."
 //
-// Two levels:
-//   * Interp/...   — the instrumented abstract machine running the
+// Three levels:
+//   * Interp/...   — the instrumented tree interpreter running the
 //     elaborated sumTo/sumTo#; counters show the per-iteration heap
 //     traffic that explains the gap (2 thunks + 2 boxes vs 0).
+//   * Machine/...  — the same loop on the formal backend (core → L →
+//     Figure 7 ANF → the Figure 6 machine): the tree-vs-machine number
+//     on a real recursive loop, with the machine's own cost counters.
 //   * Native/...   — natively-lowered equivalents of what the code
 //     generator would emit: a register loop vs a heap-box-and-thunk
 //     loop, at the paper's 10M iterations.
@@ -89,6 +92,75 @@ void BM_InterpUnboxedDouble(benchmark::State &State) {
 }
 
 //===--------------------------------------------------------------------===//
+// The abstract-machine backend (core → L → ANF → M, Figures 5-7) on the
+// same loop — the tree-vs-machine number the widened lowering fragment
+// (comparison chains, fix/RECLET recursion) unlocks.
+//===--------------------------------------------------------------------===//
+
+/// One cached surface Compilation per loop bound, so the benchmark body
+/// measures machine execution, not compilation or lowering.
+std::shared_ptr<driver::Compilation> machineComp(int64_t N, bool Boxed) {
+  static driver::Session S;
+  char Src[512];
+  if (Boxed)
+    std::snprintf(Src, sizeof(Src),
+                  "sumTo :: Int -> Int -> Int ;"
+                  "sumTo acc n = case n of {"
+                  "  0 -> acc ; _ -> sumTo (acc + n) (n - 1)"
+                  "} ;"
+                  "loop = sumTo (I# 0#) (I# %lld#)",
+                  (long long)N);
+  else
+    std::snprintf(Src, sizeof(Src),
+                  "sumToH :: Int# -> Int# -> Int# ;"
+                  "sumToH acc n = case n of {"
+                  "  0# -> acc ; _ -> sumToH (acc +# n) (n -# 1#)"
+                  "} ;"
+                  "loop = sumToH 0# %lld#",
+                  (long long)N);
+  return S.compile(Src);
+}
+
+void BM_MachineUnboxed(benchmark::State &State) {
+  int64_t N = State.range(0);
+  auto Comp = machineComp(N, /*Boxed=*/false);
+  uint64_t Heap = 0, Steps = 0;
+  for (auto _ : State) {
+    driver::RunResult R =
+        Comp->run("loop", driver::Backend::AbstractMachine);
+    if (!R.ok()) {
+      State.SkipWithError(R.Error.c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(R.IntValue);
+    Heap = R.Machine.Allocations;
+    Steps = R.Machine.Steps;
+  }
+  State.SetItemsProcessed(State.iterations() * N);
+  State.counters["heap-allocs/loop"] = double(Heap);
+  State.counters["machine-steps/iter"] = double(Steps) / double(N);
+}
+
+void BM_MachineBoxed(benchmark::State &State) {
+  int64_t N = State.range(0);
+  auto Comp = machineComp(N, /*Boxed=*/true);
+  uint64_t Heap = 0;
+  for (auto _ : State) {
+    driver::RunResult R =
+        Comp->run("loop", driver::Backend::AbstractMachine);
+    if (!R.ok()) {
+      State.SkipWithError(R.Error.c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(R.IntValue);
+    Heap = R.Machine.Allocations;
+  }
+  State.SetItemsProcessed(State.iterations() * N);
+  State.counters["heap-allocs/loop"] = double(Heap);
+  State.counters["heap-allocs/iter"] = double(Heap) / double(N);
+}
+
+//===--------------------------------------------------------------------===//
 // Natively-lowered equivalents (what compiled code does).
 //===--------------------------------------------------------------------===//
 
@@ -136,6 +208,8 @@ void BM_NativeBoxed(benchmark::State &State) {
 BENCHMARK(BM_InterpBoxed)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_InterpUnboxed)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_InterpUnboxedDouble)->Arg(10000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MachineUnboxed)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MachineBoxed)->Arg(1000)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_NativeUnboxed)->Arg(10000000)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_NativeBoxed)->Arg(10000000)->Unit(benchmark::kMillisecond);
 

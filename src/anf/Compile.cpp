@@ -15,6 +15,61 @@ using lcalc::TypeEnv;
 using mcalc::MVar;
 using mcalc::Term;
 
+namespace {
+
+/// The L and M primop enums are mirrored; keep the mapping explicit so a
+/// divergence is a compile/assert failure, not silent misbehavior.
+mcalc::MPrim toMPrim(lcalc::LPrim Op) {
+  switch (Op) {
+  case lcalc::LPrim::Add:
+    return mcalc::MPrim::Add;
+  case lcalc::LPrim::Sub:
+    return mcalc::MPrim::Sub;
+  case lcalc::LPrim::Mul:
+    return mcalc::MPrim::Mul;
+  case lcalc::LPrim::Quot:
+    return mcalc::MPrim::Quot;
+  case lcalc::LPrim::Rem:
+    return mcalc::MPrim::Rem;
+  case lcalc::LPrim::Lt:
+    return mcalc::MPrim::Lt;
+  case lcalc::LPrim::Le:
+    return mcalc::MPrim::Le;
+  case lcalc::LPrim::Gt:
+    return mcalc::MPrim::Gt;
+  case lcalc::LPrim::Ge:
+    return mcalc::MPrim::Ge;
+  case lcalc::LPrim::Eq:
+    return mcalc::MPrim::Eq;
+  case lcalc::LPrim::Ne:
+    return mcalc::MPrim::Ne;
+  case lcalc::LPrim::DAdd:
+    return mcalc::MPrim::DAdd;
+  case lcalc::LPrim::DSub:
+    return mcalc::MPrim::DSub;
+  case lcalc::LPrim::DMul:
+    return mcalc::MPrim::DMul;
+  case lcalc::LPrim::DDiv:
+    return mcalc::MPrim::DDiv;
+  case lcalc::LPrim::DLt:
+    return mcalc::MPrim::DLt;
+  case lcalc::LPrim::DLe:
+    return mcalc::MPrim::DLe;
+  case lcalc::LPrim::DGt:
+    return mcalc::MPrim::DGt;
+  case lcalc::LPrim::DGe:
+    return mcalc::MPrim::DGe;
+  case lcalc::LPrim::DEq:
+    return mcalc::MPrim::DEq;
+  case lcalc::LPrim::DNe:
+    return mcalc::MPrim::DNe;
+  }
+  assert(false && "unknown L primop");
+  return mcalc::MPrim::Add;
+}
+
+} // namespace
+
 Result<const Term *> Compiler::compile(TypeEnv &Env, const Expr *E) {
   switch (E->kind()) {
   case Expr::ExprKind::Var: {
@@ -31,12 +86,17 @@ Result<const Term *> Compiler::compile(TypeEnv &Env, const Expr *E) {
     // C_INTLIT.
     return MC.lit(lcalc::cast<lcalc::IntLitExpr>(E)->value());
 
+  case Expr::ExprKind::DoubleLit:
+    // C_DBLLIT.
+    return MC.dlit(lcalc::cast<lcalc::DoubleLitExpr>(E)->value());
+
   case Expr::ExprKind::Error:
-    // C_ERROR.
-    return MC.error();
+    // C_ERROR (the diagnostic message rides along).
+    return MC.error(lcalc::cast<lcalc::ErrorExpr>(E)->message());
 
   case Expr::ExprKind::App: {
-    // C_APPLAZY / C_APPINT: the argument's *kind* selects let vs let!.
+    // C_APPLAZY / C_APPINT / C_APPDBL: the argument's *kind* selects let
+    // vs let! and the strict binder's register sort.
     const auto *A = lcalc::cast<lcalc::AppExpr>(E);
     Result<const lcalc::Type *> ArgTy = TC.typeOf(Env, A->arg());
     if (!ArgTy)
@@ -60,13 +120,15 @@ Result<const Term *> Compiler::compile(TypeEnv &Env, const Expr *E) {
       MVar P = MC.freshPtr();
       return MC.let(P, *Arg, MC.appVar(*Fn, P));
     }
-    // C_APPINT: ⟦e1 e2⟧ = let! i = t2 in t1 i.
-    MVar I = MC.freshInt();
-    return MC.letBang(I, *Arg, MC.appVar(*Fn, I));
+    // C_APPINT / C_APPDBL: ⟦e1 e2⟧ = let! y = t2 in t1 y.
+    MVar Y = K->rep().rep() == lcalc::ConcreteRep::I ? MC.freshInt()
+                                                     : MC.freshDbl();
+    return MC.letBang(Y, *Arg, MC.appVar(*Fn, Y));
   }
 
   case Expr::ExprKind::Lam: {
-    // C_LAMPTR / C_LAMINT: the binder's kind selects the register sort.
+    // C_LAMPTR / C_LAMINT / C_LAMDBL: the binder's kind selects the
+    // register sort.
     const auto *L = lcalc::cast<lcalc::LamExpr>(E);
     Result<LKind> K = TC.kindOf(Env, L->varType());
     if (!K)
@@ -76,8 +138,10 @@ Result<const Term *> Compiler::compile(TypeEnv &Env, const Expr *E) {
                  std::string(L->var().str()) + " : " +
                  L->varType()->str() + " :: " + K->str());
 
-    MVar Y = K->rep().rep() == lcalc::ConcreteRep::P ? MC.freshPtr()
-                                                     : MC.freshInt();
+    MVar Y = K->rep().rep() == lcalc::ConcreteRep::P
+                 ? MC.freshPtr()
+                 : (K->rep().rep() == lcalc::ConcreteRep::I ? MC.freshInt()
+                                                            : MC.freshDbl());
     auto Saved = VarMap.find(L->var());
     std::optional<MVar> Shadowed;
     if (Saved != VarMap.end())
@@ -96,9 +160,10 @@ Result<const Term *> Compiler::compile(TypeEnv &Env, const Expr *E) {
   }
 
   case Expr::ExprKind::Prim: {
-    // C_PRIM: ⟦e1 ⊕# e2⟧ = let! i1 = t1 in let! i2 = t2 in i1 ⊕# i2.
-    // Operands are Int# (kind TYPE I), so both bindings are strict and
-    // the atoms land in integer registers.
+    // C_PRIM: ⟦e1 ⊕# e2⟧ = let! y1 = t1 in let! y2 = t2 in y1 ⊕# y2.
+    // Operands are unboxed (kind TYPE I or TYPE D per the operator), so
+    // both bindings are strict and the atoms land in the matching
+    // registers.
     const auto *P = lcalc::cast<lcalc::PrimExpr>(E);
     Result<const Term *> Lhs = compile(Env, P->lhs());
     if (!Lhs)
@@ -106,25 +171,61 @@ Result<const Term *> Compiler::compile(TypeEnv &Env, const Expr *E) {
     Result<const Term *> Rhs = compile(Env, P->rhs());
     if (!Rhs)
       return Rhs;
-    mcalc::MPrim Op = mcalc::MPrim::Add;
-    switch (P->op()) {
-    case lcalc::LPrim::Add:
-      Op = mcalc::MPrim::Add;
-      break;
-    case lcalc::LPrim::Sub:
-      Op = mcalc::MPrim::Sub;
-      break;
-    case lcalc::LPrim::Mul:
-      Op = mcalc::MPrim::Mul;
-      break;
-    }
-    MVar I1 = MC.freshInt();
-    MVar I2 = MC.freshInt();
+    bool Dbl = lcalc::lPrimTakesDouble(P->op());
+    MVar Y1 = Dbl ? MC.freshDbl() : MC.freshInt();
+    MVar Y2 = Dbl ? MC.freshDbl() : MC.freshInt();
     return MC.letBang(
-        I1, *Lhs,
-        MC.letBang(I2, *Rhs,
-                   MC.prim(Op, mcalc::MAtom::var(I1),
-                           mcalc::MAtom::var(I2))));
+        Y1, *Lhs,
+        MC.letBang(Y2, *Rhs,
+                   MC.prim(toMPrim(P->op()), mcalc::MAtom::var(Y1),
+                           mcalc::MAtom::var(Y2))));
+  }
+
+  case Expr::ExprKind::If0: {
+    // C_IF0: ⟦if0 e1 then e2 else e3⟧ = if0 t1 then t2 else t3 — the
+    // scrutinee is Int# and each branch compiles in tail position.
+    const auto *I = lcalc::cast<lcalc::If0Expr>(E);
+    Result<const Term *> Scrut = compile(Env, I->scrut());
+    if (!Scrut)
+      return Scrut;
+    Result<const Term *> Then = compile(Env, I->thenBranch());
+    if (!Then)
+      return Then;
+    Result<const Term *> Else = compile(Env, I->elseBranch());
+    if (!Else)
+      return Else;
+    return MC.if0(*Scrut, *Then, *Else);
+  }
+
+  case Expr::ExprKind::Fix: {
+    // C_FIX: ⟦fix x:τ. e⟧ = letrec p = t in p — the knot is tied through
+    // the heap: the stored thunk references its own address. τ must be
+    // lifted (TYPE P), which E_FIX already guarantees on well-typed
+    // terms.
+    const auto *F = lcalc::cast<lcalc::FixExpr>(E);
+    Result<LKind> K = TC.kindOf(Env, F->varType());
+    if (!K)
+      return err(K.error());
+    if (!(*K == LKind::typePtr()))
+      return err("cannot compile recursive binder " +
+                 std::string(F->var().str()) + " : " + F->varType()->str() +
+                 " :: " + K->str() + " (letrec needs a pointer binder)");
+    MVar P = MC.freshPtr();
+    auto Saved = VarMap.find(F->var());
+    std::optional<MVar> Shadowed;
+    if (Saved != VarMap.end())
+      Shadowed = Saved->second;
+    VarMap[F->var()] = P;
+    Env.pushTerm(F->var(), F->varType());
+    Result<const Term *> Body = compile(Env, F->body());
+    Env.popTerm();
+    if (Shadowed)
+      VarMap[F->var()] = *Shadowed;
+    else
+      VarMap.erase(F->var());
+    if (!Body)
+      return Body;
+    return MC.letRec(P, *Body, MC.var(P));
   }
 
   case Expr::ExprKind::Con: {

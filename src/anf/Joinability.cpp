@@ -49,6 +49,8 @@ const Term *JoinOracle::canonicalValue(const Type *Ty) {
     return MC.conLit(17);
   case Type::TypeKind::IntHash:
     return MC.lit(17);
+  case Type::TypeKind::DoubleHash:
+    return MC.dlit(17.0);
   case Type::TypeKind::Arrow: {
     const auto *A = lcalc::cast<lcalc::ArrowType>(Ty);
     const Term *Result = canonicalValue(A->result());
@@ -56,8 +58,11 @@ const Term *JoinOracle::canonicalValue(const Type *Ty) {
       return nullptr;
     // Parameter sort from the parameter type's top-level shape.
     const Type *Param = instantiate(A->param());
-    MVar Y = lcalc::isa<lcalc::IntHashType>(Param) ? MC.freshInt()
-                                                   : MC.freshPtr();
+    MVar Y = lcalc::isa<lcalc::IntHashType>(Param)
+                 ? MC.freshInt()
+                 : (lcalc::isa<lcalc::DoubleHashType>(Param)
+                        ? MC.freshDbl()
+                        : MC.freshPtr());
     return MC.lam(Y, Result);
   }
   default:
@@ -108,6 +113,17 @@ JoinResult JoinOracle::joinableIn(const Type *Ty, const Term *T1,
                   std::to_string(L2->value())};
     return {JoinVerdict::Joinable, ""};
   }
+  case Type::TypeKind::DoubleHash: {
+    const auto *L1 = mcalc::dyn_cast<mcalc::DLitTerm>(V1);
+    const auto *L2 = mcalc::dyn_cast<mcalc::DLitTerm>(V2);
+    if (!L1 || !L2)
+      return {JoinVerdict::NotJoinable, "expected literals at Double#"};
+    if (L1->value() != L2->value())
+      return {JoinVerdict::NotJoinable,
+              "literals differ: " + std::to_string(L1->value()) + " vs " +
+                  std::to_string(L2->value())};
+    return {JoinVerdict::Joinable, ""};
+  }
   case Type::TypeKind::Int: {
     const auto *C1 = mcalc::dyn_cast<mcalc::ConLitTerm>(V1);
     const auto *C2 = mcalc::dyn_cast<mcalc::ConLitTerm>(V2);
@@ -134,6 +150,12 @@ JoinResult JoinOracle::joinableIn(const Type *Ty, const Term *T1,
       // heaps the two values were computed in.
       const Term *P1 = MC.appLit(V1, 23);
       const Term *P2 = MC.appLit(V2, 23);
+      return joinableIn(A->result(), P1, std::move(R1.FinalHeap), P2,
+                        std::move(R2.FinalHeap), Depth - 1);
+    }
+    if (lcalc::isa<lcalc::DoubleHashType>(Param)) {
+      const Term *P1 = MC.appDbl(V1, 23.0);
+      const Term *P2 = MC.appDbl(V2, 23.0);
       return joinableIn(A->result(), P1, std::move(R1.FinalHeap), P2,
                         std::move(R2.FinalHeap), Depth - 1);
     }

@@ -31,10 +31,13 @@ void fillFromMachine(RunResult &R, const mcalc::MachineResult &MR) {
       R.IntValue = Lit->value();
     else if (const auto *Con = mcalc::dyn_cast<mcalc::ConLitTerm>(MR.Value))
       R.IntValue = Con->value();
+    else if (const auto *DLit = mcalc::dyn_cast<mcalc::DLitTerm>(MR.Value))
+      R.DoubleValue = DLit->value();
     break;
   case mcalc::MachineOutcome::Bottom:
     R.St = RunResult::Status::Bottom;
-    R.Error = "error (ERR rule)";
+    R.Error =
+        MR.ErrorMessage.empty() ? "error (ERR rule)" : MR.ErrorMessage;
     break;
   case mcalc::MachineOutcome::Stuck:
     R.St = RunResult::Status::RuntimeError;
@@ -203,6 +206,9 @@ RunResult Executor::runFormal(Backend B) {
       R.Display = LR.Last->str();
       if (const auto *Lit = lcalc::dyn_cast<lcalc::IntLitExpr>(LR.Last))
         R.IntValue = Lit->value();
+      else if (const auto *DLit =
+                   lcalc::dyn_cast<lcalc::DoubleLitExpr>(LR.Last))
+        R.DoubleValue = DLit->value();
       else if (const auto *Con = lcalc::dyn_cast<lcalc::ConExpr>(LR.Last))
         if (const auto *Payload =
                 lcalc::dyn_cast<lcalc::IntLitExpr>(Con->payload()))

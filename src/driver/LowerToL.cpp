@@ -25,11 +25,13 @@ Result<lcalc::RuntimeRep> CoreToL::lowerRep(const core::RepTy *R) {
       return lcalc::RuntimeRep::pointer();
     case RepCtor::Int:
       return lcalc::RuntimeRep::integer();
+    case RepCtor::Double:
+      return lcalc::RuntimeRep::dbl();
     default:
       break;
     }
     return err("not expressible in L: representation " + R->str() +
-               " (L has only P and I)");
+               " (L has only P, I, and D)");
   case core::RepTy::Tag::Meta:
     return err("not expressible in L: unsolved rep metavariable");
   case core::RepTy::Tag::Tuple:
@@ -58,6 +60,8 @@ Result<const lcalc::Type *> CoreToL::lowerType(const core::Type *T) {
       return L.intTy();
     if (TC == C.intHashTyCon())
       return L.intHashTy();
+    if (TC == C.doubleHashTyCon())
+      return L.doubleHashTy();
     return err("not expressible in L: type constructor " +
                std::string(TC->name().str()));
   }
@@ -113,13 +117,41 @@ Result<const lcalc::Expr *> CoreToL::lowerExpr(const core::Expr *E) {
 
   case core::Expr::Tag::Lit: {
     const core::Literal &Lit = core::cast<core::LitExpr>(E)->lit();
-    if (Lit.tag() != core::Literal::Tag::IntHash)
-      return err("not expressible in L: literal " + Lit.str());
-    return L.intLit(Lit.intValue());
+    if (Lit.tag() == core::Literal::Tag::IntHash)
+      return L.intLit(Lit.intValue());
+    if (Lit.tag() == core::Literal::Tag::DoubleHash)
+      return L.doubleLit(Lit.doubleValue());
+    return err("not expressible in L: literal " + Lit.str());
   }
 
   case core::Expr::Tag::App: {
     const auto *A = core::cast<core::AppExpr>(E);
+
+    // Elaboration wraps `error "msg"` as (λm:String. error @ρ @τ m) "msg".
+    // L has no strings, but the redex is administrative: record the
+    // message under the binder and lower the body directly, so the
+    // error node keeps its diagnostic.
+    if (const auto *Lam = core::dyn_cast<core::LamExpr>(A->fn())) {
+      const core::Type *BinderTy = C.zonkType(Lam->varType());
+      const auto *Con = core::dyn_cast<core::ConType>(BinderTy);
+      if (Con && Con->tycon() == C.stringTyCon()) {
+        const auto *Lit = core::dyn_cast<core::LitExpr>(A->arg());
+        if (!Lit || Lit->lit().tag() != core::Literal::Tag::String)
+          return err("not expressible in L: string-typed binding");
+        auto Saved = StringEnv.find(Lam->var());
+        std::optional<Symbol> Shadowed;
+        if (Saved != StringEnv.end())
+          Shadowed = Saved->second;
+        StringEnv[Lam->var()] = Lit->lit().stringValue();
+        Result<const lcalc::Expr *> Body = lowerExpr(Lam->body());
+        if (Shadowed)
+          StringEnv[Lam->var()] = *Shadowed;
+        else
+          StringEnv.erase(Lam->var());
+        return Body;
+      }
+    }
+
     Result<const lcalc::Expr *> Fn = lowerExpr(A->fn());
     if (!Fn)
       return Fn;
@@ -193,26 +225,115 @@ Result<const lcalc::Expr *> CoreToL::lowerExpr(const core::Expr *E) {
     return L.app(L.lam(reintern(Let->var()), *Ty, *Body), *Rhs);
   }
 
-  case core::Expr::Tag::LetRec:
-    return err("not expressible in L: recursive let");
+  case core::Expr::Tag::LetRec: {
+    // A single recursive binding lowers through fix:
+    //   letrec x:τ = rhs in body ⟶ (λx:τ. body) (fix x:τ. rhs).
+    // Mutual recursion stays outside the fragment.
+    const auto *LR = core::cast<core::LetRecExpr>(E);
+    if (LR->bindings().size() != 1)
+      return err("not expressible in L: mutually recursive let");
+    const core::RecBinding &B = LR->bindings()[0];
+    Result<const lcalc::Type *> Ty = lowerType(B.VarTy);
+    if (!Ty)
+      return err(Ty.error());
+    Result<const lcalc::Expr *> Rhs = lowerExpr(B.Rhs);
+    if (!Rhs)
+      return Rhs;
+    Result<const lcalc::Expr *> Body = lowerExpr(LR->body());
+    if (!Body)
+      return Body;
+    Symbol X = reintern(B.Var);
+    return L.app(L.lam(X, *Ty, *Body), L.fix(X, *Ty, *Rhs));
+  }
 
   case core::Expr::Tag::Case: {
-    // Only the paper's one-armed unboxing case survives the trip:
-    //   case e of I#[x] -> body.
     const auto *Case = core::cast<core::CaseExpr>(E);
-    if (Case->alts().size() != 1)
-      return err("not expressible in L: multi-alternative case");
-    const core::Alt &A = Case->alts()[0];
-    if (A.Kind != core::Alt::AltKind::ConPat || A.Con != C.iHashCon() ||
-        A.Binders.size() != 1)
+
+    // The paper's one-armed unboxing case:
+    //   case e of I#[x] -> body.
+    if (Case->alts().size() == 1 &&
+        Case->alts()[0].Kind == core::Alt::AltKind::ConPat) {
+      const core::Alt &A = Case->alts()[0];
+      if (A.Con != C.iHashCon() || A.Binders.size() != 1)
+        return err("not expressible in L: case alternative is not I#[x]");
+      Result<const lcalc::Expr *> Scrut = lowerExpr(Case->scrut());
+      if (!Scrut)
+        return Scrut;
+      Result<const lcalc::Expr *> Body = lowerExpr(A.Rhs);
+      if (!Body)
+        return Body;
+      return L.caseOf(*Scrut, reintern(A.Binders[0]), *Body);
+    }
+
+    // Literal cases over an unboxed scrutinee lower to an if0 chain of
+    // inequality tests:
+    //   case e of { l1 -> r1; …; _ -> d }
+    //     ⟶ (λs. if0 (s /=# l1) then r1 else … else d) e
+    // where the application is strict (the scrutinee is Int#/Double#).
+    bool AllLitOrDefault = !Case->alts().empty();
+    for (const core::Alt &A : Case->alts())
+      if (A.Kind != core::Alt::AltKind::LitPat &&
+          A.Kind != core::Alt::AltKind::Default)
+        AllLitOrDefault = false;
+    if (!AllLitOrDefault) {
+      if (Case->alts().size() != 1)
+        return err("not expressible in L: multi-alternative constructor "
+                   "case");
       return err("not expressible in L: case alternative is not I#[x]");
+    }
+
+    const core::Expr *DefaultRhs = nullptr;
+    std::vector<const core::Alt *> Lits;
+    for (const core::Alt &A : Case->alts()) {
+      if (A.Kind == core::Alt::AltKind::Default) {
+        if (!DefaultRhs)
+          DefaultRhs = A.Rhs;
+      } else {
+        Lits.push_back(&A);
+      }
+    }
+    if (!DefaultRhs)
+      return err("not expressible in L: literal case without a default "
+                 "alternative");
+    if (Lits.empty())
+      return err("not expressible in L: default-only case (the scrutinee "
+                 "sort is not determined by the alternatives)");
+
+    bool ScrutIsDouble =
+        !Lits.empty() &&
+        Lits[0]->Lit.tag() == core::Literal::Tag::DoubleHash;
+    for (const core::Alt *A : Lits) {
+      core::Literal::Tag Tag = A->Lit.tag();
+      if (Tag == core::Literal::Tag::String ||
+          (Tag == core::Literal::Tag::DoubleHash) != ScrutIsDouble)
+        return err("not expressible in L: literal case over " +
+                   A->Lit.str());
+    }
+
     Result<const lcalc::Expr *> Scrut = lowerExpr(Case->scrut());
     if (!Scrut)
       return Scrut;
-    Result<const lcalc::Expr *> Body = lowerExpr(A.Rhs);
-    if (!Body)
-      return Body;
-    return L.caseOf(*Scrut, reintern(A.Binders[0]), *Body);
+    Result<const lcalc::Expr *> Chain = lowerExpr(DefaultRhs);
+    if (!Chain)
+      return Chain;
+    Symbol S = L.symbols().fresh("scrut");
+    const lcalc::Expr *Acc = *Chain;
+    for (size_t I = Lits.size(); I-- > 0;) {
+      const core::Alt *A = Lits[I];
+      Result<const lcalc::Expr *> Rhs = lowerExpr(A->Rhs);
+      if (!Rhs)
+        return Rhs;
+      const lcalc::Expr *Test =
+          ScrutIsDouble
+              ? L.prim(lcalc::LPrim::DNe, L.var(S),
+                       L.doubleLit(A->Lit.doubleValue()))
+              : L.prim(lcalc::LPrim::Ne, L.var(S),
+                       L.intLit(A->Lit.intValue()));
+      Acc = L.if0(Test, *Rhs, Acc);
+    }
+    const lcalc::Type *ScrutTy =
+        ScrutIsDouble ? L.doubleHashTy() : L.intHashTy();
+    return L.app(L.lam(S, ScrutTy, Acc), *Scrut);
   }
 
   case core::Expr::Tag::Con: {
@@ -228,6 +349,20 @@ Result<const lcalc::Expr *> CoreToL::lowerExpr(const core::Expr *E) {
 
   case core::Expr::Tag::Prim: {
     const auto *P = core::cast<core::PrimOpExpr>(E);
+
+    // Unary negation lowers through subtraction. The double case
+    // subtracts from *negative* zero: IEEE gives -0.0 - x == -x exactly
+    // (including -0.0 - 0.0 == -0.0), whereas 0.0 - 0.0 == +0.0 would
+    // silently diverge from the tree interpreter on signed zeros.
+    if (P->op() == core::PrimOp::NegI || P->op() == core::PrimOp::NegD) {
+      Result<const lcalc::Expr *> Arg = lowerExpr(P->args()[0]);
+      if (!Arg)
+        return Arg;
+      if (P->op() == core::PrimOp::NegI)
+        return L.prim(lcalc::LPrim::Sub, L.intLit(0), *Arg);
+      return L.prim(lcalc::LPrim::DSub, L.doubleLit(-0.0), *Arg);
+    }
+
     lcalc::LPrim Op;
     switch (P->op()) {
     case core::PrimOp::AddI:
@@ -239,7 +374,50 @@ Result<const lcalc::Expr *> CoreToL::lowerExpr(const core::Expr *E) {
     case core::PrimOp::MulI:
       Op = lcalc::LPrim::Mul;
       break;
+    case core::PrimOp::QuotI:
+      Op = lcalc::LPrim::Quot;
+      break;
+    case core::PrimOp::RemI:
+      Op = lcalc::LPrim::Rem;
+      break;
+    case core::PrimOp::LtI:
+      Op = lcalc::LPrim::Lt;
+      break;
+    case core::PrimOp::LeI:
+      Op = lcalc::LPrim::Le;
+      break;
+    case core::PrimOp::GtI:
+      Op = lcalc::LPrim::Gt;
+      break;
+    case core::PrimOp::GeI:
+      Op = lcalc::LPrim::Ge;
+      break;
+    case core::PrimOp::EqI:
+      Op = lcalc::LPrim::Eq;
+      break;
+    case core::PrimOp::NeI:
+      Op = lcalc::LPrim::Ne;
+      break;
+    case core::PrimOp::AddD:
+      Op = lcalc::LPrim::DAdd;
+      break;
+    case core::PrimOp::SubD:
+      Op = lcalc::LPrim::DSub;
+      break;
+    case core::PrimOp::MulD:
+      Op = lcalc::LPrim::DMul;
+      break;
+    case core::PrimOp::DivD:
+      Op = lcalc::LPrim::DDiv;
+      break;
+    case core::PrimOp::LtD:
+      Op = lcalc::LPrim::DLt;
+      break;
+    case core::PrimOp::EqD:
+      Op = lcalc::LPrim::DEq;
+      break;
     default:
+      // Int2Double / Double2Int / IsTrue have no L image yet.
       return err("not expressible in L: primop " +
                  std::string(core::primOpName(P->op())));
     }
@@ -256,8 +434,10 @@ Result<const lcalc::Expr *> CoreToL::lowerExpr(const core::Expr *E) {
     return err("not expressible in L: unboxed tuple expression");
 
   case core::Expr::Tag::Error: {
-    // error @ρ @τ msg ⟶ error ρ τ I#[0]; the message is a String, which
-    // L lacks, so it is replaced by a unit-like boxed zero.
+    // error @ρ @τ msg ⟶ error ρ τ I#[0]. The term-level argument is a
+    // unit-like boxed zero (L has no string values), but the message
+    // itself rides the error node so the machine backend can surface it
+    // through MachineResult/RunResult on ⊥.
     const auto *Err = core::cast<core::ErrorExpr>(E);
     Result<lcalc::RuntimeRep> R = lowerRep(Err->atRep());
     if (!R)
@@ -265,8 +445,19 @@ Result<const lcalc::Expr *> CoreToL::lowerExpr(const core::Expr *E) {
     Result<const lcalc::Type *> Ty = lowerType(Err->atType());
     if (!Ty)
       return err(Ty.error());
-    return L.app(L.tyApp(L.repApp(L.error(), *R), *Ty),
-                 L.con(L.intLit(0)));
+    Symbol Msg;
+    if (const auto *Lit = core::dyn_cast<core::LitExpr>(Err->message())) {
+      if (Lit->lit().tag() == core::Literal::Tag::String)
+        Msg = reintern(Lit->lit().stringValue());
+    } else if (const auto *Var =
+                   core::dyn_cast<core::VarExpr>(Err->message())) {
+      auto It = StringEnv.find(Var->name());
+      if (It != StringEnv.end())
+        Msg = reintern(It->second);
+    }
+    return L.app(
+        L.tyApp(L.repApp(Msg.valid() ? L.error(Msg) : L.error(), *R), *Ty),
+        L.con(L.intLit(0)));
   }
   }
   return err("unknown expression");
@@ -367,12 +558,13 @@ Result<bool> CoreToL::orderDeps(
     const core::CoreProgram &P, Symbol Name,
     std::unordered_set<Symbol, SymbolHash> &Visiting,
     std::unordered_set<Symbol, SymbolHash> &Done,
-    std::vector<Symbol> &Order) {
+    std::vector<Symbol> &Order,
+    std::unordered_set<Symbol, SymbolHash> &SelfRec) {
   if (Done.count(Name))
     return true;
   if (Visiting.count(Name))
     return err("not expressible in L: '" + std::string(Name.str()) +
-               "' is recursive");
+               "' is mutually recursive");
   Visiting.insert(Name);
 
   const core::TopBinding *B = P.find(Name);
@@ -380,7 +572,12 @@ Result<bool> CoreToL::orderDeps(
   std::vector<Symbol> Bound, Refs;
   globalRefs(P, B->Rhs, Bound, Refs);
   for (Symbol Ref : Refs) {
-    Result<bool> R = orderDeps(P, Ref, Visiting, Done, Order);
+    if (Ref == Name) {
+      // Self-recursion lowers through fix, not the dep order.
+      SelfRec.insert(Name);
+      continue;
+    }
+    Result<bool> R = orderDeps(P, Ref, Visiting, Done, Order, SelfRec);
     if (!R)
       return R;
   }
@@ -391,6 +588,21 @@ Result<bool> CoreToL::orderDeps(
   return true;
 }
 
+Result<const lcalc::Expr *>
+CoreToL::lowerBindingRhs(const core::TopBinding *B, bool SelfRecursive) {
+  Result<const lcalc::Expr *> Rhs = lowerExpr(B->Rhs);
+  if (!Rhs || !SelfRecursive)
+    return Rhs;
+
+  // Self-recursive global: tie the knot with fix. The binder keeps the
+  // global's name so the references in the lowered right-hand side bind
+  // to it.
+  Result<const lcalc::Type *> Ty = lowerType(B->Ty);
+  if (!Ty)
+    return err(Ty.error());
+  return L.fix(reintern(B->Name), *Ty, *Rhs);
+}
+
 Result<const lcalc::Expr *> CoreToL::lowerGlobal(const core::CoreProgram &P,
                                                  Symbol Name) {
   const core::TopBinding *Target = P.find(Name);
@@ -398,16 +610,18 @@ Result<const lcalc::Expr *> CoreToL::lowerGlobal(const core::CoreProgram &P,
     return err("no top-level binding named '" + std::string(Name.str()) +
                "'");
 
-  std::unordered_set<Symbol, SymbolHash> Visiting, Done;
+  std::unordered_set<Symbol, SymbolHash> Visiting, Done, SelfRec;
   std::vector<Symbol> Order;
-  Result<bool> Ordered = orderDeps(P, Name, Visiting, Done, Order);
+  Result<bool> Ordered = orderDeps(P, Name, Visiting, Done, Order, SelfRec);
   if (!Ordered)
     return err(Ordered.error());
 
   // Order holds dependencies first and Name last. The target's own lowered
   // right-hand side is the innermost body; every dependency wraps it in a
   // lambda-binding whose evaluation order L derives from the kind.
-  Result<const lcalc::Expr *> Term = lowerExpr(Target->Rhs);
+  // Self-recursive bindings (the target's included) lower to fix.
+  Result<const lcalc::Expr *> Term =
+      lowerBindingRhs(Target, SelfRec.count(Name) != 0);
   if (!Term)
     return Term;
   const lcalc::Expr *Body = *Term;
@@ -416,7 +630,8 @@ Result<const lcalc::Expr *> CoreToL::lowerGlobal(const core::CoreProgram &P,
     Result<const lcalc::Type *> Ty = lowerType(Dep->Ty);
     if (!Ty)
       return err(Ty.error());
-    Result<const lcalc::Expr *> Rhs = lowerExpr(Dep->Rhs);
+    Result<const lcalc::Expr *> Rhs =
+        lowerBindingRhs(Dep, SelfRec.count(Dep->Name) != 0);
     if (!Rhs)
       return Rhs;
     Body = L.app(L.lam(reintern(Dep->Name), *Ty, Body), *Rhs);

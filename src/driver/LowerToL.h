@@ -12,22 +12,31 @@
 /// machine. This is the bridge the driver's Backend::AbstractMachine
 /// rides.
 ///
-/// The lowering is deliberately *partial*: L is the paper's minimal
-/// calculus (Int, Int#, arrows, ∀, I#, one-armed case, integer
-/// arithmetic), so only the core fragment with a direct L image is
-/// translated — anything else (Double#, strings, algebraic data beyond
-/// Int, unboxed tuples, recursion) fails with a descriptive message and
-/// the driver reports the program as unsupported on that backend rather
-/// than guessing.
+/// The lowering targets L's executable fragment: Int, Int#, Double#,
+/// arrows, ∀, I#, the one-armed unboxing case, the full binary primop
+/// set (arithmetic and comparisons over both unboxed sorts; unary
+/// negation lowers through subtraction from zero), literal cases with a
+/// default (encoded as if0 chains of /=# tests), and recursion —
+/// single-binding letrec and self-recursive globals lower to L's fix,
+/// which the M compilation ties through a heap knot.
 ///
-/// Global references are resolved by binding each (transitively needed,
-/// non-recursive) top-level definition with a lambda:
+/// The lowering is still deliberately *partial*: anything outside that
+/// fragment (strings, algebraic data beyond Int, unboxed tuples, mutual
+/// recursion, conversions, default-only or non-I# constructor cases)
+/// fails with a descriptive "not expressible in L" message and the
+/// driver reports the program as unsupported on that backend rather than
+/// guessing. tests/driver_test.cpp pins one test per remaining boundary
+/// so fragment growth stays deliberate.
+///
+/// Global references are resolved by binding each (transitively needed)
+/// top-level definition with a lambda:
 ///
 ///   ⟦g = rhs; … ; e⟧  =  (λg:τ_g. ⟦…; e⟧) ⟦rhs⟧
 ///
 /// which L's kind-directed application rules evaluate with exactly the
 /// strictness the binding's type prescribes (TYPE P binders become
-/// M heap thunks, TYPE I binders evaluate eagerly).
+/// M heap thunks, TYPE I binders evaluate eagerly). A self-recursive
+/// global's right-hand side becomes `fix g:τ_g. ⟦rhs⟧`.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -39,6 +48,8 @@
 #include "lcalc/Syntax.h"
 #include "support/Result.h"
 
+#include <optional>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -69,17 +80,30 @@ private:
   void globalRefs(const core::CoreProgram &P, const core::Expr *E,
                   std::vector<Symbol> &Bound, std::vector<Symbol> &Out);
 
+  /// Lowers one top-level binding's right-hand side, wrapping it in
+  /// `fix` when \p SelfRecursive (as recorded by orderDeps).
+  Result<const lcalc::Expr *> lowerBindingRhs(const core::TopBinding *B,
+                                              bool SelfRecursive);
+
   /// Topologically orders Name's dependency cone (dependencies first,
-  /// Name last); fails on recursion, which L cannot express.
+  /// Name last), recording self-referencing bindings in \p SelfRec
+  /// (they lower to fix). Mutual recursion fails, which L cannot
+  /// express.
   Result<bool> orderDeps(const core::CoreProgram &P, Symbol Name,
                          std::unordered_set<Symbol, SymbolHash> &Visiting,
                          std::unordered_set<Symbol, SymbolHash> &Done,
-                         std::vector<Symbol> &Order);
+                         std::vector<Symbol> &Order,
+                         std::unordered_set<Symbol, SymbolHash> &SelfRec);
 
   Symbol reintern(Symbol S) { return L.sym(S.str()); }
 
   core::CoreContext &C;
   lcalc::LContext &L;
+
+  /// String-typed binders currently in scope and the literal bound to
+  /// them — elaboration's administrative `error "msg"` redex is the one
+  /// producer; the error node's message is the one consumer.
+  std::unordered_map<Symbol, Symbol, SymbolHash> StringEnv;
 };
 
 } // namespace driver

@@ -8,6 +8,8 @@
 #include "lcalc/Eval.h"
 #include "lcalc/Subst.h"
 
+#include <limits>
+
 using namespace levity;
 using namespace levity::lcalc;
 
@@ -16,11 +18,34 @@ StepResult Evaluator::step(TypeEnv &Env, const Expr *E) {
   case Expr::ExprKind::Var:
     return {StepStatus::Stuck, nullptr, "free variable"};
   case Expr::ExprKind::IntLit:
+  case Expr::ExprKind::DoubleLit:
   case Expr::ExprKind::Lam:
     return {StepStatus::Value};
   case Expr::ExprKind::Error:
     // S_ERROR: error → ⊥.
     return {StepStatus::Bottom, nullptr, "S_ERROR"};
+  case Expr::ExprKind::Fix: {
+    // S_FIX: fix x:τ. e → e[fix x:τ. e / x].
+    const auto *F = cast<FixExpr>(E);
+    const Expr *Next = substExprInExpr(Ctx, F->body(), F->var(), E);
+    return {StepStatus::Stepped, Next, "S_FIX"};
+  }
+  case Expr::ExprKind::If0: {
+    // S_IF0: force the Int# scrutinee, then take the branch.
+    const auto *I = cast<If0Expr>(E);
+    if (const auto *Lit = dyn_cast<IntLitExpr>(I->scrut()))
+      return {StepStatus::Stepped,
+              Lit->value() == 0 ? I->thenBranch() : I->elseBranch(),
+              Lit->value() == 0 ? "S_IF0THEN" : "S_IF0ELSE"};
+    StepResult S = step(Env, I->scrut());
+    if (S.Status == StepStatus::Stepped)
+      return {StepStatus::Stepped,
+              Ctx.if0(S.Next, I->thenBranch(), I->elseBranch()),
+              "S_IF0SCRUT"};
+    if (S.Status == StepStatus::Bottom)
+      return {StepStatus::Bottom, nullptr, "S_IF0SCRUT/⊥"};
+    return {StepStatus::Stuck, nullptr, "stuck if0 scrutinee"};
+  }
 
   case Expr::ExprKind::App: {
     const auto *A = cast<AppExpr>(E);
@@ -181,10 +206,33 @@ StepResult Evaluator::step(TypeEnv &Env, const Expr *E) {
         return {StepStatus::Bottom, nullptr, "S_PRIM2/⊥"};
       return {StepStatus::Stuck, nullptr, "stuck primop operand"};
     }
+    if (lPrimTakesDouble(P->op())) {
+      const auto *Lhs = dyn_cast<DoubleLitExpr>(P->lhs());
+      const auto *Rhs = dyn_cast<DoubleLitExpr>(P->rhs());
+      if (!Lhs || !Rhs)
+        return {StepStatus::Stuck, nullptr, "primop on non-double values"};
+      if (lPrimReturnsDouble(P->op()))
+        return {StepStatus::Stepped,
+                Ctx.doubleLit(
+                    evalLPrimDD(P->op(), Lhs->value(), Rhs->value())),
+                "S_PRIMOP"};
+      return {StepStatus::Stepped,
+              Ctx.intLit(evalLPrimDI(P->op(), Lhs->value(), Rhs->value())),
+              "S_PRIMOP"};
+    }
     const auto *Lhs = dyn_cast<IntLitExpr>(P->lhs());
     const auto *Rhs = dyn_cast<IntLitExpr>(P->rhs());
     if (!Lhs || !Rhs)
       return {StepStatus::Stuck, nullptr, "primop on non-integer values"};
+    if (P->op() == LPrim::Quot || P->op() == LPrim::Rem) {
+      if (Rhs->value() == 0)
+        return {StepStatus::Stuck, nullptr, "divide by zero"};
+      // INT64_MIN / -1 overflows (and traps on x86); reject it like a
+      // zero divisor instead of crashing the process.
+      if (Lhs->value() == std::numeric_limits<int64_t>::min() &&
+          Rhs->value() == -1)
+        return {StepStatus::Stuck, nullptr, "integer overflow in division"};
+    }
     return {StepStatus::Stepped,
             Ctx.intLit(evalLPrim(P->op(), Lhs->value(), Rhs->value())),
             "S_PRIMOP"};

@@ -19,12 +19,14 @@ TermGen::Generated TermGen::generate() {
 
 const Type *TermGen::genMonoType(unsigned Depth) {
   // Prefer base types; occasionally an arrow (arrows have kind TYPE P).
-  unsigned Choice = pick(Depth == 0 ? 2 : 4);
+  unsigned Choice = pick(Depth == 0 ? 3 : 5);
   switch (Choice) {
   case 0:
     return Ctx.intTy();
   case 1:
     return Ctx.intHashTy();
+  case 2:
+    return Ctx.doubleHashTy();
   default:
     return Ctx.arrowTy(genMonoType(Depth - 1), genMonoType(Depth - 1));
   }
@@ -37,7 +39,9 @@ const Type *TermGen::genType(unsigned Depth) {
   if (Choice == 4) {
     // ∀α:κ. τ over a concrete kind (so instantiation sites stay easy).
     Symbol A = Ctx.symbols().fresh("a");
-    LKind K = coin() ? LKind::typePtr() : LKind::typeInt();
+    static const LKind Kinds[] = {LKind::typePtr(), LKind::typeInt(),
+                                  LKind::typeDbl()};
+    LKind K = Kinds[pick(3)];
     Env.pushTypeVar(A, K);
     const Type *Body = genType(Depth - 1);
     Env.popTypeVar();
@@ -85,6 +89,8 @@ const Expr *TermGen::genExpr(const Type *Target, unsigned Depth) {
     switch (Target->kind()) {
     case Type::TypeKind::IntHash:
       return Ctx.intLit(int64_t(pick(100)));
+    case Type::TypeKind::DoubleHash:
+      return Ctx.doubleLit(double(pick(100)) / 2.0);
     case Type::TypeKind::Int:
       return Ctx.con(Ctx.intLit(int64_t(pick(100))));
     case Type::TypeKind::Arrow: {
@@ -164,6 +170,9 @@ const Expr *TermGen::genExpr(const Type *Target, unsigned Depth) {
     UseLit,
     UseApp,
     UseCase,
+    UseIf0,
+    UsePrim,
+    UseFix,
     UseTyRedex,
     UseRepRedex,
     UseError,
@@ -178,6 +187,8 @@ const Expr *TermGen::genExpr(const Type *Target, unsigned Depth) {
     case UseLit:
       if (isa<IntHashType>(Target))
         return Ctx.intLit(int64_t(pick(100)));
+      if (isa<DoubleHashType>(Target))
+        return Ctx.doubleLit(double(pick(100)) / 2.0);
       if (isa<IntType>(Target))
         return Ctx.con(genExpr(Ctx.intHashTy(), Depth - 1));
       break;
@@ -200,15 +211,76 @@ const Expr *TermGen::genExpr(const Type *Target, unsigned Depth) {
       Env.popTerm();
       return Ctx.caseOf(Scrut, X, Body);
     }
+    case UseIf0: {
+      // if0 e1 then e2 else e3 at Target, with an Int# scrutinee —
+      // exercises the S_IF0* rules and the machine's branch frame.
+      const Expr *Scrut = genExpr(Ctx.intHashTy(), Depth - 1);
+      const Expr *Then = genExpr(Target, Depth - 1);
+      const Expr *Else = genExpr(Target, Depth - 1);
+      return Ctx.if0(Scrut, Then, Else);
+    }
+    case UsePrim: {
+      // An arithmetic or comparison primop producing the target's
+      // unboxed sort (Int# via any Int# op or a Double# comparison;
+      // Double# via double arithmetic). Quot/Rem are excluded: a random
+      // zero divisor would make well-typed terms stuck.
+      if (isa<IntHashType>(Target)) {
+        if (coin()) {
+          static const LPrim IntOps[] = {LPrim::Add, LPrim::Sub,
+                                         LPrim::Mul, LPrim::Lt,
+                                         LPrim::Le,  LPrim::Gt,
+                                         LPrim::Ge,  LPrim::Eq,
+                                         LPrim::Ne};
+          return Ctx.prim(IntOps[pick(9)],
+                          genExpr(Ctx.intHashTy(), Depth - 1),
+                          genExpr(Ctx.intHashTy(), Depth - 1));
+        }
+        static const LPrim DblCmps[] = {LPrim::DLt, LPrim::DLe,
+                                        LPrim::DGt, LPrim::DGe,
+                                        LPrim::DEq, LPrim::DNe};
+        return Ctx.prim(DblCmps[pick(6)],
+                        genExpr(Ctx.doubleHashTy(), Depth - 1),
+                        genExpr(Ctx.doubleHashTy(), Depth - 1));
+      }
+      if (isa<DoubleHashType>(Target)) {
+        static const LPrim DblOps[] = {LPrim::DAdd, LPrim::DSub,
+                                       LPrim::DMul};
+        return Ctx.prim(DblOps[pick(3)],
+                        genExpr(Ctx.doubleHashTy(), Depth - 1),
+                        genExpr(Ctx.doubleHashTy(), Depth - 1));
+      }
+      break;
+    }
+    case UseFix: {
+      // fix x:τ. e at a lifted target (E_FIX needs TYPE P). The binder
+      // is kept out of Scope so the generated body never references it
+      // and the term still terminates after one S_FIX unfold — the
+      // metatheory suites assume generated terms converge. Typing,
+      // compilation (C_FIX), and the machine's RECLET knot are all
+      // still exercised.
+      Result<LKind> TK = TC.kindOf(Env, Target);
+      if (!TK || !(*TK == LKind::typePtr()) || !coin(0.5))
+        break;
+      Symbol X = Ctx.symbols().fresh("rec");
+      Env.pushTerm(X, Target);
+      const Expr *Body = genExpr(Target, Depth - 1);
+      Env.popTerm();
+      return Ctx.fix(X, Target, Body);
+    }
     case UseTyRedex: {
       // (Λα:κ. e) σ with α unused in Target, exercising S_TBETA.
       Symbol A = Ctx.symbols().fresh("a");
-      LKind K = coin() ? LKind::typePtr() : LKind::typeInt();
+      static const LKind Kinds[] = {LKind::typePtr(), LKind::typeInt(),
+                                    LKind::typeDbl()};
+      LKind K = Kinds[pick(3)];
       Env.pushTypeVar(A, K);
       const Expr *Body = genExpr(Target, Depth - 1);
       Env.popTypeVar();
-      const Type *Sigma =
-          K == LKind::typePtr() ? Ctx.intTy() : Ctx.intHashTy();
+      const Type *Sigma = K == LKind::typePtr()
+                              ? Ctx.intTy()
+                              : (K == LKind::typeInt()
+                                     ? Ctx.intHashTy()
+                                     : Ctx.doubleHashTy());
       return Ctx.tyApp(Ctx.tyLam(A, K, Body), Sigma);
     }
     case UseRepRedex: {
@@ -219,9 +291,10 @@ const Expr *TermGen::genExpr(const Type *Target, unsigned Depth) {
       Env.pushRepVar(R);
       const Expr *Body = genExpr(Target, Depth - 1);
       Env.popRepVar();
-      RuntimeRep Rho =
-          coin() ? RuntimeRep::pointer() : RuntimeRep::integer();
-      return Ctx.repApp(Ctx.repLam(R, Body), Rho);
+      static const RuntimeRep Reps[] = {RuntimeRep::pointer(),
+                                        RuntimeRep::integer(),
+                                        RuntimeRep::dbl()};
+      return Ctx.repApp(Ctx.repLam(R, Body), Reps[pick(3)]);
     }
     case UseError:
       if (Opts.AllowError && coin(0.3))

@@ -63,7 +63,23 @@ void lcalc::freeTermVars(const Expr *E, SymbolSet &Out) {
     freeTermVars(P->rhs(), Out);
     return;
   }
+  case Expr::ExprKind::If0: {
+    const auto *I = cast<If0Expr>(E);
+    freeTermVars(I->scrut(), Out);
+    freeTermVars(I->thenBranch(), Out);
+    freeTermVars(I->elseBranch(), Out);
+    return;
+  }
+  case Expr::ExprKind::Fix: {
+    const auto *F = cast<FixExpr>(E);
+    SymbolSet Body;
+    freeTermVars(F->body(), Body);
+    Body.erase(F->var());
+    Out.insert(Body.begin(), Body.end());
+    return;
+  }
   case Expr::ExprKind::IntLit:
+  case Expr::ExprKind::DoubleLit:
   case Expr::ExprKind::Error:
     return;
   }
@@ -73,6 +89,7 @@ void lcalc::freeTypeVars(const Type *T, SymbolSet &Out) {
   switch (T->kind()) {
   case Type::TypeKind::Int:
   case Type::TypeKind::IntHash:
+  case Type::TypeKind::DoubleHash:
     return;
   case Type::TypeKind::Var:
     Out.insert(cast<VarType>(T)->name());
@@ -101,6 +118,7 @@ void lcalc::freeTypeVars(const Expr *E, SymbolSet &Out) {
   switch (E->kind()) {
   case Expr::ExprKind::Var:
   case Expr::ExprKind::IntLit:
+  case Expr::ExprKind::DoubleLit:
   case Expr::ExprKind::Error:
     return;
   case Expr::ExprKind::App: {
@@ -150,6 +168,19 @@ void lcalc::freeTypeVars(const Expr *E, SymbolSet &Out) {
     freeTypeVars(P->rhs(), Out);
     return;
   }
+  case Expr::ExprKind::If0: {
+    const auto *I = cast<If0Expr>(E);
+    freeTypeVars(I->scrut(), Out);
+    freeTypeVars(I->thenBranch(), Out);
+    freeTypeVars(I->elseBranch(), Out);
+    return;
+  }
+  case Expr::ExprKind::Fix: {
+    const auto *F = cast<FixExpr>(E);
+    freeTypeVars(F->varType(), Out);
+    freeTypeVars(F->body(), Out);
+    return;
+  }
   }
 }
 
@@ -166,6 +197,7 @@ void lcalc::freeRepVars(const Type *T, SymbolSet &Out) {
   switch (T->kind()) {
   case Type::TypeKind::Int:
   case Type::TypeKind::IntHash:
+  case Type::TypeKind::DoubleHash:
   case Type::TypeKind::Var:
     return;
   case Type::TypeKind::Arrow: {
@@ -195,6 +227,7 @@ void lcalc::freeRepVars(const Expr *E, SymbolSet &Out) {
   switch (E->kind()) {
   case Expr::ExprKind::Var:
   case Expr::ExprKind::IntLit:
+  case Expr::ExprKind::DoubleLit:
   case Expr::ExprKind::Error:
     return;
   case Expr::ExprKind::App: {
@@ -250,6 +283,19 @@ void lcalc::freeRepVars(const Expr *E, SymbolSet &Out) {
     freeRepVars(P->rhs(), Out);
     return;
   }
+  case Expr::ExprKind::If0: {
+    const auto *I = cast<If0Expr>(E);
+    freeRepVars(I->scrut(), Out);
+    freeRepVars(I->thenBranch(), Out);
+    freeRepVars(I->elseBranch(), Out);
+    return;
+  }
+  case Expr::ExprKind::Fix: {
+    const auto *F = cast<FixExpr>(E);
+    freeRepVars(F->varType(), Out);
+    freeRepVars(F->body(), Out);
+    return;
+  }
   }
 }
 
@@ -288,6 +334,7 @@ const Type *lcalc::substTypeInType(LContext &Ctx, const Type *T, Symbol Var,
   switch (T->kind()) {
   case Type::TypeKind::Int:
   case Type::TypeKind::IntHash:
+  case Type::TypeKind::DoubleHash:
     return T;
   case Type::TypeKind::Var:
     return cast<VarType>(T)->name() == Var ? Replacement : T;
@@ -347,6 +394,7 @@ const Type *lcalc::substRepInType(LContext &Ctx, const Type *T, Symbol RepVar,
   switch (T->kind()) {
   case Type::TypeKind::Int:
   case Type::TypeKind::IntHash:
+  case Type::TypeKind::DoubleHash:
   case Type::TypeKind::Var:
     return T;
   case Type::TypeKind::Arrow: {
@@ -397,6 +445,7 @@ const Expr *lcalc::substExprInExpr(LContext &Ctx, const Expr *E, Symbol Var,
   case Expr::ExprKind::Var:
     return cast<VarExpr>(E)->name() == Var ? Replacement : E;
   case Expr::ExprKind::IntLit:
+  case Expr::ExprKind::DoubleLit:
   case Expr::ExprKind::Error:
     return E;
   case Expr::ExprKind::App: {
@@ -490,6 +539,36 @@ const Expr *lcalc::substExprInExpr(LContext &Ctx, const Expr *E, Symbol Var,
       return E;
     return Ctx.prim(P->op(), Lhs, Rhs);
   }
+  case Expr::ExprKind::If0: {
+    const auto *I = cast<If0Expr>(E);
+    const Expr *Scrut = substExprInExpr(Ctx, I->scrut(), Var, Replacement);
+    const Expr *Then =
+        substExprInExpr(Ctx, I->thenBranch(), Var, Replacement);
+    const Expr *Else =
+        substExprInExpr(Ctx, I->elseBranch(), Var, Replacement);
+    if (Scrut == I->scrut() && Then == I->thenBranch() &&
+        Else == I->elseBranch())
+      return E;
+    return Ctx.if0(Scrut, Then, Else);
+  }
+  case Expr::ExprKind::Fix: {
+    const auto *F = cast<FixExpr>(E);
+    if (F->var() == Var)
+      return E; // shadowed
+    SymbolSet FV;
+    freeTermVars(Replacement, FV);
+    Symbol Bound = F->var();
+    const Expr *Body = F->body();
+    if (FV.count(Bound)) {
+      Symbol Fresh = Ctx.symbols().fresh(Bound.str());
+      Body = substExprInExpr(Ctx, Body, Bound, Ctx.var(Fresh));
+      Bound = Fresh;
+    }
+    const Expr *NewBody = substExprInExpr(Ctx, Body, Var, Replacement);
+    if (Bound == F->var() && NewBody == F->body())
+      return E;
+    return Ctx.fix(Bound, F->varType(), NewBody);
+  }
   }
   assert(false && "unknown expr kind");
   return E;
@@ -500,6 +579,7 @@ const Expr *lcalc::substTypeInExpr(LContext &Ctx, const Expr *E, Symbol Var,
   switch (E->kind()) {
   case Expr::ExprKind::Var:
   case Expr::ExprKind::IntLit:
+  case Expr::ExprKind::DoubleLit:
   case Expr::ExprKind::Error:
     return E;
   case Expr::ExprKind::App: {
@@ -592,6 +672,26 @@ const Expr *lcalc::substTypeInExpr(LContext &Ctx, const Expr *E, Symbol Var,
       return E;
     return Ctx.prim(P->op(), Lhs, Rhs);
   }
+  case Expr::ExprKind::If0: {
+    const auto *I = cast<If0Expr>(E);
+    const Expr *Scrut = substTypeInExpr(Ctx, I->scrut(), Var, Replacement);
+    const Expr *Then =
+        substTypeInExpr(Ctx, I->thenBranch(), Var, Replacement);
+    const Expr *Else =
+        substTypeInExpr(Ctx, I->elseBranch(), Var, Replacement);
+    if (Scrut == I->scrut() && Then == I->thenBranch() &&
+        Else == I->elseBranch())
+      return E;
+    return Ctx.if0(Scrut, Then, Else);
+  }
+  case Expr::ExprKind::Fix: {
+    const auto *F = cast<FixExpr>(E);
+    const Type *Ann = substTypeInType(Ctx, F->varType(), Var, Replacement);
+    const Expr *Body = substTypeInExpr(Ctx, F->body(), Var, Replacement);
+    if (Ann == F->varType() && Body == F->body())
+      return E;
+    return Ctx.fix(F->var(), Ann, Body);
+  }
   }
   assert(false && "unknown expr kind");
   return E;
@@ -602,6 +702,7 @@ const Expr *lcalc::substRepInExpr(LContext &Ctx, const Expr *E, Symbol RepVar,
   switch (E->kind()) {
   case Expr::ExprKind::Var:
   case Expr::ExprKind::IntLit:
+  case Expr::ExprKind::DoubleLit:
   case Expr::ExprKind::Error:
     return E;
   case Expr::ExprKind::App: {
@@ -681,6 +782,24 @@ const Expr *lcalc::substRepInExpr(LContext &Ctx, const Expr *E, Symbol RepVar,
     if (Lhs == P->lhs() && Rhs == P->rhs())
       return E;
     return Ctx.prim(P->op(), Lhs, Rhs);
+  }
+  case Expr::ExprKind::If0: {
+    const auto *I = cast<If0Expr>(E);
+    const Expr *Scrut = substRepInExpr(Ctx, I->scrut(), RepVar, Rep);
+    const Expr *Then = substRepInExpr(Ctx, I->thenBranch(), RepVar, Rep);
+    const Expr *Else = substRepInExpr(Ctx, I->elseBranch(), RepVar, Rep);
+    if (Scrut == I->scrut() && Then == I->thenBranch() &&
+        Else == I->elseBranch())
+      return E;
+    return Ctx.if0(Scrut, Then, Else);
+  }
+  case Expr::ExprKind::Fix: {
+    const auto *F = cast<FixExpr>(E);
+    const Type *Ann = substRepInType(Ctx, F->varType(), RepVar, Rep);
+    const Expr *Body = substRepInExpr(Ctx, F->body(), RepVar, Rep);
+    if (Ann == F->varType() && Body == F->body())
+      return E;
+    return Ctx.fix(F->var(), Ann, Body);
   }
   }
   assert(false && "unknown expr kind");

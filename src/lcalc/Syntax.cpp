@@ -16,7 +16,15 @@ using namespace levity::lcalc;
 std::string RuntimeRep::str() const {
   if (isVar())
     return std::string(Var.str());
-  return Concrete == ConcreteRep::P ? "P" : "I";
+  switch (Concrete) {
+  case ConcreteRep::P:
+    return "P";
+  case ConcreteRep::I:
+    return "I";
+  case ConcreteRep::D:
+    return "D";
+  }
+  return "?";
 }
 
 std::string LKind::str() const { return "TYPE " + Rep.str(); }
@@ -37,6 +45,9 @@ void printType(std::ostringstream &OS, const Type *T, int Prec) {
     return;
   case Type::TypeKind::IntHash:
     OS << "Int#";
+    return;
+  case Type::TypeKind::DoubleHash:
+    OS << "Double#";
     return;
   case Type::TypeKind::Var:
     OS << cast<VarType>(T)->name().str();
@@ -82,6 +93,9 @@ void printExpr(std::ostringstream &OS, const Expr *E, int Prec) {
     return;
   case Expr::ExprKind::IntLit:
     OS << cast<IntLitExpr>(E)->value();
+    return;
+  case Expr::ExprKind::DoubleLit:
+    OS << cast<DoubleLitExpr>(E)->value() << "##";
     return;
   case Expr::ExprKind::Error:
     OS << "error";
@@ -180,6 +194,32 @@ void printExpr(std::ostringstream &OS, const Expr *E, int Prec) {
       OS << ")";
     return;
   }
+  case Expr::ExprKind::If0: {
+    const auto *I = cast<If0Expr>(E);
+    if (Prec > PrecTop)
+      OS << "(";
+    OS << "if0 ";
+    printExpr(OS, I->scrut(), PrecApp);
+    OS << " then ";
+    printExpr(OS, I->thenBranch(), PrecTop);
+    OS << " else ";
+    printExpr(OS, I->elseBranch(), PrecTop);
+    if (Prec > PrecTop)
+      OS << ")";
+    return;
+  }
+  case Expr::ExprKind::Fix: {
+    const auto *F = cast<FixExpr>(E);
+    if (Prec > PrecTop)
+      OS << "(";
+    OS << "fix " << F->var().str() << ":";
+    printType(OS, F->varType(), PrecAtom);
+    OS << ". ";
+    printExpr(OS, F->body(), PrecTop);
+    if (Prec > PrecTop)
+      OS << ")";
+    return;
+  }
   }
 }
 
@@ -205,9 +245,75 @@ std::string_view lcalc::lPrimName(LPrim Op) {
     return "-#";
   case LPrim::Mul:
     return "*#";
+  case LPrim::Quot:
+    return "quot#";
+  case LPrim::Rem:
+    return "rem#";
+  case LPrim::Lt:
+    return "<#";
+  case LPrim::Le:
+    return "<=#";
+  case LPrim::Gt:
+    return ">#";
+  case LPrim::Ge:
+    return ">=#";
+  case LPrim::Eq:
+    return "==#";
+  case LPrim::Ne:
+    return "/=#";
+  case LPrim::DAdd:
+    return "+##";
+  case LPrim::DSub:
+    return "-##";
+  case LPrim::DMul:
+    return "*##";
+  case LPrim::DDiv:
+    return "/##";
+  case LPrim::DLt:
+    return "<##";
+  case LPrim::DLe:
+    return "<=##";
+  case LPrim::DGt:
+    return ">##";
+  case LPrim::DGe:
+    return ">=##";
+  case LPrim::DEq:
+    return "==##";
+  case LPrim::DNe:
+    return "/=##";
   }
   assert(false && "unknown primop");
   return "?#";
+}
+
+bool lcalc::lPrimTakesDouble(LPrim Op) {
+  switch (Op) {
+  case LPrim::DAdd:
+  case LPrim::DSub:
+  case LPrim::DMul:
+  case LPrim::DDiv:
+  case LPrim::DLt:
+  case LPrim::DLe:
+  case LPrim::DGt:
+  case LPrim::DGe:
+  case LPrim::DEq:
+  case LPrim::DNe:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool lcalc::lPrimReturnsDouble(LPrim Op) {
+  switch (Op) {
+  case LPrim::DAdd:
+  case LPrim::DSub:
+  case LPrim::DMul:
+  case LPrim::DDiv:
+    return true;
+  default:
+    return false;
+  }
 }
 
 int64_t lcalc::evalLPrim(LPrim Op, int64_t Lhs, int64_t Rhs) {
@@ -218,8 +324,68 @@ int64_t lcalc::evalLPrim(LPrim Op, int64_t Lhs, int64_t Rhs) {
     return Lhs - Rhs;
   case LPrim::Mul:
     return Lhs * Rhs;
+  case LPrim::Quot:
+    // Callers (S_PRIMOP, the machine's PRIM rule) reject zero divisors
+    // before evaluating; a zero here is a caller bug, not a semantics.
+    assert(Rhs != 0 && "quot# by zero must be rejected by the caller");
+    return Lhs / Rhs;
+  case LPrim::Rem:
+    assert(Rhs != 0 && "rem# by zero must be rejected by the caller");
+    return Lhs % Rhs;
+  case LPrim::Lt:
+    return Lhs < Rhs ? 1 : 0;
+  case LPrim::Le:
+    return Lhs <= Rhs ? 1 : 0;
+  case LPrim::Gt:
+    return Lhs > Rhs ? 1 : 0;
+  case LPrim::Ge:
+    return Lhs >= Rhs ? 1 : 0;
+  case LPrim::Eq:
+    return Lhs == Rhs ? 1 : 0;
+  case LPrim::Ne:
+    return Lhs != Rhs ? 1 : 0;
+  default:
+    break;
   }
-  assert(false && "unknown primop");
+  assert(false && "not an Int# primop");
+  return 0;
+}
+
+double lcalc::evalLPrimDD(LPrim Op, double Lhs, double Rhs) {
+  switch (Op) {
+  case LPrim::DAdd:
+    return Lhs + Rhs;
+  case LPrim::DSub:
+    return Lhs - Rhs;
+  case LPrim::DMul:
+    return Lhs * Rhs;
+  case LPrim::DDiv:
+    return Lhs / Rhs;
+  default:
+    break;
+  }
+  assert(false && "not a Double#-result primop");
+  return 0;
+}
+
+int64_t lcalc::evalLPrimDI(LPrim Op, double Lhs, double Rhs) {
+  switch (Op) {
+  case LPrim::DLt:
+    return Lhs < Rhs ? 1 : 0;
+  case LPrim::DLe:
+    return Lhs <= Rhs ? 1 : 0;
+  case LPrim::DGt:
+    return Lhs > Rhs ? 1 : 0;
+  case LPrim::DGe:
+    return Lhs >= Rhs ? 1 : 0;
+  case LPrim::DEq:
+    return Lhs == Rhs ? 1 : 0;
+  case LPrim::DNe:
+    return Lhs != Rhs ? 1 : 0;
+  default:
+    break;
+  }
+  assert(false && "not a Double# comparison");
   return 0;
 }
 
@@ -276,6 +442,7 @@ bool typesAlphaEqual(const Type *A, const Type *B, AlphaEnv &Env) {
   switch (A->kind()) {
   case Type::TypeKind::Int:
   case Type::TypeKind::IntHash:
+  case Type::TypeKind::DoubleHash:
     return true;
   case Type::TypeKind::Var:
     return Env.varsEqual(cast<VarType>(A)->name(), cast<VarType>(B)->name());
@@ -318,6 +485,7 @@ bool lcalc::isValue(const Expr *E) {
   switch (E->kind()) {
   case Expr::ExprKind::Lam:
   case Expr::ExprKind::IntLit:
+  case Expr::ExprKind::DoubleLit:
     return true;
   case Expr::ExprKind::TyLam:
     return isValue(cast<TyLamExpr>(E)->body());

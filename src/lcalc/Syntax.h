@@ -7,18 +7,28 @@
 ///
 /// \file
 /// Abstract syntax for L, the paper's System F variant with levity
-/// polymorphism (Figure 2):
+/// polymorphism (Figure 2), plus the executable extensions the driver's
+/// core→L lowering rides:
 ///
 /// \code
-///   υ ::= P | I                      concrete reps
+///   υ ::= P | I | D                  concrete reps
 ///   ρ ::= r | υ                      runtime reps
 ///   κ ::= TYPE ρ                     kinds
-///   B ::= Int | Int#                 base types
+///   B ::= Int | Int# | Double#       base types
 ///   τ ::= B | τ1 → τ2 | α | ∀α:κ. τ | ∀r. τ
 ///   e ::= x | e1 e2 | λx:τ. e | Λα:κ. e | e τ | Λr. e | e ρ
-///       | I#[e] | case e1 of I#[x] → e2 | n | error
-///   v ::= λx:τ. e | Λα:κ. v | Λr. v | I#[v] | n
+///       | I#[e] | case e1 of I#[x] → e2 | n | d | error
+///       | e1 ⊕# e2 | if0 e1 then e2 else e3 | fix x:τ. e
+///   v ::= λx:τ. e | Λα:κ. v | Λr. v | I#[v] | n | d
 /// \endcode
+///
+/// The extensions beyond Figure 2 — Double# (a second unboxed literal
+/// sort with its own register class D), binary primops over both unboxed
+/// sorts (arithmetic and comparisons; comparisons return Int# 0/1), an
+/// `if0` branch on an Int# scrutinee, and a `fix` recursion form at
+/// lifted (TYPE P) types — are all representation-monomorphic, so they
+/// interact with neither levity polymorphism nor the E_LAM/E_APP
+/// restrictions.
 ///
 /// Nodes are immutable and arena-allocated by an LContext. Variables are
 /// named Symbols (as in the paper's presentation); substitution is
@@ -45,10 +55,12 @@ namespace lcalc {
 // Runtime reps and kinds
 //===----------------------------------------------------------------------===//
 
-/// υ — a fully concrete representation: pointer or integer register.
+/// υ — a fully concrete representation: pointer, integer, or double
+/// register.
 enum class ConcreteRep : uint8_t {
   P, ///< Boxed and lifted; passed in a pointer register, call-by-need.
-  I  ///< Unboxed integer; passed in an integer register, call-by-value.
+  I, ///< Unboxed integer; passed in an integer register, call-by-value.
+  D  ///< Unboxed double; passed in a float register, call-by-value.
 };
 
 /// ρ — a runtime rep: either concrete (υ) or a rep variable (r).
@@ -57,6 +69,7 @@ public:
   static RuntimeRep concrete(ConcreteRep R) { return RuntimeRep(R); }
   static RuntimeRep pointer() { return RuntimeRep(ConcreteRep::P); }
   static RuntimeRep integer() { return RuntimeRep(ConcreteRep::I); }
+  static RuntimeRep dbl() { return RuntimeRep(ConcreteRep::D); }
   static RuntimeRep var(Symbol Name) { return RuntimeRep(Name); }
 
   bool isVar() const { return IsVar; }
@@ -98,6 +111,7 @@ public:
 
   static LKind typePtr() { return LKind(RuntimeRep::pointer()); }
   static LKind typeInt() { return LKind(RuntimeRep::integer()); }
+  static LKind typeDbl() { return LKind(RuntimeRep::dbl()); }
   static LKind typeVar(Symbol R) { return LKind(RuntimeRep::var(R)); }
 
   RuntimeRep rep() const { return Rep; }
@@ -121,12 +135,13 @@ private:
 class Type {
 public:
   enum class TypeKind : uint8_t {
-    Int,      ///< Boxed integers, kind TYPE P.
-    IntHash,  ///< Unboxed integers Int#, kind TYPE I.
-    Arrow,    ///< τ1 → τ2, kind TYPE P.
-    Var,      ///< A type variable α.
-    ForAll,   ///< ∀α:κ. τ.
-    ForAllRep ///< ∀r. τ.
+    Int,        ///< Boxed integers, kind TYPE P.
+    IntHash,    ///< Unboxed integers Int#, kind TYPE I.
+    DoubleHash, ///< Unboxed doubles Double#, kind TYPE D.
+    Arrow,      ///< τ1 → τ2, kind TYPE P.
+    Var,        ///< A type variable α.
+    ForAll,     ///< ∀α:κ. τ.
+    ForAllRep   ///< ∀r. τ.
   };
 
   TypeKind kind() const { return Kind; }
@@ -151,6 +166,14 @@ public:
   IntHashType() : Type(TypeKind::IntHash) {}
   static bool classof(const Type *T) {
     return T->kind() == TypeKind::IntHash;
+  }
+};
+
+class DoubleHashType : public Type {
+public:
+  DoubleHashType() : Type(TypeKind::DoubleHash) {}
+  static bool classof(const Type *T) {
+    return T->kind() == TypeKind::DoubleHash;
   }
 };
 
@@ -225,18 +248,21 @@ private:
 class Expr {
 public:
   enum class ExprKind : uint8_t {
-    Var,    ///< x
-    App,    ///< e1 e2
-    Lam,    ///< λx:τ. e
-    TyLam,  ///< Λα:κ. e
-    TyApp,  ///< e τ
-    RepLam, ///< Λr. e
-    RepApp, ///< e ρ
-    Con,    ///< I#[e]
-    Case,   ///< case e1 of I#[x] → e2
-    IntLit, ///< n
-    Error,  ///< error
-    Prim    ///< e1 ⊕# e2 (binary Int# arithmetic)
+    Var,       ///< x
+    App,       ///< e1 e2
+    Lam,       ///< λx:τ. e
+    TyLam,     ///< Λα:κ. e
+    TyApp,     ///< e τ
+    RepLam,    ///< Λr. e
+    RepApp,    ///< e ρ
+    Con,       ///< I#[e]
+    Case,      ///< case e1 of I#[x] → e2
+    IntLit,    ///< n
+    DoubleLit, ///< d (an unboxed Double# literal)
+    Error,     ///< error
+    Prim,      ///< e1 ⊕# e2 (binary Int#/Double# arithmetic/comparison)
+    If0,       ///< if0 e1 then e2 else e3 (branch on an Int# scrutinee)
+    Fix        ///< fix x:τ. e (recursion at a lifted type)
   };
 
   ExprKind kind() const { return Kind; }
@@ -400,25 +426,72 @@ private:
   int64_t Value;
 };
 
+/// d — an unboxed Double# literal (kind TYPE D).
+class DoubleLitExpr : public Expr {
+public:
+  explicit DoubleLitExpr(double Value)
+      : Expr(ExprKind::DoubleLit), Value(Value) {}
+
+  double value() const { return Value; }
+
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::DoubleLit;
+  }
+
+private:
+  double Value;
+};
+
 /// error — halts the machine; has the levity-polymorphic type
-/// ∀r. ∀α:TYPE r. Int → α (E_ERROR).
+/// ∀r. ∀α:TYPE r. Int → α (E_ERROR). Carries an optional diagnostic
+/// message (an interned Symbol; L has no string values, so the message
+/// rides the node rather than the term) that the abstract machine
+/// surfaces through MachineResult on ⊥.
 class ErrorExpr : public Expr {
 public:
   ErrorExpr() : Expr(ExprKind::Error) {}
+  explicit ErrorExpr(Symbol Msg) : Expr(ExprKind::Error), Msg(Msg) {}
+
+  /// Invalid when the error carries no message.
+  Symbol message() const { return Msg; }
 
   static bool classof(const Expr *E) { return E->kind() == ExprKind::Error; }
+
+private:
+  Symbol Msg;
 };
 
-/// ⊕# — the binary Int# arithmetic operators. A conservative executable
-/// extension of Figure 2 used by the driver's core→L lowering: both
-/// operands and the result have kind TYPE I, so the operators interact
-/// with neither levity polymorphism nor the E_LAM/E_APP restrictions.
-enum class LPrim : uint8_t { Add, Sub, Mul };
+/// ⊕# — the binary primops over the unboxed sorts. A conservative
+/// executable extension of Figure 2 used by the driver's core→L lowering:
+/// every operand and result type has a concrete unboxed kind (TYPE I or
+/// TYPE D), so the operators interact with neither levity polymorphism
+/// nor the E_LAM/E_APP restrictions. Comparisons return Int# 0/1, as in
+/// GHC.
+enum class LPrim : uint8_t {
+  // Int# -> Int# -> Int# arithmetic.
+  Add, Sub, Mul, Quot, Rem,
+  // Int# -> Int# -> Int# comparisons (0/1).
+  Lt, Le, Gt, Ge, Eq, Ne,
+  // Double# -> Double# -> Double# arithmetic.
+  DAdd, DSub, DMul, DDiv,
+  // Double# -> Double# -> Int# comparisons (0/1).
+  DLt, DLe, DGt, DGe, DEq, DNe
+};
 
 std::string_view lPrimName(LPrim Op);
+/// True when the operands are Double# (the D-prefixed half of the enum).
+bool lPrimTakesDouble(LPrim Op);
+/// True when the result is Double# (double arithmetic; comparisons are
+/// Int#).
+bool lPrimReturnsDouble(LPrim Op);
+/// Evaluates an Int#-operand primop (arithmetic or comparison).
 int64_t evalLPrim(LPrim Op, int64_t Lhs, int64_t Rhs);
+/// Evaluates a Double#-operand, Double#-result primop.
+double evalLPrimDD(LPrim Op, double Lhs, double Rhs);
+/// Evaluates a Double#-operand comparison (Int# 0/1 result).
+int64_t evalLPrimDI(LPrim Op, double Lhs, double Rhs);
 
-/// e1 ⊕# e2 — strict in both operands (they are Int#, kind TYPE I).
+/// e1 ⊕# e2 — strict in both operands (they are unboxed).
 class PrimExpr : public Expr {
 public:
   PrimExpr(LPrim Op, const Expr *Lhs, const Expr *Rhs)
@@ -434,6 +507,47 @@ private:
   LPrim Op;
   const Expr *Lhs;
   const Expr *Rhs;
+};
+
+/// if0 e1 then e2 else e3 — forces the Int# scrutinee and takes the
+/// then-branch when it is 0, the else-branch otherwise. This is the
+/// branch form multi-alternative core cases lower to (a comparison
+/// chain); both branches must have the same type.
+class If0Expr : public Expr {
+public:
+  If0Expr(const Expr *Scrut, const Expr *Then, const Expr *Else)
+      : Expr(ExprKind::If0), Scrut(Scrut), Then(Then), Else(Else) {}
+
+  const Expr *scrut() const { return Scrut; }
+  const Expr *thenBranch() const { return Then; }
+  const Expr *elseBranch() const { return Else; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::If0; }
+
+private:
+  const Expr *Scrut;
+  const Expr *Then;
+  const Expr *Else;
+};
+
+/// fix x:τ. e — recursion. τ must be lifted (kind TYPE P): the unfolding
+/// substitutes the whole fix for x (S_FIX), and the M compilation ties
+/// the knot through a heap thunk, which only a pointer binder can name.
+class FixExpr : public Expr {
+public:
+  FixExpr(Symbol Var, const Type *VarTy, const Expr *Body)
+      : Expr(ExprKind::Fix), Var(Var), VarTy(VarTy), Body(Body) {}
+
+  Symbol var() const { return Var; }
+  const Type *varType() const { return VarTy; }
+  const Expr *body() const { return Body; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Fix; }
+
+private:
+  Symbol Var;
+  const Type *VarTy;
+  const Expr *Body;
 };
 
 //===----------------------------------------------------------------------===//
@@ -464,7 +578,9 @@ public:
   // errorType() is materialized eagerly: after a Compilation is built its
   // LContext may serve many concurrent formal runs, and a lazily-written
   // cache would race.
-  LContext() : IntSingleton(), IntHashSingleton() { (void)errorType(); }
+  LContext() : IntSingleton(), IntHashSingleton(), DoubleHashSingleton() {
+    (void)errorType();
+  }
   LContext(const LContext &) = delete;
   LContext &operator=(const LContext &) = delete;
 
@@ -475,6 +591,7 @@ public:
   // Types.
   const Type *intTy() const { return &IntSingleton; }
   const Type *intHashTy() const { return &IntHashSingleton; }
+  const Type *doubleHashTy() const { return &DoubleHashSingleton; }
   const Type *arrowTy(const Type *Param, const Type *Result) {
     return Mem.create<ArrowType>(Param, Result);
   }
@@ -518,9 +635,19 @@ public:
   const Expr *intLit(int64_t Value) {
     return Mem.create<IntLitExpr>(Value);
   }
+  const Expr *doubleLit(double Value) {
+    return Mem.create<DoubleLitExpr>(Value);
+  }
   const Expr *error() { return Mem.create<ErrorExpr>(); }
+  const Expr *error(Symbol Msg) { return Mem.create<ErrorExpr>(Msg); }
   const Expr *prim(LPrim Op, const Expr *Lhs, const Expr *Rhs) {
     return Mem.create<PrimExpr>(Op, Lhs, Rhs);
+  }
+  const Expr *if0(const Expr *Scrut, const Expr *Then, const Expr *Else) {
+    return Mem.create<If0Expr>(Scrut, Then, Else);
+  }
+  const Expr *fix(Symbol Var, const Type *VarTy, const Expr *Body) {
+    return Mem.create<FixExpr>(Var, VarTy, Body);
   }
 
   Arena &arena() { return Mem; }
@@ -530,6 +657,7 @@ private:
   SymbolTable Symbols;
   IntType IntSingleton;
   IntHashType IntHashSingleton;
+  DoubleHashType DoubleHashSingleton;
   const Type *ErrorTypeCache = nullptr;
 };
 

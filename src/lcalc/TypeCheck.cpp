@@ -27,6 +27,9 @@ Result<LKind> TypeChecker::kindOf(const TypeEnv &Env, const Type *T) const {
   case Type::TypeKind::IntHash:
     // T_INTH: Γ ⊢ Int# : TYPE I.
     return LKind::typeInt();
+  case Type::TypeKind::DoubleHash:
+    // T_DBLH: Γ ⊢ Double# : TYPE D.
+    return LKind::typeDbl();
   case Type::TypeKind::Arrow: {
     // T_ARROW: both sides must be well-kinded (at *any* kind — this is how
     // Int# → Int# is fine, Section 4.3); the arrow itself is TYPE P.
@@ -89,6 +92,9 @@ Result<const Type *> TypeChecker::typeOf(TypeEnv &Env, const Expr *E) const {
   case Expr::ExprKind::IntLit:
     // E_INTLIT: n : Int#.
     return Ctx.intHashTy();
+  case Expr::ExprKind::DoubleLit:
+    // E_DBLLIT: d : Double#.
+    return Ctx.doubleHashTy();
   case Expr::ExprKind::Error:
     // E_ERROR: error : ∀r. ∀α:TYPE r. Int → α.
     return Ctx.errorType();
@@ -200,22 +206,69 @@ Result<const Type *> TypeChecker::typeOf(TypeEnv &Env, const Expr *E) const {
                           A->repArg());
   }
   case Expr::ExprKind::Prim: {
-    // E_PRIM: e1 ⊕# e2 : Int# when e1, e2 : Int#. Both operand types have
-    // kind TYPE I, so the rule needs no concreteness premise.
+    // E_PRIM: both operand types are one unboxed sort (Int# or Double#
+    // per the operator) and the result is Int# or Double# per the
+    // operator. Every type involved has a concrete unboxed kind, so the
+    // rule needs no concreteness premise.
     const auto *P = cast<PrimExpr>(E);
+    const Type *OperandTy =
+        lPrimTakesDouble(P->op()) ? Ctx.doubleHashTy() : Ctx.intHashTy();
     Result<const Type *> LhsTy = typeOf(Env, P->lhs());
     if (!LhsTy)
       return LhsTy;
-    if (!typeEqual(*LhsTy, Ctx.intHashTy()))
-      return err(std::string(lPrimName(P->op())) + " expects Int#, got " +
-                 (*LhsTy)->str());
+    if (!typeEqual(*LhsTy, OperandTy))
+      return err(std::string(lPrimName(P->op())) + " expects " +
+                 OperandTy->str() + ", got " + (*LhsTy)->str());
     Result<const Type *> RhsTy = typeOf(Env, P->rhs());
     if (!RhsTy)
       return RhsTy;
-    if (!typeEqual(*RhsTy, Ctx.intHashTy()))
-      return err(std::string(lPrimName(P->op())) + " expects Int#, got " +
-                 (*RhsTy)->str());
-    return Ctx.intHashTy();
+    if (!typeEqual(*RhsTy, OperandTy))
+      return err(std::string(lPrimName(P->op())) + " expects " +
+                 OperandTy->str() + ", got " + (*RhsTy)->str());
+    return lPrimReturnsDouble(P->op()) ? Ctx.doubleHashTy()
+                                       : Ctx.intHashTy();
+  }
+  case Expr::ExprKind::If0: {
+    // E_IF0: if0 e1 then e2 else e3 : τ when e1 : Int# and e2, e3 : τ.
+    const auto *I = cast<If0Expr>(E);
+    Result<const Type *> ScrutTy = typeOf(Env, I->scrut());
+    if (!ScrutTy)
+      return ScrutTy;
+    if (!typeEqual(*ScrutTy, Ctx.intHashTy()))
+      return err("if0 scrutinee must have type Int#, got " +
+                 (*ScrutTy)->str());
+    Result<const Type *> ThenTy = typeOf(Env, I->thenBranch());
+    if (!ThenTy)
+      return ThenTy;
+    Result<const Type *> ElseTy = typeOf(Env, I->elseBranch());
+    if (!ElseTy)
+      return ElseTy;
+    if (!typeEqual(*ThenTy, *ElseTy))
+      return err("if0 branches disagree: " + (*ThenTy)->str() + " vs " +
+                 (*ElseTy)->str());
+    return *ThenTy;
+  }
+  case Expr::ExprKind::Fix: {
+    // E_FIX: fix x:τ. e : τ when Γ,x:τ ⊢ e : τ and τ : TYPE P — the
+    // unfolding substitutes an arbitrary (unevaluated) expression for x,
+    // which only a lifted binder can receive.
+    const auto *F = cast<FixExpr>(E);
+    Result<LKind> BinderKind = kindOf(Env, F->varType());
+    if (!BinderKind)
+      return err(BinderKind.error());
+    if (!(*BinderKind == LKind::typePtr()))
+      return err("recursive binder " + std::string(F->var().str()) + " : " +
+                 F->varType()->str() + " has kind " + BinderKind->str() +
+                 ", but fix requires a lifted (TYPE P) type (E_FIX)");
+    Env.pushTerm(F->var(), F->varType());
+    Result<const Type *> BodyTy = typeOf(Env, F->body());
+    Env.popTerm();
+    if (!BodyTy)
+      return BodyTy;
+    if (!typeEqual(*BodyTy, F->varType()))
+      return err("fix body has type " + (*BodyTy)->str() +
+                 ", expected the annotation " + F->varType()->str());
+    return F->varType();
   }
   case Expr::ExprKind::Case: {
     // E_CASE.

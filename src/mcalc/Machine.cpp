@@ -7,6 +7,8 @@
 
 #include "mcalc/Machine.h"
 
+#include <limits>
+
 using namespace levity;
 using namespace levity::mcalc;
 
@@ -65,9 +67,21 @@ MachineResult Machine::runWithHeap(const Term *T, HeapMap InitialHeap,
           return Stuck("App(n) against a non-lambda value");
         if (!L->param().isInt())
           return Stuck("calling-convention mismatch: integer argument "
-                       "for a pointer-register parameter");
+                       "for a non-integer-register parameter");
         ++S.BetaInt;
         Cur = substLit(Ctx, L->body(), L->param(), F.Lit);
+        continue;
+      }
+      case Frame::FrameKind::AppDbl: {
+        // DPOP: ⟨λf.t1; App(d),S; H⟩ → ⟨t1[d/f]; S; H⟩.
+        const auto *L = dyn_cast<LamTerm>(Cur);
+        if (!L)
+          return Stuck("App(d) against a non-lambda value");
+        if (!L->param().isDbl())
+          return Stuck("calling-convention mismatch: double argument "
+                       "for a non-double-register parameter");
+        ++S.BetaDbl;
+        Cur = substDbl(Ctx, L->body(), L->param(), F.DblLit);
         continue;
       }
       case Frame::FrameKind::Force:
@@ -76,12 +90,23 @@ MachineResult Machine::runWithHeap(const Term *T, HeapMap InitialHeap,
         H[F.Var.Name] = Cur;
         continue;
       case Frame::FrameKind::Let: {
-        // ILET: ⟨n; Let(i,t),S; H⟩ → ⟨t[n/i]; S; H⟩.
-        const auto *Lit = dyn_cast<LitTerm>(Cur);
-        if (!Lit || !F.Var.isInt())
-          return Stuck("let! continuation expects an integer literal");
-        Cur = substLit(Ctx, F.Body, F.Var, Lit->value());
-        continue;
+        // ILET: ⟨n; Let(i,t),S; H⟩ → ⟨t[n/i]; S; H⟩, and its double
+        // counterpart DLET: ⟨d; Let(f,t),S; H⟩ → ⟨t[d/f]; S; H⟩.
+        if (F.Var.isInt()) {
+          const auto *Lit = dyn_cast<LitTerm>(Cur);
+          if (!Lit)
+            return Stuck("let! continuation expects an integer literal");
+          Cur = substLit(Ctx, F.Body, F.Var, Lit->value());
+          continue;
+        }
+        if (F.Var.isDbl()) {
+          const auto *Lit = dyn_cast<DLitTerm>(Cur);
+          if (!Lit)
+            return Stuck("let! continuation expects a double literal");
+          Cur = substDbl(Ctx, F.Body, F.Var, Lit->value());
+          continue;
+        }
+        return Stuck("let! continuation over a pointer binder");
       }
       case Frame::FrameKind::Case: {
         // IMAT: ⟨I#[n]; Case(i,t),S; H⟩ → ⟨t[n/i]; S; H⟩.
@@ -89,6 +114,16 @@ MachineResult Machine::runWithHeap(const Term *T, HeapMap InitialHeap,
         if (!Con || !F.Var.isInt())
           return Stuck("case continuation expects I#[n]");
         Cur = substLit(Ctx, F.Body, F.Var, Con->value());
+        continue;
+      }
+      case Frame::FrameKind::If0: {
+        // IF0: ⟨n; If0(t2,t3),S; H⟩ → ⟨t2; S; H⟩ when n = 0, ⟨t3; S; H⟩
+        // otherwise.
+        const auto *Lit = dyn_cast<LitTerm>(Cur);
+        if (!Lit)
+          return Stuck("if0 scrutinee is not an integer literal");
+        ++S.Branches;
+        Cur = Lit->value() == 0 ? F.Body : F.Body2;
         continue;
       }
       }
@@ -101,22 +136,32 @@ MachineResult Machine::runWithHeap(const Term *T, HeapMap InitialHeap,
       const auto *A = cast<AppVarTerm>(Cur);
       // PAPP: push the (pointer) argument; lazy — it is not evaluated.
       if (!A->arg().isPtr())
-        return Stuck("application to an unresolved integer variable");
-      Stack.push_back({Frame::FrameKind::AppPtr, A->arg(), 0, nullptr});
+        return Stuck("application to an unresolved unboxed variable");
+      Stack.push_back(
+          {Frame::FrameKind::AppPtr, A->arg(), 0, 0, nullptr, nullptr});
       Cur = A->fn();
       continue;
     }
     case Term::TermKind::AppLit: {
       // IAPP: push the literal argument (already a value).
       const auto *A = cast<AppLitTerm>(Cur);
-      Stack.push_back({Frame::FrameKind::AppLit, MVar(), A->lit(), nullptr});
+      Stack.push_back(
+          {Frame::FrameKind::AppLit, MVar(), A->lit(), 0, nullptr, nullptr});
+      Cur = A->fn();
+      continue;
+    }
+    case Term::TermKind::AppDbl: {
+      // DAPP: push the double-literal argument (already a value).
+      const auto *A = cast<AppDblTerm>(Cur);
+      Stack.push_back(
+          {Frame::FrameKind::AppDbl, MVar(), 0, A->lit(), nullptr, nullptr});
       Cur = A->fn();
       continue;
     }
     case Term::TermKind::Var: {
       const auto *V = cast<VarTerm>(Cur);
       if (!V->var().isPtr())
-        return Stuck("unresolved integer variable " + V->var().str());
+        return Stuck("unresolved unboxed variable " + V->var().str());
       auto It = H.find(V->var().Name);
       if (It == H.end())
         return Stuck("dangling heap pointer " + V->var().str());
@@ -130,7 +175,8 @@ MachineResult Machine::runWithHeap(const Term *T, HeapMap InitialHeap,
       ++S.ThunkEvals;
       Cur = It->second;
       H.erase(It);
-      Stack.push_back({Frame::FrameKind::Force, V->var(), 0, nullptr});
+      Stack.push_back(
+          {Frame::FrameKind::Force, V->var(), 0, 0, nullptr, nullptr});
       continue;
     }
     case Term::TermKind::Let: {
@@ -148,8 +194,20 @@ MachineResult Machine::runWithHeap(const Term *T, HeapMap InitialHeap,
       const auto *L = cast<LetBangTerm>(Cur);
       ++S.StrictLets;
       Stack.push_back(
-          {Frame::FrameKind::Let, L->binder(), 0, L->body()});
+          {Frame::FrameKind::Let, L->binder(), 0, 0, L->body(), nullptr});
       Cur = L->rhs();
+      continue;
+    }
+    case Term::TermKind::LetRec: {
+      // RECLET: allocate the knot. The binder is freshened into a new
+      // heap address which is substituted into *both* the stored thunk
+      // and the body, so the thunk can reach itself.
+      const auto *L = cast<LetRecTerm>(Cur);
+      ++S.Allocations;
+      ++S.Knots;
+      MVar Addr = Ctx.freshPtr();
+      H.emplace(Addr.Name, substVar(Ctx, L->rhs(), L->binder(), Addr));
+      Cur = substVar(Ctx, L->body(), L->binder(), Addr);
       continue;
     }
     case Term::TermKind::Case: {
@@ -157,23 +215,56 @@ MachineResult Machine::runWithHeap(const Term *T, HeapMap InitialHeap,
       const auto *C = cast<CaseTerm>(Cur);
       ++S.Cases;
       Stack.push_back(
-          {Frame::FrameKind::Case, C->binder(), 0, C->body()});
+          {Frame::FrameKind::Case, C->binder(), 0, 0, C->body(), nullptr});
       Cur = C->scrut();
       continue;
     }
+    case Term::TermKind::If0: {
+      // IF0: evaluate the integer scrutinee, then branch.
+      const auto *I = cast<If0Term>(Cur);
+      Stack.push_back({Frame::FrameKind::If0, MVar(), 0, 0,
+                       I->thenBranch(), I->elseBranch()});
+      Cur = I->scrut();
+      continue;
+    }
     case Term::TermKind::Prim: {
-      // PRIM: ⟨n1 ⊕# n2; S; H⟩ → ⟨n; S; H⟩ — both operands must have
-      // been resolved to literals by ILET/IPOP substitution.
+      // PRIM: ⟨a1 ⊕# a2; S; H⟩ → ⟨w; S; H⟩ — both operands must have
+      // been resolved to literals by ILET/IPOP (or DLET/DPOP)
+      // substitution.
       const auto *P = cast<PrimTerm>(Cur);
       if (!P->lhs().IsLit || !P->rhs().IsLit)
-        return Stuck("unresolved integer variable in primop");
+        return Stuck("unresolved unboxed variable in primop");
       ++S.Prims;
+      if (mPrimTakesDouble(P->op())) {
+        if (!P->lhs().IsDbl || !P->rhs().IsDbl)
+          return Stuck("integer atom in a double primop");
+        if (mPrimReturnsDouble(P->op()))
+          Cur = Ctx.dlit(
+              evalMPrimDD(P->op(), P->lhs().DblLit, P->rhs().DblLit));
+        else
+          Cur = Ctx.lit(
+              evalMPrimDI(P->op(), P->lhs().DblLit, P->rhs().DblLit));
+        continue;
+      }
+      if (P->lhs().IsDbl || P->rhs().IsDbl)
+        return Stuck("double atom in an integer primop");
+      if (P->op() == MPrim::Quot || P->op() == MPrim::Rem) {
+        if (P->rhs().Lit == 0)
+          return Stuck("divide by zero");
+        // INT64_MIN / -1 overflows (and traps on x86); reject it like a
+        // zero divisor instead of crashing the process.
+        if (P->lhs().Lit == std::numeric_limits<int64_t>::min() &&
+            P->rhs().Lit == -1)
+          return Stuck("integer overflow in division");
+      }
       Cur = Ctx.lit(evalMPrim(P->op(), P->lhs().Lit, P->rhs().Lit));
       continue;
     }
     case Term::TermKind::Error:
-      // ERR: abort the machine.
+      // ERR: abort the machine, surfacing the error's message.
       R.Status = MachineOutcome::Bottom;
+      if (Symbol Msg = cast<ErrorTerm>(Cur)->message(); Msg.valid())
+        R.ErrorMessage = std::string(Msg.str());
       R.FinalHeap = std::move(H);
       return R;
     case Term::TermKind::ConVar:
@@ -182,6 +273,7 @@ MachineResult Machine::runWithHeap(const Term *T, HeapMap InitialHeap,
     case Term::TermKind::Lam:
     case Term::TermKind::ConLit:
     case Term::TermKind::Lit:
+    case Term::TermKind::DLit:
       assert(false && "values handled above");
       return Stuck("internal: value fell through");
     }

@@ -11,6 +11,10 @@
 /// behave". Implements every rule of Figure 6 (PAPP, IAPP, VAL, EVAL, LET,
 /// SLET, CASE, ERR, PPOP, IPOP, FCE, ILET, IMAT), including thunk sharing:
 /// EVAL black-holes a thunk under evaluation and FCE writes the value back.
+/// The widened executable fragment adds the analogous double-register
+/// rules (DAPP, DPOP, DLET), the IF0 branch, and RECLET — the heap-tied
+/// knot that makes recursion (L's fix) runnable: the allocated thunk's
+/// stored body references its own fresh heap address.
 ///
 /// The machine is instrumented with cost counters (heap allocations, thunk
 /// forces/updates, substitution steps) used by the benchmark harnesses to
@@ -34,20 +38,25 @@
 namespace levity {
 namespace mcalc {
 
-/// S — one stack frame (Figure 5's stack grammar).
+/// S — one stack frame (Figure 5's stack grammar, plus the double and
+/// branch frames of the widened fragment).
 struct Frame {
   enum class FrameKind : uint8_t {
     Force,  ///< Force(p): update p with the value being computed.
     AppPtr, ///< App(p): pending pointer argument.
     AppLit, ///< App(n): pending integer argument.
+    AppDbl, ///< App(d): pending double argument.
     Let,    ///< Let(y, t): strict-let continuation.
-    Case    ///< Case(y, t): case continuation.
+    Case,   ///< Case(y, t): case continuation.
+    If0     ///< If0(t2, t3): branch continuation.
   };
 
   FrameKind Kind;
-  MVar Var;                  ///< Force/AppPtr/Let/Case variable.
-  int64_t Lit = 0;           ///< AppLit payload.
-  const Term *Body = nullptr; ///< Let/Case continuation body.
+  MVar Var;                   ///< Force/AppPtr/Let/Case variable.
+  int64_t Lit = 0;            ///< AppLit payload.
+  double DblLit = 0;          ///< AppDbl payload.
+  const Term *Body = nullptr; ///< Let/Case/If0-then continuation body.
+  const Term *Body2 = nullptr; ///< If0-else continuation body.
 };
 
 /// Cost counters. Deterministic for a given program, so benchmarks can
@@ -62,7 +71,10 @@ struct MachineStats {
   uint64_t Cases = 0;        ///< CASE firings.
   uint64_t BetaPtr = 0;      ///< PPOP firings (pointer calls).
   uint64_t BetaInt = 0;      ///< IPOP firings (integer-register calls).
-  uint64_t Prims = 0;        ///< PRIM firings (integer arithmetic).
+  uint64_t BetaDbl = 0;      ///< DPOP firings (double-register calls).
+  uint64_t Prims = 0;        ///< PRIM firings (unboxed arithmetic).
+  uint64_t Branches = 0;     ///< IF0 firings (branches taken).
+  uint64_t Knots = 0;        ///< RECLET firings (recursive knots tied).
   size_t MaxStackDepth = 0;
   size_t MaxHeapSize = 0;
 };
@@ -82,6 +94,9 @@ struct MachineResult {
   MachineOutcome Status;
   const Term *Value = nullptr; ///< Final value when Status == Value.
   std::string StuckReason;
+  /// The error term's diagnostic message when Status == Bottom (empty if
+  /// the error carried none).
+  std::string ErrorMessage;
   MachineStats Stats;
   /// The heap at the end of the run. Function values may capture pointers
   /// into it, so observational probing must resume from this heap.

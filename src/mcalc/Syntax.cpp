@@ -24,6 +24,9 @@ void printTerm(std::ostringstream &OS, const Term *T, int Prec) {
   case Term::TermKind::Lit:
     OS << cast<LitTerm>(T)->value();
     return;
+  case Term::TermKind::DLit:
+    OS << cast<DLitTerm>(T)->value() << "##";
+    return;
   case Term::TermKind::Error:
     OS << "error";
     return;
@@ -49,6 +52,16 @@ void printTerm(std::ostringstream &OS, const Term *T, int Prec) {
       OS << "(";
     printTerm(OS, A->fn(), PrecApp);
     OS << " " << A->lit();
+    if (Prec > PrecApp)
+      OS << ")";
+    return;
+  }
+  case Term::TermKind::AppDbl: {
+    const auto *A = cast<AppDblTerm>(T);
+    if (Prec > PrecApp)
+      OS << "(";
+    printTerm(OS, A->fn(), PrecApp);
+    OS << " " << A->lit() << "##";
     if (Prec > PrecApp)
       OS << ")";
     return;
@@ -87,6 +100,18 @@ void printTerm(std::ostringstream &OS, const Term *T, int Prec) {
       OS << ")";
     return;
   }
+  case Term::TermKind::LetRec: {
+    const auto *L = cast<LetRecTerm>(T);
+    if (Prec > PrecTop)
+      OS << "(";
+    OS << "letrec " << L->binder().str() << " = ";
+    printTerm(OS, L->rhs(), PrecApp);
+    OS << " in ";
+    printTerm(OS, L->body(), PrecTop);
+    if (Prec > PrecTop)
+      OS << ")";
+    return;
+  }
   case Term::TermKind::Case: {
     const auto *C = cast<CaseTerm>(T);
     if (Prec > PrecTop)
@@ -95,6 +120,20 @@ void printTerm(std::ostringstream &OS, const Term *T, int Prec) {
     printTerm(OS, C->scrut(), PrecTop);
     OS << " of I#[" << C->binder().str() << "] -> ";
     printTerm(OS, C->body(), PrecTop);
+    if (Prec > PrecTop)
+      OS << ")";
+    return;
+  }
+  case Term::TermKind::If0: {
+    const auto *I = cast<If0Term>(T);
+    if (Prec > PrecTop)
+      OS << "(";
+    OS << "if0 ";
+    printTerm(OS, I->scrut(), PrecApp);
+    OS << " then ";
+    printTerm(OS, I->thenBranch(), PrecTop);
+    OS << " else ";
+    printTerm(OS, I->elseBranch(), PrecTop);
     if (Prec > PrecTop)
       OS << ")";
     return;
@@ -128,9 +167,75 @@ std::string_view mcalc::mPrimName(MPrim Op) {
     return "-#";
   case MPrim::Mul:
     return "*#";
+  case MPrim::Quot:
+    return "quot#";
+  case MPrim::Rem:
+    return "rem#";
+  case MPrim::Lt:
+    return "<#";
+  case MPrim::Le:
+    return "<=#";
+  case MPrim::Gt:
+    return ">#";
+  case MPrim::Ge:
+    return ">=#";
+  case MPrim::Eq:
+    return "==#";
+  case MPrim::Ne:
+    return "/=#";
+  case MPrim::DAdd:
+    return "+##";
+  case MPrim::DSub:
+    return "-##";
+  case MPrim::DMul:
+    return "*##";
+  case MPrim::DDiv:
+    return "/##";
+  case MPrim::DLt:
+    return "<##";
+  case MPrim::DLe:
+    return "<=##";
+  case MPrim::DGt:
+    return ">##";
+  case MPrim::DGe:
+    return ">=##";
+  case MPrim::DEq:
+    return "==##";
+  case MPrim::DNe:
+    return "/=##";
   }
   assert(false && "unknown primop");
   return "?#";
+}
+
+bool mcalc::mPrimTakesDouble(MPrim Op) {
+  switch (Op) {
+  case MPrim::DAdd:
+  case MPrim::DSub:
+  case MPrim::DMul:
+  case MPrim::DDiv:
+  case MPrim::DLt:
+  case MPrim::DLe:
+  case MPrim::DGt:
+  case MPrim::DGe:
+  case MPrim::DEq:
+  case MPrim::DNe:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool mcalc::mPrimReturnsDouble(MPrim Op) {
+  switch (Op) {
+  case MPrim::DAdd:
+  case MPrim::DSub:
+  case MPrim::DMul:
+  case MPrim::DDiv:
+    return true;
+  default:
+    return false;
+  }
 }
 
 int64_t mcalc::evalMPrim(MPrim Op, int64_t Lhs, int64_t Rhs) {
@@ -141,8 +246,68 @@ int64_t mcalc::evalMPrim(MPrim Op, int64_t Lhs, int64_t Rhs) {
     return Lhs - Rhs;
   case MPrim::Mul:
     return Lhs * Rhs;
+  case MPrim::Quot:
+    // The machine's PRIM rule goes Stuck on a zero divisor before
+    // evaluating; a zero here is a caller bug.
+    assert(Rhs != 0 && "quot# by zero must be rejected by the caller");
+    return Lhs / Rhs;
+  case MPrim::Rem:
+    assert(Rhs != 0 && "rem# by zero must be rejected by the caller");
+    return Lhs % Rhs;
+  case MPrim::Lt:
+    return Lhs < Rhs ? 1 : 0;
+  case MPrim::Le:
+    return Lhs <= Rhs ? 1 : 0;
+  case MPrim::Gt:
+    return Lhs > Rhs ? 1 : 0;
+  case MPrim::Ge:
+    return Lhs >= Rhs ? 1 : 0;
+  case MPrim::Eq:
+    return Lhs == Rhs ? 1 : 0;
+  case MPrim::Ne:
+    return Lhs != Rhs ? 1 : 0;
+  default:
+    break;
   }
-  assert(false && "unknown primop");
+  assert(false && "not an integer primop");
+  return 0;
+}
+
+double mcalc::evalMPrimDD(MPrim Op, double Lhs, double Rhs) {
+  switch (Op) {
+  case MPrim::DAdd:
+    return Lhs + Rhs;
+  case MPrim::DSub:
+    return Lhs - Rhs;
+  case MPrim::DMul:
+    return Lhs * Rhs;
+  case MPrim::DDiv:
+    return Lhs / Rhs;
+  default:
+    break;
+  }
+  assert(false && "not a double-result primop");
+  return 0;
+}
+
+int64_t mcalc::evalMPrimDI(MPrim Op, double Lhs, double Rhs) {
+  switch (Op) {
+  case MPrim::DLt:
+    return Lhs < Rhs ? 1 : 0;
+  case MPrim::DLe:
+    return Lhs <= Rhs ? 1 : 0;
+  case MPrim::DGt:
+    return Lhs > Rhs ? 1 : 0;
+  case MPrim::DGe:
+    return Lhs >= Rhs ? 1 : 0;
+  case MPrim::DEq:
+    return Lhs == Rhs ? 1 : 0;
+  case MPrim::DNe:
+    return Lhs != Rhs ? 1 : 0;
+  default:
+    break;
+  }
+  assert(false && "not a double comparison");
   return 0;
 }
 
@@ -151,6 +316,7 @@ bool mcalc::isValue(const Term *T) {
   case Term::TermKind::Lam:
   case Term::TermKind::ConLit:
   case Term::TermKind::Lit:
+  case Term::TermKind::DLit:
     return true;
   default:
     return false;
@@ -164,6 +330,7 @@ const Term *mcalc::substVar(MContext &Ctx, const Term *T, MVar Var,
   case Term::TermKind::Var:
     return cast<VarTerm>(T)->var() == Var ? Ctx.var(Replacement) : T;
   case Term::TermKind::Lit:
+  case Term::TermKind::DLit:
   case Term::TermKind::ConLit:
   case Term::TermKind::Error:
     return T;
@@ -185,6 +352,13 @@ const Term *mcalc::substVar(MContext &Ctx, const Term *T, MVar Var,
     if (Fn == A->fn())
       return T;
     return Ctx.appLit(Fn, A->lit());
+  }
+  case Term::TermKind::AppDbl: {
+    const auto *A = cast<AppDblTerm>(T);
+    const Term *Fn = substVar(Ctx, A->fn(), Var, Replacement);
+    if (Fn == A->fn())
+      return T;
+    return Ctx.appDbl(Fn, A->lit());
   }
   case Term::TermKind::Lam: {
     const auto *L = cast<LamTerm>(T);
@@ -230,9 +404,37 @@ const Term *mcalc::substVar(MContext &Ctx, const Term *T, MVar Var,
     return Strict ? Ctx.letBang(Binder, NewRhs, NewBody)
                   : Ctx.let(Binder, NewRhs, NewBody);
   }
+  case Term::TermKind::LetRec: {
+    // The binder scopes over *both* the right-hand side and the body.
+    const auto *L = cast<LetRecTerm>(T);
+    if (L->binder() == Var)
+      return T; // fully shadowed
+    if (L->binder() == Replacement) {
+      MVar Fresh = Ctx.freshLike(L->binder());
+      const Term *RenRhs = substVar(Ctx, L->rhs(), L->binder(), Fresh);
+      const Term *RenBody = substVar(Ctx, L->body(), L->binder(), Fresh);
+      return Ctx.letRec(Fresh, substVar(Ctx, RenRhs, Var, Replacement),
+                        substVar(Ctx, RenBody, Var, Replacement));
+    }
+    const Term *NewRhs = substVar(Ctx, L->rhs(), Var, Replacement);
+    const Term *NewBody = substVar(Ctx, L->body(), Var, Replacement);
+    if (NewRhs == L->rhs() && NewBody == L->body())
+      return T;
+    return Ctx.letRec(L->binder(), NewRhs, NewBody);
+  }
+  case Term::TermKind::If0: {
+    const auto *I = cast<If0Term>(T);
+    const Term *Scrut = substVar(Ctx, I->scrut(), Var, Replacement);
+    const Term *Then = substVar(Ctx, I->thenBranch(), Var, Replacement);
+    const Term *Else = substVar(Ctx, I->elseBranch(), Var, Replacement);
+    if (Scrut == I->scrut() && Then == I->thenBranch() &&
+        Else == I->elseBranch())
+      return T;
+    return Ctx.if0(Scrut, Then, Else);
+  }
   case Term::TermKind::Prim: {
-    // Primop atoms are integer variables; term-variable substitution
-    // moves pointer or integer variables of the same sort.
+    // Primop atoms are unboxed variables; term-variable substitution
+    // moves variables of the same sort.
     const auto *P = cast<PrimTerm>(T);
     MAtom Lhs = P->lhs(), Rhs = P->rhs();
     bool Changed = false;
@@ -277,6 +479,7 @@ const Term *mcalc::substLit(MContext &Ctx, const Term *T, MVar Var,
   case Term::TermKind::Var:
     return cast<VarTerm>(T)->var() == Var ? Ctx.lit(Lit) : T;
   case Term::TermKind::Lit:
+  case Term::TermKind::DLit:
   case Term::TermKind::ConLit:
   case Term::TermKind::Error:
     return T;
@@ -299,6 +502,13 @@ const Term *mcalc::substLit(MContext &Ctx, const Term *T, MVar Var,
     if (Fn == A->fn())
       return T;
     return Ctx.appLit(Fn, A->lit());
+  }
+  case Term::TermKind::AppDbl: {
+    const auto *A = cast<AppDblTerm>(T);
+    const Term *Fn = substLit(Ctx, A->fn(), Var, Lit);
+    if (Fn == A->fn())
+      return T;
+    return Ctx.appDbl(Fn, A->lit());
   }
   case Term::TermKind::Lam: {
     const auto *L = cast<LamTerm>(T);
@@ -326,6 +536,25 @@ const Term *mcalc::substLit(MContext &Ctx, const Term *T, MVar Var,
     return Strict ? Ctx.letBang(Binder, NewRhs, NewBody)
                   : Ctx.let(Binder, NewRhs, NewBody);
   }
+  case Term::TermKind::LetRec: {
+    // A pointer binder never equals an integer variable; recurse freely.
+    const auto *L = cast<LetRecTerm>(T);
+    const Term *NewRhs = substLit(Ctx, L->rhs(), Var, Lit);
+    const Term *NewBody = substLit(Ctx, L->body(), Var, Lit);
+    if (NewRhs == L->rhs() && NewBody == L->body())
+      return T;
+    return Ctx.letRec(L->binder(), NewRhs, NewBody);
+  }
+  case Term::TermKind::If0: {
+    const auto *I = cast<If0Term>(T);
+    const Term *Scrut = substLit(Ctx, I->scrut(), Var, Lit);
+    const Term *Then = substLit(Ctx, I->thenBranch(), Var, Lit);
+    const Term *Else = substLit(Ctx, I->elseBranch(), Var, Lit);
+    if (Scrut == I->scrut() && Then == I->thenBranch() &&
+        Else == I->elseBranch())
+      return T;
+    return Ctx.if0(Scrut, Then, Else);
+  }
   case Term::TermKind::Case: {
     const auto *C = cast<CaseTerm>(T);
     const Term *Scrut = substLit(Ctx, C->scrut(), Var, Lit);
@@ -346,6 +575,114 @@ const Term *mcalc::substLit(MContext &Ctx, const Term *T, MVar Var,
     }
     if (!Rhs.IsLit && Rhs.Var == Var) {
       Rhs = MAtom::lit(Lit);
+      Changed = true;
+    }
+    return Changed ? Ctx.prim(P->op(), Lhs, Rhs) : T;
+  }
+  }
+  assert(false && "unknown term kind");
+  return T;
+}
+
+const Term *mcalc::substDbl(MContext &Ctx, const Term *T, MVar Var,
+                            double Lit) {
+  assert(Var.isDbl() && "only double variables carry double literals");
+  switch (T->kind()) {
+  case Term::TermKind::Var:
+    return cast<VarTerm>(T)->var() == Var ? Ctx.dlit(Lit) : T;
+  case Term::TermKind::Lit:
+  case Term::TermKind::DLit:
+  case Term::TermKind::ConLit:
+  case Term::TermKind::ConVar: // I# payloads are Int#; no double inside.
+  case Term::TermKind::Error:
+    return T;
+  case Term::TermKind::AppVar: {
+    const auto *A = cast<AppVarTerm>(T);
+    const Term *Fn = substDbl(Ctx, A->fn(), Var, Lit);
+    if (A->arg() == Var)
+      return Ctx.appDbl(Fn, Lit); // t f becomes t d
+    if (Fn == A->fn())
+      return T;
+    return Ctx.appVar(Fn, A->arg());
+  }
+  case Term::TermKind::AppLit: {
+    const auto *A = cast<AppLitTerm>(T);
+    const Term *Fn = substDbl(Ctx, A->fn(), Var, Lit);
+    if (Fn == A->fn())
+      return T;
+    return Ctx.appLit(Fn, A->lit());
+  }
+  case Term::TermKind::AppDbl: {
+    const auto *A = cast<AppDblTerm>(T);
+    const Term *Fn = substDbl(Ctx, A->fn(), Var, Lit);
+    if (Fn == A->fn())
+      return T;
+    return Ctx.appDbl(Fn, A->lit());
+  }
+  case Term::TermKind::Lam: {
+    const auto *L = cast<LamTerm>(T);
+    if (L->param() == Var)
+      return T; // shadowed
+    const Term *Body = substDbl(Ctx, L->body(), Var, Lit);
+    if (Body == L->body())
+      return T;
+    return Ctx.lam(L->param(), Body);
+  }
+  case Term::TermKind::Let:
+  case Term::TermKind::LetBang: {
+    bool Strict = T->kind() == Term::TermKind::LetBang;
+    MVar Binder = Strict ? cast<LetBangTerm>(T)->binder()
+                         : cast<LetTerm>(T)->binder();
+    const Term *Rhs =
+        Strict ? cast<LetBangTerm>(T)->rhs() : cast<LetTerm>(T)->rhs();
+    const Term *Body =
+        Strict ? cast<LetBangTerm>(T)->body() : cast<LetTerm>(T)->body();
+    const Term *NewRhs = substDbl(Ctx, Rhs, Var, Lit);
+    const Term *NewBody =
+        Binder == Var ? Body : substDbl(Ctx, Body, Var, Lit);
+    if (NewRhs == Rhs && NewBody == Body)
+      return T;
+    return Strict ? Ctx.letBang(Binder, NewRhs, NewBody)
+                  : Ctx.let(Binder, NewRhs, NewBody);
+  }
+  case Term::TermKind::LetRec: {
+    const auto *L = cast<LetRecTerm>(T);
+    const Term *NewRhs = substDbl(Ctx, L->rhs(), Var, Lit);
+    const Term *NewBody = substDbl(Ctx, L->body(), Var, Lit);
+    if (NewRhs == L->rhs() && NewBody == L->body())
+      return T;
+    return Ctx.letRec(L->binder(), NewRhs, NewBody);
+  }
+  case Term::TermKind::If0: {
+    const auto *I = cast<If0Term>(T);
+    const Term *Scrut = substDbl(Ctx, I->scrut(), Var, Lit);
+    const Term *Then = substDbl(Ctx, I->thenBranch(), Var, Lit);
+    const Term *Else = substDbl(Ctx, I->elseBranch(), Var, Lit);
+    if (Scrut == I->scrut() && Then == I->thenBranch() &&
+        Else == I->elseBranch())
+      return T;
+    return Ctx.if0(Scrut, Then, Else);
+  }
+  case Term::TermKind::Case: {
+    const auto *C = cast<CaseTerm>(T);
+    const Term *Scrut = substDbl(Ctx, C->scrut(), Var, Lit);
+    const Term *Body =
+        C->binder() == Var ? C->body() : substDbl(Ctx, C->body(), Var, Lit);
+    if (Scrut == C->scrut() && Body == C->body())
+      return T;
+    return Ctx.caseOf(Scrut, C->binder(), Body);
+  }
+  case Term::TermKind::Prim: {
+    // f ⊕## a becomes d ⊕## a (DLET/DPOP write double registers).
+    const auto *P = cast<PrimTerm>(T);
+    MAtom Lhs = P->lhs(), Rhs = P->rhs();
+    bool Changed = false;
+    if (!Lhs.IsLit && Lhs.Var == Var) {
+      Lhs = MAtom::dlit(Lit);
+      Changed = true;
+    }
+    if (!Rhs.IsLit && Rhs.Var == Var) {
+      Rhs = MAtom::dlit(Lit);
       Changed = true;
     }
     return Changed ? Ctx.prim(P->op(), Lhs, Rhs) : T;

@@ -7,20 +7,25 @@
 ///
 /// \file
 /// Abstract syntax for M, the paper's A-normal-form target language
-/// (Figure 5):
+/// (Figure 5), plus the executable extensions mirroring L's:
 ///
 /// \code
-///   y ::= p | i                       pointer / integer variables
-///   t ::= t y | t n | λy.t | y | let p = t1 in t2
-///       | let! y = t1 in t2 | case t1 of I#[y] → t2 | error
-///       | I#[y] | I#[n] | n
-///   w ::= λy.t | I#[n] | n            values
+///   y ::= p | i | f                   pointer / integer / double variables
+///   t ::= t y | t n | t d | λy.t | y | let p = t1 in t2
+///       | let! y = t1 in t2 | letrec p = t1 in t2
+///       | case t1 of I#[y] → t2 | if0 t1 then t2 else t3 | error
+///       | I#[y] | I#[n] | n | d | a1 ⊕# a2
+///   w ::= λy.t | I#[n] | n | d        values
 /// \endcode
 ///
-/// M is representation-monomorphic: every variable is *either* a pointer
-/// variable (register class P) or an integer variable (register class I) —
-/// the two metavariable sorts of the paper. Functions are called only on
-/// variables or literals (ANF), so every data movement has a known width.
+/// M is representation-monomorphic: every variable is *exactly one* of a
+/// pointer variable (register class P), an integer variable (register
+/// class I), or a double variable (register class D) — the metavariable
+/// sorts of the paper plus the second unboxed sort the driver's widened
+/// fragment carries. Functions are called only on variables or literals
+/// (ANF), so every data movement has a known width. `letrec` is the
+/// heap-tied knot L's `fix` compiles to: the thunk's body sees its own
+/// heap address.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -38,11 +43,12 @@
 namespace levity {
 namespace mcalc {
 
-/// The two sorts of M variables: each corresponds to a machine register
+/// The sorts of M variables: each corresponds to a machine register
 /// class, so substitution always moves data of known width (Section 6.2).
 enum class VarSort : uint8_t {
   Ptr, ///< p — points to a heap object (thunk or value).
-  Int  ///< i — holds an unboxed machine integer.
+  Int, ///< i — holds an unboxed machine integer.
+  Dbl  ///< f — holds an unboxed double in a float register.
 };
 
 /// y — a sorted variable.
@@ -52,6 +58,7 @@ struct MVar {
 
   bool isPtr() const { return Sort == VarSort::Ptr; }
   bool isInt() const { return Sort == VarSort::Int; }
+  bool isDbl() const { return Sort == VarSort::Dbl; }
 
   friend bool operator==(const MVar &A, const MVar &B) {
     return A.Name == B.Name && A.Sort == B.Sort;
@@ -67,16 +74,20 @@ public:
   enum class TermKind : uint8_t {
     AppVar, ///< t y
     AppLit, ///< t n
+    AppDbl, ///< t d (a double literal argument)
     Lam,    ///< λy.t
     Var,    ///< y
     Let,    ///< let p = t1 in t2   (lazy: allocates a thunk)
     LetBang,///< let! y = t1 in t2  (strict: evaluates t1 first)
+    LetRec, ///< letrec p = t1 in t2 (knot: t1 sees its own address)
     Case,   ///< case t1 of I#[y] → t2
+    If0,    ///< if0 t1 then t2 else t3 (branch on an integer)
     Error,  ///< error
     ConVar, ///< I#[y]
     ConLit, ///< I#[n]
     Lit,    ///< n
-    Prim    ///< a1 ⊕# a2 over integer atoms (variables or literals)
+    DLit,   ///< d (an unboxed double literal)
+    Prim    ///< a1 ⊕# a2 over unboxed atoms (variables or literals)
   };
 
   TermKind kind() const { return Kind; }
@@ -118,6 +129,22 @@ public:
 private:
   const Term *Fn;
   int64_t Lit;
+};
+
+/// t d — application to a double literal (already a value, like t n).
+class AppDblTerm : public Term {
+public:
+  AppDblTerm(const Term *Fn, double Lit)
+      : Term(TermKind::AppDbl), Fn(Fn), Lit(Lit) {}
+
+  const Term *fn() const { return Fn; }
+  double lit() const { return Lit; }
+
+  static bool classof(const Term *T) { return T->kind() == TermKind::AppDbl; }
+
+private:
+  const Term *Fn;
+  double Lit;
 };
 
 class LamTerm : public Term {
@@ -187,6 +214,29 @@ private:
   const Term *Body;
 };
 
+/// letrec p = t1 in t2 — allocates a heap cell whose stored thunk may
+/// reference its own address (the knot recursion compiles to).
+class LetRecTerm : public Term {
+public:
+  LetRecTerm(MVar Binder, const Term *Rhs, const Term *Body)
+      : Term(TermKind::LetRec), Binder(Binder), Rhs(Rhs), Body(Body) {
+    assert(Binder.isPtr() && "letrec binds a pointer variable");
+  }
+
+  MVar binder() const { return Binder; }
+  const Term *rhs() const { return Rhs; }
+  const Term *body() const { return Body; }
+
+  static bool classof(const Term *T) {
+    return T->kind() == TermKind::LetRec;
+  }
+
+private:
+  MVar Binder;
+  const Term *Rhs;
+  const Term *Body;
+};
+
 class CaseTerm : public Term {
 public:
   CaseTerm(const Term *Scrut, MVar Binder, const Term *Body)
@@ -204,10 +254,37 @@ private:
   const Term *Body;
 };
 
+/// if0 t1 then t2 else t3 — evaluates t1 to an integer literal and takes
+/// the then-branch when it is 0, the else-branch otherwise.
+class If0Term : public Term {
+public:
+  If0Term(const Term *Scrut, const Term *Then, const Term *Else)
+      : Term(TermKind::If0), Scrut(Scrut), Then(Then), Else(Else) {}
+
+  const Term *scrut() const { return Scrut; }
+  const Term *thenBranch() const { return Then; }
+  const Term *elseBranch() const { return Else; }
+
+  static bool classof(const Term *T) { return T->kind() == TermKind::If0; }
+
+private:
+  const Term *Scrut;
+  const Term *Then;
+  const Term *Else;
+};
+
 class ErrorTerm : public Term {
 public:
   ErrorTerm() : Term(TermKind::Error) {}
+  explicit ErrorTerm(Symbol Msg) : Term(TermKind::Error), Msg(Msg) {}
+
+  /// Invalid when the error carries no message (see lcalc::ErrorExpr).
+  Symbol message() const { return Msg; }
+
   static bool classof(const Term *T) { return T->kind() == TermKind::Error; }
+
+private:
+  Symbol Msg;
 };
 
 class ConVarTerm : public Term {
@@ -246,25 +323,54 @@ private:
   int64_t Value;
 };
 
-/// ⊕# — binary Int# arithmetic, mirroring lcalc::LPrim. Operands are
-/// restricted to *atoms* (integer variables or literals) so the ANF
-/// discipline — every data movement has a known width — is preserved.
-enum class MPrim : uint8_t { Add, Sub, Mul };
+/// d — an unboxed double literal value.
+class DLitTerm : public Term {
+public:
+  explicit DLitTerm(double Value) : Term(TermKind::DLit), Value(Value) {}
+
+  double value() const { return Value; }
+
+  static bool classof(const Term *T) { return T->kind() == TermKind::DLit; }
+
+private:
+  double Value;
+};
+
+/// ⊕# — binary unboxed primops, mirroring lcalc::LPrim (same layout:
+/// Int# arithmetic/comparisons, then Double# arithmetic/comparisons).
+/// Operands are restricted to *atoms* (unboxed variables or literals) so
+/// the ANF discipline — every data movement has a known width — is
+/// preserved.
+enum class MPrim : uint8_t {
+  Add, Sub, Mul, Quot, Rem,
+  Lt, Le, Gt, Ge, Eq, Ne,
+  DAdd, DSub, DMul, DDiv,
+  DLt, DLe, DGt, DGe, DEq, DNe
+};
 
 std::string_view mPrimName(MPrim Op);
+bool mPrimTakesDouble(MPrim Op);
+bool mPrimReturnsDouble(MPrim Op);
 int64_t evalMPrim(MPrim Op, int64_t Lhs, int64_t Rhs);
+double evalMPrimDD(MPrim Op, double Lhs, double Rhs);
+int64_t evalMPrimDI(MPrim Op, double Lhs, double Rhs);
 
-/// An integer-register atom: i or n. ILET/IPOP substitution turns the
-/// variable form into the literal form.
+/// An unboxed-register atom: i, f, n, or d. ILET/IPOP (and their double
+/// counterparts) substitution turns the variable forms into the literal
+/// forms.
 struct MAtom {
   bool IsLit = false;
-  MVar Var;        ///< Integer variable when !IsLit.
-  int64_t Lit = 0; ///< Literal payload when IsLit.
+  bool IsDbl = false;  ///< Selects the double payload/sort.
+  MVar Var;            ///< Unboxed variable when !IsLit.
+  int64_t Lit = 0;     ///< Integer literal payload when IsLit && !IsDbl.
+  double DblLit = 0;   ///< Double literal payload when IsLit && IsDbl.
 
   static MAtom var(MVar V) {
-    assert(V.isInt() && "primop atoms live in integer registers");
+    assert((V.isInt() || V.isDbl()) &&
+           "primop atoms live in unboxed registers");
     MAtom A;
     A.Var = V;
+    A.IsDbl = V.isDbl();
     return A;
   }
   static MAtom lit(int64_t N) {
@@ -273,9 +379,18 @@ struct MAtom {
     A.Lit = N;
     return A;
   }
+  static MAtom dlit(double D) {
+    MAtom A;
+    A.IsLit = true;
+    A.IsDbl = true;
+    A.DblLit = D;
+    return A;
+  }
 
   std::string str() const {
-    return IsLit ? std::to_string(Lit) : Var.str();
+    if (!IsLit)
+      return Var.str();
+    return IsDbl ? std::to_string(DblLit) : std::to_string(Lit);
   }
 };
 
@@ -327,9 +442,21 @@ public:
   MVar freshInt() {
     return {Symbols.intern("i" + std::to_string(Counter++)), VarSort::Int};
   }
+  /// Makes a fresh double variable (f0, f1, ...).
+  MVar freshDbl() {
+    return {Symbols.intern("f" + std::to_string(Counter++)), VarSort::Dbl};
+  }
   /// Makes a fresh variable of the same sort as \p Like.
   MVar freshLike(MVar Like) {
-    return Like.isPtr() ? freshPtr() : freshInt();
+    switch (Like.Sort) {
+    case VarSort::Ptr:
+      return freshPtr();
+    case VarSort::Int:
+      return freshInt();
+    case VarSort::Dbl:
+      return freshDbl();
+    }
+    return freshPtr();
   }
 
   const Term *appVar(const Term *Fn, MVar Arg) {
@@ -337,6 +464,9 @@ public:
   }
   const Term *appLit(const Term *Fn, int64_t Lit) {
     return Mem.create<AppLitTerm>(Fn, Lit);
+  }
+  const Term *appDbl(const Term *Fn, double Lit) {
+    return Mem.create<AppDblTerm>(Fn, Lit);
   }
   const Term *lam(MVar Param, const Term *Body) {
     return Mem.create<LamTerm>(Param, Body);
@@ -348,13 +478,21 @@ public:
   const Term *letBang(MVar Binder, const Term *Rhs, const Term *Body) {
     return Mem.create<LetBangTerm>(Binder, Rhs, Body);
   }
+  const Term *letRec(MVar Binder, const Term *Rhs, const Term *Body) {
+    return Mem.create<LetRecTerm>(Binder, Rhs, Body);
+  }
   const Term *caseOf(const Term *Scrut, MVar Binder, const Term *Body) {
     return Mem.create<CaseTerm>(Scrut, Binder, Body);
   }
+  const Term *if0(const Term *Scrut, const Term *Then, const Term *Else) {
+    return Mem.create<If0Term>(Scrut, Then, Else);
+  }
   const Term *error() { return Mem.create<ErrorTerm>(); }
+  const Term *error(Symbol Msg) { return Mem.create<ErrorTerm>(Msg); }
   const Term *conVar(MVar V) { return Mem.create<ConVarTerm>(V); }
   const Term *conLit(int64_t Value) { return Mem.create<ConLitTerm>(Value); }
   const Term *lit(int64_t Value) { return Mem.create<LitTerm>(Value); }
+  const Term *dlit(double Value) { return Mem.create<DLitTerm>(Value); }
   const Term *prim(MPrim Op, MAtom Lhs, MAtom Rhs) {
     return Mem.create<PrimTerm>(Op, Lhs, Rhs);
   }
@@ -368,7 +506,7 @@ private:
   std::atomic<uint64_t> Counter{0};
 };
 
-/// \returns true for values w ::= λy.t | I#[n] | n (Figure 5).
+/// \returns true for values w ::= λy.t | I#[n] | n | d (Figure 5).
 bool isValue(const Term *T);
 
 /// Capture-avoiding t[Replacement/Var] where the replacement is a variable
@@ -379,6 +517,10 @@ const Term *substVar(MContext &Ctx, const Term *T, MVar Var, MVar
 /// Capture-avoiding t[n/i] where i is an integer variable (IPOP, ILET,
 /// IMAT). Substituting into I#[i] yields I#[n]; into `t i` yields `t n`.
 const Term *substLit(MContext &Ctx, const Term *T, MVar Var, int64_t Lit);
+
+/// Capture-avoiding t[d/f] where f is a double variable (DPOP, DLET).
+/// Substituting into `t f` yields `t d`.
+const Term *substDbl(MContext &Ctx, const Term *T, MVar Var, double Lit);
 
 } // namespace mcalc
 } // namespace levity

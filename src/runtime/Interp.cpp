@@ -7,6 +7,7 @@
 
 #include "runtime/Interp.h"
 
+#include <limits>
 #include <sstream>
 
 using namespace levity;
@@ -543,6 +544,13 @@ Value *Interp::execPrim(const core::PrimOpExpr *P, Value *A0, Value *A1,
     if (A1->I == 0) {
       FailStatus = InterpStatus::RuntimeError;
       FailMessage = "divide by zero";
+      return nullptr;
+    }
+    // INT64_MIN / -1 overflows (and traps on x86); reject it like a
+    // zero divisor instead of crashing the process.
+    if (A0->I == std::numeric_limits<int64_t>::min() && A1->I == -1) {
+      FailStatus = InterpStatus::RuntimeError;
+      FailMessage = "integer overflow in division";
       return nullptr;
     }
     return IntResult(P->op() == PrimOp::QuotI ? A0->I / A1->I

@@ -1,0 +1,277 @@
+//===- differential_backend_test.cpp - Tree vs machine as oracles ---------===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+//
+// The differential harness the widened core→L→ANF→M fragment unlocks:
+// every program in the corpus runs on Backend::TreeInterp (the big-step
+// core evaluator) and Backend::AbstractMachine (core → L → Figure 7 ANF →
+// the Figure 6 machine), and the two RunResults must agree — same status,
+// same Int#/Double# value, same error message on ⊥. Programs outside the
+// widened fragment must report Unsupported with a "not expressible in L"
+// diagnostic, never crash and never silently diverge.
+//
+// This is deliberately stronger coverage than per-backend unit tests:
+// every corpus program is an oracle for both semantics at once.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Session.h"
+
+#include <gtest/gtest.h>
+
+using namespace levity;
+using namespace levity::driver;
+
+namespace {
+
+struct CorpusProgram {
+  const char *Label;   ///< Test-output name.
+  const char *Source;  ///< Surface program text.
+  const char *Global;  ///< Top-level binding to evaluate.
+  bool InFragment;     ///< False: the machine must report Unsupported.
+};
+
+// The corpus: arithmetic, comparisons, cases, lets, lambdas, loops,
+// Double#, bottoms, and known out-of-fragment shapes.
+const CorpusProgram Corpus[] = {
+    // Int# arithmetic.
+    {"IntLiteral", "v = 42#", "v", true},
+    {"Add", "v = 40# +# 2#", "v", true},
+    {"NestedArith", "v = (1# +# 2#) *# (3# +# 4#)", "v", true},
+    {"SubToNegative", "v = 5# -# 9#", "v", true},
+    {"MulChain", "v = 2# *# 3# *# 7#", "v", true},
+    {"Quot", "v = quotInt# 17# 5#", "v", true},
+    {"Rem", "v = remInt# 17# 5#", "v", true},
+    // Both division hazards must fail as runtime errors on both
+    // backends, never crash the process.
+    {"QuotByZeroAgrees", "v = quotInt# 1# 0#", "v", true},
+    {"QuotOverflowDoesNotCrash",
+     "v = quotInt# (0# -# 9223372036854775807# -# 1#) (0# -# 1#)", "v",
+     true},
+    {"Negate", "v = negateInt# 21#", "v", true},
+
+    // Int# comparisons (0/1 results).
+    {"LtTrue", "v = 3# <# 4#", "v", true},
+    {"LtFalse", "v = 4# <# 3#", "v", true},
+    {"LeEqual", "v = 4# <=# 4#", "v", true},
+    {"Gt", "v = 9# ># 2#", "v", true},
+    {"GeFalse", "v = 1# >=# 2#", "v", true},
+    {"EqHash", "v = 5# ==# 5#", "v", true},
+    {"NeFalse", "v = 5# /=# 5#", "v", true},
+
+    // Boxing, cases, lets, lambdas.
+    {"BoxedRoundTrip",
+     "inc :: Int -> Int ;"
+     "inc n = case n of { I# x -> I# (x +# 1#) } ;"
+     "v = inc (inc (I# 40#))",
+     "v", true},
+    {"SurfaceLet", "v = let y = 20# in y +# 22#", "v", true},
+    {"LambdaApply",
+     "apply :: (Int# -> Int#) -> Int# -> Int# ;"
+     "apply f x = f x ;"
+     "v = apply (\\y -> y *# 3#) 14#",
+     "v", true},
+    {"LitCaseFirstAlt",
+     "f :: Int# -> Int# ;"
+     "f x = case x of { 0# -> 100# ; 1# -> 200# ; _ -> x } ;"
+     "v = f 0#",
+     "v", true},
+    {"LitCaseSecondAlt",
+     "f :: Int# -> Int# ;"
+     "f x = case x of { 0# -> 100# ; 1# -> 200# ; _ -> x } ;"
+     "v = f 1#",
+     "v", true},
+    {"LitCaseDefaultAlt",
+     "f :: Int# -> Int# ;"
+     "f x = case x of { 0# -> 100# ; 1# -> 200# ; _ -> x } ;"
+     "v = f 9#",
+     "v", true},
+    {"BoxedLitCase",
+     "f :: Int -> Int ;"
+     "f n = case n of { 0 -> I# 7# ; _ -> n } ;"
+     "v = f (I# 0#)",
+     "v", true},
+
+    // Loops and recursion (the fix/RECLET path).
+    {"SumToUnboxed",
+     "sumToH :: Int# -> Int# -> Int# ;"
+     "sumToH acc n = case n of {"
+     "  0# -> acc ; _ -> sumToH (acc +# n) (n -# 1#)"
+     "} ;"
+     "v = sumToH 0# 100#",
+     "v", true},
+    {"SumToUnboxedZeroIters",
+     "sumToH :: Int# -> Int# -> Int# ;"
+     "sumToH acc n = case n of {"
+     "  0# -> acc ; _ -> sumToH (acc +# n) (n -# 1#)"
+     "} ;"
+     "v = sumToH 0# 0#",
+     "v", true},
+    {"FibViaComparisonCase",
+     "fib :: Int# -> Int# ;"
+     "fib n = case (n <# 2#) of { 1# -> n ; _ ->"
+     "  fib (n -# 1#) +# fib (n -# 2#) } ;"
+     "v = fib 12#",
+     "v", true},
+    {"MutualViaSelfParity",
+     "parity :: Int# -> Int# ;"
+     "parity n = case n of { 0# -> 0# ; _ ->"
+     "  case (parity (n -# 1#)) of { 0# -> 1# ; _ -> 0# } } ;"
+     "v = parity 7#",
+     "v", true},
+    {"BoxedSumToLoop",
+     "sumTo :: Int -> Int -> Int ;"
+     "sumTo acc n = case n of {"
+     "  0 -> acc ; _ -> sumTo (acc + n) (n - 1)"
+     "} ;"
+     "v = sumTo (I# 0#) (I# 50#)",
+     "v", true},
+
+    // Double#.
+    {"DoubleAdd", "v = 1.5## +## 2.25##", "v", true},
+    {"DoubleDiv", "v = 7.0## /## 2.0##", "v", true},
+    {"DoubleNegate", "v = negateDouble# 2.5##", "v", true},
+    // negateDouble# lowers to -0.0## -## x; plain 0.0## -## x would give
+    // +0.0 for x = 0.0 and flip this quotient's infinity sign.
+    {"DoubleNegateSignedZero",
+     "v = 1.0## /## (negateDouble# 0.0##)", "v", true},
+    {"DoubleLtTrue", "v = 2.5## <## 2.75##", "v", true},
+    {"DoubleEqFalse", "v = 2.5## ==## 2.75##", "v", true},
+    {"DoubleSumLoop",
+     "sumD :: Double# -> Double# -> Double# ;"
+     "sumD acc n = case (n ==## 0.0##) of {"
+     "  1# -> acc ; _ -> sumD (acc +## n) (n -## 1.0##)"
+     "} ;"
+     "v = sumD 0.0## 100.0##",
+     "v", true},
+    {"MixedDoubleComparisonToInt",
+     "v = case (3.0## <## 4.0##) of { 1# -> 10# ; _ -> 20# }", "v", true},
+
+    // Bottom: the diagnostic must match across backends.
+    {"ErrorBottom",
+     "v :: Int# ;"
+     "v = error \"differential bottom\"",
+     "v", true},
+
+    // Outside the widened fragment: Unsupported, never divergence.
+    {"UnsupportedBoolCase",
+     "v = if isTrue# (3# <# 4#) then 1# else 0#", "v", false},
+    {"UnsupportedUnboxedTuple", "v = (# 1#, 2# #)", "v", false},
+    {"UnsupportedConversion", "v = int2Double# 3#", "v", false},
+    {"UnsupportedMutualRecursion",
+     "ev :: Int# -> Int# ;"
+     "ev n = case n of { 0# -> 1# ; _ -> od (n -# 1#) } ;"
+     "od :: Int# -> Int# ;"
+     "od n = case n of { 0# -> 0# ; _ -> ev (n -# 1#) } ;"
+     "v = ev 10#",
+     "v", false},
+};
+
+/// Runs one corpus program on both backends and asserts agreement.
+void runDifferential(const CorpusProgram &P) {
+  SCOPED_TRACE(P.Label);
+  Session S;
+  auto Comp = S.compile(P.Source);
+  ASSERT_TRUE(Comp->ok()) << Comp->diagText();
+
+  RunResult Tree = Comp->run(P.Global, Backend::TreeInterp);
+  RunResult Mach = Comp->run(P.Global, Backend::AbstractMachine);
+
+  // The tree interpreter runs the whole core language; it must never
+  // report a fragment restriction.
+  ASSERT_NE(Tree.St, RunResult::Status::Unsupported) << Tree.Error;
+
+  if (!P.InFragment) {
+    ASSERT_EQ(Mach.St, RunResult::Status::Unsupported) << Mach.Error;
+    EXPECT_EQ(Mach.Error.rfind("not expressible in L", 0), 0u)
+        << "unsupported programs must carry the fragment diagnostic, got: "
+        << Mach.Error;
+    return;
+  }
+
+  ASSERT_EQ(Tree.St, Mach.St)
+      << "status diverged: tree='" << Tree.Error << "' machine='"
+      << Mach.Error << "'";
+  switch (Tree.St) {
+  case RunResult::Status::Ok:
+    ASSERT_EQ(Tree.IntValue.has_value(), Mach.IntValue.has_value());
+    ASSERT_EQ(Tree.DoubleValue.has_value(), Mach.DoubleValue.has_value());
+    if (Tree.IntValue)
+      EXPECT_EQ(*Tree.IntValue, *Mach.IntValue);
+    if (Tree.DoubleValue)
+      EXPECT_DOUBLE_EQ(*Tree.DoubleValue, *Mach.DoubleValue);
+    break;
+  case RunResult::Status::Bottom:
+    EXPECT_EQ(Tree.Error, Mach.Error);
+    break;
+  default:
+    break; // Status equality is the contract for the rest.
+  }
+}
+
+class DifferentialBackendTest
+    : public ::testing::TestWithParam<CorpusProgram> {};
+
+TEST_P(DifferentialBackendTest, TreeAndMachineAgree) {
+  runDifferential(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, DifferentialBackendTest, ::testing::ValuesIn(Corpus),
+    [](const ::testing::TestParamInfo<CorpusProgram> &Info) {
+      return std::string(Info.param.Label);
+    });
+
+//===----------------------------------------------------------------------===//
+// Cross-cutting agreement properties
+//===----------------------------------------------------------------------===//
+
+TEST(DifferentialBackendTest, SumToAgreesAcrossIterationCounts) {
+  // The flagship loop at several sizes through one cached Compilation.
+  Session S;
+  auto Comp = S.compile("sumToH :: Int# -> Int# -> Int# ;"
+                        "sumToH acc n = case n of {"
+                        "  0# -> acc ; _ -> sumToH (acc +# n) (n -# 1#)"
+                        "} ;"
+                        "a = sumToH 0# 1# ;"
+                        "b = sumToH 0# 17# ;"
+                        "c = sumToH 0# 500# ;"
+                        "d = sumToH 0# 2000#");
+  ASSERT_TRUE(Comp->ok()) << Comp->diagText();
+  const std::pair<const char *, int64_t> Expected[] = {
+      {"a", 1}, {"b", 153}, {"c", 125250}, {"d", 2001000}};
+  for (const auto &[Name, Value] : Expected) {
+    RunResult Tree = Comp->run(Name, Backend::TreeInterp);
+    RunResult Mach = Comp->run(Name, Backend::AbstractMachine);
+    ASSERT_TRUE(Tree.ok()) << Name << ": " << Tree.Error;
+    ASSERT_TRUE(Mach.ok()) << Name << ": " << Mach.Error;
+    EXPECT_EQ(Tree.IntValue.value_or(-1), Value) << Name;
+    EXPECT_EQ(Mach.IntValue.value_or(-1), Value) << Name;
+  }
+}
+
+TEST(DifferentialBackendTest, MachineLoopRunsUnboxed) {
+  // Section 2.1's claim on the machine side: the unboxed loop's only
+  // heap traffic is the letrec knot and the top-level binding chain —
+  // the per-iteration path allocates nothing.
+  Session S;
+  auto Comp = S.compile("sumToH :: Int# -> Int# -> Int# ;"
+                        "sumToH acc n = case n of {"
+                        "  0# -> acc ; _ -> sumToH (acc +# n) (n -# 1#)"
+                        "} ;"
+                        "small = sumToH 0# 10# ;"
+                        "large = sumToH 0# 1000#");
+  ASSERT_TRUE(Comp->ok()) << Comp->diagText();
+  RunResult Small = Comp->run("small", Backend::AbstractMachine);
+  RunResult Large = Comp->run("large", Backend::AbstractMachine);
+  ASSERT_TRUE(Small.ok()) << Small.Error;
+  ASSERT_TRUE(Large.ok()) << Large.Error;
+  // 100x the iterations, identical allocation count.
+  EXPECT_EQ(Small.Machine.Allocations, Large.Machine.Allocations);
+  EXPECT_GT(Large.Machine.BetaInt, Small.Machine.BetaInt);
+}
+
+} // namespace
