@@ -23,7 +23,11 @@
 //     per iteration through Executor::evalExpr (the loop itself is
 //     outside the machine's L fragment — see ROADMAP);
 //   * RunAllBatch               — the Session's batch entry point
-//     fanning 32 requests across its worker pool.
+//     fanning 32 requests across its worker pool;
+//   * CompileColdFrontEnd vs CompileWarmStoreHit — a fresh Session per
+//     iteration, without and with a warm on-disk artifact store: the
+//     warm variant demonstrates compile-phase time collapsing to .levc
+//     deserialization (no front end, no lowering).
 //
 // Expected shape: cached compiles and tree runs scale near-linearly with
 // threads (the artifact is immutable; executors are independent); the
@@ -39,6 +43,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -162,6 +167,78 @@ void BM_RunTreeLoop(benchmark::State &State) {
 }
 
 //===----------------------------------------------------------------------===//
+// The on-disk artifact store: cold front end vs warm-store hydration
+//===----------------------------------------------------------------------===//
+
+/// A store directory pre-populated with LoopSrc (built once, lazily).
+const std::string &warmStoreDir() {
+  static const std::string Dir = [] {
+    std::string D = (std::filesystem::temp_directory_path() /
+                     "levity-bench-warm-store")
+                        .string();
+    std::filesystem::remove_all(D);
+    CompileOptions Opts;
+    Opts.StorePath = D;
+    Session S(Opts);
+    S.compile(LoopSrc);
+    S.flushStoreWrites();
+    return D;
+  }();
+  return Dir;
+}
+
+void BM_CompileColdFrontEnd(benchmark::State &State) {
+  // A fresh Session per iteration: every compile pays the full
+  // lex → parse → elaborate → levity-check pipeline (the cost every
+  // cold process pays without a store).
+  for (auto _ : State) {
+    Session S;
+    std::shared_ptr<Compilation> Comp = S.compile(LoopSrc);
+    if (!Comp->ok())
+      State.SkipWithError("compile failed");
+    benchmark::DoNotOptimize(Comp.get());
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+
+void BM_CompileWarmStoreHit(benchmark::State &State) {
+  // A fresh Session per iteration over a warm store: compiling is pure
+  // .levc deserialization. The hydrated artifact is immediately
+  // runnable on the machine backend with zero re-lowering.
+  CompileOptions Opts;
+  Opts.StorePath = warmStoreDir();
+  for (auto _ : State) {
+    Session S(Opts);
+    std::shared_ptr<Compilation> Comp = S.compile(LoopSrc);
+    if (!Comp->ok() || !Comp->hydrated())
+      State.SkipWithError("expected a warm-store hit");
+    benchmark::DoNotOptimize(Comp.get());
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+
+void BM_RunMachineHydrated(benchmark::State &State) {
+  // End-to-end warm-store usefulness: hydrate once, then replay the
+  // 200-iteration loop on the machine from the deserialized terms.
+  CompileOptions Opts;
+  Opts.StorePath = warmStoreDir();
+  Session S(Opts);
+  std::shared_ptr<Compilation> Comp = S.compile(LoopSrc);
+  if (!Comp->hydrated()) {
+    State.SkipWithError("expected a warm-store hit");
+    return;
+  }
+  Executor Ex(Comp);
+  for (auto _ : State) {
+    RunResult R = Ex.run("total", Backend::AbstractMachine);
+    if (!R.ok())
+      State.SkipWithError(R.Error.c_str());
+    benchmark::DoNotOptimize(R.IntValue);
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+
+//===----------------------------------------------------------------------===//
 // The batch entry point
 //===----------------------------------------------------------------------===//
 
@@ -192,6 +269,9 @@ BENCHMARK(BM_RunMachine)->Threads(1)->Threads(4)->Threads(8)
     ->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_RunTreeLoop)->Threads(1)->Threads(4)->Threads(8)
     ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_CompileColdFrontEnd)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_CompileWarmStoreHit)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_RunMachineHydrated)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_RunAllBatch)->Unit(benchmark::kMillisecond);
 
 } // namespace

@@ -1,0 +1,105 @@
+//===- ArtifactStore.cpp - Content-addressed on-disk artifact store -------===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/ArtifactStore.h"
+#include "support/FileOps.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+using namespace levity;
+using namespace levity::driver;
+
+namespace fs = std::filesystem;
+
+ArtifactStore::ArtifactStore(std::string Root) : Root(std::move(Root)) {}
+
+std::string ArtifactStore::entryPath(uint64_t Key) const {
+  char Name[32];
+  std::snprintf(Name, sizeof(Name), "%016llx.levc",
+                static_cast<unsigned long long>(Key));
+  char Fan[3];
+  std::snprintf(Fan, sizeof(Fan), "%02llx",
+                static_cast<unsigned long long>(Key >> 56));
+  return Root + "/" + Fan + "/" + Name;
+}
+
+std::string ArtifactStore::lockPath() const { return Root + "/.levc.lock"; }
+
+std::optional<std::string> ArtifactStore::load(uint64_t Key) const {
+  Result<std::string> Bytes = support::readFileBinary(entryPath(Key));
+  if (!Bytes)
+    return std::nullopt;
+  return std::move(*Bytes);
+}
+
+bool ArtifactStore::store(uint64_t Key, std::string_view Bytes) {
+  if (!support::ensureDirectories(Root))
+    return false;
+  // Writers serialize on the store-wide advisory lock; readers do not
+  // take it (rename is the publication point), so a long warm-up never
+  // stalls consumers.
+  support::FileLock Lock(lockPath());
+  return static_cast<bool>(support::writeFileAtomic(entryPath(Key), Bytes));
+}
+
+bool ArtifactStore::remove(uint64_t Key) {
+  return support::removeFile(entryPath(Key));
+}
+
+std::vector<std::pair<int64_t, std::string>>
+ArtifactStore::listEntries() const {
+  std::vector<std::pair<int64_t, std::string>> Entries;
+  std::error_code EC;
+  fs::recursive_directory_iterator It(Root, EC), End;
+  for (; !EC && It != End; It.increment(EC)) {
+    if (!It->is_regular_file(EC) || It->path().extension() != ".levc")
+      continue;
+    auto MTime = fs::last_write_time(It->path(), EC);
+    int64_t Ticks =
+        EC ? 0 : MTime.time_since_epoch().count();
+    Entries.emplace_back(Ticks, It->path().string());
+  }
+  return Entries;
+}
+
+size_t ArtifactStore::countEntries() const {
+  // Count-only walk: no per-entry mtime stat (evictOver runs this after
+  // every write-behind store write, so keep the under-cap path cheap).
+  size_t N = 0;
+  std::error_code EC;
+  fs::recursive_directory_iterator It(Root, EC), End;
+  for (; !EC && It != End; It.increment(EC))
+    if (It->is_regular_file(EC) && It->path().extension() == ".levc")
+      ++N;
+  return N;
+}
+
+size_t ArtifactStore::evictOver(size_t MaxEntries) {
+  if (MaxEntries == 0)
+    return 0;
+  // Lock-free pre-check: warm-up loops call this per write, and stores
+  // under the cap should pay one directory walk, not a stat+sort of
+  // every entry under the writer lock. Racing writers only delay
+  // eviction by one write, never corrupt it.
+  if (countEntries() <= MaxEntries)
+    return 0;
+  support::FileLock Lock(lockPath());
+  std::vector<std::pair<int64_t, std::string>> Entries = listEntries();
+  if (Entries.size() <= MaxEntries)
+    return 0;
+  // Oldest modification time first; ties broken by path for determinism.
+  std::sort(Entries.begin(), Entries.end());
+  size_t Evicted = 0;
+  for (size_t I = 0, Excess = Entries.size() - MaxEntries; I != Excess; ++I)
+    if (support::removeFile(Entries[I].second))
+      ++Evicted;
+  return Evicted;
+}

@@ -1,0 +1,105 @@
+//===- ArtifactStore.h - Content-addressed on-disk artifact store -*- C++ -*-===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The persistent half of the Session compilation cache: a
+/// content-addressed directory of serialized `.levc` artifacts
+/// (driver/Serialize.h) keyed by source hash, shared by any number of
+/// processes. Layout:
+///
+/// \code
+///   <root>/<2-hex>/<16-hex>.levc     e.g.  store/a3/a3f09c…e41b.levc
+/// \endcode
+///
+/// (the 2-hex fan-out directory is the top byte of the key, so giant
+/// stores do not degrade into one million-entry directory).
+///
+/// Concurrency and crash-safety contract:
+///   * Readers never lock: load() reads whatever file is currently
+///     published under the key. Artifacts validate themselves (magic,
+///     version fingerprint, checksum, exact source compare) so a reader
+///     can never be hurt by a stale or foreign file — worst case it
+///     reports a miss and the caller recompiles.
+///   * Writers publish with temp-file + atomic rename and serialize with
+///     a per-store advisory lock (support/FileOps.h), so two processes
+///     warming the same store never interleave partial writes and a
+///     crash mid-store leaves no torn entry.
+///   * Eviction (evictOver) removes oldest-modified entries beyond a cap;
+///     racing a reader is benign — the reader's open file stays valid on
+///     POSIX, and a vanished file is just a miss.
+///
+/// The store is deliberately dumb: all format knowledge lives in
+/// Serialize.h, all policy (when to read, when to write, counters) in
+/// Session. That keeps "what is on disk" reviewable in one place
+/// (docs/ARTIFACT_FORMAT.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LEVITY_DRIVER_ARTIFACTSTORE_H
+#define LEVITY_DRIVER_ARTIFACTSTORE_H
+
+#include "support/Result.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace levity {
+namespace driver {
+
+/// A content-addressed directory of `.levc` artifacts. Cheap value-ish
+/// object (holds only the root path); thread-safe — every method may be
+/// called from any thread or process concurrently.
+class ArtifactStore {
+public:
+  /// Uses \p Root as the store directory (created lazily on first
+  /// write; a missing root simply makes every load a miss).
+  explicit ArtifactStore(std::string Root);
+
+  /// The store root this instance serves.
+  const std::string &root() const { return Root; }
+
+  /// The path an artifact for \p Key lives at (whether or not it exists).
+  std::string entryPath(uint64_t Key) const;
+
+  /// Reads the artifact bytes stored under \p Key. nullopt when absent
+  /// or unreadable; content validation is the caller's job (via
+  /// Compilation::deserializeArtifact).
+  std::optional<std::string> load(uint64_t Key) const;
+
+  /// Publishes \p Bytes under \p Key: takes the store's advisory writer
+  /// lock, writes a temp file, fsyncs, and atomically renames it into
+  /// place. Returns false (after cleaning up) on I/O failure — the store
+  /// is a cache, so failures are non-fatal and leave prior state intact.
+  bool store(uint64_t Key, std::string_view Bytes);
+
+  /// Removes the entry for \p Key if present.
+  bool remove(uint64_t Key);
+
+  /// Number of `.levc` entries currently in the store.
+  size_t countEntries() const;
+
+  /// Enforces a bound: when more than \p MaxEntries artifacts exist,
+  /// removes the oldest-modified ones until the bound holds (under the
+  /// writer lock, so concurrent warmers do not double-evict).
+  /// \returns how many entries were removed. No-op when MaxEntries == 0.
+  size_t evictOver(size_t MaxEntries);
+
+private:
+  std::string lockPath() const;
+  /// Every existing entry as (mtime, path), unsorted.
+  std::vector<std::pair<int64_t, std::string>> listEntries() const;
+
+  std::string Root;
+};
+
+} // namespace driver
+} // namespace levity
+
+#endif // LEVITY_DRIVER_ARTIFACTSTORE_H

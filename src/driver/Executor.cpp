@@ -6,19 +6,15 @@
 //===----------------------------------------------------------------------===//
 
 #include "driver/Executor.h"
+#include "support/Timing.h"
 
 #include <chrono>
 
 using namespace levity;
 using namespace levity::driver;
+using support::millisSince;
 
 namespace {
-
-double millisSince(std::chrono::steady_clock::time_point Start) {
-  return std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now() - Start)
-      .count();
-}
 
 /// Converts a finished machine run into the facade result shape.
 void fillFromMachine(RunResult &R, const mcalc::MachineResult &MR) {
@@ -84,6 +80,19 @@ runtime::InterpResult Executor::evalExpr(const core::Expr *E) {
 RunResult Executor::runTree(std::string_view Name) {
   RunResult R;
   R.Used = Backend::TreeInterp;
+  // For store-hydrated compilations this elabOutput() call performs the
+  // lazy front-end rebuild (once; machine-only consumers never pay it).
+  // Only that rebuild can leave a runnable compilation without elab
+  // output — failed and formal compilations were rejected in run() —
+  // but keep the message honest should another path ever get here.
+  if (!Comp->elabOutput()) {
+    R.St = RunResult::Status::RuntimeError;
+    R.Error = Comp->hydrated()
+                  ? "front-end rebuild of the on-disk artifact failed:\n" +
+                        Comp->diagText()
+                  : "no compiled program to run";
+    return R;
+  }
   auto Start = std::chrono::steady_clock::now();
   runtime::InterpResult IR = evalName(Name);
   R.Millis = millisSince(Start);

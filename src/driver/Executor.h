@@ -50,11 +50,16 @@ namespace driver {
 /// Mutable per-thread run state over an immutable Compilation.
 class Executor {
 public:
+  /// Binds this executor to \p Comp (shared, keeps the artifact alive).
+  /// Cheap: the tree interpreter is only built on first tree run.
   explicit Executor(std::shared_ptr<const Compilation> Comp);
+  /// Movable (transfers the interpreter state), not copyable — run
+  /// state belongs to exactly one thread at a time.
   Executor(Executor &&) noexcept;
   Executor &operator=(Executor &&) noexcept;
   ~Executor();
 
+  /// The immutable artifact this executor runs (never null).
   const Compilation &compilation() const { return *Comp; }
 
   /// This executor's private option copy: tweak fuel (MaxInterpSteps,
@@ -68,13 +73,21 @@ public:
 
   /// Evaluates top-level \p Name on the executor's default backend.
   RunResult run(std::string_view Name);
+  /// Evaluates top-level \p Name on a specific backend. Tree runs share
+  /// this executor's interpreter (memoized globals persist across
+  /// calls); machine runs replay from an empty heap every time. On a
+  /// store-hydrated Compilation, the first tree run triggers the lazy
+  /// front-end rebuild — machine runs never do.
   RunResult run(std::string_view Name, Backend B);
 
   //===------------------------------------------------------------------===//
   // Running formal compilations (Section 6)
   //===------------------------------------------------------------------===//
 
+  /// Runs a compileFormal term on the executor's default backend.
   RunResult run();
+  /// Runs a compileFormal term: Figure 4 small-step semantics on
+  /// TreeInterp, Figures 5-7 (ANF → the M machine) on AbstractMachine.
   RunResult run(Backend B);
 
   //===------------------------------------------------------------------===//
@@ -84,8 +97,14 @@ public:
   /// The instrumented tree-interpreter with this program loaded. Exposed
   /// so cost-model workloads can evaluate ad-hoc expressions built
   /// against the compilation's ctx() without re-wiring a pipeline.
+  /// Single-threaded like the rest of the executor; lives as long as
+  /// this Executor (references into it must not outlive it).
   runtime::Interp &interp();
+  /// Evaluates top-level \p Name on the raw interpreter (low-level
+  /// counterpart of run(Name, Backend::TreeInterp)).
   runtime::InterpResult evalName(std::string_view Name);
+  /// Evaluates an ad-hoc core expression (allocated in the
+  /// compilation's ctx()) against this executor's interpreter state.
   runtime::InterpResult evalExpr(const core::Expr *E);
 
 private:

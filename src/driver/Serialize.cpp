@@ -1,0 +1,630 @@
+//===- Serialize.cpp - The versioned .levc artifact format ----------------===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+//
+// Implements the byte layout specified in docs/ARTIFACT_FORMAT.md: the
+// container (header + section table + checksum trailer), the recursive
+// M-term encoding over the stable mcalc tags, and the Compilation-level
+// serializeArtifact / deserializeArtifact entry points. Every read path
+// is defensive: a `.levc` file is untrusted input (another process, a
+// partial copy, a bit flip), and the only acceptable failure mode is
+// "treat as a miss".
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Serialize.h"
+#include "driver/Session.h"
+#include "support/Timing.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+using namespace levity;
+using namespace levity::driver;
+using namespace levity::driver::levc;
+using support::millisSince;
+using mcalc::MAtom;
+using mcalc::MContext;
+using mcalc::MVar;
+using mcalc::Term;
+
+//===----------------------------------------------------------------------===//
+// Hashing and fingerprint
+//===----------------------------------------------------------------------===//
+
+uint64_t levc::fnv1a(std::string_view Bytes) {
+  uint64_t H = 1469598103934665603ull; // FNV offset basis
+  for (char Ch : Bytes) {
+    H ^= static_cast<unsigned char>(Ch);
+    H *= 1099511628211ull; // FNV prime
+  }
+  return H;
+}
+
+uint64_t levc::pipelineFingerprint() {
+  ByteWriter W;
+  W.u32(FormatVersion);
+  W.str(PipelineEpoch);
+  W.u32(Term::NumTermKinds);
+  W.u32(mcalc::NumMPrims);
+  W.u32(mcalc::NumVarSorts);
+  return fnv1a(W.bytes());
+}
+
+//===----------------------------------------------------------------------===//
+// ByteWriter / ByteReader
+//===----------------------------------------------------------------------===//
+
+void ByteWriter::u8(uint8_t V) { Buf.push_back(static_cast<char>(V)); }
+
+void ByteWriter::u32(uint32_t V) {
+  for (int I = 0; I != 4; ++I)
+    Buf.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+void ByteWriter::u64(uint64_t V) {
+  for (int I = 0; I != 8; ++I)
+    Buf.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+void ByteWriter::i64(int64_t V) { u64(static_cast<uint64_t>(V)); }
+
+void ByteWriter::f64(double V) {
+  uint64_t Bits;
+  static_assert(sizeof(Bits) == sizeof(V));
+  std::memcpy(&Bits, &V, sizeof(Bits));
+  u64(Bits);
+}
+
+void ByteWriter::str(std::string_view S) {
+  u32(static_cast<uint32_t>(S.size()));
+  Buf.append(S.data(), S.size());
+}
+
+void ByteWriter::raw(std::string_view Bytes) {
+  Buf.append(Bytes.data(), Bytes.size());
+}
+
+const unsigned char *ByteReader::take(size_t N) {
+  if (Failed || Buf.size() - Pos < N) {
+    Failed = true;
+    return nullptr;
+  }
+  const unsigned char *P =
+      reinterpret_cast<const unsigned char *>(Buf.data()) + Pos;
+  Pos += N;
+  return P;
+}
+
+uint8_t ByteReader::u8() {
+  const unsigned char *P = take(1);
+  return P ? *P : 0;
+}
+
+uint32_t ByteReader::u32() {
+  const unsigned char *P = take(4);
+  if (!P)
+    return 0;
+  uint32_t V = 0;
+  for (int I = 0; I != 4; ++I)
+    V |= static_cast<uint32_t>(P[I]) << (8 * I);
+  return V;
+}
+
+uint64_t ByteReader::u64() {
+  const unsigned char *P = take(8);
+  if (!P)
+    return 0;
+  uint64_t V = 0;
+  for (int I = 0; I != 8; ++I)
+    V |= static_cast<uint64_t>(P[I]) << (8 * I);
+  return V;
+}
+
+int64_t ByteReader::i64() { return static_cast<int64_t>(u64()); }
+
+double ByteReader::f64() {
+  uint64_t Bits = u64();
+  double V;
+  std::memcpy(&V, &Bits, sizeof(V));
+  return V;
+}
+
+std::string_view ByteReader::str() {
+  uint32_t N = u32();
+  const unsigned char *P = take(N);
+  return P ? std::string_view(reinterpret_cast<const char *>(P), N)
+           : std::string_view();
+}
+
+std::string_view ByteReader::raw(size_t N) {
+  const unsigned char *P = take(N);
+  return P ? std::string_view(reinterpret_cast<const char *>(P), N)
+           : std::string_view();
+}
+
+//===----------------------------------------------------------------------===//
+// M-term encoding
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void writeVar(ByteWriter &W, MVar V) {
+  W.str(V.Name.str());
+  W.u8(static_cast<uint8_t>(V.Sort));
+}
+
+bool readVar(ByteReader &R, MContext &Ctx, MVar &Out) {
+  std::string_view Name = R.str();
+  uint8_t Sort = R.u8();
+  if (!R.ok() || Sort >= mcalc::NumVarSorts) {
+    R.fail();
+    return false;
+  }
+  Out = MVar{Ctx.symbols().intern(Name), static_cast<mcalc::VarSort>(Sort)};
+  return true;
+}
+
+void writeAtom(ByteWriter &W, MAtom A) {
+  uint8_t Flags = (A.IsLit ? 1 : 0) | (A.IsDbl ? 2 : 0);
+  W.u8(Flags);
+  if (!A.IsLit)
+    writeVar(W, A.Var);
+  else if (A.IsDbl)
+    W.f64(A.DblLit);
+  else
+    W.i64(A.Lit);
+}
+
+bool readAtom(ByteReader &R, MContext &Ctx, MAtom &Out) {
+  uint8_t Flags = R.u8();
+  if (!R.ok() || Flags > 3) {
+    R.fail();
+    return false;
+  }
+  bool IsLit = Flags & 1, IsDbl = Flags & 2;
+  if (IsLit) {
+    Out = IsDbl ? MAtom::dlit(R.f64()) : MAtom::lit(R.i64());
+    return R.ok();
+  }
+  MVar V;
+  if (!readVar(R, Ctx, V))
+    return false;
+  // Primop atoms live in unboxed registers, and the flag byte must agree
+  // with the variable's sort (MAtom::var derives IsDbl from it).
+  if (V.isPtr() || V.isDbl() != IsDbl) {
+    R.fail();
+    return false;
+  }
+  Out = MAtom::var(V);
+  return true;
+}
+
+const Term *readTermRec(ByteReader &R, MContext &Ctx, unsigned Depth);
+
+/// Decodes a subterm, failing the stream if absent.
+const Term *readSub(ByteReader &R, MContext &Ctx, unsigned Depth) {
+  const Term *T = readTermRec(R, Ctx, Depth + 1);
+  if (!T)
+    R.fail();
+  return T;
+}
+
+const Term *readTermRec(ByteReader &R, MContext &Ctx, unsigned Depth) {
+  if (Depth > MaxTermDepth) {
+    R.fail();
+    return nullptr;
+  }
+  uint8_t Tag = R.u8();
+  if (!R.ok() || Tag >= Term::NumTermKinds) {
+    R.fail();
+    return nullptr;
+  }
+  switch (static_cast<Term::TermKind>(Tag)) {
+  case Term::TermKind::AppVar: {
+    const Term *Fn = readSub(R, Ctx, Depth);
+    MVar Arg;
+    if (!Fn || !readVar(R, Ctx, Arg))
+      return nullptr;
+    return Ctx.appVar(Fn, Arg);
+  }
+  case Term::TermKind::AppLit: {
+    const Term *Fn = readSub(R, Ctx, Depth);
+    int64_t Lit = R.i64();
+    return Fn && R.ok() ? Ctx.appLit(Fn, Lit) : nullptr;
+  }
+  case Term::TermKind::AppDbl: {
+    const Term *Fn = readSub(R, Ctx, Depth);
+    double Lit = R.f64();
+    return Fn && R.ok() ? Ctx.appDbl(Fn, Lit) : nullptr;
+  }
+  case Term::TermKind::Lam: {
+    MVar Param;
+    if (!readVar(R, Ctx, Param))
+      return nullptr;
+    const Term *Body = readSub(R, Ctx, Depth);
+    return Body ? Ctx.lam(Param, Body) : nullptr;
+  }
+  case Term::TermKind::Var: {
+    MVar V;
+    return readVar(R, Ctx, V) ? Ctx.var(V) : nullptr;
+  }
+  case Term::TermKind::Let:
+  case Term::TermKind::LetBang:
+  case Term::TermKind::LetRec: {
+    MVar Binder;
+    if (!readVar(R, Ctx, Binder))
+      return nullptr;
+    // Lazy let and letrec bind heap pointers by construction; enforce it
+    // here so corrupt input cannot build nodes the machine rules (LET,
+    // RECLET) would misinterpret.
+    if (Tag != static_cast<uint8_t>(Term::TermKind::LetBang) &&
+        !Binder.isPtr()) {
+      R.fail();
+      return nullptr;
+    }
+    const Term *Rhs = readSub(R, Ctx, Depth);
+    const Term *Body = Rhs ? readSub(R, Ctx, Depth) : nullptr;
+    if (!Body)
+      return nullptr;
+    if (Tag == static_cast<uint8_t>(Term::TermKind::Let))
+      return Ctx.let(Binder, Rhs, Body);
+    if (Tag == static_cast<uint8_t>(Term::TermKind::LetBang))
+      return Ctx.letBang(Binder, Rhs, Body);
+    return Ctx.letRec(Binder, Rhs, Body);
+  }
+  case Term::TermKind::Case: {
+    const Term *Scrut = readSub(R, Ctx, Depth);
+    MVar Binder;
+    if (!Scrut || !readVar(R, Ctx, Binder))
+      return nullptr;
+    const Term *Body = readSub(R, Ctx, Depth);
+    return Body ? Ctx.caseOf(Scrut, Binder, Body) : nullptr;
+  }
+  case Term::TermKind::If0: {
+    const Term *Scrut = readSub(R, Ctx, Depth);
+    const Term *Then = Scrut ? readSub(R, Ctx, Depth) : nullptr;
+    const Term *Else = Then ? readSub(R, Ctx, Depth) : nullptr;
+    return Else ? Ctx.if0(Scrut, Then, Else) : nullptr;
+  }
+  case Term::TermKind::Error: {
+    uint8_t HasMsg = R.u8();
+    if (!R.ok() || HasMsg > 1) {
+      R.fail();
+      return nullptr;
+    }
+    if (!HasMsg)
+      return Ctx.error();
+    std::string_view Msg = R.str();
+    return R.ok() ? Ctx.error(Ctx.symbols().intern(Msg)) : nullptr;
+  }
+  case Term::TermKind::ConVar: {
+    MVar V;
+    return readVar(R, Ctx, V) ? Ctx.conVar(V) : nullptr;
+  }
+  case Term::TermKind::ConLit: {
+    int64_t V = R.i64();
+    return R.ok() ? Ctx.conLit(V) : nullptr;
+  }
+  case Term::TermKind::Lit: {
+    int64_t V = R.i64();
+    return R.ok() ? Ctx.lit(V) : nullptr;
+  }
+  case Term::TermKind::DLit: {
+    double V = R.f64();
+    return R.ok() ? Ctx.dlit(V) : nullptr;
+  }
+  case Term::TermKind::Prim: {
+    uint8_t Op = R.u8();
+    if (!R.ok() || Op >= mcalc::NumMPrims) {
+      R.fail();
+      return nullptr;
+    }
+    MAtom Lhs, Rhs;
+    if (!readAtom(R, Ctx, Lhs) || !readAtom(R, Ctx, Rhs))
+      return nullptr;
+    return Ctx.prim(static_cast<mcalc::MPrim>(Op), Lhs, Rhs);
+  }
+  }
+  R.fail();
+  return nullptr;
+}
+
+} // namespace
+
+void levc::writeTerm(ByteWriter &W, const Term *T) {
+  W.u8(static_cast<uint8_t>(T->kind()));
+  switch (T->kind()) {
+  case Term::TermKind::AppVar: {
+    const auto *N = mcalc::cast<mcalc::AppVarTerm>(T);
+    writeTerm(W, N->fn());
+    writeVar(W, N->arg());
+    return;
+  }
+  case Term::TermKind::AppLit: {
+    const auto *N = mcalc::cast<mcalc::AppLitTerm>(T);
+    writeTerm(W, N->fn());
+    W.i64(N->lit());
+    return;
+  }
+  case Term::TermKind::AppDbl: {
+    const auto *N = mcalc::cast<mcalc::AppDblTerm>(T);
+    writeTerm(W, N->fn());
+    W.f64(N->lit());
+    return;
+  }
+  case Term::TermKind::Lam: {
+    const auto *N = mcalc::cast<mcalc::LamTerm>(T);
+    writeVar(W, N->param());
+    writeTerm(W, N->body());
+    return;
+  }
+  case Term::TermKind::Var:
+    writeVar(W, mcalc::cast<mcalc::VarTerm>(T)->var());
+    return;
+  case Term::TermKind::Let: {
+    const auto *N = mcalc::cast<mcalc::LetTerm>(T);
+    writeVar(W, N->binder());
+    writeTerm(W, N->rhs());
+    writeTerm(W, N->body());
+    return;
+  }
+  case Term::TermKind::LetBang: {
+    const auto *N = mcalc::cast<mcalc::LetBangTerm>(T);
+    writeVar(W, N->binder());
+    writeTerm(W, N->rhs());
+    writeTerm(W, N->body());
+    return;
+  }
+  case Term::TermKind::LetRec: {
+    const auto *N = mcalc::cast<mcalc::LetRecTerm>(T);
+    writeVar(W, N->binder());
+    writeTerm(W, N->rhs());
+    writeTerm(W, N->body());
+    return;
+  }
+  case Term::TermKind::Case: {
+    const auto *N = mcalc::cast<mcalc::CaseTerm>(T);
+    writeTerm(W, N->scrut());
+    writeVar(W, N->binder());
+    writeTerm(W, N->body());
+    return;
+  }
+  case Term::TermKind::If0: {
+    const auto *N = mcalc::cast<mcalc::If0Term>(T);
+    writeTerm(W, N->scrut());
+    writeTerm(W, N->thenBranch());
+    writeTerm(W, N->elseBranch());
+    return;
+  }
+  case Term::TermKind::Error: {
+    const auto *N = mcalc::cast<mcalc::ErrorTerm>(T);
+    W.u8(N->message().valid() ? 1 : 0);
+    if (N->message().valid())
+      W.str(N->message().str());
+    return;
+  }
+  case Term::TermKind::ConVar:
+    writeVar(W, mcalc::cast<mcalc::ConVarTerm>(T)->var());
+    return;
+  case Term::TermKind::ConLit:
+    W.i64(mcalc::cast<mcalc::ConLitTerm>(T)->value());
+    return;
+  case Term::TermKind::Lit:
+    W.i64(mcalc::cast<mcalc::LitTerm>(T)->value());
+    return;
+  case Term::TermKind::DLit:
+    W.f64(mcalc::cast<mcalc::DLitTerm>(T)->value());
+    return;
+  case Term::TermKind::Prim: {
+    const auto *N = mcalc::cast<mcalc::PrimTerm>(T);
+    W.u8(static_cast<uint8_t>(N->op()));
+    writeAtom(W, N->lhs());
+    writeAtom(W, N->rhs());
+    return;
+  }
+  }
+}
+
+const Term *levc::readTerm(ByteReader &R, MContext &Ctx) {
+  return readTermRec(R, Ctx, 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Compilation::serializeArtifact
+//===----------------------------------------------------------------------===//
+
+
+Result<std::string> Compilation::serializeArtifact() const {
+  if (!Succeeded)
+    return err("cannot serialize a failed compilation");
+  if (FormalTerm)
+    return err("formal compilations are not serializable");
+  if (SrcHash == 0)
+    return err("programmatic compilations are not serializable "
+               "(no source to key the store by)");
+
+  // The artifact's value is making a cold process lowering-free, so
+  // force the M lowering of every top-level binding now (memoized, so
+  // repeated serializations are cheap). Failures are kept verbatim:
+  // out-of-fragment globals must replay the same pinned diagnostics.
+  std::vector<std::string> Names;
+  if (!Hydrated && Elaborated) {
+    for (const core::TopBinding &B : Elaborated->Program.Bindings)
+      Names.push_back(std::string(B.Name.str()));
+  } else {
+    MachinePipeline &MP = machine();
+    std::shared_lock<std::shared_mutex> Lock(MP.LowerMutex);
+    for (const auto &KV : MP.MTerms)
+      Names.push_back(KV.first);
+  }
+  std::sort(Names.begin(), Names.end());
+  Names.erase(std::unique(Names.begin(), Names.end()), Names.end());
+
+  ByteWriter Terms;
+  Terms.u32(static_cast<uint32_t>(Names.size()));
+  for (const std::string &Name : Names) {
+    Result<const Term *> T = machineTerm(Name);
+    Terms.str(Name);
+    Terms.u8(T.ok() ? 1 : 0);
+    if (T.ok())
+      writeTerm(Terms, *T);
+    else
+      Terms.str(T.error());
+  }
+
+  ByteWriter Types;
+  Types.u32(static_cast<uint32_t>(Names.size()));
+  for (const std::string &Name : Names) {
+    Types.str(Name);
+    Types.str(globalTypeText(Name));
+  }
+
+  ByteWriter Meta;
+  Meta.u8(static_cast<uint8_t>(Opts.DefaultBackend));
+  Meta.u32(static_cast<uint32_t>(Timings.size()));
+  for (const StageTiming &T : Timings) {
+    Meta.str(T.Stage);
+    Meta.f64(T.Millis);
+  }
+  // The original context's fresh-name counter: hydrating contexts
+  // reserve past it so runtime-minted heap addresses can never collide
+  // with a stored binder name.
+  Meta.u64(machine().MC.nameCounter());
+
+  ByteWriter W;
+  W.raw(std::string_view(levc::Magic, sizeof(levc::Magic)));
+  W.u32(levc::FormatVersion);
+  W.u64(levc::pipelineFingerprint());
+  W.u64(SrcHash);
+  W.u32(4); // section count
+  auto Section = [&W](uint32_t Id, const std::string &Payload) {
+    W.u32(Id);
+    W.u64(Payload.size());
+    W.raw(Payload);
+  };
+  Section(levc::SecSource, Source);
+  Section(levc::SecMeta, Meta.bytes());
+  Section(levc::SecTypes, Types.bytes());
+  Section(levc::SecTerms, Terms.bytes());
+  W.u64(levc::fnv1a(W.bytes())); // trailer checksum
+  return W.take();
+}
+
+//===----------------------------------------------------------------------===//
+// Compilation::deserializeArtifact
+//===----------------------------------------------------------------------===//
+
+std::shared_ptr<Compilation>
+Compilation::deserializeArtifact(std::string_view Bytes,
+                                 std::string_view ExpectedSource,
+                                 const CompileOptions &Opts) {
+  auto Start = std::chrono::steady_clock::now();
+
+  // Container validation: size, checksum, magic, versions. Any failure
+  // is a miss — never an error the caller must handle.
+  constexpr size_t MinSize = 4 + 4 + 8 + 8 + 4 + 8;
+  if (Bytes.size() < MinSize)
+    return nullptr;
+  ByteReader Trailer(Bytes.substr(Bytes.size() - 8));
+  if (levc::fnv1a(Bytes.substr(0, Bytes.size() - 8)) != Trailer.u64())
+    return nullptr;
+
+  ByteReader R(Bytes.substr(0, Bytes.size() - 8));
+  if (R.raw(4) != std::string_view(levc::Magic, sizeof(levc::Magic)))
+    return nullptr;
+  if (R.u32() != levc::FormatVersion)
+    return nullptr;
+  if (R.u64() != levc::pipelineFingerprint())
+    return nullptr;
+  uint64_t Hash = R.u64();
+  if (Hash != Session::hashSource(ExpectedSource))
+    return nullptr;
+
+  std::string_view Src, Meta, Types, Terms;
+  uint32_t NumSections = R.u32();
+  if (!R.ok() || NumSections > 64)
+    return nullptr;
+  for (uint32_t I = 0; I != NumSections; ++I) {
+    uint32_t Id = R.u32();
+    uint64_t Len = R.u64();
+    std::string_view Payload = R.raw(Len);
+    if (!R.ok())
+      return nullptr;
+    switch (Id) {
+    case levc::SecSource: Src = Payload; break;
+    case levc::SecMeta: Meta = Payload; break;
+    case levc::SecTypes: Types = Payload; break;
+    case levc::SecTerms: Terms = Payload; break;
+    default: break; // Unknown sections: skip (forward compatibility).
+    }
+  }
+  // The source must match byte-for-byte: the hash is only the address,
+  // exact compare is the identity (same contract as the memory cache).
+  if (Src != ExpectedSource || Meta.empty() || Terms.empty())
+    return nullptr;
+
+  auto Comp = std::shared_ptr<Compilation>(new Compilation(Opts));
+  Comp->Source.assign(ExpectedSource);
+  Comp->SrcHash = Hash;
+  Comp->Hydrated = true;
+  MachinePipeline &MP = Comp->machine();
+
+  ByteReader MetaR(Meta);
+  MetaR.u8(); // Original default backend: advisory metadata only.
+  uint32_t NumTimings = MetaR.u32();
+  if (!MetaR.ok() || NumTimings > 1024)
+    return nullptr;
+  for (uint32_t I = 0; I != NumTimings; ++I) {
+    std::string Stage(MetaR.str());
+    double Millis = MetaR.f64();
+    if (!MetaR.ok())
+      return nullptr;
+    Comp->Timings.push_back({std::move(Stage), Millis});
+  }
+  MP.MC.reserveNames(MetaR.u64());
+  if (!MetaR.ok())
+    return nullptr;
+
+  ByteReader TypesR(Types);
+  uint32_t NumTypes = TypesR.u32();
+  for (uint32_t I = 0; TypesR.ok() && I != NumTypes; ++I) {
+    std::string Name(TypesR.str());
+    std::string Text(TypesR.str());
+    if (TypesR.ok())
+      Comp->HydratedTypes.emplace(std::move(Name), std::move(Text));
+  }
+  if (!TypesR.ok())
+    return nullptr;
+
+  ByteReader TermsR(Terms);
+  uint32_t NumTerms = TermsR.u32();
+  if (!TermsR.ok())
+    return nullptr;
+  for (uint32_t I = 0; I != NumTerms; ++I) {
+    std::string Name(TermsR.str());
+    uint8_t Ok = TermsR.u8();
+    if (!TermsR.ok() || Ok > 1)
+      return nullptr;
+    if (Ok) {
+      const Term *T = levc::readTerm(TermsR, MP.MC);
+      if (!T)
+        return nullptr;
+      MP.MTerms.emplace(std::move(Name), Result<const Term *>(T));
+    } else {
+      std::string Error(TermsR.str());
+      if (!TermsR.ok())
+        return nullptr;
+      MP.MTerms.emplace(std::move(Name),
+                        Result<const Term *>(err(std::move(Error))));
+    }
+  }
+
+  Comp->Timings.push_back({"hydrate", millisSince(Start)});
+  Comp->Succeeded = true;
+  return Comp;
+}

@@ -1,0 +1,160 @@
+//===- Serialize.h - The versioned .levc artifact format --------*- C++ -*-===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The binary reader/writer behind the on-disk compilation store
+/// (driver/ArtifactStore.h). A `.levc` artifact persists everything a
+/// cold process needs to *run* a compiled program on the abstract
+/// machine without re-running the front end or the core→L→ANF→M
+/// lowering: the source text (for exact-match validation), the
+/// per-global compiled M terms (or their pinned "not expressible in L"
+/// failures), pretty-printed global types, the original stage timings,
+/// and the M-context name counter.
+///
+/// The format is *versioned twice*:
+///
+///   * FormatVersion — the byte layout of this file. Bump on any layout
+///     change.
+///   * pipelineFingerprint() — a hash of FormatVersion, the pipeline
+///     epoch string, and the stable tag-space sizes of the M syntax
+///     (mcalc::Term::NumTermKinds, NumMPrims, NumVarSorts). Any change
+///     to what the pipeline *produces* — new node kinds, new primops,
+///     changed lowering semantics (bump PipelineEpoch for those) —
+///     changes the fingerprint, and every stale store entry silently
+///     becomes a miss.
+///
+/// The full byte layout is specified in docs/ARTIFACT_FORMAT.md; this
+/// header is the single implementation of it. Readers treat *any*
+/// malformed input (bad magic, version, fingerprint, checksum, truncated
+/// or corrupt sections) as "no artifact": deserialization returns null
+/// and the driver recompiles from source.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LEVITY_DRIVER_SERIALIZE_H
+#define LEVITY_DRIVER_SERIALIZE_H
+
+#include "mcalc/Syntax.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace levity {
+namespace driver {
+namespace levc {
+
+/// First bytes of every artifact: 'L' 'E' 'V' 'C'.
+inline constexpr char Magic[4] = {'L', 'E', 'V', 'C'};
+
+/// Byte-layout version of the .levc container. Bump on any layout change
+/// (it is also folded into the fingerprint, so old stores go stale).
+inline constexpr uint32_t FormatVersion = 1;
+
+/// Names the semantics of the compiled artifacts. Bump whenever the
+/// core→L→ANF→M lowering changes observable output (new fragment,
+/// changed encodings, changed error strings) so stale artifacts are
+/// re-lowered instead of replayed.
+inline constexpr char PipelineEpoch[] = "core->L->ANF->M pr4";
+
+/// Section identifiers (four ASCII bytes, little-endian u32). Unknown
+/// sections are skipped on read, so future writers may append sections
+/// without a FormatVersion bump.
+enum SectionId : uint32_t {
+  SecSource = 0x20435253, ///< "SRC " — the exact source text.
+  SecMeta = 0x4154454D,   ///< "META" — timings, backend, name counter.
+  SecTypes = 0x45505954,  ///< "TYPE" — pretty-printed global types.
+  SecTerms = 0x4D52544D,  ///< "MTRM" — per-global M terms / failures.
+};
+
+/// The version fingerprint written into (and demanded of) every
+/// artifact. Deterministic across processes and platforms.
+uint64_t pipelineFingerprint();
+
+/// FNV-1a over \p Bytes — the artifact trailer checksum (and the same
+/// function Session::hashSource uses, kept bit-compatible on purpose).
+uint64_t fnv1a(std::string_view Bytes);
+
+//===----------------------------------------------------------------------===//
+// Byte-level primitives (little-endian, length-prefixed strings)
+//===----------------------------------------------------------------------===//
+
+/// Appends fixed-width little-endian scalars and length-prefixed strings
+/// to a growing buffer.
+class ByteWriter {
+public:
+  void u8(uint8_t V);
+  void u32(uint32_t V);
+  void u64(uint64_t V);
+  void i64(int64_t V);
+  void f64(double V);                ///< IEEE-754 bit pattern as u64.
+  void str(std::string_view S);      ///< u32 length + raw bytes.
+  void raw(std::string_view Bytes);  ///< Raw bytes, no length prefix.
+
+  const std::string &bytes() const { return Buf; }
+  std::string take() { return std::move(Buf); }
+  size_t size() const { return Buf.size(); }
+
+private:
+  std::string Buf;
+};
+
+/// Reads the ByteWriter encoding back. All reads are bounds-checked:
+/// running past the end (or any validation failure flagged by callers via
+/// fail()) makes every subsequent read return zero values, and ok()
+/// reports the sticky failure — so decode loops can check once at the end.
+class ByteReader {
+public:
+  explicit ByteReader(std::string_view Bytes) : Buf(Bytes) {}
+
+  uint8_t u8();
+  uint32_t u32();
+  uint64_t u64();
+  int64_t i64();
+  double f64();
+  std::string_view str();
+  std::string_view raw(size_t N);
+
+  /// Marks the stream failed (validation error in a caller).
+  void fail() { Failed = true; }
+  bool ok() const { return !Failed; }
+  bool atEnd() const { return Failed || Pos == Buf.size(); }
+  size_t pos() const { return Pos; }
+
+private:
+  const unsigned char *take(size_t N);
+
+  std::string_view Buf;
+  size_t Pos = 0;
+  bool Failed = false;
+};
+
+//===----------------------------------------------------------------------===//
+// M-term encoding
+//===----------------------------------------------------------------------===//
+
+/// Serializes one M term (tag byte per node — the stable
+/// mcalc::Term::TermKind values — preorder, recursively).
+void writeTerm(ByteWriter &W, const mcalc::Term *T);
+
+/// Decodes one M term, allocating nodes in \p Ctx and interning names in
+/// its symbol table. \returns null (and fails \p R) on malformed input:
+/// bad tags, bad sorts, over-deep nesting, or truncation.
+const mcalc::Term *readTerm(ByteReader &R, mcalc::MContext &Ctx);
+
+/// Decode refuses terms nested deeper than this (a corrupt length field
+/// must not turn into unbounded C++ recursion). Kept small enough that
+/// the guard fires before the decoder's ~2 stack frames per level can
+/// overflow even an -O0/sanitizer thread stack, and still an order of
+/// magnitude beyond any term the lowering produces for this fragment.
+inline constexpr unsigned MaxTermDepth = 1u << 11;
+
+} // namespace levc
+} // namespace driver
+} // namespace levity
+
+#endif // LEVITY_DRIVER_SERIALIZE_H

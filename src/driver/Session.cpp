@@ -6,8 +6,11 @@
 //===----------------------------------------------------------------------===//
 
 #include "driver/Session.h"
+#include "driver/ArtifactStore.h"
 #include "driver/Executor.h"
 #include "driver/LowerToL.h"
+#include "driver/Serialize.h"
+#include "support/Timing.h"
 #include "surface/Parser.h"
 
 #include <algorithm>
@@ -20,6 +23,7 @@
 
 using namespace levity;
 using namespace levity::driver;
+using support::millisSince;
 
 std::string_view driver::backendName(Backend B) {
   switch (B) {
@@ -31,15 +35,6 @@ std::string_view driver::backendName(Backend B) {
   return "unknown";
 }
 
-namespace {
-
-double millisSince(std::chrono::steady_clock::time_point Start) {
-  return std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now() - Start)
-      .count();
-}
-
-} // namespace
 
 std::string driver::formatStageTimings(std::span<const StageTiming> Timings) {
   std::ostringstream OS;
@@ -65,14 +60,21 @@ Compilation::Compilation(const CompileOptions &Opts) : Opts(Opts) {}
 
 Compilation::~Compilation() = default;
 
-void Compilation::compileSource(std::string_view Src) {
-  Source.assign(Src);
-  SrcHash = Session::hashSource(Src);
+namespace {
 
+/// The front-end stage sequence, shared by the build-time compile and
+/// the hydrated lazy rebuild so the two can never drift apart. Records
+/// per-stage wall-clock into \p Timings when non-null.
+std::optional<surface::ElabOutput>
+runFrontEndStages(const std::string &Source, DiagnosticEngine &Diags,
+                  surface::Elaborator &Elab,
+                  std::vector<StageTiming> *Timings) {
   auto Timed = [&](const char *Stage, auto Fn) {
+    if (!Timings)
+      return Fn();
     auto Start = std::chrono::steady_clock::now();
     auto R = Fn();
-    Timings.push_back({Stage, millisSince(Start)});
+    Timings->push_back({Stage, millisSince(Start)});
     return R;
   };
 
@@ -81,16 +83,24 @@ void Compilation::compileSource(std::string_view Src) {
     return L.lexAll();
   });
   if (Diags.hasErrors())
-    return;
+    return std::nullopt;
 
   surface::SModule Module = Timed("parse", [&] {
     surface::Parser P(std::move(Tokens), Diags);
     return P.parseModule();
   });
   if (Diags.hasErrors())
-    return;
+    return std::nullopt;
 
-  Elaborated = Timed("elaborate+check", [&] { return Elab.run(Module); });
+  return Timed("elaborate+check", [&] { return Elab.run(Module); });
+}
+
+} // namespace
+
+void Compilation::compileSource(std::string_view Src) {
+  Source.assign(Src);
+  SrcHash = Session::hashSource(Src);
+  Elaborated = runFrontEndStages(Source, Diags, Elab, &Timings);
   Succeeded = Elaborated.has_value();
 }
 
@@ -134,11 +144,26 @@ Compilation::MachinePipeline &Compilation::machine() const {
   return *Machine;
 }
 
+void Compilation::ensureFrontEnd() const {
+  if (!Hydrated)
+    return;
+  // Rebuild the front end from the stored source, exactly once, through
+  // the same stage sequence compileSource uses. The source compiled
+  // successfully when the artifact was written, so this succeeds
+  // barring a pipeline change — and a failure simply leaves Elaborated
+  // empty, which consumers report. (Untimed: the hydrated timing report
+  // shows the original build's stages plus "hydrate".)
+  std::call_once(FrontEndOnce, [this] {
+    Elaborated = runFrontEndStages(Source, Diags, Elab, nullptr);
+  });
+}
+
 std::string Compilation::timingReport() const {
   return formatStageTimings(Timings);
 }
 
 const core::Type *Compilation::globalType(std::string_view Name) const {
+  ensureFrontEnd();
   if (const core::Type *T = Elab.globalType(Name))
     return T;
   // Programmatic compilations bypass the elaborator's table; fall back to
@@ -147,6 +172,17 @@ const core::Type *Compilation::globalType(std::string_view Name) const {
     if (const core::TopBinding *B = Elaborated->Program.find(C.sym(Name)))
       return C.zonkType(B->Ty);
   return nullptr;
+}
+
+std::string Compilation::globalTypeText(std::string_view Name) const {
+  if (Hydrated) {
+    // The zero-rebuild path: type texts were persisted in the artifact.
+    auto It = HydratedTypes.find(std::string(Name));
+    return It != HydratedTypes.end() ? It->second : std::string();
+  }
+  if (const core::Type *T = globalType(Name))
+    return T->str();
+  return std::string();
 }
 
 //===----------------------------------------------------------------------===//
@@ -170,6 +206,12 @@ Compilation::machineTerm(std::string_view Name) const {
     return It->second;
 
   Result<const mcalc::Term *> Out = [&]() -> Result<const mcalc::Term *> {
+    // Hydrated artifacts pre-populate MTerms with *every* top-level
+    // binding; a slow-path miss can only be an unknown name. (Also keeps
+    // this path from racing the lazy front-end rebuild on Elaborated.)
+    if (Hydrated)
+      return err("no M lowering for '" + std::string(Name) +
+                 "' in the on-disk artifact (unknown global)");
     if (!Elaborated)
       return err("no compiled program");
     CoreToL Lower(C, MP.L);
@@ -302,17 +344,20 @@ struct Session::WorkerPool {
 Session::Session() : Session(CompileOptions()) {}
 
 Session::Session(CompileOptions Opts)
-    : Opts(Opts), Shards(std::make_unique<Shard[]>(NumShards)) {}
+    : Opts(std::move(Opts)), Shards(std::make_unique<Shard[]>(NumShards)) {
+  if (!this->Opts.StorePath.empty())
+    Store = std::make_unique<ArtifactStore>(this->Opts.StorePath);
+}
 
+// ~WorkerPool (destroyed first — declared last) drains the queue before
+// joining, so pending write-behind store writes complete here.
 Session::~Session() = default;
 
 uint64_t Session::hashSource(std::string_view Source) {
-  uint64_t H = 1469598103934665603ull; // FNV offset basis
-  for (char Ch : Source) {
-    H ^= static_cast<unsigned char>(Ch);
-    H *= 1099511628211ull; // FNV prime
-  }
-  return H;
+  // The one FNV-1a implementation: the artifact format addresses store
+  // entries by this exact function, so there must never be two copies
+  // to drift apart.
+  return levc::fnv1a(Source);
 }
 
 size_t Session::perShardCap() const {
@@ -323,10 +368,62 @@ size_t Session::perShardCap() const {
 }
 
 std::shared_ptr<Compilation> Session::buildSource(std::string_view Source) {
+  uint64_t H = hashSource(Source);
+
+  // Read-through: a published artifact turns this compile into pure
+  // deserialization — no front end, no lowering. Validation is strict
+  // (checksum, pipeline fingerprint, byte-exact source), so corrupt or
+  // stale-version entries silently fall through to a clean recompile.
+  if (Store) {
+    if (std::optional<std::string> Bytes = Store->load(H)) {
+      if (std::shared_ptr<Compilation> Comp =
+              Compilation::deserializeArtifact(*Bytes, Source, Opts)) {
+        NumDiskHits.fetch_add(1, std::memory_order_relaxed);
+        return Comp;
+      }
+    }
+    NumDiskMisses.fetch_add(1, std::memory_order_relaxed);
+  }
+
   auto Comp = std::shared_ptr<Compilation>(new Compilation(Opts));
   Comp->compileSource(Source);
   NumCompilations.fetch_add(1, std::memory_order_relaxed);
+
+  // Write-behind: persist off the caller's critical path (the worker
+  // pool also forces the all-globals lowering there). flushStoreWrites()
+  // and the destructor are the completion barriers.
+  if (Store && Comp->ok()) {
+    {
+      std::lock_guard<std::mutex> Lock(StoreFlushM);
+      ++PendingStoreWrites;
+    }
+    pool().submit([this, Comp, H] {
+      writeArtifact(Comp, H);
+      {
+        std::lock_guard<std::mutex> Lock(StoreFlushM);
+        --PendingStoreWrites;
+      }
+      StoreFlushCV.notify_all();
+    });
+  }
   return Comp;
+}
+
+void Session::writeArtifact(const std::shared_ptr<Compilation> &Comp,
+                            uint64_t Hash) {
+  Result<std::string> Bytes = Comp->serializeArtifact();
+  if (!Bytes)
+    return; // The store is a cache: serialization failures are non-fatal.
+  if (!Store->store(Hash, *Bytes))
+    return;
+  if (Opts.MaxStoredArtifacts)
+    if (size_t N = Store->evictOver(Opts.MaxStoredArtifacts))
+      NumDiskEvictions.fetch_add(N, std::memory_order_relaxed);
+}
+
+void Session::flushStoreWrites() {
+  std::unique_lock<std::mutex> Lock(StoreFlushM);
+  StoreFlushCV.wait(Lock, [this] { return PendingStoreWrites == 0; });
 }
 
 std::shared_ptr<Compilation> Session::compile(std::string_view Source) {
@@ -439,6 +536,9 @@ Session::Stats Session::stats() const {
   St.CacheHits = NumCacheHits.load(std::memory_order_relaxed);
   St.Evictions = NumEvictions.load(std::memory_order_relaxed);
   St.Analyses = NumAnalyses.load(std::memory_order_relaxed);
+  St.DiskHits = NumDiskHits.load(std::memory_order_relaxed);
+  St.DiskMisses = NumDiskMisses.load(std::memory_order_relaxed);
+  St.DiskEvictions = NumDiskEvictions.load(std::memory_order_relaxed);
   return St;
 }
 

@@ -66,6 +66,7 @@
 #include "surface/Elaborate.h"
 
 #include <atomic>
+#include <condition_variable>
 #include <functional>
 #include <future>
 #include <memory>
@@ -80,6 +81,7 @@
 namespace levity {
 namespace driver {
 
+class ArtifactStore;
 class Executor;
 
 /// The evaluation backends a Compilation can run on.
@@ -92,6 +94,7 @@ std::string_view backendName(Backend B);
 
 /// Knobs for a Session. One options struct covers both pipelines.
 struct CompileOptions {
+  /// Backend used by run() calls that do not name one explicitly.
   Backend DefaultBackend = Backend::TreeInterp;
   bool EnableCache = true; ///< Reuse Compilations for identical source.
   uint64_t MaxInterpSteps = 200000000; ///< Tree-interpreter fuel.
@@ -104,12 +107,26 @@ struct CompileOptions {
   /// Worker threads behind compileAsync/runAll; 0 = pick from hardware
   /// concurrency. The pool is spawned lazily on first async use.
   unsigned AsyncWorkers = 0;
+  /// Root directory of the persistent on-disk compilation store; empty =
+  /// disabled. When set, compile() is read-through/write-behind against
+  /// the store: a hit rehydrates a runnable Compilation (no front end,
+  /// no re-lowering) and a miss compiles normally, then persists the
+  /// artifact asynchronously (see Session::flushStoreWrites). Many
+  /// processes may safely share one store directory — writes are
+  /// temp-file + atomic-rename with an advisory writer lock, and
+  /// corrupt or stale-version entries are treated as misses.
+  std::string StorePath;
+  /// Cap on the number of .levc entries kept in the store; 0 =
+  /// unbounded. Enforced after each write-behind store write by evicting
+  /// the oldest entries (by file modification time); evictions are
+  /// counted in Session::Stats::DiskEvictions.
+  size_t MaxStoredArtifacts = 0;
 };
 
 /// Wall-clock duration of one pipeline stage.
 struct StageTiming {
-  std::string Stage;
-  double Millis = 0;
+  std::string Stage; ///< Stage name as shown in the report ("lex", …).
+  double Millis = 0; ///< Wall-clock duration.
 };
 
 /// Renders stage timings as the driver's standard one-line-per-stage
@@ -121,24 +138,26 @@ std::string formatStageTimings(std::span<const StageTiming> Timings);
 /// convenience accessors hide the difference.
 struct RunResult {
   enum class Status : uint8_t {
-    Ok,
+    Ok,           ///< Evaluation reached a value.
     Bottom,       ///< error was called.
     RuntimeError, ///< stuck machine / interpreter runtime failure.
-    OutOfFuel,
+    OutOfFuel,    ///< The backend's step budget ran out.
     Unsupported   ///< Program outside the backend's fragment.
   };
 
-  Status St = Status::RuntimeError;
-  Backend Used = Backend::TreeInterp;
+  Status St = Status::RuntimeError; ///< Outcome classification.
+  Backend Used = Backend::TreeInterp; ///< Backend that produced this result.
   std::string Display;  ///< Pretty-printed value (empty unless Ok).
   std::optional<int64_t> IntValue;   ///< Int#/Int results.
   std::optional<double> DoubleValue; ///< Double#/Double results.
   std::string Error;    ///< Failure reason (empty when Ok).
-  double Millis = 0;
+  double Millis = 0;    ///< Wall-clock evaluation time.
 
   runtime::InterpStats Interp;  ///< Backend::TreeInterp counters.
   mcalc::MachineStats Machine;  ///< Backend::AbstractMachine counters.
 
+  /// True when evaluation reached a value. A RunResult is a plain value
+  /// type: copy it freely across threads.
   bool ok() const { return St == Status::Ok; }
 
   /// Heap allocations the run performed, in the executing backend's cost
@@ -176,21 +195,64 @@ public:
   // Outcome and diagnostics
   //===------------------------------------------------------------------===//
 
-  /// True when every stage succeeded and the program can run.
+  /// True when every stage succeeded and the program can run. Constant
+  /// for the Compilation's whole lifetime (hydrated artifacts are always
+  /// ok — only successful compiles are ever stored).
   bool ok() const { return Succeeded; }
 
-  const DiagnosticEngine &diags() const { return Diags; }
-  std::string diagText() const { return Diags.str(); }
+  /// The build-time diagnostics sink. For hydrated compilations this
+  /// first triggers the lazy front-end rebuild (see hydrated()) so the
+  /// returned engine is stable afterwards.
+  const DiagnosticEngine &diags() const {
+    ensureFrontEnd();
+    return Diags;
+  }
+  /// All diagnostics, rendered. Thread-safe; see diags().
+  std::string diagText() const { return diags().str(); }
 
-  /// FNV-1a hash of the source text (the Session cache key; 0 for
-  /// programmatic compilations).
+  /// FNV-1a hash of the source text (the Session cache and artifact
+  /// store key; 0 for programmatic compilations).
   uint64_t sourceHash() const { return SrcHash; }
+  /// The exact source text this Compilation was built from.
   const std::string &source() const { return Source; }
 
-  /// Per-stage wall-clock timings, in pipeline order.
+  /// True when this Compilation was rehydrated from an on-disk `.levc`
+  /// artifact (CompileOptions::StorePath) instead of built by the front
+  /// end. Hydrated compilations run on Backend::AbstractMachine with
+  /// *zero* front-end or lowering work; the first use that genuinely
+  /// needs core IR (a tree-interp run, program(), globalType()) rebuilds
+  /// the front end lazily, exactly once, thread-safely.
+  bool hydrated() const { return Hydrated; }
+
+  /// Per-stage wall-clock timings, in pipeline order. For hydrated
+  /// compilations: the *original* build's stages (restored from the
+  /// artifact) followed by this process's "hydrate" stage.
   const std::vector<StageTiming> &timings() const { return Timings; }
   /// One-line-per-stage human-readable report.
   std::string timingReport() const;
+
+  //===------------------------------------------------------------------===//
+  // The serialized artifact (driver/Serialize.h, docs/ARTIFACT_FORMAT.md)
+  //===------------------------------------------------------------------===//
+
+  /// Serializes this Compilation into the versioned `.levc` byte format.
+  /// Forces the M lowering of every top-level binding first (that is the
+  /// point: the artifact must make a cold process's runs lowering-free),
+  /// recording per-global failures verbatim so out-of-fragment programs
+  /// replay the same "not expressible in L" diagnostics. Thread-safe.
+  /// Fails for failed, formal, or programmatic compilations (no source
+  /// to key the store by).
+  Result<std::string> serializeArtifact() const;
+
+  /// Rebuilds a runnable Compilation from serializeArtifact() bytes.
+  /// \returns null when the bytes are corrupt, truncated, carry a wrong
+  /// format version or pipeline fingerprint, or do not match
+  /// \p ExpectedSource exactly — callers treat null as a cache miss and
+  /// recompile. On success the result is immutable-after-build and
+  /// thread-safe exactly like a front-end-built Compilation.
+  static std::shared_ptr<Compilation>
+  deserializeArtifact(std::string_view Bytes, std::string_view ExpectedSource,
+                      const CompileOptions &Opts);
 
   //===------------------------------------------------------------------===//
   // The compiled surface program
@@ -202,22 +264,38 @@ public:
   /// symbol table are internally synchronized, and the compiled program
   /// itself is never modified.
   core::CoreContext &ctx() const { return C; }
+  /// The compiled core program (null until a successful compile). On a
+  /// hydrated Compilation this triggers the lazy front-end rebuild.
   const core::CoreProgram *program() const {
+    ensureFrontEnd();
     return Elaborated ? &Elaborated->Program : nullptr;
   }
   /// The zonked, dictionary-expanded type of a top-level name. Const and
   /// thread-safe: zonking only reads metavariable solutions (all writes
   /// happened at build time) and allocates result nodes in the
-  /// synchronized arena.
+  /// synchronized arena. On a hydrated Compilation this triggers the
+  /// lazy front-end rebuild; use globalTypeText() for the zero-rebuild
+  /// path.
   const core::Type *globalType(std::string_view Name) const;
+  /// The pretty-printed type of a top-level name, or "" when unknown.
+  /// For hydrated compilations this reads the type text stored in the
+  /// artifact — no front-end rebuild; otherwise it renders globalType().
+  std::string globalTypeText(std::string_view Name) const;
   /// Class/instance tables from elaboration (empty for programmatic
-  /// compilations).
-  const surface::Elaborator &elaborator() const { return Elab; }
+  /// compilations). Triggers the lazy front-end rebuild when hydrated.
+  const surface::Elaborator &elaborator() const {
+    ensureFrontEnd();
+    return Elab;
+  }
   /// The raw elaboration output (null until a successful compile).
+  /// Triggers the lazy front-end rebuild when hydrated.
   const surface::ElabOutput *elabOutput() const {
+    ensureFrontEnd();
     return Elaborated ? &*Elaborated : nullptr;
   }
 
+  /// The option values this Compilation was built with (a private copy;
+  /// later Session option changes do not affect existing artifacts).
   const CompileOptions &options() const { return Opts; }
 
   //===------------------------------------------------------------------===//
@@ -255,6 +333,12 @@ private:
       const std::function<core::CoreProgram(core::CoreContext &)> &Build);
   void buildFormal(
       const std::function<const lcalc::Expr *(lcalc::LContext &)> &Build);
+
+  /// Hydrated compilations skip the front end entirely; the first
+  /// consumer that needs core IR (tree-interp run, program(),
+  /// globalType()) rebuilds it here from the stored source — exactly
+  /// once, via FrontEndOnce. No-op for front-end-built compilations.
+  void ensureFrontEnd() const;
 
   /// Lowers+compiles a global for the M machine, memoized per name.
   /// Thread-safe: lowering is serialized behind the pipeline's mutex.
@@ -297,14 +381,23 @@ private:
   std::string Source;
   uint64_t SrcHash = 0;
   bool Succeeded = false;
+  /// True for store-rehydrated compilations (set before publication,
+  /// constant afterwards).
+  bool Hydrated = false;
 
   /// Internally synchronized (see ctx()); mutable so const runs can
   /// allocate scratch nodes.
   mutable core::CoreContext C;
-  DiagnosticEngine Diags;
-  surface::Elaborator Elab{C, Diags};
-  std::optional<surface::ElabOutput> Elaborated;
+  /// Mutable trio behind the hydrated lazy front-end rebuild
+  /// (ensureFrontEnd): written either at build time (before publication)
+  /// or under FrontEndOnce, read only after one of those.
+  mutable DiagnosticEngine Diags;
+  mutable surface::Elaborator Elab{C, Diags};
+  mutable std::optional<surface::ElabOutput> Elaborated;
   std::vector<StageTiming> Timings;
+  /// Artifact-stored global type texts (hydrated compilations only).
+  std::unordered_map<std::string, std::string> HydratedTypes;
+  mutable std::once_flag FrontEndOnce;
 
   mutable std::once_flag MachineOnce;
   mutable std::unique_ptr<MachinePipeline> Machine;
@@ -335,10 +428,22 @@ struct CatalogAnalysis {
 /// contention (losers block on the winner's in-flight result). An LRU
 /// bound (CompileOptions::MaxCachedCompilations) caps memory; evictions
 /// are counted in Stats.
+///
+/// With CompileOptions::StorePath set, the in-memory cache is backed by
+/// a persistent on-disk store shared across processes: misses first try
+/// to rehydrate a `.levc` artifact (Stats::DiskHits — compiling becomes
+/// deserialization, with zero front-end or lowering work), and fresh
+/// compiles are persisted write-behind on the worker pool
+/// (flushStoreWrites() is the completion barrier).
 class Session {
 public:
+  /// A session with default options (no LRU bound, no on-disk store).
   Session();
+  /// A session with explicit knobs; opens the artifact store when
+  /// Opts.StorePath is set (the directory is created on first write).
   explicit Session(CompileOptions Opts);
+  /// Joins the worker pool after draining it — pending compileAsync
+  /// tasks and write-behind store writes complete before return.
   ~Session();
   Session(const Session &) = delete;
   Session &operator=(const Session &) = delete;
@@ -379,19 +484,41 @@ public:
   /// returns results in request order.
   std::vector<RunResult> runAll(std::span<const RunRequest> Requests);
 
+  /// The session's monotonic counters. Stats is a plain copyable value:
+  /// always take one snapshot via stats() and read fields from the copy —
+  /// never sample stats().X repeatedly, which can observe different
+  /// moments per field under concurrency.
   struct Stats {
     uint64_t Compilations = 0; ///< Front-end runs actually performed.
-    uint64_t CacheHits = 0;    ///< compile() calls served from cache.
+    uint64_t CacheHits = 0;    ///< compile() calls served from memory.
     uint64_t Evictions = 0;    ///< Compilations dropped by the LRU bound.
     uint64_t Analyses = 0;     ///< analyzeCatalog() runs.
+    uint64_t DiskHits = 0;     ///< compile() calls rehydrated from the
+                               ///< on-disk store (no front end, no
+                               ///< lowering).
+    uint64_t DiskMisses = 0;   ///< Store lookups that fell back to a
+                               ///< full compile (absent, corrupt, or
+                               ///< stale-version entries).
+    uint64_t DiskEvictions = 0; ///< .levc files removed to enforce
+                                ///< CompileOptions::MaxStoredArtifacts.
   };
-  /// A consistent snapshot of the counters.
+  /// Snapshot of every counter, taken at one call. Each field is read
+  /// atomically; the struct is the unit tests and benches should hold on
+  /// to (rather than re-calling stats() per field).
   Stats stats() const;
   /// Number of Compilations currently held in the cache (across shards).
   size_t cacheSize() const;
+  /// The options this Session was constructed with (immutable).
   const CompileOptions &options() const { return Opts; }
 
-  /// FNV-1a — the cache key for compile().
+  /// Blocks until every write-behind artifact-store write scheduled so
+  /// far has been published (temp file renamed into the store) — the
+  /// barrier a warm-up process calls before handing the store directory
+  /// to consumers. Returns immediately when no store is configured.
+  /// (The destructor also drains pending writes.)
+  void flushStoreWrites();
+
+  /// FNV-1a — the cache and artifact-store key for compile().
   static uint64_t hashSource(std::string_view Source);
 
 private:
@@ -399,6 +526,10 @@ private:
   struct WorkerPool;
 
   std::shared_ptr<Compilation> buildSource(std::string_view Source);
+  /// Serializes \p Comp and publishes it in the store under \p Hash,
+  /// then enforces MaxStoredArtifacts. Runs on the worker pool.
+  void writeArtifact(const std::shared_ptr<Compilation> &Comp,
+                     uint64_t Hash);
   WorkerPool &pool();
   size_t perShardCap() const;
 
@@ -407,10 +538,21 @@ private:
   static constexpr size_t NumShards = 8;
   std::unique_ptr<Shard[]> Shards;
 
+  /// The on-disk artifact store (null unless Opts.StorePath is set).
+  /// Declared before Pool: pool teardown may still be writing artifacts.
+  std::unique_ptr<ArtifactStore> Store;
+  std::mutex StoreFlushM;
+  std::condition_variable StoreFlushCV;
+  /// Writes scheduled but not yet published; guarded by StoreFlushM.
+  uint64_t PendingStoreWrites = 0;
+
   std::atomic<uint64_t> NumCompilations{0};
   std::atomic<uint64_t> NumCacheHits{0};
   std::atomic<uint64_t> NumEvictions{0};
   std::atomic<uint64_t> NumAnalyses{0};
+  std::atomic<uint64_t> NumDiskHits{0};
+  std::atomic<uint64_t> NumDiskMisses{0};
+  std::atomic<uint64_t> NumDiskEvictions{0};
 
   // Declared last: ~WorkerPool drains and joins worker threads, which
   // touch the shards and counters above — those must still be alive.

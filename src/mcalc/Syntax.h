@@ -45,11 +45,20 @@ namespace mcalc {
 
 /// The sorts of M variables: each corresponds to a machine register
 /// class, so substitution always moves data of known width (Section 6.2).
+///
+/// The numeric values are **stable on-disk tags**: they appear verbatim in
+/// serialized `.levc` artifacts (driver/Serialize.h, docs/ARTIFACT_FORMAT.md).
+/// Never renumber an existing sort; append new sorts at the end and bump
+/// the artifact pipeline fingerprint.
 enum class VarSort : uint8_t {
-  Ptr, ///< p — points to a heap object (thunk or value).
-  Int, ///< i — holds an unboxed machine integer.
-  Dbl  ///< f — holds an unboxed double in a float register.
+  Ptr = 0, ///< p — points to a heap object (thunk or value).
+  Int = 1, ///< i — holds an unboxed machine integer.
+  Dbl = 2  ///< f — holds an unboxed double in a float register.
 };
+
+/// Number of VarSort values; folded into the artifact fingerprint so a
+/// new register class invalidates stale stores.
+inline constexpr unsigned NumVarSorts = 3;
 
 /// y — a sorted variable.
 struct MVar {
@@ -71,24 +80,33 @@ struct MVar {
 /// t — an M term.
 class Term {
 public:
+  /// The numeric values are **stable on-disk tags**: each serialized M
+  /// node in a `.levc` artifact starts with its TermKind byte
+  /// (driver/Serialize.h, docs/ARTIFACT_FORMAT.md). Never renumber an
+  /// existing kind; append new kinds at the end and bump the artifact
+  /// pipeline fingerprint.
   enum class TermKind : uint8_t {
-    AppVar, ///< t y
-    AppLit, ///< t n
-    AppDbl, ///< t d (a double literal argument)
-    Lam,    ///< λy.t
-    Var,    ///< y
-    Let,    ///< let p = t1 in t2   (lazy: allocates a thunk)
-    LetBang,///< let! y = t1 in t2  (strict: evaluates t1 first)
-    LetRec, ///< letrec p = t1 in t2 (knot: t1 sees its own address)
-    Case,   ///< case t1 of I#[y] → t2
-    If0,    ///< if0 t1 then t2 else t3 (branch on an integer)
-    Error,  ///< error
-    ConVar, ///< I#[y]
-    ConLit, ///< I#[n]
-    Lit,    ///< n
-    DLit,   ///< d (an unboxed double literal)
-    Prim    ///< a1 ⊕# a2 over unboxed atoms (variables or literals)
+    AppVar = 0,  ///< t y
+    AppLit = 1,  ///< t n
+    AppDbl = 2,  ///< t d (a double literal argument)
+    Lam = 3,     ///< λy.t
+    Var = 4,     ///< y
+    Let = 5,     ///< let p = t1 in t2   (lazy: allocates a thunk)
+    LetBang = 6, ///< let! y = t1 in t2  (strict: evaluates t1 first)
+    LetRec = 7,  ///< letrec p = t1 in t2 (knot: t1 sees its own address)
+    Case = 8,    ///< case t1 of I#[y] → t2
+    If0 = 9,     ///< if0 t1 then t2 else t3 (branch on an integer)
+    Error = 10,  ///< error
+    ConVar = 11, ///< I#[y]
+    ConLit = 12, ///< I#[n]
+    Lit = 13,    ///< n
+    DLit = 14,   ///< d (an unboxed double literal)
+    Prim = 15    ///< a1 ⊕# a2 over unboxed atoms (variables or literals)
   };
+
+  /// Number of TermKind values; folded into the artifact fingerprint so a
+  /// new node kind invalidates stale stores.
+  static constexpr unsigned NumTermKinds = 16;
 
   TermKind kind() const { return Kind; }
 
@@ -341,12 +359,20 @@ private:
 /// Operands are restricted to *atoms* (unboxed variables or literals) so
 /// the ANF discipline — every data movement has a known width — is
 /// preserved.
+///
+/// The numeric values are **stable on-disk tags** (see TermKind): never
+/// renumber an existing op; append new ops at the end and bump the
+/// artifact pipeline fingerprint.
 enum class MPrim : uint8_t {
-  Add, Sub, Mul, Quot, Rem,
-  Lt, Le, Gt, Ge, Eq, Ne,
-  DAdd, DSub, DMul, DDiv,
-  DLt, DLe, DGt, DGe, DEq, DNe
+  Add = 0, Sub = 1, Mul = 2, Quot = 3, Rem = 4,
+  Lt = 5, Le = 6, Gt = 7, Ge = 8, Eq = 9, Ne = 10,
+  DAdd = 11, DSub = 12, DMul = 13, DDiv = 14,
+  DLt = 15, DLe = 16, DGt = 17, DGe = 18, DEq = 19, DNe = 20
 };
+
+/// Number of MPrim values; folded into the artifact fingerprint so a new
+/// primop invalidates stale stores.
+inline constexpr unsigned NumMPrims = 21;
 
 std::string_view mPrimName(MPrim Op);
 bool mPrimTakesDouble(MPrim Op);
@@ -446,6 +472,24 @@ public:
   MVar freshDbl() {
     return {Symbols.intern("f" + std::to_string(Counter++)), VarSort::Dbl};
   }
+  /// The current fresh-name counter. Serialized into `.levc` artifacts so
+  /// a hydrating context can reserveNames() past every name the original
+  /// lowering minted.
+  uint64_t nameCounter() const {
+    return Counter.load(std::memory_order_relaxed);
+  }
+  /// Advances the fresh-name counter to at least \p N. Deserialized terms
+  /// contain p/i/f names minted by the *original* context's counter; the
+  /// machine mints heap addresses from *this* counter at run time, so the
+  /// hydrated context must skip the already-used range or a runtime
+  /// address could collide with a stored binder.
+  void reserveNames(uint64_t N) {
+    uint64_t Cur = Counter.load(std::memory_order_relaxed);
+    while (Cur < N &&
+           !Counter.compare_exchange_weak(Cur, N, std::memory_order_relaxed))
+      ;
+  }
+
   /// Makes a fresh variable of the same sort as \p Like.
   MVar freshLike(MVar Like) {
     switch (Like.Sort) {

@@ -1,0 +1,133 @@
+//===- FileOps.cpp - Crash-safe file primitives ---------------------------===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FileOps.h"
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+#define LEVITY_HAVE_FLOCK 1
+#endif
+
+using namespace levity;
+using namespace levity::support;
+
+namespace fs = std::filesystem;
+
+Result<std::string> support::readFileBinary(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return err("cannot open '" + Path + "' for reading");
+  std::string Bytes((std::istreambuf_iterator<char>(In)),
+                    std::istreambuf_iterator<char>());
+  if (In.bad())
+    return err("read error on '" + Path + "'");
+  return Bytes;
+}
+
+Result<bool> support::ensureDirectories(const std::string &Path) {
+  std::error_code EC;
+  fs::create_directories(Path, EC);
+  if (EC && !fs::is_directory(Path))
+    return err("cannot create directory '" + Path + "': " + EC.message());
+  return true;
+}
+
+bool support::removeFile(const std::string &Path) {
+  std::error_code EC;
+  return fs::remove(Path, EC) && !EC;
+}
+
+Result<bool> support::writeFileAtomic(const std::string &Path,
+                                      std::string_view Bytes) {
+  fs::path Target(Path);
+  fs::path Dir = Target.parent_path();
+  if (!Dir.empty())
+    if (Result<bool> R = ensureDirectories(Dir.string()); !R)
+      return R;
+
+  // Unique within and across processes: a per-process tag + a
+  // process-local counter. On POSIX the tag is the pid; elsewhere a
+  // startup timestamp stands in (collisions are then merely
+  // astronomically unlikely rather than impossible — and that path also
+  // lacks flock, so ArtifactStore's writer-exclusion degrades to
+  // last-writer-wins there).
+  static std::atomic<uint64_t> TmpCounter{0};
+  uint64_t Seq = TmpCounter.fetch_add(1, std::memory_order_relaxed);
+#if defined(__unix__) || defined(__APPLE__)
+  uint64_t Pid = static_cast<uint64_t>(::getpid());
+#else
+  static const uint64_t ProcessTag = static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  uint64_t Pid = ProcessTag;
+#endif
+  fs::path Tmp = Target;
+  Tmp += ".tmp." + std::to_string(Pid) + "." + std::to_string(Seq);
+
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out)
+      return err("cannot open temp file '" + Tmp.string() + "' for writing");
+    Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+    Out.flush();
+    if (!Out) {
+      removeFile(Tmp.string());
+      return err("write error on temp file '" + Tmp.string() + "'");
+    }
+  }
+
+#if defined(LEVITY_HAVE_FLOCK)
+  // Flush the data to stable storage before publishing the name, so a
+  // crash after the rename cannot surface an empty (but named) artifact.
+  if (int Fd = ::open(Tmp.c_str(), O_RDONLY); Fd >= 0) {
+    ::fsync(Fd);
+    ::close(Fd);
+  }
+#endif
+
+  std::error_code EC;
+  fs::rename(Tmp, Target, EC); // POSIX rename: atomic replacement.
+  if (EC) {
+    removeFile(Tmp.string());
+    return err("cannot rename '" + Tmp.string() + "' over '" + Path +
+               "': " + EC.message());
+  }
+  return true;
+}
+
+FileLock::FileLock(const std::string &LockPath) {
+#if defined(LEVITY_HAVE_FLOCK)
+  Fd = ::open(LockPath.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+  if (Fd < 0)
+    return;
+  if (::flock(Fd, LOCK_EX) != 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+#else
+  (void)LockPath; // Degrade: atomic rename alone still publishes safely.
+#endif
+}
+
+FileLock::~FileLock() {
+#if defined(LEVITY_HAVE_FLOCK)
+  if (Fd >= 0) {
+    ::flock(Fd, LOCK_UN);
+    ::close(Fd);
+  }
+#endif
+}

@@ -1,0 +1,80 @@
+//===- FileOps.h - Crash-safe file primitives -------------------*- C++ -*-===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The small set of filesystem primitives the on-disk artifact store
+/// (driver/ArtifactStore.h) is built on:
+///
+///   * writeFileAtomic — write to a temp file in the target directory,
+///     fsync, then atomically rename over the destination. Readers never
+///     observe a half-written file; a crash leaves either the old file or
+///     the new one, never a torn mix.
+///   * FileLock — an RAII advisory writer lock (POSIX flock / open lock
+///     file). Cooperating processes serialize store writes through it;
+///     readers never take it (rename is the publication point).
+///   * readFileBinary / ensureDirectories / removeFile — thin
+///     Result-returning wrappers used by the store.
+///
+/// Everything here is process- and thread-safe in the way the store
+/// needs: distinct FileLock objects on one path exclude each other both
+/// across processes (flock) and within one (the lock is on the open file
+/// description, which each FileLock owns privately).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LEVITY_SUPPORT_FILEOPS_H
+#define LEVITY_SUPPORT_FILEOPS_H
+
+#include "support/Result.h"
+
+#include <string>
+#include <string_view>
+
+namespace levity {
+namespace support {
+
+/// Reads the whole file at \p Path as bytes. Fails (with a descriptive
+/// message) when the file is missing or unreadable.
+Result<std::string> readFileBinary(const std::string &Path);
+
+/// Atomically replaces \p Path with \p Bytes: the data goes to a unique
+/// temp file in the same directory (same filesystem, so rename cannot
+/// degrade to copy), is flushed, then renamed over \p Path. On failure
+/// the temp file is removed and \p Path is untouched.
+Result<bool> writeFileAtomic(const std::string &Path, std::string_view Bytes);
+
+/// mkdir -p. Succeeds when the directory already exists.
+Result<bool> ensureDirectories(const std::string &Path);
+
+/// Removes \p Path if present; returns whether a file was removed.
+/// Missing files are not an error (concurrent eviction is expected).
+bool removeFile(const std::string &Path);
+
+/// An RAII advisory lock on a dedicated lock file. Construction creates
+/// (if needed) and flock()s \p LockPath exclusively, blocking until the
+/// lock is granted; destruction releases it. locked() reports whether
+/// the lock was acquired — on platforms or filesystems without flock the
+/// lock degrades to "not held" and callers fall back to atomic-rename
+/// publication alone (still crash-safe, last writer wins).
+class FileLock {
+public:
+  explicit FileLock(const std::string &LockPath);
+  ~FileLock();
+  FileLock(const FileLock &) = delete;
+  FileLock &operator=(const FileLock &) = delete;
+
+  /// True when the exclusive advisory lock is actually held.
+  bool locked() const { return Fd >= 0; }
+
+private:
+  int Fd = -1;
+};
+
+} // namespace support
+} // namespace levity
+
+#endif // LEVITY_SUPPORT_FILEOPS_H

@@ -1,0 +1,32 @@
+//===- Timing.h - Wall-clock measurement helper -----------------*- C++ -*-===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one implementation of "milliseconds since a steady_clock start",
+/// shared by every driver component that reports stage or run timings.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LEVITY_SUPPORT_TIMING_H
+#define LEVITY_SUPPORT_TIMING_H
+
+#include <chrono>
+
+namespace levity {
+namespace support {
+
+/// Wall-clock milliseconds elapsed since \p Start.
+inline double millisSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - Start)
+      .count();
+}
+
+} // namespace support
+} // namespace levity
+
+#endif // LEVITY_SUPPORT_TIMING_H

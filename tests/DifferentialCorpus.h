@@ -1,0 +1,179 @@
+//===- DifferentialCorpus.h - The shared differential program corpus ------===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+//
+// The ~40-program corpus shared by three harnesses:
+//
+//   * tests/differential_backend_test.cpp — every program runs on both
+//     backends and the RunResults must agree;
+//   * tests/artifact_store_test.cpp — every program round-trips through
+//     serialize → deserialize → run with identical RunResults;
+//   * examples/shared_store.cpp — the two-process store-sharing demo
+//     (process A populates a store, process B must get 100% disk hits).
+//
+// Keep additions here so all three harnesses grow together: arithmetic,
+// comparisons, cases, lets, lambdas, loops, Double#, bottoms, and the
+// known out-of-fragment shapes (InFragment == false), which every
+// harness must see reported as Unsupported — never a crash or silent
+// divergence.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LEVITY_TESTS_DIFFERENTIALCORPUS_H
+#define LEVITY_TESTS_DIFFERENTIALCORPUS_H
+
+#include <cstddef>
+
+namespace levity {
+namespace testing {
+
+struct CorpusProgram {
+  const char *Label;   ///< Test-output name.
+  const char *Source;  ///< Surface program text.
+  const char *Global;  ///< Top-level binding to evaluate.
+  bool InFragment;     ///< False: the machine must report Unsupported.
+};
+
+inline constexpr CorpusProgram Corpus[] = {
+    // Int# arithmetic.
+    {"IntLiteral", "v = 42#", "v", true},
+    {"Add", "v = 40# +# 2#", "v", true},
+    {"NestedArith", "v = (1# +# 2#) *# (3# +# 4#)", "v", true},
+    {"SubToNegative", "v = 5# -# 9#", "v", true},
+    {"MulChain", "v = 2# *# 3# *# 7#", "v", true},
+    {"Quot", "v = quotInt# 17# 5#", "v", true},
+    {"Rem", "v = remInt# 17# 5#", "v", true},
+    // Both division hazards must fail as runtime errors on both
+    // backends, never crash the process.
+    {"QuotByZeroAgrees", "v = quotInt# 1# 0#", "v", true},
+    {"QuotOverflowDoesNotCrash",
+     "v = quotInt# (0# -# 9223372036854775807# -# 1#) (0# -# 1#)", "v",
+     true},
+    {"Negate", "v = negateInt# 21#", "v", true},
+
+    // Int# comparisons (0/1 results).
+    {"LtTrue", "v = 3# <# 4#", "v", true},
+    {"LtFalse", "v = 4# <# 3#", "v", true},
+    {"LeEqual", "v = 4# <=# 4#", "v", true},
+    {"Gt", "v = 9# ># 2#", "v", true},
+    {"GeFalse", "v = 1# >=# 2#", "v", true},
+    {"EqHash", "v = 5# ==# 5#", "v", true},
+    {"NeFalse", "v = 5# /=# 5#", "v", true},
+
+    // Boxing, cases, lets, lambdas.
+    {"BoxedRoundTrip",
+     "inc :: Int -> Int ;"
+     "inc n = case n of { I# x -> I# (x +# 1#) } ;"
+     "v = inc (inc (I# 40#))",
+     "v", true},
+    {"SurfaceLet", "v = let y = 20# in y +# 22#", "v", true},
+    {"LambdaApply",
+     "apply :: (Int# -> Int#) -> Int# -> Int# ;"
+     "apply f x = f x ;"
+     "v = apply (\\y -> y *# 3#) 14#",
+     "v", true},
+    {"LitCaseFirstAlt",
+     "f :: Int# -> Int# ;"
+     "f x = case x of { 0# -> 100# ; 1# -> 200# ; _ -> x } ;"
+     "v = f 0#",
+     "v", true},
+    {"LitCaseSecondAlt",
+     "f :: Int# -> Int# ;"
+     "f x = case x of { 0# -> 100# ; 1# -> 200# ; _ -> x } ;"
+     "v = f 1#",
+     "v", true},
+    {"LitCaseDefaultAlt",
+     "f :: Int# -> Int# ;"
+     "f x = case x of { 0# -> 100# ; 1# -> 200# ; _ -> x } ;"
+     "v = f 9#",
+     "v", true},
+    {"BoxedLitCase",
+     "f :: Int -> Int ;"
+     "f n = case n of { 0 -> I# 7# ; _ -> n } ;"
+     "v = f (I# 0#)",
+     "v", true},
+
+    // Loops and recursion (the fix/RECLET path).
+    {"SumToUnboxed",
+     "sumToH :: Int# -> Int# -> Int# ;"
+     "sumToH acc n = case n of {"
+     "  0# -> acc ; _ -> sumToH (acc +# n) (n -# 1#)"
+     "} ;"
+     "v = sumToH 0# 100#",
+     "v", true},
+    {"SumToUnboxedZeroIters",
+     "sumToH :: Int# -> Int# -> Int# ;"
+     "sumToH acc n = case n of {"
+     "  0# -> acc ; _ -> sumToH (acc +# n) (n -# 1#)"
+     "} ;"
+     "v = sumToH 0# 0#",
+     "v", true},
+    {"FibViaComparisonCase",
+     "fib :: Int# -> Int# ;"
+     "fib n = case (n <# 2#) of { 1# -> n ; _ ->"
+     "  fib (n -# 1#) +# fib (n -# 2#) } ;"
+     "v = fib 12#",
+     "v", true},
+    {"MutualViaSelfParity",
+     "parity :: Int# -> Int# ;"
+     "parity n = case n of { 0# -> 0# ; _ ->"
+     "  case (parity (n -# 1#)) of { 0# -> 1# ; _ -> 0# } } ;"
+     "v = parity 7#",
+     "v", true},
+    {"BoxedSumToLoop",
+     "sumTo :: Int -> Int -> Int ;"
+     "sumTo acc n = case n of {"
+     "  0 -> acc ; _ -> sumTo (acc + n) (n - 1)"
+     "} ;"
+     "v = sumTo (I# 0#) (I# 50#)",
+     "v", true},
+
+    // Double#.
+    {"DoubleAdd", "v = 1.5## +## 2.25##", "v", true},
+    {"DoubleDiv", "v = 7.0## /## 2.0##", "v", true},
+    {"DoubleNegate", "v = negateDouble# 2.5##", "v", true},
+    // negateDouble# lowers to -0.0## -## x; plain 0.0## -## x would give
+    // +0.0 for x = 0.0 and flip this quotient's infinity sign.
+    {"DoubleNegateSignedZero",
+     "v = 1.0## /## (negateDouble# 0.0##)", "v", true},
+    {"DoubleLtTrue", "v = 2.5## <## 2.75##", "v", true},
+    {"DoubleEqFalse", "v = 2.5## ==## 2.75##", "v", true},
+    {"DoubleSumLoop",
+     "sumD :: Double# -> Double# -> Double# ;"
+     "sumD acc n = case (n ==## 0.0##) of {"
+     "  1# -> acc ; _ -> sumD (acc +## n) (n -## 1.0##)"
+     "} ;"
+     "v = sumD 0.0## 100.0##",
+     "v", true},
+    {"MixedDoubleComparisonToInt",
+     "v = case (3.0## <## 4.0##) of { 1# -> 10# ; _ -> 20# }", "v", true},
+
+    // Bottom: the diagnostic must match across backends.
+    {"ErrorBottom",
+     "v :: Int# ;"
+     "v = error \"differential bottom\"",
+     "v", true},
+
+    // Outside the widened fragment: Unsupported, never divergence.
+    {"UnsupportedBoolCase",
+     "v = if isTrue# (3# <# 4#) then 1# else 0#", "v", false},
+    {"UnsupportedUnboxedTuple", "v = (# 1#, 2# #)", "v", false},
+    {"UnsupportedConversion", "v = int2Double# 3#", "v", false},
+    {"UnsupportedMutualRecursion",
+     "ev :: Int# -> Int# ;"
+     "ev n = case n of { 0# -> 1# ; _ -> od (n -# 1#) } ;"
+     "od :: Int# -> Int# ;"
+     "od n = case n of { 0# -> 0# ; _ -> ev (n -# 1#) } ;"
+     "v = ev 10#",
+     "v", false},
+};
+
+inline constexpr size_t CorpusSize = sizeof(Corpus) / sizeof(Corpus[0]);
+
+} // namespace testing
+} // namespace levity
+
+#endif // LEVITY_TESTS_DIFFERENTIALCORPUS_H

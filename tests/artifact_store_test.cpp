@@ -1,0 +1,509 @@
+//===- artifact_store_test.cpp - The on-disk compilation store ------------===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+//
+// The persistent store's contract, exercised end to end:
+//
+//   * Round trip: every program in the shared differential corpus goes
+//     through serialize → deserialize → run and the hydrated RunResults
+//     are identical to the originals on both backends (including error
+//     messages on ⊥ and the pinned "not expressible in L" diagnostics).
+//   * Cold-process warm-store: a fresh Session over a populated store
+//     compiles the whole corpus with *zero* front-end runs — disk hits
+//     equal the corpus size in Session::Stats.
+//   * Robustness: corrupt, truncated, wrong-version, wrong-fingerprint,
+//     and wrong-source entries are all treated as misses and fall back
+//     to a clean recompile. Never a crash, never a wrong answer.
+//   * Policy: write-behind completes at flushStoreWrites();
+//     MaxStoredArtifacts evicts oldest entries and counts them.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/ArtifactStore.h"
+#include "driver/Serialize.h"
+#include "driver/Session.h"
+#include "support/FileOps.h"
+#include "DifferentialCorpus.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+using namespace levity;
+using namespace levity::driver;
+using levity::testing::Corpus;
+using levity::testing::CorpusProgram;
+using levity::testing::CorpusSize;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A fresh per-test store directory under the system temp dir.
+std::string freshStoreDir(const std::string &Tag) {
+  fs::path Dir = fs::temp_directory_path() /
+                 ("levity-store-test-" + Tag + "-" +
+                  std::to_string(::getpid()));
+  fs::remove_all(Dir);
+  return Dir.string();
+}
+
+CompileOptions storeOptions(const std::string &Dir) {
+  CompileOptions Opts;
+  Opts.StorePath = Dir;
+  return Opts;
+}
+
+/// Asserts two RunResults are observably identical (status, values,
+/// display, and failure text).
+void expectSameRunResult(const RunResult &A, const RunResult &B,
+                         const char *What) {
+  SCOPED_TRACE(What);
+  ASSERT_EQ(A.St, B.St) << "A: '" << A.Error << "' B: '" << B.Error << "'";
+  EXPECT_EQ(A.IntValue.has_value(), B.IntValue.has_value());
+  EXPECT_EQ(A.DoubleValue.has_value(), B.DoubleValue.has_value());
+  if (A.IntValue && B.IntValue)
+    EXPECT_EQ(*A.IntValue, *B.IntValue);
+  if (A.DoubleValue && B.DoubleValue)
+    EXPECT_DOUBLE_EQ(*A.DoubleValue, *B.DoubleValue);
+  EXPECT_EQ(A.Display, B.Display);
+  EXPECT_EQ(A.Error, B.Error);
+}
+
+//===----------------------------------------------------------------------===//
+// Round trip: the whole corpus, both backends
+//===----------------------------------------------------------------------===//
+
+class ArtifactRoundTripTest
+    : public ::testing::TestWithParam<CorpusProgram> {};
+
+TEST_P(ArtifactRoundTripTest, SerializeDeserializeRunIdentical) {
+  const CorpusProgram &P = GetParam();
+  SCOPED_TRACE(P.Label);
+  std::string Dir = freshStoreDir(std::string("rt") + P.Label);
+
+  Session Warm(storeOptions(Dir));
+  auto Orig = Warm.compile(P.Source);
+  ASSERT_TRUE(Orig->ok()) << Orig->diagText();
+  RunResult OrigMach = Orig->run(P.Global, Backend::AbstractMachine);
+  RunResult OrigTree = Orig->run(P.Global, Backend::TreeInterp);
+  Warm.flushStoreWrites();
+
+  Session Cold(storeOptions(Dir));
+  auto Hyd = Cold.compile(P.Source);
+  ASSERT_TRUE(Hyd->ok());
+  ASSERT_TRUE(Hyd->hydrated()) << "expected a disk hit";
+  Session::Stats St = Cold.stats();
+  EXPECT_EQ(St.DiskHits, 1u);
+  EXPECT_EQ(St.Compilations, 0u);
+
+  // The machine result must replay identically with zero re-lowering.
+  RunResult HydMach = Hyd->run(P.Global, Backend::AbstractMachine);
+  expectSameRunResult(OrigMach, HydMach, "abstract machine");
+  if (!P.InFragment) {
+    EXPECT_EQ(HydMach.St, RunResult::Status::Unsupported);
+    EXPECT_EQ(HydMach.Error.rfind("not expressible in L", 0), 0u)
+        << HydMach.Error;
+  }
+
+  // Tree runs rebuild the front end lazily and must agree too.
+  RunResult HydTree = Hyd->run(P.Global, Backend::TreeInterp);
+  expectSameRunResult(OrigTree, HydTree, "tree interpreter");
+
+  fs::remove_all(Dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, ArtifactRoundTripTest, ::testing::ValuesIn(Corpus),
+    [](const ::testing::TestParamInfo<CorpusProgram> &Info) {
+      return std::string(Info.param.Label);
+    });
+
+//===----------------------------------------------------------------------===//
+// The acceptance shape: a cold process over a warm store
+//===----------------------------------------------------------------------===//
+
+TEST(ArtifactStoreTest, ColdSessionWarmStoreRunsCorpusWithZeroRelowerings) {
+  std::string Dir = freshStoreDir("cold-warm");
+
+  {
+    Session Warm(storeOptions(Dir));
+    for (const CorpusProgram &P : Corpus)
+      ASSERT_TRUE(Warm.compile(P.Source)->ok()) << P.Label;
+    Warm.flushStoreWrites();
+    Session::Stats St = Warm.stats();
+    EXPECT_EQ(St.Compilations, CorpusSize);
+    EXPECT_EQ(St.DiskMisses, CorpusSize);
+    EXPECT_EQ(St.DiskHits, 0u);
+  }
+
+  Session Cold(storeOptions(Dir));
+  for (const CorpusProgram &P : Corpus) {
+    auto Comp = Cold.compile(P.Source);
+    ASSERT_TRUE(Comp->ok()) << P.Label;
+    ASSERT_TRUE(Comp->hydrated()) << P.Label;
+    RunResult R = Comp->run(P.Global, Backend::AbstractMachine);
+    if (P.InFragment)
+      EXPECT_NE(R.St, RunResult::Status::Unsupported)
+          << P.Label << ": " << R.Error;
+    else
+      EXPECT_EQ(R.St, RunResult::Status::Unsupported) << P.Label;
+  }
+  Session::Stats St = Cold.stats();
+  EXPECT_EQ(St.DiskHits, CorpusSize) << "every compile must be a disk hit";
+  EXPECT_EQ(St.DiskMisses, 0u);
+  EXPECT_EQ(St.Compilations, 0u) << "zero front-end runs in the cold session";
+
+  fs::remove_all(Dir);
+}
+
+//===----------------------------------------------------------------------===//
+// Robustness: damaged or stale entries are misses, never failures
+//===----------------------------------------------------------------------===//
+
+/// Populates a store with one program and returns its entry path.
+std::string populateOne(const std::string &Dir, const char *Source) {
+  Session S(storeOptions(Dir));
+  EXPECT_TRUE(S.compile(Source)->ok());
+  S.flushStoreWrites();
+  ArtifactStore Store(Dir);
+  std::string Path = Store.entryPath(Session::hashSource(Source));
+  EXPECT_TRUE(fs::exists(Path));
+  return Path;
+}
+
+const char *RobustSrc =
+    "sumToH :: Int# -> Int# -> Int# ;"
+    "sumToH acc n = case n of { 0# -> acc ; _ -> sumToH (acc +# n) (n -# 1#) } ;"
+    "v = sumToH 0# 100#";
+
+void expectFallbackRecompile(const std::string &Dir) {
+  Session S(storeOptions(Dir));
+  auto Comp = S.compile(RobustSrc);
+  ASSERT_TRUE(Comp->ok());
+  EXPECT_FALSE(Comp->hydrated());
+  Session::Stats St = S.stats();
+  EXPECT_EQ(St.DiskHits, 0u);
+  EXPECT_EQ(St.DiskMisses, 1u);
+  EXPECT_EQ(St.Compilations, 1u);
+  RunResult R = Comp->run("v", Backend::AbstractMachine);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.IntValue.value_or(-1), 5050);
+}
+
+TEST(ArtifactStoreTest, CorruptEntryFallsBackToRecompile) {
+  std::string Dir = freshStoreDir("corrupt");
+  std::string Path = populateOne(Dir, RobustSrc);
+
+  // Flip one byte in the middle: the checksum must reject the file.
+  std::string Bytes = *support::readFileBinary(Path);
+  Bytes[Bytes.size() / 2] = static_cast<char>(Bytes[Bytes.size() / 2] ^ 0x5a);
+  ASSERT_TRUE(support::writeFileAtomic(Path, Bytes));
+
+  expectFallbackRecompile(Dir);
+  fs::remove_all(Dir);
+}
+
+TEST(ArtifactStoreTest, TruncatedEntryFallsBackToRecompile) {
+  std::string Dir = freshStoreDir("truncated");
+  std::string Path = populateOne(Dir, RobustSrc);
+
+  std::string Bytes = *support::readFileBinary(Path);
+  ASSERT_TRUE(support::writeFileAtomic(Path, {Bytes.data(), Bytes.size() / 3}));
+
+  expectFallbackRecompile(Dir);
+  fs::remove_all(Dir);
+}
+
+TEST(ArtifactStoreTest, EmptyEntryFallsBackToRecompile) {
+  std::string Dir = freshStoreDir("empty");
+  std::string Path = populateOne(Dir, RobustSrc);
+  ASSERT_TRUE(support::writeFileAtomic(Path, ""));
+  expectFallbackRecompile(Dir);
+  fs::remove_all(Dir);
+}
+
+/// Patches a little-endian field at \p Offset and re-seals the trailer
+/// checksum, isolating the version checks from the corruption check.
+std::string patchAndReseal(std::string Bytes, size_t Offset, uint64_t Value,
+                           size_t Width) {
+  for (size_t I = 0; I != Width; ++I)
+    Bytes[Offset + I] = static_cast<char>((Value >> (8 * I)) & 0xff);
+  uint64_t Sum =
+      levc::fnv1a({Bytes.data(), Bytes.size() - 8});
+  for (size_t I = 0; I != 8; ++I)
+    Bytes[Bytes.size() - 8 + I] = static_cast<char>((Sum >> (8 * I)) & 0xff);
+  return Bytes;
+}
+
+TEST(ArtifactStoreTest, WrongFormatVersionFallsBackToRecompile) {
+  std::string Dir = freshStoreDir("version");
+  std::string Path = populateOne(Dir, RobustSrc);
+
+  std::string Bytes = *support::readFileBinary(Path);
+  // Format version lives right after the 4-byte magic.
+  ASSERT_TRUE(support::writeFileAtomic(
+      Path, patchAndReseal(Bytes, 4, levc::FormatVersion + 7, 4)));
+
+  expectFallbackRecompile(Dir);
+  fs::remove_all(Dir);
+}
+
+TEST(ArtifactStoreTest, WrongPipelineFingerprintFallsBackToRecompile) {
+  std::string Dir = freshStoreDir("fingerprint");
+  std::string Path = populateOne(Dir, RobustSrc);
+
+  std::string Bytes = *support::readFileBinary(Path);
+  // The fingerprint follows magic + version — a stale-pipeline artifact.
+  ASSERT_TRUE(support::writeFileAtomic(
+      Path, patchAndReseal(Bytes, 8, 0xdeadbeefcafef00dull, 8)));
+
+  expectFallbackRecompile(Dir);
+  fs::remove_all(Dir);
+}
+
+TEST(ArtifactStoreTest, WrongSourceEntryFallsBackToRecompile) {
+  // A valid artifact parked under the *wrong* key (hash collision
+  // stand-in): the byte-exact source compare must reject it.
+  std::string Dir = freshStoreDir("wrong-source");
+  std::string Path = populateOne(Dir, "other = 1# +# 2#");
+
+  ArtifactStore Store(Dir);
+  std::string Bytes = *support::readFileBinary(Path);
+  ASSERT_TRUE(Store.store(Session::hashSource(RobustSrc), Bytes));
+
+  expectFallbackRecompile(Dir);
+  fs::remove_all(Dir);
+}
+
+//===----------------------------------------------------------------------===//
+// Policy: write-behind, flushing, eviction, stats
+//===----------------------------------------------------------------------===//
+
+TEST(ArtifactStoreTest, FlushPublishesWriteBehindEntries) {
+  std::string Dir = freshStoreDir("flush");
+  Session S(storeOptions(Dir));
+  ASSERT_TRUE(S.compile(RobustSrc)->ok());
+  S.flushStoreWrites();
+  ArtifactStore Store(Dir);
+  EXPECT_TRUE(fs::exists(Store.entryPath(Session::hashSource(RobustSrc))));
+  EXPECT_EQ(Store.countEntries(), 1u);
+  fs::remove_all(Dir);
+}
+
+TEST(ArtifactStoreTest, SessionDestructorDrainsPendingWrites) {
+  std::string Dir = freshStoreDir("drain");
+  { // No flush: the destructor must complete the scheduled writes.
+    Session S(storeOptions(Dir));
+    ASSERT_TRUE(S.compile(RobustSrc)->ok());
+  }
+  EXPECT_EQ(ArtifactStore(Dir).countEntries(), 1u);
+  fs::remove_all(Dir);
+}
+
+TEST(ArtifactStoreTest, MaxStoredArtifactsEvictsOldestAndCounts) {
+  std::string Dir = freshStoreDir("evict");
+  CompileOptions Opts = storeOptions(Dir);
+  Opts.MaxStoredArtifacts = 2;
+  Session S(Opts);
+  for (int I = 0; I != 5; ++I) {
+    ASSERT_TRUE(
+        S.compile("answer = " + std::to_string(I) + "# +# 1#")->ok());
+    // Serialize the writes so "oldest" is well-defined per store pass.
+    S.flushStoreWrites();
+  }
+  EXPECT_LE(ArtifactStore(Dir).countEntries(), 2u);
+  Session::Stats St = S.stats();
+  EXPECT_GE(St.DiskEvictions, 3u);
+  fs::remove_all(Dir);
+}
+
+TEST(ArtifactStoreTest, MissingStoreDirectoryIsJustAMiss) {
+  std::string Dir = freshStoreDir("missing");
+  // Never created: load must miss, the write-behind then creates it.
+  Session S(storeOptions(Dir + "/nested/deeper"));
+  auto Comp = S.compile(RobustSrc);
+  ASSERT_TRUE(Comp->ok());
+  S.flushStoreWrites();
+  Session::Stats St = S.stats();
+  EXPECT_EQ(St.DiskMisses, 1u);
+  EXPECT_EQ(ArtifactStore(Dir + "/nested/deeper").countEntries(), 1u);
+  fs::remove_all(Dir);
+}
+
+TEST(ArtifactStoreTest, ConcurrentWarmersShareOneStoreSafely) {
+  // 8 threads × disjoint sources through one Session, then a cold
+  // session must hit on every one of them. (TSan-covered in CI.)
+  std::string Dir = freshStoreDir("concurrent");
+  constexpr int PerThread = 4, NumThreads = 8;
+  {
+    Session Warm(storeOptions(Dir));
+    std::vector<std::thread> Threads;
+    for (int T = 0; T != NumThreads; ++T)
+      Threads.emplace_back([&Warm, T] {
+        for (int I = 0; I != PerThread; ++I) {
+          std::string Src = "answer = " + std::to_string(T * PerThread + I) +
+                            "# *# 3#";
+          auto Comp = Warm.compile(Src);
+          ASSERT_TRUE(Comp->ok());
+          Comp->run("answer", Backend::AbstractMachine);
+        }
+      });
+    for (std::thread &T : Threads)
+      T.join();
+    Warm.flushStoreWrites();
+  }
+
+  Session Cold(storeOptions(Dir));
+  for (int I = 0; I != NumThreads * PerThread; ++I) {
+    std::string Src = "answer = " + std::to_string(I) + "# *# 3#";
+    auto Comp = Cold.compile(Src);
+    ASSERT_TRUE(Comp->ok());
+    EXPECT_TRUE(Comp->hydrated()) << Src;
+    RunResult R = Comp->run("answer", Backend::AbstractMachine);
+    EXPECT_EQ(R.IntValue.value_or(-1), I * 3);
+  }
+  Session::Stats St = Cold.stats();
+  EXPECT_EQ(St.DiskHits, uint64_t(NumThreads * PerThread));
+  EXPECT_EQ(St.Compilations, 0u);
+  fs::remove_all(Dir);
+}
+
+//===----------------------------------------------------------------------===//
+// Hydrated-compilation surface
+//===----------------------------------------------------------------------===//
+
+TEST(ArtifactStoreTest, HydratedMetadataSurvivesWithoutFrontEnd) {
+  std::string Dir = freshStoreDir("metadata");
+  populateOne(Dir, RobustSrc);
+
+  Session S(storeOptions(Dir));
+  auto Comp = S.compile(RobustSrc);
+  ASSERT_TRUE(Comp->hydrated());
+
+  // Stored type texts are available with zero front-end work.
+  EXPECT_EQ(Comp->globalTypeText("v"), "Int#");
+  EXPECT_EQ(Comp->globalTypeText("sumToH"), "Int# -> Int# -> Int#");
+  EXPECT_EQ(Comp->globalTypeText("nonexistent"), "");
+
+  // The timing report restores the original stages plus "hydrate".
+  std::string Report = Comp->timingReport();
+  EXPECT_NE(Report.find("elaborate+check"), std::string::npos) << Report;
+  EXPECT_NE(Report.find("hydrate"), std::string::npos) << Report;
+
+  // Unknown globals fail with a store-specific diagnostic, not a crash.
+  RunResult R = Comp->run("nonexistent", Backend::AbstractMachine);
+  EXPECT_EQ(R.St, RunResult::Status::Unsupported);
+  EXPECT_NE(R.Error.find("on-disk artifact"), std::string::npos) << R.Error;
+  fs::remove_all(Dir);
+}
+
+TEST(ArtifactStoreTest, SerializeRejectsFormalAndProgrammaticCompilations) {
+  Session S;
+  auto Formal = S.compileFormal(
+      [](lcalc::LContext &L) { return L.intLit(7); });
+  ASSERT_TRUE(Formal->ok());
+  EXPECT_FALSE(Formal->serializeArtifact().ok());
+
+  auto Prog = S.compileProgram([](core::CoreContext &C) {
+    core::CoreProgram P;
+    P.Bindings.push_back({C.sym("x"), C.intHashTy(), C.litInt(1)});
+    return P;
+  });
+  EXPECT_FALSE(Prog->serializeArtifact().ok());
+}
+
+//===----------------------------------------------------------------------===//
+// The byte-level term codec
+//===----------------------------------------------------------------------===//
+
+TEST(ArtifactSerializeTest, TermCodecRoundTripsEveryNodeKind) {
+  mcalc::MContext Src, Dst;
+  mcalc::MVar P = Src.freshPtr(), I = Src.freshInt(), F = Src.freshDbl();
+
+  // One term touching every TermKind and both atom payloads.
+  const mcalc::Term *T = Src.let(
+      P,
+      Src.letRec(Src.freshPtr(),
+                 Src.lam(I, Src.if0(Src.var(I),
+                                    Src.prim(mcalc::MPrim::Add,
+                                             mcalc::MAtom::var(I),
+                                             mcalc::MAtom::lit(3)),
+                                    Src.error(Src.symbols().intern("boom")))),
+                 Src.appLit(Src.appDbl(Src.appVar(Src.var(P), P), 2.5), 7)),
+      Src.letBang(
+          I,
+          Src.caseOf(Src.conLit(4), I,
+                     Src.prim(mcalc::MPrim::DMul, mcalc::MAtom::var(F),
+                              mcalc::MAtom::dlit(1.5))),
+          Src.conVar(I)));
+
+  levc::ByteWriter W;
+  levc::writeTerm(W, T);
+  levc::ByteReader R(W.bytes());
+  const mcalc::Term *Back = levc::readTerm(R, Dst);
+  ASSERT_NE(Back, nullptr);
+  EXPECT_TRUE(R.ok());
+  EXPECT_TRUE(R.atEnd());
+  EXPECT_EQ(T->str(), Back->str());
+}
+
+TEST(ArtifactSerializeTest, TermCodecRejectsMalformedInput) {
+  mcalc::MContext Ctx;
+
+  { // Unknown tag byte.
+    levc::ByteReader R("\xff");
+    EXPECT_EQ(levc::readTerm(R, Ctx), nullptr);
+    EXPECT_FALSE(R.ok());
+  }
+  { // Truncated: a Lam with no body.
+    levc::ByteWriter W;
+    W.u8(static_cast<uint8_t>(mcalc::Term::TermKind::Lam));
+    W.str("p0");
+    W.u8(static_cast<uint8_t>(mcalc::VarSort::Ptr));
+    levc::ByteReader R(W.bytes());
+    EXPECT_EQ(levc::readTerm(R, Ctx), nullptr);
+  }
+  { // Invalid sort byte.
+    levc::ByteWriter W;
+    W.u8(static_cast<uint8_t>(mcalc::Term::TermKind::Var));
+    W.str("x");
+    W.u8(9);
+    levc::ByteReader R(W.bytes());
+    EXPECT_EQ(levc::readTerm(R, Ctx), nullptr);
+  }
+  { // A lazy let binding a non-pointer must be rejected (machine LET
+    // rule precondition).
+    levc::ByteWriter W;
+    W.u8(static_cast<uint8_t>(mcalc::Term::TermKind::Let));
+    W.str("i0");
+    W.u8(static_cast<uint8_t>(mcalc::VarSort::Int));
+    levc::ByteReader R(W.bytes());
+    EXPECT_EQ(levc::readTerm(R, Ctx), nullptr);
+  }
+  { // Over-deep nesting must fail instead of overflowing the C++ stack:
+    // a long chain of Case headers, each expecting a scrutinee.
+    levc::ByteWriter W;
+    for (unsigned I = 0; I != levc::MaxTermDepth + 8; ++I)
+      W.u8(static_cast<uint8_t>(mcalc::Term::TermKind::Case));
+    levc::ByteReader R(W.bytes());
+    EXPECT_EQ(levc::readTerm(R, Ctx), nullptr);
+  }
+}
+
+TEST(ArtifactSerializeTest, FingerprintIsStableWithinABuild) {
+  EXPECT_EQ(levc::pipelineFingerprint(), levc::pipelineFingerprint());
+  EXPECT_NE(levc::pipelineFingerprint(), 0u);
+}
+
+} // namespace

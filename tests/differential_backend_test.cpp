@@ -19,6 +19,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "driver/Session.h"
+#include "DifferentialCorpus.h"
 
 #include <gtest/gtest.h>
 
@@ -27,148 +28,8 @@ using namespace levity::driver;
 
 namespace {
 
-struct CorpusProgram {
-  const char *Label;   ///< Test-output name.
-  const char *Source;  ///< Surface program text.
-  const char *Global;  ///< Top-level binding to evaluate.
-  bool InFragment;     ///< False: the machine must report Unsupported.
-};
-
-// The corpus: arithmetic, comparisons, cases, lets, lambdas, loops,
-// Double#, bottoms, and known out-of-fragment shapes.
-const CorpusProgram Corpus[] = {
-    // Int# arithmetic.
-    {"IntLiteral", "v = 42#", "v", true},
-    {"Add", "v = 40# +# 2#", "v", true},
-    {"NestedArith", "v = (1# +# 2#) *# (3# +# 4#)", "v", true},
-    {"SubToNegative", "v = 5# -# 9#", "v", true},
-    {"MulChain", "v = 2# *# 3# *# 7#", "v", true},
-    {"Quot", "v = quotInt# 17# 5#", "v", true},
-    {"Rem", "v = remInt# 17# 5#", "v", true},
-    // Both division hazards must fail as runtime errors on both
-    // backends, never crash the process.
-    {"QuotByZeroAgrees", "v = quotInt# 1# 0#", "v", true},
-    {"QuotOverflowDoesNotCrash",
-     "v = quotInt# (0# -# 9223372036854775807# -# 1#) (0# -# 1#)", "v",
-     true},
-    {"Negate", "v = negateInt# 21#", "v", true},
-
-    // Int# comparisons (0/1 results).
-    {"LtTrue", "v = 3# <# 4#", "v", true},
-    {"LtFalse", "v = 4# <# 3#", "v", true},
-    {"LeEqual", "v = 4# <=# 4#", "v", true},
-    {"Gt", "v = 9# ># 2#", "v", true},
-    {"GeFalse", "v = 1# >=# 2#", "v", true},
-    {"EqHash", "v = 5# ==# 5#", "v", true},
-    {"NeFalse", "v = 5# /=# 5#", "v", true},
-
-    // Boxing, cases, lets, lambdas.
-    {"BoxedRoundTrip",
-     "inc :: Int -> Int ;"
-     "inc n = case n of { I# x -> I# (x +# 1#) } ;"
-     "v = inc (inc (I# 40#))",
-     "v", true},
-    {"SurfaceLet", "v = let y = 20# in y +# 22#", "v", true},
-    {"LambdaApply",
-     "apply :: (Int# -> Int#) -> Int# -> Int# ;"
-     "apply f x = f x ;"
-     "v = apply (\\y -> y *# 3#) 14#",
-     "v", true},
-    {"LitCaseFirstAlt",
-     "f :: Int# -> Int# ;"
-     "f x = case x of { 0# -> 100# ; 1# -> 200# ; _ -> x } ;"
-     "v = f 0#",
-     "v", true},
-    {"LitCaseSecondAlt",
-     "f :: Int# -> Int# ;"
-     "f x = case x of { 0# -> 100# ; 1# -> 200# ; _ -> x } ;"
-     "v = f 1#",
-     "v", true},
-    {"LitCaseDefaultAlt",
-     "f :: Int# -> Int# ;"
-     "f x = case x of { 0# -> 100# ; 1# -> 200# ; _ -> x } ;"
-     "v = f 9#",
-     "v", true},
-    {"BoxedLitCase",
-     "f :: Int -> Int ;"
-     "f n = case n of { 0 -> I# 7# ; _ -> n } ;"
-     "v = f (I# 0#)",
-     "v", true},
-
-    // Loops and recursion (the fix/RECLET path).
-    {"SumToUnboxed",
-     "sumToH :: Int# -> Int# -> Int# ;"
-     "sumToH acc n = case n of {"
-     "  0# -> acc ; _ -> sumToH (acc +# n) (n -# 1#)"
-     "} ;"
-     "v = sumToH 0# 100#",
-     "v", true},
-    {"SumToUnboxedZeroIters",
-     "sumToH :: Int# -> Int# -> Int# ;"
-     "sumToH acc n = case n of {"
-     "  0# -> acc ; _ -> sumToH (acc +# n) (n -# 1#)"
-     "} ;"
-     "v = sumToH 0# 0#",
-     "v", true},
-    {"FibViaComparisonCase",
-     "fib :: Int# -> Int# ;"
-     "fib n = case (n <# 2#) of { 1# -> n ; _ ->"
-     "  fib (n -# 1#) +# fib (n -# 2#) } ;"
-     "v = fib 12#",
-     "v", true},
-    {"MutualViaSelfParity",
-     "parity :: Int# -> Int# ;"
-     "parity n = case n of { 0# -> 0# ; _ ->"
-     "  case (parity (n -# 1#)) of { 0# -> 1# ; _ -> 0# } } ;"
-     "v = parity 7#",
-     "v", true},
-    {"BoxedSumToLoop",
-     "sumTo :: Int -> Int -> Int ;"
-     "sumTo acc n = case n of {"
-     "  0 -> acc ; _ -> sumTo (acc + n) (n - 1)"
-     "} ;"
-     "v = sumTo (I# 0#) (I# 50#)",
-     "v", true},
-
-    // Double#.
-    {"DoubleAdd", "v = 1.5## +## 2.25##", "v", true},
-    {"DoubleDiv", "v = 7.0## /## 2.0##", "v", true},
-    {"DoubleNegate", "v = negateDouble# 2.5##", "v", true},
-    // negateDouble# lowers to -0.0## -## x; plain 0.0## -## x would give
-    // +0.0 for x = 0.0 and flip this quotient's infinity sign.
-    {"DoubleNegateSignedZero",
-     "v = 1.0## /## (negateDouble# 0.0##)", "v", true},
-    {"DoubleLtTrue", "v = 2.5## <## 2.75##", "v", true},
-    {"DoubleEqFalse", "v = 2.5## ==## 2.75##", "v", true},
-    {"DoubleSumLoop",
-     "sumD :: Double# -> Double# -> Double# ;"
-     "sumD acc n = case (n ==## 0.0##) of {"
-     "  1# -> acc ; _ -> sumD (acc +## n) (n -## 1.0##)"
-     "} ;"
-     "v = sumD 0.0## 100.0##",
-     "v", true},
-    {"MixedDoubleComparisonToInt",
-     "v = case (3.0## <## 4.0##) of { 1# -> 10# ; _ -> 20# }", "v", true},
-
-    // Bottom: the diagnostic must match across backends.
-    {"ErrorBottom",
-     "v :: Int# ;"
-     "v = error \"differential bottom\"",
-     "v", true},
-
-    // Outside the widened fragment: Unsupported, never divergence.
-    {"UnsupportedBoolCase",
-     "v = if isTrue# (3# <# 4#) then 1# else 0#", "v", false},
-    {"UnsupportedUnboxedTuple", "v = (# 1#, 2# #)", "v", false},
-    {"UnsupportedConversion", "v = int2Double# 3#", "v", false},
-    {"UnsupportedMutualRecursion",
-     "ev :: Int# -> Int# ;"
-     "ev n = case n of { 0# -> 1# ; _ -> od (n -# 1#) } ;"
-     "od :: Int# -> Int# ;"
-     "od n = case n of { 0# -> 0# ; _ -> ev (n -# 1#) } ;"
-     "v = ev 10#",
-     "v", false},
-};
+using levity::testing::CorpusProgram;
+using levity::testing::Corpus;
 
 /// Runs one corpus program on both backends and asserts agreement.
 void runDifferential(const CorpusProgram &P) {

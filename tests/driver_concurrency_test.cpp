@@ -80,9 +80,9 @@ TEST(DriverConcurrencyTest, SameSourceCompilesOnceAcrossThreads) {
   // Every thread saw the same artifact, and the front end ran once.
   for (int T = 1; T != NumThreads; ++T)
     EXPECT_EQ(First[0].get(), First[T].get());
-  EXPECT_EQ(S.stats().Compilations, 1u);
-  EXPECT_EQ(S.stats().CacheHits,
-            uint64_t(NumThreads) * Iters - 1);
+  Session::Stats St = S.stats(); // one snapshot, fields read together
+  EXPECT_EQ(St.Compilations, 1u);
+  EXPECT_EQ(St.CacheHits, uint64_t(NumThreads) * Iters - 1);
 }
 
 //===----------------------------------------------------------------------===//
@@ -121,9 +121,9 @@ TEST(DriverConcurrencyTest, DistinctSourcesMatchSerialResults) {
   spawnAll(Threads);
 
   // Each source front-ended exactly once despite 8× traffic.
-  EXPECT_EQ(S.stats().Compilations, uint64_t(NumSources));
-  EXPECT_EQ(S.stats().CacheHits,
-            uint64_t(NumSources) * (NumThreads - 1));
+  Session::Stats St = S.stats(); // one snapshot, fields read together
+  EXPECT_EQ(St.Compilations, uint64_t(NumSources));
+  EXPECT_EQ(St.CacheHits, uint64_t(NumSources) * (NumThreads - 1));
 }
 
 //===----------------------------------------------------------------------===//
