@@ -161,6 +161,65 @@ void BM_MachineBoxed(benchmark::State &State) {
 }
 
 //===--------------------------------------------------------------------===//
+// Algebraic data on the machine (PR 5): build an N-element cons list,
+// then fold it — constructor allocation (CON heap nodes) plus tag
+// dispatch (SWITCH/SWITCHk) on both backends.
+//===--------------------------------------------------------------------===//
+
+std::shared_ptr<driver::Compilation> sumListComp(int64_t N) {
+  static driver::Session S;
+  char Src[768];
+  std::snprintf(Src, sizeof(Src),
+                "data IntList = Nil | Cons Int IntList ;"
+                "build :: Int# -> IntList ;"
+                "build n = case n of {"
+                "  0# -> Nil ; _ -> Cons (I# n) (build (n -# 1#))"
+                "} ;"
+                "sumList :: Int# -> IntList -> Int# ;"
+                "sumList acc xs = case xs of {"
+                "  Nil -> acc ;"
+                "  Cons y ys -> case y of { I# m -> sumList (acc +# m) ys }"
+                "} ;"
+                "loop = sumList 0# (build %lld#)",
+                (long long)N);
+  return S.compile(Src);
+}
+
+void BM_MachineSumList(benchmark::State &State) {
+  int64_t N = State.range(0);
+  auto Comp = sumListComp(N);
+  uint64_t ConAllocs = 0, Switches = 0;
+  for (auto _ : State) {
+    driver::RunResult R =
+        Comp->run("loop", driver::Backend::AbstractMachine);
+    if (!R.ok()) {
+      State.SkipWithError(R.Error.c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(R.IntValue);
+    ConAllocs = R.Machine.ConAllocs;
+    Switches = R.Machine.Switches;
+  }
+  State.SetItemsProcessed(State.iterations() * N);
+  State.counters["con-allocs/loop"] = double(ConAllocs);
+  State.counters["switches/iter"] = double(Switches) / double(N);
+}
+
+void BM_TreeSumList(benchmark::State &State) {
+  int64_t N = State.range(0);
+  auto Comp = sumListComp(N);
+  for (auto _ : State) {
+    driver::RunResult R = Comp->run("loop", driver::Backend::TreeInterp);
+    if (!R.ok()) {
+      State.SkipWithError(R.Error.c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(R.IntValue);
+  }
+  State.SetItemsProcessed(State.iterations() * N);
+}
+
+//===--------------------------------------------------------------------===//
 // Natively-lowered equivalents (what compiled code does).
 //===--------------------------------------------------------------------===//
 
@@ -210,6 +269,8 @@ BENCHMARK(BM_InterpUnboxed)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond
 BENCHMARK(BM_InterpUnboxedDouble)->Arg(10000)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_MachineUnboxed)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_MachineBoxed)->Arg(1000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MachineSumList)->Arg(200)->Arg(1000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TreeSumList)->Arg(1000)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_NativeUnboxed)->Arg(10000000)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_NativeBoxed)->Arg(10000000)->Unit(benchmark::kMillisecond);
 

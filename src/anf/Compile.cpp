@@ -229,37 +229,146 @@ Result<const Term *> Compiler::compile(TypeEnv &Env, const Expr *E) {
   }
 
   case Expr::ExprKind::Con: {
-    // C_CON: ⟦I#[e]⟧ = let! i = t in I#[i] — constructors are strict.
+    // C_CON: constructor arguments are atoms only. Unboxed (I/D) fields
+    // bind strictly (let!), pointer fields bind lazily (let) — the same
+    // kind-directed discipline as C_APP* — and literal arguments pass
+    // through as atoms directly. The built-in Int keeps its compact
+    // I#[y]/I#[n] M form:  ⟦I#[e]⟧ = let! i = t in I#[i].
     const auto *C = lcalc::cast<lcalc::ConExpr>(E);
-    Result<const Term *> Payload = compile(Env, C->payload());
-    if (!Payload)
-      return Payload;
-    MVar I = MC.freshInt();
-    return MC.letBang(I, *Payload, MC.conVar(I));
+    const lcalc::LDataDecl *D = C->decl();
+    if (D == LC.intDataDecl()) {
+      Result<const Term *> Payload = compile(Env, C->payload());
+      if (!Payload)
+        return Payload;
+      if (const auto *Lit = mcalc::dyn_cast<mcalc::LitTerm>(*Payload))
+        return MC.conLit(Lit->value());
+      MVar I = MC.freshInt();
+      return MC.letBang(I, *Payload, MC.conVar(I));
+    }
+
+    const lcalc::LDataCon &Con = D->con(C->tag());
+    struct Binding {
+      bool Strict;
+      MVar V;
+      const Term *Rhs;
+    };
+    std::vector<Binding> Binds;
+    std::vector<mcalc::MAtom> Atoms;
+    for (size_t I = 0; I != C->args().size(); ++I) {
+      Result<const Term *> Arg = compile(Env, C->args()[I]);
+      if (!Arg)
+        return Arg;
+      lcalc::ConcreteRep R = Con.FieldReps[I];
+      if (R == lcalc::ConcreteRep::I)
+        if (const auto *Lit = mcalc::dyn_cast<mcalc::LitTerm>(*Arg)) {
+          Atoms.push_back(mcalc::MAtom::lit(Lit->value()));
+          continue;
+        }
+      if (R == lcalc::ConcreteRep::D)
+        if (const auto *Lit = mcalc::dyn_cast<mcalc::DLitTerm>(*Arg)) {
+          Atoms.push_back(mcalc::MAtom::dlit(Lit->value()));
+          continue;
+        }
+      MVar Y = R == lcalc::ConcreteRep::P
+                   ? MC.freshPtr()
+                   : (R == lcalc::ConcreteRep::I ? MC.freshInt()
+                                                 : MC.freshDbl());
+      Binds.push_back({R != lcalc::ConcreteRep::P, Y, *Arg});
+      Atoms.push_back(mcalc::MAtom::anyVar(Y));
+    }
+    const Term *Body = MC.con(C->tag(), Atoms);
+    for (size_t I = Binds.size(); I-- > 0;)
+      Body = Binds[I].Strict ? MC.letBang(Binds[I].V, Binds[I].Rhs, Body)
+                             : MC.let(Binds[I].V, Binds[I].Rhs, Body);
+    return Body;
   }
 
   case Expr::ExprKind::Case: {
-    // C_CASE.
+    // C_CASE: every case — constructor, literal, or default-only —
+    // compiles to the one tag-dispatch switch. Each constructor
+    // alternative's binders become fresh M variables in the register
+    // class of the corresponding field; branch bodies compile in tail
+    // position (join-point style: no extra continuation closure).
     const auto *C = lcalc::cast<lcalc::CaseExpr>(E);
     Result<const Term *> Scrut = compile(Env, C->scrut());
     if (!Scrut)
       return Scrut;
-    MVar I = MC.freshInt();
-    auto Saved = VarMap.find(C->binder());
-    std::optional<MVar> Shadowed;
-    if (Saved != VarMap.end())
-      Shadowed = Saved->second;
-    VarMap[C->binder()] = I;
-    Env.pushTerm(C->binder(), LC.intHashTy());
-    Result<const Term *> Body = compile(Env, C->body());
-    Env.popTerm();
-    if (Shadowed)
-      VarMap[C->binder()] = *Shadowed;
-    else
-      VarMap.erase(C->binder());
-    if (!Body)
-      return Body;
-    return MC.caseOf(*Scrut, I, *Body);
+
+    const lcalc::LDataDecl *D = C->decl();
+    std::vector<mcalc::MAlt> Alts;
+    /// Keeps per-alternative binder arrays alive until switchOf copies
+    /// them into the arena.
+    std::vector<std::vector<MVar>> BinderStorage;
+    for (const lcalc::LAlt &A : C->alts()) {
+      mcalc::MAlt M;
+      switch (A.Pat) {
+      case lcalc::LAlt::PatKind::Con: {
+        M.Pat = mcalc::MAlt::PatKind::Con;
+        M.Tag = A.Tag;
+        assert(D && "constructor alternative without a data decl");
+        const lcalc::LDataCon &Con = D->con(A.Tag);
+        std::vector<MVar> Binders;
+        std::vector<std::optional<MVar>> Shadowed;
+        for (size_t I = 0; I != A.Binders.size(); ++I) {
+          lcalc::ConcreteRep R = Con.FieldReps[I];
+          MVar Y = R == lcalc::ConcreteRep::P
+                       ? MC.freshPtr()
+                       : (R == lcalc::ConcreteRep::I ? MC.freshInt()
+                                                     : MC.freshDbl());
+          Binders.push_back(Y);
+          auto Saved = VarMap.find(A.Binders[I]);
+          Shadowed.push_back(Saved != VarMap.end()
+                                 ? std::optional<MVar>(Saved->second)
+                                 : std::nullopt);
+          VarMap[A.Binders[I]] = Y;
+          Env.pushTerm(A.Binders[I], Con.Fields[I]);
+        }
+        Result<const Term *> Body = compile(Env, A.Rhs);
+        for (size_t I = A.Binders.size(); I-- > 0;) {
+          Env.popTerm();
+          if (Shadowed[I])
+            VarMap[A.Binders[I]] = *Shadowed[I];
+          else
+            VarMap.erase(A.Binders[I]);
+        }
+        if (!Body)
+          return Body;
+        M.Body = *Body;
+        BinderStorage.push_back(std::move(Binders));
+        M.Binders = std::span<const MVar>(BinderStorage.back().data(),
+                                          BinderStorage.back().size());
+        break;
+      }
+      case lcalc::LAlt::PatKind::Int: {
+        M.Pat = mcalc::MAlt::PatKind::Int;
+        M.IntVal = A.IntVal;
+        Result<const Term *> Body = compile(Env, A.Rhs);
+        if (!Body)
+          return Body;
+        M.Body = *Body;
+        break;
+      }
+      case lcalc::LAlt::PatKind::Dbl: {
+        M.Pat = mcalc::MAlt::PatKind::Dbl;
+        M.DblVal = A.DblVal;
+        Result<const Term *> Body = compile(Env, A.Rhs);
+        if (!Body)
+          return Body;
+        M.Body = *Body;
+        break;
+      }
+      }
+      Alts.push_back(M);
+    }
+
+    const Term *Def = nullptr;
+    if (C->defaultRhs()) {
+      Result<const Term *> DefT = compile(Env, C->defaultRhs());
+      if (!DefT)
+        return DefT;
+      Def = *DefT;
+    }
+    return MC.switchOf(*Scrut, Alts, Def);
   }
 
   case Expr::ExprKind::TyLam: {

@@ -135,6 +135,49 @@ JoinResult JoinOracle::joinableIn(const Type *Ty, const Term *T1,
                   " vs " + std::to_string(C2->value())};
     return {JoinVerdict::Joinable, ""};
   }
+  case Type::TypeKind::Data: {
+    // Same constructor tag, equal unboxed fields, and joinable pointer
+    // fields (forced from each side's own heap).
+    const auto *DT = lcalc::cast<lcalc::DataType>(Inst);
+    const auto *C1 = mcalc::dyn_cast<mcalc::ConTerm>(V1);
+    const auto *C2 = mcalc::dyn_cast<mcalc::ConTerm>(V2);
+    if (!C1 || !C2)
+      return {JoinVerdict::NotJoinable, "expected CON at data type"};
+    if (C1->tag() != C2->tag())
+      return {JoinVerdict::NotJoinable,
+              "constructor tags differ: " + std::to_string(C1->tag()) +
+                  " vs " + std::to_string(C2->tag())};
+    if (C1->tag() >= DT->decl()->numCons() ||
+        C1->args().size() != C2->args().size())
+      return {JoinVerdict::NotJoinable, "constructor arity mismatch"};
+    const lcalc::LDataCon &Con = DT->decl()->con(C1->tag());
+    if (C1->args().size() != Con.arity())
+      return {JoinVerdict::NotJoinable, "constructor arity mismatch"};
+    for (size_t I = 0; I != C1->args().size(); ++I) {
+      const mcalc::MAtom &A1 = C1->args()[I];
+      const mcalc::MAtom &A2 = C2->args()[I];
+      if (Con.FieldReps[I] != lcalc::ConcreteRep::P) {
+        if (!A1.IsLit || !A2.IsLit)
+          return {JoinVerdict::NotJoinable,
+                  "unresolved unboxed constructor field"};
+        bool Equal = A1.IsDbl ? A1.DblLit == A2.DblLit : A1.Lit == A2.Lit;
+        if (!Equal)
+          return {JoinVerdict::NotJoinable,
+                  "constructor fields differ at index " +
+                      std::to_string(I)};
+        continue;
+      }
+      if (Depth == 0)
+        return {JoinVerdict::Unknown, "probe depth exhausted"};
+      // Force each side's boxed field in its own final heap.
+      JoinResult Field =
+          joinableIn(Con.Fields[I], MC.var(A1.Var), R1.FinalHeap,
+                     MC.var(A2.Var), R2.FinalHeap, Depth - 1);
+      if (Field.Verdict != JoinVerdict::Joinable)
+        return Field;
+    }
+    return {JoinVerdict::Joinable, ""};
+  }
   case Type::TypeKind::Arrow: {
     if (Depth == 0)
       return {JoinVerdict::Unknown, "probe depth exhausted"};

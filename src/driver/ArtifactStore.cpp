@@ -54,24 +54,25 @@ bool ArtifactStore::remove(uint64_t Key) {
   return support::removeFile(entryPath(Key));
 }
 
-std::vector<std::pair<int64_t, std::string>>
-ArtifactStore::listEntries() const {
-  std::vector<std::pair<int64_t, std::string>> Entries;
+std::vector<ArtifactStore::EntryInfo> ArtifactStore::listEntries() const {
+  std::vector<EntryInfo> Entries;
   std::error_code EC;
   fs::recursive_directory_iterator It(Root, EC), End;
   for (; !EC && It != End; It.increment(EC)) {
     if (!It->is_regular_file(EC) || It->path().extension() != ".levc")
       continue;
     auto MTime = fs::last_write_time(It->path(), EC);
-    int64_t Ticks =
-        EC ? 0 : MTime.time_since_epoch().count();
-    Entries.emplace_back(Ticks, It->path().string());
+    int64_t Ticks = EC ? 0 : MTime.time_since_epoch().count();
+    uint64_t Size = It->file_size(EC);
+    if (EC)
+      Size = 0;
+    Entries.push_back({Ticks, Size, It->path().string()});
   }
   return Entries;
 }
 
 size_t ArtifactStore::countEntries() const {
-  // Count-only walk: no per-entry mtime stat (evictOver runs this after
+  // Count-only walk: no per-entry mtime stat (eviction runs this after
   // every write-behind store write, so keep the under-cap path cheap).
   size_t N = 0;
   std::error_code EC;
@@ -82,24 +83,74 @@ size_t ArtifactStore::countEntries() const {
   return N;
 }
 
+uint64_t ArtifactStore::totalBytes() const {
+  uint64_t Total = 0;
+  std::error_code EC;
+  fs::recursive_directory_iterator It(Root, EC), End;
+  for (; !EC && It != End; It.increment(EC)) {
+    if (!It->is_regular_file(EC) || It->path().extension() != ".levc")
+      continue;
+    uint64_t Size = It->file_size(EC);
+    if (!EC)
+      Total += Size;
+  }
+  return Total;
+}
+
 size_t ArtifactStore::evictOver(size_t MaxEntries) {
-  if (MaxEntries == 0)
+  return evictToBudget(MaxEntries, 0);
+}
+
+size_t ArtifactStore::evictToBudget(size_t MaxEntries, uint64_t MaxBytes) {
+  if (MaxEntries == 0 && MaxBytes == 0)
     return 0;
   // Lock-free pre-check: warm-up loops call this per write, and stores
-  // under the cap should pay one directory walk, not a stat+sort of
+  // under both caps should pay one directory walk, not a stat+sort of
   // every entry under the writer lock. Racing writers only delay
   // eviction by one write, never corrupt it.
-  if (countEntries() <= MaxEntries)
+  size_t PreCount = 0;
+  uint64_t PreBytes = 0;
+  {
+    std::error_code EC;
+    fs::recursive_directory_iterator It(Root, EC), End;
+    for (; !EC && It != End; It.increment(EC)) {
+      if (!It->is_regular_file(EC) || It->path().extension() != ".levc")
+        continue;
+      ++PreCount;
+      uint64_t Size = It->file_size(EC);
+      if (!EC)
+        PreBytes += Size;
+    }
+  }
+  bool OverEntries = MaxEntries != 0 && PreCount > MaxEntries;
+  bool OverBytes = MaxBytes != 0 && PreBytes > MaxBytes;
+  if (!OverEntries && !OverBytes)
     return 0;
   support::FileLock Lock(lockPath());
-  std::vector<std::pair<int64_t, std::string>> Entries = listEntries();
-  if (Entries.size() <= MaxEntries)
-    return 0;
+  std::vector<EntryInfo> Entries = listEntries();
   // Oldest modification time first; ties broken by path for determinism.
-  std::sort(Entries.begin(), Entries.end());
+  std::sort(Entries.begin(), Entries.end(),
+            [](const EntryInfo &A, const EntryInfo &B) {
+              return A.MTimeTicks != B.MTimeTicks
+                         ? A.MTimeTicks < B.MTimeTicks
+                         : A.Path < B.Path;
+            });
+  uint64_t Bytes = 0;
+  for (const EntryInfo &E : Entries)
+    Bytes += E.SizeBytes;
+  size_t Remaining = Entries.size();
   size_t Evicted = 0;
-  for (size_t I = 0, Excess = Entries.size() - MaxEntries; I != Excess; ++I)
-    if (support::removeFile(Entries[I].second))
+  for (const EntryInfo &E : Entries) {
+    bool TooMany = MaxEntries != 0 && Remaining > MaxEntries;
+    bool TooBig = MaxBytes != 0 && Bytes > MaxBytes;
+    if (!TooMany && !TooBig)
+      break;
+    if (support::removeFile(E.Path))
       ++Evicted;
+    // Count the entry against both budgets even if the unlink raced a
+    // concurrent remover — the file is gone either way.
+    --Remaining;
+    Bytes -= E.SizeBytes;
+  }
   return Evicted;
 }

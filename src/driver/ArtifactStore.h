@@ -85,16 +85,36 @@ public:
   /// Number of `.levc` entries currently in the store.
   size_t countEntries() const;
 
-  /// Enforces a bound: when more than \p MaxEntries artifacts exist,
-  /// removes the oldest-modified ones until the bound holds (under the
-  /// writer lock, so concurrent warmers do not double-evict).
-  /// \returns how many entries were removed. No-op when MaxEntries == 0.
+  /// Total size in bytes of every `.levc` entry currently in the store.
+  uint64_t totalBytes() const;
+
+  /// Enforces an entry-count bound: when more than \p MaxEntries
+  /// artifacts exist, removes the oldest-modified ones until the bound
+  /// holds (under the writer lock, so concurrent warmers do not
+  /// double-evict). \returns how many entries were removed. No-op when
+  /// MaxEntries == 0. Equivalent to evictToBudget(MaxEntries, 0).
   size_t evictOver(size_t MaxEntries);
 
+  /// Enforces both store budgets at once: removes oldest-modified
+  /// entries until at most \p MaxEntries remain (0 = unbounded) *and*
+  /// their total size is at most \p MaxBytes (0 = unbounded). The byte
+  /// budget is the primary production bound — artifact sizes vary, so a
+  /// count cap alone cannot bound disk usage. \returns the number of
+  /// entries removed.
+  size_t evictToBudget(size_t MaxEntries, uint64_t MaxBytes);
+
 private:
+  /// One store entry: modification time (eviction order), size (byte
+  /// budget), path.
+  struct EntryInfo {
+    int64_t MTimeTicks;
+    uint64_t SizeBytes;
+    std::string Path;
+  };
+
   std::string lockPath() const;
-  /// Every existing entry as (mtime, path), unsorted.
-  std::vector<std::pair<int64_t, std::string>> listEntries() const;
+  /// Every existing entry, unsorted.
+  std::vector<EntryInfo> listEntries() const;
 
   std::string Root;
 };

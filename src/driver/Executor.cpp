@@ -219,9 +219,12 @@ RunResult Executor::runFormal(Backend B) {
                    lcalc::dyn_cast<lcalc::DoubleLitExpr>(LR.Last))
         R.DoubleValue = DLit->value();
       else if (const auto *Con = lcalc::dyn_cast<lcalc::ConExpr>(LR.Last))
-        if (const auto *Payload =
-                lcalc::dyn_cast<lcalc::IntLitExpr>(Con->payload()))
-          R.IntValue = Payload->value();
+        // Only the unary Int box carries a scalar; other constructor
+        // values (nullary or n-ary) have no IntValue.
+        if (Con->args().size() == 1)
+          if (const auto *Payload =
+                  lcalc::dyn_cast<lcalc::IntLitExpr>(Con->args()[0]))
+            R.IntValue = Payload->value();
       break;
     case lcalc::StepStatus::Bottom:
       R.St = RunResult::Status::Bottom;

@@ -7,6 +7,8 @@
 
 #include "driver/LowerToL.h"
 
+#include <algorithm>
+
 using namespace levity;
 using namespace levity::driver;
 
@@ -62,8 +64,13 @@ Result<const lcalc::Type *> CoreToL::lowerType(const core::Type *T) {
       return L.intHashTy();
     if (TC == C.doubleHashTyCon())
       return L.doubleHashTy();
-    return err("not expressible in L: type constructor " +
-               std::string(TC->name().str()));
+    // Any other algebraic tycon (Bool, boxed Double, user data) lowers
+    // to a declared L data type; non-algebraic builtins (String, the
+    // remaining unboxed sorts) stay outside the fragment.
+    Result<const lcalc::LDataDecl *> D = dataDeclFor(TC, {});
+    if (!D)
+      return err(D.error());
+    return (*D)->type();
   }
   case core::Type::Tag::Fun: {
     const auto *F = core::cast<core::FunType>(T);
@@ -94,8 +101,18 @@ Result<const lcalc::Type *> CoreToL::lowerType(const core::Type *T) {
       return Body;
     return L.forAllTy(reintern(F->var()), *K, *Body);
   }
-  case core::Type::Tag::App:
-    return err("not expressible in L: type application " + T->str());
+  case core::Type::Tag::App: {
+    // A saturated data-type application (Maybe Int, List Int, …)
+    // lowers to the per-instantiation L data declaration.
+    std::vector<const core::Type *> Args;
+    const core::TyCon *TC = typeHead(T, Args);
+    if (!TC)
+      return err("not expressible in L: type application " + T->str());
+    Result<const lcalc::LDataDecl *> D = dataDeclFor(TC, Args);
+    if (!D)
+      return err(D.error());
+    return (*D)->type();
+  }
   case core::Type::Tag::Meta:
     return err("not expressible in L: unsolved type metavariable");
   case core::Type::Tag::UnboxedTuple:
@@ -104,6 +121,259 @@ Result<const lcalc::Type *> CoreToL::lowerType(const core::Type *T) {
     return err("not expressible in L: promoted representation " + T->str());
   }
   return err("unknown type");
+}
+
+//===----------------------------------------------------------------------===//
+// Data declarations
+//===----------------------------------------------------------------------===//
+
+const core::TyCon *CoreToL::typeHead(const core::Type *T,
+                                     std::vector<const core::Type *> &Args) {
+  T = C.zonkType(T);
+  while (const auto *App = core::dyn_cast<core::AppType>(T)) {
+    Args.insert(Args.begin(), App->arg());
+    T = C.zonkType(App->fn());
+  }
+  const auto *Con = core::dyn_cast<core::ConType>(T);
+  return Con ? Con->tycon() : nullptr;
+}
+
+Result<const core::Type *> CoreToL::scrutType(const core::Expr *E) {
+  Result<const core::Type *> T = Checker.typeOf(CoreScope, E);
+  if (!T)
+    return err("not expressible in L: cannot type case scrutinee (" +
+               T.error() + ")");
+  return C.zonkType(*T);
+}
+
+Result<const lcalc::LDataDecl *>
+CoreToL::dataDeclFor(const core::TyCon *TC,
+                     std::span<const core::Type *const> TyArgs) {
+  // Identity key: the tycon plus its zonked argument spine.
+  std::string Key =
+      std::to_string(reinterpret_cast<uintptr_t>(TC));
+  std::vector<const core::Type *> Zonked;
+  for (const core::Type *A : TyArgs) {
+    Zonked.push_back(C.zonkType(A));
+    Key += "|" + Zonked.back()->str();
+  }
+  if (auto It = DeclCache.find(Key); It != DeclCache.end())
+    return It->second;
+
+  if (TC == C.intTyCon())
+    return L.intDataDecl();
+  if (!TC->isAlgebraic())
+    return err("not expressible in L: type constructor " +
+               std::string(TC->name().str()));
+  for (const core::DataCon *DC : TC->dataCons())
+    if (DC->univs().size() != Zonked.size())
+      return err("not expressible in L: unsaturated data type " +
+                 std::string(TC->name().str()));
+
+  // Display name: the saturated type as written ("Maybe Int").
+  std::string Display(TC->name().str());
+  for (const core::Type *A : Zonked) {
+    std::string S = A->str();
+    Display += S.find(' ') == std::string::npos ? " " + S
+                                                : " (" + S + ")";
+  }
+
+  // A completed decl under this name (from an earlier lowering into the
+  // same LContext) is reused after a shape check; a mismatch means a
+  // distinct tycon shares the name, so uniquify and declare fresh.
+  std::string Name = Display;
+  for (unsigned Suffix = 2;; ++Suffix) {
+    const lcalc::LDataDecl *Existing = L.lookupData(L.sym(Name));
+    if (!Existing)
+      break;
+    bool Matches = Existing->numCons() == TC->dataCons().size();
+    for (size_t I = 0; Matches && I != TC->dataCons().size(); ++I)
+      Matches = Existing->con(I).Name.str() ==
+                    TC->dataCons()[I]->name().str() &&
+                Existing->con(I).arity() == TC->dataCons()[I]->arity();
+    if (Matches) {
+      DeclCache.emplace(Key, Existing);
+      return Existing;
+    }
+    Name = Display + "#" + std::to_string(Suffix);
+  }
+
+  lcalc::LDataDecl *Decl = L.declareData(L.sym(Name));
+  // Register before lowering fields so recursive data types (cons
+  // lists) resolve their self-references to the in-progress decl.
+  DeclCache.emplace(Key, Decl);
+  for (const core::DataCon *DC : TC->dataCons()) {
+    std::vector<const lcalc::Type *> Fields;
+    for (const core::Type *F : DC->fields()) {
+      const core::Type *Inst = F;
+      for (size_t U = 0; U != DC->univs().size(); ++U)
+        Inst = core::substType(C, Inst, DC->univs()[U], Zonked[U]);
+      Result<const lcalc::Type *> LF = lowerType(Inst);
+      if (!LF) {
+        DeclCache.erase(Key);
+        return err(LF.error());
+      }
+      Fields.push_back(*LF);
+    }
+    if (!L.addDataCon(Decl, L.sym(DC->name().str()), Fields)) {
+      DeclCache.erase(Key);
+      return err("not expressible in L: constructor " +
+                 std::string(DC->name().str()) +
+                 " has a field without a concrete representation");
+    }
+  }
+  return Decl;
+}
+
+//===----------------------------------------------------------------------===//
+// Case lowering — the one tag-dispatch path
+//===----------------------------------------------------------------------===//
+
+Result<const lcalc::Expr *> CoreToL::lowerCase(const core::CaseExpr *Case) {
+  const core::Expr *DefaultRhs = nullptr;
+  std::vector<const core::Alt *> ConAlts, LitAlts;
+  for (const core::Alt &A : Case->alts()) {
+    switch (A.Kind) {
+    case core::Alt::AltKind::Default:
+      if (!DefaultRhs)
+        DefaultRhs = A.Rhs;
+      break;
+    case core::Alt::AltKind::ConPat:
+      ConAlts.push_back(&A);
+      break;
+    case core::Alt::AltKind::LitPat:
+      LitAlts.push_back(&A);
+      break;
+    case core::Alt::AltKind::TuplePat:
+      return err("not expressible in L: unboxed tuple pattern");
+    }
+  }
+  if (!ConAlts.empty() && !LitAlts.empty())
+    return err("not expressible in L: mixed literal and constructor "
+               "case");
+
+  Result<const lcalc::Expr *> Scrut = lowerExpr(Case->scrut());
+  if (!Scrut)
+    return Scrut;
+
+  if (!ConAlts.empty()) {
+    const core::TyCon *TC = ConAlts[0]->Con->parent();
+    for (const core::Alt *A : ConAlts)
+      if (A->Con->parent() != TC)
+        return err("not expressible in L: case alternatives mix data "
+                   "types");
+
+    // Polymorphic data needs the scrutinee's instantiation to fix the
+    // field types (Maybe Int vs Maybe Bool are distinct L decls).
+    std::vector<const core::Type *> TyArgs;
+    bool Polymorphic = false;
+    for (const core::DataCon *DC : TC->dataCons())
+      Polymorphic |= !DC->univs().empty();
+    if (Polymorphic) {
+      Result<const core::Type *> ST = scrutType(Case->scrut());
+      if (!ST)
+        return err(ST.error());
+      std::vector<const core::Type *> Args;
+      if (typeHead(*ST, Args) != TC)
+        return err("not expressible in L: scrutinee type " +
+                   (*ST)->str() + " does not match the case "
+                   "alternatives");
+      TyArgs = std::move(Args);
+    }
+    Result<const lcalc::LDataDecl *> D = dataDeclFor(TC, TyArgs);
+    if (!D)
+      return err(D.error());
+
+    std::vector<lcalc::LAlt> Alts;
+    std::vector<std::vector<Symbol>> BinderStore;
+    std::vector<bool> Covered((*D)->numCons(), false);
+    for (const core::Alt *A : ConAlts) {
+      unsigned Tag = A->Con->tag();
+      if (Tag >= (*D)->numCons() || A->Binders.size() != A->Con->arity())
+        return err("not expressible in L: malformed constructor pattern "
+                   "for " + std::string(A->Con->name().str()));
+      Covered[Tag] = true;
+      lcalc::LAlt LA;
+      LA.Pat = lcalc::LAlt::PatKind::Con;
+      LA.Tag = Tag;
+      BinderStore.emplace_back();
+      for (Symbol B : A->Binders)
+        BinderStore.back().push_back(reintern(B));
+      LA.Binders = std::span<const Symbol>(BinderStore.back().data(),
+                                           BinderStore.back().size());
+      size_t Pushed = 0;
+      for (size_t I = 0; I != A->Binders.size(); ++I) {
+        const core::Type *FieldTy = A->Con->fields()[I];
+        for (size_t U = 0;
+             U != A->Con->univs().size() && U != TyArgs.size(); ++U)
+          FieldTy =
+              core::substType(C, FieldTy, A->Con->univs()[U], TyArgs[U]);
+        CoreScope.pushTerm(A->Binders[I], FieldTy);
+        ++Pushed;
+      }
+      Result<const lcalc::Expr *> Rhs = lowerExpr(A->Rhs);
+      CoreScope.popTerms(Pushed);
+      if (!Rhs)
+        return Rhs;
+      LA.Rhs = *Rhs;
+      Alts.push_back(LA);
+    }
+    const lcalc::Expr *Def = nullptr;
+    if (DefaultRhs) {
+      Result<const lcalc::Expr *> DefE = lowerExpr(DefaultRhs);
+      if (!DefE)
+        return DefE;
+      Def = *DefE;
+    } else {
+      for (size_t Tag = 0; Tag != Covered.size(); ++Tag)
+        if (!Covered[Tag])
+          return err("not expressible in L: non-exhaustive constructor "
+                     "case without a default alternative");
+    }
+    return L.caseData(*Scrut, *D, Alts, Def);
+  }
+
+  if (!LitAlts.empty()) {
+    if (!DefaultRhs)
+      return err("not expressible in L: literal case without a default "
+                 "alternative");
+    bool ScrutIsDouble =
+        LitAlts[0]->Lit.tag() == core::Literal::Tag::DoubleHash;
+    std::vector<lcalc::LAlt> Alts;
+    for (const core::Alt *A : LitAlts) {
+      core::Literal::Tag Tag = A->Lit.tag();
+      if (Tag == core::Literal::Tag::String ||
+          (Tag == core::Literal::Tag::DoubleHash) != ScrutIsDouble)
+        return err("not expressible in L: literal case over " +
+                   A->Lit.str());
+      lcalc::LAlt LA;
+      if (ScrutIsDouble) {
+        LA.Pat = lcalc::LAlt::PatKind::Dbl;
+        LA.DblVal = A->Lit.doubleValue();
+      } else {
+        LA.Pat = lcalc::LAlt::PatKind::Int;
+        LA.IntVal = A->Lit.intValue();
+      }
+      Result<const lcalc::Expr *> Rhs = lowerExpr(A->Rhs);
+      if (!Rhs)
+        return Rhs;
+      LA.Rhs = *Rhs;
+      Alts.push_back(LA);
+    }
+    Result<const lcalc::Expr *> Def = lowerExpr(DefaultRhs);
+    if (!Def)
+      return Def;
+    return L.caseData(*Scrut, nullptr, Alts, *Def);
+  }
+
+  // Default-only: force the scrutinee (whatever its sort — an
+  // already-evaluated variable included), then take the default.
+  if (!DefaultRhs)
+    return err("not expressible in L: case with no alternatives");
+  Result<const lcalc::Expr *> Def = lowerExpr(DefaultRhs);
+  if (!Def)
+    return Def;
+  return L.caseData(*Scrut, nullptr, {}, *Def);
 }
 
 //===----------------------------------------------------------------------===//
@@ -143,7 +413,9 @@ Result<const lcalc::Expr *> CoreToL::lowerExpr(const core::Expr *E) {
         if (Saved != StringEnv.end())
           Shadowed = Saved->second;
         StringEnv[Lam->var()] = Lit->lit().stringValue();
+        CoreScope.pushTerm(Lam->var(), BinderTy);
         Result<const lcalc::Expr *> Body = lowerExpr(Lam->body());
+        CoreScope.popTerm();
         if (Shadowed)
           StringEnv[Lam->var()] = *Shadowed;
         else
@@ -188,7 +460,9 @@ Result<const lcalc::Expr *> CoreToL::lowerExpr(const core::Expr *E) {
     Result<const lcalc::Type *> Ty = lowerType(Lam->varType());
     if (!Ty)
       return err(Ty.error());
+    CoreScope.pushTerm(Lam->var(), Lam->varType());
     Result<const lcalc::Expr *> Body = lowerExpr(Lam->body());
+    CoreScope.popTerm();
     if (!Body)
       return Body;
     return L.lam(reintern(Lam->var()), *Ty, *Body);
@@ -197,7 +471,9 @@ Result<const lcalc::Expr *> CoreToL::lowerExpr(const core::Expr *E) {
   case core::Expr::Tag::TyLam: {
     const auto *Lam = core::cast<core::TyLamExpr>(E);
     const core::Kind *VK = C.zonkKind(Lam->varKind());
+    CoreScope.pushTypeVar(Lam->var(), VK);
     Result<const lcalc::Expr *> Body = lowerExpr(Lam->body());
+    CoreScope.popTypeVar();
     if (!Body)
       return Body;
     if (VK->isRep())
@@ -219,7 +495,9 @@ Result<const lcalc::Expr *> CoreToL::lowerExpr(const core::Expr *E) {
     Result<const lcalc::Expr *> Rhs = lowerExpr(Let->rhs());
     if (!Rhs)
       return Rhs;
+    CoreScope.pushTerm(Let->var(), Let->varType());
     Result<const lcalc::Expr *> Body = lowerExpr(Let->body());
+    CoreScope.popTerm();
     if (!Body)
       return Body;
     return L.app(L.lam(reintern(Let->var()), *Ty, *Body), *Rhs);
@@ -236,115 +514,46 @@ Result<const lcalc::Expr *> CoreToL::lowerExpr(const core::Expr *E) {
     Result<const lcalc::Type *> Ty = lowerType(B.VarTy);
     if (!Ty)
       return err(Ty.error());
+    CoreScope.pushTerm(B.Var, B.VarTy);
     Result<const lcalc::Expr *> Rhs = lowerExpr(B.Rhs);
+    Result<const lcalc::Expr *> Body =
+        Rhs ? lowerExpr(LR->body()) : Rhs;
+    CoreScope.popTerm();
     if (!Rhs)
       return Rhs;
-    Result<const lcalc::Expr *> Body = lowerExpr(LR->body());
     if (!Body)
       return Body;
     Symbol X = reintern(B.Var);
     return L.app(L.lam(X, *Ty, *Body), L.fix(X, *Ty, *Rhs));
   }
 
-  case core::Expr::Tag::Case: {
-    const auto *Case = core::cast<core::CaseExpr>(E);
-
-    // The paper's one-armed unboxing case:
-    //   case e of I#[x] -> body.
-    if (Case->alts().size() == 1 &&
-        Case->alts()[0].Kind == core::Alt::AltKind::ConPat) {
-      const core::Alt &A = Case->alts()[0];
-      if (A.Con != C.iHashCon() || A.Binders.size() != 1)
-        return err("not expressible in L: case alternative is not I#[x]");
-      Result<const lcalc::Expr *> Scrut = lowerExpr(Case->scrut());
-      if (!Scrut)
-        return Scrut;
-      Result<const lcalc::Expr *> Body = lowerExpr(A.Rhs);
-      if (!Body)
-        return Body;
-      return L.caseOf(*Scrut, reintern(A.Binders[0]), *Body);
-    }
-
-    // Literal cases over an unboxed scrutinee lower to an if0 chain of
-    // inequality tests:
-    //   case e of { l1 -> r1; …; _ -> d }
-    //     ⟶ (λs. if0 (s /=# l1) then r1 else … else d) e
-    // where the application is strict (the scrutinee is Int#/Double#).
-    bool AllLitOrDefault = !Case->alts().empty();
-    for (const core::Alt &A : Case->alts())
-      if (A.Kind != core::Alt::AltKind::LitPat &&
-          A.Kind != core::Alt::AltKind::Default)
-        AllLitOrDefault = false;
-    if (!AllLitOrDefault) {
-      if (Case->alts().size() != 1)
-        return err("not expressible in L: multi-alternative constructor "
-                   "case");
-      return err("not expressible in L: case alternative is not I#[x]");
-    }
-
-    const core::Expr *DefaultRhs = nullptr;
-    std::vector<const core::Alt *> Lits;
-    for (const core::Alt &A : Case->alts()) {
-      if (A.Kind == core::Alt::AltKind::Default) {
-        if (!DefaultRhs)
-          DefaultRhs = A.Rhs;
-      } else {
-        Lits.push_back(&A);
-      }
-    }
-    if (!DefaultRhs)
-      return err("not expressible in L: literal case without a default "
-                 "alternative");
-    if (Lits.empty())
-      return err("not expressible in L: default-only case (the scrutinee "
-                 "sort is not determined by the alternatives)");
-
-    bool ScrutIsDouble =
-        !Lits.empty() &&
-        Lits[0]->Lit.tag() == core::Literal::Tag::DoubleHash;
-    for (const core::Alt *A : Lits) {
-      core::Literal::Tag Tag = A->Lit.tag();
-      if (Tag == core::Literal::Tag::String ||
-          (Tag == core::Literal::Tag::DoubleHash) != ScrutIsDouble)
-        return err("not expressible in L: literal case over " +
-                   A->Lit.str());
-    }
-
-    Result<const lcalc::Expr *> Scrut = lowerExpr(Case->scrut());
-    if (!Scrut)
-      return Scrut;
-    Result<const lcalc::Expr *> Chain = lowerExpr(DefaultRhs);
-    if (!Chain)
-      return Chain;
-    Symbol S = L.symbols().fresh("scrut");
-    const lcalc::Expr *Acc = *Chain;
-    for (size_t I = Lits.size(); I-- > 0;) {
-      const core::Alt *A = Lits[I];
-      Result<const lcalc::Expr *> Rhs = lowerExpr(A->Rhs);
-      if (!Rhs)
-        return Rhs;
-      const lcalc::Expr *Test =
-          ScrutIsDouble
-              ? L.prim(lcalc::LPrim::DNe, L.var(S),
-                       L.doubleLit(A->Lit.doubleValue()))
-              : L.prim(lcalc::LPrim::Ne, L.var(S),
-                       L.intLit(A->Lit.intValue()));
-      Acc = L.if0(Test, *Rhs, Acc);
-    }
-    const lcalc::Type *ScrutTy =
-        ScrutIsDouble ? L.doubleHashTy() : L.intHashTy();
-    return L.app(L.lam(S, ScrutTy, Acc), *Scrut);
-  }
+  case core::Expr::Tag::Case:
+    // Every case shape — constructor, literal, default-only — routes
+    // through the one tag-dispatch lowering.
+    return lowerCase(core::cast<core::CaseExpr>(E));
 
   case core::Expr::Tag::Con: {
     const auto *Con = core::cast<core::ConExpr>(E);
-    if (Con->dataCon() != C.iHashCon() || Con->args().size() != 1)
-      return err("not expressible in L: constructor " +
-                 std::string(Con->dataCon()->name().str()));
-    Result<const lcalc::Expr *> Payload = lowerExpr(Con->args()[0]);
-    if (!Payload)
-      return Payload;
-    return L.con(*Payload);
+    const core::DataCon *DC = Con->dataCon();
+    // The paper's boxed Int keeps its special I#[e] form.
+    if (DC == C.iHashCon()) {
+      Result<const lcalc::Expr *> Payload = lowerExpr(Con->args()[0]);
+      if (!Payload)
+        return Payload;
+      return L.con(*Payload);
+    }
+    Result<const lcalc::LDataDecl *> D =
+        dataDeclFor(DC->parent(), Con->tyArgs());
+    if (!D)
+      return err(D.error());
+    std::vector<const lcalc::Expr *> Args;
+    for (const core::Expr *A : Con->args()) {
+      Result<const lcalc::Expr *> LA = lowerExpr(A);
+      if (!LA)
+        return LA;
+      Args.push_back(*LA);
+    }
+    return L.conData(*D, DC->tag(), Args);
   }
 
   case core::Expr::Tag::Prim: {
@@ -361,6 +570,24 @@ Result<const lcalc::Expr *> CoreToL::lowerExpr(const core::Expr *E) {
       if (P->op() == core::PrimOp::NegI)
         return L.prim(lcalc::LPrim::Sub, L.intLit(0), *Arg);
       return L.prim(lcalc::LPrim::DSub, L.doubleLit(-0.0), *Arg);
+    }
+
+    // isTrue# e lowers to a literal case producing Bool's constructors:
+    //   case e of { 0 -> False ; _ -> True }.
+    if (P->op() == core::PrimOp::IsTrue) {
+      Result<const lcalc::Expr *> Arg = lowerExpr(P->args()[0]);
+      if (!Arg)
+        return Arg;
+      Result<const lcalc::LDataDecl *> Bool =
+          dataDeclFor(C.boolTyCon(), {});
+      if (!Bool)
+        return err(Bool.error());
+      lcalc::LAlt Zero;
+      Zero.Pat = lcalc::LAlt::PatKind::Int;
+      Zero.IntVal = 0;
+      Zero.Rhs = L.conData(*Bool, C.falseCon()->tag(), {});
+      return L.caseData(*Arg, nullptr, {&Zero, 1},
+                        L.conData(*Bool, C.trueCon()->tag(), {}));
     }
 
     lcalc::LPrim Op;
@@ -609,6 +836,11 @@ Result<const lcalc::Expr *> CoreToL::lowerGlobal(const core::CoreProgram &P,
   if (!Target)
     return err("no top-level binding named '" + std::string(Name.str()) +
                "'");
+
+  // Seed the core typing scope with every program global so scrutType
+  // can type scrutinees that mention them.
+  for (const core::TopBinding &B : P.Bindings)
+    CoreScope.addGlobal(B.Name, B.Ty);
 
   std::unordered_set<Symbol, SymbolHash> Visiting, Done, SelfRec;
   std::vector<Symbol> Order;

@@ -13,20 +13,24 @@
 /// rides.
 ///
 /// The lowering targets L's executable fragment: Int, Int#, Double#,
-/// arrows, ∀, I#, the one-armed unboxing case, the full binary primop
-/// set (arithmetic and comparisons over both unboxed sorts; unary
-/// negation lowers through subtraction from zero), literal cases with a
-/// default (encoded as if0 chains of /=# tests), and recursion —
-/// single-binding letrec and self-recursive globals lower to L's fix,
-/// which the M compilation ties through a heap knot.
+/// arrows, ∀, algebraic data (each saturated data-type instantiation
+/// the program touches — Bool, Maybe Int, user-declared types, boxed
+/// Double — becomes an L data declaration with instantiated field
+/// types), the full binary primop set (arithmetic and comparisons over
+/// both unboxed sorts; unary negation lowers through subtraction from
+/// zero; isTrue# lowers to a literal case producing Bool), every case
+/// shape — constructor alternatives, Int#/Double# literal alternatives,
+/// and default-only — through the one L tag-dispatch case, and
+/// recursion — single-binding letrec and self-recursive globals lower
+/// to L's fix, which the M compilation ties through a heap knot.
 ///
 /// The lowering is still deliberately *partial*: anything outside that
-/// fragment (strings, algebraic data beyond Int, unboxed tuples, mutual
-/// recursion, conversions, default-only or non-I# constructor cases)
-/// fails with a descriptive "not expressible in L" message and the
-/// driver reports the program as unsupported on that backend rather than
-/// guessing. tests/driver_test.cpp pins one test per remaining boundary
-/// so fragment growth stays deliberate.
+/// fragment (strings, unboxed tuples, mutual recursion, conversions,
+/// non-exhaustive constructor cases without a default) fails with a
+/// descriptive "not expressible in L" message and the driver reports
+/// the program as unsupported on that backend rather than guessing.
+/// tests/driver_test.cpp pins one test per remaining boundary so
+/// fragment growth stays deliberate.
 ///
 /// Global references are resolved by binding each (transitively needed)
 /// top-level definition with a lambda:
@@ -45,10 +49,12 @@
 
 #include "core/CoreContext.h"
 #include "core/Program.h"
+#include "core/TypeCheck.h"
 #include "lcalc/Syntax.h"
 #include "support/Result.h"
 
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -74,6 +80,29 @@ private:
   Result<lcalc::LKind> lowerKind(const core::Kind *K);
   Result<lcalc::RuntimeRep> lowerRep(const core::RepTy *R);
   Result<const lcalc::Expr *> lowerExpr(const core::Expr *E);
+
+  /// Lowers every core case shape — constructor alternatives, literal
+  /// alternatives, and default-only — through the one L tag-dispatch
+  /// case (which ANF compiles to the M switch).
+  Result<const lcalc::Expr *> lowerCase(const core::CaseExpr *Case);
+
+  /// The L data declaration for the saturated application of \p TC to
+  /// \p TyArgs, instantiating every constructor's field types. Each
+  /// distinct instantiation is declared once per LContext (keyed by its
+  /// display name, e.g. "Maybe Int") and shape-checked on reuse.
+  Result<const lcalc::LDataDecl *>
+  dataDeclFor(const core::TyCon *TC,
+              std::span<const core::Type *const> TyArgs);
+
+  /// Splits a zonked type into a tycon head and its argument spine.
+  /// Null head when the type is not a (possibly applied) tycon.
+  const core::TyCon *typeHead(const core::Type *T,
+                              std::vector<const core::Type *> &Args);
+
+  /// Computes (and zonks) the core type of \p E under the binders
+  /// currently in scope — used to recover the scrutinee's type-argument
+  /// instantiation for polymorphic constructor cases.
+  Result<const core::Type *> scrutType(const core::Expr *E);
 
   /// Collects the program globals referenced free in \p E (respecting
   /// local shadowing) into \p Out.
@@ -104,6 +133,18 @@ private:
   /// them — elaboration's administrative `error "msg"` redex is the one
   /// producer; the error node's message is the one consumer.
   std::unordered_map<Symbol, Symbol, SymbolHash> StringEnv;
+
+  /// Core-level typing state mirrored alongside the lowering: binders
+  /// are pushed/popped in lockstep with lowerExpr so scrutType can ask
+  /// the core checker for a scrutinee's type mid-lowering.
+  core::CoreChecker Checker{C};
+  core::CoreEnv CoreScope;
+
+  /// Data-decl instantiations this lowering has produced, keyed by
+  /// (tycon identity, zonked type-argument spine) — the map handles
+  /// in-progress recursive decls (e.g. cons lists); completed decls are
+  /// additionally found by display name in the shared LContext.
+  std::unordered_map<std::string, const lcalc::LDataDecl *> DeclCache;
 };
 
 } // namespace driver

@@ -52,6 +52,10 @@ uint64_t levc::pipelineFingerprint() {
   W.u32(Term::NumTermKinds);
   W.u32(mcalc::NumMPrims);
   W.u32(mcalc::NumVarSorts);
+  // The CORE section encodes core primops (and rep atoms) by numeric
+  // value; growing either enum must invalidate stale stores.
+  W.u32(core::NumPrimOps);
+  W.u32(static_cast<uint32_t>(RepCtor::Sum) + 1);
   return fnv1a(W.bytes());
 }
 
@@ -204,6 +208,30 @@ bool readAtom(ByteReader &R, MContext &Ctx, MAtom &Out) {
   return true;
 }
 
+/// Like readAtom, but constructor fields may also name pointer
+/// registers (heap references of boxed fields).
+bool readConAtom(ByteReader &R, MContext &Ctx, MAtom &Out) {
+  uint8_t Flags = R.u8();
+  if (!R.ok() || Flags > 3) {
+    R.fail();
+    return false;
+  }
+  bool IsLit = Flags & 1, IsDbl = Flags & 2;
+  if (IsLit) {
+    Out = IsDbl ? MAtom::dlit(R.f64()) : MAtom::lit(R.i64());
+    return R.ok();
+  }
+  MVar V;
+  if (!readVar(R, Ctx, V))
+    return false;
+  if (V.isDbl() != IsDbl) {
+    R.fail();
+    return false;
+  }
+  Out = MAtom::anyVar(V);
+  return true;
+}
+
 const Term *readTermRec(ByteReader &R, MContext &Ctx, unsigned Depth);
 
 /// Decodes a subterm, failing the stream if absent.
@@ -329,6 +357,76 @@ const Term *readTermRec(ByteReader &R, MContext &Ctx, unsigned Depth) {
       return nullptr;
     return Ctx.prim(static_cast<mcalc::MPrim>(Op), Lhs, Rhs);
   }
+  case Term::TermKind::Con: {
+    uint32_t Tag = R.u32();
+    uint32_t N = R.u32();
+    if (!R.ok() || N > MaxConFields) {
+      R.fail();
+      return nullptr;
+    }
+    std::vector<MAtom> Args(N);
+    for (uint32_t I = 0; I != N; ++I)
+      if (!readConAtom(R, Ctx, Args[I]))
+        return nullptr;
+    return Ctx.con(Tag, Args);
+  }
+  case Term::TermKind::Switch: {
+    const Term *Scrut = readSub(R, Ctx, Depth);
+    uint32_t NAlts = R.u32();
+    if (!Scrut || !R.ok() || NAlts > MaxSwitchAlts) {
+      R.fail();
+      return nullptr;
+    }
+    std::vector<mcalc::MAlt> Alts(NAlts);
+    std::vector<std::vector<MVar>> Binders(NAlts);
+    for (uint32_t I = 0; I != NAlts; ++I) {
+      uint8_t Pat = R.u8();
+      if (!R.ok() || Pat >= mcalc::MAlt::NumPatKinds) {
+        R.fail();
+        return nullptr;
+      }
+      mcalc::MAlt &A = Alts[I];
+      A.Pat = static_cast<mcalc::MAlt::PatKind>(Pat);
+      switch (A.Pat) {
+      case mcalc::MAlt::PatKind::Con: {
+        A.Tag = R.u32();
+        uint32_t NBinders = R.u32();
+        if (!R.ok() || NBinders > MaxConFields) {
+          R.fail();
+          return nullptr;
+        }
+        Binders[I].resize(NBinders);
+        for (uint32_t B = 0; B != NBinders; ++B)
+          if (!readVar(R, Ctx, Binders[I][B]))
+            return nullptr;
+        A.Binders =
+            std::span<const MVar>(Binders[I].data(), Binders[I].size());
+        break;
+      }
+      case mcalc::MAlt::PatKind::Int:
+        A.IntVal = R.i64();
+        break;
+      case mcalc::MAlt::PatKind::Dbl:
+        A.DblVal = R.f64();
+        break;
+      }
+      A.Body = readSub(R, Ctx, Depth);
+      if (!A.Body)
+        return nullptr;
+    }
+    uint8_t HasDefault = R.u8();
+    if (!R.ok() || HasDefault > 1) {
+      R.fail();
+      return nullptr;
+    }
+    const Term *Default = nullptr;
+    if (HasDefault) {
+      Default = readSub(R, Ctx, Depth);
+      if (!Default)
+        return nullptr;
+    }
+    return Ctx.switchOf(Scrut, Alts, Default);
+  }
   }
   R.fail();
   return nullptr;
@@ -427,6 +525,41 @@ void levc::writeTerm(ByteWriter &W, const Term *T) {
     writeAtom(W, N->rhs());
     return;
   }
+  case Term::TermKind::Con: {
+    const auto *N = mcalc::cast<mcalc::ConTerm>(T);
+    W.u32(N->tag());
+    W.u32(static_cast<uint32_t>(N->args().size()));
+    for (const MAtom &A : N->args())
+      writeAtom(W, A);
+    return;
+  }
+  case Term::TermKind::Switch: {
+    const auto *N = mcalc::cast<mcalc::SwitchTerm>(T);
+    writeTerm(W, N->scrut());
+    W.u32(static_cast<uint32_t>(N->alts().size()));
+    for (const mcalc::MAlt &A : N->alts()) {
+      W.u8(static_cast<uint8_t>(A.Pat));
+      switch (A.Pat) {
+      case mcalc::MAlt::PatKind::Con:
+        W.u32(A.Tag);
+        W.u32(static_cast<uint32_t>(A.Binders.size()));
+        for (MVar B : A.Binders)
+          writeVar(W, B);
+        break;
+      case mcalc::MAlt::PatKind::Int:
+        W.i64(A.IntVal);
+        break;
+      case mcalc::MAlt::PatKind::Dbl:
+        W.f64(A.DblVal);
+        break;
+      }
+      writeTerm(W, A.Body);
+    }
+    W.u8(N->defaultBody() ? 1 : 0);
+    if (N->defaultBody())
+      writeTerm(W, N->defaultBody());
+    return;
+  }
   }
 }
 
@@ -484,6 +617,19 @@ Result<std::string> Compilation::serializeArtifact() const {
     Types.str(globalTypeText(Name));
   }
 
+  // The optional CORE section: the elaborated core program, so
+  // tree-backend consumers of a warm store skip the front end too. Best
+  // effort — when the program is unavailable (machine-only hydration)
+  // or not stably encodable, the section is simply omitted and
+  // hydrated consumers lazily rebuild the front end as before.
+  ByteWriter Core;
+  bool HasCore = false;
+  if (Elaborated)
+    HasCore = levc::writeCoreSection(Core, C, Elaborated->Program,
+                                     Elaborated->UserBindings);
+  if (!HasCore)
+    Core = ByteWriter();
+
   ByteWriter Meta;
   Meta.u8(static_cast<uint8_t>(Opts.DefaultBackend));
   Meta.u32(static_cast<uint32_t>(Timings.size()));
@@ -501,7 +647,7 @@ Result<std::string> Compilation::serializeArtifact() const {
   W.u32(levc::FormatVersion);
   W.u64(levc::pipelineFingerprint());
   W.u64(SrcHash);
-  W.u32(4); // section count
+  W.u32(HasCore ? 5 : 4); // section count
   auto Section = [&W](uint32_t Id, const std::string &Payload) {
     W.u32(Id);
     W.u64(Payload.size());
@@ -511,6 +657,8 @@ Result<std::string> Compilation::serializeArtifact() const {
   Section(levc::SecMeta, Meta.bytes());
   Section(levc::SecTypes, Types.bytes());
   Section(levc::SecTerms, Terms.bytes());
+  if (HasCore)
+    Section(levc::SecCore, Core.bytes());
   W.u64(levc::fnv1a(W.bytes())); // trailer checksum
   return W.take();
 }
@@ -545,7 +693,7 @@ Compilation::deserializeArtifact(std::string_view Bytes,
   if (Hash != Session::hashSource(ExpectedSource))
     return nullptr;
 
-  std::string_view Src, Meta, Types, Terms;
+  std::string_view Src, Meta, Types, Terms, Core;
   uint32_t NumSections = R.u32();
   if (!R.ok() || NumSections > 64)
     return nullptr;
@@ -560,6 +708,7 @@ Compilation::deserializeArtifact(std::string_view Bytes,
     case levc::SecMeta: Meta = Payload; break;
     case levc::SecTypes: Types = Payload; break;
     case levc::SecTerms: Terms = Payload; break;
+    case levc::SecCore: Core = Payload; break;
     default: break; // Unknown sections: skip (forward compatibility).
     }
   }
@@ -621,6 +770,34 @@ Compilation::deserializeArtifact(std::string_view Bytes,
         return nullptr;
       MP.MTerms.emplace(std::move(Name),
                         Result<const Term *>(err(std::move(Error))));
+    }
+  }
+
+  // The optional CORE section: rebuild the elaborated program so tree
+  // runs (and program()/globalType()) need no front end at all. A
+  // malformed section is ignored — the lazy front-end rebuild still
+  // covers those consumers. The decode is dry-run against a scratch
+  // context first: decoding mutates the context (tycons/datacons are
+  // created as they stream in), and a half-decoded failure must leave
+  // Comp's context pristine or the front-end fallback would
+  // re-elaborate into it and trip duplicate-definition errors.
+  if (!Core.empty()) {
+    core::CoreContext Scratch;
+    core::CoreProgram ScratchProg;
+    std::vector<Symbol> ScratchNames;
+    ByteReader Probe(Core);
+    if (levc::readCoreSection(Probe, Scratch, ScratchProg,
+                              ScratchNames)) {
+      ByteReader CoreR(Core);
+      core::CoreProgram Prog;
+      std::vector<Symbol> UserBindings;
+      if (levc::readCoreSection(CoreR, Comp->C, Prog, UserBindings)) {
+        surface::ElabOutput Out;
+        Out.Program = std::move(Prog);
+        Out.UserBindings = std::move(UserBindings);
+        Comp->Elaborated = std::move(Out);
+        Comp->HydratedCore = true;
+      }
     }
   }
 

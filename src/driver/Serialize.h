@@ -38,11 +38,14 @@
 #ifndef LEVITY_DRIVER_SERIALIZE_H
 #define LEVITY_DRIVER_SERIALIZE_H
 
+#include "core/CoreContext.h"
+#include "core/Program.h"
 #include "mcalc/Syntax.h"
 
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace levity {
 namespace driver {
@@ -53,13 +56,15 @@ inline constexpr char Magic[4] = {'L', 'E', 'V', 'C'};
 
 /// Byte-layout version of the .levc container. Bump on any layout change
 /// (it is also folded into the fingerprint, so old stores go stale).
-inline constexpr uint32_t FormatVersion = 1;
+/// v2 (PR 5): CON/SWITCH term tags, the optional CORE section, and
+/// constructor atoms that may name pointer registers.
+inline constexpr uint32_t FormatVersion = 2;
 
 /// Names the semantics of the compiled artifacts. Bump whenever the
 /// core→L→ANF→M lowering changes observable output (new fragment,
 /// changed encodings, changed error strings) so stale artifacts are
 /// re-lowered instead of replayed.
-inline constexpr char PipelineEpoch[] = "core->L->ANF->M pr4";
+inline constexpr char PipelineEpoch[] = "core->L->ANF->M pr5";
 
 /// Section identifiers (four ASCII bytes, little-endian u32). Unknown
 /// sections are skipped on read, so future writers may append sections
@@ -69,6 +74,9 @@ enum SectionId : uint32_t {
   SecMeta = 0x4154454D,   ///< "META" — timings, backend, name counter.
   SecTypes = 0x45505954,  ///< "TYPE" — pretty-printed global types.
   SecTerms = 0x4D52544D,  ///< "MTRM" — per-global M terms / failures.
+  SecCore = 0x45524F43,   ///< "CORE" — the elaborated core program
+                          ///< (optional; lets tree-backend consumers of
+                          ///< a warm store skip the front end too).
 };
 
 /// The version fingerprint written into (and demanded of) every
@@ -152,6 +160,35 @@ const mcalc::Term *readTerm(ByteReader &R, mcalc::MContext &Ctx);
 /// overflow even an -O0/sanitizer thread stack, and still an order of
 /// magnitude beyond any term the lowering produces for this fragment.
 inline constexpr unsigned MaxTermDepth = 1u << 11;
+
+//===----------------------------------------------------------------------===//
+// Core-program encoding — the optional CORE section (SerializeCore.cpp)
+//===----------------------------------------------------------------------===//
+
+/// Encodes the elaborated core program — the data declarations its
+/// bindings reference (transitively), the bindings themselves, and the
+/// user-binding name list — so a hydrating process can serve
+/// tree-backend runs with zero front-end work. \returns false when the
+/// program contains something the codec cannot stably encode (an
+/// unsolved metavariable); callers then simply omit the CORE section
+/// and hydrated consumers fall back to the lazy front-end rebuild.
+bool writeCoreSection(ByteWriter &W, core::CoreContext &C,
+                      const core::CoreProgram &Program,
+                      const std::vector<Symbol> &UserBindings);
+
+/// Decodes a CORE section into \p C, recreating user type/data
+/// constructors (builtins are matched by name) and the program.
+/// \returns false on any malformed input — callers treat that as "no
+/// CORE section", never an error.
+bool readCoreSection(ByteReader &R, core::CoreContext &C,
+                     core::CoreProgram &Program,
+                     std::vector<Symbol> &UserBindings);
+
+/// Decode refuses constructor nodes/patterns with more fields than this
+/// and switches with more alternatives than this — a corrupt count must
+/// not turn into a giant allocation.
+inline constexpr unsigned MaxConFields = 1u << 16;
+inline constexpr unsigned MaxSwitchAlts = 1u << 16;
 
 } // namespace levc
 } // namespace driver

@@ -1,0 +1,911 @@
+//===- SerializeCore.cpp - The .levc CORE section -------------------------===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+//
+// Encodes/decodes the elaborated core program so a store-hydrated
+// Compilation can serve *tree-backend* runs without re-running the front
+// end (lex/parse/elaborate). Layout of the CORE section payload:
+//
+//   u32 numTyCons
+//     per tycon: name, kind, resultRep,
+//                u32 numDataCons, per datacon:
+//                  name, u32 numUnivs × (name, kind),
+//                  u32 numFields × type
+//   u32 numBindings    per binding: name, type, expr
+//   u32 numUserBindings × name
+//
+// Types, kinds, and reps are zonked on the way out; an unsolved
+// metavariable aborts the encode (the writer then omits the section).
+// Every read is defensive: any malformed input makes the decode return
+// false and the hydrated Compilation falls back to the lazy front-end
+// rebuild — the CORE section can make things faster, never wrong.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Serialize.h"
+
+#include <unordered_set>
+#include <vector>
+
+using namespace levity;
+using namespace levity::driver;
+using namespace levity::driver::levc;
+
+namespace {
+
+/// Decode refuses core structures nested/being sized beyond these — a
+/// corrupt count must not become unbounded recursion or allocation.
+constexpr unsigned MaxCoreDepth = 1u << 11;
+constexpr uint32_t MaxCoreCount = 1u << 20;
+
+constexpr uint32_t NumRepCtors = static_cast<uint32_t>(RepCtor::Sum) + 1;
+
+//===----------------------------------------------------------------------===//
+// Writer
+//===----------------------------------------------------------------------===//
+
+class CoreWriter {
+public:
+  CoreWriter(ByteWriter &W, core::CoreContext &C) : W(W), C(C) {}
+
+  bool rep(const core::RepTy *R) {
+    R = C.zonkRep(R);
+    switch (R->tag()) {
+    case core::RepTy::Tag::Var:
+      W.u8(0);
+      W.str(R->varName().str());
+      return true;
+    case core::RepTy::Tag::Atom:
+      W.u8(1);
+      W.u8(static_cast<uint8_t>(R->atom()));
+      return true;
+    case core::RepTy::Tag::Tuple:
+    case core::RepTy::Tag::Sum: {
+      W.u8(R->tag() == core::RepTy::Tag::Tuple ? 2 : 3);
+      W.u32(static_cast<uint32_t>(R->elems().size()));
+      for (const core::RepTy *E : R->elems())
+        if (!rep(E))
+          return false;
+      return true;
+    }
+    case core::RepTy::Tag::Meta:
+      return false; // Unsolved after zonking: not stably encodable.
+    }
+    return false;
+  }
+
+  bool kind(const core::Kind *K) {
+    K = C.zonkKind(K);
+    switch (K->tag()) {
+    case core::Kind::Tag::TypeOf:
+      W.u8(0);
+      return rep(K->rep());
+    case core::Kind::Tag::Rep:
+      W.u8(1);
+      return true;
+    case core::Kind::Tag::Arrow:
+      W.u8(2);
+      return kind(K->param()) && kind(K->result());
+    }
+    return false;
+  }
+
+  bool type(const core::Type *T) {
+    T = C.zonkType(T);
+    switch (T->tag()) {
+    case core::Type::Tag::Con:
+      W.u8(0);
+      W.str(core::cast<core::ConType>(T)->tycon()->name().str());
+      return true;
+    case core::Type::Tag::App: {
+      const auto *A = core::cast<core::AppType>(T);
+      W.u8(1);
+      return type(A->fn()) && type(A->arg());
+    }
+    case core::Type::Tag::Fun: {
+      const auto *F = core::cast<core::FunType>(T);
+      W.u8(2);
+      return type(F->param()) && type(F->result());
+    }
+    case core::Type::Tag::Var: {
+      const auto *V = core::cast<core::VarType>(T);
+      W.u8(3);
+      W.str(V->name().str());
+      return kind(V->kind());
+    }
+    case core::Type::Tag::ForAll: {
+      const auto *F = core::cast<core::ForAllType>(T);
+      W.u8(4);
+      W.str(F->var().str());
+      return kind(F->varKind()) && type(F->body());
+    }
+    case core::Type::Tag::UnboxedTuple: {
+      const auto *U = core::cast<core::UnboxedTupleType>(T);
+      W.u8(5);
+      W.u32(static_cast<uint32_t>(U->elems().size()));
+      for (const core::Type *E : U->elems())
+        if (!type(E))
+          return false;
+      return true;
+    }
+    case core::Type::Tag::RepLift:
+      W.u8(6);
+      return rep(core::cast<core::RepLiftType>(T)->rep());
+    case core::Type::Tag::Meta:
+      return false; // Unsolved after zonking.
+    }
+    return false;
+  }
+
+  bool literal(const core::Literal &L) {
+    switch (L.tag()) {
+    case core::Literal::Tag::IntHash:
+      W.u8(0);
+      W.i64(L.intValue());
+      return true;
+    case core::Literal::Tag::DoubleHash:
+      W.u8(1);
+      W.f64(L.doubleValue());
+      return true;
+    case core::Literal::Tag::String:
+      W.u8(2);
+      W.str(L.stringValue().str());
+      return true;
+    }
+    return false;
+  }
+
+  bool expr(const core::Expr *E) {
+    switch (E->tag()) {
+    case core::Expr::Tag::Var:
+      W.u8(0);
+      W.str(core::cast<core::VarExpr>(E)->name().str());
+      return true;
+    case core::Expr::Tag::Lit:
+      W.u8(1);
+      return literal(core::cast<core::LitExpr>(E)->lit());
+    case core::Expr::Tag::App: {
+      const auto *A = core::cast<core::AppExpr>(E);
+      W.u8(2);
+      W.u8(A->strictArg() ? 1 : 0);
+      return expr(A->fn()) && expr(A->arg());
+    }
+    case core::Expr::Tag::TyApp: {
+      const auto *A = core::cast<core::TyAppExpr>(E);
+      W.u8(3);
+      return expr(A->fn()) && type(A->tyArg());
+    }
+    case core::Expr::Tag::Lam: {
+      const auto *L = core::cast<core::LamExpr>(E);
+      W.u8(4);
+      W.str(L->var().str());
+      return type(L->varType()) && expr(L->body());
+    }
+    case core::Expr::Tag::TyLam: {
+      const auto *L = core::cast<core::TyLamExpr>(E);
+      W.u8(5);
+      W.str(L->var().str());
+      return kind(L->varKind()) && expr(L->body());
+    }
+    case core::Expr::Tag::Let: {
+      const auto *L = core::cast<core::LetExpr>(E);
+      W.u8(6);
+      W.str(L->var().str());
+      W.u8(L->strict() ? 1 : 0);
+      return type(L->varType()) && expr(L->rhs()) && expr(L->body());
+    }
+    case core::Expr::Tag::LetRec: {
+      const auto *L = core::cast<core::LetRecExpr>(E);
+      W.u8(7);
+      W.u32(static_cast<uint32_t>(L->bindings().size()));
+      for (const core::RecBinding &B : L->bindings()) {
+        W.str(B.Var.str());
+        if (!type(B.VarTy) || !expr(B.Rhs))
+          return false;
+      }
+      return expr(L->body());
+    }
+    case core::Expr::Tag::Case: {
+      const auto *Cs = core::cast<core::CaseExpr>(E);
+      W.u8(8);
+      if (!expr(Cs->scrut()) || !type(Cs->resultType()))
+        return false;
+      W.u32(static_cast<uint32_t>(Cs->alts().size()));
+      for (const core::Alt &A : Cs->alts()) {
+        W.u8(static_cast<uint8_t>(A.Kind));
+        switch (A.Kind) {
+        case core::Alt::AltKind::ConPat:
+          W.str(A.Con->name().str());
+          W.u32(static_cast<uint32_t>(A.Binders.size()));
+          for (Symbol B : A.Binders)
+            W.str(B.str());
+          break;
+        case core::Alt::AltKind::LitPat:
+          if (!literal(A.Lit))
+            return false;
+          break;
+        case core::Alt::AltKind::TuplePat:
+          W.u32(static_cast<uint32_t>(A.Binders.size()));
+          for (Symbol B : A.Binders)
+            W.str(B.str());
+          break;
+        case core::Alt::AltKind::Default:
+          break;
+        }
+        if (!expr(A.Rhs))
+          return false;
+      }
+      return true;
+    }
+    case core::Expr::Tag::Con: {
+      const auto *Con = core::cast<core::ConExpr>(E);
+      W.u8(9);
+      W.str(Con->dataCon()->name().str());
+      W.u32(static_cast<uint32_t>(Con->tyArgs().size()));
+      for (const core::Type *T : Con->tyArgs())
+        if (!type(T))
+          return false;
+      W.u32(static_cast<uint32_t>(Con->args().size()));
+      for (const core::Expr *A : Con->args())
+        if (!expr(A))
+          return false;
+      return true;
+    }
+    case core::Expr::Tag::Prim: {
+      const auto *P = core::cast<core::PrimOpExpr>(E);
+      W.u8(10);
+      W.u8(static_cast<uint8_t>(P->op()));
+      W.u32(static_cast<uint32_t>(P->args().size()));
+      for (const core::Expr *A : P->args())
+        if (!expr(A))
+          return false;
+      return true;
+    }
+    case core::Expr::Tag::UnboxedTuple: {
+      const auto *U = core::cast<core::UnboxedTupleExpr>(E);
+      W.u8(11);
+      W.u32(static_cast<uint32_t>(U->elems().size()));
+      for (const core::Expr *A : U->elems())
+        if (!expr(A))
+          return false;
+      return true;
+    }
+    case core::Expr::Tag::Error: {
+      const auto *Err = core::cast<core::ErrorExpr>(E);
+      W.u8(12);
+      return type(Err->atType()) && rep(Err->atRep()) &&
+             expr(Err->message());
+    }
+    }
+    return false;
+  }
+
+private:
+  ByteWriter &W;
+  core::CoreContext &C;
+};
+
+/// Collects every TyCon the program mentions — through types, data
+/// constructors, and (transitively) datacon field types and kinds.
+class TyConCollector {
+public:
+  explicit TyConCollector(core::CoreContext &C) : C(C) {}
+
+  void fromRep(const core::RepTy *R) {
+    R = C.zonkRep(R);
+    if (R->tag() == core::RepTy::Tag::Tuple ||
+        R->tag() == core::RepTy::Tag::Sum)
+      for (const core::RepTy *E : R->elems())
+        fromRep(E);
+  }
+
+  void fromType(const core::Type *T) {
+    T = C.zonkType(T);
+    switch (T->tag()) {
+    case core::Type::Tag::Con:
+      add(core::cast<core::ConType>(T)->tycon());
+      return;
+    case core::Type::Tag::App: {
+      const auto *A = core::cast<core::AppType>(T);
+      fromType(A->fn());
+      fromType(A->arg());
+      return;
+    }
+    case core::Type::Tag::Fun: {
+      const auto *F = core::cast<core::FunType>(T);
+      fromType(F->param());
+      fromType(F->result());
+      return;
+    }
+    case core::Type::Tag::ForAll:
+      fromType(core::cast<core::ForAllType>(T)->body());
+      return;
+    case core::Type::Tag::UnboxedTuple:
+      for (const core::Type *E :
+           core::cast<core::UnboxedTupleType>(T)->elems())
+        fromType(E);
+      return;
+    case core::Type::Tag::Var:
+    case core::Type::Tag::Meta:
+    case core::Type::Tag::RepLift:
+      return;
+    }
+  }
+
+  void fromExpr(const core::Expr *E) {
+    switch (E->tag()) {
+    case core::Expr::Tag::Var:
+    case core::Expr::Tag::Lit:
+      return;
+    case core::Expr::Tag::App: {
+      const auto *A = core::cast<core::AppExpr>(E);
+      fromExpr(A->fn());
+      fromExpr(A->arg());
+      return;
+    }
+    case core::Expr::Tag::TyApp: {
+      const auto *A = core::cast<core::TyAppExpr>(E);
+      fromExpr(A->fn());
+      fromType(A->tyArg());
+      return;
+    }
+    case core::Expr::Tag::Lam: {
+      const auto *L = core::cast<core::LamExpr>(E);
+      fromType(L->varType());
+      fromExpr(L->body());
+      return;
+    }
+    case core::Expr::Tag::TyLam:
+      fromExpr(core::cast<core::TyLamExpr>(E)->body());
+      return;
+    case core::Expr::Tag::Let: {
+      const auto *L = core::cast<core::LetExpr>(E);
+      fromType(L->varType());
+      fromExpr(L->rhs());
+      fromExpr(L->body());
+      return;
+    }
+    case core::Expr::Tag::LetRec: {
+      const auto *L = core::cast<core::LetRecExpr>(E);
+      for (const core::RecBinding &B : L->bindings()) {
+        fromType(B.VarTy);
+        fromExpr(B.Rhs);
+      }
+      fromExpr(L->body());
+      return;
+    }
+    case core::Expr::Tag::Case: {
+      const auto *Cs = core::cast<core::CaseExpr>(E);
+      fromExpr(Cs->scrut());
+      fromType(Cs->resultType());
+      for (const core::Alt &A : Cs->alts()) {
+        if (A.Kind == core::Alt::AltKind::ConPat && A.Con)
+          add(A.Con->parent());
+        fromExpr(A.Rhs);
+      }
+      return;
+    }
+    case core::Expr::Tag::Con: {
+      const auto *Con = core::cast<core::ConExpr>(E);
+      add(Con->dataCon()->parent());
+      for (const core::Type *T : Con->tyArgs())
+        fromType(T);
+      for (const core::Expr *A : Con->args())
+        fromExpr(A);
+      return;
+    }
+    case core::Expr::Tag::Prim:
+      for (const core::Expr *A : core::cast<core::PrimOpExpr>(E)->args())
+        fromExpr(A);
+      return;
+    case core::Expr::Tag::UnboxedTuple:
+      for (const core::Expr *A :
+           core::cast<core::UnboxedTupleExpr>(E)->elems())
+        fromExpr(A);
+      return;
+    case core::Expr::Tag::Error: {
+      const auto *Err = core::cast<core::ErrorExpr>(E);
+      fromType(Err->atType());
+      fromExpr(Err->message());
+      return;
+    }
+    }
+  }
+
+  void add(const core::TyCon *TC) {
+    if (!TC || !Seen.insert(TC).second)
+      return;
+    Ordered.push_back(TC);
+    // Transitive closure: field types of this tycon's constructors may
+    // mention further tycons.
+    for (const core::DataCon *DC : TC->dataCons())
+      for (const core::Type *F : DC->fields())
+        fromType(F);
+    fromRep(TC->resultRep());
+  }
+
+  const std::vector<const core::TyCon *> &tycons() const { return Ordered; }
+
+private:
+  core::CoreContext &C;
+  std::unordered_set<const core::TyCon *> Seen;
+  std::vector<const core::TyCon *> Ordered;
+};
+
+//===----------------------------------------------------------------------===//
+// Reader
+//===----------------------------------------------------------------------===//
+
+class CoreReader {
+public:
+  CoreReader(ByteReader &R, core::CoreContext &C) : R(R), C(C) {}
+
+  const core::RepTy *rep(unsigned Depth) {
+    if (Depth > MaxCoreDepth)
+      return fail();
+    uint8_t Tag = R.u8();
+    if (!R.ok())
+      return fail();
+    switch (Tag) {
+    case 0:
+      return C.repVar(C.sym(R.str()));
+    case 1: {
+      uint8_t A = R.u8();
+      if (!R.ok() || A >= NumRepCtors)
+        return fail();
+      return C.repAtom(static_cast<RepCtor>(A));
+    }
+    case 2:
+    case 3: {
+      uint32_t N = R.u32();
+      if (!R.ok() || N > MaxCoreCount)
+        return fail();
+      std::vector<const core::RepTy *> Elems(N);
+      for (uint32_t I = 0; I != N; ++I)
+        if (!(Elems[I] = rep(Depth + 1)))
+          return nullptr;
+      return Tag == 2 ? C.repTuple(Elems) : C.repSum(Elems);
+    }
+    }
+    return fail();
+  }
+
+  const core::Kind *kind(unsigned Depth) {
+    if (Depth > MaxCoreDepth)
+      return failK();
+    uint8_t Tag = R.u8();
+    if (!R.ok())
+      return failK();
+    switch (Tag) {
+    case 0: {
+      const core::RepTy *Rp = rep(Depth + 1);
+      return Rp ? C.kindTYPE(Rp) : nullptr;
+    }
+    case 1:
+      return C.repKind();
+    case 2: {
+      const core::Kind *P = kind(Depth + 1);
+      const core::Kind *Res = P ? kind(Depth + 1) : nullptr;
+      return Res ? C.kindArrow(P, Res) : nullptr;
+    }
+    }
+    return failK();
+  }
+
+  const core::Type *type(unsigned Depth) {
+    if (Depth > MaxCoreDepth)
+      return failT();
+    uint8_t Tag = R.u8();
+    if (!R.ok())
+      return failT();
+    switch (Tag) {
+    case 0: {
+      core::TyCon *TC = C.lookupTyCon(C.sym(R.str()));
+      if (!R.ok() || !TC)
+        return failT();
+      return C.conTy(TC);
+    }
+    case 1: {
+      const core::Type *Fn = type(Depth + 1);
+      const core::Type *Arg = Fn ? type(Depth + 1) : nullptr;
+      return Arg ? C.appTys(Fn, {&Arg, 1}) : nullptr;
+    }
+    case 2: {
+      const core::Type *P = type(Depth + 1);
+      const core::Type *Res = P ? type(Depth + 1) : nullptr;
+      return Res ? C.funTy(P, Res) : nullptr;
+    }
+    case 3: {
+      Symbol Name = C.sym(R.str());
+      const core::Kind *K = R.ok() ? kind(Depth + 1) : nullptr;
+      return K ? C.varTy(Name, K) : nullptr;
+    }
+    case 4: {
+      Symbol Var = C.sym(R.str());
+      const core::Kind *K = R.ok() ? kind(Depth + 1) : nullptr;
+      const core::Type *Body = K ? type(Depth + 1) : nullptr;
+      return Body ? C.forAllTy(Var, K, Body) : nullptr;
+    }
+    case 5: {
+      uint32_t N = R.u32();
+      if (!R.ok() || N > MaxCoreCount)
+        return failT();
+      std::vector<const core::Type *> Elems(N);
+      for (uint32_t I = 0; I != N; ++I)
+        if (!(Elems[I] = type(Depth + 1)))
+          return nullptr;
+      return C.unboxedTupleTy(Elems);
+    }
+    case 6: {
+      const core::RepTy *Rp = rep(Depth + 1);
+      return Rp ? C.repLiftTy(Rp) : nullptr;
+    }
+    }
+    return failT();
+  }
+
+  bool literal(core::Literal &Out) {
+    uint8_t Tag = R.u8();
+    if (!R.ok())
+      return false;
+    switch (Tag) {
+    case 0:
+      Out = core::Literal::intHash(R.i64());
+      return R.ok();
+    case 1:
+      Out = core::Literal::doubleHash(R.f64());
+      return R.ok();
+    case 2:
+      Out = core::Literal::string(C.sym(R.str()));
+      return R.ok();
+    }
+    R.fail();
+    return false;
+  }
+
+  const core::Expr *expr(unsigned Depth) {
+    if (Depth > MaxCoreDepth)
+      return failE();
+    uint8_t Tag = R.u8();
+    if (!R.ok())
+      return failE();
+    switch (Tag) {
+    case 0:
+      return C.var(C.sym(R.str()));
+    case 1: {
+      core::Literal L = core::Literal::intHash(0);
+      if (!literal(L))
+        return nullptr;
+      return C.arena().create<core::LitExpr>(L);
+    }
+    case 2: {
+      uint8_t Strict = R.u8();
+      if (!R.ok() || Strict > 1)
+        return failE();
+      const core::Expr *Fn = expr(Depth + 1);
+      const core::Expr *Arg = Fn ? expr(Depth + 1) : nullptr;
+      return Arg ? C.app(Fn, Arg, Strict != 0) : nullptr;
+    }
+    case 3: {
+      const core::Expr *Fn = expr(Depth + 1);
+      const core::Type *T = Fn ? type(Depth + 1) : nullptr;
+      return T ? C.tyApp(Fn, T) : nullptr;
+    }
+    case 4: {
+      Symbol Var = C.sym(R.str());
+      const core::Type *T = R.ok() ? type(Depth + 1) : nullptr;
+      const core::Expr *Body = T ? expr(Depth + 1) : nullptr;
+      return Body ? C.lam(Var, T, Body) : nullptr;
+    }
+    case 5: {
+      Symbol Var = C.sym(R.str());
+      const core::Kind *K = R.ok() ? kind(Depth + 1) : nullptr;
+      const core::Expr *Body = K ? expr(Depth + 1) : nullptr;
+      return Body ? C.tyLam(Var, K, Body) : nullptr;
+    }
+    case 6: {
+      Symbol Var = C.sym(R.str());
+      uint8_t Strict = R.u8();
+      if (!R.ok() || Strict > 1)
+        return failE();
+      const core::Type *T = type(Depth + 1);
+      const core::Expr *Rhs = T ? expr(Depth + 1) : nullptr;
+      const core::Expr *Body = Rhs ? expr(Depth + 1) : nullptr;
+      return Body ? C.let(Var, T, Rhs, Body, Strict != 0) : nullptr;
+    }
+    case 7: {
+      uint32_t N = R.u32();
+      if (!R.ok() || N > MaxCoreCount)
+        return failE();
+      std::vector<core::RecBinding> Binds(N);
+      for (uint32_t I = 0; I != N; ++I) {
+        Binds[I].Var = C.sym(R.str());
+        if (!R.ok() || !(Binds[I].VarTy = type(Depth + 1)) ||
+            !(Binds[I].Rhs = expr(Depth + 1)))
+          return nullptr;
+      }
+      const core::Expr *Body = expr(Depth + 1);
+      return Body ? C.letRec(Binds, Body) : nullptr;
+    }
+    case 8: {
+      const core::Expr *Scrut = expr(Depth + 1);
+      const core::Type *ResTy = Scrut ? type(Depth + 1) : nullptr;
+      uint32_t N = ResTy ? R.u32() : 0;
+      if (!ResTy || !R.ok() || N > MaxCoreCount)
+        return failE();
+      std::vector<core::Alt> Alts(N);
+      for (uint32_t I = 0; I != N; ++I) {
+        uint8_t K = R.u8();
+        if (!R.ok() || K > uint8_t(core::Alt::AltKind::Default))
+          return failE();
+        core::Alt &A = Alts[I];
+        A.Kind = static_cast<core::Alt::AltKind>(K);
+        switch (A.Kind) {
+        case core::Alt::AltKind::ConPat: {
+          A.Con = C.lookupDataCon(C.sym(R.str()));
+          if (!R.ok() || !A.Con)
+            return failE();
+          if (!binders(A.Binders))
+            return nullptr;
+          break;
+        }
+        case core::Alt::AltKind::LitPat:
+          if (!literal(A.Lit))
+            return nullptr;
+          break;
+        case core::Alt::AltKind::TuplePat:
+          if (!binders(A.Binders))
+            return nullptr;
+          break;
+        case core::Alt::AltKind::Default:
+          break;
+        }
+        if (!(A.Rhs = expr(Depth + 1)))
+          return nullptr;
+      }
+      return C.caseOf(Scrut, ResTy, Alts);
+    }
+    case 9: {
+      const core::DataCon *DC = C.lookupDataCon(C.sym(R.str()));
+      if (!R.ok() || !DC)
+        return failE();
+      uint32_t NT = R.u32();
+      if (!R.ok() || NT > MaxCoreCount)
+        return failE();
+      std::vector<const core::Type *> TyArgs(NT);
+      for (uint32_t I = 0; I != NT; ++I)
+        if (!(TyArgs[I] = type(Depth + 1)))
+          return nullptr;
+      uint32_t NA = R.u32();
+      if (!R.ok() || NA > MaxCoreCount)
+        return failE();
+      std::vector<const core::Expr *> Args(NA);
+      for (uint32_t I = 0; I != NA; ++I)
+        if (!(Args[I] = expr(Depth + 1)))
+          return nullptr;
+      return C.conApp(DC, TyArgs, Args);
+    }
+    case 10: {
+      uint8_t Op = R.u8();
+      if (!R.ok() || Op >= core::NumPrimOps)
+        return failE();
+      uint32_t N = R.u32();
+      if (!R.ok() || N > MaxCoreCount)
+        return failE();
+      std::vector<const core::Expr *> Args(N);
+      for (uint32_t I = 0; I != N; ++I)
+        if (!(Args[I] = expr(Depth + 1)))
+          return nullptr;
+      return C.primOp(static_cast<core::PrimOp>(Op),
+                      std::span<const core::Expr *const>(Args.data(),
+                                                         Args.size()));
+    }
+    case 11: {
+      uint32_t N = R.u32();
+      if (!R.ok() || N > MaxCoreCount)
+        return failE();
+      std::vector<const core::Expr *> Elems(N);
+      for (uint32_t I = 0; I != N; ++I)
+        if (!(Elems[I] = expr(Depth + 1)))
+          return nullptr;
+      return C.unboxedTuple(Elems);
+    }
+    case 12: {
+      const core::Type *T = type(Depth + 1);
+      const core::RepTy *Rp = T ? rep(Depth + 1) : nullptr;
+      const core::Expr *Msg = Rp ? expr(Depth + 1) : nullptr;
+      return Msg ? C.errorExpr(T, Rp, Msg) : nullptr;
+    }
+    }
+    return failE();
+  }
+
+  bool ok() const { return R.ok(); }
+
+private:
+  bool binders(std::span<const Symbol> &Out) {
+    uint32_t N = R.u32();
+    if (!R.ok() || N > MaxCoreCount) {
+      R.fail();
+      return false;
+    }
+    std::vector<Symbol> Syms(N);
+    for (uint32_t I = 0; I != N; ++I) {
+      Syms[I] = C.sym(R.str());
+      if (!R.ok())
+        return false;
+    }
+    Out = C.arena().copyArray(Syms);
+    return true;
+  }
+
+  const core::RepTy *fail() {
+    R.fail();
+    return nullptr;
+  }
+  const core::Kind *failK() {
+    R.fail();
+    return nullptr;
+  }
+  const core::Type *failT() {
+    R.fail();
+    return nullptr;
+  }
+  const core::Expr *failE() {
+    R.fail();
+    return nullptr;
+  }
+
+  ByteReader &R;
+  core::CoreContext &C;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Entry points
+//===----------------------------------------------------------------------===//
+
+bool levc::writeCoreSection(ByteWriter &W, core::CoreContext &C,
+                            const core::CoreProgram &Program,
+                            const std::vector<Symbol> &UserBindings) {
+  CoreWriter CW(W, C);
+
+  TyConCollector Collect(C);
+  for (const core::TopBinding &B : Program.Bindings) {
+    Collect.fromType(B.Ty);
+    Collect.fromExpr(B.Rhs);
+  }
+
+  // Two passes so constructor field types can reference any tycon in
+  // the table regardless of order: first every tycon shell (name, kind,
+  // result rep), then every tycon's constructor table.
+  W.u32(static_cast<uint32_t>(Collect.tycons().size()));
+  for (const core::TyCon *TC : Collect.tycons()) {
+    W.str(TC->name().str());
+    if (!CW.kind(TC->kind()) || !CW.rep(TC->resultRep()))
+      return false;
+  }
+  for (const core::TyCon *TC : Collect.tycons()) {
+    W.u32(static_cast<uint32_t>(TC->dataCons().size()));
+    for (const core::DataCon *DC : TC->dataCons()) {
+      W.str(DC->name().str());
+      W.u32(static_cast<uint32_t>(DC->univs().size()));
+      for (size_t I = 0; I != DC->univs().size(); ++I) {
+        W.str(DC->univs()[I].str());
+        if (!CW.kind(DC->univKinds()[I]))
+          return false;
+      }
+      W.u32(static_cast<uint32_t>(DC->fields().size()));
+      for (const core::Type *F : DC->fields())
+        if (!CW.type(F))
+          return false;
+    }
+  }
+
+  W.u32(static_cast<uint32_t>(Program.Bindings.size()));
+  for (const core::TopBinding &B : Program.Bindings) {
+    W.str(B.Name.str());
+    if (!CW.type(B.Ty) || !CW.expr(B.Rhs))
+      return false;
+  }
+
+  W.u32(static_cast<uint32_t>(UserBindings.size()));
+  for (Symbol S : UserBindings)
+    W.str(S.str());
+  return true;
+}
+
+bool levc::readCoreSection(ByteReader &R, core::CoreContext &C,
+                           core::CoreProgram &Program,
+                           std::vector<Symbol> &UserBindings) {
+  CoreReader CR(R, C);
+
+  // Pass 1a: tycon shells. Pre-existing (builtin) tycons are matched by
+  // name and left untouched — the decoder never duplicates them.
+  uint32_t NumTyCons = R.u32();
+  if (!R.ok() || NumTyCons > MaxCoreCount)
+    return false;
+  std::vector<core::TyCon *> TyCons(NumTyCons);
+  std::vector<bool> PreExisting(NumTyCons);
+  for (uint32_t I = 0; I != NumTyCons; ++I) {
+    Symbol Name = C.sym(R.str());
+    if (!R.ok())
+      return false;
+    const core::Kind *K = CR.kind(0);
+    if (!K)
+      return false;
+    const core::RepTy *ResultRep = CR.rep(0);
+    if (!ResultRep)
+      return false;
+    core::TyCon *Existing = C.lookupTyCon(Name);
+    PreExisting[I] = Existing != nullptr;
+    TyCons[I] = Existing ? Existing : C.makeTyCon(Name, K, ResultRep);
+  }
+
+  // Pass 1b: constructor tables (field types may reference any shell).
+  for (uint32_t I = 0; I != NumTyCons; ++I) {
+    uint32_t NumCons = R.u32();
+    if (!R.ok() || NumCons > MaxCoreCount)
+      return false;
+    for (uint32_t DI = 0; DI != NumCons; ++DI) {
+      Symbol ConName = C.sym(R.str());
+      if (!R.ok())
+        return false;
+      uint32_t NumUnivs = R.u32();
+      if (!R.ok() || NumUnivs > MaxCoreCount)
+        return false;
+      std::vector<Symbol> Univs(NumUnivs);
+      std::vector<const core::Kind *> UnivKinds(NumUnivs);
+      for (uint32_t U = 0; U != NumUnivs; ++U) {
+        Univs[U] = C.sym(R.str());
+        if (!R.ok() || !(UnivKinds[U] = CR.kind(0)))
+          return false;
+      }
+      uint32_t NumFields = R.u32();
+      if (!R.ok() || NumFields > MaxCoreCount)
+        return false;
+      std::vector<const core::Type *> Fields(NumFields);
+      for (uint32_t F = 0; F != NumFields; ++F)
+        if (!(Fields[F] = CR.type(0)))
+          return false;
+      // Builtin tycons already carry their constructors; validate
+      // presence by name instead of re-creating (which would duplicate
+      // them on the parent).
+      if (PreExisting[I]) {
+        if (!C.lookupDataCon(ConName))
+          return false;
+        continue;
+      }
+      C.makeDataCon(ConName, TyCons[I], std::move(Univs),
+                    std::move(UnivKinds), std::move(Fields));
+    }
+  }
+
+  // Pass 2: bindings.
+  uint32_t NumBindings = R.u32();
+  if (!R.ok() || NumBindings > MaxCoreCount)
+    return false;
+  for (uint32_t I = 0; I != NumBindings; ++I) {
+    core::TopBinding B;
+    B.Name = C.sym(R.str());
+    if (!R.ok())
+      return false;
+    if (!(B.Ty = CR.type(0)) || !(B.Rhs = CR.expr(0)))
+      return false;
+    Program.Bindings.push_back(B);
+  }
+
+  uint32_t NumUser = R.u32();
+  if (!R.ok() || NumUser > MaxCoreCount)
+    return false;
+  for (uint32_t I = 0; I != NumUser; ++I) {
+    UserBindings.push_back(C.sym(R.str()));
+    if (!R.ok())
+      return false;
+  }
+  return R.ok();
+}

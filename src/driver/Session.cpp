@@ -145,7 +145,9 @@ Compilation::MachinePipeline &Compilation::machine() const {
 }
 
 void Compilation::ensureFrontEnd() const {
-  if (!Hydrated)
+  // A CORE-section hydration installed Elaborated at decode time; the
+  // front end never needs to run.
+  if (!Hydrated || HydratedCore)
     return;
   // Rebuild the front end from the stored source, exactly once, through
   // the same stage sequence compileSource uses. The source compiled
@@ -209,7 +211,10 @@ Compilation::machineTerm(std::string_view Name) const {
     // Hydrated artifacts pre-populate MTerms with *every* top-level
     // binding; a slow-path miss can only be an unknown name. (Also keeps
     // this path from racing the lazy front-end rebuild on Elaborated.)
-    if (Hydrated)
+    // CORE-hydrated compilations carry the program — set before
+    // publication, no rebuild race — so they may lower like a
+    // front-end-built one.
+    if (Hydrated && !HydratedCore)
       return err("no M lowering for '" + std::string(Name) +
                  "' in the on-disk artifact (unknown global)");
     if (!Elaborated)
@@ -416,8 +421,9 @@ void Session::writeArtifact(const std::shared_ptr<Compilation> &Comp,
     return; // The store is a cache: serialization failures are non-fatal.
   if (!Store->store(Hash, *Bytes))
     return;
-  if (Opts.MaxStoredArtifacts)
-    if (size_t N = Store->evictOver(Opts.MaxStoredArtifacts))
+  if (Opts.MaxStoredArtifacts || Opts.MaxStoreBytes)
+    if (size_t N = Store->evictToBudget(Opts.MaxStoredArtifacts,
+                                        Opts.MaxStoreBytes))
       NumDiskEvictions.fetch_add(N, std::memory_order_relaxed);
 }
 

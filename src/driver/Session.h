@@ -116,10 +116,14 @@ struct CompileOptions {
   /// temp-file + atomic-rename with an advisory writer lock, and
   /// corrupt or stale-version entries are treated as misses.
   std::string StorePath;
-  /// Cap on the number of .levc entries kept in the store; 0 =
-  /// unbounded. Enforced after each write-behind store write by evicting
-  /// the oldest entries (by file modification time); evictions are
-  /// counted in Session::Stats::DiskEvictions.
+  /// Byte-size budget for the on-disk store; 0 = unbounded. The primary
+  /// store bound: after each write-behind store write, oldest-modified
+  /// entries are evicted until the store's total `.levc` size fits the
+  /// budget. Evictions are counted in Session::Stats::DiskEvictions.
+  uint64_t MaxStoreBytes = 0;
+  /// Secondary cap on the *number* of .levc entries kept in the store;
+  /// 0 = unbounded. Enforced together with MaxStoreBytes (oldest-first,
+  /// one pass, one lock).
   size_t MaxStoredArtifacts = 0;
 };
 
@@ -221,8 +225,14 @@ public:
   /// end. Hydrated compilations run on Backend::AbstractMachine with
   /// *zero* front-end or lowering work; the first use that genuinely
   /// needs core IR (a tree-interp run, program(), globalType()) rebuilds
-  /// the front end lazily, exactly once, thread-safely.
+  /// the front end lazily, exactly once, thread-safely — unless the
+  /// artifact carried a CORE section (see hydratedCore()).
   bool hydrated() const { return Hydrated; }
+
+  /// True when the artifact's CORE section restored the elaborated core
+  /// program, so even tree-interp runs and program() consumers skip the
+  /// front end (lex/parse/elaborate) entirely.
+  bool hydratedCore() const { return HydratedCore; }
 
   /// Per-stage wall-clock timings, in pipeline order. For hydrated
   /// compilations: the *original* build's stages (restored from the
@@ -384,6 +394,9 @@ private:
   /// True for store-rehydrated compilations (set before publication,
   /// constant afterwards).
   bool Hydrated = false;
+  /// True when hydration restored the core program from the artifact's
+  /// CORE section (set before publication, constant afterwards).
+  bool HydratedCore = false;
 
   /// Internally synchronized (see ctx()); mutable so const runs can
   /// allocate scratch nodes.

@@ -172,16 +172,26 @@ StepResult Evaluator::step(TypeEnv &Env, const Expr *E) {
   }
 
   case Expr::ExprKind::Con: {
-    // S_CON: I#[e] is strict in its payload.
+    // S_CON: constructors are strict in unboxed fields (evaluated left
+    // to right) and lazy in pointer fields, mirroring the kind-directed
+    // application rules.
     const auto *C = cast<ConExpr>(E);
-    if (isValue(C->payload()))
-      return {StepStatus::Value};
-    StepResult P = step(Env, C->payload());
-    if (P.Status == StepStatus::Stepped)
-      return {StepStatus::Stepped, Ctx.con(P.Next), "S_CON"};
-    if (P.Status == StepStatus::Bottom)
-      return {StepStatus::Bottom, nullptr, "S_CON/⊥"};
-    return {StepStatus::Stuck, nullptr, "stuck constructor payload"};
+    const LDataCon &Con = C->decl()->con(C->tag());
+    for (size_t I = 0; I != C->args().size(); ++I) {
+      if (Con.FieldReps[I] == ConcreteRep::P || isValue(C->args()[I]))
+        continue;
+      StepResult P = step(Env, C->args()[I]);
+      if (P.Status == StepStatus::Stepped) {
+        std::vector<const Expr *> Args(C->args().begin(), C->args().end());
+        Args[I] = P.Next;
+        return {StepStatus::Stepped, Ctx.conData(C->decl(), C->tag(), Args),
+                "S_CON"};
+      }
+      if (P.Status == StepStatus::Bottom)
+        return {StepStatus::Bottom, nullptr, "S_CON/⊥"};
+      return {StepStatus::Stuck, nullptr, "stuck constructor payload"};
+    }
+    return {StepStatus::Value};
   }
 
   case Expr::ExprKind::Prim: {
@@ -240,20 +250,51 @@ StepResult Evaluator::step(TypeEnv &Env, const Expr *E) {
 
   case Expr::ExprKind::Case: {
     const auto *C = cast<CaseExpr>(E);
-    // S_MATCH: case I#[n] of I#[x] → e2  →  e2[n/x].
-    if (const auto *Con = dyn_cast<ConExpr>(C->scrut())) {
-      if (const auto *Lit = dyn_cast<IntLitExpr>(Con->payload())) {
-        const Expr *Next =
-            substExprInExpr(Ctx, C->body(), C->binder(),
-                            Ctx.intLit(Lit->value()));
-        return {StepStatus::Stepped, Next, "S_MATCH"};
+    if (isValue(C->scrut())) {
+      // S_CASEk / S_CASEDEF: dispatch on the scrutinee value.
+      if (const auto *Con = dyn_cast<ConExpr>(C->scrut())) {
+        for (const LAlt &A : C->alts()) {
+          if (A.Pat != LAlt::PatKind::Con || A.Tag != Con->tag())
+            continue;
+          if (A.Binders.size() != Con->args().size())
+            return {StepStatus::Stuck, nullptr,
+                    "case alternative arity mismatch"};
+          // Bind fields: rename every binder fresh first so the
+          // field-by-field substitution below cannot capture a name
+          // free in an earlier (lazy, unevaluated) field payload.
+          const Expr *Rhs = A.Rhs;
+          std::vector<Symbol> Fresh(A.Binders.size());
+          for (size_t I = 0; I != A.Binders.size(); ++I) {
+            Fresh[I] = Ctx.symbols().fresh(A.Binders[I].str());
+            Rhs = substExprInExpr(Ctx, Rhs, A.Binders[I],
+                                  Ctx.var(Fresh[I]));
+          }
+          for (size_t I = 0; I != Fresh.size(); ++I)
+            Rhs = substExprInExpr(Ctx, Rhs, Fresh[I], Con->args()[I]);
+          return {StepStatus::Stepped, Rhs, "S_CASEk"};
+        }
+      } else if (const auto *Lit = dyn_cast<IntLitExpr>(C->scrut())) {
+        for (const LAlt &A : C->alts())
+          if (A.Pat == LAlt::PatKind::Int && A.IntVal == Lit->value())
+            return {StepStatus::Stepped, A.Rhs, "S_CASEk"};
+      } else if (const auto *DLit = dyn_cast<DoubleLitExpr>(C->scrut())) {
+        for (const LAlt &A : C->alts())
+          if (A.Pat == LAlt::PatKind::Dbl && A.DblVal == DLit->value())
+            return {StepStatus::Stepped, A.Rhs, "S_CASEk"};
+      } else if (!C->alts().empty()) {
+        return {StepStatus::Stuck, nullptr,
+                "case scrutinee value matches no pattern sort"};
       }
+      if (C->defaultRhs())
+        return {StepStatus::Stepped, C->defaultRhs(), "S_CASEDEF"};
+      return {StepStatus::Stuck, nullptr, "no matching case alternative"};
     }
     // S_CASE: reduce the scrutinee.
     StepResult S = step(Env, C->scrut());
     if (S.Status == StepStatus::Stepped)
       return {StepStatus::Stepped,
-              Ctx.caseOf(S.Next, C->binder(), C->body()), "S_CASE"};
+              Ctx.caseData(S.Next, C->decl(), C->alts(), C->defaultRhs()),
+              "S_CASE"};
     if (S.Status == StepStatus::Bottom)
       return {StepStatus::Bottom, nullptr, "S_CASE/⊥"};
     return {StepStatus::Stuck, nullptr, "stuck case scrutinee"};

@@ -17,9 +17,74 @@ TermGen::Generated TermGen::generate() {
   return {E, Ty};
 }
 
+void TermGen::initGenData() {
+  // data GDataN = G0 | G1 Int# | G2 Int Double# — one nullary tag, one
+  // strict unboxed field, and a lazy boxed field next to a strict
+  // double, so generated terms exercise every S_CON/S_CASEk shape. The
+  // name is freshened: several generators may share one context.
+  LDataDecl *D = Ctx.declareData(Ctx.symbols().fresh("GData"));
+  bool Ok = Ctx.addDataCon(D, Ctx.sym("G0"), {});
+  const Type *G1Fields[] = {Ctx.intHashTy()};
+  Ok = Ok && Ctx.addDataCon(D, Ctx.sym("G1"), G1Fields);
+  const Type *G2Fields[] = {Ctx.intTy(), Ctx.doubleHashTy()};
+  Ok = Ok && Ctx.addDataCon(D, Ctx.sym("G2"), G2Fields);
+  assert(Ok && "generator data decl must be well-formed");
+  (void)Ok;
+  GenData = D;
+}
+
+const Expr *TermGen::genConAt(unsigned Depth) {
+  unsigned Tag = pick(static_cast<unsigned>(GenData->numCons()));
+  const LDataCon &Con = GenData->con(Tag);
+  std::vector<const Expr *> Args;
+  for (const Type *F : Con.Fields)
+    Args.push_back(genExpr(F, Depth == 0 ? 0 : Depth - 1));
+  return Ctx.conData(GenData, Tag, Args);
+}
+
+const Expr *TermGen::genDataCase(const Type *Target, unsigned Depth) {
+  // case <GData scrutinee> of { G0 -> e ; G1[x] -> e ; G2[a, b] -> e }
+  // with an optional default; when a default is present, a random
+  // alternative is dropped so the default actually fires sometimes.
+  const Expr *Scrut = genExpr(GenData->type(), Depth - 1);
+  bool WithDefault = coin(0.4);
+  unsigned Dropped =
+      WithDefault ? pick(static_cast<unsigned>(GenData->numCons()))
+                  : GenData->numCons();
+  std::vector<LAlt> Alts;
+  std::vector<std::vector<Symbol>> BinderStore;
+  for (unsigned Tag = 0; Tag != GenData->numCons(); ++Tag) {
+    if (Tag == Dropped)
+      continue;
+    const LDataCon &Con = GenData->con(Tag);
+    LAlt A;
+    A.Pat = LAlt::PatKind::Con;
+    A.Tag = Tag;
+    BinderStore.emplace_back();
+    for (const Type *F : Con.Fields) {
+      Symbol X = Ctx.symbols().fresh("g");
+      BinderStore.back().push_back(X);
+      Env.pushTerm(X, F);
+      Scope.push_back({X, F});
+    }
+    A.Binders = std::span<const Symbol>(BinderStore.back().data(),
+                                        BinderStore.back().size());
+    A.Rhs = genExpr(Target, Depth - 1);
+    for (size_t I = 0; I != Con.Fields.size(); ++I) {
+      Scope.pop_back();
+      Env.popTerm();
+    }
+    Alts.push_back(A);
+  }
+  const Expr *Default =
+      WithDefault ? genExpr(Target, Depth - 1) : nullptr;
+  return Ctx.caseData(Scrut, GenData, Alts, Default);
+}
+
 const Type *TermGen::genMonoType(unsigned Depth) {
-  // Prefer base types; occasionally an arrow (arrows have kind TYPE P).
-  unsigned Choice = pick(Depth == 0 ? 3 : 5);
+  // Prefer base types; occasionally the generator's data type or an
+  // arrow (both have kind TYPE P).
+  unsigned Choice = pick(Depth == 0 ? 4 : 6);
   switch (Choice) {
   case 0:
     return Ctx.intTy();
@@ -27,6 +92,10 @@ const Type *TermGen::genMonoType(unsigned Depth) {
     return Ctx.intHashTy();
   case 2:
     return Ctx.doubleHashTy();
+  case 3:
+    if (GenData)
+      return GenData->type();
+    return Ctx.intTy();
   default:
     return Ctx.arrowTy(genMonoType(Depth - 1), genMonoType(Depth - 1));
   }
@@ -93,6 +162,8 @@ const Expr *TermGen::genExpr(const Type *Target, unsigned Depth) {
       return Ctx.doubleLit(double(pick(100)) / 2.0);
     case Type::TypeKind::Int:
       return Ctx.con(Ctx.intLit(int64_t(pick(100))));
+    case Type::TypeKind::Data:
+      return genConAt(0);
     case Type::TypeKind::Arrow: {
       const auto *A = cast<ArrowType>(Target);
       // E_LAM needs a concrete binder kind; when the parameter is
@@ -130,6 +201,13 @@ const Expr *TermGen::genExpr(const Type *Target, unsigned Depth) {
 
   // Structure-directed introductions.
   switch (Target->kind()) {
+  case Type::TypeKind::Data:
+    // Constructor introduction is the common case; fall through to the
+    // elimination forms otherwise (an application or case can also
+    // produce a data value).
+    if (coin(0.6))
+      return genConAt(Depth);
+    break;
   case Type::TypeKind::Arrow: {
     const auto *A = cast<ArrowType>(Target);
     // An arrow can also come from an application or a redex, but lambda
@@ -201,15 +279,37 @@ const Expr *TermGen::genExpr(const Type *Target, unsigned Depth) {
       return Ctx.app(Fn, Arg);
     }
     case UseCase: {
-      // case e1 of I#[x] → e2, scrutinee : Int, body : Target.
-      const Expr *Scrut = genExpr(Ctx.intTy(), Depth - 1);
-      Symbol X = Ctx.symbols().fresh("x");
-      Env.pushTerm(X, Ctx.intHashTy());
-      Scope.push_back({X, Ctx.intHashTy()});
-      const Expr *Body = genExpr(Target, Depth - 1);
-      Scope.pop_back();
-      Env.popTerm();
-      return Ctx.caseOf(Scrut, X, Body);
+      // One of the three case shapes, all at Target:
+      //   * the paper's one-armed I# unboxing case,
+      //   * a multi-way Int# literal case with a default,
+      //   * a tag-dispatch case over the generator's data type.
+      unsigned Shape = pick(GenData ? 3 : 2);
+      if (Shape == 0) {
+        const Expr *Scrut = genExpr(Ctx.intTy(), Depth - 1);
+        Symbol X = Ctx.symbols().fresh("x");
+        Env.pushTerm(X, Ctx.intHashTy());
+        Scope.push_back({X, Ctx.intHashTy()});
+        const Expr *Body = genExpr(Target, Depth - 1);
+        Scope.pop_back();
+        Env.popTerm();
+        return Ctx.caseOf(Scrut, X, Body);
+      }
+      if (Shape == 1) {
+        // case <Int#> of { n1 -> e ; [n2 -> e ;] _ -> e }.
+        const Expr *Scrut = genExpr(Ctx.intHashTy(), Depth - 1);
+        std::vector<LAlt> Alts;
+        unsigned NumLits = 1 + pick(2);
+        for (unsigned I = 0; I != NumLits; ++I) {
+          LAlt A;
+          A.Pat = LAlt::PatKind::Int;
+          A.IntVal = int64_t(pick(4));
+          A.Rhs = genExpr(Target, Depth - 1);
+          Alts.push_back(A);
+        }
+        return Ctx.caseData(Scrut, nullptr, Alts,
+                            genExpr(Target, Depth - 1));
+      }
+      return genDataCase(Target, Depth);
     }
     case UseIf0: {
       // if0 e1 then e2 else e3 at Target, with an Int# scrutinee —

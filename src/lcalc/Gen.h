@@ -36,6 +36,8 @@ public:
     unsigned MaxDepth = 5;     ///< Recursion budget.
     bool AllowError = true;    ///< Permit `error` subterms (⊥ outcomes).
     bool AllowRepPoly = true;  ///< Permit Λr/ρ-application forms.
+    bool AllowData = true;     ///< Permit n-ary constructors/cases over
+                               ///< the generator's own data type.
   };
 
   struct Generated {
@@ -44,7 +46,10 @@ public:
   };
 
   TermGen(LContext &Ctx, uint64_t Seed, Options Opts)
-      : Ctx(Ctx), TC(Ctx), Rng(Seed), Opts(Opts) {}
+      : Ctx(Ctx), TC(Ctx), Rng(Seed), Opts(Opts) {
+    if (Opts.AllowData)
+      initGenData();
+  }
   TermGen(LContext &Ctx, uint64_t Seed) : TermGen(Ctx, Seed, Options()) {}
 
   /// Generates one closed, well-typed expression and its type.
@@ -67,12 +72,24 @@ private:
   /// Helpers producing particular shapes.
   const Expr *genErrorAt(const Type *Target, unsigned Depth);
 
+  /// Declares this generator's three-constructor data type (a nullary
+  /// tag, a strict Int# field, and a lazy Int field next to a strict
+  /// Double# field) in the context, under a fresh name.
+  void initGenData();
+  /// A constructor of the generator's data type.
+  const Expr *genConAt(unsigned Depth);
+  /// A multi-alternative case over the generator's data type at
+  /// \p Target.
+  const Expr *genDataCase(const Type *Target, unsigned Depth);
+
   LContext &Ctx;
   TypeChecker TC;
   std::mt19937_64 Rng;
   Options Opts;
   TypeEnv Env;
   unsigned NextVar = 0;
+  /// The generator's own data declaration (null when !AllowData).
+  const LDataDecl *GenData = nullptr;
 
   struct TermBinding {
     Symbol Name;

@@ -46,15 +46,21 @@ void lcalc::freeTermVars(const Expr *E, SymbolSet &Out) {
     freeTermVars(cast<RepAppExpr>(E)->fn(), Out);
     return;
   case Expr::ExprKind::Con:
-    freeTermVars(cast<ConExpr>(E)->payload(), Out);
+    for (const Expr *A : cast<ConExpr>(E)->args())
+      freeTermVars(A, Out);
     return;
   case Expr::ExprKind::Case: {
     const auto *C = cast<CaseExpr>(E);
     freeTermVars(C->scrut(), Out);
-    SymbolSet Body;
-    freeTermVars(C->body(), Body);
-    Body.erase(C->binder());
-    Out.insert(Body.begin(), Body.end());
+    for (const LAlt &A : C->alts()) {
+      SymbolSet Body;
+      freeTermVars(A.Rhs, Body);
+      for (Symbol B : A.Binders)
+        Body.erase(B);
+      Out.insert(Body.begin(), Body.end());
+    }
+    if (C->defaultRhs())
+      freeTermVars(C->defaultRhs(), Out);
     return;
   }
   case Expr::ExprKind::Prim: {
@@ -90,6 +96,7 @@ void lcalc::freeTypeVars(const Type *T, SymbolSet &Out) {
   case Type::TypeKind::Int:
   case Type::TypeKind::IntHash:
   case Type::TypeKind::DoubleHash:
+  case Type::TypeKind::Data: // Decl field types are closed.
     return;
   case Type::TypeKind::Var:
     Out.insert(cast<VarType>(T)->name());
@@ -154,12 +161,16 @@ void lcalc::freeTypeVars(const Expr *E, SymbolSet &Out) {
     freeTypeVars(cast<RepAppExpr>(E)->fn(), Out);
     return;
   case Expr::ExprKind::Con:
-    freeTypeVars(cast<ConExpr>(E)->payload(), Out);
+    for (const Expr *A : cast<ConExpr>(E)->args())
+      freeTypeVars(A, Out);
     return;
   case Expr::ExprKind::Case: {
     const auto *C = cast<CaseExpr>(E);
     freeTypeVars(C->scrut(), Out);
-    freeTypeVars(C->body(), Out);
+    for (const LAlt &A : C->alts())
+      freeTypeVars(A.Rhs, Out);
+    if (C->defaultRhs())
+      freeTypeVars(C->defaultRhs(), Out);
     return;
   }
   case Expr::ExprKind::Prim: {
@@ -199,6 +210,7 @@ void lcalc::freeRepVars(const Type *T, SymbolSet &Out) {
   case Type::TypeKind::IntHash:
   case Type::TypeKind::DoubleHash:
   case Type::TypeKind::Var:
+  case Type::TypeKind::Data:
     return;
   case Type::TypeKind::Arrow: {
     const auto *A = cast<ArrowType>(T);
@@ -269,12 +281,16 @@ void lcalc::freeRepVars(const Expr *E, SymbolSet &Out) {
     return;
   }
   case Expr::ExprKind::Con:
-    freeRepVars(cast<ConExpr>(E)->payload(), Out);
+    for (const Expr *A : cast<ConExpr>(E)->args())
+      freeRepVars(A, Out);
     return;
   case Expr::ExprKind::Case: {
     const auto *C = cast<CaseExpr>(E);
     freeRepVars(C->scrut(), Out);
-    freeRepVars(C->body(), Out);
+    for (const LAlt &A : C->alts())
+      freeRepVars(A.Rhs, Out);
+    if (C->defaultRhs())
+      freeRepVars(C->defaultRhs(), Out);
     return;
   }
   case Expr::ExprKind::Prim: {
@@ -335,6 +351,7 @@ const Type *lcalc::substTypeInType(LContext &Ctx, const Type *T, Symbol Var,
   case Type::TypeKind::Int:
   case Type::TypeKind::IntHash:
   case Type::TypeKind::DoubleHash:
+  case Type::TypeKind::Data:
     return T;
   case Type::TypeKind::Var:
     return cast<VarType>(T)->name() == Var ? Replacement : T;
@@ -396,6 +413,7 @@ const Type *lcalc::substRepInType(LContext &Ctx, const Type *T, Symbol RepVar,
   case Type::TypeKind::IntHash:
   case Type::TypeKind::DoubleHash:
   case Type::TypeKind::Var:
+  case Type::TypeKind::Data:
     return T;
   case Type::TypeKind::Arrow: {
     const auto *A = cast<ArrowType>(T);
@@ -504,32 +522,62 @@ const Expr *lcalc::substExprInExpr(LContext &Ctx, const Expr *E, Symbol Var,
   }
   case Expr::ExprKind::Con: {
     const auto *C = cast<ConExpr>(E);
-    const Expr *P = substExprInExpr(Ctx, C->payload(), Var, Replacement);
-    if (P == C->payload())
+    std::vector<const Expr *> Args(C->args().begin(), C->args().end());
+    bool Changed = false;
+    for (const Expr *&A : Args) {
+      const Expr *N = substExprInExpr(Ctx, A, Var, Replacement);
+      Changed |= N != A;
+      A = N;
+    }
+    if (!Changed)
       return E;
-    return Ctx.con(P);
+    return Ctx.conData(C->decl(), C->tag(), Args);
   }
   case Expr::ExprKind::Case: {
     const auto *C = cast<CaseExpr>(E);
     const Expr *Scrut = substExprInExpr(Ctx, C->scrut(), Var, Replacement);
-    if (C->binder() == Var) {
-      if (Scrut == C->scrut())
-        return E;
-      return Ctx.caseOf(Scrut, C->binder(), C->body());
-    }
+    bool Changed = Scrut != C->scrut();
+
     SymbolSet FV;
     freeTermVars(Replacement, FV);
-    Symbol Bound = C->binder();
-    const Expr *Body = C->body();
-    if (FV.count(Bound)) {
-      Symbol Fresh = Ctx.symbols().fresh(Bound.str());
-      Body = substExprInExpr(Ctx, Body, Bound, Ctx.var(Fresh));
-      Bound = Fresh;
+    std::vector<LAlt> Alts(C->alts().begin(), C->alts().end());
+    for (LAlt &A : Alts) {
+      bool Shadowed = false;
+      for (Symbol B : A.Binders)
+        Shadowed |= B == Var;
+      if (Shadowed)
+        continue;
+      // Freshen any binder that would capture a free variable of the
+      // replacement.
+      std::vector<Symbol> Binders(A.Binders.begin(), A.Binders.end());
+      const Expr *Rhs = A.Rhs;
+      bool Renamed = false;
+      for (Symbol &B : Binders) {
+        if (!FV.count(B))
+          continue;
+        Symbol Fresh = Ctx.symbols().fresh(B.str());
+        Rhs = substExprInExpr(Ctx, Rhs, B, Ctx.var(Fresh));
+        B = Fresh;
+        Renamed = true;
+      }
+      const Expr *NewRhs = substExprInExpr(Ctx, Rhs, Var, Replacement);
+      if (!Renamed && NewRhs == A.Rhs)
+        continue;
+      if (Renamed)
+        A.Binders = std::span<const Symbol>(
+            Ctx.arena().copyArray(Binders));
+      A.Rhs = NewRhs;
+      Changed = true;
     }
-    const Expr *NewBody = substExprInExpr(Ctx, Body, Var, Replacement);
-    if (Scrut == C->scrut() && Bound == C->binder() && NewBody == C->body())
+    const Expr *Def = C->defaultRhs();
+    if (Def) {
+      const Expr *NewDef = substExprInExpr(Ctx, Def, Var, Replacement);
+      Changed |= NewDef != Def;
+      Def = NewDef;
+    }
+    if (!Changed)
       return E;
-    return Ctx.caseOf(Scrut, Bound, NewBody);
+    return Ctx.caseData(Scrut, C->decl(), Alts, Def);
   }
   case Expr::ExprKind::Prim: {
     const auto *P = cast<PrimExpr>(E);
@@ -651,18 +699,36 @@ const Expr *lcalc::substTypeInExpr(LContext &Ctx, const Expr *E, Symbol Var,
   }
   case Expr::ExprKind::Con: {
     const auto *C = cast<ConExpr>(E);
-    const Expr *P = substTypeInExpr(Ctx, C->payload(), Var, Replacement);
-    if (P == C->payload())
+    std::vector<const Expr *> Args(C->args().begin(), C->args().end());
+    bool Changed = false;
+    for (const Expr *&A : Args) {
+      const Expr *N = substTypeInExpr(Ctx, A, Var, Replacement);
+      Changed |= N != A;
+      A = N;
+    }
+    if (!Changed)
       return E;
-    return Ctx.con(P);
+    return Ctx.conData(C->decl(), C->tag(), Args);
   }
   case Expr::ExprKind::Case: {
     const auto *C = cast<CaseExpr>(E);
     const Expr *Scrut = substTypeInExpr(Ctx, C->scrut(), Var, Replacement);
-    const Expr *Body = substTypeInExpr(Ctx, C->body(), Var, Replacement);
-    if (Scrut == C->scrut() && Body == C->body())
+    bool Changed = Scrut != C->scrut();
+    std::vector<LAlt> Alts(C->alts().begin(), C->alts().end());
+    for (LAlt &A : Alts) {
+      const Expr *NewRhs = substTypeInExpr(Ctx, A.Rhs, Var, Replacement);
+      Changed |= NewRhs != A.Rhs;
+      A.Rhs = NewRhs;
+    }
+    const Expr *Def = C->defaultRhs();
+    if (Def) {
+      const Expr *NewDef = substTypeInExpr(Ctx, Def, Var, Replacement);
+      Changed |= NewDef != Def;
+      Def = NewDef;
+    }
+    if (!Changed)
       return E;
-    return Ctx.caseOf(Scrut, C->binder(), Body);
+    return Ctx.caseData(Scrut, C->decl(), Alts, Def);
   }
   case Expr::ExprKind::Prim: {
     const auto *P = cast<PrimExpr>(E);
@@ -762,18 +828,36 @@ const Expr *lcalc::substRepInExpr(LContext &Ctx, const Expr *E, Symbol RepVar,
   }
   case Expr::ExprKind::Con: {
     const auto *C = cast<ConExpr>(E);
-    const Expr *P = substRepInExpr(Ctx, C->payload(), RepVar, Rep);
-    if (P == C->payload())
+    std::vector<const Expr *> Args(C->args().begin(), C->args().end());
+    bool Changed = false;
+    for (const Expr *&A : Args) {
+      const Expr *N = substRepInExpr(Ctx, A, RepVar, Rep);
+      Changed |= N != A;
+      A = N;
+    }
+    if (!Changed)
       return E;
-    return Ctx.con(P);
+    return Ctx.conData(C->decl(), C->tag(), Args);
   }
   case Expr::ExprKind::Case: {
     const auto *C = cast<CaseExpr>(E);
     const Expr *Scrut = substRepInExpr(Ctx, C->scrut(), RepVar, Rep);
-    const Expr *Body = substRepInExpr(Ctx, C->body(), RepVar, Rep);
-    if (Scrut == C->scrut() && Body == C->body())
+    bool Changed = Scrut != C->scrut();
+    std::vector<LAlt> Alts(C->alts().begin(), C->alts().end());
+    for (LAlt &A : Alts) {
+      const Expr *NewRhs = substRepInExpr(Ctx, A.Rhs, RepVar, Rep);
+      Changed |= NewRhs != A.Rhs;
+      A.Rhs = NewRhs;
+    }
+    const Expr *Def = C->defaultRhs();
+    if (Def) {
+      const Expr *NewDef = substRepInExpr(Ctx, Def, RepVar, Rep);
+      Changed |= NewDef != Def;
+      Def = NewDef;
+    }
+    if (!Changed)
       return E;
-    return Ctx.caseOf(Scrut, C->binder(), Body);
+    return Ctx.caseData(Scrut, C->decl(), Alts, Def);
   }
   case Expr::ExprKind::Prim: {
     const auto *P = cast<PrimExpr>(E);

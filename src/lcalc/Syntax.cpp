@@ -13,6 +13,70 @@
 using namespace levity;
 using namespace levity::lcalc;
 
+LContext::LContext() {
+  (void)errorType();
+  // Seal the built-in Int declaration: constructor I# (tag 0), one
+  // strict Int# field, valued at the IntType singleton.
+  IntDecl.Name = sym("Int");
+  IntDecl.Ty = intTy();
+  LDataCon IHash;
+  IHash.Name = sym("I#");
+  IHash.Fields = {intHashTy()};
+  IHash.FieldReps = {ConcreteRep::I};
+  IntDecl.Cons.push_back(std::move(IHash));
+}
+
+std::optional<ConcreteRep> lcalc::dataFieldRep(const Type *T) {
+  switch (T->kind()) {
+  case Type::TypeKind::Int:
+  case Type::TypeKind::Arrow:
+  case Type::TypeKind::Data:
+    return ConcreteRep::P;
+  case Type::TypeKind::IntHash:
+    return ConcreteRep::I;
+  case Type::TypeKind::DoubleHash:
+    return ConcreteRep::D;
+  case Type::TypeKind::ForAll:
+    // T_ALLTY: the forall's kind is its body's kind (type erasure).
+    return dataFieldRep(cast<ForAllType>(T)->body());
+  case Type::TypeKind::ForAllRep:
+    return dataFieldRep(cast<ForAllRepType>(T)->body());
+  case Type::TypeKind::Var:
+    // Field types must be closed; a free variable's rep is unknown.
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+LDataDecl *LContext::declareData(Symbol Name) {
+  assert(!DataDecls.count(Name) && "data type name already declared");
+  DataDeclStorage.push_back(std::make_unique<LDataDecl>(Name));
+  LDataDecl *Decl = DataDeclStorage.back().get();
+  Decl->Ty = Mem.create<DataType>(Decl);
+  DataDecls.emplace(Name, Decl);
+  return Decl;
+}
+
+bool LContext::addDataCon(LDataDecl *Decl, Symbol ConName,
+                          std::span<const Type *const> Fields) {
+  LDataCon Con;
+  Con.Name = ConName;
+  for (const Type *F : Fields) {
+    std::optional<ConcreteRep> R = dataFieldRep(F);
+    if (!R)
+      return false;
+    Con.Fields.push_back(F);
+    Con.FieldReps.push_back(*R);
+  }
+  Decl->Cons.push_back(std::move(Con));
+  return true;
+}
+
+const LDataDecl *LContext::lookupData(Symbol Name) const {
+  auto It = DataDecls.find(Name);
+  return It == DataDecls.end() ? nullptr : It->second;
+}
+
 std::string RuntimeRep::str() const {
   if (isVar())
     return std::string(Var.str());
@@ -51,6 +115,9 @@ void printType(std::ostringstream &OS, const Type *T, int Prec) {
     return;
   case Type::TypeKind::Var:
     OS << cast<VarType>(T)->name().str();
+    return;
+  case Type::TypeKind::Data:
+    OS << cast<DataType>(T)->decl()->name().str();
     return;
   case Type::TypeKind::Arrow: {
     const auto *A = cast<ArrowType>(T);
@@ -166,9 +233,18 @@ void printExpr(std::ostringstream &OS, const Expr *E, int Prec) {
   }
   case Expr::ExprKind::Con: {
     const auto *C = cast<ConExpr>(E);
-    OS << "I#[";
-    printExpr(OS, C->payload(), PrecTop);
-    OS << "]";
+    OS << C->decl()->con(C->tag()).Name.str();
+    if (!C->args().empty()) {
+      OS << "[";
+      bool First = true;
+      for (const Expr *A : C->args()) {
+        if (!First)
+          OS << ", ";
+        First = false;
+        printExpr(OS, A, PrecTop);
+      }
+      OS << "]";
+    }
     return;
   }
   case Expr::ExprKind::Case: {
@@ -177,8 +253,57 @@ void printExpr(std::ostringstream &OS, const Expr *E, int Prec) {
       OS << "(";
     OS << "case ";
     printExpr(OS, C->scrut(), PrecTop);
-    OS << " of I#[" << C->binder().str() << "] -> ";
-    printExpr(OS, C->body(), PrecTop);
+    OS << " of ";
+    // The paper's one-armed unboxing case prints in its Figure 2 shape;
+    // everything else gets the braced multi-alternative form.
+    if (C->decl() && C->alts().size() == 1 && !C->defaultRhs() &&
+        C->alts()[0].Pat == LAlt::PatKind::Con &&
+        C->alts()[0].Binders.size() == 1) {
+      const LAlt &A = C->alts()[0];
+      OS << C->decl()->con(A.Tag).Name.str() << "["
+         << A.Binders[0].str() << "] -> ";
+      printExpr(OS, A.Rhs, PrecTop);
+    } else {
+      OS << "{ ";
+      bool First = true;
+      for (const LAlt &A : C->alts()) {
+        if (!First)
+          OS << " ; ";
+        First = false;
+        switch (A.Pat) {
+        case LAlt::PatKind::Con: {
+          OS << C->decl()->con(A.Tag).Name.str();
+          if (!A.Binders.empty()) {
+            OS << "[";
+            bool FirstB = true;
+            for (Symbol B : A.Binders) {
+              if (!FirstB)
+                OS << ", ";
+              FirstB = false;
+              OS << B.str();
+            }
+            OS << "]";
+          }
+          break;
+        }
+        case LAlt::PatKind::Int:
+          OS << A.IntVal;
+          break;
+        case LAlt::PatKind::Dbl:
+          OS << A.DblVal << "##";
+          break;
+        }
+        OS << " -> ";
+        printExpr(OS, A.Rhs, PrecTop);
+      }
+      if (C->defaultRhs()) {
+        if (!First)
+          OS << " ; ";
+        OS << "_ -> ";
+        printExpr(OS, C->defaultRhs(), PrecTop);
+      }
+      OS << " }";
+    }
     if (Prec > PrecTop)
       OS << ")";
     return;
@@ -444,6 +569,11 @@ bool typesAlphaEqual(const Type *A, const Type *B, AlphaEnv &Env) {
   case Type::TypeKind::IntHash:
   case Type::TypeKind::DoubleHash:
     return true;
+  case Type::TypeKind::Data:
+    // Decls are interned per context; across contexts, names identify.
+    return cast<DataType>(A)->decl() == cast<DataType>(B)->decl() ||
+           cast<DataType>(A)->decl()->name() ==
+               cast<DataType>(B)->decl()->name();
   case Type::TypeKind::Var:
     return Env.varsEqual(cast<VarType>(A)->name(), cast<VarType>(B)->name());
   case Type::TypeKind::Arrow: {
@@ -491,8 +621,16 @@ bool lcalc::isValue(const Expr *E) {
     return isValue(cast<TyLamExpr>(E)->body());
   case Expr::ExprKind::RepLam:
     return isValue(cast<RepLamExpr>(E)->body());
-  case Expr::ExprKind::Con:
-    return isValue(cast<ConExpr>(E)->payload());
+  case Expr::ExprKind::Con: {
+    // Constructors are strict in unboxed fields only; pointer fields are
+    // lazy (substituted unevaluated, like S_BETAPTR arguments).
+    const auto *C = cast<ConExpr>(E);
+    const LDataCon &Con = C->decl()->con(C->tag());
+    for (size_t I = 0; I != C->args().size(); ++I)
+      if (Con.FieldReps[I] != ConcreteRep::P && !isValue(C->args()[I]))
+        return false;
+    return true;
+  }
   default:
     return false;
   }

@@ -14,21 +14,33 @@
 ///   υ ::= P | I | D                  concrete reps
 ///   ρ ::= r | υ                      runtime reps
 ///   κ ::= TYPE ρ                     kinds
-///   B ::= Int | Int# | Double#       base types
+///   B ::= Int | Int# | Double# | T   base types (T a declared data type)
 ///   τ ::= B | τ1 → τ2 | α | ∀α:κ. τ | ∀r. τ
 ///   e ::= x | e1 e2 | λx:τ. e | Λα:κ. e | e τ | Λr. e | e ρ
-///       | I#[e] | case e1 of I#[x] → e2 | n | d | error
+///       | C_k[e1, …, en] | case e1 of { alt; …; _ → e } | n | d | error
 ///       | e1 ⊕# e2 | if0 e1 then e2 else e3 | fix x:τ. e
-///   v ::= λx:τ. e | Λα:κ. v | Λr. v | I#[v] | n | d
+///   alt ::= C_k[x1, …, xn] → e | n → e | d → e
+///   v ::= λx:τ. e | Λα:κ. v | Λr. v | C_k[e̅] | n | d
 /// \endcode
+///
+/// Algebraic data generalizes the paper's single boxed type Int: an
+/// LDataDecl names a lifted (TYPE P) type with tagged constructors
+/// C_0 … C_{m-1}, each with field types of concrete rep. `Int` with its
+/// constructor `I#` (one Int# field) is simply the built-in instance of
+/// the scheme. Constructors are strict in unboxed (I/D) fields and lazy
+/// in pointer (P) fields — the same kind-directed discipline the
+/// application rules use — so a constructor is a *value* once its
+/// unboxed fields are (C_k[e̅] above). `case` branches on constructor
+/// tags, Int# literals, or Double# literals, with an optional default
+/// alternative.
 ///
 /// The extensions beyond Figure 2 — Double# (a second unboxed literal
 /// sort with its own register class D), binary primops over both unboxed
 /// sorts (arithmetic and comparisons; comparisons return Int# 0/1), an
-/// `if0` branch on an Int# scrutinee, and a `fix` recursion form at
-/// lifted (TYPE P) types — are all representation-monomorphic, so they
-/// interact with neither levity polymorphism nor the E_LAM/E_APP
-/// restrictions.
+/// `if0` branch on an Int# scrutinee, n-ary tagged constructors with the
+/// tag-dispatch `case`, and a `fix` recursion form at lifted (TYPE P)
+/// types — are all representation-monomorphic, so they interact with
+/// neither levity polymorphism nor the E_LAM/E_APP restrictions.
 ///
 /// Nodes are immutable and arena-allocated by an LContext. Variables are
 /// named Symbols (as in the paper's presentation); substitution is
@@ -46,7 +58,12 @@
 
 #include <cassert>
 #include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 namespace levity {
 namespace lcalc {
@@ -130,6 +147,8 @@ private:
 // Types
 //===----------------------------------------------------------------------===//
 
+class LDataDecl;
+
 /// τ — a type of L. Subclasses carry the payloads; discrimination is via
 /// the kind() tag and classof, LLVM-style.
 class Type {
@@ -141,7 +160,8 @@ public:
     Arrow,      ///< τ1 → τ2, kind TYPE P.
     Var,        ///< A type variable α.
     ForAll,     ///< ∀α:κ. τ.
-    ForAllRep   ///< ∀r. τ.
+    ForAllRep,  ///< ∀r. τ.
+    Data        ///< A declared algebraic data type T, kind TYPE P.
   };
 
   TypeKind kind() const { return Kind; }
@@ -239,6 +259,73 @@ private:
   Symbol RepVar;
   const Type *Body;
 };
+
+/// T — a declared algebraic data type (boxed and lifted, kind TYPE P).
+/// One singleton node per LDataDecl, owned by the decl's LContext.
+class DataType : public Type {
+public:
+  explicit DataType(const LDataDecl *Decl)
+      : Type(TypeKind::Data), Decl(Decl) {}
+
+  const LDataDecl *decl() const { return Decl; }
+
+  static bool classof(const Type *T) { return T->kind() == TypeKind::Data; }
+
+private:
+  const LDataDecl *Decl;
+};
+
+//===----------------------------------------------------------------------===//
+// Data declarations
+//===----------------------------------------------------------------------===//
+
+/// One constructor C_k of a data declaration: a name, ordered field
+/// types, and their (pre-computed) concrete reps. Unboxed (I/D) fields
+/// are strict; pointer (P) fields are lazy — mirroring the kind-directed
+/// evaluation order of the application rules.
+struct LDataCon {
+  Symbol Name;
+  std::vector<const Type *> Fields;
+  std::vector<ConcreteRep> FieldReps;
+
+  size_t arity() const { return Fields.size(); }
+};
+
+/// A named algebraic data type: an ordered list of tagged constructors.
+/// Declared through LContext::declareData + addDataCon; the decl's
+/// constructors are sealed before the first expression mentions them.
+/// The paper's Int is the built-in instance (constructor I#, tag 0, one
+/// Int# field) — see LContext::intDataDecl().
+class LDataDecl {
+public:
+  Symbol name() const { return Name; }
+  /// The L type of this decl's values (the DataType singleton; the
+  /// IntType singleton for the built-in Int decl).
+  const Type *type() const { return Ty; }
+  size_t numCons() const { return Cons.size(); }
+  const LDataCon &con(unsigned Tag) const {
+    assert(Tag < Cons.size() && "constructor tag out of range");
+    return Cons[Tag];
+  }
+  const std::vector<LDataCon> &cons() const { return Cons; }
+
+  /// Use LContext::declareData — constructing a decl directly leaves it
+  /// unregistered and typeless.
+  explicit LDataDecl(Symbol Name) : Name(Name) {}
+
+private:
+  friend class LContext;
+
+  Symbol Name;
+  const Type *Ty = nullptr;
+  std::vector<LDataCon> Cons;
+};
+
+/// The concrete rep of a closed constructor-field type, or nullopt when
+/// the type's rep is not determined without an environment (free type
+/// variables). Declared fields must be closed, so this is total on legal
+/// decls.
+std::optional<ConcreteRep> dataFieldRep(const Type *T);
 
 //===----------------------------------------------------------------------===//
 // Expressions
@@ -382,36 +469,81 @@ private:
   RuntimeRep RepArg;
 };
 
-/// I#[e] — the data constructor of Int, boxing an Int#.
+/// C_k[e1, …, en] — a saturated application of constructor tag k of a
+/// data declaration (E_CON). `I#[e]` is the built-in Int instance.
+/// Strict in unboxed fields, lazy (call-by-name, like S_BETAPTR) in
+/// pointer fields.
 class ConExpr : public Expr {
 public:
-  explicit ConExpr(const Expr *Payload)
-      : Expr(ExprKind::Con), Payload(Payload) {}
+  ConExpr(const LDataDecl *Decl, unsigned Tag,
+          std::span<const Expr *const> Args)
+      : Expr(ExprKind::Con), Decl(Decl), ConTag(Tag), Args(Args) {}
 
-  const Expr *payload() const { return Payload; }
+  const LDataDecl *decl() const { return Decl; }
+  unsigned tag() const { return ConTag; }
+  std::span<const Expr *const> args() const { return Args; }
+
+  /// The single field of a unary constructor (the I#[e] accessor).
+  const Expr *payload() const {
+    assert(Args.size() == 1 && "payload() on a non-unary constructor");
+    return Args[0];
+  }
 
   static bool classof(const Expr *E) { return E->kind() == ExprKind::Con; }
 
 private:
-  const Expr *Payload;
+  const LDataDecl *Decl;
+  unsigned ConTag;
+  std::span<const Expr *const> Args;
 };
 
-/// case e1 of I#[x] → e2 — forces e1 and unboxes it.
+/// One alternative of a case expression: a constructor pattern
+/// C_k[x1, …, xn], an Int# literal pattern, or a Double# literal
+/// pattern. The default alternative lives on the CaseExpr itself.
+struct LAlt {
+  enum class PatKind : uint8_t {
+    Con, ///< C_k[x̅] → rhs (Tag + Binders).
+    Int, ///< n → rhs (IntVal).
+    Dbl  ///< d → rhs (DblVal).
+  };
+
+  PatKind Pat = PatKind::Con;
+  unsigned Tag = 0;                ///< Con: constructor tag.
+  int64_t IntVal = 0;              ///< Int literal pattern value.
+  double DblVal = 0;               ///< Dbl literal pattern value.
+  std::span<const Symbol> Binders; ///< Con: one binder per field.
+  const Expr *Rhs = nullptr;
+};
+
+/// case e of { alt1; …; altn; _ → e_def } — forces the scrutinee, then
+/// dispatches on its constructor tag (or literal value), binding the
+/// matched constructor's fields (E_CASE, S_CASE/S_CASEk/S_CASEDEF).
+/// Decl is the scrutinee's data declaration when the alternatives are
+/// constructor patterns, null for literal and default-only cases. The
+/// default may be null only when the constructor alternatives cover
+/// every tag of Decl.
 class CaseExpr : public Expr {
 public:
-  CaseExpr(const Expr *Scrut, Symbol Binder, const Expr *Body)
-      : Expr(ExprKind::Case), Scrut(Scrut), Binder(Binder), Body(Body) {}
+  CaseExpr(const Expr *Scrut, const LDataDecl *Decl,
+           std::span<const LAlt> Alts, const Expr *Default)
+      : Expr(ExprKind::Case), Scrut(Scrut), Decl(Decl), Alts(Alts),
+        Default(Default) {}
 
   const Expr *scrut() const { return Scrut; }
-  Symbol binder() const { return Binder; }
-  const Expr *body() const { return Body; }
+  /// The scrutinee's data declaration; null for literal/default-only
+  /// cases.
+  const LDataDecl *decl() const { return Decl; }
+  std::span<const LAlt> alts() const { return Alts; }
+  /// The default alternative's right-hand side, or null.
+  const Expr *defaultRhs() const { return Default; }
 
   static bool classof(const Expr *E) { return E->kind() == ExprKind::Case; }
 
 private:
   const Expr *Scrut;
-  Symbol Binder;
-  const Expr *Body;
+  const LDataDecl *Decl;
+  std::span<const LAlt> Alts;
+  const Expr *Default;
 };
 
 class IntLitExpr : public Expr {
@@ -575,12 +707,11 @@ template <typename To, typename From> const To *dyn_cast(const From *Node) {
 /// freshening. Factory methods are the only way to make nodes.
 class LContext {
 public:
-  // errorType() is materialized eagerly: after a Compilation is built its
-  // LContext may serve many concurrent formal runs, and a lazily-written
-  // cache would race.
-  LContext() : IntSingleton(), IntHashSingleton(), DoubleHashSingleton() {
-    (void)errorType();
-  }
+  // errorType() and the built-in Int decl are materialized eagerly:
+  // after a Compilation is built its LContext may serve many concurrent
+  // formal runs, and a lazily-written cache would race. Defined in
+  // Syntax.cpp.
+  LContext();
   LContext(const LContext &) = delete;
   LContext &operator=(const LContext &) = delete;
 
@@ -606,6 +737,33 @@ public:
   /// The type of error: ∀r. ∀α:TYPE r. Int → α.
   const Type *errorType();
 
+  // Data declarations.
+
+  /// Declares a new algebraic data type named \p Name (must be unused)
+  /// and returns it for addDataCon calls. The decl's DataType node is
+  /// created here, so recursive field types can mention the decl before
+  /// its constructors are added.
+  LDataDecl *declareData(Symbol Name);
+  /// Appends constructor \p ConName with \p Fields to \p Decl.
+  /// \returns false (and leaves the decl unchanged) when some field
+  /// type's rep is not concrete — such a field has no register class.
+  bool addDataCon(LDataDecl *Decl, Symbol ConName,
+                  std::span<const Type *const> Fields);
+  /// The declaration registered under \p Name, or null.
+  const LDataDecl *lookupData(Symbol Name) const;
+  /// The built-in data declaration of Int: one constructor I# (tag 0)
+  /// with a single Int# field. Its type() is the IntType singleton.
+  const LDataDecl *intDataDecl() const { return &IntDecl; }
+  /// The decl behind a scrutinee type: the Int builtin for IntType, the
+  /// decl of a DataType, null otherwise.
+  static const LDataDecl *declOfType(const LContext &Ctx, const Type *T) {
+    if (isa<IntType>(T))
+      return Ctx.intDataDecl();
+    if (const auto *D = dyn_cast<DataType>(T))
+      return D->decl();
+    return nullptr;
+  }
+
   // Expressions.
   const Expr *var(Symbol Name) { return Mem.create<VarExpr>(Name); }
   const Expr *app(const Expr *Fn, const Expr *Arg) {
@@ -626,11 +784,40 @@ public:
   const Expr *repApp(const Expr *Fn, RuntimeRep RepArg) {
     return Mem.create<RepAppExpr>(Fn, RepArg);
   }
+  /// I#[Payload] — constructor tag 0 of the built-in Int decl.
   const Expr *con(const Expr *Payload) {
-    return Mem.create<ConExpr>(Payload);
+    return conData(&IntDecl, 0, {&Payload, 1});
   }
+  /// C_Tag[Args...] of \p Decl.
+  const Expr *conData(const LDataDecl *Decl, unsigned Tag,
+                      std::span<const Expr *const> Args) {
+    assert(Tag < Decl->numCons() && "constructor tag out of range");
+    assert(Args.size() == Decl->con(Tag).arity() &&
+           "constructor arity mismatch");
+    return Mem.create<ConExpr>(Decl, Tag, Mem.copyArray(Args));
+  }
+  /// case Scrut of I#[Binder] → Body — the paper's one-armed unboxing
+  /// case, as a single-alternative case over the built-in Int decl.
   const Expr *caseOf(const Expr *Scrut, Symbol Binder, const Expr *Body) {
-    return Mem.create<CaseExpr>(Scrut, Binder, Body);
+    LAlt A;
+    A.Pat = LAlt::PatKind::Con;
+    A.Tag = 0;
+    A.Binders = Mem.copyArray({Binder});
+    A.Rhs = Body;
+    return Mem.create<CaseExpr>(Scrut, &IntDecl, Mem.copyArray({A}),
+                                nullptr);
+  }
+  /// The general tag-dispatch case. \p Decl must be the scrutinee's data
+  /// declaration when \p Alts contains constructor patterns; null for
+  /// literal or default-only cases. \p Default may be null. Alt binder
+  /// arrays are copied into the arena.
+  const Expr *caseData(const Expr *Scrut, const LDataDecl *Decl,
+                       std::span<const LAlt> Alts, const Expr *Default) {
+    std::vector<LAlt> Copied(Alts.begin(), Alts.end());
+    for (LAlt &A : Copied)
+      A.Binders = Mem.copyArray(A.Binders);
+    return Mem.create<CaseExpr>(Scrut, Decl, Mem.copyArray(Copied),
+                                Default);
   }
   const Expr *intLit(int64_t Value) {
     return Mem.create<IntLitExpr>(Value);
@@ -659,6 +846,13 @@ private:
   IntHashType IntHashSingleton;
   DoubleHashType DoubleHashSingleton;
   const Type *ErrorTypeCache = nullptr;
+  /// The built-in Int declaration (constructor I#), sealed in the ctor.
+  LDataDecl IntDecl{Symbol()};
+  /// Declared data types: owning storage plus the by-name index. Built
+  /// before the context is shared (declareData is a build-time
+  /// operation), read-only afterwards.
+  std::vector<std::unique_ptr<LDataDecl>> DataDeclStorage;
+  std::unordered_map<Symbol, LDataDecl *, SymbolHash> DataDecls;
 };
 
 /// Structural equality of types up to alpha-renaming of bound type and rep

@@ -30,6 +30,9 @@ Result<LKind> TypeChecker::kindOf(const TypeEnv &Env, const Type *T) const {
   case Type::TypeKind::DoubleHash:
     // T_DBLH: Γ ⊢ Double# : TYPE D.
     return LKind::typeDbl();
+  case Type::TypeKind::Data:
+    // T_DATA: declared algebraic data is boxed and lifted.
+    return LKind::typePtr();
   case Type::TypeKind::Arrow: {
     // T_ARROW: both sides must be well-kinded (at *any* kind — this is how
     // Int# → Int# is fine, Section 4.3); the arrow itself is TYPE P.
@@ -99,14 +102,28 @@ Result<const Type *> TypeChecker::typeOf(TypeEnv &Env, const Expr *E) const {
     // E_ERROR: error : ∀r. ∀α:TYPE r. Int → α.
     return Ctx.errorType();
   case Expr::ExprKind::Con: {
-    // E_CON: I#[e] : Int when e : Int#.
+    // E_CON: C_k[e1..en] : T when each ei has the declared field type.
+    // Field reps are concrete by decl construction, so the rule needs no
+    // extra concreteness premise.
     const auto *C = cast<ConExpr>(E);
-    Result<const Type *> PayloadTy = typeOf(Env, C->payload());
-    if (!PayloadTy)
-      return PayloadTy;
-    if (!typeEqual(*PayloadTy, Ctx.intHashTy()))
-      return err("I# expects Int#, got " + (*PayloadTy)->str());
-    return Ctx.intTy();
+    const LDataDecl *D = C->decl();
+    if (C->tag() >= D->numCons())
+      return err("constructor tag " + std::to_string(C->tag()) +
+                 " out of range for " + std::string(D->name().str()));
+    const LDataCon &Con = D->con(C->tag());
+    if (C->args().size() != Con.arity())
+      return err("constructor " + std::string(Con.Name.str()) +
+                 " expects " + std::to_string(Con.arity()) +
+                 " arguments, got " + std::to_string(C->args().size()));
+    for (size_t I = 0; I != C->args().size(); ++I) {
+      Result<const Type *> ArgTy = typeOf(Env, C->args()[I]);
+      if (!ArgTy)
+        return ArgTy;
+      if (!typeEqual(*ArgTy, Con.Fields[I]))
+        return err(std::string(Con.Name.str()) + " expects " +
+                   Con.Fields[I]->str() + ", got " + (*ArgTy)->str());
+    }
+    return D->type();
   }
   case Expr::ExprKind::App: {
     // E_APP, including the highlighted premise Γ ⊢ τ1 : TYPE υ.
@@ -271,18 +288,102 @@ Result<const Type *> TypeChecker::typeOf(TypeEnv &Env, const Expr *E) const {
     return F->varType();
   }
   case Expr::ExprKind::Case: {
-    // E_CASE.
+    // E_CASE: the scrutinee type selects the dispatch mode — a data
+    // declaration (constructor patterns, which must cover every tag
+    // unless a default is present), Int# (integer literal patterns), or
+    // Double# (double literal patterns); literal and default-only cases
+    // require a default. All right-hand sides share one type.
     const auto *C = cast<CaseExpr>(E);
     Result<const Type *> ScrutTy = typeOf(Env, C->scrut());
     if (!ScrutTy)
       return ScrutTy;
-    if (!typeEqual(*ScrutTy, Ctx.intTy()))
-      return err("case scrutinee must have type Int, got " +
-                 (*ScrutTy)->str());
-    Env.pushTerm(C->binder(), Ctx.intHashTy());
-    Result<const Type *> BodyTy = typeOf(Env, C->body());
-    Env.popTerm();
-    return BodyTy;
+
+    const Type *ResultTy = nullptr;
+    auto JoinRhs = [&](Result<const Type *> RhsTy) -> Result<bool> {
+      if (!RhsTy)
+        return err(RhsTy.error());
+      if (!ResultTy) {
+        ResultTy = *RhsTy;
+        return true;
+      }
+      if (!typeEqual(ResultTy, *RhsTy))
+        return err("case alternatives disagree: " + ResultTy->str() +
+                   " vs " + (*RhsTy)->str());
+      return true;
+    };
+
+    if (const LDataDecl *D = C->decl()) {
+      if (!typeEqual(*ScrutTy, D->type()))
+        return err("case scrutinee must have type " + D->type()->str() +
+                   ", got " + (*ScrutTy)->str());
+      std::vector<bool> Covered(D->numCons(), false);
+      for (const LAlt &A : C->alts()) {
+        if (A.Pat != LAlt::PatKind::Con)
+          return err("literal pattern in a constructor case");
+        if (A.Tag >= D->numCons())
+          return err("constructor tag " + std::to_string(A.Tag) +
+                     " out of range for " + std::string(D->name().str()));
+        const LDataCon &Con = D->con(A.Tag);
+        if (A.Binders.size() != Con.arity())
+          return err("constructor pattern arity mismatch for " +
+                     std::string(Con.Name.str()));
+        for (size_t I = 0; I != A.Binders.size(); ++I)
+          for (size_t J = I + 1; J != A.Binders.size(); ++J)
+            if (A.Binders[I] == A.Binders[J])
+              return err("duplicate case binder " +
+                         std::string(A.Binders[I].str()));
+        Covered[A.Tag] = true;
+        for (size_t I = 0; I != A.Binders.size(); ++I)
+          Env.pushTerm(A.Binders[I], Con.Fields[I]);
+        Result<const Type *> RhsTy = typeOf(Env, A.Rhs);
+        for (size_t I = 0; I != A.Binders.size(); ++I)
+          Env.popTerm();
+        if (Result<bool> J = JoinRhs(RhsTy); !J)
+          return err(J.error());
+      }
+      if (!C->defaultRhs())
+        for (size_t Tag = 0; Tag != Covered.size(); ++Tag)
+          if (!Covered[Tag])
+            return err("non-exhaustive case: " +
+                       std::string(D->con(Tag).Name.str()) +
+                       " unmatched and no default alternative (E_CASE)");
+    } else if (!C->alts().empty()) {
+      // Literal alternatives: all of one sort, matching the scrutinee.
+      LAlt::PatKind Pat = C->alts()[0].Pat;
+      if (Pat == LAlt::PatKind::Con)
+        return err("constructor pattern in a case without a data "
+                   "declaration");
+      const Type *Want = Pat == LAlt::PatKind::Int
+                             ? Ctx.intHashTy()
+                             : Ctx.doubleHashTy();
+      if (!typeEqual(*ScrutTy, Want))
+        return err("case scrutinee must have type " + Want->str() +
+                   ", got " + (*ScrutTy)->str());
+      for (const LAlt &A : C->alts()) {
+        if (A.Pat != Pat)
+          return err("mixed literal sorts in case alternatives");
+        if (Result<bool> J = JoinRhs(typeOf(Env, A.Rhs)); !J)
+          return err(J.error());
+      }
+      if (!C->defaultRhs())
+        return err("literal case without a default alternative (E_CASE)");
+    } else {
+      // Default-only: the scrutinee is forced (to WHNF) and discarded;
+      // its kind must be concrete so the force has a register class.
+      Result<LKind> K = kindOf(Env, *ScrutTy);
+      if (!K)
+        return err(K.error());
+      if (!K->isConcrete())
+        return err("default-only case over a levity-polymorphic "
+                   "scrutinee of type " + (*ScrutTy)->str());
+      if (!C->defaultRhs())
+        return err("case with no alternatives and no default");
+    }
+
+    if (C->defaultRhs())
+      if (Result<bool> J = JoinRhs(typeOf(Env, C->defaultRhs())); !J)
+        return err(J.error());
+    return ResultTy;
   }
   }
   assert(false && "unknown expr kind");

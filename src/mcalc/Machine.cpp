@@ -87,6 +87,8 @@ MachineResult Machine::runWithHeap(const Term *T, HeapMap InitialHeap,
       case Frame::FrameKind::Force:
         // FCE: ⟨w; Force(p),S; H⟩ → ⟨w; S; p↦w,H⟩ — thunk update.
         ++S.ThunkUpdates;
+        if (Cur->kind() == Term::TermKind::Con)
+          ++S.ConAllocs;
         H[F.Var.Name] = Cur;
         continue;
       case Frame::FrameKind::Let: {
@@ -125,6 +127,90 @@ MachineResult Machine::runWithHeap(const Term *T, HeapMap InitialHeap,
         ++S.Branches;
         Cur = Lit->value() == 0 ? F.Body : F.Body2;
         continue;
+      }
+      case Frame::FrameKind::Switch: {
+        // SWITCHk: ⟨w; Switch(alts,def),S; H⟩ → the matching
+        // alternative's body with the constructor's fields bound, or the
+        // default. Dispatches on CON tags (I#[n] counts as tag 0 of the
+        // built-in Int), Int# literals, and Double# literals.
+        const SwitchTerm *Sw = F.Sw;
+        const MAlt *Hit = nullptr;
+        if (const auto *Con = dyn_cast<ConTerm>(Cur)) {
+          for (const MAlt &A : Sw->alts())
+            if (A.Pat == MAlt::PatKind::Con && A.Tag == Con->tag()) {
+              Hit = &A;
+              break;
+            }
+          if (Hit) {
+            if (Hit->Binders.size() != Con->args().size())
+              return Stuck("switch alternative arity mismatch");
+            ++S.Branches;
+            const Term *Body = Hit->Body;
+            for (size_t I = 0; I != Hit->Binders.size(); ++I) {
+              const MAtom &A = Con->args()[I];
+              MVar B = Hit->Binders[I];
+              if (!A.IsLit) {
+                if (A.Var.Sort != B.Sort)
+                  return Stuck("switch binder register-class mismatch");
+                Body = substVar(Ctx, Body, B, A.Var);
+              } else if (A.IsDbl) {
+                if (!B.isDbl())
+                  return Stuck("switch binder register-class mismatch");
+                Body = substDbl(Ctx, Body, B, A.DblLit);
+              } else {
+                if (!B.isInt())
+                  return Stuck("switch binder register-class mismatch");
+                Body = substLit(Ctx, Body, B, A.Lit);
+              }
+            }
+            Cur = Body;
+            continue;
+          }
+        } else if (const auto *Box = dyn_cast<ConLitTerm>(Cur)) {
+          // I#[n]: tag 0 of Int, one strict Int# field.
+          for (const MAlt &A : Sw->alts())
+            if (A.Pat == MAlt::PatKind::Con && A.Tag == 0) {
+              Hit = &A;
+              break;
+            }
+          if (Hit) {
+            if (Hit->Binders.size() != 1 || !Hit->Binders[0].isInt())
+              return Stuck("switch alternative arity mismatch");
+            ++S.Branches;
+            Cur = substLit(Ctx, Hit->Body, Hit->Binders[0], Box->value());
+            continue;
+          }
+        } else if (const auto *Lit = dyn_cast<LitTerm>(Cur)) {
+          for (const MAlt &A : Sw->alts())
+            if (A.Pat == MAlt::PatKind::Int && A.IntVal == Lit->value()) {
+              Hit = &A;
+              break;
+            }
+          if (Hit) {
+            ++S.Branches;
+            Cur = Hit->Body;
+            continue;
+          }
+        } else if (const auto *DLit = dyn_cast<DLitTerm>(Cur)) {
+          for (const MAlt &A : Sw->alts())
+            if (A.Pat == MAlt::PatKind::Dbl && A.DblVal == DLit->value()) {
+              Hit = &A;
+              break;
+            }
+          if (Hit) {
+            ++S.Branches;
+            Cur = Hit->Body;
+            continue;
+          }
+        } else if (!Sw->alts().empty()) {
+          return Stuck("switch scrutinee value matches no pattern sort");
+        }
+        if (Sw->defaultBody()) {
+          ++S.Branches;
+          Cur = Sw->defaultBody();
+          continue;
+        }
+        return Stuck("no matching switch alternative");
       }
       }
       return Stuck("unknown frame");
@@ -184,6 +270,8 @@ MachineResult Machine::runWithHeap(const Term *T, HeapMap InitialHeap,
       // address so that re-entrant code allocates distinct cells.
       const auto *L = cast<LetTerm>(Cur);
       ++S.Allocations;
+      if (L->rhs()->kind() == Term::TermKind::Con)
+        ++S.ConAllocs;
       MVar Addr = Ctx.freshPtr();
       H.emplace(Addr.Name, L->rhs());
       Cur = substVar(Ctx, L->body(), L->binder(), Addr);
@@ -205,6 +293,8 @@ MachineResult Machine::runWithHeap(const Term *T, HeapMap InitialHeap,
       const auto *L = cast<LetRecTerm>(Cur);
       ++S.Allocations;
       ++S.Knots;
+      if (L->rhs()->kind() == Term::TermKind::Con)
+        ++S.ConAllocs;
       MVar Addr = Ctx.freshPtr();
       H.emplace(Addr.Name, substVar(Ctx, L->rhs(), L->binder(), Addr));
       Cur = substVar(Ctx, L->body(), L->binder(), Addr);
@@ -225,6 +315,15 @@ MachineResult Machine::runWithHeap(const Term *T, HeapMap InitialHeap,
       Stack.push_back({Frame::FrameKind::If0, MVar(), 0, 0,
                        I->thenBranch(), I->elseBranch()});
       Cur = I->scrut();
+      continue;
+    }
+    case Term::TermKind::Switch: {
+      // SWITCH: evaluate the scrutinee, then dispatch (SWITCHk).
+      const auto *Sw = cast<SwitchTerm>(Cur);
+      ++S.Switches;
+      Stack.push_back(
+          {Frame::FrameKind::Switch, MVar(), 0, 0, nullptr, nullptr, Sw});
+      Cur = Sw->scrut();
       continue;
     }
     case Term::TermKind::Prim: {
@@ -270,6 +369,9 @@ MachineResult Machine::runWithHeap(const Term *T, HeapMap InitialHeap,
     case Term::TermKind::ConVar:
       return Stuck("I#[y] with unresolved variable " +
                    cast<ConVarTerm>(Cur)->var().str());
+    case Term::TermKind::Con:
+      // A non-value CON still has an unresolved unboxed field atom.
+      return Stuck("CON with an unresolved unboxed field atom");
     case Term::TermKind::Lam:
     case Term::TermKind::ConLit:
     case Term::TermKind::Lit:

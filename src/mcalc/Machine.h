@@ -12,9 +12,14 @@
 /// SLET, CASE, ERR, PPOP, IPOP, FCE, ILET, IMAT), including thunk sharing:
 /// EVAL black-holes a thunk under evaluation and FCE writes the value back.
 /// The widened executable fragment adds the analogous double-register
-/// rules (DAPP, DPOP, DLET), the IF0 branch, and RECLET — the heap-tied
+/// rules (DAPP, DPOP, DLET), the IF0 branch, RECLET — the heap-tied
 /// knot that makes recursion (L's fix) runnable: the allocated thunk's
-/// stored body references its own fresh heap address.
+/// stored body references its own fresh heap address — and the
+/// tag-dispatch pair SWITCH/SWITCHk: SWITCH pushes the alternative
+/// table and evaluates the scrutinee; SWITCHk selects the alternative
+/// matching the value's constructor tag (or Int#/Double# literal) and
+/// binds the constructor's field atoms, falling back to the default
+/// alternative when no pattern matches.
 ///
 /// The machine is instrumented with cost counters (heap allocations, thunk
 /// forces/updates, substitution steps) used by the benchmark harnesses to
@@ -48,7 +53,8 @@ struct Frame {
     AppDbl, ///< App(d): pending double argument.
     Let,    ///< Let(y, t): strict-let continuation.
     Case,   ///< Case(y, t): case continuation.
-    If0     ///< If0(t2, t3): branch continuation.
+    If0,    ///< If0(t2, t3): branch continuation.
+    Switch  ///< Switch(alts, def): tag-dispatch continuation.
   };
 
   FrameKind Kind;
@@ -57,6 +63,7 @@ struct Frame {
   double DblLit = 0;          ///< AppDbl payload.
   const Term *Body = nullptr; ///< Let/Case/If0-then continuation body.
   const Term *Body2 = nullptr; ///< If0-else continuation body.
+  const SwitchTerm *Sw = nullptr; ///< Switch: the alternative table.
 };
 
 /// Cost counters. Deterministic for a given program, so benchmarks can
@@ -73,8 +80,12 @@ struct MachineStats {
   uint64_t BetaInt = 0;      ///< IPOP firings (integer-register calls).
   uint64_t BetaDbl = 0;      ///< DPOP firings (double-register calls).
   uint64_t Prims = 0;        ///< PRIM firings (unboxed arithmetic).
-  uint64_t Branches = 0;     ///< IF0 firings (branches taken).
+  uint64_t Branches = 0;     ///< IF0 + SWITCHk firings (branches taken).
   uint64_t Knots = 0;        ///< RECLET firings (recursive knots tied).
+  uint64_t Switches = 0;     ///< SWITCH firings (scrutinees dispatched).
+  uint64_t ConAllocs = 0;    ///< Constructor nodes reaching the heap
+                             ///< (LET/RECLET of a CON right-hand side,
+                             ///< plus FCE write-backs of CON values).
   size_t MaxStackDepth = 0;
   size_t MaxHeapSize = 0;
 };

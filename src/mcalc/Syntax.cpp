@@ -148,6 +148,66 @@ void printTerm(std::ostringstream &OS, const Term *T, int Prec) {
       OS << ")";
     return;
   }
+  case Term::TermKind::Con: {
+    const auto *C = cast<ConTerm>(T);
+    OS << "CON " << C->tag() << " [";
+    bool First = true;
+    for (const MAtom &A : C->args()) {
+      if (!First)
+        OS << ", ";
+      First = false;
+      OS << A.str();
+    }
+    OS << "]";
+    return;
+  }
+  case Term::TermKind::Switch: {
+    const auto *S = cast<SwitchTerm>(T);
+    if (Prec > PrecTop)
+      OS << "(";
+    OS << "switch ";
+    printTerm(OS, S->scrut(), PrecApp);
+    OS << " of { ";
+    bool First = true;
+    for (const MAlt &A : S->alts()) {
+      if (!First)
+        OS << " ; ";
+      First = false;
+      switch (A.Pat) {
+      case MAlt::PatKind::Con: {
+        OS << "CON " << A.Tag;
+        OS << " [";
+        bool FirstB = true;
+        for (MVar B : A.Binders) {
+          if (!FirstB)
+            OS << ", ";
+          FirstB = false;
+          OS << B.str();
+        }
+        OS << "]";
+        break;
+      }
+      case MAlt::PatKind::Int:
+        OS << A.IntVal;
+        break;
+      case MAlt::PatKind::Dbl:
+        OS << A.DblVal << "##";
+        break;
+      }
+      OS << " -> ";
+      printTerm(OS, A.Body, PrecTop);
+    }
+    if (S->defaultBody()) {
+      if (!First)
+        OS << " ; ";
+      OS << "_ -> ";
+      printTerm(OS, S->defaultBody(), PrecTop);
+    }
+    OS << " }";
+    if (Prec > PrecTop)
+      OS << ")";
+    return;
+  }
   }
 }
 
@@ -318,6 +378,14 @@ bool mcalc::isValue(const Term *T) {
   case Term::TermKind::Lit:
   case Term::TermKind::DLit:
     return true;
+  case Term::TermKind::Con:
+    // A constructor is a value once every unboxed field atom has been
+    // resolved to a literal; pointer atoms are heap addresses (LET
+    // substitution installs them, like lazy application arguments).
+    for (const MAtom &A : cast<ConTerm>(T)->args())
+      if (!A.IsLit && !A.Var.isPtr())
+        return false;
+    return true;
   default:
     return false;
   }
@@ -467,6 +535,65 @@ const Term *mcalc::substVar(MContext &Ctx, const Term *T, MVar Var,
       return T;
     return Ctx.caseOf(Scrut, C->binder(), Body);
   }
+  case Term::TermKind::Con: {
+    const auto *C = cast<ConTerm>(T);
+    std::vector<MAtom> Args(C->args().begin(), C->args().end());
+    bool Changed = false;
+    for (MAtom &A : Args) {
+      if (!A.IsLit && A.Var == Var) {
+        A = MAtom::anyVar(Replacement);
+        Changed = true;
+      }
+    }
+    return Changed ? Ctx.con(C->tag(), Args) : T;
+  }
+  case Term::TermKind::Switch: {
+    const auto *S = cast<SwitchTerm>(T);
+    const Term *Scrut = substVar(Ctx, S->scrut(), Var, Replacement);
+    bool Changed = Scrut != S->scrut();
+    std::vector<MAlt> Alts(S->alts().begin(), S->alts().end());
+    // Keeps renamed binder arrays alive until switchOf copies them into
+    // the arena.
+    std::vector<std::vector<MVar>> Renames;
+    for (MAlt &A : Alts) {
+      bool Shadowed = false;
+      for (MVar B : A.Binders)
+        Shadowed |= B == Var;
+      if (Shadowed)
+        continue;
+      // Freshen any binder equal to the replacement to avoid capture.
+      std::vector<MVar> Binders(A.Binders.begin(), A.Binders.end());
+      const Term *Body = A.Body;
+      bool Renamed = false;
+      for (MVar &B : Binders) {
+        if (!(B == Replacement))
+          continue;
+        MVar Fresh = Ctx.freshLike(B);
+        Body = substVar(Ctx, Body, B, Fresh);
+        B = Fresh;
+        Renamed = true;
+      }
+      const Term *NewBody = substVar(Ctx, Body, Var, Replacement);
+      if (!Renamed && NewBody == A.Body)
+        continue;
+      if (Renamed) {
+        Renames.push_back(std::move(Binders));
+        A.Binders = std::span<const MVar>(Renames.back().data(),
+                                          Renames.back().size());
+      }
+      A.Body = NewBody;
+      Changed = true;
+    }
+    const Term *Def = S->defaultBody();
+    if (Def) {
+      const Term *NewDef = substVar(Ctx, Def, Var, Replacement);
+      Changed |= NewDef != Def;
+      Def = NewDef;
+    }
+    if (!Changed)
+      return T;
+    return Ctx.switchOf(Scrut, Alts, Def);
+  }
   }
   assert(false && "unknown term kind");
   return T;
@@ -579,6 +706,44 @@ const Term *mcalc::substLit(MContext &Ctx, const Term *T, MVar Var,
     }
     return Changed ? Ctx.prim(P->op(), Lhs, Rhs) : T;
   }
+  case Term::TermKind::Con: {
+    // CON k [.. i ..] becomes CON k [.. n ..].
+    const auto *C = cast<ConTerm>(T);
+    std::vector<MAtom> Args(C->args().begin(), C->args().end());
+    bool Changed = false;
+    for (MAtom &A : Args) {
+      if (!A.IsLit && A.Var == Var) {
+        A = MAtom::lit(Lit);
+        Changed = true;
+      }
+    }
+    return Changed ? Ctx.con(C->tag(), Args) : T;
+  }
+  case Term::TermKind::Switch: {
+    const auto *S = cast<SwitchTerm>(T);
+    const Term *Scrut = substLit(Ctx, S->scrut(), Var, Lit);
+    bool Changed = Scrut != S->scrut();
+    std::vector<MAlt> Alts(S->alts().begin(), S->alts().end());
+    for (MAlt &A : Alts) {
+      bool Shadowed = false;
+      for (MVar B : A.Binders)
+        Shadowed |= B == Var;
+      if (Shadowed)
+        continue;
+      const Term *NewBody = substLit(Ctx, A.Body, Var, Lit);
+      Changed |= NewBody != A.Body;
+      A.Body = NewBody;
+    }
+    const Term *Def = S->defaultBody();
+    if (Def) {
+      const Term *NewDef = substLit(Ctx, Def, Var, Lit);
+      Changed |= NewDef != Def;
+      Def = NewDef;
+    }
+    if (!Changed)
+      return T;
+    return Ctx.switchOf(Scrut, Alts, Def);
+  }
   }
   assert(false && "unknown term kind");
   return T;
@@ -686,6 +851,44 @@ const Term *mcalc::substDbl(MContext &Ctx, const Term *T, MVar Var,
       Changed = true;
     }
     return Changed ? Ctx.prim(P->op(), Lhs, Rhs) : T;
+  }
+  case Term::TermKind::Con: {
+    // CON k [.. f ..] becomes CON k [.. d ..].
+    const auto *C = cast<ConTerm>(T);
+    std::vector<MAtom> Args(C->args().begin(), C->args().end());
+    bool Changed = false;
+    for (MAtom &A : Args) {
+      if (!A.IsLit && A.Var == Var) {
+        A = MAtom::dlit(Lit);
+        Changed = true;
+      }
+    }
+    return Changed ? Ctx.con(C->tag(), Args) : T;
+  }
+  case Term::TermKind::Switch: {
+    const auto *S = cast<SwitchTerm>(T);
+    const Term *Scrut = substDbl(Ctx, S->scrut(), Var, Lit);
+    bool Changed = Scrut != S->scrut();
+    std::vector<MAlt> Alts(S->alts().begin(), S->alts().end());
+    for (MAlt &A : Alts) {
+      bool Shadowed = false;
+      for (MVar B : A.Binders)
+        Shadowed |= B == Var;
+      if (Shadowed)
+        continue;
+      const Term *NewBody = substDbl(Ctx, A.Body, Var, Lit);
+      Changed |= NewBody != A.Body;
+      A.Body = NewBody;
+    }
+    const Term *Def = S->defaultBody();
+    if (Def) {
+      const Term *NewDef = substDbl(Ctx, Def, Var, Lit);
+      Changed |= NewDef != Def;
+      Def = NewDef;
+    }
+    if (!Changed)
+      return T;
+    return Ctx.switchOf(Scrut, Alts, Def);
   }
   }
   assert(false && "unknown term kind");

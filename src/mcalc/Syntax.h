@@ -11,12 +11,23 @@
 ///
 /// \code
 ///   y ::= p | i | f                   pointer / integer / double variables
+///   a ::= y | n | d                   atoms
 ///   t ::= t y | t n | t d | λy.t | y | let p = t1 in t2
 ///       | let! y = t1 in t2 | letrec p = t1 in t2
 ///       | case t1 of I#[y] → t2 | if0 t1 then t2 else t3 | error
 ///       | I#[y] | I#[n] | n | d | a1 ⊕# a2
-///   w ::= λy.t | I#[n] | n | d        values
+///       | CON k [a1, …, an] | switch t of { alt; …; _ → t }
+///   alt ::= CON k [y1, …, yn] → t | n → t | d → t
+///   w ::= λy.t | I#[n] | n | d | CON k [a̅]   values
 /// \endcode
+///
+/// `CON k [a̅]` is the n-ary tagged constructor node: field atoms are
+/// heap pointers (for boxed fields) or unboxed literals once resolved
+/// by ILET/IPOP/DLET/DPOP substitution. `switch` is the tag-dispatch
+/// branch every source-level case compiles to (rules SWITCH/SWITCHk);
+/// it also dispatches on Int#/Double# literal scrutinees, subsuming the
+/// old lowering of literal cases to if0 chains. The one-field boxed Int
+/// keeps its compact I#[y]/I#[n] forms.
 ///
 /// M is representation-monomorphic: every variable is *exactly one* of a
 /// pointer variable (register class P), an integer variable (register
@@ -38,7 +49,9 @@
 #include <atomic>
 #include <cassert>
 #include <cstdint>
+#include <span>
 #include <string>
+#include <vector>
 
 namespace levity {
 namespace mcalc {
@@ -101,12 +114,14 @@ public:
     ConLit = 12, ///< I#[n]
     Lit = 13,    ///< n
     DLit = 14,   ///< d (an unboxed double literal)
-    Prim = 15    ///< a1 ⊕# a2 over unboxed atoms (variables or literals)
+    Prim = 15,   ///< a1 ⊕# a2 over unboxed atoms (variables or literals)
+    Con = 16,    ///< CON k [a1, …, an] — n-ary tagged constructor
+    Switch = 17  ///< switch t of { alt; …; _ → t } — tag dispatch
   };
 
   /// Number of TermKind values; folded into the artifact fingerprint so a
   /// new node kind invalidates stale stores.
-  static constexpr unsigned NumTermKinds = 16;
+  static constexpr unsigned NumTermKinds = 18;
 
   TermKind kind() const { return Kind; }
 
@@ -399,6 +414,14 @@ struct MAtom {
     A.IsDbl = V.isDbl();
     return A;
   }
+  /// An atom of any register class — constructor fields may be heap
+  /// pointers (primop atoms must stay unboxed; use var()).
+  static MAtom anyVar(MVar V) {
+    MAtom A;
+    A.Var = V;
+    A.IsDbl = V.isDbl();
+    return A;
+  }
   static MAtom lit(int64_t N) {
     MAtom A;
     A.IsLit = true;
@@ -436,6 +459,71 @@ private:
   MPrim Op;
   MAtom Lhs;
   MAtom Rhs;
+};
+
+/// CON k [a1, …, an] — a saturated n-ary constructor with tag k. Field
+/// atoms are pointer variables (heap addresses once LET substitution has
+/// run) for boxed fields and unboxed variables/literals for Int#/Double#
+/// fields. A value once every unboxed atom is a literal (rule SWITCHk
+/// consumes it). The boxed-Int constructor I# keeps its compact
+/// ConVar/ConLit forms; CON carries every other data type.
+class ConTerm : public Term {
+public:
+  ConTerm(uint32_t Tag, std::span<const MAtom> Args)
+      : Term(TermKind::Con), ConTag(Tag), Args(Args) {}
+
+  uint32_t tag() const { return ConTag; }
+  std::span<const MAtom> args() const { return Args; }
+
+  static bool classof(const Term *T) { return T->kind() == TermKind::Con; }
+
+private:
+  uint32_t ConTag;
+  std::span<const MAtom> Args;
+};
+
+/// One alternative of a switch: a constructor-tag pattern with one
+/// binder per field, or an Int#/Double# literal pattern. The numeric
+/// PatKind values are **stable on-disk tags** (see TermKind).
+struct MAlt {
+  enum class PatKind : uint8_t {
+    Con = 0, ///< CON Tag [Binders] → Body.
+    Int = 1, ///< IntVal → Body.
+    Dbl = 2  ///< DblVal → Body.
+  };
+  static constexpr unsigned NumPatKinds = 3;
+
+  PatKind Pat = PatKind::Con;
+  uint32_t Tag = 0;
+  int64_t IntVal = 0;
+  double DblVal = 0;
+  std::span<const MVar> Binders; ///< Con: one per field, sorted like it.
+  const Term *Body = nullptr;
+};
+
+/// switch t of { alt; …; _ → t_def } — evaluates the scrutinee, then
+/// dispatches on its constructor tag or literal value (rules
+/// SWITCH/SWITCHk). Default may be null when the constructor
+/// alternatives are exhaustive.
+class SwitchTerm : public Term {
+public:
+  SwitchTerm(const Term *Scrut, std::span<const MAlt> Alts,
+             const Term *Default)
+      : Term(TermKind::Switch), Scrut(Scrut), Alts(Alts),
+        Default(Default) {}
+
+  const Term *scrut() const { return Scrut; }
+  std::span<const MAlt> alts() const { return Alts; }
+  const Term *defaultBody() const { return Default; }
+
+  static bool classof(const Term *T) {
+    return T->kind() == TermKind::Switch;
+  }
+
+private:
+  const Term *Scrut;
+  std::span<const MAlt> Alts;
+  const Term *Default;
 };
 
 template <typename To, typename From> bool isa(const From *Node) {
@@ -535,6 +623,20 @@ public:
   const Term *error(Symbol Msg) { return Mem.create<ErrorTerm>(Msg); }
   const Term *conVar(MVar V) { return Mem.create<ConVarTerm>(V); }
   const Term *conLit(int64_t Value) { return Mem.create<ConLitTerm>(Value); }
+  /// CON Tag [Args...] — the n-ary tagged constructor node.
+  const Term *con(uint32_t Tag, std::span<const MAtom> Args) {
+    return Mem.create<ConTerm>(Tag, Mem.copyArray(Args));
+  }
+  /// switch Scrut of { Alts...; _ -> Default } (Default may be null
+  /// when the alternatives are exhaustive). Alt binder arrays are
+  /// copied into the arena.
+  const Term *switchOf(const Term *Scrut, std::span<const MAlt> Alts,
+                       const Term *Default) {
+    std::vector<MAlt> Copied(Alts.begin(), Alts.end());
+    for (MAlt &A : Copied)
+      A.Binders = Mem.copyArray(A.Binders);
+    return Mem.create<SwitchTerm>(Scrut, Mem.copyArray(Copied), Default);
+  }
   const Term *lit(int64_t Value) { return Mem.create<LitTerm>(Value); }
   const Term *dlit(double Value) { return Mem.create<DLitTerm>(Value); }
   const Term *prim(MPrim Op, MAtom Lhs, MAtom Rhs) {

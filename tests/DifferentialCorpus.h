@@ -151,15 +151,86 @@ inline constexpr CorpusProgram Corpus[] = {
     {"MixedDoubleComparisonToInt",
      "v = case (3.0## <## 4.0##) of { 1# -> 10# ; _ -> 20# }", "v", true},
 
+    // Algebraic data through the machine pipeline: Bool, Maybe, lists,
+    // nested cases, default alternatives, lazy constructor fields.
+    {"BoolIf", "v = if isTrue# (3# <# 4#) then 1# else 0#", "v", true},
+    {"BoolNot",
+     "not :: Bool -> Bool ;"
+     "not b = case b of { True -> False ; False -> True } ;"
+     "v = case not True of { True -> 1# ; False -> 0# }",
+     "v", true},
+    {"BoolCaseDefault",
+     "v = case False of { True -> 1# ; _ -> 0# }", "v", true},
+    {"MaybeJust",
+     "data Maybe a = Nothing | Just a ;"
+     "fromMaybe :: Int# -> Maybe Int -> Int# ;"
+     "fromMaybe d m = case m of {"
+     "  Nothing -> d ; Just n -> case n of { I# x -> x }"
+     "} ;"
+     "v = fromMaybe 0# (Just (I# 42#))",
+     "v", true},
+    {"MaybeNothing",
+     "data Maybe a = Nothing | Just a ;"
+     "fromMaybe :: Int# -> Maybe Int -> Int# ;"
+     "fromMaybe d m = case m of {"
+     "  Nothing -> d ; Just n -> case n of { I# x -> x }"
+     "} ;"
+     "v = fromMaybe 7# Nothing",
+     "v", true},
+    {"MaybeNested",
+     "data Maybe a = Nothing | Just a ;"
+     "v = case Just (Just (I# 5#)) of {"
+     "  Nothing -> 0# ;"
+     "  Just m -> case m of {"
+     "    Nothing -> 1# ; Just n -> case n of { I# x -> x } } }",
+     "v", true},
+    {"SumList",
+     "data IntList = Nil | Cons Int IntList ;"
+     "sumList :: IntList -> Int# ;"
+     "sumList xs = case xs of {"
+     "  Nil -> 0# ;"
+     "  Cons y ys -> case y of { I# n -> n +# sumList ys }"
+     "} ;"
+     "v = sumList (Cons (I# 1#) (Cons (I# 2#) (Cons (I# 3#) Nil)))",
+     "v", true},
+    {"ListLength",
+     "data IntList = Nil | Cons Int IntList ;"
+     "len :: IntList -> Int# ;"
+     "len xs = case xs of { Nil -> 0# ; Cons y ys -> 1# +# len ys } ;"
+     "v = len (Cons (I# 9#) (Cons (I# 9#) Nil))",
+     "v", true},
+    {"UnboxedFieldCon",
+     "data Acc = MkAcc Int# Double# ;"
+     "v = case MkAcc (40# +# 2#) 1.5## of { MkAcc n d -> n }",
+     "v", true},
+    {"LazyConField",
+     // The second field is lifted, so the error thunk must never be
+     // forced on either backend.
+     "data P = MkP Int Int ;"
+     "v = case MkP (I# 7#) (error \"never forced\") of {"
+     "  MkP a b -> case a of { I# x -> x } }",
+     "v", true},
+    {"ColorCaseWithDefault",
+     "data Color = Red | Green | Blue ;"
+     "rank :: Color -> Int# ;"
+     "rank c = case c of { Red -> 1# ; _ -> 99# } ;"
+     "v = rank Green +# rank Red",
+     "v", true},
+    {"BoxedDoubleRoundTrip",
+     "v = case D# 2.5## of { D# d -> d +## 0.25## }", "v", true},
+    {"DefaultOnlyCaseOnVariable",
+     // PR-5 fix: a default-only case (here over an Int# variable the
+     // caller already evaluated) is in fragment.
+     "f :: Int# -> Int# ;"
+     "f x = case x of { _ -> x +# 1# } ;"
+     "v = f 41#",
+     "v", true},
+
     // Bottom: the diagnostic must match across backends.
     {"ErrorBottom",
      "v :: Int# ;"
      "v = error \"differential bottom\"",
      "v", true},
-
-    // Outside the widened fragment: Unsupported, never divergence.
-    {"UnsupportedBoolCase",
-     "v = if isTrue# (3# <# 4#) then 1# else 0#", "v", false},
     {"UnsupportedUnboxedTuple", "v = (# 1#, 2# #)", "v", false},
     {"UnsupportedConversion", "v = int2Double# 3#", "v", false},
     {"UnsupportedMutualRecursion",

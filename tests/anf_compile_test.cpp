@@ -58,13 +58,18 @@ TEST_F(CompileTest, IntLitAndError) {
   EXPECT_EQ(compileOk(L.error())->str(), "error"); // C_ERROR
 }
 
-// C_CON: I#[5] ⇝ let! i = 5 in I#[i].
+// C_CON: a literal payload passes straight through as an atom
+// (I#[5] ⇝ I#[5]); a computed payload still binds strictly
+// (I#[2 +# 3] ⇝ let! i = … in I#[i]).
 TEST_F(CompileTest, ConCompilesToStrictLet) {
-  const mcalc::Term *T = compileOk(L.con(L.intLit(5)));
+  EXPECT_TRUE(
+      mcalc::isa<mcalc::ConLitTerm>(compileOk(L.con(L.intLit(5)))));
+
+  const mcalc::Term *T = compileOk(
+      L.con(L.prim(lcalc::LPrim::Add, L.intLit(2), L.intLit(3))));
   const auto *LB = mcalc::dyn_cast<mcalc::LetBangTerm>(T);
   ASSERT_NE(LB, nullptr) << T->str();
   EXPECT_TRUE(LB->binder().isInt());
-  EXPECT_TRUE(mcalc::isa<mcalc::LitTerm>(LB->rhs()));
   EXPECT_TRUE(mcalc::isa<mcalc::ConVarTerm>(LB->body()));
 }
 
@@ -113,14 +118,19 @@ TEST_F(CompileTest, TypeAndRepStructureErases) {
   EXPECT_EQ(compileOk(ER)->str(), "6");
 }
 
-// C_CASE: binder is an integer variable.
+// C_CASE: every case compiles to the tag-dispatch switch; the I# alt's
+// binder is an integer variable.
 TEST_F(CompileTest, CaseCompiles) {
   const lcalc::Expr *E =
       L.caseOf(L.con(L.intLit(3)), s("x"), L.var(s("x")));
   const mcalc::Term *T = compileOk(E);
-  const auto *C = mcalc::dyn_cast<mcalc::CaseTerm>(T);
-  ASSERT_NE(C, nullptr);
-  EXPECT_TRUE(C->binder().isInt());
+  const auto *Sw = mcalc::dyn_cast<mcalc::SwitchTerm>(T);
+  ASSERT_NE(Sw, nullptr);
+  ASSERT_EQ(Sw->alts().size(), 1u);
+  EXPECT_EQ(Sw->alts()[0].Pat, mcalc::MAlt::PatKind::Con);
+  ASSERT_EQ(Sw->alts()[0].Binders.size(), 1u);
+  EXPECT_TRUE(Sw->alts()[0].Binders[0].isInt());
+  EXPECT_EQ(Sw->defaultBody(), nullptr);
 }
 
 //===--------------------------------------------------------------------===//

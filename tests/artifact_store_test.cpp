@@ -259,6 +259,30 @@ TEST(ArtifactStoreTest, WrongFormatVersionFallsBackToRecompile) {
   fs::remove_all(Dir);
 }
 
+TEST(ArtifactStoreTest, PreviousFormatVersionArtifactRejected) {
+  // Version skew: an artifact carrying the previous release's format
+  // version (v1, before the CON/SWITCH tags and the CORE section) must
+  // be treated as a miss and recompiled cleanly — even with a valid
+  // checksum.
+  static_assert(levc::FormatVersion == 2,
+                "update this test when bumping the format version");
+  std::string Dir = freshStoreDir("oldversion");
+  std::string Path = populateOne(Dir, RobustSrc);
+
+  std::string Bytes = *support::readFileBinary(Path);
+  ASSERT_TRUE(support::writeFileAtomic(
+      Path, patchAndReseal(Bytes, 4, /*Value=*/1, 4)));
+
+  // Direct deserialization also refuses it.
+  std::string Patched = *support::readFileBinary(Path);
+  EXPECT_EQ(Compilation::deserializeArtifact(Patched, RobustSrc,
+                                             CompileOptions()),
+            nullptr);
+
+  expectFallbackRecompile(Dir);
+  fs::remove_all(Dir);
+}
+
 TEST(ArtifactStoreTest, WrongPipelineFingerprintFallsBackToRecompile) {
   std::string Dir = freshStoreDir("fingerprint");
   std::string Path = populateOne(Dir, RobustSrc);
@@ -325,6 +349,61 @@ TEST(ArtifactStoreTest, MaxStoredArtifactsEvictsOldestAndCounts) {
   EXPECT_LE(ArtifactStore(Dir).countEntries(), 2u);
   Session::Stats St = S.stats();
   EXPECT_GE(St.DiskEvictions, 3u);
+  fs::remove_all(Dir);
+}
+
+TEST(ArtifactStoreTest, MaxStoreBytesEvictsOldestToBudget) {
+  std::string Dir = freshStoreDir("bytebudget");
+  // Size the budget off one real artifact so the test tracks format
+  // growth: keep room for roughly two entries, then write five.
+  {
+    Session Probe(storeOptions(Dir));
+    ASSERT_TRUE(Probe.compile("answer = 0# +# 1#")->ok());
+    Probe.flushStoreWrites();
+  }
+  uint64_t OneEntry = ArtifactStore(Dir).totalBytes();
+  ASSERT_GT(OneEntry, 0u);
+  fs::remove_all(Dir);
+
+  CompileOptions Opts = storeOptions(Dir);
+  Opts.MaxStoreBytes = OneEntry * 5 / 2;
+  Session S(Opts);
+  for (int I = 0; I != 5; ++I) {
+    ASSERT_TRUE(
+        S.compile("answer = " + std::to_string(I) + "# +# 1#")->ok());
+    S.flushStoreWrites();
+  }
+  ArtifactStore Store(Dir);
+  EXPECT_LE(Store.totalBytes(), Opts.MaxStoreBytes);
+  EXPECT_GE(Store.countEntries(), 1u);
+  Session::Stats St = S.stats();
+  EXPECT_GE(St.DiskEvictions, 1u);
+
+  // The newest entry survives: its session still gets a disk hit.
+  Session Cold(storeOptions(Dir));
+  auto Comp = Cold.compile("answer = 4# +# 1#");
+  ASSERT_TRUE(Comp->ok());
+  EXPECT_TRUE(Comp->hydrated());
+  fs::remove_all(Dir);
+}
+
+TEST(ArtifactStoreTest, EvictToBudgetEnforcesBothCapsDirectly) {
+  std::string Dir = freshStoreDir("bothcaps");
+  ArtifactStore Store(Dir);
+  // Five fake entries of 100 bytes each, distinct keys and mtimes.
+  for (uint64_t K = 1; K <= 5; ++K) {
+    ASSERT_TRUE(Store.store(K << 56 | K, std::string(100, 'x')));
+    fs::last_write_time(Store.entryPath(K << 56 | K),
+                        fs::file_time_type(std::chrono::seconds(K)));
+  }
+  // Byte budget of 250 keeps the two newest plus change.
+  size_t Evicted = Store.evictToBudget(/*MaxEntries=*/4, /*MaxBytes=*/250);
+  EXPECT_EQ(Evicted, 3u);
+  EXPECT_EQ(Store.countEntries(), 2u);
+  EXPECT_LE(Store.totalBytes(), 250u);
+  // The survivors are the newest two.
+  EXPECT_TRUE(fs::exists(Store.entryPath(5ull << 56 | 5)));
+  EXPECT_TRUE(fs::exists(Store.entryPath(4ull << 56 | 4)));
   fs::remove_all(Dir);
 }
 
@@ -401,10 +480,124 @@ TEST(ArtifactStoreTest, HydratedMetadataSurvivesWithoutFrontEnd) {
   EXPECT_NE(Report.find("elaborate+check"), std::string::npos) << Report;
   EXPECT_NE(Report.find("hydrate"), std::string::npos) << Report;
 
-  // Unknown globals fail with a store-specific diagnostic, not a crash.
+  // Unknown globals fail with a diagnostic, not a crash. (With a CORE
+  // section the hydrated compilation carries the program, so the
+  // message matches a fresh compile's.)
   RunResult R = Comp->run("nonexistent", Backend::AbstractMachine);
   EXPECT_EQ(R.St, RunResult::Status::Unsupported);
-  EXPECT_NE(R.Error.find("on-disk artifact"), std::string::npos) << R.Error;
+  EXPECT_NE(R.Error.find("no top-level binding named"), std::string::npos)
+      << R.Error;
+  fs::remove_all(Dir);
+}
+
+TEST(ArtifactStoreTest, CoreSectionServesTreeRunsWithoutFrontEnd) {
+  // PR 5: the CORE section restores the elaborated program, so a cold
+  // process's *tree* runs skip lex/parse/elaborate too (PR-4 leftover).
+  std::string Dir = freshStoreDir("coresec");
+  Session Warm(storeOptions(Dir));
+  auto Orig = Warm.compile(RobustSrc);
+  ASSERT_TRUE(Orig->ok());
+  RunResult OrigTree = Orig->run("v", Backend::TreeInterp);
+  Warm.flushStoreWrites();
+
+  Session Cold(storeOptions(Dir));
+  auto Hyd = Cold.compile(RobustSrc);
+  ASSERT_TRUE(Hyd->ok());
+  ASSERT_TRUE(Hyd->hydrated());
+  ASSERT_TRUE(Hyd->hydratedCore())
+      << "the artifact must carry a CORE section for this program";
+  Session::Stats St = Cold.stats();
+  EXPECT_EQ(St.DiskHits, 1u);
+  EXPECT_EQ(St.Compilations, 0u);
+
+  // The program is available without any front-end rebuild, and the
+  // tree run agrees with the original.
+  ASSERT_NE(Hyd->program(), nullptr);
+  RunResult Tree = Hyd->run("v", Backend::TreeInterp);
+  expectSameRunResult(OrigTree, Tree, "tree run via CORE section");
+  EXPECT_EQ(Tree.IntValue.value_or(-1), 5050);
+  // Machine runs agree with tree runs on the hydrated compilation.
+  EXPECT_EQ(Hyd->run("v", Backend::AbstractMachine).IntValue.value_or(-2),
+            5050);
+  fs::remove_all(Dir);
+}
+
+TEST(ArtifactStoreTest, MalformedCoreSectionFallsBackToFrontEndRebuild) {
+  // A CORE section that passes the container checksum but fails the
+  // core decode must leave the hydrated context pristine: the M terms
+  // still serve machine runs, and the *lazy front-end rebuild* must
+  // still succeed for tree runs (a half-decoded CORE section must not
+  // leave duplicate tycons behind for the elaborator to trip over).
+  const char *Src =
+      "data IntList = Nil | Cons Int IntList ;"
+      "len :: IntList -> Int# ;"
+      "len xs = case xs of { Nil -> 0# ; Cons y ys -> 1# +# len ys } ;"
+      "v = len (Cons (I# 1#) Nil)";
+  std::string Dir = freshStoreDir("badcore");
+  std::string Path = populateOne(Dir, Src);
+
+  // Find the CORE section payload and corrupt its leading tycon count,
+  // then re-seal the trailer so only the core decode fails.
+  std::string Bytes = *support::readFileBinary(Path);
+  size_t Off = 28; // past magic/version/fingerprint/hash/section-count
+  size_t CoreOff = 0;
+  while (Off + 12 <= Bytes.size() - 8) {
+    uint32_t Id = 0;
+    uint64_t Len = 0;
+    for (int I = 0; I != 4; ++I)
+      Id |= uint32_t(uint8_t(Bytes[Off + I])) << (8 * I);
+    for (int I = 0; I != 8; ++I)
+      Len |= uint64_t(uint8_t(Bytes[Off + 4 + I])) << (8 * I);
+    if (Id == levc::SecCore) {
+      CoreOff = Off + 12;
+      break;
+    }
+    Off += 12 + Len;
+  }
+  ASSERT_NE(CoreOff, 0u) << "artifact must carry a CORE section";
+  ASSERT_TRUE(support::writeFileAtomic(
+      Path, patchAndReseal(Bytes, CoreOff, 0xFF, 1)));
+
+  Session S(storeOptions(Dir));
+  auto Comp = S.compile(Src);
+  ASSERT_TRUE(Comp->ok());
+  ASSERT_TRUE(Comp->hydrated());
+  EXPECT_FALSE(Comp->hydratedCore());
+  // Machine runs need no front end; tree runs trigger the rebuild,
+  // which must succeed in the unpolluted context.
+  EXPECT_EQ(Comp->run("v", Backend::AbstractMachine).IntValue.value_or(-1),
+            1);
+  EXPECT_EQ(Comp->run("v", Backend::TreeInterp).IntValue.value_or(-2), 1);
+  fs::remove_all(Dir);
+}
+
+TEST(ArtifactStoreTest, CoreSectionRestoresUserDataTypes) {
+  // ADT programs round-trip the CORE section: user tycons/datacons are
+  // recreated in the hydrated context and the tree interpreter runs
+  // them without a front end.
+  const char *Src =
+      "data IntList = Nil | Cons Int IntList ;"
+      "sumList :: IntList -> Int# ;"
+      "sumList xs = case xs of {"
+      "  Nil -> 0# ;"
+      "  Cons y ys -> case y of { I# n -> n +# sumList ys }"
+      "} ;"
+      "v = sumList (Cons (I# 1#) (Cons (I# 2#) (Cons (I# 3#) Nil)))";
+  std::string Dir = freshStoreDir("coreadt");
+  {
+    Session Warm(storeOptions(Dir));
+    ASSERT_TRUE(Warm.compile(Src)->ok());
+    Warm.flushStoreWrites();
+  }
+  Session Cold(storeOptions(Dir));
+  auto Hyd = Cold.compile(Src);
+  ASSERT_TRUE(Hyd->ok());
+  ASSERT_TRUE(Hyd->hydrated());
+  ASSERT_TRUE(Hyd->hydratedCore());
+  EXPECT_EQ(Cold.stats().Compilations, 0u);
+  EXPECT_EQ(Hyd->run("v", Backend::TreeInterp).IntValue.value_or(-1), 6);
+  EXPECT_EQ(Hyd->run("v", Backend::AbstractMachine).IntValue.value_or(-2),
+            6);
   fs::remove_all(Dir);
 }
 
@@ -432,6 +625,27 @@ TEST(ArtifactSerializeTest, TermCodecRoundTripsEveryNodeKind) {
   mcalc::MVar P = Src.freshPtr(), I = Src.freshInt(), F = Src.freshDbl();
 
   // One term touching every TermKind and both atom payloads.
+  // A constructor with a pointer, an unboxed-literal, and a double
+  // field, scrutinized by a switch with every pattern sort.
+  mcalc::MAtom ConAtoms[] = {mcalc::MAtom::anyVar(P), mcalc::MAtom::lit(9),
+                             mcalc::MAtom::dlit(0.5)};
+  mcalc::MVar BP = Src.freshPtr(), BI = Src.freshInt(),
+              BF = Src.freshDbl();
+  mcalc::MVar SwBinders[] = {BP, BI, BF};
+  mcalc::MAlt Alts[3];
+  Alts[0].Pat = mcalc::MAlt::PatKind::Con;
+  Alts[0].Tag = 2;
+  Alts[0].Binders = std::span<const mcalc::MVar>(SwBinders, 3);
+  Alts[0].Body = Src.var(BP);
+  Alts[1].Pat = mcalc::MAlt::PatKind::Int;
+  Alts[1].IntVal = -4;
+  Alts[1].Body = Src.lit(1);
+  Alts[2].Pat = mcalc::MAlt::PatKind::Dbl;
+  Alts[2].DblVal = 2.25;
+  Alts[2].Body = Src.dlit(3.5);
+  const mcalc::Term *Sw =
+      Src.switchOf(Src.con(2, ConAtoms), Alts, Src.lit(0));
+
   const mcalc::Term *T = Src.let(
       P,
       Src.letRec(Src.freshPtr(),
@@ -446,7 +660,7 @@ TEST(ArtifactSerializeTest, TermCodecRoundTripsEveryNodeKind) {
           Src.caseOf(Src.conLit(4), I,
                      Src.prim(mcalc::MPrim::DMul, mcalc::MAtom::var(F),
                               mcalc::MAtom::dlit(1.5))),
-          Src.conVar(I)));
+          Src.let(Src.freshPtr(), Sw, Src.conVar(I))));
 
   levc::ByteWriter W;
   levc::writeTerm(W, T);

@@ -224,16 +224,37 @@ TEST(DriverTest, BackendsAgreeOnComparisonPrimops) {
 // deliberate and documented.
 //===----------------------------------------------------------------------===//
 
-TEST(DriverTest, FragmentRejectsConstructorCase) {
-  // Bool's True/False alternatives (surface `if`) have no L image.
+TEST(DriverTest, MachineRunsConstructorCases) {
+  // PR 5: Bool's True/False alternatives (surface `if`) lower through
+  // the tag-dispatch case — both backends agree.
   Session S;
   auto Comp = S.compile("flag = if isTrue# (3# <# 4#) then 1# else 0#");
   ASSERT_TRUE(Comp->ok()) << Comp->diagText();
   RunResult Mach = Comp->run("flag", Backend::AbstractMachine);
-  EXPECT_EQ(Mach.St, RunResult::Status::Unsupported);
-  EXPECT_EQ(Mach.Error,
-            "not expressible in L: multi-alternative constructor case");
-  EXPECT_TRUE(Comp->run("flag", Backend::TreeInterp).ok());
+  ASSERT_TRUE(Mach.ok()) << Mach.Error;
+  EXPECT_EQ(Mach.IntValue.value_or(-1), 1);
+  EXPECT_GT(Mach.Machine.Switches, 0u);
+  EXPECT_EQ(Comp->run("flag", Backend::TreeInterp).IntValue.value_or(-2),
+            1);
+}
+
+TEST(DriverTest, MachineRunsNaryConstructors) {
+  // An n-ary user data type: constructor allocation and tag dispatch
+  // through the whole pipeline, with a lazy boxed field left unforced.
+  Session S;
+  auto Comp = S.compile(
+      "data P2 = MkP2 Int Int ;"
+      "first :: P2 -> Int# ;"
+      "first p = case p of { MkP2 a b -> case a of { I# x -> x } } ;"
+      "v = first (MkP2 (I# 31#) (error \"second field unforced\"))");
+  ASSERT_TRUE(Comp->ok()) << Comp->diagText();
+  RunResult Mach = Comp->run("v", Backend::AbstractMachine);
+  ASSERT_TRUE(Mach.ok()) << Mach.Error;
+  EXPECT_EQ(Mach.IntValue.value_or(-1), 31);
+  EXPECT_GT(Mach.Machine.Branches, 0u);
+  RunResult Tree = Comp->run("v", Backend::TreeInterp);
+  ASSERT_TRUE(Tree.ok()) << Tree.Error;
+  EXPECT_EQ(Tree.IntValue.value_or(-2), 31);
 }
 
 TEST(DriverTest, FragmentRejectsConversionPrimop) {
@@ -259,18 +280,34 @@ TEST(DriverTest, FragmentRejectsLitCaseWithoutDefault) {
   EXPECT_EQ(Comp->run("v", Backend::TreeInterp).IntValue.value_or(-1), 1);
 }
 
-TEST(DriverTest, FragmentRejectsDefaultOnlyCase) {
+TEST(DriverTest, MachineRunsDefaultOnlyCase) {
+  // PR 5 fix: a default-only case forces the scrutinee and takes the
+  // default — no more "scrutinee sort" rejection.
   Session S;
   auto Comp = S.compile("g :: Int# -> Int# ;"
                         "g x = case x of { _ -> 2# } ;"
                         "v = g 7#");
   ASSERT_TRUE(Comp->ok()) << Comp->diagText();
   RunResult Mach = Comp->run("v", Backend::AbstractMachine);
-  EXPECT_EQ(Mach.St, RunResult::Status::Unsupported);
-  EXPECT_EQ(Mach.Error,
-            "not expressible in L: default-only case (the scrutinee sort "
-            "is not determined by the alternatives)");
-  EXPECT_EQ(Comp->run("v", Backend::TreeInterp).IntValue.value_or(-1), 2);
+  ASSERT_TRUE(Mach.ok()) << Mach.Error;
+  EXPECT_EQ(Mach.IntValue.value_or(-1), 2);
+  EXPECT_EQ(Comp->run("v", Backend::TreeInterp).IntValue.value_or(-2), 2);
+}
+
+TEST(DriverTest, DefaultOnlyCaseStillForcesBottomScrutinee) {
+  // The default-only case is a force, not a no-op: a bottom scrutinee
+  // must abort on both backends.
+  Session S;
+  auto Comp = S.compile("g :: Int -> Int# ;"
+                        "g x = case x of { _ -> 2# } ;"
+                        "v = g (error \"forced\")");
+  ASSERT_TRUE(Comp->ok()) << Comp->diagText();
+  RunResult Mach = Comp->run("v", Backend::AbstractMachine);
+  EXPECT_EQ(Mach.St, RunResult::Status::Bottom);
+  EXPECT_EQ(Mach.Error, "forced");
+  RunResult Tree = Comp->run("v", Backend::TreeInterp);
+  EXPECT_EQ(Tree.St, RunResult::Status::Bottom);
+  EXPECT_EQ(Tree.Error, "forced");
 }
 
 TEST(DriverTest, FragmentRejectsUnboxedTuples) {
@@ -281,6 +318,23 @@ TEST(DriverTest, FragmentRejectsUnboxedTuples) {
   EXPECT_EQ(Mach.St, RunResult::Status::Unsupported);
   EXPECT_EQ(Mach.Error,
             "not expressible in L: unboxed tuple expression");
+}
+
+TEST(DriverTest, FragmentRejectsNonExhaustiveConCaseWithoutDefault) {
+  // A constructor case must cover every tag or carry a default: L's
+  // E_CASE would otherwise lose progress (an unmatched value has no
+  // rule), so the lowering rejects it up front.
+  Session S;
+  auto Comp = S.compile("data Maybe a = Nothing | Just a ;"
+                        "f :: Maybe Int -> Int# ;"
+                        "f m = case m of { Just n -> 1# } ;"
+                        "v = f Nothing");
+  ASSERT_TRUE(Comp->ok()) << Comp->diagText();
+  RunResult Mach = Comp->run("v", Backend::AbstractMachine);
+  EXPECT_EQ(Mach.St, RunResult::Status::Unsupported);
+  EXPECT_EQ(Mach.Error,
+            "not expressible in L: non-exhaustive constructor case "
+            "without a default alternative");
 }
 
 TEST(DriverTest, FragmentRejectsMutualRecursion) {
@@ -299,14 +353,19 @@ TEST(DriverTest, FragmentRejectsMutualRecursion) {
   EXPECT_EQ(Comp->run("v", Backend::TreeInterp).IntValue.value_or(-1), 1);
 }
 
-TEST(DriverTest, FragmentRejectsNonIHashConstructors) {
-  // MkPair (algebraic data beyond Int) from the sample program.
+TEST(DriverTest, MachineRunsNonIHashConstructors) {
+  // PR 5: MkPair (algebraic data beyond Int) from the sample program
+  // now lowers; both backends reach a constructor value.
   Session S;
   auto Comp = S.compileProgram(runtime::buildSampleProgram);
   ASSERT_TRUE(Comp->ok());
   RunResult Mach = Comp->run("divModBoxed", Backend::AbstractMachine);
-  EXPECT_EQ(Mach.St, RunResult::Status::Unsupported);
-  EXPECT_EQ(Mach.Error, "not expressible in L: constructor MkPair");
+  ASSERT_TRUE(Mach.ok()) << Mach.Error;
+  RunResult Tree = Comp->run("divModBoxed", Backend::TreeInterp);
+  ASSERT_TRUE(Tree.ok()) << Tree.Error;
+  // Neither backend reports a scalar for a Pair value.
+  EXPECT_FALSE(Mach.IntValue.has_value());
+  EXPECT_FALSE(Tree.IntValue.has_value());
 }
 
 TEST(DriverTest, FragmentRejectsMutuallyRecursiveLet) {

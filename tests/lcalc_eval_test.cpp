@@ -198,7 +198,7 @@ TEST_F(LEvalTest, CaseMatches) {
   const Expr *E = C.caseOf(C.con(C.intLit(3)), s("x"), C.var(s("x")));
   StepResult R = step1(E);
   ASSERT_EQ(R.Status, StepStatus::Stepped);
-  EXPECT_EQ(R.Rule, "S_MATCH");
+  EXPECT_EQ(R.Rule, "S_CASEk");
   EXPECT_EQ(R.Next->str(), "3");
 }
 
@@ -208,6 +208,134 @@ TEST_F(LEvalTest, CaseErrorPropagates) {
       C.con(C.intLit(0)));
   RunResult R = Ev.runClosed(C.caseOf(Bottom, s("x"), C.var(s("x"))));
   EXPECT_EQ(R.Final, StepStatus::Bottom);
+}
+
+//===--------------------------------------------------------------------===//
+// n-ary constructors and tag dispatch (S_CON, S_CASEk, S_CASEDEF) — PR 5
+//===--------------------------------------------------------------------===//
+
+class LDataEvalTest : public LEvalTest {
+protected:
+  void SetUp() override {
+    // data T = A | B Int# | C Int Double#.
+    Decl = C.declareData(s("T"));
+    ASSERT_TRUE(C.addDataCon(Decl, s("A"), {}));
+    const Type *BF[] = {C.intHashTy()};
+    ASSERT_TRUE(C.addDataCon(Decl, s("B"), BF));
+    const Type *CF[] = {C.intTy(), C.doubleHashTy()};
+    ASSERT_TRUE(C.addDataCon(Decl, s("C"), CF));
+  }
+
+  LAlt conAlt(unsigned Tag, std::span<const Symbol> Binders,
+              const Expr *Rhs) {
+    LAlt A;
+    A.Pat = LAlt::PatKind::Con;
+    A.Tag = Tag;
+    A.Binders = Binders;
+    A.Rhs = Rhs;
+    return A;
+  }
+
+  LDataDecl *Decl = nullptr;
+};
+
+TEST_F(LDataEvalTest, ConstructorIsStrictInUnboxedLazyInPointerFields) {
+  // C[<ptr redex>, <dbl redex>] steps the *double* field (S_CON); the
+  // pointer field stays untouched — and once the double is a literal,
+  // the whole constructor is a value even with the pointer redex inside.
+  const Expr *PtrRedex =
+      C.app(C.lam(s("p"), C.intTy(), C.var(s("p"))), C.con(C.intLit(1)));
+  const Expr *DblRedex = C.prim(LPrim::DAdd, C.doubleLit(1.0),
+                                C.doubleLit(0.5));
+  const Expr *Args[] = {PtrRedex, DblRedex};
+  const Expr *E = C.conData(Decl, 2, Args);
+  EXPECT_FALSE(isValue(E));
+  StepResult R = step1(E);
+  ASSERT_EQ(R.Status, StepStatus::Stepped);
+  EXPECT_EQ(R.Rule, "S_CON");
+  const auto *Stepped = cast<ConExpr>(R.Next);
+  EXPECT_EQ(Stepped->args()[0], PtrRedex) << "pointer field must not step";
+  StepResult R2 = step1(R.Next);
+  ASSERT_EQ(R2.Status, StepStatus::Value) << R2.Rule;
+}
+
+TEST_F(LDataEvalTest, TagDispatchSelectsAlternativeAndBindsFields) {
+  Symbol X = s("x");
+  Symbol BBind[] = {X};
+  LAlt Alts[] = {conAlt(0, {}, C.intLit(0)),
+                 conAlt(1, BBind,
+                        C.prim(LPrim::Add, C.var(X), C.intLit(1)))};
+  const Expr *BArgs[] = {C.intLit(41)};
+  const Expr *E = C.caseData(C.conData(Decl, 1, BArgs), Decl, Alts,
+                             C.intLit(-1));
+  StepResult R = step1(E);
+  ASSERT_EQ(R.Status, StepStatus::Stepped);
+  EXPECT_EQ(R.Rule, "S_CASEk");
+  RunResult Run = Ev.runClosed(E);
+  ASSERT_EQ(Run.Final, StepStatus::Value);
+  EXPECT_EQ(Run.Last->str(), "42");
+}
+
+TEST_F(LDataEvalTest, UnmatchedTagTakesDefault) {
+  LAlt Alts[] = {conAlt(1, {}, C.intLit(0))}; // ill-arity never reached
+  Symbol X = s("x");
+  Symbol BBind[] = {X};
+  Alts[0] = conAlt(1, BBind, C.var(X));
+  const Expr *E = C.caseData(C.conData(Decl, 0, {}), Decl, Alts,
+                             C.intLit(7));
+  StepResult R = step1(E);
+  ASSERT_EQ(R.Status, StepStatus::Stepped);
+  EXPECT_EQ(R.Rule, "S_CASEDEF");
+  EXPECT_EQ(R.Next->str(), "7");
+}
+
+TEST_F(LDataEvalTest, LazyFieldSubstitutesUnevaluated) {
+  // case C[<redex>, 1.5] of C[a, b] -> a: the pointer payload lands in
+  // the body unevaluated (call-by-name, like S_BETAPTR).
+  const Expr *PtrRedex =
+      C.app(C.lam(s("p"), C.intTy(), C.var(s("p"))), C.con(C.intLit(5)));
+  const Expr *Args[] = {PtrRedex, C.doubleLit(1.5)};
+  Symbol Aa = s("a"), Bb = s("b");
+  Symbol CBind[] = {Aa, Bb};
+  LAlt Alts[] = {conAlt(2, CBind, C.var(Aa))};
+  const Expr *E =
+      C.caseData(C.conData(Decl, 2, Args), Decl, Alts, C.con(C.intLit(0)));
+  StepResult R = step1(E);
+  ASSERT_EQ(R.Status, StepStatus::Stepped);
+  EXPECT_EQ(R.Rule, "S_CASEk");
+  EXPECT_EQ(R.Next, PtrRedex) << "payload must arrive unevaluated";
+}
+
+TEST_F(LDataEvalTest, LiteralCaseDispatchesByValue) {
+  LAlt A3, A4;
+  A3.Pat = LAlt::PatKind::Int;
+  A3.IntVal = 3;
+  A3.Rhs = C.intLit(30);
+  A4.Pat = LAlt::PatKind::Int;
+  A4.IntVal = 4;
+  A4.Rhs = C.intLit(40);
+  LAlt Alts[] = {A3, A4};
+  EXPECT_EQ(Ev.runClosed(C.caseData(C.intLit(4), nullptr, Alts,
+                                    C.intLit(0)))
+                .Last->str(),
+            "40");
+  EXPECT_EQ(Ev.runClosed(C.caseData(C.intLit(9), nullptr, Alts,
+                                    C.intLit(0)))
+                .Last->str(),
+            "0");
+}
+
+TEST_F(LDataEvalTest, DefaultOnlyCaseForcesScrutinee) {
+  // case <redex> of { _ -> 1 } forces the scrutinee before defaulting.
+  const Expr *Redex =
+      C.app(C.lam(s("y"), C.intHashTy(), C.var(s("y"))), C.intLit(8));
+  const Expr *E = C.caseData(Redex, nullptr, {}, C.intLit(1));
+  StepResult R = step1(E);
+  ASSERT_EQ(R.Status, StepStatus::Stepped);
+  EXPECT_EQ(R.Rule, "S_CASE");
+  RunResult Run = Ev.runClosed(E);
+  ASSERT_EQ(Run.Final, StepStatus::Value);
+  EXPECT_EQ(Run.Last->str(), "1");
 }
 
 //===--------------------------------------------------------------------===//

@@ -295,4 +295,110 @@ TEST_F(LTypeCheckTest, RepAppOnNonForallRejected) {
                  "rep-applying");
 }
 
+//===--------------------------------------------------------------------===//
+// Algebraic data (E_CON, E_CASE) — PR 5
+//===--------------------------------------------------------------------===//
+
+class LDataTest : public LTypeCheckTest {
+protected:
+  void SetUp() override {
+    // data T = A | B Int# | C Int Double#.
+    Decl = C.declareData(s("T"));
+    ASSERT_TRUE(C.addDataCon(Decl, s("A"), {}));
+    const Type *BF[] = {C.intHashTy()};
+    ASSERT_TRUE(C.addDataCon(Decl, s("B"), BF));
+    const Type *CF[] = {C.intTy(), C.doubleHashTy()};
+    ASSERT_TRUE(C.addDataCon(Decl, s("C"), CF));
+  }
+
+  LAlt conAlt(unsigned Tag, std::span<const Symbol> Binders,
+              const Expr *Rhs) {
+    LAlt A;
+    A.Pat = LAlt::PatKind::Con;
+    A.Tag = Tag;
+    A.Binders = Binders;
+    A.Rhs = Rhs;
+    return A;
+  }
+
+  LDataDecl *Decl = nullptr;
+};
+
+TEST_F(LDataTest, ConstructorsTypeAtTheDeclaredDataType) {
+  expectType(C.conData(Decl, 0, {}), Decl->type()); // E_CON, nullary
+  const Expr *BArgs[] = {C.intLit(3)};
+  expectType(C.conData(Decl, 1, BArgs), Decl->type());
+  const Expr *CArgs[] = {C.con(C.intLit(1)), C.doubleLit(2.5)};
+  expectType(C.conData(Decl, 2, CArgs), Decl->type());
+}
+
+TEST_F(LDataTest, ConstructorFieldTypeMismatchRejected) {
+  const Expr *Bad[] = {C.doubleLit(1.0)};
+  expectIllTyped(C.conData(Decl, 1, Bad), "B expects Int#");
+}
+
+TEST_F(LDataTest, ExhaustiveCaseTypes) {
+  Symbol X = s("x"), Aa = s("a"), Bb = s("b");
+  Symbol BBind[] = {X};
+  Symbol CBind[] = {Aa, Bb};
+  LAlt Alts[] = {
+      conAlt(0, {}, C.intLit(0)),
+      conAlt(1, BBind, C.var(X)),
+      conAlt(2, CBind, C.caseOf(C.var(Aa), s("n"), C.var(s("n")))),
+  };
+  const Expr *E = C.caseData(C.conData(Decl, 0, {}), Decl, Alts, nullptr);
+  expectType(E, C.intHashTy());
+}
+
+TEST_F(LDataTest, NonExhaustiveCaseWithoutDefaultRejected) {
+  LAlt Alts[] = {conAlt(0, {}, C.intLit(0))};
+  expectIllTyped(
+      C.caseData(C.conData(Decl, 0, {}), Decl, Alts, nullptr),
+      "non-exhaustive case");
+  // The same case with a default is fine.
+  expectType(C.caseData(C.conData(Decl, 0, {}), Decl, Alts, C.intLit(9)),
+             C.intHashTy());
+}
+
+TEST_F(LDataTest, CasePatternArityMismatchRejected) {
+  Symbol X = s("x");
+  Symbol Binders[] = {X};
+  LAlt Alts[] = {conAlt(0, Binders, C.intLit(0))}; // A is nullary
+  expectIllTyped(
+      C.caseData(C.conData(Decl, 0, {}), Decl, Alts, C.intLit(1)),
+      "arity mismatch");
+}
+
+TEST_F(LDataTest, CaseAlternativesMustAgree) {
+  LAlt Alts[] = {conAlt(0, {}, C.intLit(0)),
+                 conAlt(1, {}, C.intLit(0))}; // wrong arity caught later
+  Alts[1] = conAlt(0, {}, C.doubleLit(1.0));
+  expectIllTyped(
+      C.caseData(C.conData(Decl, 0, {}), Decl, Alts, C.intLit(1)),
+      "alternatives disagree");
+}
+
+TEST_F(LDataTest, LiteralCaseRequiresDefault) {
+  LAlt A;
+  A.Pat = LAlt::PatKind::Int;
+  A.IntVal = 0;
+  A.Rhs = C.intLit(1);
+  expectIllTyped(C.caseData(C.intLit(0), nullptr, {&A, 1}, nullptr),
+                 "literal case without a default");
+  expectType(C.caseData(C.intLit(0), nullptr, {&A, 1}, C.intLit(2)),
+             C.intHashTy());
+}
+
+TEST_F(LDataTest, DefaultOnlyCaseForcesAnyConcreteScrutinee) {
+  expectType(C.caseData(C.conData(Decl, 0, {}), nullptr, {}, C.intLit(1)),
+             C.intHashTy());
+  expectType(C.caseData(C.doubleLit(1.5), nullptr, {}, C.intLit(1)),
+             C.intHashTy());
+}
+
+TEST_F(LDataTest, DataTypeHasKindTypePtr) {
+  TypeEnv Env;
+  EXPECT_EQ(*TC.kindOf(Env, Decl->type()), LKind::typePtr()); // T_DATA
+}
+
 } // namespace

@@ -290,4 +290,138 @@ TEST_F(MachineTest, PrintsReadably) {
   EXPECT_EQ(T->str(), "let! n = 3 in I#[n]");
 }
 
+//===--------------------------------------------------------------------===//
+// SWITCH / SWITCHk — the tag-dispatch pair (PR 5)
+//===--------------------------------------------------------------------===//
+
+class SwitchTest : public MachineTest {
+protected:
+  MVar f(std::string_view N) { return {C.symbols().intern(N), VarSort::Dbl}; }
+
+  /// switch Scrut of { CON 0 [] -> 10 ; CON 1 [n] -> n ; _ -> Def }.
+  const Term *twoConSwitch(const Term *Scrut, const Term *Def) {
+    MVar N = i("n");
+    MAlt Alts[2];
+    Alts[0].Pat = MAlt::PatKind::Con;
+    Alts[0].Tag = 0;
+    Alts[0].Body = C.lit(10);
+    Alts[1].Pat = MAlt::PatKind::Con;
+    Alts[1].Tag = 1;
+    Alts[1].Binders = std::span<const MVar>(&N, 1);
+    Alts[1].Body = C.var(N);
+    return C.switchOf(Scrut, Alts, Def);
+  }
+};
+
+TEST_F(SwitchTest, DispatchesOnConstructorTag) {
+  // SWITCHk: CON 1 [7] selects the tag-1 alternative and binds n := 7.
+  MAtom Args[] = {MAtom::lit(7)};
+  MachineResult R = M.run(twoConSwitch(C.con(1, Args), nullptr));
+  ASSERT_EQ(R.Status, MachineOutcome::Value) << R.StuckReason;
+  EXPECT_EQ(cast<LitTerm>(R.Value)->value(), 7);
+  EXPECT_EQ(R.Stats.Switches, 1u);
+  EXPECT_EQ(R.Stats.Branches, 1u);
+
+  MachineResult R0 = M.run(twoConSwitch(C.con(0, {}), nullptr));
+  ASSERT_EQ(R0.Status, MachineOutcome::Value) << R0.StuckReason;
+  EXPECT_EQ(cast<LitTerm>(R0.Value)->value(), 10);
+}
+
+TEST_F(SwitchTest, UnmatchedTagTakesDefault) {
+  MachineResult R = M.run(twoConSwitch(C.con(2, {}), C.lit(99)));
+  ASSERT_EQ(R.Status, MachineOutcome::Value) << R.StuckReason;
+  EXPECT_EQ(cast<LitTerm>(R.Value)->value(), 99);
+}
+
+TEST_F(SwitchTest, UnmatchedTagWithoutDefaultIsStuck) {
+  MachineResult R = M.run(twoConSwitch(C.con(2, {}), nullptr));
+  EXPECT_EQ(R.Status, MachineOutcome::Stuck);
+  EXPECT_NE(R.StuckReason.find("no matching switch alternative"),
+            std::string::npos);
+}
+
+TEST_F(SwitchTest, BoxedIntScrutineeMatchesTagZero) {
+  // I#[n] dispatches as tag 0 of the built-in Int, binding the payload.
+  MVar N = i("n");
+  MAlt Alt;
+  Alt.Pat = MAlt::PatKind::Con;
+  Alt.Tag = 0;
+  Alt.Binders = std::span<const MVar>(&N, 1);
+  Alt.Body = C.prim(MPrim::Add, MAtom::var(N), MAtom::lit(1));
+  const Term *T = C.switchOf(C.conLit(41), {&Alt, 1}, nullptr);
+  EXPECT_EQ(runToLit(T), 42);
+}
+
+TEST_F(SwitchTest, LiteralAlternativesDispatchByValue) {
+  MAlt Alts[2];
+  Alts[0].Pat = MAlt::PatKind::Int;
+  Alts[0].IntVal = 3;
+  Alts[0].Body = C.lit(30);
+  Alts[1].Pat = MAlt::PatKind::Int;
+  Alts[1].IntVal = 4;
+  Alts[1].Body = C.lit(40);
+  EXPECT_EQ(runToLit(C.switchOf(C.lit(4), Alts, C.lit(0))), 40);
+  EXPECT_EQ(runToLit(C.switchOf(C.lit(3), Alts, C.lit(0))), 30);
+  EXPECT_EQ(runToLit(C.switchOf(C.lit(9), Alts, C.lit(0))), 0);
+
+  MAlt DAlt;
+  DAlt.Pat = MAlt::PatKind::Dbl;
+  DAlt.DblVal = 2.5;
+  DAlt.Body = C.lit(1);
+  EXPECT_EQ(runToLit(C.switchOf(C.dlit(2.5), {&DAlt, 1}, C.lit(0))), 1);
+  EXPECT_EQ(runToLit(C.switchOf(C.dlit(2.0), {&DAlt, 1}, C.lit(0))), 0);
+}
+
+TEST_F(SwitchTest, PointerFieldsBindLazilyThroughTheHeap) {
+  // let p = <thunk> in switch CON 0 [p, 8] of { CON 0 [q, m] -> q + m }:
+  // the pointer field flows through unevaluated; forcing q runs the
+  // thunk (EVAL + FCE) and the unboxed field substitutes as a literal.
+  MVar P = p("p"), Q = p("q"), Mm = i("m"), N = i("n");
+  MAtom ConArgs[] = {MAtom::anyVar(P), MAtom::lit(8)};
+  MVar Binders[2] = {Q, Mm};
+  MAlt Alt;
+  Alt.Pat = MAlt::PatKind::Con;
+  Alt.Tag = 0;
+  Alt.Binders = std::span<const MVar>(Binders, 2);
+  // case q of I#[n] -> n + m.
+  Alt.Body = C.caseOf(C.var(Q), N,
+                      C.prim(MPrim::Add, MAtom::var(N), MAtom::var(Mm)));
+  const Term *T =
+      C.let(P, C.conLit(34), C.switchOf(C.con(0, ConArgs), {&Alt, 1},
+                                        nullptr));
+  MachineResult R = M.run(T);
+  ASSERT_EQ(R.Status, MachineOutcome::Value) << R.StuckReason;
+  EXPECT_EQ(cast<LitTerm>(R.Value)->value(), 42);
+  EXPECT_EQ(R.Stats.Allocations, 1u);
+}
+
+TEST_F(SwitchTest, ConAllocsCountConstructorHeapNodes) {
+  // A CON bound by a lazy let is a constructor node in the heap.
+  MVar P = p("p");
+  MAtom Args[] = {MAtom::lit(1)};
+  const Term *T = C.let(P, C.con(1, Args),
+                        twoConSwitch(C.var(P), nullptr));
+  MachineResult R = M.run(T);
+  ASSERT_EQ(R.Status, MachineOutcome::Value) << R.StuckReason;
+  EXPECT_EQ(R.Stats.ConAllocs, 1u);
+}
+
+TEST_F(SwitchTest, UnresolvedUnboxedConFieldIsStuck) {
+  // A CON whose unboxed atom never got a literal is not a value and has
+  // no rule: stuck, like any other ill-sorted program.
+  MAtom Args[] = {MAtom::var(i("loose"))};
+  MachineResult R = M.run(C.con(1, Args));
+  EXPECT_EQ(R.Status, MachineOutcome::Stuck);
+  EXPECT_NE(R.StuckReason.find("unresolved unboxed field"),
+            std::string::npos);
+}
+
+TEST_F(SwitchTest, SwitchBinderArityMismatchIsStuck) {
+  // Tag matches but the pattern arity does not: stuck, not UB.
+  MAtom Args[] = {MAtom::lit(1), MAtom::lit(2)};
+  MachineResult R = M.run(twoConSwitch(C.con(1, Args), nullptr));
+  EXPECT_EQ(R.Status, MachineOutcome::Stuck);
+  EXPECT_NE(R.StuckReason.find("arity mismatch"), std::string::npos);
+}
+
 } // namespace
