@@ -11,11 +11,14 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "bytecode/Bytecode.h"
+#include "bytecode/Vm.h"
 #include "mcalc/Machine.h"
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <memory>
 
 using namespace levity;
 using namespace levity::mcalc;
@@ -116,11 +119,80 @@ void BM_StrictBeta(benchmark::State &State) {
   }
 }
 
-BENCHMARK(BM_MachineSteps)->Arg(64)->Arg(512);
-BENCHMARK(BM_SharedThunk)->Arg(2)->Arg(16);
-BENCHMARK(BM_UnsharedReeval)->Arg(2)->Arg(16);
-BENCHMARK(BM_LazyBeta);
-BENCHMARK(BM_StrictBeta);
+//===--------------------------------------------------------------------===//
+// The bytecode VM on the same M terms (PR 6): compile once, then run
+// the flat instruction stream — the small-step-vs-dispatch-loop ratio
+// on pure step fuel and on thunk sharing.
+//===--------------------------------------------------------------------===//
+
+void BM_BytecodeSteps(benchmark::State &State) {
+  MContext C;
+  const Term *T = nestedCases(C, unsigned(State.range(0)));
+  auto Mod = bytecode::compile(T);
+  if (!Mod) {
+    State.SkipWithError(Mod.error().c_str());
+    return;
+  }
+  bytecode::Vm Vm;
+  uint64_t Steps = 0;
+  for (auto _ : State) {
+    bytecode::VmResult R = Vm.run(**Mod, uint64_t(1) << 40);
+    Steps += R.Stats.Steps;
+    benchmark::DoNotOptimize(R.IntValue);
+  }
+  State.counters["vm-steps/s"] =
+      benchmark::Counter(double(Steps), benchmark::Counter::kIsRate);
+}
+
+void BM_BytecodeSharedThunk(benchmark::State &State) {
+  MContext C;
+  unsigned Uses = unsigned(State.range(0));
+  MVar Q = C.freshPtr();
+  const Term *Work = nestedCases(C, 64);
+  MVar A = C.freshInt();
+  const Term *Body = C.conVar(A);
+  for (unsigned I = 0; I != Uses; ++I)
+    Body = C.caseOf(C.var(Q), A, Body);
+  auto Mod = bytecode::compile(C.let(Q, Work, Body));
+  if (!Mod) {
+    State.SkipWithError(Mod.error().c_str());
+    return;
+  }
+  bytecode::Vm Vm;
+  uint64_t Evals = 0;
+  for (auto _ : State) {
+    bytecode::VmResult R = Vm.run(**Mod, uint64_t(1) << 40);
+    Evals = R.Stats.ThunkEvals;
+    benchmark::DoNotOptimize(R.IntValue);
+  }
+  State.counters["thunk-evals"] = double(Evals); // expect 1, not Uses
+}
+
+void BM_BytecodeStrictBeta(benchmark::State &State) {
+  MContext C;
+  MVar I = C.freshInt();
+  auto Mod = bytecode::compile(C.appLit(C.lam(I, C.var(I)), 5));
+  if (!Mod) {
+    State.SkipWithError(Mod.error().c_str());
+    return;
+  }
+  bytecode::Vm Vm;
+  for (auto _ : State) {
+    bytecode::VmResult R = Vm.run(**Mod, uint64_t(1) << 40);
+    benchmark::DoNotOptimize(R.IntValue);
+  }
+}
+
+BENCHMARK(BM_MachineSteps)->Name("Machine/Steps")->Arg(64)->Arg(512);
+BENCHMARK(BM_SharedThunk)->Name("Machine/SharedThunk")->Arg(2)->Arg(16);
+BENCHMARK(BM_UnsharedReeval)
+    ->Name("Machine/UnsharedReeval")->Arg(2)->Arg(16);
+BENCHMARK(BM_LazyBeta)->Name("Machine/LazyBeta");
+BENCHMARK(BM_StrictBeta)->Name("Machine/StrictBeta");
+BENCHMARK(BM_BytecodeSteps)->Name("Bytecode/Steps")->Arg(64)->Arg(512);
+BENCHMARK(BM_BytecodeSharedThunk)
+    ->Name("Bytecode/SharedThunk")->Arg(2)->Arg(16);
+BENCHMARK(BM_BytecodeStrictBeta)->Name("Bytecode/StrictBeta");
 
 } // namespace
 

@@ -16,6 +16,9 @@
 //   * Machine/...  — the same loop on the formal backend (core → L →
 //     Figure 7 ANF → the Figure 6 machine): the tree-vs-machine number
 //     on a real recursive loop, with the machine's own cost counters.
+//   * Bytecode/... — the same M lowering compiled to the flat bytecode
+//     VM (PR 6): dense opcodes over a rep-typed operand stack, the
+//     closest tier to what compiled code would do.
 //   * Native/...   — natively-lowered equivalents of what the code
 //     generator would emit: a register loop vs a heap-box-and-thunk
 //     loop, at the paper's 10M iterations.
@@ -220,6 +223,72 @@ void BM_TreeSumList(benchmark::State &State) {
 }
 
 //===--------------------------------------------------------------------===//
+// The bytecode VM (PR 6): the same M lowering compiled to a flat
+// instruction stream and run on the rep-typed operand stack. The
+// Bytecode/SumToUnboxed-vs-Machine/SumToUnboxed ratio is the headline
+// number recorded in BENCH_bytecode.json.
+//===--------------------------------------------------------------------===//
+
+void BM_BytecodeUnboxed(benchmark::State &State) {
+  int64_t N = State.range(0);
+  auto Comp = machineComp(N, /*Boxed=*/false);
+  uint64_t Heap = 0, Steps = 0;
+  for (auto _ : State) {
+    driver::RunResult R = Comp->run("loop", driver::Backend::Bytecode);
+    if (!R.ok() || R.Used != driver::Backend::Bytecode) {
+      State.SkipWithError(R.ok() ? "fell back to the machine"
+                                 : R.Error.c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(R.IntValue);
+    Heap = R.Vm.Allocations;
+    Steps = R.Vm.Steps;
+  }
+  State.SetItemsProcessed(State.iterations() * N);
+  State.counters["heap-allocs/loop"] = double(Heap);
+  State.counters["vm-steps/iter"] = double(Steps) / double(N);
+}
+
+void BM_BytecodeBoxed(benchmark::State &State) {
+  int64_t N = State.range(0);
+  auto Comp = machineComp(N, /*Boxed=*/true);
+  uint64_t Heap = 0;
+  for (auto _ : State) {
+    driver::RunResult R = Comp->run("loop", driver::Backend::Bytecode);
+    if (!R.ok() || R.Used != driver::Backend::Bytecode) {
+      State.SkipWithError(R.ok() ? "fell back to the machine"
+                                 : R.Error.c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(R.IntValue);
+    Heap = R.Vm.Allocations;
+  }
+  State.SetItemsProcessed(State.iterations() * N);
+  State.counters["heap-allocs/loop"] = double(Heap);
+  State.counters["heap-allocs/iter"] = double(Heap) / double(N);
+}
+
+void BM_BytecodeSumList(benchmark::State &State) {
+  int64_t N = State.range(0);
+  auto Comp = sumListComp(N);
+  uint64_t ConAllocs = 0, Switches = 0;
+  for (auto _ : State) {
+    driver::RunResult R = Comp->run("loop", driver::Backend::Bytecode);
+    if (!R.ok() || R.Used != driver::Backend::Bytecode) {
+      State.SkipWithError(R.ok() ? "fell back to the machine"
+                                 : R.Error.c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(R.IntValue);
+    ConAllocs = R.Vm.ConAllocs;
+    Switches = R.Vm.Switches;
+  }
+  State.SetItemsProcessed(State.iterations() * N);
+  State.counters["con-allocs/loop"] = double(ConAllocs);
+  State.counters["switches/iter"] = double(Switches) / double(N);
+}
+
+//===--------------------------------------------------------------------===//
 // Natively-lowered equivalents (what compiled code does).
 //===--------------------------------------------------------------------===//
 
@@ -267,10 +336,24 @@ void BM_NativeBoxed(benchmark::State &State) {
 BENCHMARK(BM_InterpBoxed)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_InterpUnboxed)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_InterpUnboxedDouble)->Arg(10000)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_MachineUnboxed)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_MachineBoxed)->Arg(1000)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_MachineSumList)->Arg(200)->Arg(1000)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_TreeSumList)->Arg(1000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MachineUnboxed)
+    ->Name("Machine/SumToUnboxed")
+    ->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MachineBoxed)
+    ->Name("Machine/SumToBoxed")->Arg(1000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MachineSumList)
+    ->Name("Machine/SumList")
+    ->Arg(200)->Arg(1000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TreeSumList)
+    ->Name("Tree/SumList")->Arg(1000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BytecodeUnboxed)
+    ->Name("Bytecode/SumToUnboxed")
+    ->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BytecodeBoxed)
+    ->Name("Bytecode/SumToBoxed")->Arg(1000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BytecodeSumList)
+    ->Name("Bytecode/SumList")
+    ->Arg(200)->Arg(1000)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_NativeUnboxed)->Arg(10000000)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_NativeBoxed)->Arg(10000000)->Unit(benchmark::kMillisecond);
 

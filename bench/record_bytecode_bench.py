@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Assemble BENCH_bytecode.json from Google Benchmark JSON output.
+
+Usage:
+  record_bytecode_bench.py --sumto sumto.json --machine machine.json \
+      --out BENCH_bytecode.json [--min-speedup 5.0]
+
+Reads the --benchmark_out_format=json files written by bench_sumto and
+bench_machine, normalizes every entry to ns/op plus its ledger counters,
+and records the headline Machine/SumToUnboxed over Bytecode/SumToUnboxed
+speedup. Exits non-zero if the speedup is below --min-speedup, so CI
+fails when the bytecode tier regresses below the PR's acceptance bar.
+"""
+
+import argparse
+import json
+import sys
+
+NON_COUNTER_KEYS = {
+    "name", "run_name", "run_type", "repetitions", "repetition_index",
+    "threads", "iterations", "real_time", "cpu_time", "time_unit",
+    "family_index", "per_family_instance_index", "aggregate_name",
+}
+
+TIME_UNIT_TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load(path, suite):
+    with open(path) as f:
+        doc = json.load(f)
+    rows = []
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") != "iteration":
+            continue  # skip aggregates; raw iterations carry the counters
+        scale = TIME_UNIT_TO_NS[b.get("time_unit", "ns")]
+        rows.append({
+            "suite": suite,
+            "name": b["name"],
+            "ns_per_op": round(b["real_time"] * scale, 1),
+            "iterations": b["iterations"],
+            "counters": {k: v for k, v in b.items()
+                         if k not in NON_COUNTER_KEYS},
+        })
+    return rows, doc.get("context", {})
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--sumto", required=True)
+    ap.add_argument("--machine", required=True)
+    ap.add_argument("--out", required=True)
+    ap.add_argument("--min-speedup", type=float, default=5.0)
+    args = ap.parse_args()
+
+    sumto, ctx = load(args.sumto, "bench_sumto")
+    machine, _ = load(args.machine, "bench_machine")
+    rows = sumto + machine
+
+    def ns(name):
+        return next((r["ns_per_op"] for r in rows if r["name"] == name),
+                    None)
+
+    speedup = {}
+    for arg in ("1000", "10000"):
+        m = ns(f"Machine/SumToUnboxed/{arg}")
+        b = ns(f"Bytecode/SumToUnboxed/{arg}")
+        if m is not None and b is not None and b > 0:
+            speedup[f"SumToUnboxed/{arg}"] = round(m / b, 2)
+
+    doc = {
+        "schema": "levity-bench-v1",
+        "generator": "bench_sumto + bench_machine "
+                     "(Release, --benchmark_out_format=json)",
+        "date": ctx.get("date"),
+        "host": {
+            "num_cpus": ctx.get("num_cpus"),
+            "mhz_per_cpu": ctx.get("mhz_per_cpu"),
+            "library_build_type": ctx.get("library_build_type"),
+        },
+        "headline": {
+            "claim": "Bytecode/SumToUnboxed runs >= "
+                     f"{args.min_speedup}x fewer ns/op than "
+                     "Machine/SumToUnboxed",
+            "machine_over_bytecode_speedup": speedup,
+        },
+        "benchmarks": rows,
+    }
+    with open(args.out, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+
+    if not speedup:
+        print("error: no Machine/Bytecode SumToUnboxed pair found",
+              file=sys.stderr)
+        return 1
+    print(f"wrote {args.out}: "
+          + ", ".join(f"{k} {v}x" for k, v in speedup.items()))
+    bad = {k: v for k, v in speedup.items() if v < args.min_speedup}
+    if bad:
+        print(f"error: speedup below {args.min_speedup}x bar: {bad}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,176 @@
+//===- Bytecode.h - Flat bytecode for M terms -------------------*- C++ -*-===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The flat bytecode format Backend::Bytecode executes. The paper's
+/// central invariant — levity polymorphism pins every binder to one
+/// concrete runtime representation — is what makes this tier possible:
+/// because every M variable is exactly a pointer, an Int#, or a Double#
+/// (mcalc::VarSort), a term can be compiled once into a contiguous
+/// instruction stream whose operand stack and frame slots are rep-typed,
+/// instead of being small-stepped as a substitution-based term graph.
+///
+/// A compiled Module is one flat `std::vector<Instr>` (dense opcodes,
+/// inline operands) shared by every proto, plus constant pools
+/// (Int#/Double# literals, error strings) and switch dispatch tables.
+/// Each lambda body, thunk right-hand side, and the entry term itself is
+/// a Proto: a code range, a frame-slot count, and the list of enclosing
+/// frame slots its closure captures. Runtime values are tagged Slots —
+/// Int#/Double# payloads inline, pointers into a per-run object heap
+/// (thunks with black-holing update-on-force, closures, CON nodes, and
+/// the compact I# box).
+///
+/// Modules are immutable after compile() and safe to share across any
+/// number of VMs/threads. The compiler is total over everything the
+/// driver's core→L→ANF→M lowering produces; genuinely out-of-fragment
+/// terms (free variables, over-deep nesting) fail with a pinned
+/// "bytecode backend: ..." diagnostic and the driver falls back to the
+/// term-graph machine — never a miscompile.
+///
+/// validate() re-checks every structural invariant the VM's dispatch
+/// loop trusts (code ranges, slot indices, pool indices, jump targets),
+/// so Modules decoded from an untrusted `.levc` BCOD section are exactly
+/// as safe to run as freshly compiled ones.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LEVITY_BYTECODE_BYTECODE_H
+#define LEVITY_BYTECODE_BYTECODE_H
+
+#include "mcalc/Syntax.h"
+#include "support/Result.h"
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace levity {
+namespace bytecode {
+
+/// The instruction set. The numeric values are **stable on-disk tags**:
+/// they appear verbatim in the `.levc` BCOD section (driver/Serialize.h,
+/// docs/ARTIFACT_FORMAT.md). Never renumber an existing opcode; append
+/// new ones at the end (NumOps is folded into the artifact pipeline
+/// fingerprint, so growth invalidates stale stores).
+enum class Op : uint8_t {
+  PushInt = 0,      ///< push IntPool[C]
+  PushDbl = 1,      ///< push DblPool[C]
+  LoadLocal = 2,    ///< push locals[B] (raw — atoms, lazy args, fields)
+  LoadForce = 3,    ///< push locals[B] forced to WHNF (pointer reads)
+  StoreLocal = 4,   ///< locals[B] = pop() (unchecked let binding)
+  StoreStrict = 5,  ///< locals[B] = pop(), checked against sort A (let!)
+  MkClosure = 6,    ///< push closure of Protos[C], capturing per its Caps
+  MkClosureRec = 7, ///< locals[B] = closure of Protos[C]; captures see B
+  MkThunk = 8,      ///< push thunk of Protos[C], capturing per its Caps
+  MkThunkRec = 9,   ///< locals[B] = thunk of Protos[C]; captures see B
+  Call = 10,        ///< pop arg, pop fn; enter fn's proto
+  TailCall = 11,    ///< like Call, but replaces the current frame
+  Return = 12,      ///< pop result; update thunk / return to caller
+  Prim = 13,        ///< pop rhs, pop lhs; apply MPrim A; push result
+  MkBox = 14,       ///< pop Int#; push the I# box
+  UnBox = 15,       ///< pop I# box; locals[B] = field (A = binder sort)
+  AllocCon = 16,    ///< pop B fields; push CON node with tag C
+  Jump = 17,        ///< IP = C
+  If0 = 18,         ///< pop Int#; fall through when 0, else IP = C
+  Switch = 19,      ///< pop scrutinee; dispatch via Tables[C]
+  Error = 20,       ///< bottom with message StrPool[C] (C < 0: no message)
+};
+
+/// Number of opcodes; folded into the artifact fingerprint so a new
+/// instruction invalidates stale stores.
+inline constexpr unsigned NumOps = 21;
+
+/// One fixed-width instruction: a dense opcode plus three inline
+/// operands (their meaning per opcode is documented on Op).
+struct Instr {
+  Op Code = Op::Return;
+  uint8_t A = 0;  ///< Small operand: primop, expected sort.
+  uint16_t B = 0; ///< Frame-slot operand: local index, field count.
+  int32_t C = 0;  ///< Wide operand: pool/proto/table index, jump target.
+};
+
+/// One captured free variable: the creating frame's slot it is copied
+/// from, and its register class (validated when the capture is copied).
+struct Capture {
+  uint16_t Src = 0;
+  uint8_t Sort = 0; ///< mcalc::VarSort value.
+};
+
+/// One compilation unit: a lambda body, a thunk right-hand side, or the
+/// module's entry term (always proto 0). Code lives in the module-wide
+/// stream as the half-open range [Entry, End); frame layout is captures
+/// first (slots 0..Caps.size()), then the parameter (if any), then the
+/// body's binders and scratch slots.
+struct Proto {
+  uint32_t Entry = 0;
+  uint32_t End = 0;
+  uint16_t NumLocals = 0;
+  uint8_t HasParam = 0;
+  uint8_t ParamSort = 0; ///< mcalc::VarSort value when HasParam.
+  std::vector<Capture> Caps;
+
+  /// The parameter's frame slot (by convention, right after captures).
+  uint16_t paramSlot() const { return static_cast<uint16_t>(Caps.size()); }
+};
+
+/// One alternative of a Switch dispatch table, mirroring mcalc::MAlt:
+/// a constructor-tag pattern binding NumBinders consecutive frame slots
+/// starting at BindersBase, or an Int#/Double# literal pattern.
+struct SwitchAlt {
+  uint8_t Pat = 0; ///< mcalc::MAlt::PatKind value.
+  uint32_t Tag = 0;
+  int64_t IntVal = 0;
+  double DblVal = 0;
+  uint32_t Target = 0;      ///< Code index of the alternative's body.
+  uint16_t BindersBase = 0; ///< First bound frame slot (Con patterns).
+  std::vector<uint8_t> BinderSorts; ///< One VarSort per bound field.
+};
+
+/// The dispatch table one Switch instruction consults. DefaultTarget is
+/// -1 when the alternatives are exhaustive (no match is then stuck,
+/// exactly like the machine's SWITCHk rule).
+struct SwitchTable {
+  std::vector<SwitchAlt> Alts;
+  int64_t DefaultTarget = -1;
+};
+
+/// One compiled M term: the flat code stream, its protos, constant
+/// pools, and switch tables. Immutable after compile()/decode and safe
+/// to share across threads.
+struct Module {
+  std::vector<Instr> Code;
+  std::vector<Proto> Protos; ///< Protos[0] is the entry.
+  std::vector<int64_t> IntPool;
+  std::vector<double> DblPool;
+  std::vector<std::string> StrPool; ///< Error messages.
+  std::vector<SwitchTable> Tables;
+};
+
+/// The compiler refuses terms nested deeper than this (mirrors
+/// levc::MaxTermDepth: recursion depth must stay bounded) and frames
+/// needing more slots than a u16 operand can address. Both failures are
+/// pinned "bytecode backend: ..." diagnostics the driver answers with a
+/// clean fallback to the term-graph machine.
+inline constexpr unsigned MaxCompileDepth = 1u << 11;
+inline constexpr unsigned MaxFrameSlots = 65535;
+
+/// Compiles a closed M term to bytecode. Fails (never miscompiles) on
+/// out-of-fragment shapes: free variables, over-deep nesting, frames
+/// over MaxFrameSlots. The result is immutable and shareable.
+Result<std::shared_ptr<const Module>> compile(const mcalc::Term *T);
+
+/// Structural validation of everything the VM trusts: proto code ranges
+/// partition-safe and terminator-ended, slot/pool/proto/table operands
+/// in range, jump and switch targets inside the referencing proto, and
+/// capture sources inside the creating frame. compile() output always
+/// validates; decoded `.levc` payloads must pass this before running.
+bool validate(const Module &M);
+
+} // namespace bytecode
+} // namespace levity
+
+#endif // LEVITY_BYTECODE_BYTECODE_H

@@ -1,0 +1,904 @@
+//===- Compile.cpp - M terms to flat bytecode -----------------------------===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+//
+// Compiles closed M terms to the flat Module format of Bytecode.h, and
+// validates Modules decoded from untrusted bytes.
+//
+// The compilation story is the paper's Section 6.2 invariant made
+// operational a second time: because every M binder carries exactly one
+// VarSort, a term can be frame-allocated — every variable becomes a
+// fixed slot of known register class, every atom movement a known-width
+// copy — with no runtime tagging decisions left. The term machine
+// re-substitutes on every beta step; here each lambda body, thunk
+// right-hand side, and the entry term becomes a Proto compiled once.
+//
+// Laziness is preserved exactly: `let` right-hand sides become thunk
+// protos (captures copied at allocation, body run on first force),
+// except for syntactic values (λ, CON, I#[n], n, d) which the machine
+// itself treats as allocate-a-value (rule VAL on lookup) and a bare
+// variable right-hand side, which aliases the existing slot. `letrec`
+// writes the destination slot before copying captures, so the knot's
+// self-reference sees its own cell — the RECLET rule.
+//
+// The compiler refuses what it cannot prove: a free variable, nesting
+// past MaxCompileDepth, or a frame over MaxFrameSlots yields a pinned
+// "bytecode backend: ..." diagnostic and the driver falls back to the
+// term-graph machine. It never emits code whose behavior could diverge
+// from the machine's.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/Bytecode.h"
+
+#include <bit>
+#include <cstring>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace levity;
+using namespace levity::bytecode;
+using mcalc::MAlt;
+using mcalc::MAtom;
+using mcalc::MVar;
+using mcalc::Term;
+using mcalc::VarSort;
+using mcalc::cast;
+
+namespace {
+
+constexpr const char *DiagPrefix = "bytecode backend: ";
+
+/// The whole compilation state for one compile() call.
+class Compiler {
+public:
+  Result<std::shared_ptr<const Module>> run(const Term *Entry);
+
+private:
+  /// One name's frame slot and register class.
+  struct Binding {
+    uint32_t Slot = 0;
+    VarSort Sort = VarSort::Ptr;
+  };
+
+  /// Build state of one proto: its code (jump targets proto-relative
+  /// until link), its frame-slot counter, and the in-scope names.
+  struct ProtoCtx {
+    uint32_t Index = 0;
+    std::vector<Instr> Code;
+    uint32_t NumLocals = 0;
+    /// Innermost binding last — shadowing is a push/pop.
+    std::unordered_map<Symbol, std::vector<Binding>, SymbolHash> Scope;
+  };
+
+  Module Mod;
+  std::vector<std::unique_ptr<ProtoCtx>> Ctxs; ///< Parallel to Mod.Protos.
+  std::vector<uint32_t> TableOwner; ///< Proto index per Mod.Tables entry.
+  std::unordered_map<int64_t, uint32_t> IntIdx;
+  std::unordered_map<uint64_t, uint32_t> DblIdx;
+  std::unordered_map<std::string, uint32_t> StrIdx;
+  std::string Diag;
+  unsigned Depth = 0;
+
+  bool fail(std::string Msg) {
+    if (Diag.empty())
+      Diag = DiagPrefix + std::move(Msg);
+    return false;
+  }
+
+  size_t emit(ProtoCtx &P, Op Code, uint8_t A = 0, uint16_t B = 0,
+              int32_t C = 0) {
+    P.Code.push_back({Code, A, B, C});
+    return P.Code.size() - 1;
+  }
+
+  uint32_t intPool(int64_t V) {
+    auto [It, New] = IntIdx.try_emplace(V, Mod.IntPool.size());
+    if (New)
+      Mod.IntPool.push_back(V);
+    return It->second;
+  }
+  uint32_t dblPool(double V) {
+    auto [It, New] =
+        DblIdx.try_emplace(std::bit_cast<uint64_t>(V), Mod.DblPool.size());
+    if (New)
+      Mod.DblPool.push_back(V);
+    return It->second;
+  }
+  uint32_t strPool(std::string V) {
+    auto [It, New] = StrIdx.try_emplace(V, Mod.StrPool.size());
+    if (New)
+      Mod.StrPool.push_back(std::move(V));
+    return It->second;
+  }
+
+  bool newLocals(ProtoCtx &P, uint32_t Count, uint32_t &Base) {
+    if (P.NumLocals + Count > MaxFrameSlots)
+      return fail("frame needs more than " + std::to_string(MaxFrameSlots) +
+                  " slots");
+    Base = P.NumLocals;
+    P.NumLocals += Count;
+    return true;
+  }
+
+  void bind(ProtoCtx &P, MVar V, uint32_t Slot) {
+    P.Scope[V.Name].push_back({Slot, V.Sort});
+  }
+  void unbind(ProtoCtx &P, MVar V) {
+    auto It = P.Scope.find(V.Name);
+    assert(It != P.Scope.end() && !It->second.empty() && "unbalanced unbind");
+    It->second.pop_back();
+    if (It->second.empty())
+      P.Scope.erase(It);
+  }
+  bool lookup(ProtoCtx &P, MVar V, Binding &Out) {
+    auto It = P.Scope.find(V.Name);
+    if (It == P.Scope.end() || It->second.empty())
+      return fail("free variable '" + V.str() + "'");
+    Out = It->second.back();
+    return true;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Free variables (capture lists), in first-occurrence order.
+  //===--------------------------------------------------------------------===//
+
+  struct FvState {
+    std::unordered_map<Symbol, int, SymbolHash> Bound;
+    std::unordered_set<Symbol, SymbolHash> Seen;
+    std::vector<MVar> Out;
+  };
+
+  static void fvVisit(FvState &St, MVar V) {
+    auto It = St.Bound.find(V.Name);
+    if (It != St.Bound.end() && It->second > 0)
+      return;
+    if (St.Seen.insert(V.Name).second)
+      St.Out.push_back(V);
+  }
+
+  bool fvRec(FvState &St, const Term *T, unsigned D) {
+    if (D > MaxCompileDepth)
+      return fail("term nests deeper than the bytecode compiler supports");
+    using K = Term::TermKind;
+    switch (T->kind()) {
+    case K::AppVar: {
+      const auto *A = cast<mcalc::AppVarTerm>(T);
+      if (!fvRec(St, A->fn(), D + 1))
+        return false;
+      fvVisit(St, A->arg());
+      return true;
+    }
+    case K::AppLit:
+      return fvRec(St, cast<mcalc::AppLitTerm>(T)->fn(), D + 1);
+    case K::AppDbl:
+      return fvRec(St, cast<mcalc::AppDblTerm>(T)->fn(), D + 1);
+    case K::Lam: {
+      const auto *L = cast<mcalc::LamTerm>(T);
+      ++St.Bound[L->param().Name];
+      bool Ok = fvRec(St, L->body(), D + 1);
+      --St.Bound[L->param().Name];
+      return Ok;
+    }
+    case K::Var:
+      fvVisit(St, cast<mcalc::VarTerm>(T)->var());
+      return true;
+    case K::Let: {
+      const auto *L = cast<mcalc::LetTerm>(T);
+      if (!fvRec(St, L->rhs(), D + 1))
+        return false;
+      ++St.Bound[L->binder().Name];
+      bool Ok = fvRec(St, L->body(), D + 1);
+      --St.Bound[L->binder().Name];
+      return Ok;
+    }
+    case K::LetBang: {
+      const auto *L = cast<mcalc::LetBangTerm>(T);
+      if (!fvRec(St, L->rhs(), D + 1))
+        return false;
+      ++St.Bound[L->binder().Name];
+      bool Ok = fvRec(St, L->body(), D + 1);
+      --St.Bound[L->binder().Name];
+      return Ok;
+    }
+    case K::LetRec: {
+      const auto *L = cast<mcalc::LetRecTerm>(T);
+      ++St.Bound[L->binder().Name];
+      bool Ok = fvRec(St, L->rhs(), D + 1) && fvRec(St, L->body(), D + 1);
+      --St.Bound[L->binder().Name];
+      return Ok;
+    }
+    case K::Case: {
+      const auto *C = cast<mcalc::CaseTerm>(T);
+      if (!fvRec(St, C->scrut(), D + 1))
+        return false;
+      ++St.Bound[C->binder().Name];
+      bool Ok = fvRec(St, C->body(), D + 1);
+      --St.Bound[C->binder().Name];
+      return Ok;
+    }
+    case K::If0: {
+      const auto *I = cast<mcalc::If0Term>(T);
+      return fvRec(St, I->scrut(), D + 1) &&
+             fvRec(St, I->thenBranch(), D + 1) &&
+             fvRec(St, I->elseBranch(), D + 1);
+    }
+    case K::Error:
+    case K::ConLit:
+    case K::Lit:
+    case K::DLit:
+      return true;
+    case K::ConVar:
+      fvVisit(St, cast<mcalc::ConVarTerm>(T)->var());
+      return true;
+    case K::Prim: {
+      const auto *P = cast<mcalc::PrimTerm>(T);
+      if (!P->lhs().IsLit)
+        fvVisit(St, P->lhs().Var);
+      if (!P->rhs().IsLit)
+        fvVisit(St, P->rhs().Var);
+      return true;
+    }
+    case K::Con: {
+      const auto *C = cast<mcalc::ConTerm>(T);
+      for (const MAtom &A : C->args())
+        if (!A.IsLit)
+          fvVisit(St, A.Var);
+      return true;
+    }
+    case K::Switch: {
+      const auto *S = cast<mcalc::SwitchTerm>(T);
+      if (!fvRec(St, S->scrut(), D + 1))
+        return false;
+      for (const MAlt &A : S->alts()) {
+        for (MVar B : A.Binders)
+          ++St.Bound[B.Name];
+        bool Ok = fvRec(St, A.Body, D + 1);
+        for (MVar B : A.Binders)
+          --St.Bound[B.Name];
+        if (!Ok)
+          return false;
+      }
+      if (S->defaultBody())
+        return fvRec(St, S->defaultBody(), D + 1);
+      return true;
+    }
+    }
+    return fail("unknown term kind");
+  }
+
+  bool freeVarsOf(const Term *T, std::vector<MVar> &Out) {
+    FvState St;
+    if (!fvRec(St, T, 0))
+      return false;
+    Out = std::move(St.Out);
+    return true;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Term compilation
+  //===--------------------------------------------------------------------===//
+
+  /// Creates a new proto compiling \p Body (in tail position), capturing
+  /// the free variables of \p CapTerm from \p Parent's frame. \p Param,
+  /// when non-null, is the lambda parameter (slot right after captures).
+  bool makeProto(ProtoCtx &Parent, const Term *CapTerm, const Term *Body,
+                 const MVar *Param, uint32_t &OutIdx) {
+    std::vector<MVar> Caps;
+    if (!freeVarsOf(CapTerm, Caps))
+      return false;
+    if (Caps.size() > MaxFrameSlots)
+      return fail("closure captures more than " +
+                  std::to_string(MaxFrameSlots) + " variables");
+    Proto P;
+    auto Ctx = std::make_unique<ProtoCtx>();
+    for (MVar V : Caps) {
+      Binding Src;
+      if (!lookup(Parent, V, Src))
+        return false;
+      P.Caps.push_back({static_cast<uint16_t>(Src.Slot),
+                        static_cast<uint8_t>(Src.Sort)});
+      // The capture's slot in the new frame is its capture index; record
+      // the *defining* sort so loads pick the right access mode.
+      bind(*Ctx, MVar{V.Name, Src.Sort}, Ctx->NumLocals);
+      ++Ctx->NumLocals;
+    }
+    if (Param) {
+      P.HasParam = 1;
+      P.ParamSort = static_cast<uint8_t>(Param->Sort);
+      bind(*Ctx, *Param, Ctx->NumLocals);
+      ++Ctx->NumLocals;
+    }
+    OutIdx = static_cast<uint32_t>(Mod.Protos.size());
+    Ctx->Index = OutIdx;
+    Mod.Protos.push_back(std::move(P));
+    Ctxs.push_back(std::move(Ctx));
+    ProtoCtx &C = *Ctxs[OutIdx];
+    if (!compileTerm(C, Body, /*Tail=*/true))
+      return false;
+    emit(C, Op::Return);
+    if (C.NumLocals > MaxFrameSlots)
+      return fail("frame needs more than " + std::to_string(MaxFrameSlots) +
+                  " slots");
+    Mod.Protos[OutIdx].NumLocals = static_cast<uint16_t>(C.NumLocals);
+    return true;
+  }
+
+  /// Pushes one atom: a pooled literal, or a raw load of the variable's
+  /// slot (atoms are never forced — constructor fields stay lazy and
+  /// primop atoms are unboxed).
+  bool compileAtom(ProtoCtx &P, const MAtom &A) {
+    if (A.IsLit) {
+      if (A.IsDbl)
+        emit(P, Op::PushDbl, 0, 0, static_cast<int32_t>(dblPool(A.DblLit)));
+      else
+        emit(P, Op::PushInt, 0, 0, static_cast<int32_t>(intPool(A.Lit)));
+      return true;
+    }
+    Binding B;
+    if (!lookup(P, A.Var, B))
+      return false;
+    emit(P, Op::LoadLocal, 0, static_cast<uint16_t>(B.Slot));
+    return true;
+  }
+
+  bool compileTerm(ProtoCtx &P, const Term *T, bool Tail) {
+    if (Depth >= MaxCompileDepth)
+      return fail("term nests deeper than the bytecode compiler supports");
+    ++Depth;
+    bool Ok = compileTermInner(P, T, Tail);
+    --Depth;
+    return Ok;
+  }
+
+  bool compileTermInner(ProtoCtx &P, const Term *T, bool Tail) {
+    using K = Term::TermKind;
+    switch (T->kind()) {
+    case K::Var: {
+      const MVar V = cast<mcalc::VarTerm>(T)->var();
+      Binding B;
+      if (!lookup(P, V, B))
+        return false;
+      // Pointer reads in evaluation position force to WHNF (rules
+      // EVAL/VAL); unboxed registers already hold values.
+      emit(P, B.Sort == VarSort::Ptr ? Op::LoadForce : Op::LoadLocal, 0,
+           static_cast<uint16_t>(B.Slot));
+      return true;
+    }
+    case K::Lit:
+      emit(P, Op::PushInt, 0, 0,
+           static_cast<int32_t>(intPool(cast<mcalc::LitTerm>(T)->value())));
+      return true;
+    case K::DLit:
+      emit(P, Op::PushDbl, 0, 0,
+           static_cast<int32_t>(dblPool(cast<mcalc::DLitTerm>(T)->value())));
+      return true;
+    case K::ConLit:
+      emit(P, Op::PushInt, 0, 0,
+           static_cast<int32_t>(intPool(cast<mcalc::ConLitTerm>(T)->value())));
+      emit(P, Op::MkBox);
+      return true;
+    case K::ConVar: {
+      Binding B;
+      if (!lookup(P, cast<mcalc::ConVarTerm>(T)->var(), B))
+        return false;
+      emit(P, Op::LoadLocal, 0, static_cast<uint16_t>(B.Slot));
+      emit(P, Op::MkBox);
+      return true;
+    }
+    case K::Lam: {
+      const auto *L = cast<mcalc::LamTerm>(T);
+      const MVar Pv = L->param();
+      uint32_t Pr;
+      if (!makeProto(P, T, L->body(), &Pv, Pr))
+        return false;
+      emit(P, Op::MkClosure, 0, 0, static_cast<int32_t>(Pr));
+      return true;
+    }
+    case K::AppVar: {
+      const auto *A = cast<mcalc::AppVarTerm>(T);
+      if (!compileTerm(P, A->fn(), /*Tail=*/false))
+        return false;
+      Binding B;
+      if (!lookup(P, A->arg(), B))
+        return false;
+      emit(P, Op::LoadLocal, 0, static_cast<uint16_t>(B.Slot));
+      emit(P, Tail ? Op::TailCall : Op::Call);
+      return true;
+    }
+    case K::AppLit: {
+      const auto *A = cast<mcalc::AppLitTerm>(T);
+      if (!compileTerm(P, A->fn(), /*Tail=*/false))
+        return false;
+      emit(P, Op::PushInt, 0, 0, static_cast<int32_t>(intPool(A->lit())));
+      emit(P, Tail ? Op::TailCall : Op::Call);
+      return true;
+    }
+    case K::AppDbl: {
+      const auto *A = cast<mcalc::AppDblTerm>(T);
+      if (!compileTerm(P, A->fn(), /*Tail=*/false))
+        return false;
+      emit(P, Op::PushDbl, 0, 0, static_cast<int32_t>(dblPool(A->lit())));
+      emit(P, Tail ? Op::TailCall : Op::Call);
+      return true;
+    }
+    case K::Let: {
+      const auto *L = cast<mcalc::LetTerm>(T);
+      const Term *R = L->rhs();
+      switch (R->kind()) {
+      case K::Var: {
+        // Alias: the machine would allocate a one-variable thunk whose
+        // force delegates; sharing the slot is observationally the same
+        // and strictly lazier than a fresh cell.
+        Binding B;
+        if (!lookup(P, cast<mcalc::VarTerm>(R)->var(), B))
+          return false;
+        emit(P, Op::LoadLocal, 0, static_cast<uint16_t>(B.Slot));
+        break;
+      }
+      case K::Lam:
+      case K::Con:
+      case K::ConLit:
+      case K::Lit:
+      case K::DLit:
+        // Syntactic values: the machine's VAL rule yields them on first
+        // lookup without a thunk step; building them eagerly cannot
+        // error or diverge.
+        if (!compileTerm(P, R, /*Tail=*/false))
+          return false;
+        break;
+      default: {
+        uint32_t Pr;
+        if (!makeProto(P, R, R, /*Param=*/nullptr, Pr))
+          return false;
+        emit(P, Op::MkThunk, 0, 0, static_cast<int32_t>(Pr));
+        break;
+      }
+      }
+      uint32_t Slot;
+      if (!newLocals(P, 1, Slot))
+        return false;
+      emit(P, Op::StoreLocal, 0, static_cast<uint16_t>(Slot));
+      bind(P, L->binder(), Slot);
+      bool Ok = compileTerm(P, L->body(), Tail);
+      unbind(P, L->binder());
+      return Ok;
+    }
+    case K::LetBang: {
+      const auto *L = cast<mcalc::LetBangTerm>(T);
+      if (!compileTerm(P, L->rhs(), /*Tail=*/false))
+        return false;
+      uint32_t Slot;
+      if (!newLocals(P, 1, Slot))
+        return false;
+      emit(P, Op::StoreStrict, static_cast<uint8_t>(L->binder().Sort),
+           static_cast<uint16_t>(Slot));
+      bind(P, L->binder(), Slot);
+      bool Ok = compileTerm(P, L->body(), Tail);
+      unbind(P, L->binder());
+      return Ok;
+    }
+    case K::LetRec: {
+      const auto *L = cast<mcalc::LetRecTerm>(T);
+      uint32_t Slot;
+      if (!newLocals(P, 1, Slot))
+        return false;
+      // RECLET: the right-hand side sees its own cell. The destination
+      // slot is bound (and written by MkClosureRec/MkThunkRec) before
+      // captures are copied, so a self-capture reads the fresh cell.
+      bind(P, L->binder(), Slot);
+      const Term *R = L->rhs();
+      bool Ok;
+      uint32_t Pr;
+      if (const auto *Lam = mcalc::dyn_cast<mcalc::LamTerm>(R)) {
+        const MVar Pv = Lam->param();
+        Ok = makeProto(P, R, Lam->body(), &Pv, Pr);
+        if (Ok)
+          emit(P, Op::MkClosureRec, 0, static_cast<uint16_t>(Slot),
+               static_cast<int32_t>(Pr));
+      } else {
+        Ok = makeProto(P, R, R, /*Param=*/nullptr, Pr);
+        if (Ok)
+          emit(P, Op::MkThunkRec, 0, static_cast<uint16_t>(Slot),
+               static_cast<int32_t>(Pr));
+      }
+      Ok = Ok && compileTerm(P, L->body(), Tail);
+      unbind(P, L->binder());
+      return Ok;
+    }
+    case K::Case: {
+      const auto *C = cast<mcalc::CaseTerm>(T);
+      if (!compileTerm(P, C->scrut(), /*Tail=*/false))
+        return false;
+      uint32_t Slot;
+      if (!newLocals(P, 1, Slot))
+        return false;
+      // A non-Int# binder is the machine's IMAT stuck; the check rides
+      // on the instruction so the scrutinee still evaluates first.
+      emit(P, Op::UnBox, static_cast<uint8_t>(C->binder().Sort),
+           static_cast<uint16_t>(Slot));
+      bind(P, C->binder(), Slot);
+      bool Ok = compileTerm(P, C->body(), Tail);
+      unbind(P, C->binder());
+      return Ok;
+    }
+    case K::If0: {
+      const auto *I = cast<mcalc::If0Term>(T);
+      if (!compileTerm(P, I->scrut(), /*Tail=*/false))
+        return false;
+      size_t IfIdx = emit(P, Op::If0);
+      if (!compileTerm(P, I->thenBranch(), Tail))
+        return false;
+      size_t JmpIdx = emit(P, Op::Jump);
+      P.Code[IfIdx].C = static_cast<int32_t>(P.Code.size());
+      if (!compileTerm(P, I->elseBranch(), Tail))
+        return false;
+      P.Code[JmpIdx].C = static_cast<int32_t>(P.Code.size());
+      return true;
+    }
+    case K::Switch: {
+      const auto *S = cast<mcalc::SwitchTerm>(T);
+      if (!compileTerm(P, S->scrut(), /*Tail=*/false))
+        return false;
+      uint32_t Tbl = static_cast<uint32_t>(Mod.Tables.size());
+      Mod.Tables.emplace_back();
+      TableOwner.push_back(P.Index);
+      emit(P, Op::Switch, 0, 0, static_cast<int32_t>(Tbl));
+      std::vector<size_t> EndJumps;
+      for (const MAlt &A : S->alts()) {
+        SwitchAlt SA;
+        SA.Pat = static_cast<uint8_t>(A.Pat);
+        SA.Tag = A.Tag;
+        SA.IntVal = A.IntVal;
+        SA.DblVal = A.DblVal;
+        SA.Target = static_cast<uint32_t>(P.Code.size());
+        uint32_t NB = static_cast<uint32_t>(A.Binders.size());
+        if (NB) {
+          uint32_t Base;
+          if (!newLocals(P, NB, Base))
+            return false;
+          SA.BindersBase = static_cast<uint16_t>(Base);
+          for (uint32_t J = 0; J != NB; ++J) {
+            SA.BinderSorts.push_back(
+                static_cast<uint8_t>(A.Binders[J].Sort));
+            bind(P, A.Binders[J], Base + J);
+          }
+        }
+        bool Ok = compileTerm(P, A.Body, Tail);
+        for (uint32_t J = NB; J-- > 0;)
+          unbind(P, A.Binders[J]);
+        if (!Ok)
+          return false;
+        EndJumps.push_back(emit(P, Op::Jump));
+        Mod.Tables[Tbl].Alts.push_back(std::move(SA));
+      }
+      if (S->defaultBody()) {
+        Mod.Tables[Tbl].DefaultTarget =
+            static_cast<int64_t>(P.Code.size());
+        if (!compileTerm(P, S->defaultBody(), Tail))
+          return false;
+      }
+      for (size_t J : EndJumps)
+        P.Code[J].C = static_cast<int32_t>(P.Code.size());
+      return true;
+    }
+    case K::Prim: {
+      const auto *Pr = cast<mcalc::PrimTerm>(T);
+      if (!compileAtom(P, Pr->lhs()) || !compileAtom(P, Pr->rhs()))
+        return false;
+      emit(P, Op::Prim, static_cast<uint8_t>(Pr->op()));
+      return true;
+    }
+    case K::Con: {
+      const auto *C = cast<mcalc::ConTerm>(T);
+      if (C->args().size() > MaxFrameSlots)
+        return fail("constructor wider than " +
+                    std::to_string(MaxFrameSlots) + " fields");
+      if (C->tag() >
+          static_cast<uint32_t>(std::numeric_limits<int32_t>::max()))
+        return fail("constructor tag out of the bytecode operand range");
+      for (const MAtom &A : C->args())
+        if (!compileAtom(P, A))
+          return false;
+      emit(P, Op::AllocCon, 0, static_cast<uint16_t>(C->args().size()),
+           static_cast<int32_t>(C->tag()));
+      return true;
+    }
+    case K::Error: {
+      const Symbol Msg = cast<mcalc::ErrorTerm>(T)->message();
+      int32_t C = -1;
+      if (Msg.valid())
+        C = static_cast<int32_t>(strPool(std::string(Msg.str())));
+      emit(P, Op::Error, 0, 0, C);
+      return true;
+    }
+    }
+    return fail("unknown term kind");
+  }
+};
+
+Result<std::shared_ptr<const Module>> Compiler::run(const Term *Entry) {
+  // The entry is compiled like any proto with an empty capture scope;
+  // any variable lookup that misses is a free variable of the whole
+  // term (the driver's fragment boundary — fall back, never guess).
+  ProtoCtx Root;
+  uint32_t Idx;
+  if (!makeProto(Root, Entry, Entry, /*Param=*/nullptr, Idx))
+    return err(Diag.empty() ? std::string(DiagPrefix) + "compilation failed"
+                            : Diag);
+  assert(Idx == 0 && "entry proto must be proto 0");
+
+  // Link: concatenate per-proto code, rebasing proto-relative jump and
+  // switch targets onto the flat stream.
+  auto M = std::make_shared<Module>();
+  M->IntPool = std::move(Mod.IntPool);
+  M->DblPool = std::move(Mod.DblPool);
+  M->StrPool = std::move(Mod.StrPool);
+  M->Tables = std::move(Mod.Tables);
+  M->Protos = std::move(Mod.Protos);
+  size_t Total = 0;
+  for (const auto &C : Ctxs)
+    Total += C->Code.size();
+  if (Total > (size_t{1} << 30))
+    return err(std::string(DiagPrefix) + "program too large for bytecode");
+  M->Code.reserve(Total);
+  for (size_t I = 0; I != Ctxs.size(); ++I) {
+    Proto &P = M->Protos[I];
+    P.Entry = static_cast<uint32_t>(M->Code.size());
+    for (Instr In : Ctxs[I]->Code) {
+      if (In.Code == Op::Jump || In.Code == Op::If0)
+        In.C += static_cast<int32_t>(P.Entry);
+      M->Code.push_back(In);
+    }
+    P.End = static_cast<uint32_t>(M->Code.size());
+  }
+  for (size_t T = 0; T != M->Tables.size(); ++T) {
+    uint32_t Base = M->Protos[TableOwner[T]].Entry;
+    for (SwitchAlt &A : M->Tables[T].Alts)
+      A.Target += Base;
+    if (M->Tables[T].DefaultTarget >= 0)
+      M->Tables[T].DefaultTarget += Base;
+  }
+  assert(validate(*M) && "compiler emitted an invalid module");
+  return Result<std::shared_ptr<const Module>>(
+      std::shared_ptr<const Module>(std::move(M)));
+}
+
+} // namespace
+
+namespace levity {
+namespace bytecode {
+
+Result<std::shared_ptr<const Module>> compile(const mcalc::Term *T) {
+  if (!T)
+    return err(std::string(DiagPrefix) + "no term to compile");
+  Compiler C;
+  return C.run(T);
+}
+
+//===----------------------------------------------------------------------===//
+// Validation — everything the VM's unchecked dispatch loop relies on.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Pops/pushes for the stack-effect verifier. Call transfers control but
+/// its net frame-local effect is "pop fn and arg, a value comes back".
+struct StackEffect {
+  uint32_t Pops;
+  uint32_t Pushes;
+  bool Ends; ///< No fall-through successor.
+};
+
+StackEffect effectOf(const Instr &I) {
+  switch (I.Code) {
+  case Op::PushInt:
+  case Op::PushDbl:
+  case Op::LoadLocal:
+  case Op::LoadForce:
+  case Op::MkClosure:
+  case Op::MkThunk:
+    return {0, 1, false};
+  case Op::MkClosureRec:
+  case Op::MkThunkRec:
+  case Op::Jump:
+    return {0, 0, false};
+  case Op::StoreLocal:
+  case Op::StoreStrict:
+  case Op::UnBox:
+  case Op::If0:
+  case Op::Switch:
+    return {1, 0, false};
+  case Op::Call:
+  case Op::Prim:
+    return {2, 1, false};
+  case Op::MkBox:
+    return {1, 1, false};
+  case Op::AllocCon:
+    return {I.B, 1, false};
+  case Op::TailCall:
+    return {2, 0, true};
+  case Op::Return:
+    return {1, 0, true};
+  case Op::Error:
+    return {0, 0, true};
+  }
+  return {0, 0, true};
+}
+
+} // namespace
+
+bool validate(const Module &M) {
+  const size_t N = M.Code.size();
+  if (M.Protos.empty() || N == 0 ||
+      N > static_cast<size_t>(std::numeric_limits<int32_t>::max()))
+    return false;
+
+  for (const Proto &P : M.Protos) {
+    if (P.Entry >= P.End || P.End > N)
+      return false;
+    size_t Fixed = P.Caps.size() + (P.HasParam ? 1 : 0);
+    if (Fixed > P.NumLocals)
+      return false;
+    if (P.HasParam && P.ParamSort >= mcalc::NumVarSorts)
+      return false;
+    for (const Capture &C : P.Caps)
+      if (C.Sort >= mcalc::NumVarSorts)
+        return false;
+  }
+
+  for (const Proto &P : M.Protos) {
+    for (uint32_t Ip = P.Entry; Ip != P.End; ++Ip) {
+      const Instr &I = M.Code[Ip];
+      if (static_cast<uint8_t>(I.Code) >= NumOps)
+        return false;
+      auto InRange = [&](int64_t T) {
+        return T >= static_cast<int64_t>(P.Entry) &&
+               T < static_cast<int64_t>(P.End);
+      };
+      switch (I.Code) {
+      case Op::PushInt:
+        if (I.C < 0 || static_cast<size_t>(I.C) >= M.IntPool.size())
+          return false;
+        break;
+      case Op::PushDbl:
+        if (I.C < 0 || static_cast<size_t>(I.C) >= M.DblPool.size())
+          return false;
+        break;
+      case Op::LoadLocal:
+      case Op::LoadForce:
+      case Op::StoreLocal:
+        if (I.B >= P.NumLocals)
+          return false;
+        break;
+      case Op::StoreStrict:
+      case Op::UnBox:
+        if (I.B >= P.NumLocals || I.A >= mcalc::NumVarSorts)
+          return false;
+        break;
+      case Op::MkClosure:
+      case Op::MkThunk:
+      case Op::MkClosureRec:
+      case Op::MkThunkRec: {
+        if (I.C < 0 || static_cast<size_t>(I.C) >= M.Protos.size())
+          return false;
+        // Captures are copied from the *creating* frame.
+        for (const Capture &C : M.Protos[I.C].Caps)
+          if (C.Src >= P.NumLocals)
+            return false;
+        if ((I.Code == Op::MkClosureRec || I.Code == Op::MkThunkRec) &&
+            I.B >= P.NumLocals)
+          return false;
+        break;
+      }
+      case Op::Prim:
+        if (I.A >= mcalc::NumMPrims)
+          return false;
+        break;
+      case Op::AllocCon:
+        if (I.C < 0)
+          return false;
+        break;
+      case Op::Jump:
+      case Op::If0:
+        if (!InRange(I.C))
+          return false;
+        break;
+      case Op::Switch: {
+        if (I.C < 0 || static_cast<size_t>(I.C) >= M.Tables.size())
+          return false;
+        const SwitchTable &T = M.Tables[I.C];
+        if (T.DefaultTarget != -1 && !InRange(T.DefaultTarget))
+          return false;
+        for (const SwitchAlt &A : T.Alts) {
+          if (A.Pat >= MAlt::NumPatKinds || !InRange(A.Target))
+            return false;
+          if (A.BindersBase + A.BinderSorts.size() > P.NumLocals)
+            return false;
+          for (uint8_t S : A.BinderSorts)
+            if (S >= mcalc::NumVarSorts)
+              return false;
+        }
+        break;
+      }
+      case Op::Error:
+        if (I.C >= 0 && static_cast<size_t>(I.C) >= M.StrPool.size())
+          return false;
+        break;
+      case Op::Call:
+      case Op::TailCall:
+      case Op::Return:
+      case Op::MkBox:
+        break;
+      }
+    }
+  }
+
+  // Stack-effect dataflow per proto: depth is exact along every path, no
+  // pop can underflow, and control never falls off the end of a proto.
+  // This is what lets the VM pop without per-instruction checks.
+  std::vector<int32_t> DepthAt(N, -1);
+  std::vector<uint32_t> Work;
+  for (const Proto &P : M.Protos) {
+    Work.clear();
+    if (DepthAt[P.Entry] == -1)
+      DepthAt[P.Entry] = 0;
+    else if (DepthAt[P.Entry] != 0)
+      return false;
+    Work.push_back(P.Entry);
+    auto Flow = [&](int64_t To, int32_t D) {
+      if (!(To >= P.Entry && To < P.End))
+        return false; // Falls off the proto or into another one.
+      if (DepthAt[To] == -1) {
+        DepthAt[To] = D;
+        Work.push_back(static_cast<uint32_t>(To));
+        return true;
+      }
+      return DepthAt[To] == D;
+    };
+    while (!Work.empty()) {
+      uint32_t Ip = Work.back();
+      Work.pop_back();
+      const Instr &I = M.Code[Ip];
+      int32_t D = DepthAt[Ip];
+      StackEffect E = effectOf(I);
+      if (static_cast<uint32_t>(D) < E.Pops)
+        return false;
+      int32_t After = D - static_cast<int32_t>(E.Pops) +
+                      static_cast<int32_t>(E.Pushes);
+      if (E.Ends)
+        continue;
+      switch (I.Code) {
+      case Op::Jump:
+        if (!Flow(I.C, After))
+          return false;
+        break;
+      case Op::If0:
+        if (!Flow(Ip + 1, After) || !Flow(I.C, After))
+          return false;
+        break;
+      case Op::Switch: {
+        const SwitchTable &T = M.Tables[I.C];
+        for (const SwitchAlt &A : T.Alts)
+          if (!Flow(A.Target, After))
+            return false;
+        if (T.DefaultTarget != -1 && !Flow(T.DefaultTarget, After))
+          return false;
+        break;
+      }
+      default:
+        if (!Flow(Ip + 1, After))
+          return false;
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+} // namespace bytecode
+} // namespace levity

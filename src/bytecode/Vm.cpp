@@ -1,0 +1,592 @@
+//===- Vm.cpp - Threaded interpreter for bytecode Modules -----------------===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+//
+// The dispatch loop. On GCC/Clang it is a threaded interpreter: each
+// handler ends by loading the next opcode and jumping straight to its
+// label (computed goto), so the branch predictor learns per-opcode
+// successor patterns instead of funnelling every instruction through one
+// switch. A portable switch fallback compiles everywhere else (or with
+// -DLEVITY_VM_NO_COMPUTED_GOTO for differential testing of the two
+// loops).
+//
+// The loop performs no operand bounds checks: validate() proved every
+// slot/pool/target operand in range and the stack-effect dataflow exact,
+// so the only runtime checks left are the semantic ones the term machine
+// itself performs (value shapes, register classes, division guards) —
+// each mapping to the machine's stuck conditions.
+//
+// Frames share one contiguous Slot stack for locals and one for
+// operands; a frame is three integers and two pointers. Tail calls reuse
+// the frame in place — the iterative sum-to loop runs at constant frame
+// depth — while preserving the pending thunk update, so a tail call
+// inside a forced thunk still writes the result back (FCE).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/Vm.h"
+
+#include <limits>
+
+using namespace levity;
+using namespace levity::bytecode;
+using mcalc::MPrim;
+using mcalc::VarSort;
+
+#if (defined(__GNUC__) || defined(__clang__)) &&                               \
+    !defined(LEVITY_VM_NO_COMPUTED_GOTO)
+#define LEVITY_VM_COMPUTED_GOTO 1
+#else
+#define LEVITY_VM_COMPUTED_GOTO 0
+#endif
+
+namespace {
+
+/// The machine's APP-against-non-lambda stucks, keyed by the pending
+/// argument's register class (mirrors Frame::AppPtr/AppLit/AppDbl).
+const char *appStuckMsg(uint8_t ArgKind) {
+  switch (static_cast<VarSort>(ArgKind)) {
+  case VarSort::Ptr:
+    return "App(p) against a non-lambda value";
+  case VarSort::Int:
+    return "App(n) against a non-lambda value";
+  case VarSort::Dbl:
+    return "App(d) against a non-lambda value";
+  }
+  return "App against a non-lambda value";
+}
+
+/// The machine's calling-convention stucks, keyed the same way.
+const char *ccMismatchMsg(uint8_t ArgKind) {
+  switch (static_cast<VarSort>(ArgKind)) {
+  case VarSort::Ptr:
+    return "calling-convention mismatch: pointer argument for an "
+           "integer-register parameter";
+  case VarSort::Int:
+    return "calling-convention mismatch: integer argument for a "
+           "non-integer-register parameter";
+  case VarSort::Dbl:
+    return "calling-convention mismatch: double argument for a "
+           "non-double-register parameter";
+  }
+  return "calling-convention mismatch";
+}
+
+/// Renders a WHNF slot for RunResult::Display (shallow, like the
+/// machine's Term::str() on the final value).
+std::string renderValue(Slot V) {
+  while (V.isPtr() && V.P->Kind == Obj::K::Ind)
+    V = V.P->Val;
+  if (V.isInt())
+    return std::to_string(V.I);
+  if (V.isDbl())
+    return std::to_string(V.D);
+  const Obj *O = V.P;
+  if (O->Kind == Obj::K::Closure)
+    return "<closure>";
+  if (O->Kind == Obj::K::Con) {
+    if (O->IsBox)
+      return "I#[" + std::to_string(O->Fields[0].I) + "]";
+    std::string S = "CON " + std::to_string(O->Tag) + " [";
+    for (size_t J = 0; J != O->Fields.size(); ++J) {
+      if (J)
+        S += ", ";
+      Slot F = O->Fields[J];
+      while (F.isPtr() && F.P->Kind == Obj::K::Ind)
+        F = F.P->Val;
+      if (F.isInt())
+        S += std::to_string(F.I);
+      else if (F.isDbl())
+        S += std::to_string(F.D);
+      else
+        S += "•";
+    }
+    return S + "]";
+  }
+  return "<opaque>";
+}
+
+} // namespace
+
+VmResult Vm::run(const Module &M, uint64_t MaxSteps) {
+  VmResult R;
+  VmStats S;
+
+  Opers.clear();
+  Locals.clear();
+  Frames.clear();
+  Heap.clear();
+  Opers.reserve(256);
+  Locals.reserve(1024);
+  Frames.reserve(128);
+
+  const Instr *Code = M.Code.data();
+  const Proto *Entry = &M.Protos[0];
+  Frames.push_back({Entry, 0, 0, 0, nullptr});
+  S.MaxFrameDepth = 1;
+  Locals.resize(Entry->NumLocals);
+  uint32_t IP = Entry->Entry;
+  uint32_t LBase = 0;
+  const Instr *I = nullptr;
+
+  auto deref = [](Slot V) {
+    while (V.isPtr() && V.P->Kind == Obj::K::Ind)
+      V = V.P->Val;
+    return V;
+  };
+
+#define VM_STUCK(Msg)                                                          \
+  do {                                                                         \
+    R.Out = VmResult::Outcome::Stuck;                                          \
+    R.StuckReason = (Msg);                                                     \
+    goto Done;                                                                 \
+  } while (0)
+
+#if LEVITY_VM_COMPUTED_GOTO
+  static const void *JumpTable[NumOps] = {
+      &&Lb_PushInt,  &&Lb_PushDbl,     &&Lb_LoadLocal, &&Lb_LoadForce,
+      &&Lb_StoreLocal, &&Lb_StoreStrict, &&Lb_MkClosure, &&Lb_MkClosureRec,
+      &&Lb_MkThunk,  &&Lb_MkThunkRec,  &&Lb_Call,      &&Lb_TailCall,
+      &&Lb_Return,   &&Lb_Prim,        &&Lb_MkBox,     &&Lb_UnBox,
+      &&Lb_AllocCon, &&Lb_Jump,        &&Lb_If0,       &&Lb_Switch,
+      &&Lb_Error};
+#define VM_CASE(Name) Lb_##Name
+#define VM_NEXT()                                                              \
+  do {                                                                         \
+    if (S.Steps == MaxSteps)                                                   \
+      goto FuelOut;                                                            \
+    ++S.Steps;                                                                 \
+    I = &Code[IP++];                                                           \
+    goto *JumpTable[static_cast<uint8_t>(I->Code)];                            \
+  } while (0)
+  VM_NEXT();
+#else
+#define VM_CASE(Name) case Op::Name
+#define VM_NEXT() goto Dispatch
+Dispatch:
+  if (S.Steps == MaxSteps)
+    goto FuelOut;
+  ++S.Steps;
+  I = &Code[IP++];
+  switch (I->Code) {
+#endif
+
+  VM_CASE(PushInt) : {
+    Opers.push_back(Slot::ofInt(M.IntPool[static_cast<uint32_t>(I->C)]));
+  }
+  VM_NEXT();
+
+  VM_CASE(PushDbl) : {
+    Opers.push_back(Slot::ofDbl(M.DblPool[static_cast<uint32_t>(I->C)]));
+  }
+  VM_NEXT();
+
+  VM_CASE(LoadLocal) : { Opers.push_back(Locals[LBase + I->B]); }
+  VM_NEXT();
+
+  VM_CASE(LoadForce) : {
+    Slot V = Locals[LBase + I->B];
+    for (;;) {
+      if (!V.isPtr()) {
+        // A heap cell can hold a raw unboxed value (rule VAL on a
+        // literal right-hand side); it is already WHNF.
+        ++S.VarLookups;
+        Opers.push_back(V);
+        break;
+      }
+      Obj *O = V.P;
+      if (O->Kind == Obj::K::Ind) {
+        V = O->Val;
+        continue;
+      }
+      if (O->Kind == Obj::K::Closure || O->Kind == Obj::K::Con) {
+        ++S.VarLookups;
+        Opers.push_back(V);
+        break;
+      }
+      if (O->Kind == Obj::K::Blackhole)
+        VM_STUCK("dangling heap pointer (thunk forced while evaluating)");
+      // Thunk: black-hole the cell and enter its proto (rule EVAL). The
+      // frame remembers the cell so Return writes the value back (FCE).
+      const Proto *Q = &M.Protos[O->ProtoIdx];
+      O->Kind = Obj::K::Blackhole;
+      ++S.ThunkEvals;
+      uint32_t NewLBase = static_cast<uint32_t>(Locals.size());
+      Frames.push_back({Q, IP, NewLBase,
+                        static_cast<uint32_t>(Opers.size()), O});
+      if (Frames.size() > S.MaxFrameDepth)
+        S.MaxFrameDepth = Frames.size();
+      Locals.resize(NewLBase + Q->NumLocals);
+      for (size_t J = 0; J != O->Fields.size(); ++J)
+        Locals[NewLBase + J] = O->Fields[J];
+      O->Fields.clear();
+      LBase = NewLBase;
+      IP = Q->Entry;
+      break;
+    }
+  }
+  VM_NEXT();
+
+  VM_CASE(StoreLocal) : {
+    Locals[LBase + I->B] = Opers.back();
+    Opers.pop_back();
+  }
+  VM_NEXT();
+
+  VM_CASE(StoreStrict) : {
+    Slot V = Opers.back();
+    Opers.pop_back();
+    switch (static_cast<VarSort>(I->A)) {
+    case VarSort::Ptr:
+      VM_STUCK("let! continuation over a pointer binder");
+    case VarSort::Int:
+      if (!V.isInt())
+        VM_STUCK("let! continuation expects an integer literal");
+      break;
+    case VarSort::Dbl:
+      if (!V.isDbl())
+        VM_STUCK("let! continuation expects a double literal");
+      break;
+    }
+    Locals[LBase + I->B] = V;
+  }
+  VM_NEXT();
+
+  VM_CASE(MkClosure) : {
+    const Proto &Q = M.Protos[static_cast<uint32_t>(I->C)];
+    Obj &O = Heap.emplace_back();
+    O.Kind = Obj::K::Closure;
+    O.ProtoIdx = static_cast<uint32_t>(I->C);
+    O.Fields.resize(Q.Caps.size());
+    for (size_t J = 0; J != Q.Caps.size(); ++J)
+      O.Fields[J] = Locals[LBase + Q.Caps[J].Src];
+    ++S.Allocations;
+    if (Heap.size() > S.MaxHeapObjects)
+      S.MaxHeapObjects = Heap.size();
+    Opers.push_back(Slot::ofPtr(&O));
+  }
+  VM_NEXT();
+
+  VM_CASE(MkClosureRec) : {
+    // RECLET: the destination slot is written before captures are
+    // copied, so a self-capture ties the knot through the fresh cell.
+    const Proto &Q = M.Protos[static_cast<uint32_t>(I->C)];
+    Obj &O = Heap.emplace_back();
+    O.Kind = Obj::K::Closure;
+    O.ProtoIdx = static_cast<uint32_t>(I->C);
+    Locals[LBase + I->B] = Slot::ofPtr(&O);
+    O.Fields.resize(Q.Caps.size());
+    for (size_t J = 0; J != Q.Caps.size(); ++J)
+      O.Fields[J] = Locals[LBase + Q.Caps[J].Src];
+    ++S.Allocations;
+    ++S.Knots;
+    if (Heap.size() > S.MaxHeapObjects)
+      S.MaxHeapObjects = Heap.size();
+  }
+  VM_NEXT();
+
+  VM_CASE(MkThunk) : {
+    const Proto &Q = M.Protos[static_cast<uint32_t>(I->C)];
+    Obj &O = Heap.emplace_back();
+    O.Kind = Obj::K::Thunk;
+    O.ProtoIdx = static_cast<uint32_t>(I->C);
+    O.Fields.resize(Q.Caps.size());
+    for (size_t J = 0; J != Q.Caps.size(); ++J)
+      O.Fields[J] = Locals[LBase + Q.Caps[J].Src];
+    ++S.Allocations;
+    if (Heap.size() > S.MaxHeapObjects)
+      S.MaxHeapObjects = Heap.size();
+    Opers.push_back(Slot::ofPtr(&O));
+  }
+  VM_NEXT();
+
+  VM_CASE(MkThunkRec) : {
+    const Proto &Q = M.Protos[static_cast<uint32_t>(I->C)];
+    Obj &O = Heap.emplace_back();
+    O.Kind = Obj::K::Thunk;
+    O.ProtoIdx = static_cast<uint32_t>(I->C);
+    Locals[LBase + I->B] = Slot::ofPtr(&O);
+    O.Fields.resize(Q.Caps.size());
+    for (size_t J = 0; J != Q.Caps.size(); ++J)
+      O.Fields[J] = Locals[LBase + Q.Caps[J].Src];
+    ++S.Allocations;
+    ++S.Knots;
+    if (Heap.size() > S.MaxHeapObjects)
+      S.MaxHeapObjects = Heap.size();
+  }
+  VM_NEXT();
+
+  VM_CASE(Call) : {
+    Slot Arg = Opers.back();
+    Opers.pop_back();
+    Slot Fn = deref(Opers.back());
+    Opers.pop_back();
+    if (!Fn.isPtr() || Fn.P->Kind != Obj::K::Closure)
+      VM_STUCK(appStuckMsg(Arg.Kind));
+    const Proto *Q = &M.Protos[Fn.P->ProtoIdx];
+    if (!Q->HasParam)
+      VM_STUCK(appStuckMsg(Arg.Kind));
+    if (Q->ParamSort != Arg.Kind)
+      VM_STUCK(ccMismatchMsg(Arg.Kind));
+    ++S.Calls;
+    uint32_t NewLBase = static_cast<uint32_t>(Locals.size());
+    Frames.push_back(
+        {Q, IP, NewLBase, static_cast<uint32_t>(Opers.size()), nullptr});
+    if (Frames.size() > S.MaxFrameDepth)
+      S.MaxFrameDepth = Frames.size();
+    Locals.resize(NewLBase + Q->NumLocals);
+    const std::vector<Slot> &Env = Fn.P->Fields;
+    for (size_t J = 0; J != Env.size(); ++J)
+      Locals[NewLBase + J] = Env[J];
+    Locals[NewLBase + Q->paramSlot()] = Arg;
+    LBase = NewLBase;
+    IP = Q->Entry;
+  }
+  VM_NEXT();
+
+  VM_CASE(TailCall) : {
+    Slot Arg = Opers.back();
+    Opers.pop_back();
+    Slot Fn = deref(Opers.back());
+    Opers.pop_back();
+    if (!Fn.isPtr() || Fn.P->Kind != Obj::K::Closure)
+      VM_STUCK(appStuckMsg(Arg.Kind));
+    const Proto *Q = &M.Protos[Fn.P->ProtoIdx];
+    if (!Q->HasParam)
+      VM_STUCK(appStuckMsg(Arg.Kind));
+    if (Q->ParamSort != Arg.Kind)
+      VM_STUCK(ccMismatchMsg(Arg.Kind));
+    ++S.TailCalls;
+    // Reuse the frame in place: same LBase/OBase, and crucially the same
+    // pending Update — a tail call inside a thunk body must still write
+    // the eventual value back to the thunk's cell.
+    FrameRec &F = Frames.back();
+    Opers.resize(F.OBase);
+    Locals.resize(F.LBase);
+    F.P = Q;
+    Locals.resize(F.LBase + Q->NumLocals);
+    const std::vector<Slot> &Env = Fn.P->Fields;
+    for (size_t J = 0; J != Env.size(); ++J)
+      Locals[F.LBase + J] = Env[J];
+    Locals[F.LBase + Q->paramSlot()] = Arg;
+    LBase = F.LBase;
+    IP = Q->Entry;
+  }
+  VM_NEXT();
+
+  VM_CASE(Return) : {
+    Slot V = Opers.back();
+    FrameRec F = Frames.back();
+    Frames.pop_back();
+    Opers.resize(F.OBase);
+    Locals.resize(F.LBase);
+    if (F.Update) {
+      F.Update->Kind = Obj::K::Ind;
+      F.Update->Val = V;
+      ++S.ThunkUpdates;
+    }
+    Opers.push_back(V);
+    if (Frames.empty())
+      goto Finished;
+    LBase = Frames.back().LBase;
+    IP = F.ReturnIP;
+  }
+  VM_NEXT();
+
+  VM_CASE(Prim) : {
+    Slot Rhs = Opers.back();
+    Opers.pop_back();
+    Slot Lhs = Opers.back();
+    Opers.pop_back();
+    const MPrim OpK = static_cast<MPrim>(I->A);
+    ++S.Prims;
+    if (mcalc::mPrimTakesDouble(OpK)) {
+      if (!Lhs.isDbl() || !Rhs.isDbl())
+        VM_STUCK("integer atom in a double primop");
+      if (mcalc::mPrimReturnsDouble(OpK))
+        Opers.push_back(Slot::ofDbl(mcalc::evalMPrimDD(OpK, Lhs.D, Rhs.D)));
+      else
+        Opers.push_back(Slot::ofInt(mcalc::evalMPrimDI(OpK, Lhs.D, Rhs.D)));
+    } else {
+      if (!Lhs.isInt() || !Rhs.isInt())
+        VM_STUCK("double atom in an integer primop");
+      if (OpK == MPrim::Quot || OpK == MPrim::Rem) {
+        if (Rhs.I == 0)
+          VM_STUCK("divide by zero");
+        if (Lhs.I == std::numeric_limits<int64_t>::min() && Rhs.I == -1)
+          VM_STUCK("integer overflow in division");
+      }
+      Opers.push_back(Slot::ofInt(mcalc::evalMPrim(OpK, Lhs.I, Rhs.I)));
+    }
+  }
+  VM_NEXT();
+
+  VM_CASE(MkBox) : {
+    Slot V = Opers.back();
+    if (!V.isInt())
+      VM_STUCK("I# box over a non-integer atom");
+    Obj &O = Heap.emplace_back();
+    O.Kind = Obj::K::Con;
+    O.IsBox = true;
+    O.Tag = 0;
+    O.Fields.assign(1, V);
+    ++S.Allocations;
+    ++S.ConAllocs;
+    if (Heap.size() > S.MaxHeapObjects)
+      S.MaxHeapObjects = Heap.size();
+    Opers.back() = Slot::ofPtr(&O);
+  }
+  VM_NEXT();
+
+  VM_CASE(UnBox) : {
+    Slot V = deref(Opers.back());
+    Opers.pop_back();
+    if (static_cast<VarSort>(I->A) != VarSort::Int || !V.isPtr() ||
+        V.P->Kind != Obj::K::Con || !V.P->IsBox)
+      VM_STUCK("case continuation expects I#[n]");
+    Locals[LBase + I->B] = V.P->Fields[0];
+  }
+  VM_NEXT();
+
+  VM_CASE(AllocCon) : {
+    const uint32_t NF = I->B;
+    Obj &O = Heap.emplace_back();
+    O.Kind = Obj::K::Con;
+    O.Tag = static_cast<uint32_t>(I->C);
+    O.Fields.resize(NF);
+    for (uint32_t J = NF; J-- > 0;) {
+      O.Fields[J] = Opers.back();
+      Opers.pop_back();
+    }
+    ++S.Allocations;
+    ++S.ConAllocs;
+    if (Heap.size() > S.MaxHeapObjects)
+      S.MaxHeapObjects = Heap.size();
+    Opers.push_back(Slot::ofPtr(&O));
+  }
+  VM_NEXT();
+
+  VM_CASE(Jump) : { IP = static_cast<uint32_t>(I->C); }
+  VM_NEXT();
+
+  VM_CASE(If0) : {
+    Slot V = Opers.back();
+    Opers.pop_back();
+    if (!V.isInt())
+      VM_STUCK("if0 scrutinee is not an integer literal");
+    ++S.Branches;
+    if (V.I != 0)
+      IP = static_cast<uint32_t>(I->C);
+  }
+  VM_NEXT();
+
+  VM_CASE(Switch) : {
+    Slot V = deref(Opers.back());
+    Opers.pop_back();
+    ++S.Switches;
+    const SwitchTable &T = M.Tables[static_cast<uint32_t>(I->C)];
+    bool Taken = false;
+    if (V.isPtr()) {
+      const Obj *O = V.P;
+      if (O->Kind == Obj::K::Con && !O->IsBox) {
+        for (const SwitchAlt &A : T.Alts) {
+          if (A.Pat != static_cast<uint8_t>(mcalc::MAlt::PatKind::Con) ||
+              A.Tag != O->Tag)
+            continue;
+          if (A.BinderSorts.size() != O->Fields.size())
+            VM_STUCK("switch alternative arity mismatch");
+          for (size_t J = 0; J != O->Fields.size(); ++J)
+            if (A.BinderSorts[J] != O->Fields[J].Kind)
+              VM_STUCK("switch binder register-class mismatch");
+          for (size_t J = 0; J != O->Fields.size(); ++J)
+            Locals[LBase + A.BindersBase + J] = O->Fields[J];
+          ++S.Branches;
+          IP = A.Target;
+          Taken = true;
+          break;
+        }
+      } else if (O->Kind == Obj::K::Con) {
+        // I#[n]: tag 0 of Int, one strict Int# field (IMAT via SWITCHk).
+        for (const SwitchAlt &A : T.Alts) {
+          if (A.Pat != static_cast<uint8_t>(mcalc::MAlt::PatKind::Con) ||
+              A.Tag != 0)
+            continue;
+          if (A.BinderSorts.size() != 1 ||
+              A.BinderSorts[0] != static_cast<uint8_t>(VarSort::Int))
+            VM_STUCK("switch alternative arity mismatch");
+          Locals[LBase + A.BindersBase] = O->Fields[0];
+          ++S.Branches;
+          IP = A.Target;
+          Taken = true;
+          break;
+        }
+      } else if (!T.Alts.empty()) {
+        VM_STUCK("switch scrutinee value matches no pattern sort");
+      }
+    } else if (V.isInt()) {
+      for (const SwitchAlt &A : T.Alts)
+        if (A.Pat == static_cast<uint8_t>(mcalc::MAlt::PatKind::Int) &&
+            A.IntVal == V.I) {
+          ++S.Branches;
+          IP = A.Target;
+          Taken = true;
+          break;
+        }
+    } else {
+      for (const SwitchAlt &A : T.Alts)
+        if (A.Pat == static_cast<uint8_t>(mcalc::MAlt::PatKind::Dbl) &&
+            A.DblVal == V.D) {
+          ++S.Branches;
+          IP = A.Target;
+          Taken = true;
+          break;
+        }
+    }
+    if (!Taken) {
+      if (T.DefaultTarget < 0)
+        VM_STUCK("no matching switch alternative");
+      ++S.Branches;
+      IP = static_cast<uint32_t>(T.DefaultTarget);
+    }
+  }
+  VM_NEXT();
+
+  VM_CASE(Error) : {
+    R.Out = VmResult::Outcome::Bottom;
+    if (I->C >= 0)
+      R.ErrorMessage = M.StrPool[static_cast<uint32_t>(I->C)];
+    goto Done;
+  }
+
+#if !LEVITY_VM_COMPUTED_GOTO
+  }
+  VM_STUCK("invalid opcode"); // Unreachable: validate() bounds opcodes.
+#endif
+
+FuelOut:
+  R.Out = VmResult::Outcome::OutOfFuel;
+  goto Done;
+
+Finished : {
+  R.Out = VmResult::Outcome::Value;
+  Slot V = deref(Opers.back());
+  R.Display = renderValue(V);
+  if (V.isInt())
+    R.IntValue = V.I;
+  else if (V.isDbl())
+    R.DoubleValue = V.D;
+  else if (V.P->Kind == Obj::K::Con && V.P->IsBox)
+    R.IntValue = V.P->Fields[0].I;
+}
+
+Done:
+  R.Stats = S;
+  return R;
+
+#undef VM_STUCK
+#undef VM_CASE
+#undef VM_NEXT
+}

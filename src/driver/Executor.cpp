@@ -46,6 +46,34 @@ void fillFromMachine(RunResult &R, const mcalc::MachineResult &MR) {
   }
 }
 
+/// Converts a finished bytecode-VM run into the facade result shape,
+/// mirroring fillFromMachine (same Status mapping, same bare-error
+/// message, a "bytecode vm stuck:" prefix naming the executing tier).
+void fillFromVm(RunResult &R, const bytecode::VmResult &VR) {
+  R.Vm = VR.Stats;
+  switch (VR.Out) {
+  case bytecode::VmResult::Outcome::Value:
+    R.St = RunResult::Status::Ok;
+    R.Display = VR.Display;
+    R.IntValue = VR.IntValue;
+    R.DoubleValue = VR.DoubleValue;
+    break;
+  case bytecode::VmResult::Outcome::Bottom:
+    R.St = RunResult::Status::Bottom;
+    R.Error =
+        VR.ErrorMessage.empty() ? "error (ERR rule)" : VR.ErrorMessage;
+    break;
+  case bytecode::VmResult::Outcome::Stuck:
+    R.St = RunResult::Status::RuntimeError;
+    R.Error = "bytecode vm stuck: " + VR.StuckReason;
+    break;
+  case bytecode::VmResult::Outcome::OutOfFuel:
+    R.St = RunResult::Status::OutOfFuel;
+    R.Error = "out of fuel";
+    break;
+  }
+}
+
 } // namespace
 
 Executor::Executor(std::shared_ptr<const Compilation> Comp)
@@ -151,6 +179,45 @@ RunResult Executor::runMachine(std::string_view Name) {
 }
 
 //===----------------------------------------------------------------------===//
+// The bytecode-VM backend
+//===----------------------------------------------------------------------===//
+
+bytecode::Vm &Executor::vm() {
+  if (!BVm)
+    BVm = std::make_unique<bytecode::Vm>();
+  return *BVm;
+}
+
+RunResult Executor::runBytecode(std::string_view Name) {
+  auto Start = std::chrono::steady_clock::now();
+  // The M lowering gates fragment membership exactly as for the machine
+  // backend: a global outside the L fragment is Unsupported with the
+  // same "not expressible in L" diagnostic, on every backend.
+  Result<const mcalc::Term *> T = Comp->machineTerm(Name);
+  if (!T) {
+    RunResult R;
+    R.Used = Backend::Bytecode;
+    R.St = RunResult::Status::Unsupported;
+    R.Error = T.error();
+    R.Millis = millisSince(Start);
+    return R;
+  }
+  Result<const bytecode::Module *> Mod = Comp->bytecodeModule(Name);
+  if (!Mod) {
+    // The M term exists but is outside the bytecode fragment: fall back
+    // to the term-graph machine (never miscompile, never fail a program
+    // the machine can run). Used reports the backend that actually ran.
+    return runMachine(Name);
+  }
+  bytecode::VmResult VR = vm().run(**Mod, Opts.MaxVmSteps);
+  RunResult R;
+  R.Used = Backend::Bytecode;
+  R.Millis = millisSince(Start);
+  fillFromVm(R, VR);
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
 // Run dispatch
 //===----------------------------------------------------------------------===//
 
@@ -171,7 +238,15 @@ RunResult Executor::run(std::string_view Name, Backend B) {
     R.Error = "compilation failed:\n" + Comp->diagText();
     return R;
   }
-  return B == Backend::TreeInterp ? runTree(Name) : runMachine(Name);
+  switch (B) {
+  case Backend::TreeInterp:
+    return runTree(Name);
+  case Backend::AbstractMachine:
+    return runMachine(Name);
+  case Backend::Bytecode:
+    return runBytecode(Name);
+  }
+  return R;
 }
 
 RunResult Executor::run() { return run(Opts.DefaultBackend); }
@@ -249,6 +324,21 @@ RunResult Executor::runFormal(Backend B) {
     R.Error = MTerm.error();
     return R;
   }
+
+  if (B == Backend::Bytecode) {
+    Result<const bytecode::Module *> Mod = Comp->formalBytecodeModule();
+    if (Mod) {
+      auto Start = std::chrono::steady_clock::now();
+      bytecode::VmResult VR = vm().run(**Mod, Opts.MaxVmSteps);
+      R.Millis = millisSince(Start);
+      fillFromVm(R, VR);
+      return R;
+    }
+    // Out of the bytecode fragment: fall back to the machine (below),
+    // reporting the backend that actually ran.
+    R.Used = Backend::AbstractMachine;
+  }
+
   mcalc::Machine M(MP.MC);
   auto Start = std::chrono::steady_clock::now();
   mcalc::MachineResult MR = M.run(*MTerm, Opts.MaxMachineSteps);

@@ -110,11 +110,17 @@ public:
 private:
   RunResult runTree(std::string_view Name);
   RunResult runMachine(std::string_view Name);
+  RunResult runBytecode(std::string_view Name);
   RunResult runFormal(Backend B);
+
+  /// This executor's VM instance (built on first bytecode run; its
+  /// stacks/heap are reused across runs, like the tree interpreter).
+  bytecode::Vm &vm();
 
   std::shared_ptr<const Compilation> Comp;
   CompileOptions Opts;
   std::unique_ptr<runtime::Interp> TreeInterp;
+  std::unique_ptr<bytecode::Vm> BVm;
 };
 
 } // namespace driver

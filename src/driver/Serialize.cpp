@@ -56,6 +56,9 @@ uint64_t levc::pipelineFingerprint() {
   // value; growing either enum must invalidate stale stores.
   W.u32(core::NumPrimOps);
   W.u32(static_cast<uint32_t>(RepCtor::Sum) + 1);
+  // The BCOD section encodes instructions by stable opcode tag; a new
+  // opcode must invalidate stale stores.
+  W.u32(bytecode::NumOps);
   return fnv1a(W.bytes());
 }
 
@@ -568,6 +571,179 @@ const Term *levc::readTerm(ByteReader &R, MContext &Ctx) {
 }
 
 //===----------------------------------------------------------------------===//
+// Bytecode-module encoding — the optional BCOD section
+//===----------------------------------------------------------------------===//
+
+void levc::writeBytecodeModule(ByteWriter &W, const bytecode::Module &M) {
+  W.u32(static_cast<uint32_t>(M.Protos.size()));
+  for (const bytecode::Proto &P : M.Protos) {
+    W.u32(P.Entry);
+    W.u32(P.End);
+    W.u32(P.NumLocals);
+    W.u8(P.HasParam);
+    W.u8(P.ParamSort);
+    W.u32(static_cast<uint32_t>(P.Caps.size()));
+    for (const bytecode::Capture &C : P.Caps) {
+      W.u32(C.Src);
+      W.u8(C.Sort);
+    }
+  }
+  W.u32(static_cast<uint32_t>(M.Code.size()));
+  for (const bytecode::Instr &I : M.Code) {
+    W.u8(static_cast<uint8_t>(I.Code));
+    W.u8(I.A);
+    W.u32(I.B);
+    W.u32(static_cast<uint32_t>(I.C));
+  }
+  W.u32(static_cast<uint32_t>(M.IntPool.size()));
+  for (int64_t V : M.IntPool)
+    W.i64(V);
+  W.u32(static_cast<uint32_t>(M.DblPool.size()));
+  for (double V : M.DblPool)
+    W.f64(V);
+  W.u32(static_cast<uint32_t>(M.StrPool.size()));
+  for (const std::string &S : M.StrPool)
+    W.str(S);
+  W.u32(static_cast<uint32_t>(M.Tables.size()));
+  for (const bytecode::SwitchTable &T : M.Tables) {
+    W.i64(T.DefaultTarget);
+    W.u32(static_cast<uint32_t>(T.Alts.size()));
+    for (const bytecode::SwitchAlt &A : T.Alts) {
+      W.u8(A.Pat);
+      W.u32(A.Tag);
+      W.i64(A.IntVal);
+      W.f64(A.DblVal);
+      W.u32(A.Target);
+      W.u32(A.BindersBase);
+      W.u32(static_cast<uint32_t>(A.BinderSorts.size()));
+      for (uint8_t S : A.BinderSorts)
+        W.u8(S);
+    }
+  }
+}
+
+std::shared_ptr<const bytecode::Module>
+levc::readBytecodeModule(ByteReader &R) {
+  auto M = std::make_shared<bytecode::Module>();
+
+  uint32_t NumProtos = R.u32();
+  if (!R.ok() || NumProtos > MaxBcProtos) {
+    R.fail();
+    return nullptr;
+  }
+  M->Protos.reserve(NumProtos);
+  for (uint32_t I = 0; I != NumProtos; ++I) {
+    bytecode::Proto P;
+    P.Entry = R.u32();
+    P.End = R.u32();
+    uint32_t NumLocals = R.u32();
+    P.HasParam = R.u8();
+    P.ParamSort = R.u8();
+    uint32_t NumCaps = R.u32();
+    if (!R.ok() || NumLocals > bytecode::MaxFrameSlots ||
+        NumCaps > bytecode::MaxFrameSlots) {
+      R.fail();
+      return nullptr;
+    }
+    P.NumLocals = static_cast<uint16_t>(NumLocals);
+    P.Caps.reserve(NumCaps);
+    for (uint32_t J = 0; J != NumCaps; ++J) {
+      bytecode::Capture C;
+      uint32_t Src = R.u32();
+      C.Sort = R.u8();
+      if (!R.ok() || Src > bytecode::MaxFrameSlots) {
+        R.fail();
+        return nullptr;
+      }
+      C.Src = static_cast<uint16_t>(Src);
+      P.Caps.push_back(C);
+    }
+    M->Protos.push_back(std::move(P));
+  }
+
+  uint32_t CodeLen = R.u32();
+  if (!R.ok() || CodeLen > MaxBcCode) {
+    R.fail();
+    return nullptr;
+  }
+  M->Code.reserve(CodeLen);
+  for (uint32_t I = 0; I != CodeLen; ++I) {
+    bytecode::Instr In;
+    In.Code = static_cast<bytecode::Op>(R.u8());
+    In.A = R.u8();
+    uint32_t B = R.u32();
+    In.C = static_cast<int32_t>(R.u32());
+    if (!R.ok() || B > 0xffff) {
+      R.fail();
+      return nullptr;
+    }
+    In.B = static_cast<uint16_t>(B);
+    M->Code.push_back(In);
+  }
+
+  auto ReadCount = [&R](uint32_t Cap) -> uint32_t {
+    uint32_t N = R.u32();
+    if (!R.ok() || N > Cap) {
+      R.fail();
+      return 0;
+    }
+    return N;
+  };
+  uint32_t NumInts = ReadCount(MaxBcPool);
+  M->IntPool.reserve(NumInts);
+  for (uint32_t I = 0; R.ok() && I != NumInts; ++I)
+    M->IntPool.push_back(R.i64());
+  uint32_t NumDbls = ReadCount(MaxBcPool);
+  M->DblPool.reserve(NumDbls);
+  for (uint32_t I = 0; R.ok() && I != NumDbls; ++I)
+    M->DblPool.push_back(R.f64());
+  uint32_t NumStrs = ReadCount(MaxBcPool);
+  M->StrPool.reserve(NumStrs);
+  for (uint32_t I = 0; R.ok() && I != NumStrs; ++I)
+    M->StrPool.emplace_back(R.str());
+
+  uint32_t NumTables = ReadCount(MaxBcPool);
+  M->Tables.reserve(NumTables);
+  for (uint32_t I = 0; R.ok() && I != NumTables; ++I) {
+    bytecode::SwitchTable T;
+    T.DefaultTarget = R.i64();
+    uint32_t NumAlts = ReadCount(MaxSwitchAlts);
+    T.Alts.reserve(NumAlts);
+    for (uint32_t J = 0; R.ok() && J != NumAlts; ++J) {
+      bytecode::SwitchAlt A;
+      A.Pat = R.u8();
+      A.Tag = R.u32();
+      A.IntVal = R.i64();
+      A.DblVal = R.f64();
+      A.Target = R.u32();
+      uint32_t Base = R.u32();
+      uint32_t NumSorts = R.u32();
+      if (!R.ok() || Base > bytecode::MaxFrameSlots ||
+          NumSorts > bytecode::MaxFrameSlots) {
+        R.fail();
+        return nullptr;
+      }
+      A.BindersBase = static_cast<uint16_t>(Base);
+      A.BinderSorts.reserve(NumSorts);
+      for (uint32_t K = 0; K != NumSorts; ++K)
+        A.BinderSorts.push_back(R.u8());
+      T.Alts.push_back(std::move(A));
+    }
+    M->Tables.push_back(std::move(T));
+  }
+  if (!R.ok())
+    return nullptr;
+
+  // The VM trusts the verifier, never the wire: a module that fails
+  // validation is malformed input, exactly like a truncated one.
+  if (!bytecode::validate(*M)) {
+    R.fail();
+    return nullptr;
+  }
+  return M;
+}
+
+//===----------------------------------------------------------------------===//
 // Compilation::serializeArtifact
 //===----------------------------------------------------------------------===//
 
@@ -630,6 +806,28 @@ Result<std::string> Compilation::serializeArtifact() const {
   if (!HasCore)
     Core = ByteWriter();
 
+  // The optional BCOD section: every global's compiled bytecode, so
+  // warm-store Backend::Bytecode runs skip even the bytecode compiler.
+  // Globals outside the bytecode fragment are simply absent (hydrated
+  // consumers recompile those lazily from the restored M terms and fall
+  // back to the machine as usual); the section is omitted when nothing
+  // compiled.
+  ByteWriter Bc;
+  uint32_t NumBc = 0;
+  {
+    ByteWriter Mods;
+    for (const std::string &Name : Names) {
+      Result<const bytecode::Module *> Mod = bytecodeModule(Name);
+      if (!Mod)
+        continue;
+      Mods.str(Name);
+      levc::writeBytecodeModule(Mods, **Mod);
+      ++NumBc;
+    }
+    Bc.u32(NumBc);
+    Bc.raw(Mods.bytes());
+  }
+
   ByteWriter Meta;
   Meta.u8(static_cast<uint8_t>(Opts.DefaultBackend));
   Meta.u32(static_cast<uint32_t>(Timings.size()));
@@ -647,7 +845,7 @@ Result<std::string> Compilation::serializeArtifact() const {
   W.u32(levc::FormatVersion);
   W.u64(levc::pipelineFingerprint());
   W.u64(SrcHash);
-  W.u32(HasCore ? 5 : 4); // section count
+  W.u32(4 + (HasCore ? 1 : 0) + (NumBc ? 1 : 0)); // section count
   auto Section = [&W](uint32_t Id, const std::string &Payload) {
     W.u32(Id);
     W.u64(Payload.size());
@@ -659,6 +857,8 @@ Result<std::string> Compilation::serializeArtifact() const {
   Section(levc::SecTerms, Terms.bytes());
   if (HasCore)
     Section(levc::SecCore, Core.bytes());
+  if (NumBc)
+    Section(levc::SecBytecode, Bc.bytes());
   W.u64(levc::fnv1a(W.bytes())); // trailer checksum
   return W.take();
 }
@@ -693,7 +893,7 @@ Compilation::deserializeArtifact(std::string_view Bytes,
   if (Hash != Session::hashSource(ExpectedSource))
     return nullptr;
 
-  std::string_view Src, Meta, Types, Terms, Core;
+  std::string_view Src, Meta, Types, Terms, Core, Bc;
   uint32_t NumSections = R.u32();
   if (!R.ok() || NumSections > 64)
     return nullptr;
@@ -709,6 +909,7 @@ Compilation::deserializeArtifact(std::string_view Bytes,
     case levc::SecTypes: Types = Payload; break;
     case levc::SecTerms: Terms = Payload; break;
     case levc::SecCore: Core = Payload; break;
+    case levc::SecBytecode: Bc = Payload; break;
     default: break; // Unknown sections: skip (forward compatibility).
     }
   }
@@ -798,6 +999,39 @@ Compilation::deserializeArtifact(std::string_view Bytes,
         Comp->Elaborated = std::move(Out);
         Comp->HydratedCore = true;
       }
+    }
+  }
+
+  // The optional BCOD section: pre-populate the bytecode-module memo so
+  // Bytecode-backend runs skip even the bytecode compiler. All-or-
+  // nothing: decode into a staging list first, and ignore the whole
+  // section on any malformed module (readBytecodeModule re-validates
+  // every module, so a corrupt payload can never reach the VM) —
+  // Backend::Bytecode then lazily recompiles from the restored M terms.
+  if (!Bc.empty()) {
+    ByteReader BcR(Bc);
+    uint32_t NumMods = BcR.u32();
+    bool BcOk = BcR.ok() && NumMods <= MP.MTerms.size();
+    std::vector<
+        std::pair<std::string, std::shared_ptr<const bytecode::Module>>>
+        Staged;
+    for (uint32_t I = 0; BcOk && I != NumMods; ++I) {
+      std::string Name(BcR.str());
+      std::shared_ptr<const bytecode::Module> M =
+          levc::readBytecodeModule(BcR);
+      if (!BcR.ok() || !M) {
+        BcOk = false;
+        break;
+      }
+      Staged.emplace_back(std::move(Name), std::move(M));
+    }
+    if (BcOk && NumMods > 0) {
+      for (auto &KV : Staged)
+        MP.BModules.emplace(
+            std::move(KV.first),
+            Result<std::shared_ptr<const bytecode::Module>>(
+                std::move(KV.second)));
+      Comp->HydratedBytecode = true;
     }
   }
 

@@ -38,11 +38,13 @@
 #ifndef LEVITY_DRIVER_SERIALIZE_H
 #define LEVITY_DRIVER_SERIALIZE_H
 
+#include "bytecode/Bytecode.h"
 #include "core/CoreContext.h"
 #include "core/Program.h"
 #include "mcalc/Syntax.h"
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -58,13 +60,16 @@ inline constexpr char Magic[4] = {'L', 'E', 'V', 'C'};
 /// (it is also folded into the fingerprint, so old stores go stale).
 /// v2 (PR 5): CON/SWITCH term tags, the optional CORE section, and
 /// constructor atoms that may name pointer registers.
-inline constexpr uint32_t FormatVersion = 2;
+/// v3 (PR 6): the optional BCOD section — per-global compiled bytecode
+/// modules, so warm-store Backend::Bytecode runs need zero front-end,
+/// lowering, or bytecode-compilation work.
+inline constexpr uint32_t FormatVersion = 3;
 
 /// Names the semantics of the compiled artifacts. Bump whenever the
 /// core→L→ANF→M lowering changes observable output (new fragment,
 /// changed encodings, changed error strings) so stale artifacts are
 /// re-lowered instead of replayed.
-inline constexpr char PipelineEpoch[] = "core->L->ANF->M pr5";
+inline constexpr char PipelineEpoch[] = "core->L->ANF->M pr6";
 
 /// Section identifiers (four ASCII bytes, little-endian u32). Unknown
 /// sections are skipped on read, so future writers may append sections
@@ -77,6 +82,10 @@ enum SectionId : uint32_t {
   SecCore = 0x45524F43,   ///< "CORE" — the elaborated core program
                           ///< (optional; lets tree-backend consumers of
                           ///< a warm store skip the front end too).
+  SecBytecode = 0x444F4342, ///< "BCOD" — per-global compiled bytecode
+                            ///< modules (optional; lets Bytecode-backend
+                            ///< consumers of a warm store skip even the
+                            ///< bytecode compiler).
 };
 
 /// The version fingerprint written into (and demanded of) every
@@ -189,6 +198,27 @@ bool readCoreSection(ByteReader &R, core::CoreContext &C,
 /// not turn into a giant allocation.
 inline constexpr unsigned MaxConFields = 1u << 16;
 inline constexpr unsigned MaxSwitchAlts = 1u << 16;
+
+//===----------------------------------------------------------------------===//
+// Bytecode-module encoding — the optional BCOD section
+//===----------------------------------------------------------------------===//
+
+/// Serializes one compiled bytecode module: protos, the flat code
+/// stream (stable bytecode::Op tags), constant pools, switch tables.
+/// Self-delimiting — modules concatenate inside the BCOD payload.
+void writeBytecodeModule(ByteWriter &W, const bytecode::Module &M);
+
+/// Decodes one bytecode module. The result passed bytecode::validate(),
+/// so it is as safe to execute as freshly compiled code. \returns null
+/// (and fails \p R) on any malformed input — truncation, counts over
+/// the decode caps, or a module the verifier rejects.
+std::shared_ptr<const bytecode::Module> readBytecodeModule(ByteReader &R);
+
+/// Decode caps for BCOD payloads: a corrupt count must not turn into a
+/// giant allocation before validation can reject the module.
+inline constexpr unsigned MaxBcProtos = 1u << 20;
+inline constexpr unsigned MaxBcCode = 1u << 26;
+inline constexpr unsigned MaxBcPool = 1u << 24;
 
 } // namespace levc
 } // namespace driver

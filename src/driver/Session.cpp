@@ -31,6 +31,8 @@ std::string_view driver::backendName(Backend B) {
     return "tree-interp";
   case Backend::AbstractMachine:
     return "abstract-machine";
+  case Backend::Bytecode:
+    return "bytecode";
   }
   return "unknown";
 }
@@ -244,6 +246,49 @@ Result<const mcalc::Term *> Compilation::formalMachineTerm() const {
     MP.FormalM = Comp.compileClosed(FormalTerm);
   }
   return *MP.FormalM;
+}
+
+Result<const bytecode::Module *>
+Compilation::bytecodeModule(std::string_view Name) const {
+  // Lower to M *first*: machineTerm takes LowerMutex itself, so it must
+  // not be called under our own lock on the same (non-recursive) mutex.
+  Result<const mcalc::Term *> MT = machineTerm(Name);
+  MachinePipeline &MP = machine();
+  {
+    // Hot path: already compiled (or hydrated from the BCOD section).
+    std::shared_lock<std::shared_mutex> Lock(MP.LowerMutex);
+    auto It = MP.BModules.find(Name);
+    if (It != MP.BModules.end())
+      return It->second ? Result<const bytecode::Module *>(It->second->get())
+                        : err(It->second.error());
+  }
+  if (!MT)
+    return err(MT.error());
+
+  std::unique_lock<std::shared_mutex> Lock(MP.LowerMutex);
+  auto It = MP.BModules.find(Name); // Re-check: we may have raced.
+  if (It == MP.BModules.end())
+    It = MP.BModules.emplace(std::string(Name), bytecode::compile(*MT)).first;
+  return It->second ? Result<const bytecode::Module *>(It->second->get())
+                    : err(It->second.error());
+}
+
+Result<const bytecode::Module *> Compilation::formalBytecodeModule() const {
+  Result<const mcalc::Term *> MT = formalMachineTerm(); // Before our lock.
+  MachinePipeline &MP = machine();
+  {
+    std::shared_lock<std::shared_mutex> Lock(MP.LowerMutex);
+    if (MP.FormalB)
+      return *MP.FormalB ? Result<const bytecode::Module *>((*MP.FormalB)->get())
+                         : err(MP.FormalB->error());
+  }
+  if (!MT)
+    return err(MT.error());
+  std::unique_lock<std::shared_mutex> Lock(MP.LowerMutex);
+  if (!MP.FormalB)
+    MP.FormalB = bytecode::compile(*MT);
+  return *MP.FormalB ? Result<const bytecode::Module *>((*MP.FormalB)->get())
+                     : err(MP.FormalB->error());
 }
 
 //===----------------------------------------------------------------------===//

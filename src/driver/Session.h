@@ -59,6 +59,7 @@
 #define LEVITY_DRIVER_SESSION_H
 
 #include "anf/Compile.h"
+#include "bytecode/Vm.h"
 #include "classlib/Analysis.h"
 #include "lcalc/Eval.h"
 #include "mcalc/Machine.h"
@@ -86,8 +87,11 @@ class Executor;
 
 /// The evaluation backends a Compilation can run on.
 enum class Backend : uint8_t {
-  TreeInterp,     ///< The instrumented big-step core evaluator.
-  AbstractMachine ///< core → L → ANF (Figure 7) → the M machine (Figure 6).
+  TreeInterp,      ///< The instrumented big-step core evaluator.
+  AbstractMachine, ///< core → L → ANF (Figure 7) → the M machine (Figure 6).
+  Bytecode         ///< The M lowering compiled to flat bytecode and run on
+                   ///< the threaded VM (src/bytecode/). Out-of-fragment M
+                   ///< terms fall back to the term-graph machine.
 };
 
 std::string_view backendName(Backend B);
@@ -99,6 +103,9 @@ struct CompileOptions {
   bool EnableCache = true; ///< Reuse Compilations for identical source.
   uint64_t MaxInterpSteps = 200000000; ///< Tree-interpreter fuel.
   uint64_t MaxMachineSteps = 100000000; ///< M-machine fuel.
+  uint64_t MaxVmSteps = 1000000000; ///< Bytecode-VM fuel (instructions;
+                                    ///< VM steps are much cheaper than
+                                    ///< machine transitions).
   size_t MaxFormalSteps = 1000000; ///< Figure 4 small-step fuel.
   /// LRU bound on the Session's compilation cache; 0 = unbounded. The
   /// bound is approximate (enforced per cache shard), evictions are
@@ -159,6 +166,7 @@ struct RunResult {
 
   runtime::InterpStats Interp;  ///< Backend::TreeInterp counters.
   mcalc::MachineStats Machine;  ///< Backend::AbstractMachine counters.
+  bytecode::VmStats Vm;         ///< Backend::Bytecode counters.
 
   /// True when evaluation reached a value. A RunResult is a plain value
   /// type: copy it freely across threads.
@@ -166,14 +174,32 @@ struct RunResult {
 
   /// Heap allocations the run performed, in the executing backend's cost
   /// model (thunks + boxes + closures for the tree interpreter, LET
-  /// firings for the M machine).
+  /// firings for the M machine, heap objects for the bytecode VM).
+  /// Dispatches on Used — a Bytecode request that fell back to the
+  /// machine reports the machine's ledger.
   uint64_t allocations() const {
-    return Used == Backend::TreeInterp ? Interp.heapAllocations()
-                                       : Machine.Allocations;
+    switch (Used) {
+    case Backend::TreeInterp:
+      return Interp.heapAllocations();
+    case Backend::AbstractMachine:
+      return Machine.Allocations;
+    case Backend::Bytecode:
+      return Vm.Allocations;
+    }
+    return 0;
   }
-  /// Steps the run took (eval steps / machine transitions).
+  /// Steps the run took (eval steps / machine transitions / VM
+  /// instructions), dispatched on Used like allocations().
   uint64_t steps() const {
-    return Used == Backend::TreeInterp ? Interp.EvalSteps : Machine.Steps;
+    switch (Used) {
+    case Backend::TreeInterp:
+      return Interp.EvalSteps;
+    case Backend::AbstractMachine:
+      return Machine.Steps;
+    case Backend::Bytecode:
+      return Vm.Steps;
+    }
+    return 0;
   }
 };
 
@@ -233,6 +259,11 @@ public:
   /// program, so even tree-interp runs and program() consumers skip the
   /// front end (lex/parse/elaborate) entirely.
   bool hydratedCore() const { return HydratedCore; }
+
+  /// True when the artifact's BCOD section restored compiled bytecode
+  /// modules, so Backend::Bytecode runs execute with zero front-end,
+  /// lowering, *or bytecode-compilation* work.
+  bool hydratedBytecode() const { return HydratedBytecode; }
 
   /// Per-stage wall-clock timings, in pipeline order. For hydrated
   /// compilations: the *original* build's stages (restored from the
@@ -356,6 +387,14 @@ private:
   /// compileFormal's term, compiled to M (memoized, thread-safe).
   Result<const mcalc::Term *> formalMachineTerm() const;
 
+  /// The bytecode module for a global's M term, memoized per name
+  /// (thread-safe like machineTerm). Fails when the M lowering itself
+  /// failed *or* when the term is outside the bytecode fragment — the
+  /// Executor distinguishes the two by consulting machineTerm.
+  Result<const bytecode::Module *> bytecodeModule(std::string_view Name) const;
+  /// compileFormal's term, compiled to bytecode (memoized, thread-safe).
+  Result<const bytecode::Module *> formalBytecodeModule() const;
+
   /// The abstract-machine side of a Compilation: one L context, one M
   /// context, and the memoized per-global lowerings. Created on first
   /// AbstractMachine use (exactly once, via std::call_once) so
@@ -384,6 +423,15 @@ private:
         MTerms;
     /// compileFormal's term, compiled to M (memoized).
     std::optional<Result<const mcalc::Term *>> FormalM;
+    /// Global name → compiled bytecode module (or the reason the term is
+    /// outside the bytecode fragment). Hydration pre-populates this from
+    /// the artifact's BCOD section.
+    std::unordered_map<std::string,
+                       Result<std::shared_ptr<const bytecode::Module>>,
+                       NameHash, std::equal_to<>>
+        BModules;
+    /// compileFormal's term, compiled to bytecode (memoized).
+    std::optional<Result<std::shared_ptr<const bytecode::Module>>> FormalB;
   };
   MachinePipeline &machine() const;
 
@@ -397,6 +445,9 @@ private:
   /// True when hydration restored the core program from the artifact's
   /// CORE section (set before publication, constant afterwards).
   bool HydratedCore = false;
+  /// True when hydration restored compiled bytecode from the artifact's
+  /// BCOD section (set before publication, constant afterwards).
+  bool HydratedBytecode = false;
 
   /// Internally synchronized (see ctx()); mutable so const runs can
   /// allocate scratch nodes.

@@ -97,6 +97,7 @@ TEST_P(ArtifactRoundTripTest, SerializeDeserializeRunIdentical) {
   ASSERT_TRUE(Orig->ok()) << Orig->diagText();
   RunResult OrigMach = Orig->run(P.Global, Backend::AbstractMachine);
   RunResult OrigTree = Orig->run(P.Global, Backend::TreeInterp);
+  RunResult OrigBc = Orig->run(P.Global, Backend::Bytecode);
   Warm.flushStoreWrites();
 
   Session Cold(storeOptions(Dir));
@@ -115,6 +116,12 @@ TEST_P(ArtifactRoundTripTest, SerializeDeserializeRunIdentical) {
     EXPECT_EQ(HydMach.Error.rfind("not expressible in L", 0), 0u)
         << HydMach.Error;
   }
+
+  // Bytecode runs replay identically too — straight from the BCOD
+  // section when the program is in the bytecode fragment.
+  RunResult HydBc = Hyd->run(P.Global, Backend::Bytecode);
+  expectSameRunResult(OrigBc, HydBc, "bytecode vm");
+  EXPECT_EQ(OrigBc.Used, HydBc.Used);
 
   // Tree runs rebuild the front end lazily and must agree too.
   RunResult HydTree = Hyd->run(P.Global, Backend::TreeInterp);
@@ -261,17 +268,16 @@ TEST(ArtifactStoreTest, WrongFormatVersionFallsBackToRecompile) {
 
 TEST(ArtifactStoreTest, PreviousFormatVersionArtifactRejected) {
   // Version skew: an artifact carrying the previous release's format
-  // version (v1, before the CON/SWITCH tags and the CORE section) must
-  // be treated as a miss and recompiled cleanly — even with a valid
-  // checksum.
-  static_assert(levc::FormatVersion == 2,
+  // version (v2, before the BCOD bytecode section) must be treated as a
+  // miss and recompiled cleanly — even with a valid checksum.
+  static_assert(levc::FormatVersion == 3,
                 "update this test when bumping the format version");
   std::string Dir = freshStoreDir("oldversion");
   std::string Path = populateOne(Dir, RobustSrc);
 
   std::string Bytes = *support::readFileBinary(Path);
   ASSERT_TRUE(support::writeFileAtomic(
-      Path, patchAndReseal(Bytes, 4, /*Value=*/1, 4)));
+      Path, patchAndReseal(Bytes, 4, /*Value=*/2, 4)));
 
   // Direct deserialization also refuses it.
   std::string Patched = *support::readFileBinary(Path);
@@ -281,6 +287,24 @@ TEST(ArtifactStoreTest, PreviousFormatVersionArtifactRejected) {
 
   expectFallbackRecompile(Dir);
   fs::remove_all(Dir);
+}
+
+/// Walks the section table and returns the payload byte offset of the
+/// first section with \p WantId (0 when absent).
+size_t findSectionPayload(const std::string &Bytes, uint32_t WantId) {
+  size_t Off = 28; // past magic/version/fingerprint/hash/section-count
+  while (Off + 12 <= Bytes.size() - 8) {
+    uint32_t Id = 0;
+    uint64_t Len = 0;
+    for (int I = 0; I != 4; ++I)
+      Id |= uint32_t(uint8_t(Bytes[Off + I])) << (8 * I);
+    for (int I = 0; I != 8; ++I)
+      Len |= uint64_t(uint8_t(Bytes[Off + 4 + I])) << (8 * I);
+    if (Id == WantId)
+      return Off + 12;
+    Off += 12 + Len;
+  }
+  return 0;
 }
 
 TEST(ArtifactStoreTest, WrongPipelineFingerprintFallsBackToRecompile) {
@@ -599,6 +623,156 @@ TEST(ArtifactStoreTest, CoreSectionRestoresUserDataTypes) {
   EXPECT_EQ(Hyd->run("v", Backend::AbstractMachine).IntValue.value_or(-2),
             6);
   fs::remove_all(Dir);
+}
+
+TEST(ArtifactStoreTest, BytecodeSectionServesVmRunsWithZeroLowering) {
+  // PR 6: the BCOD section restores compiled bytecode modules, so a
+  // cold process's Backend::Bytecode runs execute with zero front-end,
+  // lowering, or bytecode-compilation work.
+  std::string Dir = freshStoreDir("bcodsec");
+  Session Warm(storeOptions(Dir));
+  auto Orig = Warm.compile(RobustSrc);
+  ASSERT_TRUE(Orig->ok());
+  RunResult OrigBc = Orig->run("v", Backend::Bytecode);
+  ASSERT_TRUE(OrigBc.ok()) << OrigBc.Error;
+  ASSERT_EQ(OrigBc.Used, Backend::Bytecode);
+  Warm.flushStoreWrites();
+
+  Session Cold(storeOptions(Dir));
+  auto Hyd = Cold.compile(RobustSrc);
+  ASSERT_TRUE(Hyd->ok());
+  ASSERT_TRUE(Hyd->hydrated());
+  ASSERT_TRUE(Hyd->hydratedBytecode())
+      << "the artifact must carry a BCOD section for this program";
+  Session::Stats St = Cold.stats();
+  EXPECT_EQ(St.DiskHits, 1u);
+  EXPECT_EQ(St.Compilations, 0u) << "zero front-end runs";
+  // The only stage this process performed is "hydrate": the original
+  // build's stages were restored from the artifact, not re-run.
+  size_t ThisProcessStages = 0;
+  for (const StageTiming &T : Hyd->timings())
+    if (T.Stage == "hydrate")
+      ++ThisProcessStages;
+  EXPECT_EQ(ThisProcessStages, 1u) << Hyd->timingReport();
+
+  RunResult HydBc = Hyd->run("v", Backend::Bytecode);
+  expectSameRunResult(OrigBc, HydBc, "bytecode via BCOD section");
+  EXPECT_EQ(HydBc.Used, Backend::Bytecode);
+  EXPECT_EQ(HydBc.IntValue.value_or(-1), 5050);
+  EXPECT_EQ(HydBc.Vm.Steps, OrigBc.Vm.Steps)
+      << "hydrated code must be instruction-identical";
+  fs::remove_all(Dir);
+}
+
+TEST(ArtifactStoreTest, MalformedBytecodeSectionFallsBackToRecompiling) {
+  // A BCOD section that passes the container checksum but fails the
+  // module decode must be ignored wholesale: hydration still succeeds,
+  // and Backend::Bytecode runs recompile lazily from the restored M
+  // terms — same answers, never a crash, never a miscompile.
+  std::string Dir = freshStoreDir("badbcod");
+  std::string Path = populateOne(Dir, RobustSrc);
+
+  std::string Bytes = *support::readFileBinary(Path);
+  size_t BcOff = findSectionPayload(Bytes, levc::SecBytecode);
+  ASSERT_NE(BcOff, 0u) << "artifact must carry a BCOD section";
+  // Corrupt the leading module count: the decode must reject it before
+  // trusting any counts that follow.
+  ASSERT_TRUE(support::writeFileAtomic(
+      Path, patchAndReseal(Bytes, BcOff, 0xFFFFFFFFull, 4)));
+
+  Session S(storeOptions(Dir));
+  auto Comp = S.compile(RobustSrc);
+  ASSERT_TRUE(Comp->ok());
+  ASSERT_TRUE(Comp->hydrated());
+  EXPECT_FALSE(Comp->hydratedBytecode());
+  RunResult R = Comp->run("v", Backend::Bytecode);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.Used, Backend::Bytecode);
+  EXPECT_EQ(R.IntValue.value_or(-1), 5050);
+  fs::remove_all(Dir);
+}
+
+TEST(ArtifactStoreTest, TruncatedBytecodeModuleFallsBackToRecompiling) {
+  // Same contract when a module *inside* the section is cut short: the
+  // sticky-fail reader rejects it, the section is ignored, and the
+  // lazy recompile serves the run.
+  std::string Dir = freshStoreDir("shortbcod");
+  std::string Path = populateOne(Dir, RobustSrc);
+
+  std::string Bytes = *support::readFileBinary(Path);
+  size_t BcOff = findSectionPayload(Bytes, levc::SecBytecode);
+  ASSERT_NE(BcOff, 0u);
+  // Blow up the first module's name length so the string read runs off
+  // the end of the payload.
+  ASSERT_TRUE(support::writeFileAtomic(
+      Path, patchAndReseal(Bytes, BcOff + 4, 0x00FFFFFFull, 4)));
+
+  Session S(storeOptions(Dir));
+  auto Comp = S.compile(RobustSrc);
+  ASSERT_TRUE(Comp->ok());
+  ASSERT_TRUE(Comp->hydrated());
+  EXPECT_FALSE(Comp->hydratedBytecode());
+  EXPECT_EQ(Comp->run("v", Backend::Bytecode).IntValue.value_or(-1), 5050);
+  fs::remove_all(Dir);
+}
+
+TEST(ArtifactSerializeTest, BytecodeModuleCodecRoundTrips) {
+  // Compile a real term, write the module, read it back: the decoded
+  // module must validate and execute to the same result with the same
+  // instruction count.
+  mcalc::MContext MC;
+  mcalc::MVar N = MC.freshInt();
+  const mcalc::Term *T = MC.letBang(
+      N, MC.prim(mcalc::MPrim::Mul, mcalc::MAtom::lit(6),
+                 mcalc::MAtom::lit(7)),
+      MC.if0(MC.var(N), MC.lit(0),
+             MC.prim(mcalc::MPrim::Add, mcalc::MAtom::var(N),
+                     mcalc::MAtom::lit(100))));
+  auto Mod = bytecode::compile(T);
+  ASSERT_TRUE(Mod.ok()) << Mod.error();
+
+  levc::ByteWriter W;
+  levc::writeBytecodeModule(W, **Mod);
+  levc::ByteReader R(W.bytes());
+  std::shared_ptr<const bytecode::Module> Back =
+      levc::readBytecodeModule(R);
+  ASSERT_NE(Back, nullptr);
+  EXPECT_TRUE(R.ok());
+  EXPECT_TRUE(R.atEnd());
+
+  bytecode::Vm Vm;
+  bytecode::VmResult A = Vm.run(**Mod, 1u << 20);
+  bytecode::VmResult B = Vm.run(*Back, 1u << 20);
+  ASSERT_TRUE(A.ok());
+  ASSERT_TRUE(B.ok());
+  EXPECT_EQ(A.IntValue.value_or(-1), 142);
+  EXPECT_EQ(B.IntValue.value_or(-2), 142);
+  EXPECT_EQ(A.Stats.Steps, B.Stats.Steps);
+}
+
+TEST(ArtifactSerializeTest, BytecodeModuleCodecRejectsMalformedInput) {
+  { // Truncated header.
+    levc::ByteReader R("\x01");
+    EXPECT_EQ(levc::readBytecodeModule(R), nullptr);
+    EXPECT_FALSE(R.ok());
+  }
+  { // A module whose code references an out-of-range pool index must be
+    // rejected by the embedded validate() pass, not executed.
+    bytecode::Module M;
+    bytecode::Proto P;
+    P.Entry = 0;
+    P.End = 2;
+    P.NumLocals = 0;
+    M.Protos.push_back(P);
+    M.Code.push_back({bytecode::Op::PushInt, 0, 0, /*C=*/5}); // no pool
+    M.Code.push_back({bytecode::Op::Return, 0, 0, 0});
+    ASSERT_FALSE(bytecode::validate(M));
+    levc::ByteWriter W;
+    levc::writeBytecodeModule(W, M);
+    levc::ByteReader R(W.bytes());
+    EXPECT_EQ(levc::readBytecodeModule(R), nullptr);
+    EXPECT_FALSE(R.ok());
+  }
 }
 
 TEST(ArtifactStoreTest, SerializeRejectsFormalAndProgrammaticCompilations) {

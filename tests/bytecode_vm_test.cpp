@@ -1,0 +1,415 @@
+//===- bytecode_vm_test.cpp - The flat bytecode compiler and VM -----------===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+//
+// Unit coverage for src/bytecode/: direct compile+run of MContext-built
+// terms (values, laziness, knots, switches, the machine-exact stuck
+// states), the pinned out-of-fragment compiler diagnostics with the
+// driver's clean fallback to the term-graph machine, the validate()
+// verifier, and the Backend::Bytecode driver surface (backendName, fuel,
+// the formal pipeline). Observable-equivalence over the full program
+// corpus lives in differential_backend_test.cpp.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/Bytecode.h"
+#include "bytecode/Vm.h"
+#include "driver/Executor.h"
+#include "driver/Session.h"
+
+#include <gtest/gtest.h>
+
+using namespace levity;
+using namespace levity::bytecode;
+
+namespace {
+
+/// Compiles \p T (must be in-fragment) and runs it on a fresh VM.
+VmResult compileAndRun(const mcalc::Term *T, uint64_t Fuel = 1u << 22) {
+  auto Mod = compile(T);
+  EXPECT_TRUE(Mod.ok()) << Mod.error();
+  if (!Mod.ok())
+    return VmResult();
+  EXPECT_TRUE(validate(**Mod));
+  Vm V;
+  return V.run(**Mod, Fuel);
+}
+
+//===----------------------------------------------------------------------===//
+// Values and control flow
+//===----------------------------------------------------------------------===//
+
+TEST(BytecodeVmTest, PrimArithmetic) {
+  mcalc::MContext MC;
+  VmResult R = compileAndRun(MC.prim(mcalc::MPrim::Mul, mcalc::MAtom::lit(6),
+                                     mcalc::MAtom::lit(7)));
+  ASSERT_TRUE(R.ok()) << R.StuckReason;
+  EXPECT_EQ(R.IntValue.value_or(-1), 42);
+  EXPECT_EQ(R.Stats.Prims, 1u);
+}
+
+TEST(BytecodeVmTest, DoubleArithmetic) {
+  mcalc::MContext MC;
+  VmResult R = compileAndRun(MC.prim(
+      mcalc::MPrim::DAdd, mcalc::MAtom::dlit(1.25), mcalc::MAtom::dlit(2.5)));
+  ASSERT_TRUE(R.ok()) << R.StuckReason;
+  EXPECT_DOUBLE_EQ(R.DoubleValue.value_or(-1), 3.75);
+}
+
+TEST(BytecodeVmTest, If0TakesBothBranches) {
+  mcalc::MContext MC;
+  auto Run = [&](int64_t Scrut) {
+    return compileAndRun(MC.if0(MC.lit(Scrut), MC.lit(10), MC.lit(20)));
+  };
+  EXPECT_EQ(Run(0).IntValue.value_or(-1), 10);
+  EXPECT_EQ(Run(3).IntValue.value_or(-1), 20);
+  EXPECT_EQ(Run(3).Stats.Branches, 1u);
+}
+
+TEST(BytecodeVmTest, LambdaCallOverIntRegister) {
+  mcalc::MContext MC;
+  mcalc::MVar N = MC.freshInt();
+  const mcalc::Term *Inc =
+      MC.lam(N, MC.prim(mcalc::MPrim::Add, mcalc::MAtom::var(N),
+                        mcalc::MAtom::lit(1)));
+  VmResult R = compileAndRun(MC.appLit(Inc, 41));
+  ASSERT_TRUE(R.ok()) << R.StuckReason;
+  EXPECT_EQ(R.IntValue.value_or(-1), 42);
+}
+
+TEST(BytecodeVmTest, BoxAndUnbox) {
+  mcalc::MContext MC;
+  mcalc::MVar N = MC.freshInt();
+  VmResult R = compileAndRun(
+      MC.caseOf(MC.conLit(7), N,
+                MC.prim(mcalc::MPrim::Add, mcalc::MAtom::var(N),
+                        mcalc::MAtom::lit(1))));
+  ASSERT_TRUE(R.ok()) << R.StuckReason;
+  EXPECT_EQ(R.IntValue.value_or(-1), 8);
+  EXPECT_EQ(R.Stats.ConAllocs, 1u);
+}
+
+TEST(BytecodeVmTest, SwitchDispatchesOnConTagAndBindsFields) {
+  mcalc::MContext MC;
+  mcalc::MAtom Fields[] = {mcalc::MAtom::lit(30), mcalc::MAtom::dlit(1.5)};
+  mcalc::MVar BI = MC.freshInt(), BD = MC.freshDbl();
+  mcalc::MVar Binders[] = {BI, BD};
+  mcalc::MAlt Alts[2];
+  Alts[0].Pat = mcalc::MAlt::PatKind::Con;
+  Alts[0].Tag = 1;
+  Alts[0].Body = MC.lit(-1);
+  Alts[1].Pat = mcalc::MAlt::PatKind::Con;
+  Alts[1].Tag = 2;
+  Alts[1].Binders = std::span<const mcalc::MVar>(Binders, 2);
+  Alts[1].Body = MC.prim(mcalc::MPrim::Add, mcalc::MAtom::var(BI),
+                         mcalc::MAtom::lit(12));
+  VmResult R =
+      compileAndRun(MC.switchOf(MC.con(2, Fields), Alts, MC.lit(-2)));
+  ASSERT_TRUE(R.ok()) << R.StuckReason;
+  EXPECT_EQ(R.IntValue.value_or(-1), 42);
+  EXPECT_EQ(R.Stats.Switches, 1u);
+}
+
+TEST(BytecodeVmTest, SwitchIntLiteralAndDefault) {
+  mcalc::MContext MC;
+  mcalc::MAlt Alts[1];
+  Alts[0].Pat = mcalc::MAlt::PatKind::Int;
+  Alts[0].IntVal = 5;
+  Alts[0].Body = MC.lit(100);
+  EXPECT_EQ(compileAndRun(MC.switchOf(MC.lit(5), Alts, MC.lit(200)))
+                .IntValue.value_or(-1),
+            100);
+  EXPECT_EQ(compileAndRun(MC.switchOf(MC.lit(6), Alts, MC.lit(200)))
+                .IntValue.value_or(-1),
+            200);
+}
+
+//===----------------------------------------------------------------------===//
+// Laziness and knots
+//===----------------------------------------------------------------------===//
+
+TEST(BytecodeVmTest, LazyLetForcesOnceThenReusesTheUpdate) {
+  // let p = <prim thunk> in case p of n1 -> case p of n2 -> n1 + n2:
+  // the thunk must evaluate exactly once and be read back as a value.
+  mcalc::MContext MC;
+  mcalc::MVar P = MC.freshPtr();
+  mcalc::MVar N1 = MC.freshInt(), N2 = MC.freshInt();
+  const mcalc::Term *T = MC.let(
+      P,
+      MC.caseOf(MC.conLit(20), N1,
+                MC.conVar(N1)), // forces to I#[20] via a real thunk body
+      MC.caseOf(MC.var(P), N1,
+                MC.caseOf(MC.var(P), N2,
+                          MC.prim(mcalc::MPrim::Add, mcalc::MAtom::var(N1),
+                                  mcalc::MAtom::var(N2)))));
+  VmResult R = compileAndRun(T);
+  ASSERT_TRUE(R.ok()) << R.StuckReason;
+  EXPECT_EQ(R.IntValue.value_or(-1), 40);
+  EXPECT_EQ(R.Stats.ThunkEvals, 1u) << "second force must hit the update";
+  EXPECT_EQ(R.Stats.ThunkUpdates, 1u);
+}
+
+TEST(BytecodeVmTest, LetRecTiesTheKnot) {
+  // letrec f = λn. if0 n then 42 else f (n-1) in f 5
+  mcalc::MContext MC;
+  mcalc::MVar F = MC.freshPtr(), N = MC.freshInt(), M = MC.freshInt();
+  const mcalc::Term *Body = MC.if0(
+      MC.var(N), MC.lit(42),
+      MC.letBang(M,
+                 MC.prim(mcalc::MPrim::Sub, mcalc::MAtom::var(N),
+                         mcalc::MAtom::lit(1)),
+                 MC.appVar(MC.var(F), M)));
+  VmResult R =
+      compileAndRun(MC.letRec(F, MC.lam(N, Body), MC.appLit(MC.var(F), 5)));
+  ASSERT_TRUE(R.ok()) << R.StuckReason;
+  EXPECT_EQ(R.IntValue.value_or(-1), 42);
+  EXPECT_GE(R.Stats.Knots, 1u);
+}
+
+TEST(BytecodeVmTest, SelfForcingThunkIsTheDanglingPointerStuck) {
+  // letrec p = <force p> in case p of ...: the black hole must be
+  // detected, exactly like the machine's dangling-pointer stuck.
+  mcalc::MContext MC;
+  mcalc::MVar P = MC.freshPtr(), N = MC.freshInt();
+  const mcalc::Term *T = MC.letRec(
+      P, MC.caseOf(MC.var(P), N, MC.conVar(N)),
+      MC.caseOf(MC.var(P), N, MC.var(N)));
+  VmResult R = compileAndRun(T);
+  ASSERT_EQ(R.Out, VmResult::Outcome::Stuck);
+  EXPECT_EQ(R.StuckReason,
+            "dangling heap pointer (thunk forced while evaluating)");
+}
+
+//===----------------------------------------------------------------------===//
+// Bottom, stuck, and fuel — the machine-exact classification
+//===----------------------------------------------------------------------===//
+
+TEST(BytecodeVmTest, ErrorTermIsBottomWithItsMessage) {
+  mcalc::MContext MC;
+  VmResult R = compileAndRun(MC.error(MC.symbols().intern("boom")));
+  ASSERT_EQ(R.Out, VmResult::Outcome::Bottom);
+  EXPECT_EQ(R.ErrorMessage, "boom");
+}
+
+TEST(BytecodeVmTest, DivideByZeroIsStuckNotBottom) {
+  mcalc::MContext MC;
+  VmResult R = compileAndRun(MC.prim(mcalc::MPrim::Quot,
+                                     mcalc::MAtom::lit(1),
+                                     mcalc::MAtom::lit(0)));
+  ASSERT_EQ(R.Out, VmResult::Outcome::Stuck);
+  EXPECT_EQ(R.StuckReason, "divide by zero");
+}
+
+TEST(BytecodeVmTest, CallingConventionMismatchIsStuck) {
+  // Apply an integer literal to a λ over a pointer register: the
+  // machine's calling-convention stuck, byte-for-byte.
+  mcalc::MContext MC;
+  mcalc::MVar P = MC.freshPtr();
+  VmResult R = compileAndRun(MC.appLit(MC.lam(P, MC.lit(1)), 3));
+  ASSERT_EQ(R.Out, VmResult::Outcome::Stuck);
+  EXPECT_EQ(
+      R.StuckReason,
+      "calling-convention mismatch: integer argument for a non-integer-register parameter");
+}
+
+TEST(BytecodeVmTest, CaseOverARawIntIsStuck) {
+  mcalc::MContext MC;
+  mcalc::MVar N = MC.freshInt();
+  VmResult R = compileAndRun(MC.caseOf(MC.lit(5), N, MC.var(N)));
+  ASSERT_EQ(R.Out, VmResult::Outcome::Stuck);
+  EXPECT_EQ(R.StuckReason, "case continuation expects I#[n]");
+}
+
+TEST(BytecodeVmTest, DivergenceRunsOutOfFuel) {
+  // letrec f = λn. f n in f 0
+  mcalc::MContext MC;
+  mcalc::MVar F = MC.freshPtr(), N = MC.freshInt();
+  const mcalc::Term *T = MC.letRec(F, MC.lam(N, MC.appVar(MC.var(F), N)),
+                                   MC.appLit(MC.var(F), 0));
+  VmResult R = compileAndRun(T, /*Fuel=*/1000);
+  EXPECT_EQ(R.Out, VmResult::Outcome::OutOfFuel);
+  EXPECT_EQ(R.Stats.Steps, 1000u);
+  // The loop is a tail call: frame depth must not grow with the fuel.
+  EXPECT_LE(R.Stats.MaxFrameDepth, 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// Fragment boundaries: pinned diagnostics, clean fallback
+//===----------------------------------------------------------------------===//
+
+TEST(BytecodeCompilerTest, FreeVariableIsAPinnedDiagnostic) {
+  mcalc::MContext MC;
+  mcalc::MVar N = MC.freshInt();
+  auto Mod = compile(MC.var(N));
+  ASSERT_FALSE(Mod.ok());
+  EXPECT_EQ(Mod.error().rfind("bytecode backend: free variable '", 0), 0u)
+      << Mod.error();
+}
+
+TEST(BytecodeCompilerTest, OverDeepTermIsAPinnedDiagnostic) {
+  // A term nested past MaxCompileDepth (built iteratively — only the
+  // compiler recurses) must fail with the pinned diagnostic, never
+  // overflow the C++ stack, never miscompile.
+  mcalc::MContext MC;
+  const mcalc::Term *T = MC.lit(0);
+  for (unsigned I = 0; I != MaxCompileDepth + 64; ++I) {
+    mcalc::MVar N = MC.freshInt();
+    T = MC.letBang(N,
+                   MC.prim(mcalc::MPrim::Add, mcalc::MAtom::lit(1),
+                           mcalc::MAtom::lit(1)),
+                   T);
+  }
+  auto Mod = compile(T);
+  ASSERT_FALSE(Mod.ok());
+  EXPECT_EQ(Mod.error(),
+            "bytecode backend: term nests deeper than the bytecode "
+            "compiler supports");
+}
+
+TEST(BytecodeCompilerTest, NullTermIsRejected) {
+  EXPECT_FALSE(compile(nullptr).ok());
+}
+
+TEST(BytecodeDriverTest, OverDeepProgramFallsBackToTheMachine) {
+  // Driver-level fallback: a program whose M lowering is deeper than
+  // the bytecode fragment allows must still run — on the term-graph
+  // machine, with Used reporting the backend that actually executed.
+  driver::Session S;
+  auto Comp = S.compileProgram([](core::CoreContext &C) {
+    core::CoreProgram P;
+    const core::Expr *E = C.litInt(0);
+    for (unsigned I = 0; I != MaxCompileDepth + 64; ++I)
+      E = C.primOp(core::PrimOp::AddI, {C.litInt(1), E});
+    P.Bindings.push_back({C.sym("v"), C.intHashTy(), E});
+    return P;
+  });
+  ASSERT_TRUE(Comp->ok()) << Comp->diagText();
+  driver::RunResult R = Comp->run("v", driver::Backend::Bytecode);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.Used, driver::Backend::AbstractMachine)
+      << "out-of-fragment code must fall back, not fail";
+  EXPECT_EQ(R.IntValue.value_or(-1),
+            static_cast<int64_t>(MaxCompileDepth + 64));
+  // The accessors must read the machine's ledger after the fallback.
+  EXPECT_EQ(R.steps(), R.Machine.Steps);
+  EXPECT_EQ(R.allocations(), R.Machine.Allocations);
+}
+
+//===----------------------------------------------------------------------===//
+// The verifier
+//===----------------------------------------------------------------------===//
+
+TEST(BytecodeValidateTest, RejectsOperandUnderflow) {
+  Module M;
+  Proto P;
+  P.Entry = 0;
+  P.End = 1;
+  M.Protos.push_back(P);
+  M.Code.push_back({Op::Return, 0, 0, 0}); // Return with an empty stack.
+  EXPECT_FALSE(validate(M));
+}
+
+TEST(BytecodeValidateTest, RejectsJumpOutsideTheOwningProto) {
+  Module M;
+  M.IntPool.push_back(0);
+  Proto P;
+  P.Entry = 0;
+  P.End = 3;
+  M.Protos.push_back(P);
+  M.Code.push_back({Op::PushInt, 0, 0, 0});
+  M.Code.push_back({Op::Jump, 0, 0, /*C=*/17}); // Past End.
+  M.Code.push_back({Op::Return, 0, 0, 0});
+  EXPECT_FALSE(validate(M));
+}
+
+TEST(BytecodeValidateTest, RejectsOutOfRangeLocals) {
+  Module M;
+  Proto P;
+  P.Entry = 0;
+  P.End = 2;
+  P.NumLocals = 1;
+  M.Protos.push_back(P);
+  M.Code.push_back({Op::LoadLocal, 0, /*B=*/4, 0}); // Slot 4 of 1.
+  M.Code.push_back({Op::Return, 0, 0, 0});
+  EXPECT_FALSE(validate(M));
+}
+
+TEST(BytecodeValidateTest, AcceptsCompilerOutput) {
+  mcalc::MContext MC;
+  mcalc::MVar N = MC.freshInt();
+  auto Mod = compile(MC.caseOf(
+      MC.conLit(3), N,
+      MC.if0(MC.var(N), MC.lit(0),
+             MC.prim(mcalc::MPrim::Mul, mcalc::MAtom::var(N),
+                     mcalc::MAtom::var(N)))));
+  ASSERT_TRUE(Mod.ok()) << Mod.error();
+  EXPECT_TRUE(validate(**Mod));
+}
+
+//===----------------------------------------------------------------------===//
+// The driver surface
+//===----------------------------------------------------------------------===//
+
+TEST(BytecodeDriverTest, BackendNameCoversAllBackends) {
+  EXPECT_EQ(driver::backendName(driver::Backend::TreeInterp), "tree-interp");
+  EXPECT_EQ(driver::backendName(driver::Backend::AbstractMachine),
+            "abstract-machine");
+  EXPECT_EQ(driver::backendName(driver::Backend::Bytecode), "bytecode");
+}
+
+TEST(BytecodeDriverTest, MaxVmStepsBoundsTheRun) {
+  driver::Session S;
+  auto Comp = S.compile("loop :: Int# -> Int# ;"
+                        "loop n = loop (n +# 1#) ;"
+                        "v = loop 0#");
+  ASSERT_TRUE(Comp->ok()) << Comp->diagText();
+  driver::Executor Ex(Comp);
+  Ex.options().MaxVmSteps = 500;
+  driver::RunResult R = Ex.run("v", driver::Backend::Bytecode);
+  EXPECT_EQ(R.St, driver::RunResult::Status::OutOfFuel);
+  EXPECT_EQ(R.Error, "out of fuel");
+  EXPECT_EQ(R.Used, driver::Backend::Bytecode);
+  EXPECT_EQ(R.steps(), 500u);
+}
+
+TEST(BytecodeDriverTest, ExecutorReusesItsVmAcrossRuns) {
+  driver::Session S;
+  auto Comp = S.compile("a = 1# +# 2# ; b = 3# *# 4#");
+  ASSERT_TRUE(Comp->ok()) << Comp->diagText();
+  driver::Executor Ex(Comp);
+  EXPECT_EQ(Ex.run("a", driver::Backend::Bytecode).IntValue.value_or(-1), 3);
+  EXPECT_EQ(Ex.run("b", driver::Backend::Bytecode).IntValue.value_or(-1), 12);
+  // And runs stay correct when interleaved with the other backends.
+  EXPECT_EQ(Ex.run("a", driver::Backend::AbstractMachine)
+                .IntValue.value_or(-1),
+            3);
+  EXPECT_EQ(Ex.run("b", driver::Backend::Bytecode).IntValue.value_or(-1), 12);
+}
+
+TEST(BytecodeDriverTest, FormalPipelineRunsOnTheVm) {
+  driver::Session S;
+  auto Comp = S.compileFormal([](lcalc::LContext &L) {
+    return L.intLit(7);
+  });
+  ASSERT_TRUE(Comp->ok()) << Comp->diagText();
+  driver::RunResult R = Comp->run(driver::Backend::Bytecode);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.Used, driver::Backend::Bytecode);
+  EXPECT_EQ(R.IntValue.value_or(-1), 7);
+}
+
+TEST(BytecodeDriverTest, StuckRunsNameTheVmTier) {
+  // The VM names its own tier in stuck reports, so a diverging
+  // diagnosis never points at the wrong backend.
+  driver::Session S;
+  auto Comp = S.compile("v = quotInt# 1# 0#");
+  ASSERT_TRUE(Comp->ok()) << Comp->diagText();
+  driver::RunResult R = Comp->run("v", driver::Backend::Bytecode);
+  EXPECT_EQ(R.St, driver::RunResult::Status::RuntimeError);
+  EXPECT_EQ(R.Error, "bytecode vm stuck: divide by zero");
+}
+
+} // namespace

@@ -130,7 +130,7 @@ TEST(DriverConcurrencyTest, DistinctSourcesMatchSerialResults) {
 // One shared Compilation, mixed backends
 //===----------------------------------------------------------------------===//
 
-TEST(DriverConcurrencyTest, SharedCompilationRunsBothBackendsConcurrently) {
+TEST(DriverConcurrencyTest, SharedCompilationRunsAllBackendsConcurrently) {
   Session S;
   std::shared_ptr<Compilation> Comp = S.compile(QuickstartSrc);
   ASSERT_TRUE(Comp->ok()) << Comp->diagText();
@@ -138,29 +138,63 @@ TEST(DriverConcurrencyTest, SharedCompilationRunsBothBackendsConcurrently) {
   // Serial baseline.
   RunResult SerialTree = Comp->run("answer", Backend::TreeInterp);
   RunResult SerialMach = Comp->run("answer", Backend::AbstractMachine);
-  ASSERT_TRUE(SerialTree.ok() && SerialMach.ok());
+  RunResult SerialBc = Comp->run("answer", Backend::Bytecode);
+  ASSERT_TRUE(SerialTree.ok() && SerialMach.ok() && SerialBc.ok());
+  ASSERT_EQ(SerialBc.Used, Backend::Bytecode);
 
+  // Rotate all three backends per thread: tree runs race the lazy
+  // front-end path, machine runs race the memoized lowering, and
+  // bytecode runs race the call_once-style module memoization (the
+  // first N threads all want to compile the same module at once).
+  const Backend Rotation[] = {Backend::TreeInterp, Backend::AbstractMachine,
+                              Backend::Bytecode};
   std::vector<std::thread> Threads;
   for (int T = 0; T != NumThreads; ++T)
     Threads.emplace_back([&, T] {
       Executor Ex(Comp);
-      for (int I = 0; I != 10; ++I) {
-        Backend B = (I + T) % 2 == 0 ? Backend::TreeInterp
-                                     : Backend::AbstractMachine;
+      for (int I = 0; I != 12; ++I) {
+        Backend B = Rotation[(I + T) % 3];
         RunResult R = Ex.run("answer", B);
         ASSERT_TRUE(R.ok()) << R.Error;
         EXPECT_EQ(R.IntValue.value_or(-1), 42);
+        EXPECT_EQ(R.Used, B);
         // Cost models agree with the serial baseline: machine runs
         // always allocate 1; the executor's first tree run allocates 1,
-        // later ones 0 (memoized globals).
+        // later ones 0 (memoized globals); VM runs replay identically.
         if (B == Backend::AbstractMachine)
           EXPECT_EQ(R.allocations(), SerialMach.allocations());
+        if (B == Backend::Bytecode) {
+          EXPECT_EQ(R.allocations(), SerialBc.allocations());
+          EXPECT_EQ(R.steps(), SerialBc.steps());
+        }
       }
       // The artifact also answers type queries concurrently.
       EXPECT_NE(Comp->globalType("square"), nullptr);
       EXPECT_NE(Comp->globalType("answer"), nullptr);
     });
   spawnAll(Threads);
+}
+
+TEST(DriverConcurrencyTest, RunAllDrivesBytecodeBackendConcurrently) {
+  // Concurrent runAll over Bytecode-backend compilations: the ISSUE's
+  // TSan-clean requirement — workers race the shared module memo and
+  // each worker's own VM.
+  Session S;
+  std::vector<Session::RunRequest> Requests;
+  for (int I = 0; I != 12; ++I) {
+    Session::RunRequest Req;
+    Req.Source = sourceFor(I % 6); // duplicates share one compile
+    Req.Name = "answer";
+    Req.B = Backend::Bytecode;
+    Requests.push_back(std::move(Req));
+  }
+  std::vector<RunResult> Batch = S.runAll(Requests);
+  ASSERT_EQ(Batch.size(), Requests.size());
+  for (size_t I = 0; I != Batch.size(); ++I) {
+    ASSERT_TRUE(Batch[I].ok()) << Batch[I].Error;
+    EXPECT_EQ(Batch[I].IntValue.value_or(-1), int64_t(I % 6) + 1);
+    EXPECT_EQ(Batch[I].Used, Backend::Bytecode);
+  }
 }
 
 TEST(DriverConcurrencyTest, FormalCompilationRunsConcurrently) {
@@ -177,10 +211,11 @@ TEST(DriverConcurrencyTest, FormalCompilationRunsConcurrently) {
   for (int T = 0; T != NumThreads; ++T)
     Threads.emplace_back([&, T] {
       Executor Ex(Comp);
-      for (int I = 0; I != 10; ++I) {
-        Backend B = (I + T) % 2 == 0 ? Backend::TreeInterp
-                                     : Backend::AbstractMachine;
-        RunResult R = Ex.run(B);
+      const Backend Rotation[] = {Backend::TreeInterp,
+                                  Backend::AbstractMachine,
+                                  Backend::Bytecode};
+      for (int I = 0; I != 12; ++I) {
+        RunResult R = Ex.run(Rotation[(I + T) % 3]);
         ASSERT_TRUE(R.ok()) << R.Error;
         EXPECT_EQ(R.IntValue.value_or(-1), 42);
       }
@@ -218,8 +253,9 @@ TEST(DriverConcurrencyTest, RunAllAgreesWithSerialRuns) {
     Session::RunRequest Req;
     Req.Source = sourceFor(I % 6); // duplicates share one compile
     Req.Name = "answer";
-    Req.B = I % 2 == 0 ? std::optional<Backend>(Backend::TreeInterp)
-                       : std::optional<Backend>(Backend::AbstractMachine);
+    Req.B = I % 3 == 0   ? std::optional<Backend>(Backend::TreeInterp)
+            : I % 3 == 1 ? std::optional<Backend>(Backend::AbstractMachine)
+                         : std::optional<Backend>(Backend::Bytecode);
     Requests.push_back(std::move(Req));
   }
 
