@@ -738,6 +738,23 @@ bool validate(const Module &M) {
       N > static_cast<size_t>(std::numeric_limits<int32_t>::max()))
     return false;
 
+  // Vm::run enters Protos[0] with no captures and no argument. An entry
+  // that expects either would read default-initialized slots and compute
+  // wrong answers instead of failing, so it must be rejected here.
+  if (!M.Protos[0].Caps.empty() || M.Protos[0].HasParam)
+    return false;
+
+  // Protos must exactly partition [0, Code.size()) in order — what
+  // compile() always emits. Disjointness is load-bearing for the shared
+  // depth map in the stack-effect pass below: an instruction reachable
+  // under two overlapping protos would be verified against only the
+  // first proto's frame bounds, then run under the second's.
+  if (M.Protos.front().Entry != 0 || M.Protos.back().End != N)
+    return false;
+  for (size_t I = 1; I != M.Protos.size(); ++I)
+    if (M.Protos[I].Entry != M.Protos[I - 1].End)
+      return false;
+
   for (const Proto &P : M.Protos) {
     if (P.Entry >= P.End || P.End > N)
       return false;
@@ -840,7 +857,10 @@ bool validate(const Module &M) {
 
   // Stack-effect dataflow per proto: depth is exact along every path, no
   // pop can underflow, and control never falls off the end of a proto.
-  // This is what lets the VM pop without per-instruction checks.
+  // This is what lets the VM pop without per-instruction checks. One
+  // depth map serves all protos: Flow confines each walk to [Entry, End)
+  // and the partition check above makes those ranges disjoint, so no
+  // entry is ever shared (or stale-memoized) across protos.
   std::vector<int32_t> DepthAt(N, -1);
   std::vector<uint32_t> Work;
   for (const Proto &P : M.Protos) {

@@ -806,23 +806,39 @@ Result<std::string> Compilation::serializeArtifact() const {
   if (!HasCore)
     Core = ByteWriter();
 
-  // The optional BCOD section: every global's compiled bytecode, so
-  // warm-store Backend::Bytecode runs skip even the bytecode compiler.
-  // Globals outside the bytecode fragment are simply absent (hydrated
-  // consumers recompile those lazily from the restored M terms and fall
-  // back to the machine as usual); the section is omitted when nothing
-  // compiled.
+  // The optional BCOD section: compiled bytecode, so warm-store
+  // Backend::Bytecode runs skip even the bytecode compiler. Bytecode
+  // sessions force every global's compilation now (mirroring the M
+  // lowering above); other sessions persist only modules this process
+  // already compiled — serializing must not charge tree/machine-only
+  // sessions for a backend they never use. Globals outside the bytecode
+  // fragment are simply absent (hydrated consumers recompile lazily from
+  // the restored M terms and fall back to the machine as usual); the
+  // section is omitted when nothing compiled.
   ByteWriter Bc;
   uint32_t NumBc = 0;
   {
     ByteWriter Mods;
-    for (const std::string &Name : Names) {
-      Result<const bytecode::Module *> Mod = bytecodeModule(Name);
-      if (!Mod)
-        continue;
-      Mods.str(Name);
-      levc::writeBytecodeModule(Mods, **Mod);
-      ++NumBc;
+    if (Opts.DefaultBackend == Backend::Bytecode) {
+      for (const std::string &Name : Names) {
+        Result<const bytecode::Module *> Mod = bytecodeModule(Name);
+        if (!Mod)
+          continue;
+        Mods.str(Name);
+        levc::writeBytecodeModule(Mods, **Mod);
+        ++NumBc;
+      }
+    } else {
+      MachinePipeline &MP = machine();
+      std::shared_lock<std::shared_mutex> Lock(MP.LowerMutex);
+      for (const std::string &Name : Names) {
+        auto It = MP.BModules.find(Name);
+        if (It == MP.BModules.end() || !It->second)
+          continue;
+        Mods.str(Name);
+        levc::writeBytecodeModule(Mods, *It->second->get());
+        ++NumBc;
+      }
     }
     Bc.u32(NumBc);
     Bc.raw(Mods.bytes());

@@ -64,6 +64,16 @@ CompileOptions storeOptions(const std::string &Dir) {
   return Opts;
 }
 
+/// Store options for a Backend::Bytecode session: only these serialize
+/// a BCOD section eagerly (other sessions persist just the bytecode
+/// they already compiled, which for a freshly compiled-then-flushed
+/// artifact is none).
+CompileOptions bytecodeStoreOptions(const std::string &Dir) {
+  CompileOptions Opts = storeOptions(Dir);
+  Opts.DefaultBackend = Backend::Bytecode;
+  return Opts;
+}
+
 /// Asserts two RunResults are observably identical (status, values,
 /// display, and failure text).
 void expectSameRunResult(const RunResult &A, const RunResult &B,
@@ -117,8 +127,10 @@ TEST_P(ArtifactRoundTripTest, SerializeDeserializeRunIdentical) {
         << HydMach.Error;
   }
 
-  // Bytecode runs replay identically too — straight from the BCOD
-  // section when the program is in the bytecode fragment.
+  // Bytecode runs replay identically too — recompiled lazily from the
+  // restored M terms (this tree-backend session's artifact carries no
+  // BCOD section; BytecodeSectionServesVmRunsWithZeroLowering covers
+  // the hydrated-bytecode path).
   RunResult HydBc = Hyd->run(P.Global, Backend::Bytecode);
   expectSameRunResult(OrigBc, HydBc, "bytecode vm");
   EXPECT_EQ(OrigBc.Used, HydBc.Used);
@@ -179,8 +191,9 @@ TEST(ArtifactStoreTest, ColdSessionWarmStoreRunsCorpusWithZeroRelowerings) {
 //===----------------------------------------------------------------------===//
 
 /// Populates a store with one program and returns its entry path.
-std::string populateOne(const std::string &Dir, const char *Source) {
-  Session S(storeOptions(Dir));
+std::string populateOne(const std::string &Dir, const char *Source,
+                        bool Bytecode = false) {
+  Session S(Bytecode ? bytecodeStoreOptions(Dir) : storeOptions(Dir));
   EXPECT_TRUE(S.compile(Source)->ok());
   S.flushStoreWrites();
   ArtifactStore Store(Dir);
@@ -630,7 +643,7 @@ TEST(ArtifactStoreTest, BytecodeSectionServesVmRunsWithZeroLowering) {
   // cold process's Backend::Bytecode runs execute with zero front-end,
   // lowering, or bytecode-compilation work.
   std::string Dir = freshStoreDir("bcodsec");
-  Session Warm(storeOptions(Dir));
+  Session Warm(bytecodeStoreOptions(Dir));
   auto Orig = Warm.compile(RobustSrc);
   ASSERT_TRUE(Orig->ok());
   RunResult OrigBc = Orig->run("v", Backend::Bytecode);
@@ -638,7 +651,7 @@ TEST(ArtifactStoreTest, BytecodeSectionServesVmRunsWithZeroLowering) {
   ASSERT_EQ(OrigBc.Used, Backend::Bytecode);
   Warm.flushStoreWrites();
 
-  Session Cold(storeOptions(Dir));
+  Session Cold(bytecodeStoreOptions(Dir));
   auto Hyd = Cold.compile(RobustSrc);
   ASSERT_TRUE(Hyd->ok());
   ASSERT_TRUE(Hyd->hydrated());
@@ -664,13 +677,34 @@ TEST(ArtifactStoreTest, BytecodeSectionServesVmRunsWithZeroLowering) {
   fs::remove_all(Dir);
 }
 
+TEST(ArtifactStoreTest, NonBytecodeSessionsSerializeWithoutBytecodeWork) {
+  // Serialization must not eagerly compile bytecode for sessions that
+  // never use Backend::Bytecode: a tree-backend compile-then-flush
+  // produces an artifact with no BCOD section at all (nothing was
+  // memoized, nothing is persisted) — and it still hydrates and runs.
+  std::string Dir = freshStoreDir("nobcod");
+  std::string Path = populateOne(Dir, RobustSrc);
+
+  std::string Bytes = *support::readFileBinary(Path);
+  EXPECT_EQ(findSectionPayload(Bytes, levc::SecBytecode), 0u)
+      << "tree-backend artifact must not carry a BCOD section";
+
+  Session S(storeOptions(Dir));
+  auto Comp = S.compile(RobustSrc);
+  ASSERT_TRUE(Comp->ok());
+  ASSERT_TRUE(Comp->hydrated());
+  EXPECT_FALSE(Comp->hydratedBytecode());
+  EXPECT_EQ(Comp->run("v", Backend::Bytecode).IntValue.value_or(-1), 5050);
+  fs::remove_all(Dir);
+}
+
 TEST(ArtifactStoreTest, MalformedBytecodeSectionFallsBackToRecompiling) {
   // A BCOD section that passes the container checksum but fails the
   // module decode must be ignored wholesale: hydration still succeeds,
   // and Backend::Bytecode runs recompile lazily from the restored M
   // terms — same answers, never a crash, never a miscompile.
   std::string Dir = freshStoreDir("badbcod");
-  std::string Path = populateOne(Dir, RobustSrc);
+  std::string Path = populateOne(Dir, RobustSrc, /*Bytecode=*/true);
 
   std::string Bytes = *support::readFileBinary(Path);
   size_t BcOff = findSectionPayload(Bytes, levc::SecBytecode);
@@ -697,7 +731,7 @@ TEST(ArtifactStoreTest, TruncatedBytecodeModuleFallsBackToRecompiling) {
   // sticky-fail reader rejects it, the section is ignored, and the
   // lazy recompile serves the run.
   std::string Dir = freshStoreDir("shortbcod");
-  std::string Path = populateOne(Dir, RobustSrc);
+  std::string Path = populateOne(Dir, RobustSrc, /*Bytecode=*/true);
 
   std::string Bytes = *support::readFileBinary(Path);
   size_t BcOff = findSectionPayload(Bytes, levc::SecBytecode);

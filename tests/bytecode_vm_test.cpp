@@ -337,6 +337,77 @@ TEST(BytecodeValidateTest, RejectsOutOfRangeLocals) {
   EXPECT_FALSE(validate(M));
 }
 
+TEST(BytecodeValidateTest, RejectsOverlappingProtos) {
+  // An outer proto with a huge frame whose flow walk visits the interior
+  // of an inner one-slot proto: the shared depth map memoizes the outer
+  // walk's depths, so the inner walk never re-explores its successors
+  // under its own [Entry, End) bounds, and running the inner proto would
+  // fall through its End into a StoreLocal operand-checked only against
+  // the outer frame — an out-of-bounds write. Protos must partition the
+  // code stream, so this module is structurally rejected.
+  Module M;
+  M.IntPool.push_back(0);
+  Proto Outer;
+  Outer.Entry = 0;
+  Outer.End = 5;
+  Outer.NumLocals = 65535;
+  M.Protos.push_back(Outer);
+  Proto Inner;
+  Inner.Entry = 1;
+  Inner.End = 3;
+  Inner.NumLocals = 1;
+  M.Protos.push_back(Inner);
+  M.Code.push_back({Op::Jump, 0, 0, /*C=*/1});
+  M.Code.push_back({Op::PushInt, 0, 0, 0});
+  M.Code.push_back({Op::PushInt, 0, 0, 0});
+  M.Code.push_back({Op::StoreLocal, 0, /*B=*/60000, 0});
+  M.Code.push_back({Op::Return, 0, 0, 0});
+  EXPECT_FALSE(validate(M));
+}
+
+TEST(BytecodeValidateTest, RejectsProtosThatDoNotPartitionTheCode) {
+  // Protos must cover [0, Code.size()) contiguously and in order —
+  // exactly what compile() emits. A gap between protos is rejected.
+  Module M;
+  M.IntPool.push_back(0);
+  Proto A;
+  A.Entry = 0;
+  A.End = 2;
+  M.Protos.push_back(A);
+  Proto B;
+  B.Entry = 3; // Skips instruction 2.
+  B.End = 5;
+  M.Protos.push_back(B);
+  M.Code.push_back({Op::PushInt, 0, 0, 0});
+  M.Code.push_back({Op::Return, 0, 0, 0});
+  M.Code.push_back({Op::Return, 0, 0, 0}); // Owned by no proto.
+  M.Code.push_back({Op::PushInt, 0, 0, 0});
+  M.Code.push_back({Op::Return, 0, 0, 0});
+  EXPECT_FALSE(validate(M));
+}
+
+TEST(BytecodeValidateTest, RejectsOpenEntryProto) {
+  // Vm::run enters Protos[0] with no captures and no argument; an entry
+  // expecting either would silently read default-initialized slots.
+  Module M;
+  M.IntPool.push_back(0);
+  Proto P;
+  P.Entry = 0;
+  P.End = 2;
+  P.NumLocals = 1;
+  M.Protos.push_back(P);
+  M.Code.push_back({Op::PushInt, 0, 0, 0});
+  M.Code.push_back({Op::Return, 0, 0, 0});
+  ASSERT_TRUE(validate(M)); // Closed entry: fine.
+
+  M.Protos[0].HasParam = 1;
+  EXPECT_FALSE(validate(M));
+
+  M.Protos[0].HasParam = 0;
+  M.Protos[0].Caps.push_back({/*Src=*/0, /*Sort=*/0});
+  EXPECT_FALSE(validate(M));
+}
+
 TEST(BytecodeValidateTest, AcceptsCompilerOutput) {
   mcalc::MContext MC;
   mcalc::MVar N = MC.freshInt();
