@@ -1,0 +1,96 @@
+//===- bench_server.cpp - levityd latency/throughput trajectory -----------===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+//
+// The recorded server trajectory: the full deterministic load-generator
+// mix (registration COMPILEs, warm re-COMPILEs, RUNs across all three
+// backends, fuel-starved TIMEOUT probes) fired at an in-process Server
+// by 1, 8, and 64 concurrent clients.
+//
+//   * Server/Load/N — one complete load run per iteration against a
+//     fresh Server (cold caches each time, so the cold/warm mix is
+//     stable). Counters: req_per_s, p50_us, p99_us, plus the acceptance
+//     ledger (wrong_answers and protocol_errors must be zero, busy and
+//     timeouts are expected traffic).
+//
+// In-process clients skip socket I/O on purpose: the trajectory tracks
+// protocol + admission + session work, not kernel buffer behaviour.
+// bench/record_server_bench.py turns the JSON output into
+// BENCH_server.json in CI.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/LoadGen.h"
+#include "server/Server.h"
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+using namespace levity;
+using namespace levity::server;
+
+namespace {
+
+void BM_ServerLoad(benchmark::State &State) {
+  size_t Clients = static_cast<size_t>(State.range(0));
+  LoadOptions Load;
+  Load.Clients = Clients;
+  // Keep total traffic roughly constant across client counts so the
+  // three points measure contention, not workload size.
+  Load.RequestsPerClient = std::max<size_t>(8, 512 / Clients);
+  Load.Programs = 16;
+  Load.PipelineDepth = 4;
+
+  LoadReport Last;
+  for (auto _ : State) {
+    ServerOptions Opts;
+    Opts.MaxQueueDepth = 256;
+    Server Srv(Opts);
+    Last = runLoad(
+        [&](size_t) { return std::make_unique<InProcessClient>(Srv); },
+        Load);
+    if (!Last.clean()) {
+      State.SkipWithError("load run was not clean");
+      return;
+    }
+    benchmark::DoNotOptimize(Last.Requests);
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(Last.Requests));
+  State.counters["req_per_s"] = Last.ReqPerSec;
+  State.counters["p50_us"] = Last.P50Micros;
+  State.counters["p99_us"] = Last.P99Micros;
+  State.counters["busy"] = static_cast<double>(Last.Busy);
+  State.counters["timeouts"] = static_cast<double>(Last.Timeouts);
+  State.counters["wrong_answers"] = static_cast<double>(Last.WrongAnswers);
+  State.counters["protocol_errors"] =
+      static_cast<double>(Last.ProtocolErrors);
+}
+
+BENCHMARK(BM_ServerLoad)
+    ->Name("Server/Load")
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::printf(
+      "levityd trajectory: the deterministic load mix at 1/8/64 clients\n"
+      "against a fresh in-process Server per iteration. Watch req_per_s\n"
+      "and the p50/p99 counters; wrong_answers and protocol_errors must\n"
+      "stay zero at every client count.\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

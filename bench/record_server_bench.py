@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Assemble BENCH_server.json from bench_server's Google Benchmark JSON.
+
+Usage:
+  record_server_bench.py --server server.json --out BENCH_server.json
+
+Reads the --benchmark_out_format=json file written by bench_server and
+records the levityd latency/throughput trajectory: p50/p99 request
+latency and req/s at 1, 8, and 64 concurrent clients. Exits non-zero
+when any client count is missing or reported wrong answers / protocol
+errors, so CI fails when the server stops being correct under load.
+"""
+
+import argparse
+import json
+import sys
+
+NON_COUNTER_KEYS = {
+    "name", "run_name", "run_type", "repetitions", "repetition_index",
+    "threads", "iterations", "real_time", "cpu_time", "time_unit",
+    "family_index", "per_family_instance_index", "aggregate_name",
+}
+
+CLIENT_COUNTS = (1, 8, 64)
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    rows = []
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") != "iteration":
+            continue  # skip aggregates; raw iterations carry the counters
+        rows.append({
+            "name": b["name"],
+            "iterations": b["iterations"],
+            "counters": {k: v for k, v in b.items()
+                         if k not in NON_COUNTER_KEYS},
+        })
+    return rows, doc.get("context", {})
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--server", required=True)
+    ap.add_argument("--out", required=True)
+    args = ap.parse_args()
+
+    rows, ctx = load(args.server)
+
+    trajectory = {}
+    failures = []
+    for n in CLIENT_COUNTS:
+        # Modifier suffixes (/process_time, /real_time) depend on the
+        # benchmark library version; match the stem.
+        stem = f"Server/Load/{n}"
+        row = next((r for r in rows
+                    if r["name"] == stem
+                    or r["name"].startswith(stem + "/")), None)
+        if row is None:
+            failures.append(f"missing Server/Load/{n}")
+            continue
+        c = row["counters"]
+        trajectory[str(n)] = {
+            "req_per_s": round(c.get("req_per_s", 0), 1),
+            "p50_us": round(c.get("p50_us", 0), 2),
+            "p99_us": round(c.get("p99_us", 0), 2),
+            "busy": c.get("busy", 0),
+            "timeouts": c.get("timeouts", 0),
+        }
+        if c.get("wrong_answers", 0) != 0:
+            failures.append(f"{n} clients: wrong answers")
+        if c.get("protocol_errors", 0) != 0:
+            failures.append(f"{n} clients: protocol errors")
+
+    doc = {
+        "schema": "levity-bench-v1",
+        "generator": "bench_server "
+                     "(Release, --benchmark_out_format=json)",
+        "date": ctx.get("date"),
+        "host": {
+            "num_cpus": ctx.get("num_cpus"),
+            "mhz_per_cpu": ctx.get("mhz_per_cpu"),
+            "library_build_type": ctx.get("library_build_type"),
+        },
+        "headline": {
+            "claim": "the full load mix stays correct (zero wrong "
+                     "answers, zero protocol errors) at every client "
+                     "count; BUSY and fuel TIMEOUTs are typed traffic",
+            "trajectory": trajectory,
+        },
+        "benchmarks": rows,
+    }
+    with open(args.out, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+
+    print(f"wrote {args.out}: " + ", ".join(
+        f"{n}c {v['req_per_s']} req/s p99 {v['p99_us']}us"
+        for n, v in trajectory.items()))
+    if failures:
+        print("error: " + "; ".join(failures), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,149 @@
+//===- load_driver.cpp - Multi-client load generator for levityd ----------===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+//
+// The client half of the server smoke story: N concurrent clients fire a
+// deterministic cold/warm/run mix (with fuel-starved RUNs that must come
+// back as typed TIMEOUTs) at a server and verify every answer against the
+// workload's known values.
+//
+//   load_driver --inprocess --clients 8          # embedded Server
+//   load_driver --socket /tmp/levity.sock --clients 64 --shutdown
+//
+// Exit status is the acceptance contract: nonzero when any answer was
+// wrong, any frame was malformed, or any unexpected error came back —
+// BUSY (admission control) and expected TIMEOUTs are part of normal
+// operation and do not fail the run. CI runs the daemon + this driver at
+// 8 clients in both the Release and TSan matrices.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/LoadGen.h"
+#include "server/Server.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+using namespace levity;
+using namespace levity::server;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s (--inprocess | --socket PATH) [options]\n"
+      "  --clients N        concurrent clients (default 8)\n"
+      "  --requests N       traffic requests per client (default 200)\n"
+      "  --programs N       distinct workload programs (default 32)\n"
+      "  --pipeline N       RUNs per pipelined batch (default 4)\n"
+      "  --queue-depth N    admission cap (in-process server only)\n"
+      "  --no-timeouts      skip the fuel-starved TIMEOUT traffic\n"
+      "  --json             machine-readable report on stdout\n"
+      "  --shutdown         send SHUTDOWN when done (socket mode)\n",
+      Argv0);
+  return 2;
+}
+
+bool parseSize(const char *S, size_t &Out) {
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(S, &End, 10);
+  if (End == S || *End != '\0')
+    return false;
+  Out = static_cast<size_t>(V);
+  return true;
+}
+
+/// Owns a SocketClient for the factory's unique_ptr<Client> shape.
+std::unique_ptr<Client> connectClient(const std::string &Path) {
+  Result<std::unique_ptr<SocketClient>> C = SocketClient::connect(Path);
+  if (!C) {
+    std::fprintf(stderr, "load_driver: %s\n", C.error().c_str());
+    return nullptr;
+  }
+  return std::move(*C);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  LoadOptions Load;
+  std::string SocketPath;
+  bool InProcess = false, Json = false, SendShutdown = false;
+  size_t QueueDepth = 128;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto Next = [&]() -> const char * {
+      return I + 1 < argc ? argv[++I] : nullptr;
+    };
+    const char *Val;
+    if (Arg == "--inprocess") {
+      InProcess = true;
+    } else if (Arg == "--socket" && (Val = Next())) {
+      SocketPath = Val;
+    } else if (Arg == "--clients" && (Val = Next()) &&
+               parseSize(Val, Load.Clients)) {
+    } else if (Arg == "--requests" && (Val = Next()) &&
+               parseSize(Val, Load.RequestsPerClient)) {
+    } else if (Arg == "--programs" && (Val = Next()) &&
+               parseSize(Val, Load.Programs)) {
+    } else if (Arg == "--pipeline" && (Val = Next()) &&
+               parseSize(Val, Load.PipelineDepth)) {
+    } else if (Arg == "--queue-depth" && (Val = Next()) &&
+               parseSize(Val, QueueDepth)) {
+    } else if (Arg == "--no-timeouts") {
+      Load.TimeoutPeriod = 0;
+    } else if (Arg == "--json") {
+      Json = true;
+    } else if (Arg == "--shutdown") {
+      SendShutdown = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (InProcess == !SocketPath.empty())
+    return usage(argv[0]); // Exactly one transport.
+
+  LoadReport Report;
+  if (InProcess) {
+    ServerOptions SOpts;
+    SOpts.MaxQueueDepth = QueueDepth;
+    Server Srv(SOpts);
+    Report = runLoad(
+        [&](size_t) { return std::make_unique<InProcessClient>(Srv); },
+        Load);
+  } else {
+    Report = runLoad(
+        [&](size_t) { return connectClient(SocketPath); }, Load);
+    if (SendShutdown) {
+      if (std::unique_ptr<Client> Cl = connectClient(SocketPath)) {
+        Request R;
+        R.K = Request::Kind::Shutdown;
+        Result<std::vector<Response>> Resp = Cl->exchange({R});
+        if (!Resp || Resp->size() != 1 ||
+            (*Resp)[0].St != Response::Status::Bye)
+          ++Report.ProtocolErrors;
+      } else {
+        ++Report.ProtocolErrors;
+      }
+    }
+  }
+
+  std::printf("%s\n", formatReport(Report, Json).c_str());
+  if (!Report.clean()) {
+    std::fprintf(stderr, "load_driver: FAIL: wrong answers %llu, "
+                         "protocol errors %llu, errors %llu\n",
+                 static_cast<unsigned long long>(Report.WrongAnswers),
+                 static_cast<unsigned long long>(Report.ProtocolErrors),
+                 static_cast<unsigned long long>(Report.Errors));
+    return 1;
+  }
+  return 0;
+}

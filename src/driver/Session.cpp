@@ -417,7 +417,8 @@ size_t Session::perShardCap() const {
       1, (Opts.MaxCachedCompilations + NumShards - 1) / NumShards);
 }
 
-std::shared_ptr<Compilation> Session::buildSource(std::string_view Source) {
+std::shared_ptr<Compilation> Session::buildSource(std::string_view Source,
+                                                  CompileOutcome &Outcome) {
   uint64_t H = hashSource(Source);
 
   // Read-through: a published artifact turns this compile into pure
@@ -429,12 +430,14 @@ std::shared_ptr<Compilation> Session::buildSource(std::string_view Source) {
       if (std::shared_ptr<Compilation> Comp =
               Compilation::deserializeArtifact(*Bytes, Source, Opts)) {
         NumDiskHits.fetch_add(1, std::memory_order_relaxed);
+        Outcome = CompileOutcome::DiskHit;
         return Comp;
       }
     }
     NumDiskMisses.fetch_add(1, std::memory_order_relaxed);
   }
 
+  Outcome = CompileOutcome::FrontEnd;
   auto Comp = std::shared_ptr<Compilation>(new Compilation(Opts));
   Comp->compileSource(Source);
   NumCompilations.fetch_add(1, std::memory_order_relaxed);
@@ -477,9 +480,24 @@ void Session::flushStoreWrites() {
   StoreFlushCV.wait(Lock, [this] { return PendingStoreWrites == 0; });
 }
 
+size_t Session::evictStore(size_t MaxEntries, uint64_t MaxBytes) {
+  if (!Store)
+    return 0;
+  size_t N = Store->evictToBudget(MaxEntries, MaxBytes);
+  if (N)
+    NumDiskEvictions.fetch_add(N, std::memory_order_relaxed);
+  return N;
+}
+
 std::shared_ptr<Compilation> Session::compile(std::string_view Source) {
+  CompileOutcome Outcome;
+  return compile(Source, Outcome);
+}
+
+std::shared_ptr<Compilation> Session::compile(std::string_view Source,
+                                              CompileOutcome &Outcome) {
   if (!Opts.EnableCache)
-    return buildSource(Source);
+    return buildSource(Source, Outcome);
 
   uint64_t H = hashSource(Source);
   Shard &Sh = Shards[H % NumShards];
@@ -532,12 +550,16 @@ std::shared_ptr<Compilation> Session::compile(std::string_view Source) {
     }
   }
 
-  if (!Owner)
+  if (!Owner) {
+    // Both the found-in-cache case and a wait on an identical in-flight
+    // compile count (and report) as memory hits.
+    Outcome = CompileOutcome::CacheHit;
     return Fut.get(); // Blocks only while the winner is still building.
+  }
 
   std::shared_ptr<Compilation> Comp;
   try {
-    Comp = buildSource(Source);
+    Comp = buildSource(Source, Outcome);
   } catch (...) {
     // Wake current waiters with the failure, but drop the entry so the
     // source retries fresh instead of rethrowing a stale exception on
@@ -619,10 +641,16 @@ Session::WorkerPool &Session::pool() {
 }
 
 std::future<std::shared_ptr<Compilation>>
-Session::compileAsync(std::string_view Source) {
+Session::compileAsync(std::string_view Source, CompileOutcome *Outcome) {
   auto Task =
       std::make_shared<std::packaged_task<std::shared_ptr<Compilation>()>>(
-          [this, Src = std::string(Source)] { return compile(Src); });
+          [this, Src = std::string(Source), Outcome] {
+            CompileOutcome Local;
+            std::shared_ptr<Compilation> Comp = compile(Src, Local);
+            if (Outcome)
+              *Outcome = Local; // Happens-before the future's readiness.
+            return Comp;
+          });
   std::future<std::shared_ptr<Compilation>> Fut = Task->get_future();
   pool().submit([Task] { (*Task)(); });
   return Fut;
@@ -637,8 +665,20 @@ Session::runAll(std::span<const RunRequest> Requests) {
     // caller's span may die while later tasks are still queued.
     auto Task = std::make_shared<std::packaged_task<RunResult()>>(
         [this, Req] {
-          std::shared_ptr<Compilation> Comp = compile(Req.Source);
+          CompileOutcome Outcome;
+          std::shared_ptr<Compilation> Comp = compile(Req.Source, Outcome);
+          if (Req.Outcome)
+            *Req.Outcome = Outcome; // Published by the future below.
           Executor Ex(Comp);
+          if (Req.Fuel) {
+            // The per-request deadline: whichever backend runs, it stops
+            // (with Status::OutOfFuel) after this many of its own steps.
+            CompileOptions &O = Ex.options();
+            O.MaxInterpSteps = *Req.Fuel;
+            O.MaxMachineSteps = *Req.Fuel;
+            O.MaxVmSteps = *Req.Fuel;
+            O.MaxFormalSteps = static_cast<size_t>(*Req.Fuel);
+          }
           return Ex.run(Req.Name, Req.B.value_or(Opts.DefaultBackend));
         });
     Futures.push_back(Task->get_future());

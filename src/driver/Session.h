@@ -96,6 +96,16 @@ enum class Backend : uint8_t {
 
 std::string_view backendName(Backend B);
 
+/// How a Session::compile call was satisfied — the per-call counterpart
+/// of the session-wide Stats counters, so multi-tenant front ends
+/// (server/Server.h) can attribute cache behaviour to the caller.
+enum class CompileOutcome : uint8_t {
+  FrontEnd, ///< Built by the front end (a true miss everywhere).
+  CacheHit, ///< Served from the in-memory cache (including waits on an
+            ///< identical in-flight compile).
+  DiskHit   ///< Rehydrated from the on-disk `.levc` store.
+};
+
 /// Knobs for a Session. One options struct covers both pipelines.
 struct CompileOptions {
   /// Backend used by run() calls that do not name one explicitly.
@@ -517,11 +527,19 @@ public:
   /// returns the cached Compilation.
   std::shared_ptr<Compilation> compile(std::string_view Source);
 
+  /// Like compile(), additionally reporting *how* this call was served
+  /// (front end, memory hit, disk hit) so callers fronting many tenants
+  /// can attribute cache behaviour per caller. The outcome corresponds
+  /// 1:1 with the Stats counter this call bumped.
+  std::shared_ptr<Compilation> compile(std::string_view Source,
+                                       CompileOutcome &Outcome);
+
   /// Like compile(), but dispatched onto the session's worker pool;
   /// returns immediately. The future yields the same cached Compilation
-  /// a synchronous compile would.
+  /// a synchronous compile would. When \p Outcome is non-null it is
+  /// written before the future becomes ready (read it only after get()).
   std::future<std::shared_ptr<Compilation>>
-  compileAsync(std::string_view Source);
+  compileAsync(std::string_view Source, CompileOutcome *Outcome = nullptr);
 
   /// Wraps a programmatically-built core program (e.g. the Samples
   /// builders) in a Compilation, so core-IR workloads ride the same
@@ -542,6 +560,15 @@ public:
     std::string Source;            ///< Program text (cached as usual).
     std::string Name;              ///< Top-level binding to evaluate.
     std::optional<Backend> B;      ///< Defaults to the session backend.
+    /// Per-request step budget: overrides every backend's fuel knob for
+    /// this run, so a batch front end can impose a deadline per request
+    /// (fuel exhaustion comes back as Status::OutOfFuel — the typed
+    /// TIMEOUT signal — never as a wedged worker).
+    std::optional<uint64_t> Fuel;
+    /// When non-null, receives how this request's compile was served
+    /// (written before the run executes; the pointee must outlive the
+    /// runAll call).
+    CompileOutcome *Outcome = nullptr;
   };
   /// Batch entry point: compiles and runs every request on the worker
   /// pool (sharing the cache, so duplicate sources compile once) and
@@ -582,6 +609,13 @@ public:
   /// (The destructor also drains pending writes.)
   void flushStoreWrites();
 
+  /// Enforces the on-disk store budgets *now* (the server's EVICT
+  /// request): removes oldest-modified `.levc` entries until at most
+  /// \p MaxEntries remain and their total size fits \p MaxBytes (0 =
+  /// unbounded for either). Counted in Stats::DiskEvictions. Returns the
+  /// number of entries removed; 0 when no store is configured.
+  size_t evictStore(size_t MaxEntries, uint64_t MaxBytes);
+
   /// FNV-1a — the cache and artifact-store key for compile().
   static uint64_t hashSource(std::string_view Source);
 
@@ -589,7 +623,8 @@ private:
   struct Shard;
   struct WorkerPool;
 
-  std::shared_ptr<Compilation> buildSource(std::string_view Source);
+  std::shared_ptr<Compilation> buildSource(std::string_view Source,
+                                           CompileOutcome &Outcome);
   /// Serializes \p Comp and publishes it in the store under \p Hash,
   /// then enforces MaxStoredArtifacts. Runs on the worker pool.
   void writeArtifact(const std::shared_ptr<Compilation> &Comp,

@@ -1,0 +1,168 @@
+//===- Net.cpp - Local-socket and fd I/O helpers for levityd --------------===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Net.h"
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#define LEVITY_HAVE_SOCKETS 1
+#endif
+
+using namespace levity;
+using namespace levity::server;
+
+bool server::haveSockets() {
+#if defined(LEVITY_HAVE_SOCKETS)
+  return true;
+#else
+  return false;
+#endif
+}
+
+#if defined(LEVITY_HAVE_SOCKETS)
+
+namespace {
+Err sysErr(const char *What) {
+  return err(std::string(What) + ": " + std::strerror(errno));
+}
+} // namespace
+
+Result<int> server::unixListen(const std::string &Path, int Backlog) {
+  if (Path.size() >= sizeof(sockaddr_un{}.sun_path))
+    return err("socket path too long: " + Path);
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return sysErr("socket");
+  ::unlink(Path.c_str()); // The daemon owns its socket path.
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  std::strncpy(Addr.sun_path, Path.c_str(), sizeof(Addr.sun_path) - 1);
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    Err E = sysErr("bind");
+    closeFd(Fd);
+    return E;
+  }
+  if (::listen(Fd, Backlog) != 0) {
+    Err E = sysErr("listen");
+    closeFd(Fd);
+    return E;
+  }
+  return Fd;
+}
+
+Result<int> server::unixConnect(const std::string &Path) {
+  if (Path.size() >= sizeof(sockaddr_un{}.sun_path))
+    return err("socket path too long: " + Path);
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return sysErr("socket");
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  std::strncpy(Addr.sun_path, Path.c_str(), sizeof(Addr.sun_path) - 1);
+  int Rc;
+  do {
+    Rc = ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr));
+  } while (Rc != 0 && errno == EINTR);
+  if (Rc != 0) {
+    Err E = sysErr("connect");
+    closeFd(Fd);
+    return E;
+  }
+  return Fd;
+}
+
+Result<int> server::acceptWithTimeout(int ListenFd, int TimeoutMillis) {
+  pollfd P{ListenFd, POLLIN, 0};
+  int Rc;
+  do {
+    Rc = ::poll(&P, 1, TimeoutMillis);
+  } while (Rc < 0 && errno == EINTR);
+  if (Rc < 0)
+    return sysErr("poll");
+  if (Rc == 0)
+    return -1; // Timeout: the caller re-checks its shutdown flag.
+  int Fd;
+  do {
+    Fd = ::accept(ListenFd, nullptr, nullptr);
+  } while (Fd < 0 && errno == EINTR);
+  if (Fd < 0)
+    return sysErr("accept");
+  return Fd;
+}
+
+Result<size_t> server::readSome(int Fd, char *Buf, size_t Max) {
+  ssize_t N;
+  do {
+    N = ::read(Fd, Buf, Max);
+  } while (N < 0 && errno == EINTR);
+  if (N < 0)
+    return sysErr("read");
+  return static_cast<size_t>(N);
+}
+
+Result<size_t> server::readSomeWithTimeout(int Fd, char *Buf, size_t Max,
+                                           int TimeoutMillis) {
+  pollfd P{Fd, POLLIN, 0};
+  int Rc;
+  do {
+    Rc = ::poll(&P, 1, TimeoutMillis);
+  } while (Rc < 0 && errno == EINTR);
+  if (Rc < 0)
+    return sysErr("poll");
+  if (Rc == 0)
+    return SIZE_MAX; // Timeout sentinel; not EOF.
+  return readSome(Fd, Buf, Max);
+}
+
+Result<bool> server::writeAll(int Fd, std::string_view Bytes) {
+  while (!Bytes.empty()) {
+    ssize_t N = ::write(Fd, Bytes.data(), Bytes.size());
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return sysErr("write");
+    }
+    Bytes.remove_prefix(static_cast<size_t>(N));
+  }
+  return true;
+}
+
+void server::closeFd(int Fd) {
+  if (Fd >= 0)
+    ::close(Fd);
+}
+
+#else // !LEVITY_HAVE_SOCKETS
+
+Result<int> server::unixListen(const std::string &, int) {
+  return err("unix-domain sockets unavailable on this platform");
+}
+Result<int> server::unixConnect(const std::string &) {
+  return err("unix-domain sockets unavailable on this platform");
+}
+Result<int> server::acceptWithTimeout(int, int) {
+  return err("unix-domain sockets unavailable on this platform");
+}
+Result<size_t> server::readSome(int, char *, size_t) {
+  return err("fd I/O unavailable on this platform");
+}
+Result<size_t> server::readSomeWithTimeout(int, char *, size_t, int) {
+  return err("fd I/O unavailable on this platform");
+}
+Result<bool> server::writeAll(int, std::string_view) {
+  return err("fd I/O unavailable on this platform");
+}
+void server::closeFd(int) {}
+
+#endif

@@ -1,0 +1,69 @@
+//===- Net.h - Local-socket and fd I/O helpers for levityd ------*- C++ -*-===//
+//
+// Part of the levity project: a C++ reproduction of "Levity Polymorphism"
+// (Eisenberg & Peyton Jones, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The thin POSIX layer under server/Server.h: Unix-domain listen/
+/// connect/accept plus EINTR-hardened read/write loops. A long-lived
+/// daemon takes signals as a matter of course, so *every* syscall here
+/// retries EINTR — an interrupted read must never surface as a dropped
+/// connection or a protocol error (the same discipline
+/// support/FileOps.h applies to the artifact store).
+///
+/// On non-POSIX builds the socket entry points fail with a descriptive
+/// error and the server degrades to its stdin/stdout REPL, which is
+/// pure iostream.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LEVITY_SERVER_NET_H
+#define LEVITY_SERVER_NET_H
+
+#include "support/Result.h"
+
+#include <string>
+#include <string_view>
+
+namespace levity {
+namespace server {
+
+/// True when this build has Unix-domain sockets (POSIX).
+bool haveSockets();
+
+/// Creates, binds, and listens on a Unix-domain socket at \p Path (an
+/// existing socket file is unlinked first — levityd owns its path).
+/// Returns the listening fd.
+Result<int> unixListen(const std::string &Path, int Backlog = 64);
+
+/// Connects to the Unix-domain socket at \p Path; returns the fd.
+Result<int> unixConnect(const std::string &Path);
+
+/// Waits up to \p TimeoutMillis for \p ListenFd to become acceptable,
+/// then accepts. Returns -1 on timeout (no error) so callers can poll a
+/// shutdown flag between waits; EINTR retries internally.
+Result<int> acceptWithTimeout(int ListenFd, int TimeoutMillis);
+
+/// Reads up to \p Max bytes into \p Buf, retrying EINTR. Returns the
+/// byte count (0 = orderly EOF). Blocks until data, EOF, or error.
+Result<size_t> readSome(int Fd, char *Buf, size_t Max);
+
+/// Like readSome but gives up after \p TimeoutMillis with
+/// a "timeout" sentinel: returns SIZE_MAX so callers can re-check
+/// shutdown flags without treating the wait as EOF.
+Result<size_t> readSomeWithTimeout(int Fd, char *Buf, size_t Max,
+                                   int TimeoutMillis);
+
+/// Writes all of \p Bytes, retrying EINTR and short writes.
+Result<bool> writeAll(int Fd, std::string_view Bytes);
+
+/// Closes \p Fd, retrying nothing (POSIX close must not be retried on
+/// EINTR); no-op for negative fds.
+void closeFd(int Fd);
+
+} // namespace server
+} // namespace levity
+
+#endif // LEVITY_SERVER_NET_H

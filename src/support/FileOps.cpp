@@ -28,7 +28,77 @@ using namespace levity::support;
 
 namespace fs = std::filesystem;
 
+#if defined(LEVITY_HAVE_FLOCK)
+namespace {
+
+// POSIX I/O with EINTR retries: a signal (profiler tick, SIGCHLD from a
+// harness, a debugger attach) landing mid-syscall must never surface as
+// a store read/write failure. close() is deliberately called once —
+// after EINTR its fd state is unspecified, and retrying can close a
+// descriptor another thread just opened.
+
+int openRetry(const char *Path, int Flags, mode_t Mode = 0) {
+  int Fd;
+  do {
+    Fd = ::open(Path, Flags, Mode);
+  } while (Fd < 0 && errno == EINTR);
+  return Fd;
+}
+
+bool readAllFd(int Fd, std::string &Out) {
+  char Buf[1 << 16];
+  for (;;) {
+    ssize_t N;
+    do {
+      N = ::read(Fd, Buf, sizeof(Buf));
+    } while (N < 0 && errno == EINTR);
+    if (N < 0)
+      return false;
+    if (N == 0)
+      return true;
+    Out.append(Buf, static_cast<size_t>(N));
+  }
+}
+
+bool writeAllFd(int Fd, std::string_view Bytes) {
+  while (!Bytes.empty()) {
+    ssize_t N = ::write(Fd, Bytes.data(), Bytes.size());
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Bytes.remove_prefix(static_cast<size_t>(N));
+  }
+  return true;
+}
+
+int fsyncRetry(int Fd) {
+  int Rc;
+  do {
+    Rc = ::fsync(Fd);
+  } while (Rc != 0 && errno == EINTR);
+  return Rc;
+}
+
+} // namespace
+#endif // LEVITY_HAVE_FLOCK
+
 Result<std::string> support::readFileBinary(const std::string &Path) {
+#if defined(LEVITY_HAVE_FLOCK)
+  int Fd = openRetry(Path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (Fd < 0)
+    return err("cannot open '" + Path + "' for reading: " +
+               std::strerror(errno));
+  std::string Bytes;
+  bool Ok = readAllFd(Fd, Bytes);
+  int ReadErrno = errno;
+  ::close(Fd);
+  if (!Ok)
+    return err("read error on '" + Path + "': " +
+               std::strerror(ReadErrno));
+  return Bytes;
+#else
   std::ifstream In(Path, std::ios::binary);
   if (!In)
     return err("cannot open '" + Path + "' for reading");
@@ -37,6 +107,7 @@ Result<std::string> support::readFileBinary(const std::string &Path) {
   if (In.bad())
     return err("read error on '" + Path + "'");
   return Bytes;
+#endif
 }
 
 Result<bool> support::ensureDirectories(const std::string &Path) {
@@ -78,6 +149,27 @@ Result<bool> support::writeFileAtomic(const std::string &Path,
   fs::path Tmp = Target;
   Tmp += ".tmp." + std::to_string(Pid) + "." + std::to_string(Seq);
 
+#if defined(LEVITY_HAVE_FLOCK)
+  {
+    int Fd = openRetry(Tmp.c_str(),
+                       O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (Fd < 0)
+      return err("cannot open temp file '" + Tmp.string() +
+                 "' for writing: " + std::strerror(errno));
+    bool Ok = writeAllFd(Fd, Bytes);
+    // Flush the data to stable storage before publishing the name, so a
+    // crash after the rename cannot surface an empty (but named)
+    // artifact.
+    Ok = Ok && fsyncRetry(Fd) == 0;
+    int WriteErrno = errno;
+    ::close(Fd);
+    if (!Ok) {
+      removeFile(Tmp.string());
+      return err("write error on temp file '" + Tmp.string() + "': " +
+                 std::strerror(WriteErrno));
+    }
+  }
+#else
   {
     std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
     if (!Out)
@@ -88,14 +180,6 @@ Result<bool> support::writeFileAtomic(const std::string &Path,
       removeFile(Tmp.string());
       return err("write error on temp file '" + Tmp.string() + "'");
     }
-  }
-
-#if defined(LEVITY_HAVE_FLOCK)
-  // Flush the data to stable storage before publishing the name, so a
-  // crash after the rename cannot surface an empty (but named) artifact.
-  if (int Fd = ::open(Tmp.c_str(), O_RDONLY); Fd >= 0) {
-    ::fsync(Fd);
-    ::close(Fd);
   }
 #endif
 
@@ -111,10 +195,16 @@ Result<bool> support::writeFileAtomic(const std::string &Path,
 
 FileLock::FileLock(const std::string &LockPath) {
 #if defined(LEVITY_HAVE_FLOCK)
-  Fd = ::open(LockPath.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+  Fd = openRetry(LockPath.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
   if (Fd < 0)
     return;
-  if (::flock(Fd, LOCK_EX) != 0) {
+  // flock blocks until granted, so a signal interrupting the wait is
+  // routine — retry rather than degrade to an unlocked write.
+  int Rc;
+  do {
+    Rc = ::flock(Fd, LOCK_EX);
+  } while (Rc != 0 && errno == EINTR);
+  if (Rc != 0) {
     ::close(Fd);
     Fd = -1;
   }

@@ -24,6 +24,11 @@
 /// across processes (flock) and within one (the lock is on the open file
 /// description, which each FileLock owns privately).
 ///
+/// All POSIX paths are signal-hardened: open/read/write/fsync/flock
+/// retry on EINTR, so a profiler tick or harness signal landing
+/// mid-syscall never surfaces as a spurious store failure (close is
+/// called exactly once — its post-EINTR state is unspecified).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LEVITY_SUPPORT_FILEOPS_H

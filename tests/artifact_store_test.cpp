@@ -30,6 +30,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 #include <thread>
@@ -492,6 +493,69 @@ TEST(ArtifactStoreTest, ConcurrentWarmersShareOneStoreSafely) {
   Session::Stats St = Cold.stats();
   EXPECT_EQ(St.DiskHits, uint64_t(NumThreads * PerThread));
   EXPECT_EQ(St.Compilations, 0u);
+  fs::remove_all(Dir);
+}
+
+TEST(ArtifactStoreTest, EvictionRacingReadThroughLosesNoResults) {
+  // Store eviction racing read-through compiles (the server's EVICT
+  // request against live traffic; TSan-covered in CI). Two reader
+  // threads compile a program rotation through an EnableCache=false
+  // session — every compile is a genuine store lookup — while an
+  // evictor thread hammers evictStore(1, 0). An entry evicted under a
+  // reader must be *just a miss* (recompile + re-publish): no failed
+  // compile, no wrong value, and the ledgers stay exact.
+  std::string Dir = freshStoreDir("evict-race");
+  CompileOptions Opts = storeOptions(Dir);
+  Opts.EnableCache = false;
+  Session S(Opts);
+
+  constexpr int Rounds = 25, NumPrograms = 6, NumReaders = 2;
+  auto Src = [](int I) {
+    return "answer = " + std::to_string(I) + "# *# 7#";
+  };
+
+  std::atomic<bool> Stop{false};
+  std::atomic<uint64_t> Evicted{0};
+  std::thread Evictor([&] {
+    while (!Stop.load(std::memory_order_relaxed)) {
+      Evicted.fetch_add(S.evictStore(1, 0), std::memory_order_relaxed);
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> Readers;
+  for (int T = 0; T != NumReaders; ++T)
+    Readers.emplace_back([&] {
+      for (int R = 0; R != Rounds; ++R)
+        for (int I = 0; I != NumPrograms; ++I) {
+          auto Comp = S.compile(Src(I));
+          ASSERT_TRUE(Comp->ok()) << Comp->diagText();
+          RunResult RR = Comp->run("answer", Backend::AbstractMachine);
+          ASSERT_TRUE(RR.ok()) << RR.Error;
+          EXPECT_EQ(RR.IntValue.value_or(-1), I * 7);
+        }
+    });
+  for (std::thread &T : Readers)
+    T.join();
+  Stop.store(true, std::memory_order_relaxed);
+  Evictor.join();
+  S.flushStoreWrites();
+  // One deterministic final pass: all six programs were published at
+  // least once, so either the racing evictor already removed entries or
+  // this call finds several to remove — either way the race happened
+  // and the eviction ledger is non-zero.
+  Evicted.fetch_add(S.evictStore(1, 0), std::memory_order_relaxed);
+
+  // Counter consistency: every compile was exactly one store lookup,
+  // every miss was one front-end run, and the eviction ledger matches
+  // what the evictor actually removed (write-behind publication never
+  // evicts here — both store budgets are unbounded).
+  Session::Stats St = S.stats();
+  EXPECT_EQ(St.DiskHits + St.DiskMisses,
+            uint64_t(NumReaders * Rounds * NumPrograms));
+  EXPECT_EQ(St.Compilations, St.DiskMisses);
+  EXPECT_EQ(St.DiskEvictions, Evicted.load());
+  EXPECT_GT(St.DiskEvictions, 0u); // The race genuinely happened.
   fs::remove_all(Dir);
 }
 

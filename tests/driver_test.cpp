@@ -25,6 +25,7 @@
 #include <gtest/gtest.h>
 
 #include <type_traits>
+#include <vector>
 
 using namespace levity;
 using namespace levity::driver;
@@ -599,6 +600,115 @@ TEST(DriverTest, IllTypedFormalTermFailsWithTypeError) {
   });
   EXPECT_FALSE(Comp->ok());
   EXPECT_TRUE(Comp->diags().hasError(DiagCode::TypeError));
+}
+
+//===----------------------------------------------------------------------===//
+// Fuel exhaustion: the typed deadline signal, pinned per backend
+//===----------------------------------------------------------------------===//
+
+const char *LoopTotalSrc =
+    "sumToH :: Int# -> Int# -> Int# ;"
+    "sumToH acc n = case n of {"
+    "  0# -> acc ; _ -> sumToH (acc +# n) (n -# 1#)"
+    "} ;"
+    "total = sumToH 0# 1000#";
+
+TEST(DriverTest, FuelExhaustionIsPinnedPerBackend) {
+  // Every backend maps its step budget running out to the SAME result:
+  // Status::OutOfFuel with the pinned "out of fuel" reason. The server
+  // turns exactly this pair into a typed TIMEOUT response, so it is a
+  // wire contract, not a wording choice.
+  Session S;
+  auto Comp = S.compile(LoopTotalSrc);
+  ASSERT_TRUE(Comp->ok()) << Comp->diagText();
+
+  for (Backend B : {Backend::TreeInterp, Backend::AbstractMachine,
+                    Backend::Bytecode}) {
+    Executor Ex(Comp);
+    Ex.options().MaxInterpSteps = 1;
+    Ex.options().MaxMachineSteps = 1;
+    Ex.options().MaxVmSteps = 1;
+    RunResult R = Ex.run("total", B);
+    EXPECT_EQ(R.St, RunResult::Status::OutOfFuel)
+        << "backend " << backendName(B);
+    EXPECT_EQ(R.Error, "out of fuel") << "backend " << backendName(B);
+    EXPECT_EQ(R.Used, B) << "backend " << backendName(B);
+    EXPECT_FALSE(R.ok());
+  }
+}
+
+TEST(DriverTest, RunAllPerRequestFuelIsADeadline) {
+  // RunRequest::Fuel overrides every backend's budget for that request
+  // only: starved requests come back OutOfFuel while an unstarved
+  // request for the same program still completes.
+  Session S;
+  std::vector<Session::RunRequest> Reqs;
+  for (Backend B : {Backend::TreeInterp, Backend::AbstractMachine,
+                    Backend::Bytecode}) {
+    Session::RunRequest R;
+    R.Source = LoopTotalSrc;
+    R.Name = "total";
+    R.B = B;
+    R.Fuel = 1;
+    Reqs.push_back(std::move(R));
+  }
+  Session::RunRequest Full;
+  Full.Source = LoopTotalSrc;
+  Full.Name = "total";
+  Full.B = Backend::Bytecode;
+  Reqs.push_back(std::move(Full));
+
+  std::vector<RunResult> Results = S.runAll(Reqs);
+  ASSERT_EQ(Results.size(), 4u);
+  for (size_t I = 0; I != 3; ++I) {
+    EXPECT_EQ(Results[I].St, RunResult::Status::OutOfFuel) << I;
+    EXPECT_EQ(Results[I].Error, "out of fuel") << I;
+  }
+  ASSERT_TRUE(Results[3].ok()) << Results[3].Error;
+  EXPECT_EQ(Results[3].IntValue.value_or(-1), 500500);
+}
+
+TEST(DriverTest, CompileReportsPerCallOutcome) {
+  // The CompileOutcome out-param attributes each call exactly: first
+  // compile is FrontEnd, repeats are CacheHit, and the outcomes
+  // reconcile with the session counters.
+  Session S;
+  CompileOutcome O1, O2;
+  auto A = S.compile(QuickstartSrc, O1);
+  auto B = S.compile(QuickstartSrc, O2);
+  ASSERT_TRUE(A->ok());
+  EXPECT_EQ(A.get(), B.get());
+  EXPECT_EQ(O1, CompileOutcome::FrontEnd);
+  EXPECT_EQ(O2, CompileOutcome::CacheHit);
+
+  Session::Stats St = S.stats();
+  EXPECT_EQ(St.Compilations, 1u);
+  EXPECT_EQ(St.CacheHits, 1u);
+}
+
+TEST(DriverTest, RunAllWritesOutcomes) {
+  Session S;
+  CompileOutcome O[2] = {};
+  std::vector<Session::RunRequest> Reqs(2);
+  Reqs[0].Source = QuickstartSrc;
+  Reqs[0].Name = "answer";
+  Reqs[0].Outcome = &O[0];
+  Reqs[1].Source = QuickstartSrc;
+  Reqs[1].Name = "answer";
+  Reqs[1].Outcome = &O[1];
+
+  std::vector<RunResult> Results = S.runAll(Reqs);
+  ASSERT_EQ(Results.size(), 2u);
+  EXPECT_TRUE(Results[0].ok() && Results[1].ok());
+  // Identical sources race for ownership: exactly one FrontEnd build,
+  // the other call is attributed to the cache (possibly by waiting on
+  // the winner's in-flight compile).
+  int FrontEnds = (O[0] == CompileOutcome::FrontEnd) +
+                  (O[1] == CompileOutcome::FrontEnd);
+  int CacheHits = (O[0] == CompileOutcome::CacheHit) +
+                  (O[1] == CompileOutcome::CacheHit);
+  EXPECT_EQ(FrontEnds, 1);
+  EXPECT_EQ(CacheHits, 1);
 }
 
 TEST(DriverTest, FormalPrimopsAgreeAcrossSemantics) {

@@ -7,10 +7,21 @@
 
 #include "support/Arena.h"
 #include "support/Diagnostics.h"
+#include "support/FileOps.h"
 #include "support/Result.h"
 #include "support/Symbol.h"
 
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <csignal>
+#include <pthread.h>
+#endif
 
 using namespace levity;
 
@@ -143,5 +154,53 @@ TEST(ResultTest, HoldsValueOrError) {
   ASSERT_FALSE(Bad.ok());
   EXPECT_EQ(Bad.error(), "nope");
 }
+
+#if defined(__unix__) || defined(__APPLE__)
+
+// FileOps must survive signals landing mid-syscall: open/read/write/
+// fsync/flock all retry on EINTR. A hammer thread pounds this thread
+// with SIGUSR1 (installed WITHOUT SA_RESTART, so syscalls genuinely
+// return EINTR) while the store primitives cycle lock → write → read.
+TEST(FileOpsSignalTest, PrimitivesSurviveSignalStorm) {
+  struct sigaction SA {}, Old {};
+  SA.sa_handler = [](int) {};
+  sigemptyset(&SA.sa_mask);
+  SA.sa_flags = 0; // No SA_RESTART: EINTR for real.
+  ASSERT_EQ(sigaction(SIGUSR1, &SA, &Old), 0);
+
+  std::string Dir = (std::filesystem::temp_directory_path() /
+                     "levity-fileops-signal-storm")
+                        .string();
+  std::filesystem::remove_all(Dir);
+  ASSERT_TRUE(support::ensureDirectories(Dir).ok());
+
+  std::atomic<bool> Stop{false};
+  pthread_t Victim = pthread_self();
+  std::thread Hammer([&] {
+    while (!Stop.load(std::memory_order_relaxed)) {
+      pthread_kill(Victim, SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::microseconds(20));
+    }
+  });
+
+  std::string Payload(1 << 16, 'x');
+  for (int I = 0; I != 200; ++I) {
+    std::string P = Dir + "/f" + std::to_string(I % 8) + ".bin";
+    support::FileLock L(Dir + "/.lock");
+    EXPECT_TRUE(L.locked());
+    Result<bool> W = support::writeFileAtomic(P, Payload);
+    ASSERT_TRUE(W.ok()) << W.error();
+    Result<std::string> R = support::readFileBinary(P);
+    ASSERT_TRUE(R.ok()) << R.error();
+    EXPECT_EQ(R->size(), Payload.size());
+  }
+
+  Stop.store(true, std::memory_order_relaxed);
+  Hammer.join();
+  sigaction(SIGUSR1, &Old, nullptr);
+  std::filesystem::remove_all(Dir);
+}
+
+#endif // __unix__ || __APPLE__
 
 } // namespace
