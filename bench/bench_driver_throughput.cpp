@@ -41,7 +41,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <string>
@@ -112,13 +114,22 @@ void BM_RunTreeWarm(benchmark::State &State) {
   // One Executor per benchmark thread: the artifact is shared, the run
   // state is not. Global thunks memoize, so this is the hot-lookup path.
   Executor Ex(fixture().Quickstart);
+  uint64_t PeakCells = 0, PeakBytes = 0;
   for (auto _ : State) {
     RunResult R = Ex.run("answer", Backend::TreeInterp);
     if (!R.ok())
       State.SkipWithError(R.Error.c_str());
+    PeakCells = std::max(PeakCells, R.peakHeapCells());
+    PeakBytes = std::max(PeakBytes, R.peakHeapBytes());
     benchmark::DoNotOptimize(R.IntValue);
   }
   State.SetItemsProcessed(State.iterations());
+  // Flat across iterations by construction (run epochs); a growth here
+  // is the long-lived-Executor leak coming back.
+  State.counters["peak_heap_cells"] = benchmark::Counter(
+      static_cast<double>(PeakCells), benchmark::Counter::kAvgThreads);
+  State.counters["peak_heap_bytes"] = benchmark::Counter(
+      static_cast<double>(PeakBytes), benchmark::Counter::kAvgThreads);
 }
 
 void BM_RunTreeCold(benchmark::State &State) {
@@ -136,16 +147,24 @@ void BM_RunTreeCold(benchmark::State &State) {
 }
 
 void BM_RunMachine(benchmark::State &State) {
-  // The machine replays from an empty heap every run; concurrent runs
-  // allocate fresh terms into the shared (synchronized) MContext.
+  // The machine replays from an empty heap every run into its
+  // executor's run-scoped MContext (reset per run, so the arena peak is
+  // the per-run footprint, not cumulative churn).
   Executor Ex(fixture().Quickstart);
+  uint64_t PeakCells = 0, PeakBytes = 0;
   for (auto _ : State) {
     RunResult R = Ex.run("answer", Backend::AbstractMachine);
     if (!R.ok())
       State.SkipWithError(R.Error.c_str());
+    PeakCells = std::max(PeakCells, R.peakHeapCells());
+    PeakBytes = std::max(PeakBytes, R.peakHeapBytes());
     benchmark::DoNotOptimize(R.IntValue);
   }
   State.SetItemsProcessed(State.iterations());
+  State.counters["peak_heap_cells"] = benchmark::Counter(
+      static_cast<double>(PeakCells), benchmark::Counter::kAvgThreads);
+  State.counters["peak_heap_bytes"] = benchmark::Counter(
+      static_cast<double>(PeakBytes), benchmark::Counter::kAvgThreads);
 }
 
 void BM_RunTreeLoop(benchmark::State &State) {
@@ -229,13 +248,17 @@ void BM_RunMachineHydrated(benchmark::State &State) {
     return;
   }
   Executor Ex(Comp);
+  uint64_t PeakBytes = 0;
   for (auto _ : State) {
     RunResult R = Ex.run("total", Backend::AbstractMachine);
     if (!R.ok())
       State.SkipWithError(R.Error.c_str());
+    PeakBytes = std::max(PeakBytes, R.peakHeapBytes());
     benchmark::DoNotOptimize(R.IntValue);
   }
   State.SetItemsProcessed(State.iterations());
+  State.counters["peak_heap_bytes"] =
+      static_cast<double>(PeakBytes);
 }
 
 //===----------------------------------------------------------------------===//
@@ -280,8 +303,10 @@ int main(int argc, char **argv) {
   std::printf(
       "Driver throughput: N threads x one Session / one Compilation.\n"
       "Expected shape: cached compiles and tree runs scale with threads;\n"
-      "machine runs share one synchronized term arena; RunAll fans a\n"
-      "32-request batch across the session's worker pool.\n\n");
+      "machine runs replay into per-executor run arenas; RunAll fans a\n"
+      "32-request batch across the session's worker pool. peak_heap_*\n"
+      "counters are per-run footprints and must stay flat across\n"
+      "iterations (the long-lived-Session reclamation guarantee).\n\n");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -29,8 +29,10 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <memory>
+#include <string>
 
 using namespace levity;
 using namespace levity::server;
@@ -48,6 +50,7 @@ void BM_ServerLoad(benchmark::State &State) {
   Load.PipelineDepth = 4;
 
   LoadReport Last;
+  uint64_t PeakCells = 0, PeakBytes = 0;
   for (auto _ : State) {
     ServerOptions Opts;
     Opts.MaxQueueDepth = 256;
@@ -58,6 +61,15 @@ void BM_ServerLoad(benchmark::State &State) {
     if (!Last.clean()) {
       State.SkipWithError("load run was not clean");
       return;
+    }
+    // Snapshot the server-wide peak-heap high-water mark before this
+    // iteration's Server dies (the load generator spreads traffic over
+    // tenants t0..t3). Flat across iterations by construction — every
+    // run recycles its executor's region.
+    for (int T = 0; T != 4; ++T) {
+      TenantStats TS = Srv.tenantStats("t" + std::to_string(T));
+      PeakCells = std::max(PeakCells, TS.PeakHeapCells);
+      PeakBytes = std::max(PeakBytes, TS.PeakHeapBytes);
     }
     benchmark::DoNotOptimize(Last.Requests);
   }
@@ -71,6 +83,8 @@ void BM_ServerLoad(benchmark::State &State) {
   State.counters["wrong_answers"] = static_cast<double>(Last.WrongAnswers);
   State.counters["protocol_errors"] =
       static_cast<double>(Last.ProtocolErrors);
+  State.counters["peak_heap_cells"] = static_cast<double>(PeakCells);
+  State.counters["peak_heap_bytes"] = static_cast<double>(PeakBytes);
 }
 
 BENCHMARK(BM_ServerLoad)

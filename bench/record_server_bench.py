@@ -67,6 +67,12 @@ def main():
             "p99_us": round(c.get("p99_us", 0), 2),
             "busy": c.get("busy", 0),
             "timeouts": c.get("timeouts", 0),
+            # Worst single-run heap footprint any tenant saw (cells in
+            # the executing backend's unit / bytes). Flat across client
+            # counts by construction: runs recycle per-executor regions,
+            # so load scales throughput, not memory.
+            "peak_heap_cells": int(c.get("peak_heap_cells", 0)),
+            "peak_heap_bytes": int(c.get("peak_heap_bytes", 0)),
         }
         if c.get("wrong_answers", 0) != 0:
             failures.append(f"{n} clients: wrong answers")

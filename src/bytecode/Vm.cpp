@@ -118,7 +118,10 @@ VmResult Vm::run(const Module &M, uint64_t MaxSteps) {
   Opers.clear();
   Locals.clear();
   Frames.clear();
-  Heap.clear();
+  // Region-recycle the heap: rewind the cursor instead of destroying the
+  // deque, so steady-state runs reuse prior runs' Objs (and their Fields
+  // capacity) with no per-object allocator traffic.
+  HeapUsed = 0;
   Opers.reserve(256);
   Locals.reserve(1024);
   Frames.reserve(128);
@@ -136,6 +139,36 @@ VmResult Vm::run(const Module &M, uint64_t MaxSteps) {
     while (V.isPtr() && V.P->Kind == Obj::K::Ind)
       V = V.P->Val;
     return V;
+  };
+
+  // Hands out the next region slot, reinitializing a recycled Obj to the
+  // same state emplace_back() would give a fresh one (Fields keeps its
+  // capacity — that is the point).
+  auto AllocObj = [&]() -> Obj & {
+    if (HeapUsed == Heap.size()) {
+      ++HeapUsed;
+      return Heap.emplace_back();
+    }
+    Obj &O = Heap[HeapUsed++];
+    O.Kind = Obj::K::Thunk;
+    O.IsBox = false;
+    O.Tag = 0;
+    O.ProtoIdx = 0;
+    O.Val = Slot();
+    O.Fields.clear();
+    return O;
+  };
+
+  // Live field/capture slots across all heap objects, for the byte-level
+  // peak meter (updated at every alloc, released on thunk update).
+  size_t FieldSlots = 0;
+  auto NoteAlloc = [&](size_t NewFields) {
+    FieldSlots += NewFields;
+    if (HeapUsed > S.MaxHeapObjects)
+      S.MaxHeapObjects = HeapUsed;
+    size_t LiveBytes = HeapUsed * sizeof(Obj) + FieldSlots * sizeof(Slot);
+    if (LiveBytes > S.PeakHeapBytes)
+      S.PeakHeapBytes = LiveBytes;
   };
 
 #define VM_STUCK(Msg)                                                          \
@@ -222,7 +255,10 @@ Dispatch:
       Locals.resize(NewLBase + Q->NumLocals);
       for (size_t J = 0; J != O->Fields.size(); ++J)
         Locals[NewLBase + J] = O->Fields[J];
-      O->Fields.clear();
+      // Keep the captures while blackholed: an aborted run (fuel, stuck,
+      // error) reverts the cell to Thunk at Done, and that is only sound
+      // if the thunk's environment is still intact. The slots are
+      // released on update instead (Return).
       LBase = NewLBase;
       IP = Q->Entry;
       break;
@@ -257,15 +293,14 @@ Dispatch:
 
   VM_CASE(MkClosure) : {
     const Proto &Q = M.Protos[static_cast<uint32_t>(I->C)];
-    Obj &O = Heap.emplace_back();
+    Obj &O = AllocObj();
     O.Kind = Obj::K::Closure;
     O.ProtoIdx = static_cast<uint32_t>(I->C);
     O.Fields.resize(Q.Caps.size());
     for (size_t J = 0; J != Q.Caps.size(); ++J)
       O.Fields[J] = Locals[LBase + Q.Caps[J].Src];
     ++S.Allocations;
-    if (Heap.size() > S.MaxHeapObjects)
-      S.MaxHeapObjects = Heap.size();
+    NoteAlloc(O.Fields.size());
     Opers.push_back(Slot::ofPtr(&O));
   }
   VM_NEXT();
@@ -274,7 +309,7 @@ Dispatch:
     // RECLET: the destination slot is written before captures are
     // copied, so a self-capture ties the knot through the fresh cell.
     const Proto &Q = M.Protos[static_cast<uint32_t>(I->C)];
-    Obj &O = Heap.emplace_back();
+    Obj &O = AllocObj();
     O.Kind = Obj::K::Closure;
     O.ProtoIdx = static_cast<uint32_t>(I->C);
     Locals[LBase + I->B] = Slot::ofPtr(&O);
@@ -283,29 +318,27 @@ Dispatch:
       O.Fields[J] = Locals[LBase + Q.Caps[J].Src];
     ++S.Allocations;
     ++S.Knots;
-    if (Heap.size() > S.MaxHeapObjects)
-      S.MaxHeapObjects = Heap.size();
+    NoteAlloc(O.Fields.size());
   }
   VM_NEXT();
 
   VM_CASE(MkThunk) : {
     const Proto &Q = M.Protos[static_cast<uint32_t>(I->C)];
-    Obj &O = Heap.emplace_back();
+    Obj &O = AllocObj();
     O.Kind = Obj::K::Thunk;
     O.ProtoIdx = static_cast<uint32_t>(I->C);
     O.Fields.resize(Q.Caps.size());
     for (size_t J = 0; J != Q.Caps.size(); ++J)
       O.Fields[J] = Locals[LBase + Q.Caps[J].Src];
     ++S.Allocations;
-    if (Heap.size() > S.MaxHeapObjects)
-      S.MaxHeapObjects = Heap.size();
+    NoteAlloc(O.Fields.size());
     Opers.push_back(Slot::ofPtr(&O));
   }
   VM_NEXT();
 
   VM_CASE(MkThunkRec) : {
     const Proto &Q = M.Protos[static_cast<uint32_t>(I->C)];
-    Obj &O = Heap.emplace_back();
+    Obj &O = AllocObj();
     O.Kind = Obj::K::Thunk;
     O.ProtoIdx = static_cast<uint32_t>(I->C);
     Locals[LBase + I->B] = Slot::ofPtr(&O);
@@ -314,8 +347,7 @@ Dispatch:
       O.Fields[J] = Locals[LBase + Q.Caps[J].Src];
     ++S.Allocations;
     ++S.Knots;
-    if (Heap.size() > S.MaxHeapObjects)
-      S.MaxHeapObjects = Heap.size();
+    NoteAlloc(O.Fields.size());
   }
   VM_NEXT();
 
@@ -386,6 +418,10 @@ Dispatch:
     if (F.Update) {
       F.Update->Kind = Obj::K::Ind;
       F.Update->Val = V;
+      // The captures are dead once the thunk is an indirection (they
+      // were kept through the blackhole phase for abort-retryability).
+      FieldSlots -= F.Update->Fields.size();
+      F.Update->Fields.clear();
       ++S.ThunkUpdates;
     }
     Opers.push_back(V);
@@ -428,15 +464,14 @@ Dispatch:
     Slot V = Opers.back();
     if (!V.isInt())
       VM_STUCK("I# box over a non-integer atom");
-    Obj &O = Heap.emplace_back();
+    Obj &O = AllocObj();
     O.Kind = Obj::K::Con;
     O.IsBox = true;
     O.Tag = 0;
     O.Fields.assign(1, V);
     ++S.Allocations;
     ++S.ConAllocs;
-    if (Heap.size() > S.MaxHeapObjects)
-      S.MaxHeapObjects = Heap.size();
+    NoteAlloc(O.Fields.size());
     Opers.back() = Slot::ofPtr(&O);
   }
   VM_NEXT();
@@ -453,7 +488,7 @@ Dispatch:
 
   VM_CASE(AllocCon) : {
     const uint32_t NF = I->B;
-    Obj &O = Heap.emplace_back();
+    Obj &O = AllocObj();
     O.Kind = Obj::K::Con;
     O.Tag = static_cast<uint32_t>(I->C);
     O.Fields.resize(NF);
@@ -463,8 +498,7 @@ Dispatch:
     }
     ++S.Allocations;
     ++S.ConAllocs;
-    if (Heap.size() > S.MaxHeapObjects)
-      S.MaxHeapObjects = Heap.size();
+    NoteAlloc(O.Fields.size());
     Opers.push_back(Slot::ofPtr(&O));
   }
   VM_NEXT();
@@ -583,6 +617,15 @@ Finished : {
 }
 
 Done:
+  // Abnormal exits (stuck, bottom, out of fuel) abandon the frame stack
+  // with every pending update frame's thunk still blackholed. Revert
+  // them to runnable thunks — captures were kept while blackholed — so
+  // a reused per-Executor Vm can retry the same Compilation: the VM
+  // mirror of the tree interpreter's un-blackhole unwind. Value exits
+  // emptied the stack, so the loop is a no-op there.
+  for (const FrameRec &F : Frames)
+    if (F.Update && F.Update->Kind == Obj::K::Blackhole)
+      F.Update->Kind = Obj::K::Thunk;
   R.Stats = S;
   return R;
 

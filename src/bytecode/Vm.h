@@ -109,6 +109,10 @@ struct VmStats {
   uint64_t Knots = 0;        ///< letrec self-references tied (RECLET).
   uint64_t MaxFrameDepth = 0;  ///< Deepest call stack seen.
   uint64_t MaxHeapObjects = 0; ///< Most live heap objects seen.
+  /// Peak bytes held by live heap objects (object headers plus their
+  /// field/capture slots) — MaxHeapObjects weighted into bytes, sampled
+  /// at every allocation.
+  uint64_t PeakHeapBytes = 0;
 };
 
 /// Outcome of one run, mirroring the machine's observable surface.
@@ -146,7 +150,13 @@ private:
   std::vector<Slot> Opers;
   std::vector<Slot> Locals;
   std::vector<FrameRec> Frames;
-  std::deque<Obj> Heap; ///< Reference-stable object storage.
+  /// Reference-stable object storage, recycled as a region: run() rewinds
+  /// HeapUsed to 0 instead of clearing the deque, so steady-state runs
+  /// reuse already-constructed Objs (and their Fields capacity) with zero
+  /// per-object malloc churn. Heap only grows when a run's live-object
+  /// count exceeds every previous run's.
+  std::deque<Obj> Heap;
+  size_t HeapUsed = 0; ///< Objects of Heap in use by the current run.
 };
 
 } // namespace bytecode

@@ -97,8 +97,15 @@ runtime::Interp &Executor::interp() {
 }
 
 runtime::InterpResult Executor::evalName(std::string_view Name) {
-  core::CoreContext &C = Comp->ctx();
-  return evalExpr(C.var(C.sym(Name)));
+  // Memoize the scratch lookup var per name: a long-lived Executor must
+  // not grow the compilation's shared core arena on every run.
+  std::string Key(Name);
+  auto It = NameExprs.find(Key);
+  if (It == NameExprs.end()) {
+    core::CoreContext &C = Comp->ctx();
+    It = NameExprs.emplace(std::move(Key), C.var(C.sym(Name))).first;
+  }
+  return evalExpr(It->second);
 }
 
 runtime::InterpResult Executor::evalExpr(const core::Expr *E) {
@@ -121,6 +128,13 @@ RunResult Executor::runTree(std::string_view Name) {
                   : "no compiled program to run";
     return R;
   }
+  // Bracket the run in a pool epoch: once the result is extracted below,
+  // the run's Values/EnvNodes are reclaimed wholesale (unless a global
+  // was forced for the first time, which promotes the epoch — see
+  // Interp::beginRunEpoch). interp() is called first so the lazy
+  // build-and-loadProgram allocations land outside the epoch.
+  runtime::Interp &I = interp();
+  runtime::Interp::RunEpochMark Mark = I.beginRunEpoch();
   auto Start = std::chrono::steady_clock::now();
   runtime::InterpResult IR = evalName(Name);
   R.Millis = millisSince(Start);
@@ -151,12 +165,22 @@ RunResult Executor::runTree(std::string_view Name) {
     R.Error = "out of fuel";
     break;
   }
+  // Everything the caller sees (Display, scalars, message) has been
+  // copied into R; the run's pool cells can go.
+  I.endRunEpoch(Mark);
   return R;
 }
 
 //===----------------------------------------------------------------------===//
 // The abstract-machine backend
 //===----------------------------------------------------------------------===//
+
+mcalc::MContext &Executor::runContext() {
+  if (!RunMC)
+    RunMC = std::make_unique<mcalc::MContext>();
+  RunMC->resetRunState();
+  return *RunMC;
+}
 
 RunResult Executor::runMachine(std::string_view Name) {
   RunResult R;
@@ -169,9 +193,11 @@ RunResult Executor::runMachine(std::string_view Name) {
     R.Millis = millisSince(Start);
     return R;
   }
-  // The machine itself is per-run state; the shared MContext only serves
-  // internally-synchronized allocation and fresh names.
-  mcalc::Machine M(Comp->machine().MC);
+  // The machine itself is per-run state. It runs over this executor's
+  // run-scoped MContext (reset each run) rather than the Compilation's
+  // shared one, so run-time substitution terms and heap cells are
+  // reclaimed between runs instead of accumulating in the artifact.
+  mcalc::Machine M(runContext());
   mcalc::MachineResult MR = M.run(*T, Opts.MaxMachineSteps);
   R.Millis = millisSince(Start);
   fillFromMachine(R, MR);
@@ -274,7 +300,6 @@ RunResult Executor::runFormal(Backend B) {
     R.Error = "compilation failed:\n" + Comp->diagText();
     return R;
   }
-  Compilation::MachinePipeline &MP = Comp->machine();
   const lcalc::Expr *Term = Comp->formalTerm();
 
   if (B == Backend::TreeInterp) {
@@ -339,7 +364,7 @@ RunResult Executor::runFormal(Backend B) {
     R.Used = Backend::AbstractMachine;
   }
 
-  mcalc::Machine M(MP.MC);
+  mcalc::Machine M(runContext());
   auto Start = std::chrono::steady_clock::now();
   mcalc::MachineResult MR = M.run(*MTerm, Opts.MaxMachineSteps);
   R.Millis = millisSince(Start);

@@ -44,6 +44,9 @@
 
 #include "driver/Session.h"
 
+#include <string>
+#include <unordered_map>
+
 namespace levity {
 namespace driver {
 
@@ -117,10 +120,27 @@ private:
   /// stacks/heap are reused across runs, like the tree interpreter).
   bytecode::Vm &vm();
 
+  /// This executor's *run-scoped* M context (built on first machine run).
+  /// Machine runs allocate their substitution terms and heap cells here
+  /// instead of the Compilation's shared MContext, and the context is
+  /// reset (arena rewound, name counter restarted) at the start of every
+  /// run — so a long-lived Executor's machine runs plateau instead of
+  /// growing the shared arena forever. Restarting the name counter is
+  /// sound because Symbol identity is per-table: a run-minted "p0" can
+  /// never collide with a compiled term's "p0" (different SymbolTables).
+  /// Everything a run result outlives the reset by (Display text,
+  /// scalars) is copied out of MachineResult before the next run.
+  mcalc::MContext &runContext();
+
   std::shared_ptr<const Compilation> Comp;
   CompileOptions Opts;
   std::unique_ptr<runtime::Interp> TreeInterp;
   std::unique_ptr<bytecode::Vm> BVm;
+  std::unique_ptr<mcalc::MContext> RunMC;
+  /// Memoized lookup vars for evalName: repeated runs of the same global
+  /// reuse one scratch VarExpr instead of growing the compilation's
+  /// shared core arena per run.
+  std::unordered_map<std::string, const core::Expr *> NameExprs;
 };
 
 } // namespace driver

@@ -211,6 +211,34 @@ struct RunResult {
     }
     return 0;
   }
+  /// Peak heap cells the run held, in the executing backend's unit
+  /// (pool Values+EnvNodes / machine heap bindings / VM heap objects),
+  /// dispatched on Used like allocations(). Memory as a measured
+  /// quantity: under the per-Executor run regions this plateaus across
+  /// runs instead of growing.
+  uint64_t peakHeapCells() const {
+    switch (Used) {
+    case Backend::TreeInterp:
+      return Interp.PeakHeapCells;
+    case Backend::AbstractMachine:
+      return Machine.MaxHeapSize;
+    case Backend::Bytecode:
+      return Vm.MaxHeapObjects;
+    }
+    return 0;
+  }
+  /// peakHeapCells() in bytes (each backend weighs its own cells).
+  uint64_t peakHeapBytes() const {
+    switch (Used) {
+    case Backend::TreeInterp:
+      return Interp.PeakHeapBytes;
+    case Backend::AbstractMachine:
+      return Machine.PeakHeapBytes;
+    case Backend::Bytecode:
+      return Vm.PeakHeapBytes;
+    }
+    return 0;
+  }
 };
 
 /// A compiled program: the product of one trip through the front end,

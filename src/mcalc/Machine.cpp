@@ -12,6 +12,121 @@
 using namespace levity;
 using namespace levity::mcalc;
 
+namespace {
+
+/// Restricts \p H to the cells transitively reachable from \p Root. A
+/// variable *occurrence* anywhere in a term (argument atoms, lambda
+/// bodies, constructor fields) counts as a reference — a safe
+/// over-approximation of free variables, and exact for heap addresses:
+/// the machine mints them fresh, so a heap address is never shadowed by
+/// a binder. Symbols that name no heap cell (lambda binders from the
+/// compiled program) simply miss the map.
+HeapMap pruneToReachable(const Term *Root, HeapMap H) {
+  if (H.empty())
+    return H;
+  HeapMap Kept;
+  std::vector<const Term *> Work{Root};
+  auto Ref = [&](MVar V) {
+    if (!V.isPtr())
+      return;
+    auto It = H.find(V.Name);
+    if (It == H.end())
+      return;
+    Work.push_back(It->second);
+    Kept.emplace(It->first, It->second);
+    H.erase(It);
+  };
+  while (!Work.empty()) {
+    const Term *T = Work.back();
+    Work.pop_back();
+    if (!T)
+      continue;
+    switch (T->kind()) {
+    case Term::TermKind::AppVar: {
+      const auto *A = cast<AppVarTerm>(T);
+      Ref(A->arg());
+      Work.push_back(A->fn());
+      break;
+    }
+    case Term::TermKind::AppLit:
+      Work.push_back(cast<AppLitTerm>(T)->fn());
+      break;
+    case Term::TermKind::AppDbl:
+      Work.push_back(cast<AppDblTerm>(T)->fn());
+      break;
+    case Term::TermKind::Lam:
+      Work.push_back(cast<LamTerm>(T)->body());
+      break;
+    case Term::TermKind::Var:
+      Ref(cast<VarTerm>(T)->var());
+      break;
+    case Term::TermKind::Let: {
+      const auto *L = cast<LetTerm>(T);
+      Work.push_back(L->rhs());
+      Work.push_back(L->body());
+      break;
+    }
+    case Term::TermKind::LetBang: {
+      const auto *L = cast<LetBangTerm>(T);
+      Work.push_back(L->rhs());
+      Work.push_back(L->body());
+      break;
+    }
+    case Term::TermKind::LetRec: {
+      const auto *L = cast<LetRecTerm>(T);
+      Work.push_back(L->rhs());
+      Work.push_back(L->body());
+      break;
+    }
+    case Term::TermKind::Case: {
+      const auto *C = cast<CaseTerm>(T);
+      Work.push_back(C->scrut());
+      Work.push_back(C->body());
+      break;
+    }
+    case Term::TermKind::If0: {
+      const auto *I = cast<If0Term>(T);
+      Work.push_back(I->scrut());
+      Work.push_back(I->thenBranch());
+      Work.push_back(I->elseBranch());
+      break;
+    }
+    case Term::TermKind::Switch: {
+      const auto *Sw = cast<SwitchTerm>(T);
+      Work.push_back(Sw->scrut());
+      for (const MAlt &A : Sw->alts())
+        Work.push_back(A.Body);
+      Work.push_back(Sw->defaultBody());
+      break;
+    }
+    case Term::TermKind::Prim: {
+      const auto *P = cast<PrimTerm>(T);
+      if (!P->lhs().IsLit)
+        Ref(P->lhs().Var);
+      if (!P->rhs().IsLit)
+        Ref(P->rhs().Var);
+      break;
+    }
+    case Term::TermKind::ConVar:
+      Ref(cast<ConVarTerm>(T)->var());
+      break;
+    case Term::TermKind::Con:
+      for (const MAtom &A : cast<ConTerm>(T)->args())
+        if (!A.IsLit)
+          Ref(A.Var);
+      break;
+    case Term::TermKind::Error:
+    case Term::TermKind::ConLit:
+    case Term::TermKind::Lit:
+    case Term::TermKind::DLit:
+      break;
+    }
+  }
+  return Kept;
+}
+
+} // namespace
+
 MachineResult Machine::run(const Term *T, uint64_t MaxSteps) {
   return runWithHeap(T, {}, MaxSteps);
 }
@@ -25,11 +140,23 @@ MachineResult Machine::runWithHeap(const Term *T, HeapMap InitialHeap,
   std::vector<Frame> Stack;
   HeapMap H = std::move(InitialHeap);
 
+  // Substitution and heap cells all come from Ctx's arena, which is
+  // monotone between resets — the end-of-run delta of bytesUsed() *is*
+  // this run's peak. Exact when the context is not shared by concurrent
+  // runs (the driver's per-Executor run context); an upper bound
+  // otherwise.
+  const size_t ArenaStart = Ctx.arena().bytesUsed();
+  auto RecordPeak = [&] {
+    size_t Now = Ctx.arena().bytesUsed();
+    S.PeakHeapBytes = Now >= ArenaStart ? Now - ArenaStart : 0;
+  };
+
   auto Stuck = [&](std::string Reason) {
     R.Status = MachineOutcome::Stuck;
     R.StuckReason = std::move(Reason);
     R.Value = Cur;
     R.FinalHeap = std::move(H);
+    RecordPeak();
     return R;
   };
 
@@ -42,7 +169,11 @@ MachineResult Machine::runWithHeap(const Term *T, HeapMap InitialHeap,
       if (Stack.empty()) {
         R.Status = MachineOutcome::Value;
         R.Value = Cur;
-        R.FinalHeap = std::move(H);
+        // Keep only the cells the result can actually name: the
+        // snapshot exists for observational probing (anf/Joinability),
+        // not to pin the whole run's heap alive.
+        R.FinalHeap = pruneToReachable(Cur, std::move(H));
+        RecordPeak();
         return R;
       }
       Frame F = Stack.back();
@@ -365,6 +496,7 @@ MachineResult Machine::runWithHeap(const Term *T, HeapMap InitialHeap,
       if (Symbol Msg = cast<ErrorTerm>(Cur)->message(); Msg.valid())
         R.ErrorMessage = std::string(Msg.str());
       R.FinalHeap = std::move(H);
+      RecordPeak();
       return R;
     case Term::TermKind::ConVar:
       return Stuck("I#[y] with unresolved variable " +
@@ -384,5 +516,6 @@ MachineResult Machine::runWithHeap(const Term *T, HeapMap InitialHeap,
   R.Status = MachineOutcome::OutOfFuel;
   R.Value = Cur;
   R.FinalHeap = std::move(H);
+  RecordPeak();
   return R;
 }

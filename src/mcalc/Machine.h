@@ -88,6 +88,12 @@ struct MachineStats {
                              ///< plus FCE write-backs of CON values).
   size_t MaxStackDepth = 0;
   size_t MaxHeapSize = 0;
+  /// Peak term-arena bytes this run allocated in its MContext (the delta
+  /// of Arena::bytesUsed across the run — term arenas are monotone
+  /// within one run, so the end-of-run delta *is* the peak). Measures
+  /// substitution + heap-cell churn in bytes; MaxHeapSize is the same
+  /// quantity in cells.
+  size_t PeakHeapBytes = 0;
 };
 
 /// Final outcome of a run.
@@ -109,8 +115,13 @@ struct MachineResult {
   /// the error carried none).
   std::string ErrorMessage;
   MachineStats Stats;
-  /// The heap at the end of the run. Function values may capture pointers
-  /// into it, so observational probing must resume from this heap.
+  /// The heap at the end of the run, restricted (on the Value outcome)
+  /// to cells transitively reachable from Value — function values may
+  /// capture pointers into it, so observational probing must resume
+  /// from this heap, but cells the result cannot name are dropped
+  /// rather than kept alive by the snapshot. Non-Value outcomes keep
+  /// the whole heap (there is no result to trace from, and stuck-state
+  /// debugging wants the full picture).
   HeapMap FinalHeap;
 };
 

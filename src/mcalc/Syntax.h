@@ -645,6 +645,24 @@ public:
 
   Arena &arena() { return Mem; }
 
+  /// Rewinds this context to "empty" for reuse as a *run-scoped* term
+  /// arena (driver::Executor keeps one MContext per executor and resets
+  /// it between machine runs). Invalidates every Term allocated here —
+  /// only call once nothing from the previous run is reachable (the
+  /// driver copies result scalars/strings out of MachineResult first).
+  ///
+  /// The fresh-name counter restarts at 0, which is safe even though a
+  /// compiled term (owned by a *different* MContext) may bind "p0" too:
+  /// Symbol equality is per-table pointer identity, so a name interned
+  /// in this context's table can never collide with one interned in the
+  /// compile-time context's table. The SymbolTable itself is *not*
+  /// reset: interned "p/i/fN" strings plateau at the widest run's name
+  /// count and are reused verbatim by every later run.
+  void resetRunState() {
+    Mem.reset();
+    Counter.store(0, std::memory_order_relaxed);
+  }
+
 private:
   Arena Mem;
   SymbolTable Symbols;

@@ -76,6 +76,7 @@ Value *Interp::force(Value *V, InterpStats &S) {
       V->BlackHole = false; // Leave the thunk retryable (see evalIn).
       return nullptr;
     }
+    noteUpdate(V, Result);
     V->Forced = Result;
     V->BlackHole = false;
     V = Result;
@@ -89,6 +90,11 @@ InterpResult Interp::eval(const Expr *E, uint64_t MaxSteps) {
   FailMessage.clear();
   FuelLeft = MaxSteps;
   Value *V = evalIn(E, nullptr, R.Stats);
+  // Retained cells at end of run — see InterpStats::PeakHeapCells. Both
+  // pools are monotone within one run, so this is also the run's peak.
+  R.Stats.PeakHeapCells = Pool.size() + EnvPool.size();
+  R.Stats.PeakHeapBytes =
+      Pool.size() * sizeof(Value) + EnvPool.size() * sizeof(EnvNode);
   if (!V) {
     R.Status = FailStatus == InterpStatus::Value ? InterpStatus::RuntimeError
                                                  : FailStatus;
@@ -237,6 +243,7 @@ Value *Interp::evalIn(const Expr *E, const EnvNode *Env, InterpStats &S) {
       Stack.pop_back();
       switch (F.Kind) {
       case Frame::K::Update:
+        noteUpdate(F.V, Ret);
         F.V->Forced = Ret;
         F.V->BlackHole = false;
         continue; // Keep returning the same value.

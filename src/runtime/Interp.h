@@ -79,6 +79,11 @@ struct Value {
   const EnvNode *SuspendedEnv = nullptr;
   Value *Forced = nullptr;
   bool BlackHole = false;
+
+  /// Run epoch this value was allocated in (see Interp::beginRunEpoch).
+  /// Values minted outside any epoch — global thunks from loadProgram —
+  /// carry epoch 0 and are never reclaimed.
+  uint64_t Epoch = 0;
 };
 
 /// A persistent environment (closures share tails).
@@ -98,6 +103,13 @@ struct InterpStats {
   uint64_t PrimOps = 0;       ///< Primitive operations executed.
   uint64_t TupleMoves = 0;    ///< Unboxed tuples constructed (register
                               ///< moves, no allocation).
+  /// Pool cells (Values + EnvNodes) live at the end of the run — the
+  /// retained-memory meter. Under the driver's run epochs this plateaus
+  /// once every global the workload touches has been forced; without
+  /// epochs it is the interpreter's monotone high-water mark.
+  uint64_t PeakHeapCells = 0;
+  /// PeakHeapCells in bytes (cells weighted by their C++ object size).
+  uint64_t PeakHeapBytes = 0;
 
   /// Total heap traffic: what a GC would see.
   uint64_t heapAllocations() const {
@@ -131,6 +143,51 @@ public:
   /// Evaluates an expression to WHNF under the loaded program.
   InterpResult eval(const core::Expr *E, uint64_t MaxSteps = 200000000);
 
+  //===--------------------------------------------------------------------===//
+  // Run epochs — the pool-reclamation contract (driver::Executor)
+  //===--------------------------------------------------------------------===//
+  //
+  // The value/env pools are bump regions: nothing is freed individually.
+  // A *run epoch* brackets one run so the run's cells can be reclaimed
+  // wholesale: beginRunEpoch() marks the pool high-water points, and
+  // endRunEpoch() truncates both pools back to the mark — unless the run
+  // wrote a pointer from an older value into this epoch's region (a
+  // global thunk forced for the first time stores its Forced result),
+  // in which case the whole epoch is *promoted* (kept) instead. Steady
+  // state — every global the workload touches already forced — promotes
+  // nothing, so long-lived Executors plateau instead of growing per run.
+  //
+  // Safety: the only old→new pointer writes the evaluator performs are
+  // thunk updates (Value::Forced); both update sites flag the promotion.
+  // Caller contract: everything reachable from the run's InterpResult
+  // (display strings, scalars) must be extracted before endRunEpoch —
+  // truncation invalidates the run's Value pointers.
+
+  /// Pool high-water marks at beginRunEpoch time (opaque to callers).
+  struct RunEpochMark {
+    size_t PoolSize = 0;
+    size_t EnvPoolSize = 0;
+  };
+
+  /// Starts a run epoch: values allocated from here on belong to it.
+  RunEpochMark beginRunEpoch() {
+    ++CurEpoch;
+    EpochPromoted = false;
+    return {Pool.size(), EnvPool.size()};
+  }
+
+  /// Ends the epoch begun by the matching beginRunEpoch: reclaims the
+  /// run's cells, or keeps them all when the run was promoted.
+  void endRunEpoch(RunEpochMark M) {
+    if (EpochPromoted)
+      return;
+    Pool.resize(M.PoolSize);
+    EnvPool.resize(M.EnvPoolSize);
+  }
+
+  /// Cells (Values + EnvNodes) currently held by the pools.
+  size_t liveCells() const { return Pool.size() + EnvPool.size(); }
+
   /// Convenience accessors for test/bench assertions.
   static std::optional<int64_t> asIntHash(const Value *V);
   static std::optional<double> asDoubleHash(const Value *V);
@@ -143,6 +200,7 @@ public:
 private:
   Value *newValue() {
     Pool.emplace_back();
+    Pool.back().Epoch = CurEpoch;
     return &Pool.back();
   }
   const EnvNode *extend(const EnvNode *Env, Symbol Name, Value *V) {
@@ -188,6 +246,19 @@ private:
   InterpStatus FailStatus = InterpStatus::Value;
   std::string FailMessage;
   uint64_t FuelLeft = 0;
+
+  // Run-epoch state (see beginRunEpoch). Epoch 0 = outside any epoch.
+  uint64_t CurEpoch = 0;
+  /// Set when this epoch wrote an old→new pointer (first-force thunk
+  /// update on a pre-epoch value): endRunEpoch must keep the region.
+  bool EpochPromoted = false;
+
+  /// Flags the epoch promoted when a thunk update stores a this-epoch
+  /// result into a pre-epoch value. Called at both update sites.
+  void noteUpdate(const Value *Target, const Value *Result) {
+    if (Target->Epoch != CurEpoch && Result->Epoch == CurEpoch)
+      EpochPromoted = true;
+  }
 };
 
 } // namespace runtime

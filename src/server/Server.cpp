@@ -147,6 +147,10 @@ Response Server::foldRunResult(const std::string &Tenant,
     }
     T.Steps += R.steps();
     T.Allocations += R.allocations();
+    if (R.peakHeapCells() > T.PeakHeapCells)
+      T.PeakHeapCells = R.peakHeapCells();
+    if (R.peakHeapBytes() > T.PeakHeapBytes)
+      T.PeakHeapBytes = R.peakHeapBytes();
     if (R.St == driver::RunResult::Status::OutOfFuel)
       ++T.Timeouts;
     else if (R.St != driver::RunResult::Status::Ok)
@@ -246,6 +250,8 @@ void tenantLines(std::ostringstream &OS, const TenantStats &T) {
   statLine(OS, "unknown-programs", T.UnknownPrograms);
   statLine(OS, "steps", T.Steps);
   statLine(OS, "allocs", T.Allocations);
+  statLine(OS, "peak-heap-cells", T.PeakHeapCells);
+  statLine(OS, "peak-heap-bytes", T.PeakHeapBytes);
 }
 } // namespace
 
@@ -276,6 +282,12 @@ Response Server::doStats(const Request &R) {
         Sum.UnknownPrograms += T.UnknownPrograms;
         Sum.Steps += T.Steps;
         Sum.Allocations += T.Allocations;
+        // Peaks max together, not sum: the server-wide figure is the
+        // worst single run any tenant saw.
+        if (T.PeakHeapCells > Sum.PeakHeapCells)
+          Sum.PeakHeapCells = T.PeakHeapCells;
+        if (T.PeakHeapBytes > Sum.PeakHeapBytes)
+          Sum.PeakHeapBytes = T.PeakHeapBytes;
       }
     }
     statLine(OS, "tenants", NumTenants);

@@ -82,6 +82,12 @@ struct TenantStats {
   uint64_t UnknownPrograms = 0; ///< RUNs naming an unregistered program.
   uint64_t Steps = 0;       ///< Cumulative RunResult::steps().
   uint64_t Allocations = 0; ///< Cumulative RunResult::allocations().
+  /// High-water marks over the tenant's runs (max, not sum — peaks do
+  /// not add across runs). In the executing backend's cell unit /
+  /// bytes; a plateau here under a run loop is the memory-reclamation
+  /// guarantee made observable at the server tier.
+  uint64_t PeakHeapCells = 0; ///< Max RunResult::peakHeapCells() seen.
+  uint64_t PeakHeapBytes = 0; ///< Max RunResult::peakHeapBytes() seen.
 };
 
 /// Knobs for a Server (one struct so levityd flags map 1:1).

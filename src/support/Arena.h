@@ -59,6 +59,7 @@ public:
     }
     Cur = reinterpret_cast<char *>(Aligned + Size);
     ++NumAllocations;
+    BytesUsed += Size;
     return reinterpret_cast<void *>(Aligned);
   }
 
@@ -99,10 +100,46 @@ public:
     return BytesReserved;
   }
 
+  /// \returns cumulative payload bytes handed out since construction or
+  /// the last reset() (excludes alignment padding and slab slack). The
+  /// run-scoped heap meter: monotone between resets, so a delta of two
+  /// samples bounds one run's live allocation.
+  size_t bytesUsed() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return BytesUsed;
+  }
+
   /// \returns the number of allocations served.
   size_t numAllocations() const {
     std::lock_guard<std::mutex> Lock(Mutex);
     return NumAllocations;
+  }
+
+  /// Rewinds the arena to empty, *reusing* the largest slab instead of
+  /// returning memory to the OS — the per-run reset point for run-scoped
+  /// arenas (driver::Executor). Every pointer previously handed out is
+  /// invalidated; callers must ensure no node allocated here survives
+  /// the reset. Smaller slabs are freed so a one-off spike does not pin
+  /// its peak forever; steady-state resets are a pointer rewind plus one
+  /// vector pop loop. NumAllocations stays monotonic (it is a ledger,
+  /// not a liveness count).
+  void reset() {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (Slabs.empty()) {
+      BytesUsed = 0;
+      return;
+    }
+    size_t Largest = 0;
+    for (size_t I = 1, E = Slabs.size(); I != E; ++I)
+      if (Slabs[I].Size > Slabs[Largest].Size)
+        Largest = I;
+    Slab Keep = std::move(Slabs[Largest]);
+    Slabs.clear();
+    Cur = Keep.Mem.get();
+    End = Cur + Keep.Size;
+    BytesReserved = Keep.Size;
+    BytesUsed = 0;
+    Slabs.push_back(std::move(Keep));
   }
 
 private:
@@ -127,6 +164,7 @@ private:
   char *Cur = nullptr;
   char *End = nullptr;
   size_t BytesReserved = 0;
+  size_t BytesUsed = 0;
   size_t NumAllocations = 0;
 };
 

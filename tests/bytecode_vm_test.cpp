@@ -460,6 +460,56 @@ TEST(BytecodeDriverTest, ExecutorReusesItsVmAcrossRuns) {
   EXPECT_EQ(Ex.run("b", driver::Backend::Bytecode).IntValue.value_or(-1), 12);
 }
 
+TEST(BytecodeDriverTest, ExecutorRecoversAfterOutOfFuel) {
+  // The VM mirror of the tree interpreter's un-blackhole fix: a run cut
+  // off by fuel (or aborted by an error) mid-force must not leave heap
+  // thunks black-holed. With the executor's heap recycled as a region
+  // across runs, a stale Blackhole surviving the abort would make the
+  // retry stick on a bogus re-entered-black-hole — so starve a run,
+  // restore the fuel, and the SAME executor must succeed.
+  driver::Session S;
+  auto Comp = S.compile("sumToH :: Int# -> Int# -> Int# ;"
+                        "sumToH acc n = case n of {"
+                        "  0# -> acc ; _ -> sumToH (acc +# n) (n -# 1#)"
+                        "} ;"
+                        "total = sumToH 0# 1000#");
+  ASSERT_TRUE(Comp->ok()) << Comp->diagText();
+
+  driver::Executor Ex(Comp);
+  Ex.options().MaxVmSteps = 10; // Starve the first run mid-force.
+  driver::RunResult Starved = Ex.run("total", driver::Backend::Bytecode);
+  EXPECT_EQ(Starved.St, driver::RunResult::Status::OutOfFuel);
+  EXPECT_EQ(Starved.Used, driver::Backend::Bytecode);
+
+  Ex.options().MaxVmSteps = 1000000000;
+  driver::RunResult Retry = Ex.run("total", driver::Backend::Bytecode);
+  ASSERT_TRUE(Retry.ok()) << Retry.Error;
+  EXPECT_EQ(Retry.Used, driver::Backend::Bytecode);
+  EXPECT_EQ(Retry.IntValue.value_or(-1), 500500);
+}
+
+TEST(BytecodeDriverTest, RunsReportPeakHeapStats) {
+  // Allocating programs must surface nonzero peak-heap stats through
+  // RunResult; a pure-unboxed program legitimately reports zero (the
+  // whole run lives in registers).
+  driver::Session S;
+  auto Comp = S.compile("inc :: Int -> Int ;"
+                        "inc n = case n of { I# x -> I# (x +# 1#) } ;"
+                        "boxed = inc (inc (I# 40#)) ;"
+                        "pure = 40# +# 2#");
+  ASSERT_TRUE(Comp->ok()) << Comp->diagText();
+  driver::Executor Ex(Comp);
+
+  driver::RunResult Boxed = Ex.run("boxed", driver::Backend::Bytecode);
+  ASSERT_TRUE(Boxed.ok()) << Boxed.Error;
+  EXPECT_GT(Boxed.peakHeapCells(), 0u);
+  EXPECT_GT(Boxed.peakHeapBytes(), 0u);
+
+  driver::RunResult Pure = Ex.run("pure", driver::Backend::Bytecode);
+  ASSERT_TRUE(Pure.ok()) << Pure.Error;
+  EXPECT_EQ(Pure.peakHeapCells(), 0u);
+}
+
 TEST(BytecodeDriverTest, FormalPipelineRunsOnTheVm) {
   driver::Session S;
   auto Comp = S.compileFormal([](lcalc::LContext &L) {

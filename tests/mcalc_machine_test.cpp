@@ -424,4 +424,73 @@ TEST_F(SwitchTest, SwitchBinderArityMismatchIsStuck) {
   EXPECT_NE(R.StuckReason.find("arity mismatch"), std::string::npos);
 }
 
+//===--------------------------------------------------------------------===//
+// FinalHeap reachability pruning
+//===--------------------------------------------------------------------===//
+
+TEST_F(MachineTest, FinalHeapDropsCellsUnreachableFromTheResult) {
+  // let live = CON_1[1] in let dead = CON_2[2] in CON_3[live]: the
+  // result value names live but not dead, so the snapshot must keep
+  // exactly the live cell. (Keeping the whole heap is the unbounded-
+  // growth bug: every run's dead bindings would outlive the run pinned
+  // inside MachineResult.)
+  MAtom LiveRhs[] = {MAtom::lit(1)};
+  MAtom DeadRhs[] = {MAtom::lit(2)};
+  MAtom ResultArgs[] = {MAtom::anyVar(p("live"))};
+  const Term *T =
+      C.let(p("live"), C.con(1, LiveRhs),
+            C.let(p("dead"), C.con(2, DeadRhs), C.con(3, ResultArgs)));
+  MachineResult R = M.run(T);
+  ASSERT_EQ(R.Status, MachineOutcome::Value) << R.StuckReason;
+  ASSERT_EQ(R.FinalHeap.size(), 1u);
+
+  // Probing the survivor through the snapshot still works: resume from
+  // FinalHeap on the field the result carries (the machine freshens let
+  // binders, so take the name from the value, not from the source).
+  const auto *Res = cast<ConTerm>(R.Value);
+  ASSERT_EQ(Res->args().size(), 1u);
+  MVar Field = Res->args()[0].Var;
+  ASSERT_TRUE(R.FinalHeap.count(Field.Name));
+  MachineResult Probe = M.runWithHeap(C.var(Field), R.FinalHeap);
+  ASSERT_EQ(Probe.Status, MachineOutcome::Value) << Probe.StuckReason;
+  EXPECT_EQ(cast<ConTerm>(Probe.Value)->tag(), 1u);
+}
+
+TEST_F(MachineTest, FinalHeapKeepsTransitivelyReachableCells) {
+  // Reachability is transitive through stored terms: the result names b,
+  // b's cell names a, so both survive while dead is dropped.
+  MAtom ARhs[] = {MAtom::lit(5)};
+  MAtom BRhs[] = {MAtom::anyVar(p("a"))};
+  MAtom DeadRhs[] = {MAtom::lit(9)};
+  MAtom ResultArgs[] = {MAtom::anyVar(p("b"))};
+  const Term *T = C.let(
+      p("a"), C.con(1, ARhs),
+      C.let(p("b"), C.con(2, BRhs),
+            C.let(p("dead"), C.con(9, DeadRhs), C.con(3, ResultArgs))));
+  MachineResult R = M.run(T);
+  ASSERT_EQ(R.Status, MachineOutcome::Value) << R.StuckReason;
+  EXPECT_EQ(R.FinalHeap.size(), 2u);
+}
+
+TEST_F(MachineTest, NonValueOutcomesKeepTheWholeHeap) {
+  // Stuck/bottom states have no result to trace from; the full heap
+  // stays available for debugging.
+  MAtom Rhs[] = {MAtom::lit(1)};
+  const Term *T = C.let(p("x"), C.con(1, Rhs), C.error());
+  MachineResult R = M.run(T);
+  ASSERT_EQ(R.Status, MachineOutcome::Bottom);
+  EXPECT_EQ(R.FinalHeap.size(), 1u);
+}
+
+TEST_F(MachineTest, RunsReportPeakHeapBytes) {
+  // Any allocating run must surface a nonzero arena peak.
+  MAtom Rhs[] = {MAtom::lit(1)};
+  MAtom ResultArgs[] = {MAtom::anyVar(p("x"))};
+  const Term *T = C.let(p("x"), C.con(1, Rhs), C.con(3, ResultArgs));
+  MachineResult R = M.run(T);
+  ASSERT_EQ(R.Status, MachineOutcome::Value) << R.StuckReason;
+  EXPECT_GT(R.Stats.PeakHeapBytes, 0u);
+  EXPECT_EQ(R.Stats.MaxHeapSize, 1u);
+}
+
 } // namespace
