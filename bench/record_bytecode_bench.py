@@ -1,59 +1,49 @@
 #!/usr/bin/env python3
-"""Assemble BENCH_bytecode.json from Google Benchmark JSON output.
+"""Append one run to the BENCH_bytecode.json perf trajectory.
 
 Usage:
   record_bytecode_bench.py --sumto sumto.json --machine machine.json \
-      --out BENCH_bytecode.json [--min-speedup 5.0]
+      --build-dir build --out BENCH_bytecode.json \
+      [--min-speedup 5.0] [--allow-non-release]
 
 Reads the --benchmark_out_format=json files written by bench_sumto and
 bench_machine, normalizes every entry to ns/op plus its ledger counters,
-and records the headline Machine/SumToUnboxed over Bytecode/SumToUnboxed
-speedup. Exits non-zero if the speedup is below --min-speedup, so CI
-fails when the bytecode tier regresses below the PR's acceptance bar.
+and appends a dated run to the trajectory (see record_common.append_run).
+The build type is taken from the build tree's CMakeCache.txt, never from
+the benchmark library's context; non-Release recordings are refused
+unless --allow-non-release flags them.
+
+Two CI gates, both evaluated on the new run:
+  * speed   — Machine/SumToUnboxed over Bytecode/SumToUnboxed must stay
+              >= --min-speedup at every loop size.
+  * allocs  — Bytecode/SumToUnboxed's heap-allocs/loop must not exceed
+              the lowest value any previous run recorded: the VM ledger
+              is deterministic, so a single extra allocation in the
+              unboxed loop is a hard regression, not noise.
 """
 
 import argparse
-import json
+import datetime
 import sys
 
-NON_COUNTER_KEYS = {
-    "name", "run_name", "run_type", "repetitions", "repetition_index",
-    "threads", "iterations", "real_time", "cpu_time", "time_unit",
-    "family_index", "per_family_instance_index", "aggregate_name",
-}
-
-TIME_UNIT_TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
-
-
-def load(path, suite):
-    with open(path) as f:
-        doc = json.load(f)
-    rows = []
-    for b in doc.get("benchmarks", []):
-        if b.get("run_type") != "iteration":
-            continue  # skip aggregates; raw iterations carry the counters
-        scale = TIME_UNIT_TO_NS[b.get("time_unit", "ns")]
-        rows.append({
-            "suite": suite,
-            "name": b["name"],
-            "ns_per_op": round(b["real_time"] * scale, 1),
-            "iterations": b["iterations"],
-            "counters": {k: v for k, v in b.items()
-                         if k not in NON_COUNTER_KEYS},
-        })
-    return rows, doc.get("context", {})
+import record_common as rc
 
 
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--sumto", required=True)
     ap.add_argument("--machine", required=True)
+    ap.add_argument("--build-dir", required=True)
     ap.add_argument("--out", required=True)
     ap.add_argument("--min-speedup", type=float, default=5.0)
+    ap.add_argument("--allow-non-release", action="store_true")
     args = ap.parse_args()
 
-    sumto, ctx = load(args.sumto, "bench_sumto")
-    machine, _ = load(args.machine, "bench_machine")
+    build_type = rc.resolve_build_type(args.build_dir)
+    flagged = rc.check_build_type(build_type, args.allow_non_release)
+
+    sumto, ctx = rc.load_gbench(args.sumto, "bench_sumto")
+    machine, _ = rc.load_gbench(args.machine, "bench_machine")
     rows = sumto + machine
 
     def ns(name):
@@ -67,38 +57,87 @@ def main():
         if m is not None and b is not None and b > 0:
             speedup[f"SumToUnboxed/{arg}"] = round(m / b, 2)
 
-    doc = {
-        "schema": "levity-bench-v1",
+    prior = rc.load_trajectory(args.out)
+
+    def unboxed_allocs(run_rows):
+        out = {}
+        for r in run_rows:
+            if r.get("name", "").startswith("Bytecode/SumToUnboxed/"):
+                v = r.get("counters", {}).get("heap-allocs/loop")
+                if v is not None:
+                    out[r["name"]] = v
+        return out
+
+    new_allocs = unboxed_allocs(rows)
+    floor = {}
+    for run in prior:
+        for name, v in unboxed_allocs(run.get("benchmarks", [])).items():
+            floor[name] = min(floor.get(name, v), v)
+
+    # Informational: ns/op against the oldest recorded run of the same
+    # benchmark (same-class CI machines, so the ratio tracks the real
+    # trajectory; the enforced gates are the relative ones above).
+    vs_first = {}
+    if prior:
+        first = {r["name"]: r["ns_per_op"]
+                 for r in prior[0].get("benchmarks", [])
+                 if "ns_per_op" in r}
+        for arg in ("1000", "10000"):
+            name = f"Bytecode/SumToUnboxed/{arg}"
+            b = ns(name)
+            if name in first and b:
+                vs_first[name] = round(first[name] / b, 2)
+
+    run = {
+        "date": ctx.get("date",
+                        datetime.datetime.now(datetime.timezone.utc)
+                        .isoformat(timespec="seconds")),
         "generator": "bench_sumto + bench_machine "
-                     "(Release, --benchmark_out_format=json)",
-        "date": ctx.get("date"),
-        "host": {
-            "num_cpus": ctx.get("num_cpus"),
-            "mhz_per_cpu": ctx.get("mhz_per_cpu"),
-            "library_build_type": ctx.get("library_build_type"),
-        },
+                     "(--benchmark_out_format=json)",
+        "host": rc.host_block(ctx, build_type),
         "headline": {
             "claim": "Bytecode/SumToUnboxed runs >= "
                      f"{args.min_speedup}x fewer ns/op than "
-                     "Machine/SumToUnboxed",
+                     "Machine/SumToUnboxed, and the unboxed loop's "
+                     "heap-allocs/loop never exceeds the recorded floor",
             "machine_over_bytecode_speedup": speedup,
+            "unboxed_heap_allocs_per_loop": new_allocs,
         },
         "benchmarks": rows,
     }
-    with open(args.out, "w") as f:
-        json.dump(doc, f, indent=2)
-        f.write("\n")
+    if vs_first:
+        run["headline"]["bytecode_speedup_vs_first_recorded_run"] = \
+            vs_first
+    if flagged:
+        run["non_release_build"] = True
+
+    runs = rc.append_run(args.out, run)
 
     if not speedup:
         print("error: no Machine/Bytecode SumToUnboxed pair found",
               file=sys.stderr)
         return 1
-    print(f"wrote {args.out}: "
+    print(f"wrote {args.out} run #{len(runs)}: "
           + ", ".join(f"{k} {v}x" for k, v in speedup.items()))
+    if vs_first:
+        print("vs first recorded run: "
+              + ", ".join(f"{k} {v}x" for k, v in vs_first.items()))
+
+    failures = []
     bad = {k: v for k, v in speedup.items() if v < args.min_speedup}
     if bad:
-        print(f"error: speedup below {args.min_speedup}x bar: {bad}",
-              file=sys.stderr)
+        failures.append(f"speedup below {args.min_speedup}x bar: {bad}")
+    for name, limit in sorted(floor.items()):
+        v = new_allocs.get(name)
+        if v is None:
+            failures.append(f"{name}: heap-allocs/loop missing "
+                            f"(recorded floor {limit})")
+        elif v > limit:
+            failures.append(f"{name}: heap-allocs/loop regressed to "
+                            f"{v} (recorded floor {limit})")
+    if failures:
+        for f in failures:
+            print(f"error: {f}", file=sys.stderr)
         return 1
     return 0
 

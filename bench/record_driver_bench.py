@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Append one run to the BENCH_driver.json throughput trajectory.
+
+Usage:
+  record_driver_bench.py --driver driver.json --build-dir build \
+      --out BENCH_driver.json [--allow-non-release]
+
+Reads the --benchmark_out_format=json file written by
+bench_driver_throughput and appends the concurrent-driver run: cached
+and distinct compile throughput, tree/machine run throughput at each
+thread count, and the per-run peak-heap footprints. The build type
+comes from the build tree's CMakeCache.txt (see record_common).
+
+Gate: the required benchmark families must be present, and the
+peak-heap counters must stay flat across thread counts — per-run
+footprints are a property of the program, not of the load, so a
+footprint that grows with threads means run-state is leaking across
+executors again.
+"""
+
+import argparse
+import datetime
+import sys
+
+import record_common as rc
+
+# Families that must appear (at any /threads:N suffix) for the run to
+# count; each maps to whether its rows carry peak-heap counters that
+# must stay flat across thread counts.
+REQUIRED_FAMILIES = {
+    "BM_CompileCached": False,
+    "BM_CompileDistinct": False,
+    "BM_RunTreeWarm": True,
+    "BM_RunTreeCold": True,
+    "BM_RunMachine": False,
+    "BM_RunTreeLoop": False,
+}
+
+
+def family(name):
+    return name.split("/")[0]
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--driver", required=True)
+    ap.add_argument("--build-dir", required=True)
+    ap.add_argument("--out", required=True)
+    ap.add_argument("--allow-non-release", action="store_true")
+    args = ap.parse_args()
+
+    build_type = rc.resolve_build_type(args.build_dir)
+    flagged = rc.check_build_type(build_type, args.allow_non_release)
+
+    rows, ctx = rc.load_gbench(args.driver)
+
+    by_family = {}
+    for r in rows:
+        by_family.setdefault(family(r["name"]), []).append(r)
+
+    failures = []
+    for fam in REQUIRED_FAMILIES:
+        if fam not in by_family:
+            failures.append(f"missing benchmark family {fam}")
+
+    # Per-run heap footprints are deterministic per program; averaged
+    # per thread (kAvgThreads) they must not grow with the thread
+    # count. Allow a small slack for families whose iterations differ.
+    flatness = {}
+    for fam, check in REQUIRED_FAMILIES.items():
+        if not check or fam not in by_family:
+            continue
+        peaks = [r["counters"].get("peak_heap_bytes")
+                 for r in by_family[fam]]
+        peaks = [p for p in peaks if p]
+        if len(peaks) < 2:
+            continue
+        ratio = max(peaks) / min(peaks)
+        flatness[fam] = {"min_peak_heap_bytes": int(min(peaks)),
+                         "max_peak_heap_bytes": int(max(peaks)),
+                         "ratio": round(ratio, 3)}
+        if ratio > 1.5:
+            failures.append(
+                f"{fam}: peak_heap_bytes grows with threads "
+                f"({int(min(peaks))} -> {int(max(peaks))})")
+
+    summary = {}
+    for fam, rs in sorted(by_family.items()):
+        summary[fam] = {
+            r["name"].split("/", 1)[1] if "/" in r["name"] else "base":
+                r["ns_per_op"]
+            for r in rs
+        }
+
+    run = {
+        "date": ctx.get("date",
+                        datetime.datetime.now(datetime.timezone.utc)
+                        .isoformat(timespec="seconds")),
+        "generator": "bench_driver_throughput "
+                     "(--benchmark_out_format=json)",
+        "host": rc.host_block(ctx, build_type),
+        "headline": {
+            "claim": "one immutable Compilation serves concurrent "
+                     "executors; per-run heap footprints stay flat "
+                     "across thread counts",
+            "ns_per_op": summary,
+            "peak_heap_flatness": flatness,
+        },
+        "benchmarks": rows,
+    }
+    if flagged:
+        run["non_release_build"] = True
+
+    runs = rc.append_run(args.out, run)
+
+    print(f"wrote {args.out} run #{len(runs)}: "
+          f"{len(rows)} benchmarks across {len(by_family)} families")
+    if failures:
+        for f in failures:
+            print(f"error: {f}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

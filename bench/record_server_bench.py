@@ -1,52 +1,39 @@
 #!/usr/bin/env python3
-"""Assemble BENCH_server.json from bench_server's Google Benchmark JSON.
+"""Append one run to the BENCH_server.json latency/throughput trajectory.
 
 Usage:
-  record_server_bench.py --server server.json --out BENCH_server.json
+  record_server_bench.py --server server.json --build-dir build \
+      --out BENCH_server.json [--allow-non-release]
 
 Reads the --benchmark_out_format=json file written by bench_server and
-records the levityd latency/throughput trajectory: p50/p99 request
-latency and req/s at 1, 8, and 64 concurrent clients. Exits non-zero
-when any client count is missing or reported wrong answers / protocol
-errors, so CI fails when the server stops being correct under load.
+appends the levityd latency/throughput run: p50/p99 request latency and
+req/s at 1, 8, and 64 concurrent clients. The build type comes from the
+build tree's CMakeCache.txt (see record_common); exits non-zero when any
+client count is missing or reported wrong answers / protocol errors, so
+CI fails when the server stops being correct under load.
 """
 
 import argparse
-import json
+import datetime
 import sys
 
-NON_COUNTER_KEYS = {
-    "name", "run_name", "run_type", "repetitions", "repetition_index",
-    "threads", "iterations", "real_time", "cpu_time", "time_unit",
-    "family_index", "per_family_instance_index", "aggregate_name",
-}
+import record_common as rc
 
 CLIENT_COUNTS = (1, 8, 64)
-
-
-def load(path):
-    with open(path) as f:
-        doc = json.load(f)
-    rows = []
-    for b in doc.get("benchmarks", []):
-        if b.get("run_type") != "iteration":
-            continue  # skip aggregates; raw iterations carry the counters
-        rows.append({
-            "name": b["name"],
-            "iterations": b["iterations"],
-            "counters": {k: v for k, v in b.items()
-                         if k not in NON_COUNTER_KEYS},
-        })
-    return rows, doc.get("context", {})
 
 
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--server", required=True)
+    ap.add_argument("--build-dir", required=True)
     ap.add_argument("--out", required=True)
+    ap.add_argument("--allow-non-release", action="store_true")
     args = ap.parse_args()
 
-    rows, ctx = load(args.server)
+    build_type = rc.resolve_build_type(args.build_dir)
+    flagged = rc.check_build_type(build_type, args.allow_non_release)
+
+    rows, ctx = rc.load_gbench(args.server)
 
     trajectory = {}
     failures = []
@@ -79,16 +66,12 @@ def main():
         if c.get("protocol_errors", 0) != 0:
             failures.append(f"{n} clients: protocol errors")
 
-    doc = {
-        "schema": "levity-bench-v1",
-        "generator": "bench_server "
-                     "(Release, --benchmark_out_format=json)",
-        "date": ctx.get("date"),
-        "host": {
-            "num_cpus": ctx.get("num_cpus"),
-            "mhz_per_cpu": ctx.get("mhz_per_cpu"),
-            "library_build_type": ctx.get("library_build_type"),
-        },
+    run = {
+        "date": ctx.get("date",
+                        datetime.datetime.now(datetime.timezone.utc)
+                        .isoformat(timespec="seconds")),
+        "generator": "bench_server (--benchmark_out_format=json)",
+        "host": rc.host_block(ctx, build_type),
         "headline": {
             "claim": "the full load mix stays correct (zero wrong "
                      "answers, zero protocol errors) at every client "
@@ -97,11 +80,12 @@ def main():
         },
         "benchmarks": rows,
     }
-    with open(args.out, "w") as f:
-        json.dump(doc, f, indent=2)
-        f.write("\n")
+    if flagged:
+        run["non_release_build"] = True
 
-    print(f"wrote {args.out}: " + ", ".join(
+    runs = rc.append_run(args.out, run)
+
+    print(f"wrote {args.out} run #{len(runs)}: " + ", ".join(
         f"{n}c {v['req_per_s']} req/s p99 {v['p99_us']}us"
         for n, v in trajectory.items()))
     if failures:

@@ -78,11 +78,16 @@ enum class Op : uint8_t {
   If0 = 18,         ///< pop Int#; fall through when 0, else IP = C
   Switch = 19,      ///< pop scrutinee; dispatch via Tables[C]
   Error = 20,       ///< bottom with message StrPool[C] (C < 0: no message)
+  CallN = 21,       ///< pop B args then fn; apply fn to all B at once
+  TailCallN = 22,   ///< like CallN, but replaces the current frame
+  PrimLocal = 23,   ///< pop lhs; apply MPrim A with rhs = locals[B]
+  PrimInt = 24,     ///< pop lhs; apply MPrim A with rhs = IntPool[C]
+  ReturnLocal = 25, ///< return locals[B] (fused LoadLocal+Return)
 };
 
 /// Number of opcodes; folded into the artifact fingerprint so a new
 /// instruction invalidates stale stores.
-inline constexpr unsigned NumOps = 21;
+inline constexpr unsigned NumOps = 26;
 
 /// One fixed-width instruction: a dense opcode plus three inline
 /// operands (their meaning per opcode is documented on Op).
@@ -103,18 +108,28 @@ struct Capture {
 /// One compilation unit: a lambda body, a thunk right-hand side, or the
 /// module's entry term (always proto 0). Code lives in the module-wide
 /// stream as the half-open range [Entry, End); frame layout is captures
-/// first (slots 0..Caps.size()), then the parameter (if any), then the
+/// first (slots 0..Caps.size()), then the parameters in order, then the
 /// body's binders and scratch slots.
+///
+/// Protos carry a true arity: a syntactic λx₁…λxₙ run compiles to one
+/// proto with N rep-typed parameters, so a saturated call moves every
+/// argument into frame slots in one step (eval/apply) — no intermediate
+/// closure per argument. Thunk protos have zero parameters; closure
+/// protos have at least one; the entry proto is closed (no captures, no
+/// parameters).
 struct Proto {
   uint32_t Entry = 0;
   uint32_t End = 0;
   uint16_t NumLocals = 0;
-  uint8_t HasParam = 0;
-  uint8_t ParamSort = 0; ///< mcalc::VarSort value when HasParam.
+  std::vector<uint8_t> ParamSorts; ///< One mcalc::VarSort per parameter.
   std::vector<Capture> Caps;
 
-  /// The parameter's frame slot (by convention, right after captures).
-  uint16_t paramSlot() const { return static_cast<uint16_t>(Caps.size()); }
+  uint16_t numParams() const { return static_cast<uint16_t>(ParamSorts.size()); }
+
+  /// Parameter I's frame slot (by convention, right after captures).
+  uint16_t paramSlot(uint16_t I = 0) const {
+    return static_cast<uint16_t>(Caps.size() + I);
+  }
 };
 
 /// One alternative of a Switch dispatch table, mirroring mcalc::MAlt:
@@ -133,9 +148,18 @@ struct SwitchAlt {
 /// The dispatch table one Switch instruction consults. DefaultTarget is
 /// -1 when the alternatives are exhaustive (no match is then stuck,
 /// exactly like the machine's SWITCHk rule).
+///
+/// DenseAltIdx/DenseTagBase are derived dispatch data, rebuilt by
+/// buildDispatchTables() after compile() and after BCOD decode — never
+/// serialized, never validated. When the alternatives are all
+/// constructor-tag patterns over a compact tag range, DenseAltIdx maps
+/// `Tag - DenseTagBase` straight to the alternative index (-1: fall to
+/// the default/stuck path), replacing the linear pattern scan.
 struct SwitchTable {
   std::vector<SwitchAlt> Alts;
   int64_t DefaultTarget = -1;
+  uint32_t DenseTagBase = 0;
+  std::vector<int32_t> DenseAltIdx; ///< Empty when dense dispatch is off.
 };
 
 /// One compiled M term: the flat code stream, its protos, constant
@@ -169,6 +193,13 @@ Result<std::shared_ptr<const Module>> compile(const mcalc::Term *T);
 /// capture sources inside the creating frame. compile() output always
 /// validates; decoded `.levc` payloads must pass this before running.
 bool validate(const Module &M);
+
+/// Rebuilds the derived dense-dispatch tables (SwitchTable::DenseAltIdx)
+/// for every switch whose alternatives are all constructor tags in a
+/// compact range. Called by compile() on its output and by the artifact
+/// decoder after validate(); hand-built Modules run fine without it (the
+/// VM falls back to the linear pattern scan).
+void buildDispatchTables(Module &M);
 
 } // namespace bytecode
 } // namespace levity

@@ -34,6 +34,7 @@
 
 #include "bytecode/Bytecode.h"
 
+#include <algorithm>
 #include <bit>
 #include <cstring>
 #include <limits>
@@ -283,15 +284,27 @@ private:
   // Term compilation
   //===--------------------------------------------------------------------===//
 
+  /// Collapses a syntactic λx₁…λxₙ run into its parameter list and
+  /// innermost body — one proto per run, not one per λ, so a saturated
+  /// call binds every argument in one step.
+  static const Term *collectLamSpine(const Term *T, std::vector<MVar> &Params) {
+    while (const auto *L = mcalc::dyn_cast<mcalc::LamTerm>(T)) {
+      Params.push_back(L->param());
+      T = L->body();
+    }
+    return T;
+  }
+
   /// Creates a new proto compiling \p Body (in tail position), capturing
-  /// the free variables of \p CapTerm from \p Parent's frame. \p Param,
-  /// when non-null, is the lambda parameter (slot right after captures).
+  /// the free variables of \p CapTerm from \p Parent's frame. \p Params
+  /// are the lambda parameters in order (slots right after captures);
+  /// empty for thunk and entry protos.
   bool makeProto(ProtoCtx &Parent, const Term *CapTerm, const Term *Body,
-                 const MVar *Param, uint32_t &OutIdx) {
+                 const std::vector<MVar> &Params, uint32_t &OutIdx) {
     std::vector<MVar> Caps;
     if (!freeVarsOf(CapTerm, Caps))
       return false;
-    if (Caps.size() > MaxFrameSlots)
+    if (Caps.size() + Params.size() > MaxFrameSlots)
       return fail("closure captures more than " +
                   std::to_string(MaxFrameSlots) + " variables");
     Proto P;
@@ -307,10 +320,11 @@ private:
       bind(*Ctx, MVar{V.Name, Src.Sort}, Ctx->NumLocals);
       ++Ctx->NumLocals;
     }
-    if (Param) {
-      P.HasParam = 1;
-      P.ParamSort = static_cast<uint8_t>(Param->Sort);
-      bind(*Ctx, *Param, Ctx->NumLocals);
+    for (const MVar &V : Params) {
+      P.ParamSorts.push_back(static_cast<uint8_t>(V.Sort));
+      // Later parameters shadow earlier same-named ones (λx.λx.body),
+      // exactly like nested single-parameter protos would.
+      bind(*Ctx, V, Ctx->NumLocals);
       ++Ctx->NumLocals;
     }
     OutIdx = static_cast<uint32_t>(Mod.Protos.size());
@@ -321,11 +335,75 @@ private:
     if (!compileTerm(C, Body, /*Tail=*/true))
       return false;
     emit(C, Op::Return);
+    peephole(C);
     if (C.NumLocals > MaxFrameSlots)
       return fail("frame needs more than " + std::to_string(MaxFrameSlots) +
                   " slots");
     Mod.Protos[OutIdx].NumLocals = static_cast<uint16_t>(C.NumLocals);
     return true;
+  }
+
+  /// Peephole fusion over one proto's finished (proto-relative) code:
+  /// LoadLocal+Prim → PrimLocal, PushInt+Prim → PrimInt, and
+  /// LoadLocal+Return → ReturnLocal. A pair is only fused when no jump
+  /// or switch target lands on its second instruction; all targets are
+  /// remapped through the old→new index table afterwards.
+  void peephole(ProtoCtx &P) {
+    std::vector<SwitchTable *> Owned;
+    for (size_t T = 0; T != TableOwner.size(); ++T)
+      if (TableOwner[T] == P.Index)
+        Owned.push_back(&Mod.Tables[T]);
+    std::vector<uint8_t> IsTarget(P.Code.size() + 1, 0);
+    auto Mark = [&](int64_t T) {
+      if (T >= 0 && T <= static_cast<int64_t>(P.Code.size()))
+        IsTarget[static_cast<size_t>(T)] = 1;
+    };
+    for (const Instr &I : P.Code)
+      if (I.Code == Op::Jump || I.Code == Op::If0)
+        Mark(I.C);
+    for (const SwitchTable *T : Owned) {
+      for (const SwitchAlt &A : T->Alts)
+        Mark(A.Target);
+      if (T->DefaultTarget >= 0)
+        Mark(T->DefaultTarget);
+    }
+    std::vector<Instr> NewCode;
+    NewCode.reserve(P.Code.size());
+    std::vector<int32_t> OldToNew(P.Code.size() + 1, 0);
+    for (size_t I = 0; I != P.Code.size();) {
+      OldToNew[I] = static_cast<int32_t>(NewCode.size());
+      const Instr &A = P.Code[I];
+      if (I + 1 != P.Code.size() && !IsTarget[I + 1]) {
+        const Instr &B = P.Code[I + 1];
+        bool Fused = true;
+        if (A.Code == Op::LoadLocal && B.Code == Op::Prim)
+          NewCode.push_back({Op::PrimLocal, B.A, A.B, 0});
+        else if (A.Code == Op::PushInt && B.Code == Op::Prim)
+          NewCode.push_back({Op::PrimInt, B.A, 0, A.C});
+        else if (A.Code == Op::LoadLocal && B.Code == Op::Return)
+          NewCode.push_back({Op::ReturnLocal, 0, A.B, 0});
+        else
+          Fused = false;
+        if (Fused) {
+          OldToNew[I + 1] = static_cast<int32_t>(NewCode.size()) - 1;
+          I += 2;
+          continue;
+        }
+      }
+      NewCode.push_back(A);
+      ++I;
+    }
+    OldToNew[P.Code.size()] = static_cast<int32_t>(NewCode.size());
+    for (Instr &In : NewCode)
+      if (In.Code == Op::Jump || In.Code == Op::If0)
+        In.C = OldToNew[In.C];
+    for (SwitchTable *T : Owned) {
+      for (SwitchAlt &A : T->Alts)
+        A.Target = static_cast<uint32_t>(OldToNew[A.Target]);
+      if (T->DefaultTarget >= 0)
+        T->DefaultTarget = OldToNew[static_cast<size_t>(T->DefaultTarget)];
+    }
+    P.Code = std::move(NewCode);
   }
 
   /// Pushes one atom: a pooled literal, or a raw load of the variable's
@@ -344,6 +422,127 @@ private:
       return false;
     emit(P, Op::LoadLocal, 0, static_cast<uint16_t>(B.Slot));
     return true;
+  }
+
+  /// The binder a Let/LetBang/LetRec wrapper introduces.
+  static MVar letBinder(const Term *T) {
+    using K = Term::TermKind;
+    switch (T->kind()) {
+    case K::Let:
+      return cast<mcalc::LetTerm>(T)->binder();
+    case K::LetBang:
+      return cast<mcalc::LetBangTerm>(T)->binder();
+    default:
+      return cast<mcalc::LetRecTerm>(T)->binder();
+    }
+  }
+
+  /// The body a Let/LetBang/LetRec wrapper scopes over.
+  static const Term *letBody(const Term *T) {
+    using K = Term::TermKind;
+    switch (T->kind()) {
+    case K::Let:
+      return cast<mcalc::LetTerm>(T)->body();
+    case K::LetBang:
+      return cast<mcalc::LetBangTerm>(T)->body();
+    default:
+      return cast<mcalc::LetRecTerm>(T)->body();
+    }
+  }
+
+  /// Emits just the *binding* of a Let/LetBang/LetRec wrapper and pushes
+  /// the binder into P's scope; the caller compiles whatever the binder
+  /// scopes over and must unbind(P, letBinder(T)) afterwards. Shared by
+  /// the plain let cases and the application-spine walk, which floats
+  /// binding wrappers out of function position so curried chains
+  /// collapse into one saturated CallN — the ANF lowering wraps every
+  /// argument in a let/let! (C_APPLAZY/C_APPINT/C_APPDBL), so multi-arg
+  /// spines are never syntactically bare.
+  bool compileLetBinding(ProtoCtx &P, const Term *T) {
+    using K = Term::TermKind;
+    switch (T->kind()) {
+    case K::Let: {
+      const auto *L = cast<mcalc::LetTerm>(T);
+      const Term *R = L->rhs();
+      switch (R->kind()) {
+      case K::Var: {
+        // Alias: the machine would allocate a one-variable thunk whose
+        // force delegates; sharing the slot is observationally the same
+        // and strictly lazier than a fresh cell.
+        Binding B;
+        if (!lookup(P, cast<mcalc::VarTerm>(R)->var(), B))
+          return false;
+        emit(P, Op::LoadLocal, 0, static_cast<uint16_t>(B.Slot));
+        break;
+      }
+      case K::Lam:
+      case K::Con:
+      case K::ConLit:
+      case K::Lit:
+      case K::DLit:
+        // Syntactic values: the machine's VAL rule yields them on first
+        // lookup without a thunk step; building them eagerly cannot
+        // error or diverge.
+        if (!compileTerm(P, R, /*Tail=*/false))
+          return false;
+        break;
+      default: {
+        uint32_t Pr;
+        if (!makeProto(P, R, R, /*Params=*/{}, Pr))
+          return false;
+        emit(P, Op::MkThunk, 0, 0, static_cast<int32_t>(Pr));
+        break;
+      }
+      }
+      uint32_t Slot;
+      if (!newLocals(P, 1, Slot))
+        return false;
+      emit(P, Op::StoreLocal, 0, static_cast<uint16_t>(Slot));
+      bind(P, L->binder(), Slot);
+      return true;
+    }
+    case K::LetBang: {
+      const auto *L = cast<mcalc::LetBangTerm>(T);
+      if (!compileTerm(P, L->rhs(), /*Tail=*/false))
+        return false;
+      uint32_t Slot;
+      if (!newLocals(P, 1, Slot))
+        return false;
+      emit(P, Op::StoreStrict, static_cast<uint8_t>(L->binder().Sort),
+           static_cast<uint16_t>(Slot));
+      bind(P, L->binder(), Slot);
+      return true;
+    }
+    default: {
+      const auto *L = cast<mcalc::LetRecTerm>(T);
+      uint32_t Slot;
+      if (!newLocals(P, 1, Slot))
+        return false;
+      // RECLET: the right-hand side sees its own cell. The destination
+      // slot is bound (and written by MkClosureRec/MkThunkRec) before
+      // captures are copied, so a self-capture reads the fresh cell.
+      bind(P, L->binder(), Slot);
+      const Term *R = L->rhs();
+      bool Ok;
+      uint32_t Pr;
+      if (mcalc::dyn_cast<mcalc::LamTerm>(R)) {
+        std::vector<MVar> Params;
+        const Term *Body = collectLamSpine(R, Params);
+        Ok = makeProto(P, R, Body, Params, Pr);
+        if (Ok)
+          emit(P, Op::MkClosureRec, 0, static_cast<uint16_t>(Slot),
+               static_cast<int32_t>(Pr));
+      } else {
+        Ok = makeProto(P, R, R, /*Params=*/{}, Pr);
+        if (Ok)
+          emit(P, Op::MkThunkRec, 0, static_cast<uint16_t>(Slot),
+               static_cast<int32_t>(Pr));
+      }
+      if (!Ok)
+        unbind(P, L->binder());
+      return Ok;
+    }
+    }
   }
 
   bool compileTerm(ProtoCtx &P, const Term *T, bool Tail) {
@@ -391,123 +590,113 @@ private:
       return true;
     }
     case K::Lam: {
-      const auto *L = cast<mcalc::LamTerm>(T);
-      const MVar Pv = L->param();
+      std::vector<MVar> Params;
+      const Term *Body = collectLamSpine(T, Params);
       uint32_t Pr;
-      if (!makeProto(P, T, L->body(), &Pv, Pr))
+      if (!makeProto(P, T, Body, Params, Pr))
         return false;
       emit(P, Op::MkClosure, 0, 0, static_cast<int32_t>(Pr));
       return true;
     }
-    case K::AppVar: {
-      const auto *A = cast<mcalc::AppVarTerm>(T);
-      if (!compileTerm(P, A->fn(), /*Tail=*/false))
-        return false;
-      Binding B;
-      if (!lookup(P, A->arg(), B))
-        return false;
-      emit(P, Op::LoadLocal, 0, static_cast<uint16_t>(B.Slot));
-      emit(P, Tail ? Op::TailCall : Op::Call);
-      return true;
-    }
-    case K::AppLit: {
-      const auto *A = cast<mcalc::AppLitTerm>(T);
-      if (!compileTerm(P, A->fn(), /*Tail=*/false))
-        return false;
-      emit(P, Op::PushInt, 0, 0, static_cast<int32_t>(intPool(A->lit())));
-      emit(P, Tail ? Op::TailCall : Op::Call);
-      return true;
-    }
+    case K::AppVar:
+    case K::AppLit:
     case K::AppDbl: {
-      const auto *A = cast<mcalc::AppDblTerm>(T);
-      if (!compileTerm(P, A->fn(), /*Tail=*/false))
+      // Collapse the curried application spine f a₁ … aₙ: compile the
+      // head once, push every argument atom (first-applied deepest), and
+      // apply them all in one CallN/TailCallN. Argument atoms are
+      // effect-free pushes, so batching them cannot change evaluation
+      // order — the head still evaluates first, exactly like n nested
+      // one-argument calls.
+      //
+      // The ANF lowering never produces a bare spine: each argument
+      // arrives as a binding wrapper in function position,
+      // ⟦e1 e2⟧ = let[!] y = t2 in t1 y. The walk floats those wrappers
+      // out — ((let x = r in f) y ≡ let x = r in (f y)) whenever the
+      // binder cannot capture an argument collected outside it — so the
+      // whole chain still becomes one saturated call. Wrapper bindings
+      // are emitted outermost-first, exactly the order the machine
+      // evaluates their right-hand sides.
+      struct SpineArg {
+        Term::TermKind Kind;
+        MVar V;
+        int64_t I = 0;
+        double D = 0;
+      };
+      std::vector<SpineArg> Args;
+      std::vector<const Term *> Floated; ///< Binding wrappers, outermost first.
+      const Term *Fn = T;
+      for (;;) {
+        if (const auto *A = mcalc::dyn_cast<mcalc::AppVarTerm>(Fn)) {
+          Args.push_back({K::AppVar, A->arg(), 0, 0});
+          Fn = A->fn();
+        } else if (const auto *A = mcalc::dyn_cast<mcalc::AppLitTerm>(Fn)) {
+          Args.push_back({K::AppLit, MVar{}, A->lit(), 0});
+          Fn = A->fn();
+        } else if (const auto *A = mcalc::dyn_cast<mcalc::AppDblTerm>(Fn)) {
+          Args.push_back({K::AppDbl, MVar{}, 0, A->lit()});
+          Fn = A->fn();
+        } else if (Fn->kind() == K::Let || Fn->kind() == K::LetBang ||
+                   Fn->kind() == K::LetRec) {
+          // Scope lookup is by name, so floating is blocked if the
+          // binder shadows an argument collected *outside* this wrapper
+          // (arguments inside it see the binder legitimately).
+          const MVar B = letBinder(Fn);
+          bool Captures = false;
+          for (const SpineArg &A : Args)
+            if (A.Kind == K::AppVar && A.V.Name == B.Name) {
+              Captures = true;
+              break;
+            }
+          if (Captures)
+            break;
+          Floated.push_back(Fn);
+          Fn = letBody(Fn);
+        } else {
+          break;
+        }
+      }
+      if (Args.size() > MaxFrameSlots)
+        return fail("application spine longer than " +
+                    std::to_string(MaxFrameSlots) + " arguments");
+      for (const Term *W : Floated)
+        if (!compileLetBinding(P, W))
+          return false;
+      if (!compileTerm(P, Fn, /*Tail=*/false))
         return false;
-      emit(P, Op::PushDbl, 0, 0, static_cast<int32_t>(dblPool(A->lit())));
-      emit(P, Tail ? Op::TailCall : Op::Call);
+      for (size_t I = Args.size(); I-- > 0;) {
+        const SpineArg &A = Args[I];
+        switch (A.Kind) {
+        case K::AppVar: {
+          Binding B;
+          if (!lookup(P, A.V, B))
+            return false;
+          emit(P, Op::LoadLocal, 0, static_cast<uint16_t>(B.Slot));
+          break;
+        }
+        case K::AppLit:
+          emit(P, Op::PushInt, 0, 0, static_cast<int32_t>(intPool(A.I)));
+          break;
+        default:
+          emit(P, Op::PushDbl, 0, 0, static_cast<int32_t>(dblPool(A.D)));
+          break;
+        }
+      }
+      if (Args.size() == 1)
+        emit(P, Tail ? Op::TailCall : Op::Call);
+      else
+        emit(P, Tail ? Op::TailCallN : Op::CallN, 0,
+             static_cast<uint16_t>(Args.size()));
+      for (size_t I = Floated.size(); I-- > 0;)
+        unbind(P, letBinder(Floated[I]));
       return true;
     }
-    case K::Let: {
-      const auto *L = cast<mcalc::LetTerm>(T);
-      const Term *R = L->rhs();
-      switch (R->kind()) {
-      case K::Var: {
-        // Alias: the machine would allocate a one-variable thunk whose
-        // force delegates; sharing the slot is observationally the same
-        // and strictly lazier than a fresh cell.
-        Binding B;
-        if (!lookup(P, cast<mcalc::VarTerm>(R)->var(), B))
-          return false;
-        emit(P, Op::LoadLocal, 0, static_cast<uint16_t>(B.Slot));
-        break;
-      }
-      case K::Lam:
-      case K::Con:
-      case K::ConLit:
-      case K::Lit:
-      case K::DLit:
-        // Syntactic values: the machine's VAL rule yields them on first
-        // lookup without a thunk step; building them eagerly cannot
-        // error or diverge.
-        if (!compileTerm(P, R, /*Tail=*/false))
-          return false;
-        break;
-      default: {
-        uint32_t Pr;
-        if (!makeProto(P, R, R, /*Param=*/nullptr, Pr))
-          return false;
-        emit(P, Op::MkThunk, 0, 0, static_cast<int32_t>(Pr));
-        break;
-      }
-      }
-      uint32_t Slot;
-      if (!newLocals(P, 1, Slot))
-        return false;
-      emit(P, Op::StoreLocal, 0, static_cast<uint16_t>(Slot));
-      bind(P, L->binder(), Slot);
-      bool Ok = compileTerm(P, L->body(), Tail);
-      unbind(P, L->binder());
-      return Ok;
-    }
-    case K::LetBang: {
-      const auto *L = cast<mcalc::LetBangTerm>(T);
-      if (!compileTerm(P, L->rhs(), /*Tail=*/false))
-        return false;
-      uint32_t Slot;
-      if (!newLocals(P, 1, Slot))
-        return false;
-      emit(P, Op::StoreStrict, static_cast<uint8_t>(L->binder().Sort),
-           static_cast<uint16_t>(Slot));
-      bind(P, L->binder(), Slot);
-      bool Ok = compileTerm(P, L->body(), Tail);
-      unbind(P, L->binder());
-      return Ok;
-    }
+    case K::Let:
+    case K::LetBang:
     case K::LetRec: {
-      const auto *L = cast<mcalc::LetRecTerm>(T);
-      uint32_t Slot;
-      if (!newLocals(P, 1, Slot))
+      if (!compileLetBinding(P, T))
         return false;
-      // RECLET: the right-hand side sees its own cell. The destination
-      // slot is bound (and written by MkClosureRec/MkThunkRec) before
-      // captures are copied, so a self-capture reads the fresh cell.
-      bind(P, L->binder(), Slot);
-      const Term *R = L->rhs();
-      bool Ok;
-      uint32_t Pr;
-      if (const auto *Lam = mcalc::dyn_cast<mcalc::LamTerm>(R)) {
-        const MVar Pv = Lam->param();
-        Ok = makeProto(P, R, Lam->body(), &Pv, Pr);
-        if (Ok)
-          emit(P, Op::MkClosureRec, 0, static_cast<uint16_t>(Slot),
-               static_cast<int32_t>(Pr));
-      } else {
-        Ok = makeProto(P, R, R, /*Param=*/nullptr, Pr);
-        if (Ok)
-          emit(P, Op::MkThunkRec, 0, static_cast<uint16_t>(Slot),
-               static_cast<int32_t>(Pr));
-      }
-      Ok = Ok && compileTerm(P, L->body(), Tail);
-      unbind(P, L->binder());
+      bool Ok = compileTerm(P, letBody(T), Tail);
+      unbind(P, letBinder(T));
       return Ok;
     }
     case K::Case: {
@@ -627,7 +816,7 @@ Result<std::shared_ptr<const Module>> Compiler::run(const Term *Entry) {
   // term (the driver's fragment boundary — fall back, never guess).
   ProtoCtx Root;
   uint32_t Idx;
-  if (!makeProto(Root, Entry, Entry, /*Param=*/nullptr, Idx))
+  if (!makeProto(Root, Entry, Entry, /*Params=*/{}, Idx))
     return err(Diag.empty() ? std::string(DiagPrefix) + "compilation failed"
                             : Diag);
   assert(Idx == 0 && "entry proto must be proto 0");
@@ -663,6 +852,7 @@ Result<std::shared_ptr<const Module>> Compiler::run(const Term *Entry) {
     if (M->Tables[T].DefaultTarget >= 0)
       M->Tables[T].DefaultTarget += Base;
   }
+  buildDispatchTables(*M);
   assert(validate(*M) && "compiler emitted an invalid module");
   return Result<std::shared_ptr<const Module>>(
       std::shared_ptr<const Module>(std::move(M)));
@@ -678,6 +868,39 @@ Result<std::shared_ptr<const Module>> compile(const mcalc::Term *T) {
     return err(std::string(DiagPrefix) + "no term to compile");
   Compiler C;
   return C.run(T);
+}
+
+void buildDispatchTables(Module &M) {
+  for (SwitchTable &T : M.Tables) {
+    T.DenseAltIdx.clear();
+    T.DenseTagBase = 0;
+    if (T.Alts.size() < 2)
+      continue;
+    uint32_t Lo = std::numeric_limits<uint32_t>::max(), Hi = 0;
+    bool AllCon = true;
+    for (const SwitchAlt &A : T.Alts) {
+      if (A.Pat != static_cast<uint8_t>(MAlt::PatKind::Con)) {
+        AllCon = false;
+        break;
+      }
+      Lo = std::min(Lo, A.Tag);
+      Hi = std::max(Hi, A.Tag);
+    }
+    if (!AllCon)
+      continue;
+    // Only densify compact tag ranges: the table is O(span), and a
+    // sparse one would trade a short scan for a cache-hostile array.
+    uint64_t Span = static_cast<uint64_t>(Hi) - Lo + 1;
+    if (Span > 64)
+      continue;
+    T.DenseAltIdx.assign(static_cast<size_t>(Span), -1);
+    for (size_t I = 0; I != T.Alts.size(); ++I) {
+      size_t Off = T.Alts[I].Tag - Lo;
+      if (T.DenseAltIdx[Off] < 0) // First match wins, like the scan.
+        T.DenseAltIdx[Off] = static_cast<int32_t>(I);
+    }
+    T.DenseTagBase = Lo;
+  }
 }
 
 //===----------------------------------------------------------------------===//
@@ -717,13 +940,21 @@ StackEffect effectOf(const Instr &I) {
   case Op::Prim:
     return {2, 1, false};
   case Op::MkBox:
+  case Op::PrimLocal:
+  case Op::PrimInt:
     return {1, 1, false};
   case Op::AllocCon:
     return {I.B, 1, false};
+  case Op::CallN:
+    return {static_cast<uint32_t>(I.B) + 1, 1, false};
   case Op::TailCall:
     return {2, 0, true};
+  case Op::TailCallN:
+    return {static_cast<uint32_t>(I.B) + 1, 0, true};
   case Op::Return:
     return {1, 0, true};
+  case Op::ReturnLocal:
+    return {0, 0, true};
   case Op::Error:
     return {0, 0, true};
   }
@@ -741,7 +972,7 @@ bool validate(const Module &M) {
   // Vm::run enters Protos[0] with no captures and no argument. An entry
   // that expects either would read default-initialized slots and compute
   // wrong answers instead of failing, so it must be rejected here.
-  if (!M.Protos[0].Caps.empty() || M.Protos[0].HasParam)
+  if (!M.Protos[0].Caps.empty() || M.Protos[0].numParams() != 0)
     return false;
 
   // Protos must exactly partition [0, Code.size()) in order — what
@@ -758,11 +989,12 @@ bool validate(const Module &M) {
   for (const Proto &P : M.Protos) {
     if (P.Entry >= P.End || P.End > N)
       return false;
-    size_t Fixed = P.Caps.size() + (P.HasParam ? 1 : 0);
+    size_t Fixed = P.Caps.size() + P.ParamSorts.size();
     if (Fixed > P.NumLocals)
       return false;
-    if (P.HasParam && P.ParamSort >= mcalc::NumVarSorts)
-      return false;
+    for (uint8_t S : P.ParamSorts)
+      if (S >= mcalc::NumVarSorts)
+        return false;
     for (const Capture &C : P.Caps)
       if (C.Sort >= mcalc::NumVarSorts)
         return false;
@@ -803,6 +1035,12 @@ bool validate(const Module &M) {
       case Op::MkThunkRec: {
         if (I.C < 0 || static_cast<size_t>(I.C) >= M.Protos.size())
           return false;
+        // Thunk protos are entered by force with no arguments; closure
+        // protos are entered by apply, which binds at least one. A
+        // mismatch would read default-initialized parameter slots.
+        bool IsThunk = I.Code == Op::MkThunk || I.Code == Op::MkThunkRec;
+        if (IsThunk != (M.Protos[I.C].numParams() == 0))
+          return false;
         // Captures are copied from the *creating* frame.
         for (const Capture &C : M.Protos[I.C].Caps)
           if (C.Src >= P.NumLocals)
@@ -814,6 +1052,27 @@ bool validate(const Module &M) {
       }
       case Op::Prim:
         if (I.A >= mcalc::NumMPrims)
+          return false;
+        break;
+      case Op::PrimLocal:
+        if (I.A >= mcalc::NumMPrims || I.B >= P.NumLocals)
+          return false;
+        break;
+      case Op::PrimInt:
+        if (I.A >= mcalc::NumMPrims || I.C < 0 ||
+            static_cast<size_t>(I.C) >= M.IntPool.size())
+          return false;
+        break;
+      case Op::ReturnLocal:
+        if (I.B >= P.NumLocals)
+          return false;
+        break;
+      case Op::CallN:
+      case Op::TailCallN:
+        // Zero-argument applications don't exist in M; the VM's apply
+        // path reads the first argument's register class for its stuck
+        // diagnostics, so B ≥ 1 is load-bearing.
+        if (I.B == 0)
           return false;
         break;
       case Op::AllocCon:

@@ -20,10 +20,15 @@
 // each mapping to the machine's stuck conditions.
 //
 // Frames share one contiguous Slot stack for locals and one for
-// operands; a frame is three integers and two pointers. Tail calls reuse
-// the frame in place — the iterative sum-to loop runs at constant frame
-// depth — while preserving the pending thunk update, so a tail call
-// inside a forced thunk still writes the result back (FCE).
+// operands; a frame is four integers and two pointers. Calls follow the
+// eval/apply model: a saturated CallN/TailCallN moves every argument
+// into frame slots in one step, under-application builds a PAP object,
+// and over-application parks the surplus args below the new frame's
+// floor (FrameRec::PendArgs) so the returned value is applied to them.
+// A tail call pops the frame and re-enters at the same stack position —
+// the iterative sum-to loop runs at constant frame depth — while
+// passing along the pending thunk update, so a tail call inside a
+// forced thunk still writes the result back (FCE).
 //
 //===----------------------------------------------------------------------===//
 
@@ -85,7 +90,7 @@ std::string renderValue(Slot V) {
   if (V.isDbl())
     return std::to_string(V.D);
   const Obj *O = V.P;
-  if (O->Kind == Obj::K::Closure)
+  if (O->Kind == Obj::K::Closure || O->Kind == Obj::K::Pap)
     return "<closure>";
   if (O->Kind == Obj::K::Con) {
     if (O->IsBox)
@@ -134,6 +139,18 @@ VmResult Vm::run(const Module &M, uint64_t MaxSteps) {
   uint32_t IP = Entry->Entry;
   uint32_t LBase = 0;
   const Instr *I = nullptr;
+
+  // Registers of the shared apply/return/prim paths (declared up front:
+  // the handlers reach those paths by goto, which must not jump over
+  // initializations).
+  Slot ApFn;            ///< The applied value.
+  uint32_t ApN = 0;     ///< Argument count; args are Opers' top ApN slots.
+  uint32_t ApFloor = 0; ///< Operand floor the application's value lands on.
+  uint32_t ApRetIP = 0; ///< Continuation code index.
+  Obj *ApUpd = nullptr; ///< Thunk the application's value updates, if any.
+  bool ApTail = false;  ///< Ledger: TailCalls vs Calls.
+  Slot RetV;            ///< Value being returned.
+  Slot PrLhs, PrRhs;    ///< Primop operands.
 
   auto deref = [](Slot V) {
     while (V.isPtr() && V.P->Kind == Obj::K::Ind)
@@ -185,7 +202,8 @@ VmResult Vm::run(const Module &M, uint64_t MaxSteps) {
       &&Lb_MkThunk,  &&Lb_MkThunkRec,  &&Lb_Call,      &&Lb_TailCall,
       &&Lb_Return,   &&Lb_Prim,        &&Lb_MkBox,     &&Lb_UnBox,
       &&Lb_AllocCon, &&Lb_Jump,        &&Lb_If0,       &&Lb_Switch,
-      &&Lb_Error};
+      &&Lb_Error,    &&Lb_CallN,       &&Lb_TailCallN, &&Lb_PrimLocal,
+      &&Lb_PrimInt,  &&Lb_ReturnLocal};
 #define VM_CASE(Name) Lb_##Name
 #define VM_NEXT()                                                              \
   do {                                                                         \
@@ -235,7 +253,8 @@ Dispatch:
         V = O->Val;
         continue;
       }
-      if (O->Kind == Obj::K::Closure || O->Kind == Obj::K::Con) {
+      if (O->Kind == Obj::K::Closure || O->Kind == Obj::K::Con ||
+          O->Kind == Obj::K::Pap) {
         ++S.VarLookups;
         Opers.push_back(V);
         break;
@@ -352,79 +371,202 @@ Dispatch:
   VM_NEXT();
 
   VM_CASE(Call) : {
-    Slot Arg = Opers.back();
+    // One-argument apply: remove the function (one slot below the arg),
+    // shifting the arg down onto the operand floor.
+    const size_t FnPos = Opers.size() - 2;
+    ApFn = Opers[FnPos];
+    Opers[FnPos] = Opers.back();
     Opers.pop_back();
-    Slot Fn = deref(Opers.back());
-    Opers.pop_back();
-    if (!Fn.isPtr() || Fn.P->Kind != Obj::K::Closure)
-      VM_STUCK(appStuckMsg(Arg.Kind));
-    const Proto *Q = &M.Protos[Fn.P->ProtoIdx];
-    if (!Q->HasParam)
-      VM_STUCK(appStuckMsg(Arg.Kind));
-    if (Q->ParamSort != Arg.Kind)
-      VM_STUCK(ccMismatchMsg(Arg.Kind));
-    ++S.Calls;
-    uint32_t NewLBase = static_cast<uint32_t>(Locals.size());
-    Frames.push_back(
-        {Q, IP, NewLBase, static_cast<uint32_t>(Opers.size()), nullptr});
-    if (Frames.size() > S.MaxFrameDepth)
-      S.MaxFrameDepth = Frames.size();
-    Locals.resize(NewLBase + Q->NumLocals);
-    const std::vector<Slot> &Env = Fn.P->Fields;
-    for (size_t J = 0; J != Env.size(); ++J)
-      Locals[NewLBase + J] = Env[J];
-    Locals[NewLBase + Q->paramSlot()] = Arg;
-    LBase = NewLBase;
-    IP = Q->Entry;
+    ApN = 1;
+    ApFloor = static_cast<uint32_t>(FnPos);
+    ApRetIP = IP;
+    ApUpd = nullptr;
+    ApTail = false;
+    goto DoApply;
   }
-  VM_NEXT();
+
+  VM_CASE(CallN) : {
+    const uint32_t N = I->B;
+    const size_t FnPos = Opers.size() - N - 1;
+    ApFn = Opers[FnPos];
+    Opers.erase(Opers.begin() + static_cast<ptrdiff_t>(FnPos));
+    ApN = N;
+    ApFloor = static_cast<uint32_t>(FnPos);
+    ApRetIP = IP;
+    ApUpd = nullptr;
+    ApTail = false;
+    ++S.UncurriedCalls;
+    goto DoApply;
+  }
 
   VM_CASE(TailCall) : {
-    Slot Arg = Opers.back();
-    Opers.pop_back();
-    Slot Fn = deref(Opers.back());
-    Opers.pop_back();
-    if (!Fn.isPtr() || Fn.P->Kind != Obj::K::Closure)
-      VM_STUCK(appStuckMsg(Arg.Kind));
-    const Proto *Q = &M.Protos[Fn.P->ProtoIdx];
-    if (!Q->HasParam)
-      VM_STUCK(appStuckMsg(Arg.Kind));
-    if (Q->ParamSort != Arg.Kind)
-      VM_STUCK(ccMismatchMsg(Arg.Kind));
-    ++S.TailCalls;
-    // Reuse the frame in place: same LBase/OBase, and crucially the same
-    // pending Update — a tail call inside a thunk body must still write
-    // the eventual value back to the thunk's cell.
-    FrameRec &F = Frames.back();
+    ApN = 1;
+    goto DoTailCall;
+  }
+
+  VM_CASE(TailCallN) : {
+    ApN = I->B;
+    ++S.UncurriedCalls;
+    goto DoTailCall;
+  }
+
+  DoTailCall : {
+    // Replace the current frame: its continuation (return address, thunk
+    // update, operand floor) becomes the application's continuation — a
+    // tail call inside a thunk body must still write the eventual value
+    // back to the thunk's cell. Any pending over-application args the
+    // frame holds (directly below its floor) are appended to this call's
+    // args: applying f to [tail-args ++ pend-args] left to right is
+    // exactly "apply f to the tail args, then the result to the pending
+    // ones".
+    const FrameRec F = Frames.back();
+    Frames.pop_back();
+    const uint32_t X = F.OBase - F.PendArgs;
+    const size_t FnPos = Opers.size() - ApN - 1;
+    ApFn = Opers[FnPos];
+    ApBuf.assign(Opers.begin() + static_cast<ptrdiff_t>(FnPos) + 1,
+                 Opers.end());
+    // Keep the pending args below the floor, drop everything above it
+    // (the function and any leftover operands), then splice this call's
+    // args in *below* the pending batch — first-applied deepest.
     Opers.resize(F.OBase);
+    Opers.insert(Opers.begin() + X, ApBuf.begin(), ApBuf.end());
+    ApN += F.PendArgs;
+    ApFloor = X;
+    ApRetIP = F.ReturnIP;
+    ApUpd = F.Update;
+    ApTail = true;
     Locals.resize(F.LBase);
-    F.P = Q;
-    Locals.resize(F.LBase + Q->NumLocals);
-    const std::vector<Slot> &Env = Fn.P->Fields;
-    for (size_t J = 0; J != Env.size(); ++J)
-      Locals[F.LBase + J] = Env[J];
-    Locals[F.LBase + Q->paramSlot()] = Arg;
-    LBase = F.LBase;
-    IP = Q->Entry;
+    goto DoApply;
+  }
+
+  DoApply : {
+    // The eval/apply loop: ApN args sit on top of Opers (first-applied
+    // deepest, args base == ApFloor), ApFn is the value being applied.
+    // Terminates by entering a proto at saturation, building a PAP on
+    // under-application, or sticking — each pass consumes or produces
+    // at least one argument, so it is bounded without burning fuel.
+    for (;;) {
+      ApFn = deref(ApFn);
+      const size_t ArgsBase = Opers.size() - ApN;
+      if (!ApFn.isPtr() || (ApFn.P->Kind != Obj::K::Closure &&
+                            ApFn.P->Kind != Obj::K::Pap))
+        VM_STUCK(appStuckMsg(Opers[ArgsBase].Kind));
+      Obj *FO = ApFn.P;
+      if (FO->Kind == Obj::K::Pap) {
+        // Unfold: the PAP's stored args were applied first, so they go
+        // below the new batch; retry against the underlying closure.
+        Opers.insert(Opers.begin() + static_cast<ptrdiff_t>(ArgsBase),
+                     FO->Fields.begin(), FO->Fields.end());
+        ApN += static_cast<uint32_t>(FO->Fields.size());
+        ApFn = FO->Val;
+        continue;
+      }
+      const Proto *Q = &M.Protos[FO->ProtoIdx];
+      const uint32_t A = Q->numParams();
+      if (A == 0)
+        VM_STUCK(appStuckMsg(Opers[ArgsBase].Kind));
+      // Calling conventions are checked in application order, so the
+      // first mismatching argument reports — same message the machine's
+      // one-arg-at-a-time BETA sequence would pick.
+      const uint32_t Use = ApN < A ? ApN : A;
+      for (uint32_t J = 0; J != Use; ++J)
+        if (Q->ParamSorts[J] != Opers[ArgsBase + J].Kind)
+          VM_STUCK(ccMismatchMsg(Opers[ArgsBase + J].Kind));
+      if (ApN < A) {
+        // Under-application: the value is a PAP — return it to the
+        // continuation (updating the pending thunk, if any).
+        Obj &O = AllocObj();
+        O.Kind = Obj::K::Pap;
+        O.Val = ApFn;
+        O.Fields.assign(Opers.begin() + static_cast<ptrdiff_t>(ArgsBase),
+                        Opers.end());
+        ++S.Allocations;
+        ++S.PapAllocs;
+        NoteAlloc(O.Fields.size());
+        RetV = Slot::ofPtr(&O);
+        if (ApUpd) {
+          ApUpd->Kind = Obj::K::Ind;
+          ApUpd->Val = RetV;
+          FieldSlots -= ApUpd->Fields.size();
+          ApUpd->Fields.clear();
+          ++S.ThunkUpdates;
+        }
+        Opers.resize(ApFloor);
+        Opers.push_back(RetV);
+        if (Frames.empty())
+          goto Finished;
+        LBase = Frames.back().LBase;
+        IP = ApRetIP;
+        break;
+      }
+      // Saturation: enter the proto with the first A args in frame
+      // slots. Surplus args (over-application) slide down to the floor
+      // and wait below the new frame as its PendArgs.
+      if (ApTail)
+        ++S.TailCalls;
+      else
+        ++S.Calls;
+      const uint32_t NewLBase = static_cast<uint32_t>(Locals.size());
+      Locals.resize(NewLBase + Q->NumLocals);
+      const std::vector<Slot> &Env = FO->Fields;
+      for (size_t J = 0; J != Env.size(); ++J)
+        Locals[NewLBase + J] = Env[J];
+      for (uint32_t J = 0; J != A; ++J)
+        Locals[NewLBase + Env.size() + J] = Opers[ArgsBase + J];
+      const uint32_t Pend = ApN - A;
+      for (uint32_t J = 0; J != Pend; ++J)
+        Opers[ApFloor + J] = Opers[ArgsBase + A + J];
+      Opers.resize(ApFloor + Pend);
+      Frames.push_back({Q, ApRetIP, NewLBase, ApFloor + Pend, ApUpd, Pend});
+      if (Frames.size() > S.MaxFrameDepth)
+        S.MaxFrameDepth = Frames.size();
+      LBase = NewLBase;
+      IP = Q->Entry;
+      break;
+    }
   }
   VM_NEXT();
 
   VM_CASE(Return) : {
-    Slot V = Opers.back();
+    RetV = Opers.back();
+    goto DoReturn;
+  }
+
+  VM_CASE(ReturnLocal) : {
+    ++S.FusedOps;
+    RetV = Locals[LBase + I->B];
+    goto DoReturn;
+  }
+
+  DoReturn : {
     FrameRec F = Frames.back();
     Frames.pop_back();
     Opers.resize(F.OBase);
     Locals.resize(F.LBase);
+    if (F.PendArgs != 0) {
+      // Over-application surplus: the returned value is itself applied
+      // to the args waiting below the frame's floor, inheriting the
+      // frame's continuation (return address and thunk update — the
+      // thunk's value is the *full* application's result).
+      ApFn = RetV;
+      ApN = F.PendArgs;
+      ApFloor = F.OBase - F.PendArgs;
+      ApRetIP = F.ReturnIP;
+      ApUpd = F.Update;
+      ApTail = false;
+      goto DoApply;
+    }
     if (F.Update) {
       F.Update->Kind = Obj::K::Ind;
-      F.Update->Val = V;
+      F.Update->Val = RetV;
       // The captures are dead once the thunk is an indirection (they
       // were kept through the blackhole phase for abort-retryability).
       FieldSlots -= F.Update->Fields.size();
       F.Update->Fields.clear();
       ++S.ThunkUpdates;
     }
-    Opers.push_back(V);
+    Opers.push_back(RetV);
     if (Frames.empty())
       goto Finished;
     LBase = Frames.back().LBase;
@@ -433,29 +575,47 @@ Dispatch:
   VM_NEXT();
 
   VM_CASE(Prim) : {
-    Slot Rhs = Opers.back();
+    PrRhs = Opers.back();
     Opers.pop_back();
-    Slot Lhs = Opers.back();
-    Opers.pop_back();
+    goto DoPrim;
+  }
+
+  VM_CASE(PrimLocal) : {
+    ++S.FusedOps;
+    PrRhs = Locals[LBase + I->B];
+    goto DoPrim;
+  }
+
+  VM_CASE(PrimInt) : {
+    ++S.FusedOps;
+    PrRhs = Slot::ofInt(M.IntPool[static_cast<uint32_t>(I->C)]);
+    goto DoPrim;
+  }
+
+  DoPrim : {
+    // Shared primop body: the lhs is the operand-stack top and the
+    // result overwrites it in place; the rhs came from the stack (Prim),
+    // a frame slot (PrimLocal), or the Int# pool (PrimInt).
+    PrLhs = Opers.back();
     const MPrim OpK = static_cast<MPrim>(I->A);
     ++S.Prims;
     if (mcalc::mPrimTakesDouble(OpK)) {
-      if (!Lhs.isDbl() || !Rhs.isDbl())
+      if (!PrLhs.isDbl() || !PrRhs.isDbl())
         VM_STUCK("integer atom in a double primop");
       if (mcalc::mPrimReturnsDouble(OpK))
-        Opers.push_back(Slot::ofDbl(mcalc::evalMPrimDD(OpK, Lhs.D, Rhs.D)));
+        Opers.back() = Slot::ofDbl(mcalc::evalMPrimDD(OpK, PrLhs.D, PrRhs.D));
       else
-        Opers.push_back(Slot::ofInt(mcalc::evalMPrimDI(OpK, Lhs.D, Rhs.D)));
+        Opers.back() = Slot::ofInt(mcalc::evalMPrimDI(OpK, PrLhs.D, PrRhs.D));
     } else {
-      if (!Lhs.isInt() || !Rhs.isInt())
+      if (!PrLhs.isInt() || !PrRhs.isInt())
         VM_STUCK("double atom in an integer primop");
       if (OpK == MPrim::Quot || OpK == MPrim::Rem) {
-        if (Rhs.I == 0)
+        if (PrRhs.I == 0)
           VM_STUCK("divide by zero");
-        if (Lhs.I == std::numeric_limits<int64_t>::min() && Rhs.I == -1)
+        if (PrLhs.I == std::numeric_limits<int64_t>::min() && PrRhs.I == -1)
           VM_STUCK("integer overflow in division");
       }
-      Opers.push_back(Slot::ofInt(mcalc::evalMPrim(OpK, Lhs.I, Rhs.I)));
+      Opers.back() = Slot::ofInt(mcalc::evalMPrim(OpK, PrLhs.I, PrRhs.I));
     }
   }
   VM_NEXT();
@@ -526,10 +686,24 @@ Dispatch:
     if (V.isPtr()) {
       const Obj *O = V.P;
       if (O->Kind == Obj::K::Con && !O->IsBox) {
-        for (const SwitchAlt &A : T.Alts) {
-          if (A.Pat != static_cast<uint8_t>(mcalc::MAlt::PatKind::Con) ||
-              A.Tag != O->Tag)
-            continue;
+        const SwitchAlt *Chosen = nullptr;
+        if (!T.DenseAltIdx.empty()) {
+          // Dense dispatch: all alternatives are constructor tags in a
+          // compact range, so the tag indexes the alternative directly
+          // (unsigned wrap makes below-base tags fall out of range).
+          const uint32_t Off = O->Tag - T.DenseTagBase;
+          if (Off < T.DenseAltIdx.size() && T.DenseAltIdx[Off] >= 0)
+            Chosen = &T.Alts[static_cast<size_t>(T.DenseAltIdx[Off])];
+        } else {
+          for (const SwitchAlt &A : T.Alts)
+            if (A.Pat == static_cast<uint8_t>(mcalc::MAlt::PatKind::Con) &&
+                A.Tag == O->Tag) {
+              Chosen = &A;
+              break;
+            }
+        }
+        if (Chosen) {
+          const SwitchAlt &A = *Chosen;
           if (A.BinderSorts.size() != O->Fields.size())
             VM_STUCK("switch alternative arity mismatch");
           for (size_t J = 0; J != O->Fields.size(); ++J)
@@ -540,7 +714,6 @@ Dispatch:
           ++S.Branches;
           IP = A.Target;
           Taken = true;
-          break;
         }
       } else if (O->Kind == Obj::K::Con) {
         // I#[n]: tag 0 of Int, one strict Int# field (IMAT via SWITCHk).

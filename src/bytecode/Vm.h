@@ -81,14 +81,15 @@ struct Obj {
     Blackhole, ///< Thunk currently under evaluation.
     Ind,       ///< Updated thunk: Val holds the result.
     Closure,   ///< λ value: proto + captured environment.
-    Con        ///< CON node (IsBox: the compact I#[n]).
+    Con,       ///< CON node (IsBox: the compact I#[n]).
+    Pap        ///< Partial application: Val = the closure, Fields = args.
   };
   K Kind = K::Thunk;
   bool IsBox = false;
   uint32_t Tag = 0;
   uint32_t ProtoIdx = 0;
-  Slot Val;                 ///< Ind only.
-  std::vector<Slot> Fields; ///< Captures (Thunk/Closure) or CON fields.
+  Slot Val;                 ///< Ind result, or the Pap's closure.
+  std::vector<Slot> Fields; ///< Captures, CON fields, or Pap args.
 };
 
 /// Ledger counters mirroring mcalc::Machine::Stats, plus VM-specific
@@ -107,6 +108,9 @@ struct VmStats {
   uint64_t Switches = 0;     ///< switch dispatches (SWITCHk).
   uint64_t ConAllocs = 0;    ///< CON nodes and I# boxes allocated.
   uint64_t Knots = 0;        ///< letrec self-references tied (RECLET).
+  uint64_t UncurriedCalls = 0; ///< Multi-arg CallN/TailCallN dispatches.
+  uint64_t PapAllocs = 0;      ///< Partial-application objects built.
+  uint64_t FusedOps = 0;       ///< Superinstructions executed.
   uint64_t MaxFrameDepth = 0;  ///< Deepest call stack seen.
   uint64_t MaxHeapObjects = 0; ///< Most live heap objects seen.
   /// Peak bytes held by live heap objects (object headers plus their
@@ -144,12 +148,17 @@ private:
     uint32_t LBase = 0;    ///< First frame slot in Locals.
     uint32_t OBase = 0;    ///< Operand-stack floor for this frame.
     Obj *Update = nullptr; ///< Thunk to update on return, if any.
+    /// Over-application surplus: this many operand slots directly below
+    /// OBase hold arguments the frame's return value must be applied to
+    /// (first-applied deepest) before the frame really returns.
+    uint32_t PendArgs = 0;
   };
 
   // Reused across runs to amortize allocation; cleared on entry.
   std::vector<Slot> Opers;
   std::vector<Slot> Locals;
   std::vector<FrameRec> Frames;
+  std::vector<Slot> ApBuf; ///< Scratch for tail-apply argument shuffles.
   /// Reference-stable object storage, recycled as a region: run() rewinds
   /// HeapUsed to 0 instead of clearing the deque, so steady-state runs
   /// reuse already-constructed Objs (and their Fields capacity) with zero

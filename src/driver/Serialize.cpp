@@ -580,8 +580,9 @@ void levc::writeBytecodeModule(ByteWriter &W, const bytecode::Module &M) {
     W.u32(P.Entry);
     W.u32(P.End);
     W.u32(P.NumLocals);
-    W.u8(P.HasParam);
-    W.u8(P.ParamSort);
+    W.u32(static_cast<uint32_t>(P.ParamSorts.size()));
+    for (uint8_t S : P.ParamSorts)
+      W.u8(S);
     W.u32(static_cast<uint32_t>(P.Caps.size()));
     for (const bytecode::Capture &C : P.Caps) {
       W.u32(C.Src);
@@ -637,8 +638,14 @@ levc::readBytecodeModule(ByteReader &R) {
     P.Entry = R.u32();
     P.End = R.u32();
     uint32_t NumLocals = R.u32();
-    P.HasParam = R.u8();
-    P.ParamSort = R.u8();
+    uint32_t NumParams = R.u32();
+    if (!R.ok() || NumParams > bytecode::MaxFrameSlots) {
+      R.fail();
+      return nullptr;
+    }
+    P.ParamSorts.reserve(NumParams);
+    for (uint32_t J = 0; J != NumParams; ++J)
+      P.ParamSorts.push_back(R.u8());
     uint32_t NumCaps = R.u32();
     if (!R.ok() || NumLocals > bytecode::MaxFrameSlots ||
         NumCaps > bytecode::MaxFrameSlots) {
@@ -740,6 +747,9 @@ levc::readBytecodeModule(ByteReader &R) {
     R.fail();
     return nullptr;
   }
+  // Dense switch dispatch is derived data — never serialized, rebuilt
+  // after the decoded module has been proven well-formed.
+  bytecode::buildDispatchTables(*M);
   return M;
 }
 

@@ -873,6 +873,56 @@ TEST(ArtifactSerializeTest, BytecodeModuleCodecRejectsMalformedInput) {
   }
 }
 
+TEST(ArtifactSerializeTest, BytecodeCodecSurvivesFuzzedInput) {
+  // Deterministic single-byte corruptions over a real multi-arity
+  // module (a recursive two-parameter closure, so the encoding carries
+  // a ParamSorts vector and captures): every mutation must either be
+  // rejected by the decoder — which re-validates before trusting
+  // anything — or yield a module the VM runs to a clean outcome. A
+  // crash or out-of-bounds access under any flip is the failure mode
+  // this guards against; the sanitizer CI jobs run this same test.
+  mcalc::MContext MC;
+  mcalc::MVar F = MC.freshPtr(), X = MC.freshInt(), Y = MC.freshInt();
+  const mcalc::Term *Fn = MC.lam(
+      X, MC.lam(Y, MC.if0(MC.var(X), MC.var(Y),
+                          MC.prim(mcalc::MPrim::Add, mcalc::MAtom::var(X),
+                                  mcalc::MAtom::var(Y)))));
+  const mcalc::Term *T = MC.letRec(
+      F, Fn, MC.appLit(MC.appLit(MC.var(F), 20), 22));
+  auto Mod = bytecode::compile(T);
+  ASSERT_TRUE(Mod.ok()) << Mod.error();
+  {
+    bytecode::Vm Vm;
+    ASSERT_EQ(Vm.run(**Mod, 4096).IntValue.value_or(-1), 42);
+  }
+
+  levc::ByteWriter W;
+  levc::writeBytecodeModule(W, **Mod);
+  const std::string Bytes = W.bytes();
+  size_t Decoded = 0;
+  for (size_t I = 0; I != Bytes.size(); ++I) {
+    for (uint8_t Delta : {0x01, 0x80, 0xFF}) {
+      std::string Mut = Bytes;
+      Mut[I] = static_cast<char>(static_cast<uint8_t>(Mut[I]) ^ Delta);
+      levc::ByteReader R(Mut);
+      std::shared_ptr<const bytecode::Module> Back =
+          levc::readBytecodeModule(R);
+      if (!Back)
+        continue;
+      ++Decoded;
+      EXPECT_TRUE(bytecode::validate(*Back))
+          << "decoder must never hand out an invalid module (offset " << I
+          << ", flip 0x" << std::hex << unsigned(Delta) << ")";
+      bytecode::Vm Vm;
+      bytecode::VmResult Res = Vm.run(*Back, 4096);
+      (void)Res; // Any of the four clean outcomes is acceptable.
+    }
+  }
+  // Some flips (e.g. in pooled literal payloads) decode fine; the
+  // interesting property is that everything that decodes also runs.
+  SUCCEED() << Decoded << " mutants decoded cleanly";
+}
+
 TEST(ArtifactStoreTest, SerializeRejectsFormalAndProgrammaticCompilations) {
   Session S;
   auto Formal = S.compileFormal(

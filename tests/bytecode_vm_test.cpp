@@ -223,6 +223,108 @@ TEST(BytecodeVmTest, CaseOverARawIntIsStuck) {
   EXPECT_EQ(R.StuckReason, "case continuation expects I#[n]");
 }
 
+//===----------------------------------------------------------------------===//
+// Eval/apply: uncurried calls, partial applications, over-application
+//===----------------------------------------------------------------------===//
+
+TEST(BytecodeVmTest, UnderApplicationBuildsAPap) {
+  // (λx.λy. x +# y) 1 — one argument short of the two-parameter proto:
+  // eval/apply parks the argument in a PAP, which is a first-class
+  // function value rendered like any closure. The proto is never
+  // entered.
+  mcalc::MContext MC;
+  mcalc::MVar X = MC.freshInt(), Y = MC.freshInt();
+  const mcalc::Term *F =
+      MC.lam(X, MC.lam(Y, MC.prim(mcalc::MPrim::Add, mcalc::MAtom::var(X),
+                                  mcalc::MAtom::var(Y))));
+  VmResult R = compileAndRun(MC.appLit(F, 1));
+  ASSERT_TRUE(R.ok()) << R.StuckReason;
+  EXPECT_EQ(R.Display, "<closure>");
+  EXPECT_EQ(R.Stats.PapAllocs, 1u);
+  EXPECT_EQ(R.Stats.Calls, 0u);
+}
+
+TEST(BytecodeVmTest, OverApplicationEntersThenAppliesTheResult) {
+  // f = λx.λy. (let g = λz. (x+y)+z in g) — a two-parameter proto whose
+  // body *returns* a one-parameter closure. f 1 2 3 compiles to a
+  // single three-argument CallN: the VM enters f saturated, parks the
+  // surplus 3 below the frame, and applies the returned g to it on the
+  // way out. No PAP is ever built.
+  mcalc::MContext MC;
+  mcalc::MVar X = MC.freshInt(), Y = MC.freshInt(), Z = MC.freshInt(),
+              W = MC.freshInt();
+  mcalc::MVar G = MC.freshPtr();
+  const mcalc::Term *GFn =
+      MC.lam(Z, MC.letBang(W,
+                           MC.prim(mcalc::MPrim::Add, mcalc::MAtom::var(X),
+                                   mcalc::MAtom::var(Y)),
+                           MC.prim(mcalc::MPrim::Add, mcalc::MAtom::var(W),
+                                   mcalc::MAtom::var(Z))));
+  const mcalc::Term *F =
+      MC.lam(X, MC.lam(Y, MC.let(G, GFn, MC.var(G))));
+  VmResult R =
+      compileAndRun(MC.appLit(MC.appLit(MC.appLit(F, 1), 2), 3));
+  ASSERT_TRUE(R.ok()) << R.StuckReason;
+  EXPECT_EQ(R.IntValue.value_or(-1), 6);
+  EXPECT_GE(R.Stats.UncurriedCalls, 1u);
+  EXPECT_EQ(R.Stats.PapAllocs, 0u);
+}
+
+TEST(BytecodeVmTest, PapInAThunkIsBuiltOnceAndSharedAcrossCalls) {
+  // let p = (λx.λy. x+y) 10 in (p 2) + (p 30): the partial application
+  // lives in a lazy thunk. The first force builds the PAP and updates
+  // the cell; the second call reuses the same PAP object, so exactly
+  // one PAP is ever allocated.
+  mcalc::MContext MC;
+  mcalc::MVar X = MC.freshInt(), Y = MC.freshInt();
+  mcalc::MVar Pv = MC.freshPtr(), A = MC.freshInt(), B = MC.freshInt();
+  const mcalc::Term *F =
+      MC.lam(X, MC.lam(Y, MC.prim(mcalc::MPrim::Add, mcalc::MAtom::var(X),
+                                  mcalc::MAtom::var(Y))));
+  const mcalc::Term *T = MC.let(
+      Pv, MC.appLit(F, 10),
+      MC.letBang(A, MC.appLit(MC.var(Pv), 2),
+                 MC.letBang(B, MC.appLit(MC.var(Pv), 30),
+                            MC.prim(mcalc::MPrim::Add, mcalc::MAtom::var(A),
+                                    mcalc::MAtom::var(B)))));
+  VmResult R = compileAndRun(T);
+  ASSERT_TRUE(R.ok()) << R.StuckReason;
+  EXPECT_EQ(R.IntValue.value_or(-1), 52);
+  EXPECT_EQ(R.Stats.PapAllocs, 1u);
+  EXPECT_EQ(R.Stats.ThunkEvals, 1u);
+  EXPECT_EQ(R.Stats.ThunkUpdates, 1u);
+}
+
+TEST(BytecodeVmTest, MultiArgApplyAgainstNonLambdaNamesTheFirstArg) {
+  // 5 applied to two arguments goes through the CallN path; the stuck
+  // message is keyed by the *first* pending argument, exactly like the
+  // machine unwinding its innermost App continuation.
+  mcalc::MContext MC;
+  VmResult R =
+      compileAndRun(MC.appDbl(MC.appLit(MC.lit(5), 1), 2.5));
+  ASSERT_EQ(R.Out, VmResult::Outcome::Stuck);
+  EXPECT_EQ(R.StuckReason, "App(n) against a non-lambda value");
+}
+
+TEST(BytecodeVmTest, PapMismatchedSecondArgIsTheMachineStuck) {
+  // Saturating a PAP with a wrong-register argument reports the same
+  // calling-convention stuck the one-at-a-time machine would: the
+  // stored argument matched, the new one does not.
+  mcalc::MContext MC;
+  mcalc::MVar X = MC.freshInt(), Y = MC.freshInt();
+  mcalc::MVar Pv = MC.freshPtr();
+  const mcalc::Term *F =
+      MC.lam(X, MC.lam(Y, MC.prim(mcalc::MPrim::Add, mcalc::MAtom::var(X),
+                                  mcalc::MAtom::var(Y))));
+  const mcalc::Term *T =
+      MC.let(Pv, MC.appLit(F, 10), MC.appDbl(MC.var(Pv), 1.5));
+  VmResult R = compileAndRun(T);
+  ASSERT_EQ(R.Out, VmResult::Outcome::Stuck);
+  EXPECT_EQ(
+      R.StuckReason,
+      "calling-convention mismatch: double argument for a non-double-register parameter");
+}
+
 TEST(BytecodeVmTest, DivergenceRunsOutOfFuel) {
   // letrec f = λn. f n in f 0
   mcalc::MContext MC;
@@ -400,11 +502,134 @@ TEST(BytecodeValidateTest, RejectsOpenEntryProto) {
   M.Code.push_back({Op::Return, 0, 0, 0});
   ASSERT_TRUE(validate(M)); // Closed entry: fine.
 
-  M.Protos[0].HasParam = 1;
+  M.Protos[0].ParamSorts.push_back(static_cast<uint8_t>(mcalc::VarSort::Int));
   EXPECT_FALSE(validate(M));
 
-  M.Protos[0].HasParam = 0;
+  M.Protos[0].ParamSorts.clear();
   M.Protos[0].Caps.push_back({/*Src=*/0, /*Sort=*/0});
+  EXPECT_FALSE(validate(M));
+}
+
+TEST(BytecodeValidateTest, RejectsZeroArityCallN) {
+  // CallN/TailCallN carry the argument count in B; zero arguments is
+  // never emitted (plain evaluation needs no call) and the dispatch
+  // loop reads the first argument's kind for its stuck message, so the
+  // verifier rejects B == 0 outright.
+  Module M;
+  M.IntPool.push_back(0);
+  Proto P;
+  P.Entry = 0;
+  P.End = 4;
+  M.Protos.push_back(P);
+  M.Code.push_back({Op::PushInt, 0, 0, 0});
+  M.Code.push_back({Op::PushInt, 0, 0, 0});
+  M.Code.push_back({Op::CallN, 0, /*B=*/1, 0});
+  M.Code.push_back({Op::Return, 0, 0, 0});
+  ASSERT_TRUE(validate(M)); // Well-typed one-argument CallN: fine.
+
+  M.Code[2].B = 0;
+  EXPECT_FALSE(validate(M));
+
+  M.Code[2] = {Op::TailCallN, 0, /*B=*/0, 0};
+  EXPECT_FALSE(validate(M));
+}
+
+TEST(BytecodeValidateTest, RejectsArityMismatchedClosureProtos) {
+  // MkThunk/MkThunkRec targets are entered by force with no arguments —
+  // they must have zero parameters. MkClosure/MkClosureRec targets are
+  // entered by apply at saturation — they must have at least one.
+  Module M;
+  M.IntPool.push_back(0);
+  Proto Entry;
+  Entry.Entry = 0;
+  Entry.End = 2;
+  M.Protos.push_back(Entry);
+  Proto Fn;
+  Fn.Entry = 2;
+  Fn.End = 4;
+  Fn.NumLocals = 1;
+  Fn.ParamSorts.push_back(static_cast<uint8_t>(mcalc::VarSort::Int));
+  M.Protos.push_back(Fn);
+  M.Code.push_back({Op::MkClosure, 0, 0, /*C=*/1});
+  M.Code.push_back({Op::Return, 0, 0, 0});
+  M.Code.push_back({Op::PushInt, 0, 0, 0});
+  M.Code.push_back({Op::Return, 0, 0, 0});
+  ASSERT_TRUE(validate(M)); // Closure over a one-parameter proto: fine.
+
+  M.Protos[1].ParamSorts.clear();
+  EXPECT_FALSE(validate(M)) << "closure over a zero-parameter proto";
+
+  M.Code[0].Code = Op::MkThunk;
+  EXPECT_TRUE(validate(M)); // Thunk over a zero-parameter proto: fine.
+
+  M.Protos[1].ParamSorts.push_back(
+      static_cast<uint8_t>(mcalc::VarSort::Int));
+  EXPECT_FALSE(validate(M)) << "thunk over a parameterized proto";
+}
+
+TEST(BytecodeValidateTest, RejectsMalformedParamMetadata) {
+  Module M;
+  M.IntPool.push_back(0);
+  Proto Entry;
+  Entry.Entry = 0;
+  Entry.End = 2;
+  M.Protos.push_back(Entry);
+  Proto Fn;
+  Fn.Entry = 2;
+  Fn.End = 4;
+  Fn.NumLocals = 1;
+  Fn.ParamSorts.push_back(static_cast<uint8_t>(mcalc::VarSort::Int));
+  M.Protos.push_back(Fn);
+  M.Code.push_back({Op::MkClosure, 0, 0, /*C=*/1});
+  M.Code.push_back({Op::Return, 0, 0, 0});
+  M.Code.push_back({Op::PushInt, 0, 0, 0});
+  M.Code.push_back({Op::Return, 0, 0, 0});
+  ASSERT_TRUE(validate(M));
+
+  // A parameter sort outside the Ptr/Int/Dbl trichotomy.
+  M.Protos[1].ParamSorts[0] = 9;
+  EXPECT_FALSE(validate(M));
+
+  // Captures + parameters must fit in the frame's local slots.
+  M.Protos[1].ParamSorts[0] = static_cast<uint8_t>(mcalc::VarSort::Int);
+  M.Protos[1].ParamSorts.push_back(
+      static_cast<uint8_t>(mcalc::VarSort::Int));
+  EXPECT_FALSE(validate(M)) << "two fixed slots in a one-local frame";
+}
+
+TEST(BytecodeValidateTest, RejectsOutOfRangeSuperinstructionOperands) {
+  // The fused forms carry a local slot or pool index the plain forms
+  // would have read from the stack; each operand is range-checked.
+  Module M;
+  M.IntPool.push_back(4);
+  Proto P;
+  P.Entry = 0;
+  P.End = 3;
+  P.NumLocals = 1;
+  M.Protos.push_back(P);
+  M.Code.push_back({Op::PushInt, 0, 0, 0});
+  M.Code.push_back(
+      {Op::PrimLocal, static_cast<uint8_t>(mcalc::MPrim::Add), 0, 0});
+  M.Code.push_back({Op::Return, 0, 0, 0});
+  ASSERT_TRUE(validate(M));
+
+  M.Code[1].B = 5; // Local slot out of range.
+  EXPECT_FALSE(validate(M));
+  M.Code[1].B = 0;
+
+  M.Code[1].A = 255; // Not an MPrim.
+  EXPECT_FALSE(validate(M));
+
+  M.Code[1] = {Op::PrimInt, static_cast<uint8_t>(mcalc::MPrim::Add), 0,
+               /*C=*/0};
+  ASSERT_TRUE(validate(M));
+  M.Code[1].C = 3; // Pool index out of range.
+  EXPECT_FALSE(validate(M));
+
+  M.Code = {{Op::ReturnLocal, 0, /*B=*/0, 0}};
+  M.Protos[0].End = 1;
+  ASSERT_TRUE(validate(M));
+  M.Code[0].B = 1; // Local slot out of range.
   EXPECT_FALSE(validate(M));
 }
 

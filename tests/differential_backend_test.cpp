@@ -163,12 +163,13 @@ TEST(DifferentialBackendTest, MachineLoopRunsUnboxed) {
 
 TEST(DifferentialBackendTest, BytecodeLoopRunsUnboxedAtConstantDepth) {
   // The Section 2.1 claim in the VM's own cost model: the loop's
-  // arguments stay in Int# registers — no thunks, no I# boxes per
-  // iteration — and the self-call is a frame-reusing TailCall, so the
-  // stack stays at constant depth no matter the iteration count. (The
-  // curried partial application `sumToH acc` does allocate one closure
-  // per iteration; that is environment-model bookkeeping, pinned below
-  // so a regression to per-iteration *data* allocation is caught.)
+  // arguments stay in Int# registers — no thunks, no I# boxes, no
+  // closures, no PAPs per iteration — and the self-call is a saturated
+  // TailCallN that re-enters at the same stack position, so the stack
+  // stays at constant depth no matter the iteration count. Before
+  // multi-arg uncurrying the curried `sumToH acc` spine allocated one
+  // closure per iteration; the per-iteration heap traffic is now zero,
+  // pinned exactly below.
   Session S;
   auto Comp = S.compile("sumToH :: Int# -> Int# -> Int# ;"
                         "sumToH acc n = case n of {"
@@ -186,12 +187,18 @@ TEST(DifferentialBackendTest, BytecodeLoopRunsUnboxedAtConstantDepth) {
   EXPECT_EQ(Small.Vm.MaxFrameDepth, Large.Vm.MaxFrameDepth)
       << "the recursive call must run as a frame-reusing tail call";
   EXPECT_GT(Large.Vm.TailCalls, Small.Vm.TailCalls);
-  // Identical thunk/box traffic at 100x the iterations; the only
-  // growing allocation is one closure per curried tail call.
+  EXPECT_GT(Large.Vm.UncurriedCalls, Small.Vm.UncurriedCalls)
+      << "the recursive spine must compile to a multi-arg TailCallN";
+  // 100x the iterations, *identical* heap traffic: every argument
+  // arrives saturated in a register-typed frame slot.
   EXPECT_EQ(Small.Vm.ThunkEvals, Large.Vm.ThunkEvals);
   EXPECT_EQ(Small.Vm.ConAllocs, Large.Vm.ConAllocs);
-  EXPECT_EQ(Large.Vm.Allocations - Small.Vm.Allocations,
-            Large.Vm.TailCalls - Small.Vm.TailCalls);
+  EXPECT_EQ(Small.Vm.Allocations, Large.Vm.Allocations)
+      << "the unboxed loop must not allocate per iteration";
+  EXPECT_EQ(Small.Vm.PapAllocs, 0u);
+  EXPECT_EQ(Large.Vm.PapAllocs, 0u);
+  // The fused superinstructions carry the loop's arithmetic.
+  EXPECT_GT(Large.Vm.FusedOps, Small.Vm.FusedOps);
   // The accessor satellite: steps()/allocations() must read the VM
   // ledger when the VM ran.
   EXPECT_EQ(Large.steps(), Large.Vm.Steps);
